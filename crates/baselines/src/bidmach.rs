@@ -1,0 +1,121 @@
+//! BIDMach-style baseline [2]: ALS expressed over *generic* sparse matrix
+//! kernels rather than an MF-specialized fused kernel.
+//!
+//! BIDMach builds ALS from its general-purpose sparse primitives; the paper
+//! observes its ALS kernel runs at ≈40 GFLOPS (consistent with BIDMach's own
+//! reported numbers) and that it "does not converge to the acceptance
+//! level" under the benchmark protocol. We reproduce both: the functional
+//! path computes the same Gram matrices through an *unfused* generic
+//! pipeline (materialized gather + generic rank-k update), and the cost
+//! model pins throughput at the measured generic-kernel rate.
+
+use cumf_datasets::MfDataset;
+use cumf_gpu_sim::GpuSpec;
+use cumf_numeric::dense::DenseMatrix;
+use cumf_numeric::sym::{packed_len, SymPacked};
+use cumf_sparse::CsrMatrix;
+
+/// Throughput of BIDMach's generic sparse ALS kernel (§V-C: "the ALS kernel
+/// of BIDMach runs at 40 GFLOPS").
+pub const BIDMACH_GFLOPS: f64 = 40.0;
+
+/// The BIDMach-style runner.
+pub struct BidMach {
+    /// Device (BIDMach is single-GPU).
+    pub spec: GpuSpec,
+    /// Latent dimension.
+    pub f: usize,
+    /// Regularization.
+    pub lambda: f32,
+}
+
+impl BidMach {
+    /// Build the Gram matrix for one row through the generic (unfused)
+    /// pipeline: materialize the gathered feature block, then run a generic
+    /// symmetric rank-k update — semantically identical to `get_hermitian`,
+    /// structured the way a general matrix library would do it.
+    pub fn hermitian_generic(&self, cols: &[u32], features: &DenseMatrix) -> SymPacked {
+        let f = self.f;
+        // Step 1: gather (materializes an nnz×f dense block — the extra
+        // memory traffic that caps generic-kernel throughput).
+        let mut gathered = DenseMatrix::zeros(cols.len(), f);
+        for (i, &v) in cols.iter().enumerate() {
+            gathered.row_mut(i).copy_from_slice(features.row(v as usize));
+        }
+        // Step 2: generic syrk over the gathered block.
+        let mut a = SymPacked::zeros(f);
+        for i in 0..gathered.rows() {
+            a.syr(gathered.row(i));
+        }
+        a.add_diagonal(self.lambda * cols.len() as f32);
+        a
+    }
+
+    /// Simulated time of one ALS epoch at full scale: the same `Nz·f²` FMA
+    /// work as cuMF_ALS, but at the generic kernel's 40 GFLOPS.
+    pub fn epoch_time(&self, data: &MfDataset) -> f64 {
+        let flops = 2.0 * data.profile.nz as f64 * packed_len(self.f) as f64 * 2.0; // both sides
+        flops / (BIDMACH_GFLOPS * 1e9)
+    }
+
+    /// Achieved GFLOPS (constant by construction; reported for Table-V/§V-C
+    /// harness output).
+    pub fn achieved_gflops(&self) -> f64 {
+        BIDMACH_GFLOPS
+    }
+
+    /// Sanity: the generic pipeline computes the same Gram matrix as the
+    /// fused kernel (used by tests and the cross-system agreement suite).
+    pub fn matches_fused(&self, r: &CsrMatrix, features: &DenseMatrix, row: usize) -> bool {
+        let generic = self.hermitian_generic(r.row_cols(row), features);
+        let fused = cumf_als::kernels::hermitian::hermitian_row_reference(
+            r.row_cols(row),
+            features,
+            self.lambda,
+            self.f,
+        );
+        generic
+            .as_slice()
+            .iter()
+            .zip(fused.as_slice())
+            .all(|(a, b)| (a - b).abs() <= 1e-5 * b.abs().max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_datasets::SizeClass;
+    use cumf_numeric::stats::XorShift64;
+
+    #[test]
+    fn generic_pipeline_matches_fused_kernel() {
+        let data = MfDataset::netflix(SizeClass::Tiny, 3);
+        let bid = BidMach { spec: GpuSpec::maxwell_titan_x(), f: 8, lambda: 0.05 };
+        let mut rng = XorShift64::new(4);
+        let mut features = DenseMatrix::zeros(data.n(), 8);
+        features.fill_with(|| rng.next_f32() - 0.5);
+        for row in (0..data.m()).step_by(53) {
+            assert!(bid.matches_fused(&data.r, &features, row), "row {row}");
+        }
+    }
+
+    #[test]
+    fn epoch_time_is_dominated_by_generic_kernel_rate() {
+        // Netflix at f=100: 2·Nz·f² ≈ 2e12 flops ≈ 50 s at 40 GFLOPS — vs
+        // ≈1 s for cuMF_ALS. This is why BIDMach misses the time budget.
+        let data = MfDataset::netflix(SizeClass::Tiny, 1);
+        let bid = BidMach { spec: GpuSpec::maxwell_titan_x(), f: 100, lambda: 0.05 };
+        let t = bid.epoch_time(&data);
+        assert!(t > 20.0 && t < 80.0, "BIDMach epoch {t}s");
+    }
+
+    #[test]
+    fn forty_gflops_is_far_below_cumf() {
+        // Figure 7(a): cuMF_ALS achieves 2–3 TFLOPS on Maxwell.
+        let bid = BidMach { spec: GpuSpec::maxwell_titan_x(), f: 100, lambda: 0.05 };
+        let cumf_flops = GpuSpec::maxwell_titan_x().peak_fp32_flops
+            * cumf_gpu_sim::kernel::hermitian_pipe_efficiency(&GpuSpec::maxwell_titan_x());
+        assert!(cumf_flops / (bid.achieved_gflops() * 1e9) > 50.0);
+    }
+}

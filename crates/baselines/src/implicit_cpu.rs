@@ -1,0 +1,99 @@
+//! CPU implicit-MF baselines for §V-F: the `implicit` library's iALS and
+//! Quora's QMF.
+//!
+//! Both implement the same Hu–Koren–Volinsky math as
+//! `cumf_als::implicit`; what differs is the execution substrate. The
+//! paper reports per-iteration times of **2.2 s (cuMF_ALS), 90 s (implicit),
+//! 360 s (QMF)** on Netflix-scale implicit input. The cost models here
+//! reproduce those ratios: `implicit` runs multi-threaded vectorized C
+//! through Python bindings (good but CPU-bound); QMF's solver at the time
+//! used a denser per-row path, ~4× slower again.
+
+use cumf_datasets::MfDataset;
+use cumf_gpu_sim::host::{CpuSpec, HostWorkload, SyncModel};
+use cumf_numeric::sym::packed_len;
+
+/// Which CPU implicit library is being modeled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ImplicitLibrary {
+    /// benfred/implicit: multi-threaded SIMD iALS with the Gram trick.
+    Implicit,
+    /// quora/qmf at the paper's timeframe: row-parallel but with a dense
+    /// normal-equation build per row (no Gram-delta shortcut).
+    Qmf,
+}
+
+/// A CPU implicit-ALS baseline.
+pub struct CpuImplicitAls {
+    /// Which library's execution profile to model.
+    pub library: ImplicitLibrary,
+    /// Host machine.
+    pub cpu: CpuSpec,
+    /// Latent dimension.
+    pub f: usize,
+}
+
+impl CpuImplicitAls {
+    /// Per-iteration simulated time on the full-scale profile.
+    pub fn iteration_time(&self, data: &MfDataset) -> f64 {
+        let p = &data.profile;
+        let f = self.f as f64;
+        let packed = packed_len(self.f) as f64;
+        match self.library {
+            ImplicitLibrary::Implicit => {
+                // Gram precompute + per-nonzero rank-1 updates + solves,
+                // SIMD efficiency typical of its C kernels.
+                let flops = 2.0 * (p.m + p.n) as f64 * packed // grams
+                    + 4.0 * p.nz as f64 * packed // confidence updates (both sides)
+                    + (p.m + p.n) as f64 * f * f * f / 3.0; // Cholesky solves
+                // Efficiency calibrated to the paper's measured 90 s per
+                // Netflix-implicit iteration (Python dispatch + gather-bound
+                // inner loops keep it far from SIMD peak).
+                let w = HostWorkload { flops, bytes: p.nz as f64 * f * 8.0, efficiency: 0.025 };
+                self.cpu.workload_time(&w, self.cpu.cores, SyncModel::None)
+            }
+            ImplicitLibrary::Qmf => {
+                // QMF (at the paper's comparison point) rebuilds each row's
+                // f×f system without exploiting symmetry deltas and runs a
+                // full per-row factorization — ≈4× the implicit library.
+                let flops = 8.0 * p.nz as f64 * packed + (p.m + p.n) as f64 * 2.0 * f * f * f / 3.0;
+                // Calibrated to the paper's measured 360 s per iteration.
+                let w = HostWorkload { flops, bytes: p.nz as f64 * f * 16.0, efficiency: 0.0125 };
+                self.cpu.workload_time(&w, self.cpu.cores, SyncModel::None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_als::{ImplicitAlsConfig, ImplicitAlsTrainer};
+    use cumf_datasets::SizeClass;
+    use cumf_gpu_sim::GpuSpec;
+
+    #[test]
+    fn section_vf_per_iteration_ordering() {
+        // cuMF (2.2 s) ≪ implicit (90 s) < QMF (360 s) on Netflix implicit.
+        let data = MfDataset::netflix(SizeClass::Tiny, 1);
+        let gpu = ImplicitAlsTrainer::new(&data, ImplicitAlsConfig::default(), GpuSpec::maxwell_titan_x())
+            .epoch_sim_time();
+        let imp = CpuImplicitAls { library: ImplicitLibrary::Implicit, cpu: CpuSpec::power8(), f: 100 }
+            .iteration_time(&data);
+        let qmf = CpuImplicitAls { library: ImplicitLibrary::Qmf, cpu: CpuSpec::power8(), f: 100 }
+            .iteration_time(&data);
+        assert!(gpu < imp && imp < qmf, "gpu {gpu} imp {imp} qmf {qmf}");
+        let gpu_ratio = imp / gpu;
+        assert!(gpu_ratio > 15.0 && gpu_ratio < 120.0, "implicit/cuMF ratio {gpu_ratio} (paper ≈ 41)");
+        let qmf_ratio = qmf / imp;
+        assert!(qmf_ratio > 2.0 && qmf_ratio < 8.0, "QMF/implicit ratio {qmf_ratio} (paper = 4)");
+    }
+
+    #[test]
+    fn iteration_time_scales_with_nz() {
+        let nf = MfDataset::netflix(SizeClass::Tiny, 1);
+        let hw = MfDataset::hugewiki(SizeClass::Tiny, 1);
+        let lib = CpuImplicitAls { library: ImplicitLibrary::Implicit, cpu: CpuSpec::power8(), f: 100 };
+        assert!(lib.iteration_time(&hw) > 10.0 * lib.iteration_time(&nf));
+    }
+}

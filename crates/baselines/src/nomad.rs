@@ -1,0 +1,155 @@
+//! NOMAD-style baseline: asynchronous decentralized SGD over an MPI
+//! cluster [37].
+//!
+//! NOMAD partitions rows across machines and circulates *column* factor
+//! vectors between them: whichever machine holds column `v`'s token updates
+//! `θ_v` against its local rows, then passes it on. Functionally that
+//! trajectory is an asynchronous SGD pass, which we execute with the
+//! blocked substrate (same update math, conflict-free schedule); the
+//! distinguishing system behaviour — network-bound column circulation — is
+//! priced by the cluster model.
+//!
+//! The paper uses NOMAD's best settings: 32 machines for Netflix and
+//! YahooMusic, 64 for Hugewiki.
+
+use crate::libmf::SystemReport;
+use crate::sgd::{blocked_epoch, sgd_test_rmse, SgdConfig, SgdModel};
+use cumf_datasets::MfDataset;
+use cumf_gpu_sim::host::{ClusterNetwork, CpuSpec, HostWorkload, SyncModel};
+use cumf_gpu_sim::timeline::ConvergenceCurve;
+use cumf_sparse::blocking::BlockGrid;
+
+/// How many times each column's token circulates the ring per epoch.
+/// NOMAD keeps tokens moving continuously; ~8 visits per machine per epoch
+/// reproduces its reported Netflix throughput.
+const CIRCULATIONS_PER_EPOCH: f64 = 8.0;
+/// SIMD efficiency of NOMAD's inner update loop.
+const SGD_SIMD_EFFICIENCY: f64 = 0.25;
+
+/// The NOMAD baseline runner.
+pub struct Nomad {
+    /// Per-machine CPU (NOMAD's HPC nodes: 8-core Xeons).
+    pub node_cpu: CpuSpec,
+    /// Machines in the cluster.
+    pub machines: u32,
+    /// Cluster interconnect.
+    pub network: ClusterNetwork,
+    /// SGD hyper-parameters.
+    pub config: SgdConfig,
+}
+
+impl Nomad {
+    /// NOMAD at the paper's best setting for a dataset (32 machines; 64 for
+    /// Hugewiki).
+    pub fn paper_setup(profile: &cumf_datasets::DatasetProfile, f: usize) -> Nomad {
+        let machines = if profile.name == "Hugewiki" { 64 } else { 32 };
+        Nomad {
+            node_cpu: CpuSpec::xeon_e5_2667(),
+            machines,
+            network: ClusterNetwork::ten_gbe(),
+            config: SgdConfig { grid: 16, ..SgdConfig::for_profile(f, profile) },
+        }
+    }
+
+    /// Convergence-degradation factor of asynchronous SGD: stale tokens make
+    /// each pass over the data worth less than a synchronous epoch, and the
+    /// staleness grows with the machine count. The functional run executes
+    /// synchronous epochs, so their simulated cost is inflated by this
+    /// factor (calibrated to NOMAD's reported scaling).
+    pub fn staleness_factor(&self) -> f64 {
+        1.0 + self.machines as f64 / 24.0
+    }
+
+    /// Simulated time of one *effective* (synchronous-equivalent) epoch:
+    /// per-node SGD compute (Nz/machines observations) overlapped with the
+    /// column-circulation network traffic (each of the n column vectors
+    /// crosses each node `CIRCULATIONS_PER_EPOCH` times), inflated by the
+    /// async staleness factor.
+    pub fn epoch_time(&self, data: &MfDataset) -> f64 {
+        let nz = data.profile.nz as f64 / self.machines as f64;
+        let f = self.config.f as f64;
+        let w = HostWorkload {
+            flops: nz * 8.0 * f,
+            bytes: nz * (4.0 * f * 4.0 + 12.0),
+            efficiency: SGD_SIMD_EFFICIENCY,
+        };
+        let compute = self.node_cpu.workload_time(&w, self.node_cpu.cores, SyncModel::None);
+        let col_bytes = data.profile.n as f64 * f * 4.0 * CIRCULATIONS_PER_EPOCH;
+        let messages = data.profile.n as f64 * CIRCULATIONS_PER_EPOCH / 64.0; // batched tokens
+        let comm = self.network.exchange_time(col_bytes, messages);
+        // Async design overlaps compute and communication; the slower one
+        // gates progress.
+        compute.max(comm) * self.staleness_factor()
+    }
+
+    /// Train until `max_epochs` or the profile's RMSE target.
+    pub fn train(&self, data: &MfDataset, max_epochs: u32) -> SystemReport {
+        let grid = BlockGrid::partition(&data.train_coo, self.config.grid);
+        let mut model = SgdModel::init(data.m(), data.n(), &self.config, data.profile.value_mean);
+        let epoch_time = self.epoch_time(data);
+        let target = data.profile.rmse_target;
+        let mut curve = ConvergenceCurve::new("NOMAD");
+        let mut time_to_target = None;
+        let mut epochs_run = 0;
+        for k in 0..max_epochs {
+            blocked_epoch(&grid, &mut model, &self.config, k as usize);
+            epochs_run = k + 1;
+            let rmse = sgd_test_rmse(&model, &data.test);
+            let t = epoch_time * epochs_run as f64;
+            curve.push(t, epochs_run, rmse);
+            if rmse <= target {
+                time_to_target = Some(t);
+                break;
+            }
+        }
+        SystemReport { curve, epoch_time, time_to_target, epochs_run }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::libmf::LibMf;
+    use cumf_datasets::SizeClass;
+
+    #[test]
+    fn paper_setup_machine_counts() {
+        assert_eq!(Nomad::paper_setup(&cumf_datasets::DatasetProfile::netflix(), 100).machines, 32);
+        assert_eq!(Nomad::paper_setup(&cumf_datasets::DatasetProfile::yahoo_music(), 100).machines, 32);
+        assert_eq!(Nomad::paper_setup(&cumf_datasets::DatasetProfile::hugewiki(), 100).machines, 64);
+    }
+
+    #[test]
+    fn nomad_beats_libmf_per_epoch_on_netflix() {
+        // Table IV: NOMAD 9.6 s vs LIBMF 23 s on Netflix — the cluster wins
+        // when the column dimension is small enough for the network.
+        let data = MfDataset::netflix(SizeClass::Tiny, 1);
+        let nomad = Nomad::paper_setup(&data.profile, 100).epoch_time(&data);
+        let libmf = LibMf::paper_setup(100, &data.profile).epoch_time(&data);
+        assert!(nomad < libmf, "nomad {nomad} vs libmf {libmf}");
+    }
+
+    #[test]
+    fn network_gates_yahoo() {
+        // Table IV inversion: NOMAD (109 s) loses to LIBMF (38 s) on
+        // YahooMusic because n = 625k column tokens swamp the wire.
+        let nf = MfDataset::netflix(SizeClass::Tiny, 1);
+        let ym = MfDataset::yahoo_music(SizeClass::Tiny, 1);
+        let nomad = Nomad::paper_setup(&ym.profile, 100);
+        let t_nf = nomad.epoch_time(&nf);
+        let t_ym = nomad.epoch_time(&ym);
+        // Yahoo's epoch is comm-bound and far slower despite only 2.5× Nz.
+        assert!(t_ym / t_nf > 5.0, "yahoo/netflix epoch ratio {}", t_ym / t_nf);
+        let libmf = LibMf::paper_setup(100, &ym.profile);
+        let libmf_ratio = libmf.epoch_time(&ym) / libmf.epoch_time(&nf);
+        assert!(libmf_ratio < 4.0, "LIBMF scales with Nz only: {libmf_ratio}");
+    }
+
+    #[test]
+    fn converges_on_tiny_data() {
+        let data = MfDataset::netflix(SizeClass::Tiny, 9);
+        let nomad = Nomad { config: SgdConfig { f: 8, grid: 8, ..SgdConfig::new(8, 0.05) }, ..Nomad::paper_setup(&data.profile, 8) };
+        let report = nomad.train(&data, 20);
+        assert!(report.curve.best_rmse().unwrap() < 1.2);
+    }
+}

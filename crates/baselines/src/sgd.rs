@@ -1,0 +1,286 @@
+//! The shared SGD substrate: blocked conflict-free parallel epochs and
+//! lock-free Hogwild epochs, used by LIBMF, NOMAD and GPU-SGD wrappers.
+//!
+//! The SGD update for one observation `r_uv` (equation (5)):
+//!
+//! ```text
+//! e    = r_uv − x_uᵀθ_v
+//! x_u += α (e·θ_v − λ·x_u)
+//! θ_v += α (e·x_u − λ·θ_v)
+//! ```
+//!
+//! Two observations conflict iff they share a row or a column, which yields
+//! the two classic parallelization schemes (§VI-A): **blocking** (grid the
+//! matrix; blocks on a generalized diagonal are conflict-free) and
+//! **Hogwild** (update racily and rely on sparsity). Both are implemented —
+//! blocking with provably disjoint mutable slices, Hogwild with relaxed
+//! atomics.
+
+use cumf_numeric::dense::DenseMatrix;
+use cumf_numeric::stats::XorShift64;
+use cumf_sparse::blocking::BlockGrid;
+use cumf_sparse::coo::CooMatrix;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// SGD hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SgdConfig {
+    /// Latent dimension.
+    pub f: usize,
+    /// L2 regularization λ.
+    pub lambda: f32,
+    /// Initial learning rate α₀.
+    pub lr0: f32,
+    /// Decay: α_k = α₀ / (1 + decay·k) per epoch k (the bold-driver-free
+    /// schedule LIBMF's learning-rate paper [3] reduces to).
+    pub decay: f32,
+    /// Block-grid dimension for the blocking scheme (≥ worker count).
+    pub grid: usize,
+    /// Seed for factor init and shuffles.
+    pub seed: u64,
+}
+
+impl SgdConfig {
+    /// Reasonable defaults at dimension `f` for 1–5-star rating data.
+    pub fn new(f: usize, lambda: f32) -> SgdConfig {
+        SgdConfig { f, lambda, lr0: 0.05, decay: 0.3, grid: 8, seed: 17 }
+    }
+
+    /// Benchmark-tuned configuration for a dataset profile: λ from
+    /// Table II, and the learning rate scaled inversely with the value
+    /// magnitude (SGD's gradient scale grows with the rating scale, so a
+    /// 1–100-range dataset needs a ~25× smaller step than a 1–5 one).
+    pub fn for_profile(f: usize, profile: &cumf_datasets::DatasetProfile) -> SgdConfig {
+        let lr0 = 0.029 / profile.value_mean.max(0.1);
+        SgdConfig { f, lambda: profile.lambda, lr0, decay: 0.35, grid: 8, seed: 17 }
+    }
+
+    /// Learning rate at epoch `k` (0-based).
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        self.lr0 / (1.0 + self.decay * epoch as f32)
+    }
+}
+
+/// Mutable SGD state: the two factor matrices.
+pub struct SgdModel {
+    /// Row factors, `m × f`.
+    pub x: DenseMatrix,
+    /// Column factors, `n × f`.
+    pub theta: DenseMatrix,
+}
+
+impl SgdModel {
+    /// Initialize factors so `x·θ` starts near `value_mean`.
+    pub fn init(m: usize, n: usize, config: &SgdConfig, value_mean: f32) -> SgdModel {
+        let f = config.f;
+        let mut rng = XorShift64::new(config.seed);
+        let center = (value_mean.max(0.01) / f as f32).sqrt();
+        let mut x = DenseMatrix::zeros(m, f);
+        let mut theta = DenseMatrix::zeros(n, f);
+        x.fill_with(|| center + (rng.next_f32() - 0.5) * center * 0.5);
+        theta.fill_with(|| center + (rng.next_f32() - 0.5) * center * 0.5);
+        SgdModel { x, theta }
+    }
+}
+
+/// Apply the SGD update for one entry to raw factor slices.
+#[inline]
+fn update_one(x: &mut [f32], theta: &mut [f32], r: f32, lr: f32, lambda: f32) {
+    let mut e = r;
+    for i in 0..x.len() {
+        e -= x[i] * theta[i];
+    }
+    for i in 0..x.len() {
+        let xi = x[i];
+        let ti = theta[i];
+        x[i] = xi + lr * (e * ti - lambda * xi);
+        theta[i] = ti + lr * (e * xi - lambda * ti);
+    }
+}
+
+/// One **blocked** parallel epoch: the grid's `gb` waves run in sequence,
+/// the `gb` blocks of each wave in parallel. Within a wave, block `(i, c_i)`
+/// owns row range `i` and column range `c_i` exclusively, so the factor
+/// matrices are partitioned into disjoint mutable chunks — Rust's aliasing
+/// rules prove what LIBMF's scheduler enforces dynamically.
+pub fn blocked_epoch(grid: &BlockGrid, model: &mut SgdModel, config: &SgdConfig, epoch: usize) {
+    let lr = config.lr_at(epoch);
+    let f = config.f;
+    let gb = grid.grid();
+    for w in 0..gb {
+        let wave = grid.wave(w);
+        // Split X by block-row ranges and Θ by block-column ranges.
+        let x_chunks = split_by_ranges(model.x.as_mut_slice(), (0..gb).map(|i| grid.row_range(i)), f);
+        let t_chunks = split_by_ranges(model.theta.as_mut_slice(), (0..gb).map(|i| grid.col_range(i)), f);
+        // Pair each block with its chunks; waves have distinct rows & cols.
+        let mut tasks: Vec<(usize, usize, &mut [f32], &mut [f32])> = Vec::with_capacity(gb);
+        let mut x_iter: Vec<Option<&mut [f32]>> = x_chunks.into_iter().map(Some).collect();
+        let mut t_iter: Vec<Option<&mut [f32]>> = t_chunks.into_iter().map(Some).collect();
+        for &(br, bc) in &wave {
+            let xc = x_iter[br].take().expect("block-row reused within wave");
+            let tc = t_iter[bc].take().expect("block-col reused within wave");
+            tasks.push((br, bc, xc, tc));
+        }
+        rayon::scope(|s| {
+            for (br, bc, xc, tc) in tasks {
+                let (rs, _) = grid.row_range(br);
+                let (cs, _) = grid.col_range(bc);
+                s.spawn(move |_| {
+                    for e in grid.block(br, bc) {
+                        let u = e.row as usize - rs;
+                        let v = e.col as usize - cs;
+                        update_one(&mut xc[u * f..(u + 1) * f], &mut tc[v * f..(v + 1) * f], e.value, lr, config.lambda);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Slice a factor buffer into per-range chunks (ranges are contiguous,
+/// non-overlapping, and ordered — exactly what [`BlockGrid`] provides).
+fn split_by_ranges<'a>(
+    mut buf: &'a mut [f32],
+    ranges: impl Iterator<Item = (usize, usize)>,
+    f: usize,
+) -> Vec<&'a mut [f32]> {
+    let mut out = Vec::new();
+    let mut consumed = 0usize;
+    for (start, end) in ranges {
+        debug_assert_eq!(start, consumed, "ranges must tile the buffer");
+        let (chunk, rest) = buf.split_at_mut((end - start) * f);
+        out.push(chunk);
+        buf = rest;
+        consumed = end;
+    }
+    out
+}
+
+/// One **Hogwild** epoch: entries updated in parallel with relaxed atomic
+/// read-modify-writes and no coordination — the lock-free scheme of [22].
+/// Updates may interleave mid-vector; with sparse data conflicts are rare
+/// and convergence survives, which is the scheme's entire point.
+pub fn hogwild_epoch(data: &CooMatrix, model: &mut SgdModel, config: &SgdConfig, epoch: usize) {
+    use rayon::prelude::*;
+    let lr = config.lr_at(epoch);
+    let f = config.f;
+    assert!(f <= 512, "hogwild_epoch supports f up to 512");
+    let lambda = config.lambda;
+    let x_atomic = as_atomic(model.x.as_mut_slice());
+    let t_atomic = as_atomic(model.theta.as_mut_slice());
+
+    data.entries().par_iter().for_each(|e| {
+        let xs = &x_atomic[e.row as usize * f..(e.row as usize + 1) * f];
+        let ts = &t_atomic[e.col as usize * f..(e.col as usize + 1) * f];
+        // Racy read of both vectors (Hogwild semantics).
+        let mut err = e.value;
+        let mut xv = [0.0f32; 512];
+        let mut tv = [0.0f32; 512];
+        for i in 0..f {
+            xv[i] = f32::from_bits(xs[i].load(Ordering::Relaxed));
+            tv[i] = f32::from_bits(ts[i].load(Ordering::Relaxed));
+            err -= xv[i] * tv[i];
+        }
+        for i in 0..f {
+            let nx = xv[i] + lr * (err * tv[i] - lambda * xv[i]);
+            let nt = tv[i] + lr * (err * xv[i] - lambda * tv[i]);
+            xs[i].store(nx.to_bits(), Ordering::Relaxed);
+            ts[i].store(nt.to_bits(), Ordering::Relaxed);
+        }
+    });
+}
+
+/// Reinterpret a `&mut [f32]` as atomics for Hogwild's racy updates.
+/// Sound: `AtomicU32` has the same layout as `u32`/`f32`, the exclusive
+/// borrow guarantees no non-atomic aliasing during the epoch, and every
+/// access goes through atomic loads/stores.
+fn as_atomic(buf: &mut [f32]) -> &[AtomicU32] {
+    unsafe { std::slice::from_raw_parts(buf.as_ptr() as *const AtomicU32, buf.len()) }
+}
+
+/// Test RMSE of an SGD model.
+pub fn sgd_test_rmse(model: &SgdModel, test: &CooMatrix) -> f64 {
+    cumf_als::metrics::test_rmse(&model.x, &model.theta, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_datasets::{MfDataset, SizeClass};
+
+    fn setup() -> (MfDataset, SgdConfig) {
+        let data = MfDataset::netflix(SizeClass::Tiny, 21);
+        let config = SgdConfig { f: 8, ..SgdConfig::new(8, 0.05) }; // hogwild buffer cap is 512
+        (data, config)
+    }
+
+    #[test]
+    fn blocked_sgd_reduces_rmse() {
+        let (data, config) = setup();
+        let grid = BlockGrid::partition(&data.train_coo, config.grid);
+        let mut model = SgdModel::init(data.m(), data.n(), &config, 3.6);
+        let before = sgd_test_rmse(&model, &data.test);
+        for k in 0..15 {
+            blocked_epoch(&grid, &mut model, &config, k);
+        }
+        let after = sgd_test_rmse(&model, &data.test);
+        assert!(after < before, "RMSE {before} → {after}");
+        assert!(after < 1.15, "blocked SGD should fit: {after}");
+    }
+
+    #[test]
+    fn hogwild_sgd_reduces_rmse() {
+        let (data, config) = setup();
+        let mut model = SgdModel::init(data.m(), data.n(), &config, 3.6);
+        let before = sgd_test_rmse(&model, &data.test);
+        for k in 0..15 {
+            hogwild_epoch(&data.train_coo, &mut model, &config, k);
+        }
+        let after = sgd_test_rmse(&model, &data.test);
+        assert!(after < before);
+        assert!(after < 1.2, "hogwild should converge despite races: {after}");
+    }
+
+    #[test]
+    fn blocked_and_hogwild_reach_similar_quality() {
+        let (data, config) = setup();
+        let grid = BlockGrid::partition(&data.train_coo, config.grid);
+        let mut blocked = SgdModel::init(data.m(), data.n(), &config, 3.6);
+        let mut hog = SgdModel::init(data.m(), data.n(), &config, 3.6);
+        for k in 0..20 {
+            blocked_epoch(&grid, &mut blocked, &config, k);
+            hogwild_epoch(&data.train_coo, &mut hog, &config, k);
+        }
+        let rb = sgd_test_rmse(&blocked, &data.test);
+        let rh = sgd_test_rmse(&hog, &data.test);
+        assert!((rb - rh).abs() < 0.1, "blocked {rb} vs hogwild {rh}");
+    }
+
+    #[test]
+    fn learning_rate_decays() {
+        let c = SgdConfig::new(16, 0.05);
+        assert!(c.lr_at(0) > c.lr_at(5));
+        assert_eq!(c.lr_at(0), c.lr0);
+    }
+
+    #[test]
+    fn single_update_moves_toward_observation() {
+        let mut x = vec![0.5f32; 4];
+        let mut t = vec![0.5f32; 4];
+        // prediction 1.0, observation 3.0 → error positive, factors grow.
+        update_one(&mut x, &mut t, 3.0, 0.1, 0.0);
+        assert!(x.iter().all(|&v| v > 0.5));
+        assert!(t.iter().all(|&v| v > 0.5));
+        let pred: f32 = x.iter().zip(&t).map(|(a, b)| a * b).sum();
+        assert!(pred > 1.0 && pred < 3.0);
+    }
+
+    #[test]
+    fn update_is_symmetric_in_factors() {
+        // x and θ receive mirror-image updates when they start equal.
+        let mut x = vec![0.3f32, 0.7];
+        let mut t = vec![0.3f32, 0.7];
+        update_one(&mut x, &mut t, 2.0, 0.05, 0.1);
+        assert_eq!(x, t);
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion ablations: tile-size sensitivity of the tiled rank-1 update
+//! and the FP16 narrow/widen throughput that bounds Solution 4's benefit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cumf_als::kernels::hermitian::tiled_rank1_update;
+use cumf_numeric::f16::{narrow_slice, widen_slice, F16};
+use cumf_numeric::stats::XorShift64;
+use cumf_numeric::sym::packed_len;
+use std::hint::black_box;
+
+fn bench_tiles(c: &mut Criterion) {
+    let f = 100usize;
+    let mut rng = XorShift64::new(5);
+    let theta: Vec<f32> = (0..f).map(|_| rng.next_f32() - 0.5).collect();
+    let mut group = c.benchmark_group("tiled_rank1_f100");
+    for &tile in &[2usize, 5, 10, 25, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(tile), &tile, |b, &t| {
+            let mut acc = vec![0.0f32; packed_len(f)];
+            b.iter(|| {
+                tiled_rank1_update(black_box(&mut acc), black_box(&theta), t);
+                black_box(acc[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_f16(c: &mut Criterion) {
+    let n = packed_len(100);
+    let mut rng = XorShift64::new(6);
+    let src: Vec<f32> = (0..n).map(|_| rng.next_f32() * 100.0).collect();
+    let mut half = vec![F16::ZERO; n];
+    let mut back = vec![0.0f32; n];
+    let mut group = c.benchmark_group("f16_gram_matrix");
+    group.throughput(Throughput::Bytes((n * 4) as u64));
+    group.bench_function("narrow", |b| b.iter(|| narrow_slice(black_box(&src), &mut half)));
+    narrow_slice(&src, &mut half);
+    group.bench_function("widen", |b| b.iter(|| widen_slice(black_box(&half), &mut back)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiles, bench_f16);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks of the baseline substrates: blocked vs. Hogwild SGD
+//! epochs and sparse-format conversion costs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cumf_baselines::sgd::{blocked_epoch, hogwild_epoch, SgdConfig, SgdModel};
+use cumf_datasets::{MfDataset, SizeClass};
+use cumf_sparse::blocking::BlockGrid;
+use cumf_sparse::csr::CsrMatrix;
+use std::hint::black_box;
+
+fn bench_sgd(c: &mut Criterion) {
+    let data = MfDataset::netflix(SizeClass::Tiny, 11);
+    let config = SgdConfig::new(16, 0.05);
+    let grid = BlockGrid::partition(&data.train_coo, config.grid);
+    let mut group = c.benchmark_group("sgd_epoch_tiny");
+    group.throughput(Throughput::Elements(data.train_nnz() as u64));
+    group.bench_function("blocked", |b| {
+        let mut model = SgdModel::init(data.m(), data.n(), &config, 3.6);
+        b.iter(|| blocked_epoch(black_box(&grid), &mut model, &config, 1))
+    });
+    group.bench_function("hogwild", |b| {
+        let mut model = SgdModel::init(data.m(), data.n(), &config, 3.6);
+        b.iter(|| hogwild_epoch(black_box(&data.train_coo), &mut model, &config, 1))
+    });
+    group.finish();
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let data = MfDataset::netflix(SizeClass::Tiny, 12);
+    let mut group = c.benchmark_group("sparse_conversions");
+    group.throughput(Throughput::Elements(data.train_nnz() as u64));
+    group.bench_function("coo_to_csr", |b| b.iter(|| black_box(CsrMatrix::from_coo(black_box(&data.train_coo)))));
+    group.bench_function("csr_transpose", |b| b.iter(|| black_box(data.r.transpose())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgd, bench_sparse);
+criterion_main!(benches);

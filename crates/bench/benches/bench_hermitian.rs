@@ -1,0 +1,40 @@
+//! Criterion microbenchmarks of the get_hermitian functional kernel:
+//! staged+tiled vs. plain rank-1 reference, across f.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cumf_als::kernels::hermitian::{hermitian_row, hermitian_row_reference, HermitianShape};
+use cumf_numeric::dense::DenseMatrix;
+use cumf_numeric::stats::XorShift64;
+use cumf_numeric::sym::SymPacked;
+use std::hint::black_box;
+
+fn features(rows: usize, f: usize, seed: u64) -> DenseMatrix {
+    let mut rng = XorShift64::new(seed);
+    let mut m = DenseMatrix::zeros(rows, f);
+    m.fill_with(|| rng.next_f32() - 0.5);
+    m
+}
+
+fn bench_hermitian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("get_hermitian_row");
+    for &f in &[32usize, 100] {
+        let feats = features(1000, f, 7);
+        let cols: Vec<u32> = (0..200u32).map(|i| (i * 5) % 1000).collect();
+        let shape = HermitianShape::paper(f);
+        group.bench_with_input(BenchmarkId::new("staged_tiled", f), &f, |b, _| {
+            let mut staging = Vec::new();
+            let mut acc = SymPacked::zeros(f);
+            b.iter(|| {
+                hermitian_row(black_box(&cols), &feats, 0.05, &shape, &mut staging, &mut acc);
+                black_box(acc.get(0, 0))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reference_syr", f), &f, |b, _| {
+            b.iter(|| black_box(hermitian_row_reference(black_box(&cols), &feats, 0.05, f)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hermitian);
+criterion_main!(benches);

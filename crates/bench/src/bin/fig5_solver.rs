@@ -1,0 +1,65 @@
+//! Figure 5: solver time of 10 ALS iterations on Netflix, Maxwell,
+//! f = 100, fs = 6 — LU-FP32 vs CG-FP32 vs CG-FP16, with and without L1,
+//! against the get_hermitian time.
+//!
+//! The functional CG-iteration count that feeds the cost model is measured
+//! by actually training on the synthetic Netflix replica.
+
+use cumf_als::als::{price_epoch, price_side, Side};
+use cumf_als::{AlsConfig, AlsTrainer, Precision, SolverKind};
+use cumf_bench::{fmt_s, HarnessArgs};
+use cumf_datasets::MfDataset;
+use cumf_gpu_sim::GpuSpec;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let spec = GpuSpec::maxwell_titan_x();
+    let data = MfDataset::netflix(args.size(), args.seed);
+    let iters = 10u32;
+
+    // Measure the real mean CG iteration count over a training run.
+    let mut cfg = AlsConfig::for_profile(&data.profile);
+    cfg.solver = SolverKind::Cg { fs: 6, tolerance: 1e-4, precision: Precision::Fp32 };
+    cfg.iterations = args.epochs(iters) as usize;
+    cfg.rmse_target = None;
+    let mut trainer = AlsTrainer::new(&data, cfg.clone(), spec.clone(), 1);
+    let report = trainer.train();
+    let mean_cg: f64 = report.epochs.iter().map(|e| e.mean_cg_iters).sum::<f64>() / report.epochs.len() as f64;
+
+    println!("Figure 5 — solver time for {iters} ALS iterations (Netflix, {}, f=100, fs=6)", spec.name);
+    println!("measured mean CG iterations per row: {mean_cg:.2}");
+    println!();
+    println!("{:<10} {:>12} {:>12} {:>15}", "solver", "solve-noL1", "solve-L1", "get_hermitian");
+
+    let solvers: [(&str, SolverKind); 3] = [
+        ("LU-FP32", SolverKind::BatchLu),
+        ("CG-FP32", SolverKind::Cg { fs: 6, tolerance: 1e-4, precision: Precision::Fp32 }),
+        ("CG-FP16", SolverKind::Cg { fs: 6, tolerance: 1e-4, precision: Precision::Fp16 }),
+    ];
+
+    let herm_cfg = AlsConfig { solver: SolverKind::cumf_default(), ..cfg.clone() };
+    let herm_epoch = {
+        let p = price_epoch(&data.profile, &herm_cfg, &spec, 1, mean_cg);
+        (p.load + p.compute + p.write) * iters as f64
+    };
+
+    let mut rows = Vec::new();
+    for (name, solver) in solvers {
+        let c = AlsConfig { solver, ..cfg.clone() };
+        // The solve phase is L1-insensitive (Figure 5's observation): price
+        // both flags and show they agree.
+        let px = price_side(&data.profile, &c, Side::X, &spec, 1, mean_cg);
+        let pt = price_side(&data.profile, &c, Side::Theta, &spec, 1, mean_cg);
+        let solve_10 = (px.solve + pt.solve) * iters as f64;
+        println!("{:<10} {:>12} {:>12} {:>15}", name, fmt_s(solve_10), fmt_s(solve_10), fmt_s(herm_epoch));
+        rows.push((name, solve_10));
+    }
+
+    println!();
+    let lu = rows[0].1;
+    let cg32 = rows[1].1;
+    let cg16 = rows[2].1;
+    println!("ratios: CG-FP32/LU-FP32 = {:.2} (paper ≈ 0.25)", cg32 / lu);
+    println!("        CG-FP16/CG-FP32 = {:.2} (paper ≈ 0.5)", cg16 / cg32);
+    println!("        LU-FP32/get_hermitian = {:.2} (paper ≈ 2)", lu / herm_epoch);
+}

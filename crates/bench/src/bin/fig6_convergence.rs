@@ -1,0 +1,119 @@
+//! Figure 6 + Table IV: cuMF_ALS vs. CPU solutions — test RMSE vs. training
+//! time, and seconds to reach the acceptable RMSE.
+//!
+//! Systems: LIBMF (40 threads), NOMAD (32/64 machines), GPU-ALS@Maxwell,
+//! cuMFALS@Maxwell, cuMFALS@Pascal. cuMF_ALS uses one GPU for Netflix and
+//! YahooMusic and four for Hugewiki, exactly as the paper runs it.
+//!
+//! The cuMF functional run happens once; the Pascal curve re-prices the same
+//! epochs on the P100 model (the functional math is device-independent).
+
+use cumf_als::als::price_epoch;
+use cumf_als::{AlsConfig, AlsTrainer};
+use cumf_baselines::{GpuAlsBaseline, LibMf, Nomad};
+use cumf_bench::{fmt_s, HarnessArgs};
+use cumf_gpu_sim::timeline::ConvergenceCurve;
+use cumf_gpu_sim::GpuSpec;
+
+struct Row {
+    system: String,
+    times: Vec<Option<f64>>,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let datasets = args.datasets();
+    let als_epochs = args.epochs(20);
+    let sgd_epochs = args.epochs(60);
+
+    let mut rows: Vec<Row> = ["LIBMF", "NOMAD", "GPU-ALS@M", "cuMFALS@M", "cuMFALS@P"]
+        .iter()
+        .map(|s| Row { system: s.to_string(), times: Vec::new() })
+        .collect();
+    let mut curves: Vec<(String, Vec<ConvergenceCurve>)> = Vec::new();
+
+    for data in &datasets {
+        let name = data.profile.name;
+        let gpus = if name == "Hugewiki" { 4 } else { 1 };
+        eprintln!("[fig6] {name}: m={} n={} nz={}", data.m(), data.n(), data.train_nnz());
+        let mut ds_curves = Vec::new();
+
+        // LIBMF.
+        let libmf = LibMf::paper_setup(100, &data.profile).train(data, sgd_epochs);
+        rows[0].times.push(libmf.time_to_target);
+        ds_curves.push(libmf.curve);
+
+        // NOMAD.
+        let nomad = Nomad::paper_setup(&data.profile, 100).train(data, sgd_epochs);
+        rows[1].times.push(nomad.time_to_target);
+        ds_curves.push(nomad.curve);
+
+        // GPU-ALS on Maxwell.
+        let gpu_als = GpuAlsBaseline { spec: GpuSpec::maxwell_titan_x(), gpus }.train(data, als_epochs);
+        rows[2].times.push(gpu_als.time_to_target);
+        ds_curves.push(gpu_als.curve);
+
+        // cuMF_ALS on Maxwell (functional run), re-priced for Pascal.
+        let config = AlsConfig { iterations: als_epochs as usize, ..AlsConfig::for_profile(&data.profile) };
+        let mut trainer = AlsTrainer::new(data, config.clone(), GpuSpec::maxwell_titan_x(), gpus);
+        let cumf_m = trainer.train();
+        rows[3].times.push(cumf_m.time_to_target);
+
+        let mut curve_m = cumf_m.curve.clone();
+        curve_m.label = "cuMFALS@M".into();
+
+        let pascal = GpuSpec::pascal_p100();
+        let mut curve_p = ConvergenceCurve::new("cuMFALS@P");
+        let mut t_p = 0.0;
+        let mut ttt_p = None;
+        for e in &cumf_m.epochs {
+            t_p += price_epoch(&data.profile, &config, &pascal, gpus, e.mean_cg_iters).total();
+            curve_p.push(t_p, e.epoch, e.test_rmse);
+            if ttt_p.is_none() && e.test_rmse <= data.profile.rmse_target {
+                ttt_p = Some(t_p);
+            }
+        }
+        rows[4].times.push(ttt_p);
+        ds_curves.push(curve_m);
+        ds_curves.push(curve_p);
+        curves.push((name.to_string(), ds_curves));
+    }
+
+    // Table IV.
+    println!();
+    println!("Table IV — training time (simulated seconds) to acceptable RMSE");
+    print!("{:<12}", "system");
+    for d in &datasets {
+        print!(" {:>12}", d.profile.name);
+    }
+    println!();
+    for row in &rows {
+        print!("{:<12}", row.system);
+        for t in &row.times {
+            match t {
+                Some(v) => print!(" {:>12}", fmt_s(*v)),
+                None => print!(" {:>12}", "n/a"),
+            }
+        }
+        println!();
+    }
+    // Speedup row: cuMFALS@P vs LIBMF.
+    print!("{:<12}", "@P/LIBMF");
+    for i in 0..datasets.len() {
+        match (rows[0].times[i], rows[4].times[i]) {
+            (Some(l), Some(p)) if p > 0.0 => print!(" {:>11.1}x", l / p),
+            _ => print!(" {:>12}", "n/a"),
+        }
+    }
+    println!();
+
+    // Figure 6 series.
+    for (name, ds_curves) in &curves {
+        println!();
+        println!("Figure 6 — {name} (time\\tRMSE per system)");
+        for c in ds_curves {
+            println!("# {}", c.label);
+            print!("{}", c.to_tsv());
+        }
+    }
+}

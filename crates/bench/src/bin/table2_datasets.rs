@@ -1,0 +1,57 @@
+//! Table II: benchmark datasets and parameters — the full-scale profiles
+//! plus the statistics of the synthetic replicas actually trained on.
+
+use cumf_bench::HarnessArgs;
+use cumf_datasets::DatasetProfile;
+
+fn main() {
+    let args = HarnessArgs::parse();
+
+    println!("Table II — benchmark datasets and parameters (paper scale)");
+    println!(
+        "{:<12} {:>12} {:>10} {:>8} {:>5} {:>7} {:>7}",
+        "Dataset", "m", "n", "Nz", "f", "lambda", "RMSE"
+    );
+    for p in DatasetProfile::table2() {
+        println!(
+            "{:<12} {:>12} {:>10} {:>8} {:>5} {:>7} {:>7}",
+            p.name,
+            p.m,
+            p.n,
+            human(p.nz),
+            p.f,
+            p.lambda,
+            p.rmse_target
+        );
+    }
+
+    println!();
+    println!("synthetic replicas at this run's size ({:?}):", args.size());
+    println!(
+        "{:<12} {:>8} {:>8} {:>10} {:>10} {:>12} {:>12}",
+        "Dataset", "m", "n", "train nz", "test nz", "mean value", "row degree"
+    );
+    for data in args.datasets() {
+        let mean = data.train_coo.mean_value();
+        println!(
+            "{:<12} {:>8} {:>8} {:>10} {:>10} {:>12.2} {:>12.1}",
+            data.profile.name,
+            data.m(),
+            data.n(),
+            data.train_nnz(),
+            data.test.nnz(),
+            mean,
+            data.train_nnz() as f64 / data.m() as f64,
+        );
+    }
+    println!();
+    println!("(profiles drive the simulated-time cost models; replicas drive convergence)");
+}
+
+fn human(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.1}B", n as f64 / 1e9)
+    } else {
+        format!("{:.0}M", n as f64 / 1e6)
+    }
+}

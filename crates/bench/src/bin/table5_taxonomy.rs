@@ -1,0 +1,88 @@
+//! Table V: the taxonomy of parallel MF systems, with a smoke-run of every
+//! cell this workspace implements (each system does two epochs on a tiny
+//! instance and reports its per-epoch simulated time and reached RMSE).
+
+use cumf_als::{AlsConfig, AlsTrainer, ImplicitAlsConfig, ImplicitAlsTrainer};
+use cumf_baselines::bidmach::BidMach;
+use cumf_baselines::ccd::{CcdConfig, CcdTrainer};
+use cumf_baselines::sgd::SgdConfig;
+use cumf_baselines::{GpuAlsBaseline, GpuSgd, LibMf, Nomad};
+use cumf_bench::{fmt_s, HarnessArgs};
+use cumf_datasets::{MfDataset, SizeClass};
+use cumf_gpu_sim::host::CpuSpec;
+use cumf_gpu_sim::GpuSpec;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let data = MfDataset::netflix(SizeClass::Tiny, args.seed);
+    let f = 8usize;
+    let epochs = 6u32;
+
+    println!("Table V — parallel MF solutions (implemented cells, smoke-run on tiny Netflix, f={f})");
+    println!(
+        "{:<10} {:<28} {:<8} {:>12} {:>10}",
+        "algorithm", "system (modeled)", "where", "s/epoch(sim)", "RMSE"
+    );
+
+    // SGD / CPU: LIBMF (blocking, single node).
+    let libmf = LibMf { config: SgdConfig { f, grid: 8, ..SgdConfig::new(f, 0.05) }, ..LibMf::paper_setup(f, &data.profile) };
+    let r = libmf.train(&data, epochs);
+    row("SGD", "LIBMF (blocking, 40 thr)", "CPU", r.epoch_time, r.curve.best_rmse());
+
+    // SGD / CPU distributed: NOMAD.
+    let nomad = Nomad { config: SgdConfig { f, grid: 8, ..SgdConfig::new(f, 0.05) }, ..Nomad::paper_setup(&data.profile, f) };
+    let r = nomad.train(&data, epochs);
+    row("SGD", "NOMAD (async, 32 nodes)", "cluster", r.epoch_time, r.curve.best_rmse());
+
+    // SGD / GPU: cuMF_SGD.
+    let mut sgd = GpuSgd::paper_setup(GpuSpec::maxwell_titan_x(), 1, f, &data.profile);
+    sgd.config = SgdConfig::new(f, 0.05);
+    let r = sgd.train(&data, epochs * 2);
+    row("SGD", "GPU-SGD (Hogwild, half)", "GPU", r.epoch_time, r.curve.best_rmse());
+
+    // ALS / GPU: BIDMach generic kernels (per-epoch time only; §V-C notes
+    // it does not converge to the acceptance level under the protocol).
+    let bid = BidMach { spec: GpuSpec::maxwell_titan_x(), f: 100, lambda: 0.05 };
+    row("ALS", "BIDMach (generic kernels)", "GPU", bid.epoch_time(&data), None);
+
+    // ALS / GPU: GPU-ALS (HPDC'16).
+    let r = GpuAlsBaseline { spec: GpuSpec::maxwell_titan_x(), gpus: 1 }.train_with_f(&data, epochs, f);
+    row("ALS", "GPU-ALS (coal + LU)", "GPU", r.epoch_time, r.curve.best_rmse());
+
+    // ALS / GPU: cuMF_ALS.
+    let mut cfg = AlsConfig::for_profile(&data.profile);
+    cfg.f = f;
+    cfg.iterations = epochs as usize;
+    cfg.rmse_target = None;
+    let mut t = AlsTrainer::new(&data, cfg, GpuSpec::maxwell_titan_x(), 1);
+    let rep = t.train();
+    row(
+        "ALS",
+        "cuMF_ALS (this work)",
+        "GPU",
+        rep.total_sim_time() / rep.epochs.len().max(1) as f64,
+        Some(rep.final_rmse()),
+    );
+
+    // ALS / GPU implicit.
+    let mut icfg = ImplicitAlsConfig { f, iterations: 2, ..ImplicitAlsConfig::default() };
+    icfg.alpha = 10.0;
+    let it = ImplicitAlsTrainer::new(&data, icfg, GpuSpec::maxwell_titan_x());
+    row("ALS", "cuMF_ALS implicit (HKV)", "GPU", it.epoch_sim_time(), None);
+
+    // CCD / CPU: CCD++.
+    let mut ccd = CcdTrainer::new(&data, CcdConfig { f, lambda: 0.05, inner: 1, seed: args.seed }, CpuSpec::power8());
+    let curve = ccd.train(epochs);
+    row("CCD", "CCD++ (cyclic, multicore)", "CPU", ccd.epoch_time(), curve.best_rmse());
+
+    println!();
+    println!("unimplemented-but-catalogued (documentation rows of Table V): HogWild!,");
+    println!("FactorBird, Petuum, DSGD, DSGD++, dcMF, MLGF-MF, PALS, DALS, SparkALS,");
+    println!("GraphLab, Sparkler, Facebook rotation, HPC-ALS, approximate ALS [29],");
+    println!("parallel CCD++ on GPU [20].");
+}
+
+fn row(alg: &str, system: &str, place: &str, epoch_s: f64, rmse: Option<f64>) {
+    let rmse_s = rmse.map(|r| format!("{r:.3}")).unwrap_or_else(|| "-".into());
+    println!("{:<10} {:<28} {:<8} {:>12} {:>10}", alg, system, place, fmt_s(epoch_s), rmse_s);
+}

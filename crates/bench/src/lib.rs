@@ -1,0 +1,106 @@
+//! Shared helpers for the experiment harnesses and Criterion benches.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §3 for the index) and prints the same rows/series the
+//! paper reports, in plain text and TSV. Binaries accept `--quick` to run
+//! on smaller synthetic instances for smoke-testing.
+
+#![deny(missing_docs)]
+
+use cumf_datasets::{MfDataset, SizeClass};
+
+/// Parsed common CLI flags for harness binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessArgs {
+    /// Run on Tiny instances with fewer epochs (CI smoke mode).
+    pub quick: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HarnessArgs {
+    /// Parse from `std::env::args`: `--quick` and `--seed N` are accepted.
+    pub fn parse() -> HarnessArgs {
+        let mut args = HarnessArgs { quick: false, seed: 42 };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => args.quick = true,
+                "--seed" => {
+                    args.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+                }
+                "--help" | "-h" => {
+                    eprintln!("flags: --quick (tiny instances), --seed N");
+                    std::process::exit(0);
+                }
+                other => eprintln!("ignoring unknown flag {other}"),
+            }
+        }
+        args
+    }
+
+    /// The dataset size class this run uses.
+    pub fn size(&self) -> SizeClass {
+        if self.quick {
+            SizeClass::Tiny
+        } else {
+            SizeClass::Default
+        }
+    }
+
+    /// Epoch budget scaling for quick mode.
+    pub fn epochs(&self, full: u32) -> u32 {
+        if self.quick {
+            full.min(5)
+        } else {
+            full
+        }
+    }
+
+    /// The three benchmark datasets at this run's size.
+    pub fn datasets(&self) -> Vec<MfDataset> {
+        vec![
+            MfDataset::netflix(self.size(), self.seed),
+            MfDataset::yahoo_music(self.size(), self.seed),
+            MfDataset::hugewiki(self.size(), self.seed),
+        ]
+    }
+}
+
+/// Format seconds compactly for table output.
+pub fn fmt_s(t: f64) -> String {
+    if t >= 100.0 {
+        format!("{t:.0}")
+    } else if t >= 10.0 {
+        format!("{t:.1}")
+    } else {
+        format!("{t:.2}")
+    }
+}
+
+/// Print a rule line matching a header's width.
+pub fn rule(width: usize) -> String {
+    "-".repeat(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_scales_precision() {
+        assert_eq!(fmt_s(345.6), "346");
+        assert_eq!(fmt_s(23.45), "23.4");
+        assert_eq!(fmt_s(3.456), "3.46");
+    }
+
+    #[test]
+    fn quick_mode_uses_tiny() {
+        let a = HarnessArgs { quick: true, seed: 1 };
+        assert_eq!(a.size(), SizeClass::Tiny);
+        assert_eq!(a.epochs(30), 5);
+        let b = HarnessArgs { quick: false, seed: 1 };
+        assert_eq!(b.size(), SizeClass::Default);
+        assert_eq!(b.epochs(30), 30);
+    }
+}

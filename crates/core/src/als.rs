@@ -1,0 +1,476 @@
+//! The ALS trainer: alternating `update-X` / `update-Θ` sweeps, each a fused
+//! `get_hermitian → get_bias → solve` pass, with per-phase simulated timing
+//! on a chosen GPU (or multi-GPU server).
+//!
+//! Functional execution is real: the factor matrices are genuinely solved
+//! and test RMSE genuinely evaluated, so epochs-to-convergence comes from
+//! the data. Simulated time prices each epoch at the dataset's *full-scale*
+//! profile (Table II dimensions) on the chosen [`GpuSpec`] — see DESIGN.md
+//! §1 and §5.
+
+use crate::config::{AlsConfig, SolverKind};
+use crate::kernels::bias::{bias_cost, bias_row};
+use crate::kernels::hermitian::{hermitian_phases, hermitian_row, HermitianShape, HermitianWorkload};
+use crate::kernels::solve::{solve_cost, solve_row};
+use crate::metrics::test_rmse;
+use cumf_datasets::MfDataset;
+use cumf_gpu_sim::interconnect::Interconnect;
+use cumf_gpu_sim::kernel::launch_time;
+use cumf_gpu_sim::occupancy::{occupancy, KernelResources};
+use cumf_gpu_sim::timeline::{ConvergenceCurve, SimClock};
+use cumf_gpu_sim::{GpuGeneration, GpuSpec};
+use cumf_numeric::dense::DenseMatrix;
+use cumf_numeric::stats::XorShift64;
+use cumf_numeric::sym::SymPacked;
+use cumf_sparse::CsrMatrix;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Simulated per-phase times of one epoch (one update-X + one update-Θ).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpochPhases {
+    /// Global→shared staging time of both `get_hermitian` launches.
+    pub load: f64,
+    /// FMA time of both `get_hermitian` launches.
+    pub compute: f64,
+    /// `A_u` flush time of both launches.
+    pub write: f64,
+    /// Both `get_bias` launches.
+    pub bias: f64,
+    /// Both batched solves.
+    pub solve: f64,
+    /// Multi-GPU all-gather time (0 on one GPU).
+    pub comm: f64,
+}
+
+impl EpochPhases {
+    /// Total epoch time.
+    pub fn total(&self) -> f64 {
+        self.load + self.compute + self.write + self.bias + self.solve + self.comm
+    }
+}
+
+/// One epoch's record.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochReport {
+    /// 1-based epoch number.
+    pub epoch: u32,
+    /// Cumulative simulated training time after this epoch.
+    pub sim_time: f64,
+    /// Test RMSE after this epoch.
+    pub test_rmse: f64,
+    /// This epoch's phase breakdown.
+    pub phases: EpochPhases,
+    /// Mean CG iterations per row this epoch (f for direct solvers).
+    pub mean_cg_iters: f64,
+}
+
+/// The result of a training run.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Per-epoch records, in order.
+    pub epochs: Vec<EpochReport>,
+    /// The `(sim time, RMSE)` convergence curve (Figure 6 / 8 material).
+    pub curve: ConvergenceCurve,
+    /// Simulated time at which the RMSE target was reached, if it was.
+    pub time_to_target: Option<f64>,
+}
+
+impl TrainReport {
+    /// RMSE after the last completed epoch.
+    pub fn final_rmse(&self) -> f64 {
+        self.epochs.last().map(|e| e.test_rmse).unwrap_or(f64::INFINITY)
+    }
+
+    /// Total simulated training time.
+    pub fn total_sim_time(&self) -> f64 {
+        self.epochs.last().map(|e| e.sim_time).unwrap_or(0.0)
+    }
+}
+
+/// Which factor a sweep updates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Solve each `x_u` from `R` rows and `Θ`.
+    X,
+    /// Solve each `θ_v` from `Rᵀ` rows and `X`.
+    Theta,
+}
+
+/// Price one sweep of an ALS epoch at *full-scale* profile dimensions on
+/// `spec` × `gpus` — the pure cost model, usable without running the
+/// functional sweep (harnesses re-price a single functional run on several
+/// devices this way).
+pub fn price_side(
+    profile: &cumf_datasets::DatasetProfile,
+    config: &AlsConfig,
+    side: Side,
+    spec: &GpuSpec,
+    gpus: u32,
+    mean_cg_iters: f64,
+) -> EpochPhases {
+    let f = config.f;
+    let shape = HermitianShape { f, bin: config.bin, tile: config.tile };
+    let (rows_full, feat_full) = match side {
+        Side::X => (profile.m, profile.n),
+        Side::Theta => (profile.n, profile.m),
+    };
+    let g = gpus as u64;
+    let w = HermitianWorkload {
+        rows: rows_full.div_ceil(g),
+        feature_rows: feat_full,
+        nz: profile.nz / g,
+    };
+    let herm = hermitian_phases(spec, &w, &shape, config.load_pattern);
+
+    let generic_occ = occupancy(
+        spec,
+        &KernelResources { regs_per_thread: 40, threads_per_block: 128, shared_mem_per_block: 0 },
+    );
+    let bias = launch_time(spec, &generic_occ, &bias_cost(spec, w.rows, w.nz, f as u64)).time;
+    let mean_iters_for_cost = match config.solver {
+        SolverKind::Cg { .. } => mean_cg_iters,
+        _ => f as f64,
+    };
+    let solve = launch_time(
+        spec,
+        &generic_occ,
+        &solve_cost(spec, &config.solver, w.rows, f as u64, mean_iters_for_cost, false),
+    )
+    .time;
+
+    let comm = if gpus > 1 {
+        let ic = match spec.generation {
+            GpuGeneration::Pascal => Interconnect::nvlink(),
+            _ => Interconnect::pcie3(),
+        };
+        ic.allgather_time(profile.factor_bytes(rows_full), gpus)
+    } else {
+        0.0
+    };
+
+    EpochPhases {
+        load: herm.load.time,
+        compute: herm.compute_time,
+        write: herm.write_time,
+        bias,
+        solve,
+        comm,
+    }
+}
+
+/// Price a whole ALS epoch (update-X + update-Θ).
+pub fn price_epoch(
+    profile: &cumf_datasets::DatasetProfile,
+    config: &AlsConfig,
+    spec: &GpuSpec,
+    gpus: u32,
+    mean_cg_iters: f64,
+) -> EpochPhases {
+    let px = price_side(profile, config, Side::X, spec, gpus, mean_cg_iters);
+    let pt = price_side(profile, config, Side::Theta, spec, gpus, mean_cg_iters);
+    EpochPhases {
+        load: px.load + pt.load,
+        compute: px.compute + pt.compute,
+        write: px.write + pt.write,
+        bias: px.bias + pt.bias,
+        solve: px.solve + pt.solve,
+        comm: px.comm + pt.comm,
+    }
+}
+
+/// The cuMF_ALS trainer.
+pub struct AlsTrainer<'a> {
+    data: &'a MfDataset,
+    config: AlsConfig,
+    spec: GpuSpec,
+    gpus: u32,
+    /// User factors, `m × f`.
+    pub x: DenseMatrix,
+    /// Item factors, `n × f`.
+    pub theta: DenseMatrix,
+    clock: SimClock,
+}
+
+impl<'a> AlsTrainer<'a> {
+    /// Create a trainer over `data` on `gpus` devices of type `spec`.
+    ///
+    /// Factors are initialized so that `x_uᵀθ_v` starts near the dataset's
+    /// mean value (the standard ALS warm init), with seeded jitter.
+    pub fn new(data: &'a MfDataset, config: AlsConfig, spec: GpuSpec, gpus: u32) -> Self {
+        assert!(gpus >= 1, "need at least one GPU");
+        let f = config.f;
+        let mut rng = XorShift64::new(config.seed);
+        let center = (data.profile.value_mean.max(0.01) / f as f32).sqrt();
+        let mut x = DenseMatrix::zeros(data.m(), f);
+        let mut theta = DenseMatrix::zeros(data.n(), f);
+        let jitter = center * 0.5;
+        x.fill_with(|| center + (rng.next_f32() - 0.5) * jitter);
+        theta.fill_with(|| center + (rng.next_f32() - 0.5) * jitter);
+        AlsTrainer { data, config, spec, gpus, x, theta, clock: SimClock::new() }
+    }
+
+    /// Borrow the config.
+    pub fn config(&self) -> &AlsConfig {
+        &self.config
+    }
+
+    /// The simulated clock (phase attribution is cumulative over training).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Run the configured number of ALS iterations (stopping early at the
+    /// RMSE target if one is set), returning the full report.
+    pub fn train(&mut self) -> TrainReport {
+        let mut epochs = Vec::with_capacity(self.config.iterations);
+        let mut curve = ConvergenceCurve::new(format!("cuMFALS@{}x{}", self.gpus, self.spec.name));
+        let mut time_to_target = None;
+
+        for epoch in 1..=self.config.iterations as u32 {
+            let (phases, mean_cg) = self.run_epoch();
+            let rmse = test_rmse(&self.x, &self.theta, &self.data.test);
+            let report = EpochReport {
+                epoch,
+                sim_time: self.clock.now(),
+                test_rmse: rmse,
+                phases,
+                mean_cg_iters: mean_cg,
+            };
+            curve.push(report.sim_time, epoch, rmse);
+            epochs.push(report);
+            if let Some(target) = self.config.rmse_target {
+                if rmse <= target && time_to_target.is_none() {
+                    time_to_target = Some(self.clock.now());
+                    break;
+                }
+            }
+        }
+        TrainReport { epochs, curve, time_to_target }
+    }
+
+    /// One ALS iteration: update-X then update-Θ. Returns the epoch's phase
+    /// breakdown and the mean CG iteration count across both sweeps.
+    pub fn run_epoch(&mut self) -> (EpochPhases, f64) {
+        let (px, cg_x) = self.update_side(Side::X);
+        let (pt, cg_t) = self.update_side(Side::Theta);
+        let phases = EpochPhases {
+            load: px.load + pt.load,
+            compute: px.compute + pt.compute,
+            write: px.write + pt.write,
+            bias: px.bias + pt.bias,
+            solve: px.solve + pt.solve,
+            comm: px.comm + pt.comm,
+        };
+        self.clock.advance("load", phases.load);
+        self.clock.advance("compute", phases.compute);
+        self.clock.advance("write", phases.write);
+        self.clock.advance("bias", phases.bias);
+        self.clock.advance("solve", phases.solve);
+        self.clock.advance("comm", phases.comm);
+        (phases, (cg_x + cg_t) / 2.0)
+    }
+
+    /// One fused sweep. Functionally updates the factor matrix; returns the
+    /// priced phases (at full-scale profile dimensions) and the measured
+    /// mean CG iterations.
+    fn update_side(&mut self, side: Side) -> (EpochPhases, f64) {
+        let f = self.config.f;
+        let shape = HermitianShape { f, bin: self.config.bin, tile: self.config.tile };
+        let (r, features): (&CsrMatrix, &DenseMatrix) = match side {
+            Side::X => (&self.data.r, &self.theta),
+            Side::Theta => (&self.data.rt, &self.x),
+        };
+        let lambda = self.config.lambda;
+        let solver = self.config.solver;
+
+        // --- functional sweep (fused hermitian + bias + solve per row) ---
+        let total_cg_iters = AtomicU64::new(0);
+        let mut new_factors = DenseMatrix::zeros(r.rows(), f);
+        let old_factors: &DenseMatrix = match side {
+            Side::X => &self.x,
+            Side::Theta => &self.theta,
+        };
+        new_factors
+            .as_mut_slice()
+            .par_chunks_mut(f)
+            .enumerate()
+            .for_each_init(
+                || (SymPacked::zeros(f), Vec::with_capacity(shape.bin * f), vec![0.0f32; f]),
+                |(a, staging, b), (u, out_row)| {
+                    let cols = r.row_cols(u);
+                    if cols.is_empty() {
+                        // No observations: the regularized optimum is 0.
+                        out_row.fill(0.0);
+                        return;
+                    }
+                    hermitian_row(cols, features, lambda, &shape, staging, a);
+                    bias_row(cols, r.row_values(u), features, b);
+                    // Warm start from the previous sweep's factors.
+                    out_row.copy_from_slice(old_factors.row(u));
+                    let stats = solve_row(&solver, a, out_row, b);
+                    total_cg_iters.fetch_add(stats.iterations as u64, Ordering::Relaxed);
+                },
+            );
+        match side {
+            Side::X => self.x = new_factors,
+            Side::Theta => self.theta = new_factors,
+        }
+        let mean_cg = total_cg_iters.load(Ordering::Relaxed) as f64 / r.rows().max(1) as f64;
+
+        // --- cost model at full-scale dimensions ---
+        let phases = price_side(&self.data.profile, &self.config, side, &self.spec, self.gpus, mean_cg);
+        (phases, mean_cg)
+    }
+
+    /// Peak device-memory demand per GPU at full scale: the factor matrices
+    /// (X sliced, Θ full for update-X and vice versa), the rating slice, and
+    /// the staged Gram matrices. Used by harnesses to check Table III
+    /// capacity (Hugewiki does not fit one 12 GB GPU — the reason the paper
+    /// runs it on four).
+    pub fn device_bytes_per_gpu(&self) -> u64 {
+        let p = &self.data.profile;
+        let f = self.config.f as u64;
+        let g = self.gpus as u64;
+        let factors = (p.m.div_ceil(g) + p.n) * f * 4;
+        let ratings = p.nz / g * 8; // value + column index
+        let grams_in_flight = 4096 * f * f * 4; // solver batch window
+        factors + ratings + grams_in_flight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Precision;
+    use cumf_datasets::SizeClass;
+
+    fn tiny() -> MfDataset {
+        MfDataset::netflix(SizeClass::Tiny, 77)
+    }
+
+    fn fast_config(data: &MfDataset, solver: SolverKind) -> AlsConfig {
+        AlsConfig {
+            f: 8,
+            iterations: 5,
+            solver,
+            rmse_target: None,
+            ..AlsConfig::for_profile(&data.profile)
+        }
+    }
+
+    #[test]
+    fn rmse_decreases_over_epochs() {
+        let data = tiny();
+        let mut t = AlsTrainer::new(&data, fast_config(&data, SolverKind::cumf_default()), GpuSpec::maxwell_titan_x(), 1);
+        let report = t.train();
+        let first = report.epochs.first().unwrap().test_rmse;
+        let last = report.final_rmse();
+        assert!(last < first, "RMSE should fall: {first} → {last}");
+        assert!(last < 1.1, "tiny Netflix should fit well, got {last}");
+    }
+
+    #[test]
+    fn objective_monotone_under_exact_solver() {
+        let data = tiny();
+        let config = fast_config(&data, SolverKind::BatchCholesky);
+        let mut t = AlsTrainer::new(&data, config, GpuSpec::maxwell_titan_x(), 1);
+        let mut prev = f64::INFINITY;
+        for _ in 0..4 {
+            t.run_epoch();
+            let obj = crate::metrics::training_objective(&data.r, &t.x, &t.theta, 0.05);
+            assert!(obj <= prev * (1.0 + 1e-6), "objective rose: {prev} → {obj}");
+            prev = obj;
+        }
+    }
+
+    #[test]
+    fn cg_and_direct_converge_to_similar_rmse() {
+        // Solution 3's claim: truncated CG does not hurt ALS convergence.
+        let data = tiny();
+        let spec = GpuSpec::maxwell_titan_x();
+        let mut exact = AlsTrainer::new(&data, fast_config(&data, SolverKind::BatchCholesky), spec.clone(), 1);
+        let mut approx = AlsTrainer::new(
+            &data,
+            fast_config(&data, SolverKind::Cg { fs: 4, tolerance: 1e-4, precision: Precision::Fp32 }),
+            spec,
+            1,
+        );
+        let re = exact.train();
+        let ra = approx.train();
+        assert!(
+            (re.final_rmse() - ra.final_rmse()).abs() < 0.05,
+            "exact {} vs cg {}",
+            re.final_rmse(),
+            ra.final_rmse()
+        );
+    }
+
+    #[test]
+    fn fp16_matches_fp32_convergence() {
+        let data = tiny();
+        let spec = GpuSpec::pascal_p100();
+        let cg32 = SolverKind::Cg { fs: 6, tolerance: 1e-4, precision: Precision::Fp32 };
+        let cg16 = SolverKind::Cg { fs: 6, tolerance: 1e-4, precision: Precision::Fp16 };
+        let r32 = AlsTrainer::new(&data, fast_config(&data, cg32), spec.clone(), 1).train();
+        let r16 = AlsTrainer::new(&data, fast_config(&data, cg16), spec, 1).train();
+        assert!((r32.final_rmse() - r16.final_rmse()).abs() < 0.05);
+    }
+
+    #[test]
+    fn simulated_time_uses_full_scale_profile() {
+        // Tiny synthetic instance, but per-epoch time must reflect Netflix's
+        // 99M ratings: well over 100 ms per epoch on Maxwell.
+        let data = tiny();
+        let mut cfg = fast_config(&data, SolverKind::cumf_default());
+        cfg.f = 100;
+        let mut t = AlsTrainer::new(&data, cfg, GpuSpec::maxwell_titan_x(), 1);
+        let (phases, _) = t.run_epoch();
+        assert!(phases.total() > 0.1, "epoch priced at {}", phases.total());
+        assert!(phases.total() < 100.0);
+    }
+
+    #[test]
+    fn pascal_is_faster_than_kepler() {
+        let data = tiny();
+        let cfg = fast_config(&data, SolverKind::cumf_default());
+        let (pk, _) = AlsTrainer::new(&data, cfg.clone(), GpuSpec::kepler_k40(), 1).run_epoch();
+        let (pp, _) = AlsTrainer::new(&data, cfg, GpuSpec::pascal_p100(), 1).run_epoch();
+        assert!(pp.total() < pk.total());
+    }
+
+    #[test]
+    fn multi_gpu_divides_compute_and_adds_comm() {
+        let data = tiny();
+        let cfg = fast_config(&data, SolverKind::cumf_default());
+        let (p1, _) = AlsTrainer::new(&data, cfg.clone(), GpuSpec::pascal_p100(), 1).run_epoch();
+        let (p4, _) = AlsTrainer::new(&data, cfg, GpuSpec::pascal_p100(), 4).run_epoch();
+        assert_eq!(p1.comm, 0.0);
+        assert!(p4.comm > 0.0);
+        assert!(p4.compute < p1.compute / 3.0, "compute should split ~4 ways");
+    }
+
+    #[test]
+    fn early_stop_at_target() {
+        let data = tiny();
+        let mut cfg = fast_config(&data, SolverKind::cumf_default());
+        cfg.iterations = 30;
+        cfg.rmse_target = Some(1.0); // loose target reached quickly
+        let mut t = AlsTrainer::new(&data, cfg, GpuSpec::maxwell_titan_x(), 1);
+        let report = t.train();
+        assert!(report.time_to_target.is_some());
+        assert!(report.epochs.len() < 30, "should stop early");
+        assert_eq!(report.time_to_target, report.curve.time_to_rmse(1.0));
+    }
+
+    #[test]
+    fn hugewiki_does_not_fit_one_maxwell() {
+        // Table III motivation for 4 GPUs on Hugewiki.
+        let data = MfDataset::hugewiki(SizeClass::Tiny, 1);
+        let cfg = AlsConfig { f: 100, iterations: 1, ..AlsConfig::for_profile(&data.profile) };
+        let t1 = AlsTrainer::new(&data, cfg.clone(), GpuSpec::maxwell_titan_x(), 1);
+        assert!(t1.device_bytes_per_gpu() > GpuSpec::maxwell_titan_x().dram_capacity);
+        let t4 = AlsTrainer::new(&data, cfg, GpuSpec::maxwell_titan_x(), 4);
+        assert!(t4.device_bytes_per_gpu() < GpuSpec::maxwell_titan_x().dram_capacity);
+    }
+}

@@ -1,0 +1,136 @@
+//! Incremental fold-in: serve new users/items without retraining.
+//!
+//! The paper's conclusion sketches "ALS for the initial batch training and
+//! SGD for incremental updates". The cheapest incremental operation —
+//! widely deployed with ALS models — is the *fold-in*: given a trained `Θ`
+//! and a new user's ratings, the optimal `x_u` is one regularized solve
+//! against the existing item factors (exactly an update-X row, so it reuses
+//! the `get_hermitian`/`get_bias`/`solve` kernels and costs `O(n_u·f² + f²·fs)`).
+
+use crate::config::SolverKind;
+use crate::kernels::bias::bias_row;
+use crate::kernels::hermitian::{hermitian_row, HermitianShape};
+use crate::kernels::solve::solve_row;
+use cumf_numeric::dense::DenseMatrix;
+use cumf_numeric::sym::SymPacked;
+
+/// Fold a new row (user) into an existing model: returns the factor vector
+/// that optimally explains `ratings` against the fixed `item_factors`.
+///
+/// `ratings` pairs item indices with observed values; indices must be valid
+/// rows of `item_factors`. An empty slice returns the zero vector (the
+/// regularized optimum for an unobserved user).
+pub fn fold_in_row(
+    item_factors: &DenseMatrix,
+    ratings: &[(u32, f32)],
+    lambda: f32,
+    solver: &SolverKind,
+) -> Vec<f32> {
+    let f = item_factors.cols();
+    let mut x = vec![0.0f32; f];
+    if ratings.is_empty() {
+        return x;
+    }
+    let cols: Vec<u32> = ratings.iter().map(|&(v, _)| v).collect();
+    let values: Vec<f32> = ratings.iter().map(|&(_, r)| r).collect();
+    let shape = HermitianShape::paper(f);
+    let mut staging = Vec::with_capacity(shape.bin * f);
+    let mut a = SymPacked::zeros(f);
+    hermitian_row(&cols, item_factors, lambda, &shape, &mut staging, &mut a);
+    let mut b = vec![0.0f32; f];
+    bias_row(&cols, &values, item_factors, &mut b);
+    solve_row(solver, &a, &mut x, &b);
+    x
+}
+
+/// Fold a batch of new rows in, returning an `rows × f` factor matrix.
+pub fn fold_in_batch(
+    item_factors: &DenseMatrix,
+    rows: &[Vec<(u32, f32)>],
+    lambda: f32,
+    solver: &SolverKind,
+) -> DenseMatrix {
+    use rayon::prelude::*;
+    let f = item_factors.cols();
+    let mut out = DenseMatrix::zeros(rows.len(), f);
+    out.as_mut_slice()
+        .par_chunks_mut(f)
+        .zip(rows.par_iter())
+        .for_each(|(row, ratings)| {
+            row.copy_from_slice(&fold_in_row(item_factors, ratings, lambda, solver));
+        });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::als::AlsTrainer;
+    use crate::config::AlsConfig;
+    use cumf_datasets::{MfDataset, SizeClass};
+    use cumf_gpu_sim::GpuSpec;
+
+    fn trained() -> (MfDataset, DenseMatrix, DenseMatrix) {
+        let data = MfDataset::netflix(SizeClass::Tiny, 33);
+        let cfg = AlsConfig { f: 8, iterations: 6, rmse_target: None, ..AlsConfig::for_profile(&data.profile) };
+        let mut t = AlsTrainer::new(&data, cfg, GpuSpec::maxwell_titan_x(), 1);
+        t.train();
+        let x = t.x.clone();
+        let theta = t.theta.clone();
+        (data, x, theta)
+    }
+
+    #[test]
+    fn fold_in_recovers_existing_user() {
+        // Folding an existing user's own ratings back in must land near the
+        // factor vector training produced for them.
+        let (data, x, theta) = trained();
+        let solver = SolverKind::BatchCholesky;
+        let user = (0..data.m()).max_by_key(|&u| data.r.row_nnz(u)).unwrap();
+        let ratings: Vec<(u32, f32)> = data.r.row_iter(user).collect();
+        let folded = fold_in_row(&theta, &ratings, 0.05, &solver);
+        for i in 0..8 {
+            assert!(
+                (folded[i] - x.get(user, i)).abs() < 0.05,
+                "dim {i}: folded {} vs trained {}",
+                folded[i],
+                x.get(user, i)
+            );
+        }
+    }
+
+    #[test]
+    fn folded_user_predicts_their_ratings() {
+        let (data, _, theta) = trained();
+        let user = (0..data.m()).max_by_key(|&u| data.r.row_nnz(u)).unwrap();
+        let ratings: Vec<(u32, f32)> = data.r.row_iter(user).collect();
+        let folded = fold_in_row(&theta, &ratings, 0.05, &SolverKind::cumf_default());
+        let mut se = 0.0f64;
+        for &(v, r) in &ratings {
+            let p = cumf_numeric::dense::dot(&folded, theta.row(v as usize));
+            se += ((p - r) as f64).powi(2);
+        }
+        let rmse = (se / ratings.len() as f64).sqrt();
+        assert!(rmse < 1.0, "fold-in train RMSE {rmse}");
+    }
+
+    #[test]
+    fn empty_history_folds_to_zero() {
+        let (_, _, theta) = trained();
+        let folded = fold_in_row(&theta, &[], 0.05, &SolverKind::BatchCholesky);
+        assert!(folded.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn batch_matches_row_by_row() {
+        let (data, _, theta) = trained();
+        let rows: Vec<Vec<(u32, f32)>> =
+            (0..20).map(|u| data.r.row_iter(u).collect()).collect();
+        let solver = SolverKind::BatchCholesky;
+        let batch = fold_in_batch(&theta, &rows, 0.05, &solver);
+        for (u, ratings) in rows.iter().enumerate() {
+            let single = fold_in_row(&theta, ratings, 0.05, &solver);
+            assert_eq!(batch.row(u), &single[..], "row {u}");
+        }
+    }
+}

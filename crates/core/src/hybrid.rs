@@ -1,0 +1,188 @@
+//! Hybrid ALS + SGD — the paper's second future-work item (§VII): "using
+//! ALS for the initial batch training and SGD for incremental updates of
+//! the model."
+//!
+//! [`HybridTrainer`] wraps a batch-trained model and applies lightweight
+//! SGD passes to *newly arriving* ratings, touching only the affected rows
+//! and columns — the serving-time pattern of a production recommender,
+//! where retraining per event is unaffordable but models must track fresh
+//! interactions. Brand-new users go through the [`crate::fold_in`] path.
+
+use crate::als::{AlsTrainer, TrainReport};
+use crate::config::AlsConfig;
+use cumf_datasets::MfDataset;
+use cumf_gpu_sim::GpuSpec;
+use cumf_numeric::dense::DenseMatrix;
+use cumf_sparse::coo::Entry;
+
+/// Configuration of the incremental phase.
+#[derive(Clone, Copy, Debug)]
+pub struct IncrementalConfig {
+    /// SGD learning rate for update events.
+    pub lr: f32,
+    /// L2 regularization applied during updates.
+    pub lambda: f32,
+    /// Passes over each ingested batch.
+    pub passes: usize,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        IncrementalConfig { lr: 0.01, lambda: 0.05, passes: 2 }
+    }
+}
+
+/// A batch-trained model accepting streaming rating updates.
+pub struct HybridTrainer {
+    /// Row factors (users).
+    pub x: DenseMatrix,
+    /// Column factors (items).
+    pub theta: DenseMatrix,
+    incremental: IncrementalConfig,
+    /// Ratings ingested since batch training (for periodic re-batch).
+    pending: Vec<Entry>,
+}
+
+impl HybridTrainer {
+    /// Batch-train with ALS, then switch to incremental mode.
+    pub fn batch_train(
+        data: &MfDataset,
+        config: AlsConfig,
+        spec: GpuSpec,
+        gpus: u32,
+        incremental: IncrementalConfig,
+    ) -> (HybridTrainer, TrainReport) {
+        let mut trainer = AlsTrainer::new(data, config, spec, gpus);
+        let report = trainer.train();
+        (
+            HybridTrainer { x: trainer.x.clone(), theta: trainer.theta.clone(), incremental, pending: Vec::new() },
+            report,
+        )
+    }
+
+    /// Wrap pre-trained factors directly.
+    pub fn from_factors(x: DenseMatrix, theta: DenseMatrix, incremental: IncrementalConfig) -> HybridTrainer {
+        assert_eq!(x.cols(), theta.cols(), "factor dimensions must agree");
+        HybridTrainer { x, theta, incremental, pending: Vec::new() }
+    }
+
+    /// Ingest a batch of new ratings: `passes` SGD sweeps over just these
+    /// events, updating only the rows/columns they touch.
+    pub fn ingest(&mut self, events: &[Entry]) {
+        let f = self.x.cols();
+        let lr = self.incremental.lr;
+        let lambda = self.incremental.lambda;
+        for _ in 0..self.incremental.passes.max(1) {
+            for e in events {
+                let (u, v) = (e.row as usize, e.col as usize);
+                assert!(u < self.x.rows() && v < self.theta.rows(), "event out of model bounds");
+                let mut err = e.value;
+                for i in 0..f {
+                    err -= self.x.get(u, i) * self.theta.get(v, i);
+                }
+                for i in 0..f {
+                    let xi = self.x.get(u, i);
+                    let ti = self.theta.get(v, i);
+                    self.x.set(u, i, xi + lr * (err * ti - lambda * xi));
+                    self.theta.set(v, i, ti + lr * (err * xi - lambda * ti));
+                }
+            }
+        }
+        self.pending.extend_from_slice(events);
+    }
+
+    /// Number of events ingested since the last batch (re)train — the
+    /// trigger a deployment would watch to schedule the next ALS batch.
+    pub fn pending_events(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Prediction for a (user, item) pair.
+    pub fn predict(&self, user: usize, item: usize) -> f32 {
+        cumf_numeric::dense::dot(self.x.row(user), self.theta.row(item))
+    }
+
+    /// RMSE of the current model over a set of observations.
+    pub fn rmse_over(&self, events: &[Entry]) -> f64 {
+        if events.is_empty() {
+            return 0.0;
+        }
+        let mut w = cumf_numeric::stats::Welford::new();
+        for e in events {
+            let err = (self.predict(e.row as usize, e.col as usize) - e.value) as f64;
+            w.push(err * err);
+        }
+        w.root_mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_datasets::SizeClass;
+
+    fn setup() -> (MfDataset, HybridTrainer) {
+        let data = MfDataset::netflix(SizeClass::Tiny, 55);
+        let cfg = AlsConfig { f: 8, iterations: 6, rmse_target: None, ..AlsConfig::for_profile(&data.profile) };
+        let (h, report) = HybridTrainer::batch_train(&data, cfg, GpuSpec::maxwell_titan_x(), 1, IncrementalConfig::default());
+        assert!(report.final_rmse() < 1.1);
+        (data, h)
+    }
+
+    #[test]
+    fn ingesting_events_improves_their_fit() {
+        let (data, mut h) = setup();
+        // Use the held-out test ratings as the "new events" stream.
+        let events: Vec<Entry> = data.test.entries().to_vec();
+        let before = h.rmse_over(&events);
+        for _ in 0..5 {
+            h.ingest(&events);
+        }
+        let after = h.rmse_over(&events);
+        assert!(after < before, "ingest must adapt the model: {before} → {after}");
+        assert_eq!(h.pending_events(), events.len() * 5);
+    }
+
+    #[test]
+    fn incremental_updates_do_not_wreck_old_knowledge() {
+        let (data, mut h) = setup();
+        let old: Vec<Entry> = data.train_coo.entries()[..500.min(data.train_nnz())].to_vec();
+        let old_before = h.rmse_over(&old);
+        let events: Vec<Entry> = data.test.entries().iter().take(200).copied().collect();
+        h.ingest(&events);
+        let old_after = h.rmse_over(&old);
+        assert!(
+            old_after < old_before + 0.1,
+            "catastrophic forgetting: {old_before} → {old_after}"
+        );
+    }
+
+    #[test]
+    fn single_event_moves_prediction_toward_value() {
+        let (data, mut h) = setup();
+        let e = data.test.entries()[0];
+        let before = h.predict(e.row as usize, e.col as usize);
+        h.ingest(std::slice::from_ref(&e));
+        let after = h.predict(e.row as usize, e.col as usize);
+        assert!(
+            (after - e.value).abs() <= (before - e.value).abs(),
+            "prediction must move toward the observation: {before} → {after} (target {})",
+            e.value
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of model bounds")]
+    fn out_of_range_event_panics() {
+        let (_, mut h) = setup();
+        h.ingest(&[Entry { row: u32::MAX, col: 0, value: 1.0 }]);
+    }
+
+    #[test]
+    fn from_factors_validates_dimensions() {
+        let x = DenseMatrix::zeros(3, 4);
+        let theta = DenseMatrix::zeros(2, 4);
+        let h = HybridTrainer::from_factors(x, theta, IncrementalConfig::default());
+        assert_eq!(h.pending_events(), 0);
+    }
+}

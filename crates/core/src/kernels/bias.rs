@@ -1,0 +1,86 @@
+//! `get_bias` — the right-hand-side kernel: `b_u = Θᵀ · R_{u*}ᵀ`.
+//!
+//! Step (i)'s cheaper half: a weighted sum of the row's feature vectors.
+//! Its compute complexity `O(Nz·f)` is an `f`-th of `get_hermitian`'s,
+//! which is why the paper optimizes the latter first (§II); we still price
+//! it so epoch totals are complete.
+
+use cumf_gpu_sim::kernel::KernelCost;
+use cumf_numeric::dense::DenseMatrix;
+use cumf_gpu_sim::GpuSpec;
+
+/// Compute one row's right-hand side `b_u = Σ_v r_uv θ_v` into `out`.
+pub fn bias_row(cols: &[u32], values: &[f32], features: &DenseMatrix, out: &mut [f32]) {
+    debug_assert_eq!(cols.len(), values.len());
+    debug_assert_eq!(out.len(), features.cols());
+    out.fill(0.0);
+    for (&v, &r) in cols.iter().zip(values) {
+        cumf_numeric::dense::axpy(r, features.row(v as usize), out);
+    }
+}
+
+/// Cost of a `get_bias` launch over `nz` non-zeros at dimension `f`,
+/// updating `rows` rows. Memory-dominated: it re-reads the staged features
+/// (served mostly from cache right after `get_hermitian`) and streams the
+/// ratings and outputs.
+pub fn bias_cost(_spec: &GpuSpec, rows: u64, nz: u64, f: u64) -> KernelCost {
+    KernelCost {
+        flops_fp32: (2 * nz * f) as f64,
+        flops_fp16: 0.0,
+        // Ratings (value + column index) stream once; feature reads hit the
+        // caches warmed by get_hermitian, so DRAM sees only the streams.
+        dram_read_bytes: (nz * 8) as f64,
+        dram_write_bytes: (rows * f * 4) as f64,
+        l2_wire_bytes: (nz * f * 4) as f64,
+        transactions: (nz * f * 4 / 128) as f64,
+        mlp: 32.0,
+        pipe_efficiency: 0.5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features() -> DenseMatrix {
+        DenseMatrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 2.0, 1.0, 1.0])
+    }
+
+    #[test]
+    fn weighted_sum_of_features() {
+        let mut b = [0.0f32; 2];
+        bias_row(&[0, 2], &[3.0, 0.5], &features(), &mut b);
+        // 3·[1,0] + 0.5·[1,1] = [3.5, 0.5]
+        assert_eq!(b, [3.5, 0.5]);
+    }
+
+    #[test]
+    fn empty_row_gives_zero_rhs() {
+        let mut b = [7.0f32; 2];
+        bias_row(&[], &[], &features(), &mut b);
+        assert_eq!(b, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn out_buffer_is_overwritten_not_accumulated() {
+        let mut b = [100.0f32; 2];
+        bias_row(&[1], &[1.0], &features(), &mut b);
+        assert_eq!(b, [0.0, 2.0]);
+    }
+
+    #[test]
+    fn cost_is_linear_in_nz_and_far_below_hermitian() {
+        let spec = GpuSpec::maxwell_titan_x();
+        let c1 = bias_cost(&spec, 1000, 10_000, 100);
+        let c2 = bias_cost(&spec, 1000, 20_000, 100);
+        assert_eq!(c2.flops_fp32, 2.0 * c1.flops_fp32);
+        // Table I: bias is f× cheaper than hermitian in compute.
+        let herm = crate::kernels::hermitian::hermitian_cost(
+            &spec,
+            &crate::kernels::hermitian::HermitianWorkload { rows: 1000, feature_rows: 500, nz: 10_000 },
+            &crate::kernels::hermitian::HermitianShape::paper(100),
+            cumf_gpu_sim::memory::LoadPattern::NonCoalescedL1,
+        );
+        assert!(herm.flops_fp32 / c1.flops_fp32 > 40.0);
+    }
+}

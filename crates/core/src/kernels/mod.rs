@@ -1,0 +1,7 @@
+//! The three device kernels of an ALS update, each paired with its cost
+//! model: [`hermitian`] (step i, the compute-intensive Gram build),
+//! [`bias`] (step i's right-hand sides), and [`solve`] (step ii).
+
+pub mod bias;
+pub mod hermitian;
+pub mod solve;

@@ -1,0 +1,335 @@
+//! Synthetic rating-matrix generation with planted low-rank structure.
+//!
+//! Each generated dataset is a scaled-down shape-replica of one Table II
+//! dataset: power-law item popularity (Zipf), log-normal user activity,
+//! the original's rating mean/spread, and a planted rank-`k` signal plus
+//! Gaussian noise whose σ sits just below the paper's RMSE stopping
+//! threshold — so "training until acceptable RMSE" is a meaningful, reachable
+//! criterion exactly as in the paper's protocol.
+
+use crate::profile::DatasetProfile;
+use cumf_sparse::coo::CooMatrix;
+use cumf_sparse::csr::CsrMatrix;
+use cumf_sparse::split::random_split;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, LogNormal, Normal, Zipf};
+use std::collections::HashSet;
+
+/// How large a synthetic instance to generate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SizeClass {
+    /// A few hundred rows — integration-test sized.
+    Tiny,
+    /// A few thousand rows — fast experiment iteration.
+    Small,
+    /// The default experiment scale (hundreds of thousands of ratings to a
+    /// few million).
+    Default,
+    /// Explicit dimensions.
+    Custom {
+        /// Rows of the synthetic instance.
+        m: usize,
+        /// Columns of the synthetic instance.
+        n: usize,
+        /// Target non-zero count.
+        nz: usize,
+    },
+}
+
+/// Generation knobs beyond the profile defaults.
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    /// Rank of the planted signal.
+    pub true_rank: usize,
+    /// Standard deviation of the planted signal component.
+    pub signal_sigma: f32,
+    /// Standard deviation of the additive observation noise — the
+    /// irreducible test-RMSE floor.
+    pub noise_sigma: f32,
+    /// Zipf exponent of item popularity (larger = more skewed).
+    pub popularity_exponent: f64,
+    /// σ of the log-normal user-activity multiplier.
+    pub activity_sigma: f64,
+    /// Fraction of observations held out for testing.
+    pub test_fraction: f64,
+}
+
+impl GeneratorConfig {
+    /// Per-dataset defaults: noise σ ≈ target RMSE / 1.045, signal spread
+    /// matched to each dataset's rating variance.
+    pub fn for_profile(profile: &DatasetProfile) -> GeneratorConfig {
+        // noise σ sits ~35% below the RMSE target: at the scaled instance
+        // sizes the estimation-variance inflation over the noise floor is
+        // ≈1.15–1.3× (measured; see EXPERIMENTS.md "calibration"), leaving
+        // the paper's targets reachable in the same ~10-epoch regime.
+        let (signal_sigma, noise_sigma) = match profile.name {
+            "Netflix" => (0.65, 0.74),
+            "YahooMusic" => (15.0, 18.0),
+            "Hugewiki" => (0.90, 0.37),
+            _ => {
+                let spread = (profile.value_range.1 - profile.value_range.0) / 6.0;
+                (spread, profile.rmse_target as f32 / 1.35)
+            }
+        };
+        GeneratorConfig {
+            true_rank: 8,
+            signal_sigma,
+            noise_sigma,
+            popularity_exponent: 0.8,
+            activity_sigma: 0.8,
+            test_fraction: 0.1,
+        }
+    }
+}
+
+/// A ready-to-train matrix-factorization dataset.
+#[derive(Clone, Debug)]
+pub struct MfDataset {
+    /// The full-scale profile whose shape this instance replicates — the
+    /// simulator prices epochs at *these* dimensions.
+    pub profile: DatasetProfile,
+    /// Training ratings, CSR by rows (update-X orientation).
+    pub r: CsrMatrix,
+    /// Training ratings transposed, CSR by columns of `R` (update-Θ
+    /// orientation).
+    pub rt: CsrMatrix,
+    /// Held-out test ratings.
+    pub test: CooMatrix,
+    /// Training ratings as COO (the SGD baselines sample from this).
+    pub train_coo: CooMatrix,
+    /// The noise floor σ used at generation — no solver can beat this test
+    /// RMSE, mirroring how the paper's thresholds sit near each dataset's
+    /// achievable floor.
+    pub noise_floor: f64,
+}
+
+impl MfDataset {
+    /// Generate a scaled synthetic replica of `profile`.
+    pub fn synthesize(profile: DatasetProfile, size: SizeClass, seed: u64) -> MfDataset {
+        let config = GeneratorConfig::for_profile(&profile);
+        Self::synthesize_with(profile, size, config, seed)
+    }
+
+    /// Generate with explicit configuration.
+    pub fn synthesize_with(
+        profile: DatasetProfile,
+        size: SizeClass,
+        config: GeneratorConfig,
+        seed: u64,
+    ) -> MfDataset {
+        let (m, n, nz) = scaled_dims(&profile, size);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+
+        // Planted factors: N(0,1) entries; the observed signal is
+        // mean + (x·θ) × signal_sigma / √k + ε.
+        let k = config.true_rank;
+        let x_true: Vec<f32> = Normal::new(0.0f32, 1.0).unwrap().sample_iter(&mut rng).take(m * k).collect();
+        let t_true: Vec<f32> = Normal::new(0.0f32, 1.0).unwrap().sample_iter(&mut rng).take(n * k).collect();
+        let signal_scale = config.signal_sigma / (k as f32).sqrt();
+        let noise = Normal::new(0.0f32, config.noise_sigma).unwrap();
+
+        // User activity: log-normal multiplier around the mean degree.
+        let mean_degree = (nz as f64 / m as f64).max(1.0);
+        let activity = LogNormal::new(
+            mean_degree.ln() - config.activity_sigma * config.activity_sigma / 2.0,
+            config.activity_sigma,
+        )
+        .unwrap();
+        // Item popularity: Zipf over n items.
+        let popularity = Zipf::new(n as u64, config.popularity_exponent).unwrap();
+
+        let mut coo = CooMatrix::new(m, n);
+        coo.reserve(nz);
+        let mut chosen: HashSet<u32> = HashSet::new();
+        for u in 0..m {
+            let degree = (activity.sample(&mut rng).round() as usize).clamp(1, n / 2);
+            chosen.clear();
+            let mut attempts = 0;
+            while chosen.len() < degree && attempts < degree * 8 {
+                attempts += 1;
+                let v = popularity.sample(&mut rng) as u32 - 1; // Zipf is 1-based
+                if !chosen.insert(v) {
+                    continue;
+                }
+                let xu = &x_true[u * k..(u + 1) * k];
+                let tv = &t_true[v as usize * k..(v as usize + 1) * k];
+                let dot: f32 = xu.iter().zip(tv).map(|(a, b)| a * b).sum();
+                let value = profile.value_mean + dot * signal_scale + noise.sample(&mut rng);
+                coo.push(u as u32, v, value);
+            }
+        }
+
+        let split = random_split(&coo, config.test_fraction, seed ^ 0x5EED);
+        let r = CsrMatrix::from_coo(&split.train);
+        let rt = r.transpose();
+        MfDataset {
+            profile,
+            r,
+            rt,
+            test: split.test,
+            train_coo: split.train,
+            noise_floor: config.noise_sigma as f64,
+        }
+    }
+
+    /// Scaled Netflix replica at the default experiment size.
+    pub fn netflix(size: SizeClass, seed: u64) -> MfDataset {
+        Self::synthesize(DatasetProfile::netflix(), size, seed)
+    }
+
+    /// Scaled YahooMusic replica.
+    pub fn yahoo_music(size: SizeClass, seed: u64) -> MfDataset {
+        Self::synthesize(DatasetProfile::yahoo_music(), size, seed)
+    }
+
+    /// Scaled Hugewiki replica.
+    pub fn hugewiki(size: SizeClass, seed: u64) -> MfDataset {
+        Self::synthesize(DatasetProfile::hugewiki(), size, seed)
+    }
+
+    /// Rows of the synthetic instance.
+    pub fn m(&self) -> usize {
+        self.r.rows()
+    }
+
+    /// Columns of the synthetic instance.
+    pub fn n(&self) -> usize {
+        self.r.cols()
+    }
+
+    /// Training non-zeros of the synthetic instance.
+    pub fn train_nnz(&self) -> usize {
+        self.r.nnz()
+    }
+
+    /// The linear factor by which simulated-time cost models must scale
+    /// synthetic-instance work to full-scale work, based on Nz (the quantity
+    /// both `get_hermitian` and SGD are linear in).
+    pub fn nz_scale_factor(&self) -> f64 {
+        self.profile.nz as f64 / self.train_nnz().max(1) as f64
+    }
+}
+
+/// The synthetic dimensions for each size class, preserving each profile's
+/// m:n ratio character (Netflix row-heavy, Yahoo balanced-tall, Hugewiki
+/// extremely row-dominated) at tractable sizes.
+fn scaled_dims(profile: &DatasetProfile, size: SizeClass) -> (usize, usize, usize) {
+    match size {
+        SizeClass::Custom { m, n, nz } => (m, n, nz),
+        SizeClass::Tiny => match profile.name {
+            "YahooMusic" => (500, 350, 20_000),
+            "Hugewiki" => (800, 120, 24_000),
+            _ => (600, 200, 24_000),
+        },
+        SizeClass::Small => match profile.name {
+            "YahooMusic" => (2_000, 1_300, 220_000),
+            "Hugewiki" => (3_500, 450, 240_000),
+            _ => (3_000, 500, 230_000),
+        },
+        SizeClass::Default => match profile.name {
+            "YahooMusic" => (1_500, 950, 380_000),
+            "Hugewiki" => (2_800, 420, 430_000),
+            _ => (2_400, 600, 450_000),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = MfDataset::netflix(SizeClass::Tiny, 7);
+        let b = MfDataset::netflix(SizeClass::Tiny, 7);
+        assert_eq!(a.r.nnz(), b.r.nnz());
+        assert_eq!(a.r.values()[..50], b.r.values()[..50]);
+        let c = MfDataset::netflix(SizeClass::Tiny, 8);
+        assert_ne!(a.r.nnz(), 0);
+        assert!(a.r.nnz() != c.r.nnz() || a.r.values() != c.r.values());
+    }
+
+    #[test]
+    fn shape_matches_size_class() {
+        let d = MfDataset::netflix(SizeClass::Tiny, 1);
+        assert_eq!(d.m(), 600);
+        assert_eq!(d.n(), 200);
+        // nz target is approximate (log-normal degrees, dedup) but close.
+        let total = d.train_nnz() + d.test.nnz();
+        assert!(total > 14_000 && total < 30_000, "nz {total}");
+    }
+
+    #[test]
+    fn transpose_is_consistent() {
+        let d = MfDataset::netflix(SizeClass::Tiny, 2);
+        assert_eq!(d.rt.rows(), d.n());
+        assert_eq!(d.rt.nnz(), d.r.nnz());
+        // Spot-check a few entries.
+        for r in (0..d.m()).step_by(97) {
+            for (c, v) in d.r.row_iter(r) {
+                assert_eq!(d.rt.get(c as usize, r as u32), Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn values_center_near_profile_mean() {
+        let d = MfDataset::netflix(SizeClass::Small, 3);
+        let mean = d.train_coo.mean_value();
+        assert!((mean - 3.6).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn item_popularity_is_skewed() {
+        let d = MfDataset::netflix(SizeClass::Small, 4);
+        let mut counts = d.train_coo.col_counts();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = counts.iter().map(|&c| c as u64).sum();
+        let top10: u64 = counts[..counts.len() / 10].iter().map(|&c| c as u64).sum();
+        // Zipf 0.8: top-10% of items should hold well over 25% of ratings.
+        assert!(top10 as f64 / total as f64 > 0.25, "top-10% share {}", top10 as f64 / total as f64);
+    }
+
+    #[test]
+    fn every_user_has_training_signal() {
+        let d = MfDataset::netflix(SizeClass::Tiny, 5);
+        let zero_rows = (0..d.m()).filter(|&r| d.r.row_nnz(r) == 0).count();
+        // Random 10% holdout can empty a 1-rating user, but only rarely.
+        assert!(zero_rows < d.m() / 10, "{zero_rows} empty rows");
+    }
+
+    #[test]
+    fn test_split_fraction_close_to_config() {
+        let d = MfDataset::yahoo_music(SizeClass::Small, 6);
+        let frac = d.test.nnz() as f64 / (d.test.nnz() + d.train_nnz()) as f64;
+        assert!((frac - 0.1).abs() < 0.02, "test fraction {frac}");
+    }
+
+    #[test]
+    fn nz_scale_factor_reflects_profile() {
+        let d = MfDataset::netflix(SizeClass::Tiny, 9);
+        let s = d.nz_scale_factor();
+        assert!(s > 3000.0, "Netflix at tiny scale is >3000× smaller: {s}");
+    }
+
+    #[test]
+    fn hugewiki_keeps_row_dominance() {
+        let d = MfDataset::hugewiki(SizeClass::Tiny, 10);
+        assert!(d.m() > 5 * d.n());
+    }
+
+    #[test]
+    fn noise_floor_below_target() {
+        for p in DatasetProfile::table2() {
+            let cfg = GeneratorConfig::for_profile(&p);
+            assert!(
+                (cfg.noise_sigma as f64) < p.rmse_target,
+                "{}: floor {} vs target {}",
+                p.name,
+                cfg.noise_sigma,
+                p.rmse_target
+            );
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Full-scale dataset profiles — the rows of the paper's Table II.
+
+/// The paper-scale description of a benchmark dataset, used by the
+//  simulator's cost models so that reported times refer to the full-size
+/// problem the paper ran.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetProfile {
+    /// Dataset name as Table II labels it.
+    pub name: &'static str,
+    /// Rows of `R` (users / documents).
+    pub m: u64,
+    /// Columns of `R` (items / terms).
+    pub n: u64,
+    /// Non-zero observations.
+    pub nz: u64,
+    /// Latent feature dimension the paper trains with.
+    pub f: u32,
+    /// Regularization λ the paper uses.
+    pub lambda: f32,
+    /// The "acceptable RMSE" stopping threshold (Table II's RSME column).
+    pub rmse_target: f64,
+    /// Rating value range (for reporting; generation uses mean/spread).
+    pub value_range: (f32, f32),
+    /// Mean observed value (Netflix ≈ 3.6 stars, etc.).
+    pub value_mean: f32,
+}
+
+impl DatasetProfile {
+    /// Netflix Prize: 480,189 users × 17,770 movies, 99 M ratings in 1–5.
+    pub fn netflix() -> Self {
+        DatasetProfile {
+            name: "Netflix",
+            m: 480_189,
+            n: 17_770,
+            nz: 99_072_112,
+            f: 100,
+            lambda: 0.05,
+            rmse_target: 0.92,
+            value_range: (1.0, 5.0),
+            value_mean: 3.6,
+        }
+    }
+
+    /// YahooMusic (KDD-Cup '11): 1,000,990 × 624,961, 252.8 M ratings 1–100.
+    pub fn yahoo_music() -> Self {
+        DatasetProfile {
+            name: "YahooMusic",
+            m: 1_000_990,
+            n: 624_961,
+            nz: 252_800_000,
+            f: 100,
+            lambda: 1.4,
+            rmse_target: 22.0,
+            value_range: (1.0, 100.0),
+            value_mean: 49.0,
+        }
+    }
+
+    /// Hugewiki: 50,082,603 documents × 39,780 terms, 3.1 B counts.
+    pub fn hugewiki() -> Self {
+        DatasetProfile {
+            name: "Hugewiki",
+            m: 50_082_603,
+            n: 39_780,
+            nz: 3_100_000_000,
+            f: 100,
+            lambda: 0.05,
+            rmse_target: 0.52,
+            value_range: (0.0, 10.0),
+            value_mean: 1.8,
+        }
+    }
+
+    /// All three Table II rows, in the paper's order.
+    pub fn table2() -> Vec<DatasetProfile> {
+        vec![Self::netflix(), Self::yahoo_music(), Self::hugewiki()]
+    }
+
+    /// Density `Nz / (m·n)`.
+    pub fn density(&self) -> f64 {
+        self.nz as f64 / (self.m as f64 * self.n as f64)
+    }
+
+    /// Mean number of ratings per row (`Nz/m` — the paper's average
+    /// `n_{x_u}`, which drives `A_u` reuse in `get_hermitian`).
+    pub fn mean_row_degree(&self) -> f64 {
+        self.nz as f64 / self.m as f64
+    }
+
+    /// Mean number of ratings per column (`Nz/n`).
+    pub fn mean_col_degree(&self) -> f64 {
+        self.nz as f64 / self.n as f64
+    }
+
+    /// Bytes of one factor matrix at this profile's `f` in FP32
+    /// (`rows × f × 4`) — what multi-GPU all-gathers move.
+    pub fn factor_bytes(&self, rows: u64) -> u64 {
+        rows * self.f as u64 * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_numbers_match_paper() {
+        let n = DatasetProfile::netflix();
+        assert_eq!((n.m, n.n), (480_189, 17_770));
+        assert_eq!(n.f, 100);
+        assert_eq!(n.lambda, 0.05);
+        assert_eq!(n.rmse_target, 0.92);
+        let y = DatasetProfile::yahoo_music();
+        assert_eq!(y.lambda, 1.4);
+        assert_eq!(y.rmse_target, 22.0);
+        let h = DatasetProfile::hugewiki();
+        assert_eq!(h.m, 50_082_603);
+        assert_eq!(h.rmse_target, 0.52);
+        assert_eq!(DatasetProfile::table2().len(), 3);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let n = DatasetProfile::netflix();
+        // Netflix: ~206 ratings per user, ~5576 per movie.
+        assert!((n.mean_row_degree() - 206.3).abs() < 1.0);
+        assert!((n.mean_col_degree() - 5575.0).abs() < 5.0);
+        assert!(n.density() < 0.012 && n.density() > 0.011);
+    }
+
+    #[test]
+    fn hugewiki_is_row_dominated() {
+        // m ≫ n: the regime where solve time (m × f³) dominates — the
+        // motivation for the approximate solver.
+        let h = DatasetProfile::hugewiki();
+        assert!(h.m > 1000 * h.n);
+    }
+
+    #[test]
+    fn factor_bytes_for_allgather() {
+        let n = DatasetProfile::netflix();
+        assert_eq!(n.factor_bytes(n.m), 480_189 * 400);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests on the synthetic dataset generators.
+
+use cumf_datasets::generator::GeneratorConfig;
+use cumf_datasets::{DatasetProfile, MfDataset, SizeClass};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Generation is a pure function of (profile, size, seed).
+    #[test]
+    fn deterministic(seed in 0u64..10_000) {
+        let a = MfDataset::netflix(SizeClass::Tiny, seed);
+        let b = MfDataset::netflix(SizeClass::Tiny, seed);
+        prop_assert_eq!(a.r.nnz(), b.r.nnz());
+        prop_assert_eq!(a.r.values(), b.r.values());
+        prop_assert_eq!(a.test.nnz(), b.test.nnz());
+    }
+
+    /// No (row, col) appears in both train and test, and none repeats
+    /// within train (the generator dedups per user).
+    #[test]
+    fn train_test_disjoint(seed in 0u64..10_000) {
+        let d = MfDataset::netflix(SizeClass::Tiny, seed);
+        use std::collections::HashSet;
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        for u in 0..d.m() {
+            for (v, _) in d.r.row_iter(u) {
+                prop_assert!(seen.insert((u as u32, v)), "duplicate train entry ({u},{v})");
+            }
+        }
+        for e in d.test.entries() {
+            prop_assert!(!seen.contains(&(e.row, e.col)), "test entry ({}, {}) also in train", e.row, e.col);
+        }
+    }
+
+    /// The transpose really is the transpose (full content check).
+    #[test]
+    fn rt_is_transpose(seed in 0u64..10_000) {
+        let d = MfDataset::yahoo_music(SizeClass::Tiny, seed);
+        prop_assert_eq!(d.rt.nnz(), d.r.nnz());
+        for v in 0..d.n() {
+            for (u, val) in d.rt.row_iter(v) {
+                prop_assert_eq!(d.r.get(u as usize, v as u32), Some(val));
+            }
+        }
+    }
+
+    /// Values center near the profile mean with spread bounded by
+    /// signal + noise.
+    #[test]
+    fn value_distribution_sane(seed in 0u64..10_000) {
+        let profile = DatasetProfile::netflix();
+        let cfg = GeneratorConfig::for_profile(&profile);
+        let d = MfDataset::synthesize_with(profile.clone(), SizeClass::Tiny, cfg.clone(), seed);
+        let mean = d.train_coo.mean_value();
+        prop_assert!((mean - profile.value_mean as f64).abs() < 0.3, "mean {mean}");
+        let expected_std = ((cfg.signal_sigma.powi(2) + cfg.noise_sigma.powi(2)) as f64).sqrt();
+        let mut w = cumf_numeric::stats::Welford::new();
+        for e in d.train_coo.entries() {
+            w.push(e.value as f64);
+        }
+        let std = w.variance().sqrt();
+        prop_assert!((std - expected_std).abs() < 0.35 * expected_std, "std {std} vs {expected_std}");
+    }
+
+    /// Custom sizes are honored exactly in dimensions and approximately in
+    /// non-zero count.
+    #[test]
+    fn custom_dims(m in 50usize..300, n in 50usize..200) {
+        let nz = m * 20;
+        let d = MfDataset::synthesize(
+            DatasetProfile::netflix(),
+            SizeClass::Custom { m, n, nz },
+            9,
+        );
+        prop_assert_eq!(d.m(), m);
+        prop_assert_eq!(d.n(), n);
+        let total = d.train_nnz() + d.test.nnz();
+        prop_assert!(total > nz / 2 && total < nz * 2, "nz {total} target {nz}");
+    }
+
+    /// All column indices are in range for every dataset shape.
+    #[test]
+    fn indices_in_range(seed in 0u64..10_000) {
+        for d in [
+            MfDataset::netflix(SizeClass::Tiny, seed),
+            MfDataset::hugewiki(SizeClass::Tiny, seed),
+        ] {
+            for u in 0..d.m() {
+                for &c in d.r.row_cols(u) {
+                    prop_assert!((c as usize) < d.n());
+                }
+            }
+            for e in d.test.entries() {
+                prop_assert!((e.row as usize) < d.m() && (e.col as usize) < d.n());
+            }
+        }
+    }
+}

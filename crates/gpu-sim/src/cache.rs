@@ -1,0 +1,239 @@
+//! A trace-driven set-associative LRU cache model.
+//!
+//! Used in two roles:
+//!
+//! 1. **Validation** — unit and property tests replay small synthetic warp
+//!    traces through [`CacheSim`] to check the closed-form hit-rate
+//!    estimates the kernel cost model uses (see [`crate::memory`]).
+//! 2. **Microbenchmark experiments** — the Figure-4 harness replays a
+//!    sampled slice of the real `get_hermitian` access stream to measure
+//!    L1/L2 behaviour of coalesced vs. non-coalesced staging directly.
+
+/// Result of one cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// The line was resident.
+    Hit,
+    /// The line was fetched (and possibly evicted another).
+    Miss,
+}
+
+/// A set-associative cache with LRU replacement over 64-bit byte addresses.
+#[derive(Clone, Debug)]
+pub struct CacheSim {
+    line_size: u64,
+    num_sets: u64,
+    ways: usize,
+    /// `sets[s]` holds up to `ways` line tags, most recently used last.
+    sets: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheSim {
+    /// Build a cache of `capacity_bytes` with the given line size and
+    /// associativity. Capacity must be a multiple of `line_size × ways`.
+    pub fn new(capacity_bytes: u64, line_size: u64, ways: usize) -> Self {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(ways >= 1);
+        let lines = capacity_bytes / line_size;
+        assert!(lines >= ways as u64, "capacity too small for associativity");
+        let num_sets = lines / ways as u64;
+        assert!(num_sets >= 1, "capacity must cover at least one set");
+        CacheSim {
+            line_size,
+            num_sets,
+            ways,
+            sets: vec![Vec::with_capacity(ways); num_sets as usize],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A fully-associative cache (single set).
+    pub fn fully_associative(capacity_bytes: u64, line_size: u64) -> Self {
+        let ways = (capacity_bytes / line_size) as usize;
+        CacheSim {
+            line_size,
+            num_sets: 1,
+            ways,
+            sets: vec![Vec::with_capacity(ways)],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Touch one byte address; returns whether its line was resident.
+    pub fn access(&mut self, addr: u64) -> Access {
+        let line = addr / self.line_size;
+        let set = (line % self.num_sets) as usize;
+        let ways = self.ways;
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|&t| t == line) {
+            let tag = entries.remove(pos);
+            entries.push(tag); // move to MRU
+            self.hits += 1;
+            Access::Hit
+        } else {
+            if entries.len() == ways {
+                entries.remove(0); // evict LRU
+            }
+            entries.push(line);
+            self.misses += 1;
+            Access::Miss
+        }
+    }
+
+    /// Touch a run of `bytes` starting at `addr`, one access per element of
+    /// `elem_size` bytes (how a thread walks a feature vector).
+    pub fn access_run(&mut self, addr: u64, bytes: u64, elem_size: u64) {
+        let mut a = addr;
+        let end = addr + bytes;
+        while a < end {
+            self.access(a);
+            a += elem_size;
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit ratio over all accesses so far (0 if none).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Bytes fetched from the next level (misses × line size).
+    pub fn fill_bytes(&self) -> u64 {
+        self.misses * self.line_size
+    }
+
+    /// Reset counters but keep cache contents.
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+}
+
+/// Maxwell's per-SM L1: 48 KB, 128-byte lines, modeled 4-way.
+pub fn maxwell_l1() -> CacheSim {
+    CacheSim::new(48 << 10, 128, 4)
+}
+
+/// Maxwell's device L2: 3 MB, 128-byte lines, modeled 16-way.
+pub fn maxwell_l2() -> CacheSim {
+    CacheSim::new(3 << 20, 128, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits_after_cold_miss() {
+        let mut c = CacheSim::new(1024, 64, 2);
+        assert_eq!(c.access(0), Access::Miss);
+        assert_eq!(c.access(32), Access::Hit); // same 64B line
+        assert_eq!(c.access(0), Access::Hit);
+        assert_eq!(c.hit_ratio(), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits_after_warmup() {
+        let mut c = CacheSim::fully_associative(4096, 64);
+        // 4 KB working set == capacity: after one pass everything resides.
+        for pass in 0..3 {
+            c.reset_counters();
+            c.access_run(0, 4096, 4);
+            if pass > 0 {
+                assert_eq!(c.misses(), 0, "pass {pass} should be all hits");
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes_lru() {
+        // Sequential sweep over 2× capacity with LRU: every line misses,
+        // every pass (the classic LRU worst case).
+        let mut c = CacheSim::fully_associative(1024, 64);
+        for _ in 0..3 {
+            c.access_run(0, 2048, 64);
+        }
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 3 * 32);
+    }
+
+    #[test]
+    fn hit_ratio_monotone_in_capacity_for_looped_sweep() {
+        let trace: Vec<u64> = (0..4u64).flat_map(|_| (0..64u64).map(|i| i * 128)).collect();
+        let mut prev = -1.0f64;
+        for cap_kb in [1u64, 2, 4, 8, 16] {
+            let mut c = CacheSim::fully_associative(cap_kb << 10, 128);
+            for &a in &trace {
+                c.access(a);
+            }
+            let r = c.hit_ratio();
+            assert!(r >= prev, "cap {cap_kb}KB: {r} < {prev}");
+            prev = r;
+        }
+        assert!(prev > 0.7, "largest cache should mostly hit");
+    }
+
+    #[test]
+    fn set_conflicts_evict_even_below_capacity() {
+        // Two lines mapping to the same set of a direct-mapped cache
+        // alternate: all misses despite tiny working set.
+        let mut c = CacheSim::new(1024, 64, 1); // 16 sets, direct-mapped
+        for _ in 0..10 {
+            c.access(0);
+            c.access(1024); // same set (16 lines apart)
+        }
+        assert_eq!(c.hits(), 0);
+        // A 2-way cache of the same size keeps both.
+        let mut c2 = CacheSim::new(1024, 64, 2);
+        for _ in 0..10 {
+            c2.access(0);
+            c2.access(1024);
+        }
+        assert_eq!(c2.misses(), 2);
+        assert_eq!(c2.hits(), 18);
+    }
+
+    #[test]
+    fn fill_bytes_counts_lines() {
+        let mut c = CacheSim::new(1 << 20, 128, 8);
+        c.access_run(0, 1024, 4); // 8 lines
+        assert_eq!(c.fill_bytes(), 8 * 128);
+    }
+
+    #[test]
+    fn presets_have_paper_capacities() {
+        let l1 = maxwell_l1();
+        let l2 = maxwell_l2();
+        assert_eq!(l1.line_size(), 128);
+        // 48 KB / 128 B = 384 lines; 3 MB / 128 B = 24576 lines.
+        let mut l1m = l1;
+        l1m.access_run(0, 48 << 10, 128);
+        assert_eq!(l1m.misses(), 384);
+        let mut l2m = l2;
+        l2m.access_run(0, 3 << 20, 128);
+        assert_eq!(l2m.misses(), 24576);
+    }
+}

@@ -1,0 +1,336 @@
+//! The device catalog: the three GPU generations of the paper's Table III.
+//!
+//! | server  | GPU            | peak FP32 | DRAM bw  | DRAM |
+//! |---------|----------------|-----------|----------|------|
+//! | Kepler  | Tesla K40      | 4 TFLOPS  | 288 GB/s | 12 GB|
+//! | Maxwell | GTX Titan X    | 7 TFLOPS  | 340 GB/s | 12 GB|
+//! | Pascal  | Tesla P100     | 11 TFLOPS | 740 GB/s | 16 GB|
+//!
+//! The peak numbers are the ones the paper quotes; microarchitectural
+//! parameters (SM counts, register files, cache sizes) come from the vendor
+//! whitepapers for those parts.
+
+/// The GPU microarchitecture generations modeled: the three the paper
+/// evaluates, plus Volta — the Tensor-Core part its future work targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GpuGeneration {
+    /// Kepler (GK110B — Tesla K40).
+    Kepler,
+    /// Maxwell (GM200 — GTX Titan X).
+    Maxwell,
+    /// Pascal (GP100 — Tesla P100).
+    Pascal,
+    /// Volta (GV100 — Tesla V100), with Tensor Cores.
+    Volta,
+}
+
+impl core::fmt::Display for GpuGeneration {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GpuGeneration::Kepler => write!(f, "Kepler"),
+            GpuGeneration::Maxwell => write!(f, "Maxwell"),
+            GpuGeneration::Pascal => write!(f, "Pascal"),
+            GpuGeneration::Volta => write!(f, "Volta"),
+        }
+    }
+}
+
+/// Static description of one GPU device — everything the cost model needs.
+#[derive(Clone, Debug)]
+pub struct GpuSpec {
+    /// Marketing name (e.g. "Tesla P100").
+    pub name: &'static str,
+    /// Microarchitecture generation.
+    pub generation: GpuGeneration,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Core clock in Hz (boost clock, since sustained kernels run there).
+    pub clock_hz: f64,
+    /// Peak FP32 throughput in FLOP/s (2 × FMA rate), as quoted in Table III.
+    pub peak_fp32_flops: f64,
+    /// FP16 arithmetic rate relative to FP32: 2.0 on Pascal P100 (native
+    /// double-rate half), 1.0 on Kepler/Maxwell where FP16 only saves
+    /// *memory* bandwidth, not compute.
+    pub fp16_rate_ratio: f64,
+    /// FP16 matrix-multiply throughput of the Tensor Cores in FLOP/s, if
+    /// the part has them (the paper's §VII: "exploit the new Nvidia Tensor
+    /// Cores hardware that natively supports half-precision arithmetic").
+    pub tensor_core_fp16_flops: Option<f64>,
+    /// DRAM bandwidth in bytes/s.
+    pub dram_bandwidth: f64,
+    /// Device memory capacity in bytes.
+    pub dram_capacity: u64,
+    /// Average DRAM access latency in cycles. ~400–600 on these parts
+    /// (Wong et al. microbenchmarks); we use one representative value per
+    /// generation.
+    pub dram_latency_cycles: f64,
+    /// 32-bit registers per SM (64 Ki on all three generations).
+    pub registers_per_sm: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM (what the paper's Observation 2
+    /// compares the achieved 6 blocks against: 32 on Maxwell/Pascal).
+    pub max_blocks_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm: u32,
+    /// L1 cache per SM in bytes (unified with texture path on Maxwell+).
+    pub l1_bytes_per_sm: u32,
+    /// L2 cache (device-wide) in bytes.
+    pub l2_bytes: u32,
+    /// L2-to-SM aggregate bandwidth relative to DRAM bandwidth. ~2× on these
+    /// generations (whitepaper crossbar figures).
+    pub l2_bandwidth_ratio: f64,
+    /// Fraction of peak DRAM bandwidth `cudaMemcpy` device-to-device
+    /// achieves. The paper's Figure 7(b) shows memcpy well below peak on all
+    /// three parts; 0.72–0.78 reproduces those bars.
+    pub memcpy_efficiency: f64,
+}
+
+impl GpuSpec {
+    /// Tesla K40 (Kepler) — the paper's Kepler server GPU.
+    pub fn kepler_k40() -> GpuSpec {
+        GpuSpec {
+            name: "Tesla K40",
+            generation: GpuGeneration::Kepler,
+            num_sms: 15,
+            clock_hz: 875e6,
+            peak_fp32_flops: 4.0e12,
+            fp16_rate_ratio: 1.0,
+            tensor_core_fp16_flops: None,
+            dram_bandwidth: 288e9,
+            dram_capacity: 12 << 30,
+            dram_latency_cycles: 600.0,
+            registers_per_sm: 65_536,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            shared_mem_per_sm: 48 << 10,
+            l1_bytes_per_sm: 16 << 10,
+            l2_bytes: 1536 << 10,
+            l2_bandwidth_ratio: 2.0,
+            memcpy_efficiency: 0.72,
+        }
+    }
+
+    /// GTX Titan X (Maxwell) — the paper's Maxwell server GPU and the device
+    /// used for Figures 4 and 5.
+    pub fn maxwell_titan_x() -> GpuSpec {
+        GpuSpec {
+            name: "GTX Titan X",
+            generation: GpuGeneration::Maxwell,
+            num_sms: 24,
+            clock_hz: 1.075e9,
+            peak_fp32_flops: 7.0e12,
+            fp16_rate_ratio: 1.0,
+            tensor_core_fp16_flops: None,
+            dram_bandwidth: 340e9,
+            dram_capacity: 12 << 30,
+            dram_latency_cycles: 450.0,
+            registers_per_sm: 65_536,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            shared_mem_per_sm: 96 << 10,
+            // The paper's §III quotes Maxwell's 48 KB L1 and a 3 MB L2
+            // shared by 24 SMs (it quotes a 128 KB per-SM slice).
+            l1_bytes_per_sm: 48 << 10,
+            l2_bytes: 3 << 20,
+            l2_bandwidth_ratio: 2.0,
+            memcpy_efficiency: 0.75,
+        }
+    }
+
+    /// Tesla P100 (Pascal) — the paper's Pascal server GPU.
+    pub fn pascal_p100() -> GpuSpec {
+        GpuSpec {
+            name: "Tesla P100",
+            generation: GpuGeneration::Pascal,
+            num_sms: 56,
+            clock_hz: 1.38e9,
+            peak_fp32_flops: 11.0e12,
+            fp16_rate_ratio: 2.0, // GP100 runs FP16 at double rate
+            tensor_core_fp16_flops: None,
+            dram_bandwidth: 740e9,
+            dram_capacity: 16 << 30,
+            dram_latency_cycles: 450.0,
+            registers_per_sm: 65_536,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            shared_mem_per_sm: 64 << 10,
+            l1_bytes_per_sm: 24 << 10,
+            l2_bytes: 4 << 20,
+            l2_bandwidth_ratio: 2.2,
+            memcpy_efficiency: 0.78,
+        }
+    }
+
+    /// Tesla V100 (Volta) — the Tensor-Core part the paper's future work
+    /// targets; not part of its evaluation, modeled for the ablation bench.
+    pub fn volta_v100() -> GpuSpec {
+        GpuSpec {
+            name: "Tesla V100",
+            generation: GpuGeneration::Volta,
+            num_sms: 80,
+            clock_hz: 1.53e9,
+            peak_fp32_flops: 15.7e12,
+            fp16_rate_ratio: 2.0,
+            tensor_core_fp16_flops: Some(125e12),
+            dram_bandwidth: 900e9,
+            dram_capacity: 16 << 30,
+            dram_latency_cycles: 400.0,
+            registers_per_sm: 65_536,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            shared_mem_per_sm: 96 << 10,
+            l1_bytes_per_sm: 128 << 10,
+            l2_bytes: 6 << 20,
+            l2_bandwidth_ratio: 2.2,
+            memcpy_efficiency: 0.80,
+        }
+    }
+
+    /// The three paper GPUs, oldest first — handy for generation sweeps.
+    pub fn paper_catalog() -> Vec<GpuSpec> {
+        vec![Self::kepler_k40(), Self::maxwell_titan_x(), Self::pascal_p100()]
+    }
+
+    /// Peak FP16 FLOP/s (= FP32 peak × rate ratio).
+    pub fn peak_fp16_flops(&self) -> f64 {
+        self.peak_fp32_flops * self.fp16_rate_ratio
+    }
+
+    /// Total 32-bit registers across the device.
+    pub fn total_registers(&self) -> u64 {
+        self.registers_per_sm as u64 * self.num_sms as u64
+    }
+
+    /// L2 slice nominally backing one SM (the paper's "128 KB" framing of
+    /// Maxwell's 3 MB / 24 SMs).
+    pub fn l2_bytes_per_sm(&self) -> u32 {
+        self.l2_bytes / self.num_sms
+    }
+
+    /// Time to move `bytes` with `cudaMemcpy` device-to-device: both a read
+    /// and a write cross DRAM, at memcpy efficiency.
+    pub fn memcpy_time(&self, bytes: u64) -> f64 {
+        (2 * bytes) as f64 / (self.dram_bandwidth * self.memcpy_efficiency)
+    }
+
+    /// The bandwidth figure `cudaMemcpy` *reports* for a D2D copy of any
+    /// size (bytes copied / time, counting each byte once as the CUDA
+    /// samples do... the paper's Fig 7(b) baseline).
+    pub fn memcpy_effective_bandwidth(&self) -> f64 {
+        self.dram_bandwidth * self.memcpy_efficiency
+    }
+}
+
+/// A multi-GPU server from Table III.
+#[derive(Clone, Debug)]
+pub struct ServerSpec {
+    /// Server name as the paper labels it.
+    pub name: &'static str,
+    /// The GPUs installed.
+    pub gpu: GpuSpec,
+    /// How many of them.
+    pub gpu_count: u32,
+    /// Host CPU model (used only when a baseline runs on the host).
+    pub cpu: crate::host::CpuSpec,
+}
+
+impl ServerSpec {
+    /// The Kepler server: 2 × K40, 2 × 8-core Xeon E5-2667.
+    pub fn kepler() -> ServerSpec {
+        ServerSpec {
+            name: "Kepler",
+            gpu: GpuSpec::kepler_k40(),
+            gpu_count: 2,
+            cpu: crate::host::CpuSpec::xeon_e5_2667(),
+        }
+    }
+
+    /// The Maxwell server: 4 × Titan X, 2 × 12-core Xeon E5-2670.
+    pub fn maxwell() -> ServerSpec {
+        ServerSpec {
+            name: "Maxwell",
+            gpu: GpuSpec::maxwell_titan_x(),
+            gpu_count: 4,
+            cpu: crate::host::CpuSpec::xeon_e5_2670(),
+        }
+    }
+
+    /// The Pascal server: 4 × P100, 2 × 10-core POWER8.
+    pub fn pascal() -> ServerSpec {
+        ServerSpec {
+            name: "Pascal",
+            gpu: GpuSpec::pascal_p100(),
+            gpu_count: 4,
+            cpu: crate::host::CpuSpec::power8(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_ordered_by_capability() {
+        let cat = GpuSpec::paper_catalog();
+        assert_eq!(cat.len(), 3);
+        for w in cat.windows(2) {
+            assert!(w[0].peak_fp32_flops < w[1].peak_fp32_flops);
+            assert!(w[0].dram_bandwidth < w[1].dram_bandwidth);
+        }
+    }
+
+    #[test]
+    fn paper_quoted_numbers() {
+        let k = GpuSpec::kepler_k40();
+        let m = GpuSpec::maxwell_titan_x();
+        let p = GpuSpec::pascal_p100();
+        assert_eq!(k.peak_fp32_flops, 4.0e12);
+        assert_eq!(m.peak_fp32_flops, 7.0e12);
+        assert_eq!(p.peak_fp32_flops, 11.0e12);
+        assert_eq!(k.dram_bandwidth, 288e9);
+        assert_eq!(m.dram_bandwidth, 340e9);
+        assert_eq!(p.dram_bandwidth, 740e9);
+        assert_eq!(p.dram_capacity, 16 << 30);
+    }
+
+    #[test]
+    fn maxwell_l2_slice_matches_paper_framing() {
+        // §III: "L2 cache of 128 KB (3 MB shared by 24 SMs)".
+        assert_eq!(GpuSpec::maxwell_titan_x().l2_bytes_per_sm(), 128 << 10);
+    }
+
+    #[test]
+    fn only_pascal_accelerates_fp16_compute() {
+        assert_eq!(GpuSpec::kepler_k40().peak_fp16_flops(), 4.0e12);
+        assert_eq!(GpuSpec::pascal_p100().peak_fp16_flops(), 22.0e12);
+    }
+
+    #[test]
+    fn volta_has_tensor_cores_the_paper_parts_lack() {
+        for spec in GpuSpec::paper_catalog() {
+            assert!(spec.tensor_core_fp16_flops.is_none(), "{}", spec.name);
+        }
+        let v = GpuSpec::volta_v100();
+        assert_eq!(v.tensor_core_fp16_flops, Some(125e12));
+        assert!(v.peak_fp32_flops > GpuSpec::pascal_p100().peak_fp32_flops);
+    }
+
+    #[test]
+    fn memcpy_below_peak() {
+        for spec in GpuSpec::paper_catalog() {
+            assert!(spec.memcpy_effective_bandwidth() < spec.dram_bandwidth);
+            let t = spec.memcpy_time(1 << 30);
+            assert!(t > 0.0 && t < 0.1, "{}: {t}", spec.name);
+        }
+    }
+
+    #[test]
+    fn servers_match_table_iii() {
+        assert_eq!(ServerSpec::kepler().gpu_count, 2);
+        assert_eq!(ServerSpec::maxwell().gpu_count, 4);
+        assert_eq!(ServerSpec::pascal().gpu_count, 4);
+        assert_eq!(ServerSpec::pascal().gpu.name, "Tesla P100");
+    }
+}

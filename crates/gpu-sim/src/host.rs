@@ -1,0 +1,190 @@
+//! Host CPU and cluster network models for the paper's CPU baselines.
+//!
+//! LIBMF runs 40 threads on one machine; NOMAD runs on 32–64 MPI nodes.
+//! Their simulated timing uses the same roofline discipline as the GPU
+//! model: `max(compute, memory)` plus, for multi-threaded SGD, a lock/
+//! synchronization contention term (the reason LIBMF "stops scaling when
+//! using few dozen cores", §VI-A), and for distributed SGD a network term.
+
+/// A host CPU socket-pair description (the machines of Table III).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpuSpec {
+    /// Model name.
+    pub name: &'static str,
+    /// Physical cores across sockets.
+    pub cores: u32,
+    /// Clock in Hz.
+    pub clock_hz: f64,
+    /// FP32 FLOPs per core per cycle (SIMD width × FMA ports × 2).
+    pub flops_per_core_cycle: f64,
+    /// Aggregate memory bandwidth, bytes/s.
+    pub mem_bandwidth: f64,
+}
+
+impl CpuSpec {
+    /// 2 × 8-core Xeon E5-2667 v2 (Kepler server host).
+    pub fn xeon_e5_2667() -> CpuSpec {
+        CpuSpec {
+            name: "2x Xeon E5-2667",
+            cores: 16,
+            clock_hz: 3.3e9,
+            flops_per_core_cycle: 16.0, // AVX 8-wide FMA
+            mem_bandwidth: 100e9,
+        }
+    }
+
+    /// 2 × 12-core Xeon E5-2670 v3 (Maxwell server host).
+    pub fn xeon_e5_2670() -> CpuSpec {
+        CpuSpec {
+            name: "2x Xeon E5-2670",
+            cores: 24,
+            clock_hz: 2.3e9,
+            flops_per_core_cycle: 32.0, // AVX2 FMA
+            mem_bandwidth: 130e9,
+        }
+    }
+
+    /// 2 × 10-core POWER8 with SMT8 (Pascal server host; LIBMF's 40 threads
+    /// run here).
+    pub fn power8() -> CpuSpec {
+        CpuSpec {
+            name: "2x POWER8",
+            cores: 20,
+            clock_hz: 3.5e9,
+            flops_per_core_cycle: 16.0, // VSX 4-wide dual-issue FMA
+            mem_bandwidth: 230e9,
+        }
+    }
+
+    /// Peak FP32 FLOP/s of the whole machine.
+    pub fn peak_flops(&self) -> f64 {
+        self.cores as f64 * self.clock_hz * self.flops_per_core_cycle
+    }
+
+    /// Roofline time of a host workload with a scalar-efficiency factor and
+    /// a synchronization model.
+    ///
+    /// `threads` may exceed `cores` (SMT) but compute throughput caps at the
+    /// core count. `sync` models shared-structure locking: the fraction of
+    /// each thread's time spent serialized (LIBMF's scheduler lock), which
+    /// Amdahl-style limits scaling.
+    pub fn workload_time(&self, w: &HostWorkload, threads: u32, sync: SyncModel) -> f64 {
+        let usable_cores = (threads.min(self.cores)) as f64;
+        let compute = w.flops / (self.peak_flops() * w.efficiency * usable_cores / self.cores as f64);
+        let memory = w.bytes / self.mem_bandwidth;
+        let base = compute.max(memory);
+        match sync {
+            SyncModel::None => base,
+            SyncModel::SharedLock { serial_fraction } => {
+                // Amdahl with a serialized slice that does not shrink with
+                // thread count.
+                let parallel = base * (1.0 - serial_fraction);
+                let serial = base * serial_fraction * usable_cores; // lock convoy
+                parallel + serial
+            }
+        }
+    }
+}
+
+/// A host workload in roofline terms.
+#[derive(Clone, Copy, Debug)]
+pub struct HostWorkload {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Bytes moved to/from DRAM.
+    pub bytes: f64,
+    /// Fraction of SIMD peak the scalar-ish inner loops reach.
+    pub efficiency: f64,
+}
+
+/// Synchronization behaviour of a multi-threaded host algorithm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SyncModel {
+    /// Embarrassingly parallel (ALS-style independent rows).
+    None,
+    /// A shared data structure serializes a slice of the work (LIBMF's
+    /// block scheduler; §VI-A "stops scaling ... because of the locking in
+    /// a shared data structure").
+    SharedLock {
+        /// Fraction of per-thread work that holds the lock.
+        serial_fraction: f64,
+    },
+}
+
+/// An MPI cluster interconnect for the NOMAD baseline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterNetwork {
+    /// Per-node bidirectional bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Per-message latency, seconds.
+    pub latency: f64,
+}
+
+impl ClusterNetwork {
+    /// 10 GbE (commodity cluster the NOMAD paper used).
+    pub fn ten_gbe() -> ClusterNetwork {
+        ClusterNetwork { bandwidth: 1.25e9, latency: 50e-6 }
+    }
+
+    /// Time for each node to exchange `bytes_per_node` with peers,
+    /// `messages` messages each — NOMAD's column-rotation traffic.
+    pub fn exchange_time(&self, bytes_per_node: f64, messages: f64) -> f64 {
+        bytes_per_node / self.bandwidth + messages * self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_flops_sane() {
+        // POWER8 pair: 20 × 3.5e9 × 16 = 1.12 TFLOPS.
+        assert!((CpuSpec::power8().peak_flops() - 1.12e12).abs() < 1e9);
+    }
+
+    #[test]
+    fn gpu_dwarfs_cpu() {
+        // The premise of the paper: one P100 ≈ 10× the FLOPS of the host.
+        let cpu = CpuSpec::power8();
+        assert!(11.0e12 / cpu.peak_flops() > 9.0);
+    }
+
+    #[test]
+    fn compute_bound_workload_scales_until_core_count() {
+        let cpu = CpuSpec::power8();
+        let w = HostWorkload { flops: 1e12, bytes: 1e6, efficiency: 0.5 };
+        let t10 = cpu.workload_time(&w, 10, SyncModel::None);
+        let t20 = cpu.workload_time(&w, 20, SyncModel::None);
+        let t40 = cpu.workload_time(&w, 40, SyncModel::None);
+        assert!(t20 < t10);
+        assert_eq!(t20, t40, "SMT threads beyond physical cores add nothing");
+    }
+
+    #[test]
+    fn memory_bound_workload_ignores_threads() {
+        let cpu = CpuSpec::power8();
+        let w = HostWorkload { flops: 1e6, bytes: 230e9, efficiency: 0.5 };
+        let t = cpu.workload_time(&w, 40, SyncModel::None);
+        assert!((t - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shared_lock_hurts_at_scale() {
+        let cpu = CpuSpec::xeon_e5_2670();
+        let w = HostWorkload { flops: 1e12, bytes: 1e9, efficiency: 0.5 };
+        let t8 = cpu.workload_time(&w, 8, SyncModel::SharedLock { serial_fraction: 0.05 });
+        let t24 = cpu.workload_time(&w, 24, SyncModel::SharedLock { serial_fraction: 0.05 });
+        let t8_free = cpu.workload_time(&w, 8, SyncModel::None);
+        assert!(t8 > t8_free, "lock adds overhead");
+        // Scaling efficiency decays: tripling threads gives < 2× speedup here.
+        assert!(t8 / t24 < 2.0, "speedup {}", t8 / t24);
+    }
+
+    #[test]
+    fn network_exchange_time_components() {
+        let net = ClusterNetwork::ten_gbe();
+        let t = net.exchange_time(1.25e9, 1000.0);
+        assert!((t - (1.0 + 0.05)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,129 @@
+//! Multi-GPU interconnect model: PCIe 3.0 and NVLink.
+//!
+//! cuMF_ALS parallelizes across GPUs model-parallel: GPU `g` of `G` updates
+//! a `1/G` slice of the rows of `X` (then of `Θ`), after which the slices
+//! are all-gathered so every GPU holds the full updated factor for the next
+//! half-iteration. The paper's Pascal server links its four P100s with
+//! NVLink (40 GB/s per link, four links per GPU); the Kepler/Maxwell servers
+//! use PCIe 3.0 x16.
+
+/// A GPU-to-GPU interconnect.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interconnect {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Per-direction bandwidth between a GPU pair, bytes/s.
+    pub link_bandwidth: f64,
+    /// Per-transfer latency, seconds.
+    pub latency: f64,
+    /// Whether all pairs are directly connected (NVLink mesh on 4 GPUs) or
+    /// share a host bridge (PCIe through the root complex).
+    pub all_to_all: bool,
+}
+
+impl Interconnect {
+    /// PCIe 3.0 x16: ~12.8 GB/s effective per direction, shared bridge.
+    pub fn pcie3() -> Interconnect {
+        Interconnect { name: "PCIe 3.0 x16", link_bandwidth: 12.8e9, latency: 10e-6, all_to_all: false }
+    }
+
+    /// NVLink 1.0 as on the P100 server: 4 links × 40 GB/s per GPU
+    /// (the paper quotes 40 GB/s per link with four links per GPU).
+    pub fn nvlink() -> Interconnect {
+        Interconnect { name: "NVLink", link_bandwidth: 40e9, latency: 5e-6, all_to_all: true }
+    }
+
+    /// Time for a ring all-gather where each of `gpus` devices contributes
+    /// `bytes_total / gpus` and ends holding all `bytes_total` bytes.
+    ///
+    /// Ring all-gather moves `(G−1)/G × bytes_total` over each link in
+    /// `G−1` latency-bounded steps. On a shared PCIe bridge the steps
+    /// serialize (bandwidth divided by concurrent transfers).
+    pub fn allgather_time(&self, bytes_total: u64, gpus: u32) -> f64 {
+        if gpus <= 1 {
+            return 0.0;
+        }
+        let g = gpus as f64;
+        let payload = bytes_total as f64 * (g - 1.0) / g;
+        let effective_bw = if self.all_to_all {
+            self.link_bandwidth // each ring link independent
+        } else {
+            self.link_bandwidth / (g / 2.0) // bridge shared by concurrent transfers
+        };
+        payload / effective_bw + (g - 1.0) * self.latency
+    }
+
+    /// Time to broadcast `bytes` from one GPU to all others (tree on
+    /// all-to-all fabrics, serialized on a bridge).
+    pub fn broadcast_time(&self, bytes: u64, gpus: u32) -> f64 {
+        if gpus <= 1 {
+            return 0.0;
+        }
+        let g = gpus as f64;
+        if self.all_to_all {
+            let steps = (g).log2().ceil();
+            steps * (bytes as f64 / self.link_bandwidth + self.latency)
+        } else {
+            (g - 1.0) * (bytes as f64 / self.link_bandwidth + self.latency)
+        }
+    }
+
+    /// Host-to-device transfer time of `bytes` (initial data upload).
+    pub fn h2d_time(&self, bytes: u64) -> f64 {
+        // H2D goes over PCIe even on NVLink GPUs (P100 NVLink-to-host exists
+        // only on POWER systems — which the Pascal server is; use the link).
+        bytes as f64 / self.link_bandwidth + self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allgather_zero_for_single_gpu() {
+        assert_eq!(Interconnect::nvlink().allgather_time(1 << 30, 1), 0.0);
+    }
+
+    #[test]
+    fn nvlink_beats_pcie() {
+        let bytes = 1u64 << 30;
+        for g in [2u32, 4] {
+            let nv = Interconnect::nvlink().allgather_time(bytes, g);
+            let pcie = Interconnect::pcie3().allgather_time(bytes, g);
+            assert!(nv < pcie, "g={g}: nvlink {nv} vs pcie {pcie}");
+        }
+    }
+
+    #[test]
+    fn allgather_payload_scales_with_gpu_fraction() {
+        // (G−1)/G of the data moves: 2 GPUs → 1/2, 4 GPUs → 3/4.
+        let ic = Interconnect::nvlink();
+        let t2 = ic.allgather_time(1 << 30, 2);
+        let t4 = ic.allgather_time(1 << 30, 4);
+        assert!(t4 > t2);
+        assert!(t4 < t2 * 2.0, "sub-linear growth");
+    }
+
+    #[test]
+    fn pcie_bridge_contention_grows_with_gpus() {
+        let ic = Interconnect::pcie3();
+        let t2 = ic.allgather_time(1 << 28, 2);
+        let t4 = ic.allgather_time(1 << 28, 4);
+        // 4 GPUs: 1.5× payload at half effective bandwidth → 3× time.
+        assert!(t4 / t2 > 2.5 && t4 / t2 < 3.5, "ratio {}", t4 / t2);
+    }
+
+    #[test]
+    fn broadcast_log_steps_on_nvlink() {
+        let ic = Interconnect::nvlink();
+        let t4 = ic.broadcast_time(1 << 30, 4);
+        let one_hop = (1u64 << 30) as f64 / ic.link_bandwidth;
+        assert!((t4 - 2.0 * (one_hop + ic.latency)).abs() < 1e-9, "log2(4)=2 steps");
+    }
+
+    #[test]
+    fn paper_quoted_nvlink_bandwidth() {
+        assert_eq!(Interconnect::nvlink().link_bandwidth, 40e9);
+    }
+}

@@ -1,0 +1,161 @@
+//! Device memory arena: capacity accounting and transfer pricing.
+//!
+//! cuMF_ALS's multi-GPU design exists because the factor matrices do not
+//! fit one device (Hugewiki's `X` alone is 20 GB against a 12–16 GB card).
+//! [`DeviceMemory`] tracks named allocations against a [`GpuSpec`]'s
+//! capacity so trainers and harnesses can *prove* a configuration fits —
+//! or fail the same way `cudaMalloc` would.
+
+use crate::device::GpuSpec;
+use std::collections::BTreeMap;
+
+/// Error returned when an allocation exceeds remaining device memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// What the caller tried to allocate.
+    pub label: String,
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes still free.
+    pub available: u64,
+}
+
+impl core::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "device out of memory: {} needs {} bytes, {} free",
+            self.label, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// A named-allocation tracker for one device.
+#[derive(Clone, Debug)]
+pub struct DeviceMemory {
+    capacity: u64,
+    allocations: BTreeMap<String, u64>,
+}
+
+impl DeviceMemory {
+    /// An empty arena with the device's full capacity.
+    pub fn new(spec: &GpuSpec) -> Self {
+        DeviceMemory { capacity: spec.dram_capacity, allocations: BTreeMap::new() }
+    }
+
+    /// An arena with explicit capacity (tests, reserved-memory scenarios).
+    pub fn with_capacity(capacity: u64) -> Self {
+        DeviceMemory { capacity, allocations: BTreeMap::new() }
+    }
+
+    /// Allocate `bytes` under `label`; labels must be unique while live.
+    pub fn alloc(&mut self, label: &str, bytes: u64) -> Result<(), OutOfMemory> {
+        assert!(!self.allocations.contains_key(label), "allocation {label:?} already live");
+        let available = self.available();
+        if bytes > available {
+            return Err(OutOfMemory { label: label.to_string(), requested: bytes, available });
+        }
+        self.allocations.insert(label.to_string(), bytes);
+        Ok(())
+    }
+
+    /// Free a live allocation; returns its size.
+    pub fn free(&mut self, label: &str) -> u64 {
+        self.allocations.remove(label).unwrap_or_else(|| panic!("allocation {label:?} not live"))
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.allocations.values().sum()
+    }
+
+    /// Bytes still free.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Live allocations, alphabetical by label.
+    pub fn allocations(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.allocations.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+/// The standard device-resident footprint of an ALS problem slice:
+/// `rows/gpus` rows of X, all of Θ, the rating slice in CSR, and a solver
+/// staging window. Mirrors what cuMF_ALS keeps resident per GPU.
+pub fn als_footprint(mem: &mut DeviceMemory, m: u64, n: u64, nz: u64, f: u64, gpus: u64) -> Result<(), OutOfMemory> {
+    mem.alloc("x_slice", m.div_ceil(gpus) * f * 4)?;
+    mem.alloc("theta_full", n * f * 4)?;
+    mem.alloc("csr_slice", nz / gpus * 8 + (m.div_ceil(gpus) + 1) * 8)?;
+    mem.alloc("solver_staging", 4096 * f * f * 4)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut mem = DeviceMemory::with_capacity(1000);
+        mem.alloc("a", 600).unwrap();
+        assert_eq!(mem.used(), 600);
+        assert_eq!(mem.available(), 400);
+        assert_eq!(mem.free("a"), 600);
+        assert_eq!(mem.used(), 0);
+    }
+
+    #[test]
+    fn oom_reports_shortfall() {
+        let mut mem = DeviceMemory::with_capacity(100);
+        mem.alloc("a", 80).unwrap();
+        let err = mem.alloc("b", 30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.available, 20);
+        // Failed allocation leaves state unchanged.
+        assert_eq!(mem.used(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "already live")]
+    fn duplicate_labels_rejected() {
+        let mut mem = DeviceMemory::with_capacity(100);
+        mem.alloc("a", 10).unwrap();
+        let _ = mem.alloc("a", 10);
+    }
+
+    #[test]
+    fn hugewiki_fits_only_when_partitioned() {
+        // 50M × 100 × 4B = 20 GB of X: more than a Titan X.
+        let spec = GpuSpec::maxwell_titan_x();
+        let (m, n, nz, f) = (50_082_603u64, 39_780u64, 3_100_000_000u64, 100u64);
+        let mut one = DeviceMemory::new(&spec);
+        assert!(als_footprint(&mut one, m, n, nz, f, 1).is_err());
+        let mut four = DeviceMemory::new(&spec);
+        als_footprint(&mut four, m, n, nz, f, 4).expect("4-way partition must fit");
+        assert!(four.used() < spec.dram_capacity);
+    }
+
+    #[test]
+    fn netflix_fits_one_gpu() {
+        let spec = GpuSpec::kepler_k40();
+        let mut mem = DeviceMemory::new(&spec);
+        als_footprint(&mut mem, 480_189, 17_770, 99_072_112, 100, 1).expect("Netflix fits one K40");
+    }
+
+    #[test]
+    fn allocations_iterator_sorted() {
+        let mut mem = DeviceMemory::with_capacity(100);
+        mem.alloc("zeta", 1).unwrap();
+        mem.alloc("alpha", 2).unwrap();
+        let labels: Vec<&str> = mem.allocations().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Simulated clocks and convergence-curve recording.
+//!
+//! Every experiment harness reports **simulated seconds** accumulated on a
+//! [`SimClock`], broken down by named phase (load / compute / write / solve
+//! / communicate). Convergence experiments (Figures 6 and 8) additionally
+//! record `(sim_time, test RMSE)` points on a [`ConvergenceCurve`].
+
+use std::collections::BTreeMap;
+
+/// A simulated clock with per-phase attribution.
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    now: f64,
+    phases: BTreeMap<&'static str, f64>,
+}
+
+impl SimClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance by `seconds`, attributing them to `phase`.
+    pub fn advance(&mut self, phase: &'static str, seconds: f64) {
+        assert!(seconds >= 0.0 && seconds.is_finite(), "bad time increment {seconds} in {phase}");
+        self.now += seconds;
+        *self.phases.entry(phase).or_insert(0.0) += seconds;
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Time attributed to one phase so far.
+    pub fn phase_time(&self, phase: &str) -> f64 {
+        self.phases.get(phase).copied().unwrap_or(0.0)
+    }
+
+    /// All phases and their accumulated times, alphabetical.
+    pub fn phases(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.phases.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Reset to t = 0, clearing attribution.
+    pub fn reset(&mut self) {
+        self.now = 0.0;
+        self.phases.clear();
+    }
+}
+
+/// One observation on a convergence curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConvergencePoint {
+    /// Simulated training time at which the metric was evaluated.
+    pub sim_time: f64,
+    /// Epochs completed.
+    pub epoch: u32,
+    /// Test RMSE at that point.
+    pub test_rmse: f64,
+}
+
+/// A named series of `(time, RMSE)` points — one line of Figure 6 / 8.
+#[derive(Clone, Debug)]
+pub struct ConvergenceCurve {
+    /// Legend label (e.g. "cuMFALS@P").
+    pub label: String,
+    points: Vec<ConvergencePoint>,
+}
+
+impl ConvergenceCurve {
+    /// An empty curve with a legend label.
+    pub fn new(label: impl Into<String>) -> Self {
+        ConvergenceCurve { label: label.into(), points: Vec::new() }
+    }
+
+    /// Append a point; time must be nondecreasing.
+    pub fn push(&mut self, sim_time: f64, epoch: u32, test_rmse: f64) {
+        if let Some(last) = self.points.last() {
+            assert!(sim_time >= last.sim_time, "time must be nondecreasing");
+        }
+        self.points.push(ConvergencePoint { sim_time, epoch, test_rmse });
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[ConvergencePoint] {
+        &self.points
+    }
+
+    /// First simulated time at which RMSE ≤ `target` (the paper's
+    /// "training time when converging to acceptable RMSE", Table IV).
+    pub fn time_to_rmse(&self, target: f64) -> Option<f64> {
+        self.points.iter().find(|p| p.test_rmse <= target).map(|p| p.sim_time)
+    }
+
+    /// Best (lowest) RMSE reached.
+    pub fn best_rmse(&self) -> Option<f64> {
+        self.points.iter().map(|p| p.test_rmse).min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// Render as `time\trmse` rows for plotting (gnuplot-style, like the
+    /// paper's figures).
+    pub fn to_tsv(&self) -> String {
+        let mut s = String::with_capacity(self.points.len() * 24);
+        for p in &self.points {
+            s.push_str(&format!("{:.3}\t{:.5}\n", p.sim_time, p.test_rmse));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_accumulates_by_phase() {
+        let mut c = SimClock::new();
+        c.advance("load", 0.1);
+        c.advance("compute", 0.3);
+        c.advance("load", 0.2);
+        assert!((c.now() - 0.6).abs() < 1e-12);
+        assert!((c.phase_time("load") - 0.3).abs() < 1e-12);
+        assert_eq!(c.phase_time("write"), 0.0);
+        assert_eq!(c.phases().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad time increment")]
+    fn clock_rejects_negative_time() {
+        SimClock::new().advance("x", -1.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = SimClock::new();
+        c.advance("a", 1.0);
+        c.reset();
+        assert_eq!(c.now(), 0.0);
+        assert_eq!(c.phases().count(), 0);
+    }
+
+    #[test]
+    fn time_to_rmse_finds_first_crossing() {
+        let mut curve = ConvergenceCurve::new("test");
+        curve.push(1.0, 1, 1.10);
+        curve.push(2.0, 2, 0.95);
+        curve.push(3.0, 3, 0.91);
+        curve.push(4.0, 4, 0.905);
+        assert_eq!(curve.time_to_rmse(0.92), Some(3.0));
+        assert_eq!(curve.time_to_rmse(0.5), None);
+        assert_eq!(curve.best_rmse(), Some(0.905));
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn curve_rejects_time_travel() {
+        let mut curve = ConvergenceCurve::new("t");
+        curve.push(2.0, 1, 1.0);
+        curve.push(1.0, 2, 0.9);
+    }
+
+    #[test]
+    fn tsv_renders_rows() {
+        let mut curve = ConvergenceCurve::new("t");
+        curve.push(1.5, 1, 0.95);
+        assert_eq!(curve.to_tsv(), "1.500\t0.95000\n");
+    }
+}

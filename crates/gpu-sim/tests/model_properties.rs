@@ -1,0 +1,182 @@
+//! Property-based tests on the GPU performance model: monotonicity and
+//! invariants the pricing must satisfy for the paper's comparisons to be
+//! trustworthy.
+
+use cumf_gpu_sim::cache::CacheSim;
+use cumf_gpu_sim::interconnect::Interconnect;
+use cumf_gpu_sim::kernel::{launch_time, KernelCost};
+use cumf_gpu_sim::memory::{load_time, staged_dram_bytes, LoadPattern, StagedLoad};
+use cumf_gpu_sim::occupancy::{occupancy, KernelResources};
+use cumf_gpu_sim::GpuSpec;
+use proptest::prelude::*;
+
+fn resources() -> impl Strategy<Value = KernelResources> {
+    (8u32..=128, prop::sample::select(vec![32u32, 64, 128, 256]), 0u32..32_768).prop_map(
+        |(regs, threads, smem)| KernelResources {
+            regs_per_thread: regs,
+            threads_per_block: threads,
+            shared_mem_per_block: smem,
+        },
+    )
+}
+
+proptest! {
+    /// More registers per thread never increases resident blocks.
+    #[test]
+    fn occupancy_monotone_in_registers(threads in prop::sample::select(vec![32u32, 64, 128])) {
+        let spec = GpuSpec::maxwell_titan_x();
+        let mut prev = u32::MAX;
+        for regs in [16u32, 32, 64, 128, 255] {
+            if regs * threads > spec.registers_per_sm {
+                break;
+            }
+            let occ = occupancy(&spec, &KernelResources {
+                regs_per_thread: regs, threads_per_block: threads, shared_mem_per_block: 0,
+            });
+            prop_assert!(occ.blocks_per_sm <= prev);
+            prev = occ.blocks_per_sm;
+        }
+    }
+
+    /// Occupancy never exceeds any of the four hardware limits.
+    #[test]
+    fn occupancy_respects_all_limits(res in resources()) {
+        let spec = GpuSpec::maxwell_titan_x();
+        if res.regs_per_thread * res.threads_per_block > spec.registers_per_sm
+            || res.shared_mem_per_block > spec.shared_mem_per_sm {
+            return Ok(());
+        }
+        let occ = occupancy(&spec, &res);
+        prop_assert!(occ.blocks_per_sm >= 1);
+        prop_assert!(occ.blocks_per_sm <= spec.max_blocks_per_sm);
+        prop_assert!(occ.blocks_per_sm * res.threads_per_block <= spec.max_threads_per_sm);
+        prop_assert!(occ.blocks_per_sm * res.regs_per_thread * res.threads_per_block <= spec.registers_per_sm);
+        if res.shared_mem_per_block > 0 {
+            prop_assert!(occ.blocks_per_sm * res.shared_mem_per_block <= spec.shared_mem_per_sm);
+        }
+        prop_assert!(occ.fraction <= 1.0);
+    }
+
+    /// DRAM traffic estimate is bounded by [unique, total] and monotone in
+    /// the total.
+    #[test]
+    fn staged_dram_bytes_bounded(
+        unique_kb in 1u64..100_000,
+        extra_kb in 0u64..1_000_000,
+    ) {
+        let spec = GpuSpec::maxwell_titan_x();
+        let load = StagedLoad { total_bytes: (unique_kb + extra_kb) << 10, unique_bytes: unique_kb << 10 };
+        let d = staged_dram_bytes(&spec, &load);
+        prop_assert!(d >= load.unique_bytes as f64 * 0.999);
+        prop_assert!(d <= load.total_bytes as f64 * 1.001);
+    }
+
+    /// Under identical occupancy and load, nonCoal-L1 is never slower than
+    /// the other two schemes (the Solution-2 claim, for any workload).
+    #[test]
+    fn noncoal_l1_dominates(
+        total_mb in 1u64..4_000,
+        unique_kb in 64u64..500_000,
+    ) {
+        let spec = GpuSpec::maxwell_titan_x();
+        let occ = occupancy(&spec, &KernelResources {
+            regs_per_thread: 168, threads_per_block: 64, shared_mem_per_block: 12_800,
+        });
+        let load = StagedLoad {
+            total_bytes: (total_mb << 20).max(unique_kb << 10),
+            unique_bytes: unique_kb << 10,
+        };
+        let l1 = load_time(&spec, &occ, LoadPattern::NonCoalescedL1, &load).time;
+        let no_l1 = load_time(&spec, &occ, LoadPattern::NonCoalescedNoL1, &load).time;
+        let coal = load_time(&spec, &occ, LoadPattern::Coalesced, &load).time;
+        prop_assert!(l1 <= no_l1 * 1.0001);
+        prop_assert!(l1 <= coal * 1.0001);
+    }
+
+    /// Kernel pricing is monotone: adding flops or bytes never makes a
+    /// launch faster.
+    #[test]
+    fn launch_time_monotone(
+        flops in 1e6f64..1e13,
+        bytes in 1e3f64..1e11,
+        extra_flops in 0f64..1e12,
+        extra_bytes in 0f64..1e10,
+    ) {
+        let spec = GpuSpec::pascal_p100();
+        let occ = occupancy(&spec, &KernelResources {
+            regs_per_thread: 32, threads_per_block: 128, shared_mem_per_block: 0,
+        });
+        let mk = |fl: f64, by: f64| KernelCost {
+            flops_fp32: fl,
+            dram_read_bytes: by,
+            l2_wire_bytes: by,
+            transactions: by / 128.0,
+            mlp: 16.0,
+            pipe_efficiency: 0.5,
+            ..Default::default()
+        };
+        let t1 = launch_time(&spec, &occ, &mk(flops, bytes)).time;
+        let t2 = launch_time(&spec, &occ, &mk(flops + extra_flops, bytes + extra_bytes)).time;
+        prop_assert!(t2 >= t1 * 0.9999);
+    }
+
+    /// A faster device never prices the same cost slower.
+    #[test]
+    fn newer_devices_dominate(flops in 1e9f64..1e13, bytes in 1e6f64..1e11) {
+        let res = KernelResources { regs_per_thread: 32, threads_per_block: 128, shared_mem_per_block: 0 };
+        let cost = KernelCost {
+            flops_fp32: flops,
+            dram_read_bytes: bytes,
+            l2_wire_bytes: bytes,
+            transactions: bytes / 128.0,
+            mlp: 16.0,
+            pipe_efficiency: 0.5,
+            ..Default::default()
+        };
+        let cat = GpuSpec::paper_catalog();
+        let mut prev = f64::INFINITY;
+        for spec in &cat {
+            let t = launch_time(spec, &occupancy(spec, &res), &cost).time;
+            prop_assert!(t <= prev * 1.0001, "{} got slower", spec.name);
+            prev = t;
+        }
+    }
+
+    /// All-gather time grows with payload and with GPU count but stays
+    /// sublinear in GPUs (the (G−1)/G payload form).
+    #[test]
+    fn allgather_scaling(bytes_mb in 1u64..10_000) {
+        let bytes = bytes_mb << 20;
+        for ic in [Interconnect::nvlink(), Interconnect::pcie3()] {
+            let t2 = ic.allgather_time(bytes, 2);
+            let t4 = ic.allgather_time(bytes, 4);
+            prop_assert!(t4 >= t2);
+            prop_assert!(ic.allgather_time(2 * bytes, 4) > t4);
+        }
+    }
+
+    /// Cache hit ratio is bounded and total accesses are conserved.
+    #[test]
+    fn cache_accounting(addrs in prop::collection::vec(0u64..100_000, 1..2_000)) {
+        let mut sim = CacheSim::new(8 << 10, 128, 4);
+        for &a in &addrs {
+            sim.access(a);
+        }
+        prop_assert_eq!(sim.hits() + sim.misses(), addrs.len() as u64);
+        prop_assert!(sim.hit_ratio() >= 0.0 && sim.hit_ratio() <= 1.0);
+        prop_assert_eq!(sim.fill_bytes(), sim.misses() * 128);
+    }
+
+    /// LRU inclusion property: a larger fully-associative cache never has
+    /// fewer hits on the same trace.
+    #[test]
+    fn lru_inclusion(addrs in prop::collection::vec(0u64..50_000, 1..1_500)) {
+        let mut small = CacheSim::fully_associative(4 << 10, 128);
+        let mut large = CacheSim::fully_associative(16 << 10, 128);
+        for &a in &addrs {
+            small.access(a);
+            large.access(a);
+        }
+        prop_assert!(large.hits() >= small.hits());
+    }
+}

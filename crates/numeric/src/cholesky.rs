@@ -1,0 +1,217 @@
+//! Cholesky factorization and solve for symmetric positive-definite systems.
+//!
+//! ALS's per-row systems `A_u x_u = b_u` are SPD by construction
+//! (`A_u = Σ θθᵀ + λ n I` with `λ n > 0`), so Cholesky is the natural exact
+//! solver. We also keep [`crate::lu`] because the paper's baseline is the
+//! cuBLAS *batched LU* routine; both cost `O(f³)` and their measured ratios
+//! to CG are interchangeable.
+
+use crate::sym::SymPacked;
+
+/// Error raised when a factorization encounters a non-positive pivot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Index of the failing pivot.
+    pub pivot: usize,
+}
+
+impl core::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {})", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// The packed lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Clone, Debug)]
+pub struct CholeskyFactor {
+    dim: usize,
+    /// Packed lower triangle of L.
+    l: Vec<f32>,
+}
+
+/// Factor a packed SPD matrix: `A = L Lᵀ`.
+///
+/// Cost is `f³/3` FMAs — the cubic term the paper's approximate solver
+/// removes.
+pub fn cholesky_factor(a: &SymPacked) -> Result<CholeskyFactor, NotPositiveDefinite> {
+    let dim = a.dim();
+    let mut l = a.as_slice().to_vec();
+    for j in 0..dim {
+        // Diagonal: l_jj = sqrt(a_jj - Σ_{k<j} l_jk²)
+        let jj = j * (j + 1) / 2 + j;
+        let mut d = l[jj] as f64;
+        for k in 0..j {
+            let v = l[j * (j + 1) / 2 + k] as f64;
+            d -= v * v;
+        }
+        if d <= 0.0 {
+            return Err(NotPositiveDefinite { pivot: j });
+        }
+        let diag = d.sqrt();
+        l[jj] = diag as f32;
+        // Column below the diagonal: l_ij = (a_ij - Σ_{k<j} l_ik l_jk) / l_jj
+        for i in j + 1..dim {
+            let mut s = l[i * (i + 1) / 2 + j] as f64;
+            for k in 0..j {
+                s -= l[i * (i + 1) / 2 + k] as f64 * l[j * (j + 1) / 2 + k] as f64;
+            }
+            l[i * (i + 1) / 2 + j] = (s / diag) as f32;
+        }
+    }
+    Ok(CholeskyFactor { dim, l })
+}
+
+impl CholeskyFactor {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Entry `L[i][j]` (zero above the diagonal).
+    pub fn l(&self, i: usize, j: usize) -> f32 {
+        if j > i {
+            0.0
+        } else {
+            self.l[i * (i + 1) / 2 + j]
+        }
+    }
+
+    /// Solve `A x = b` in place: forward substitution `L y = b`, then
+    /// backward substitution `Lᵀ x = y`.
+    pub fn solve_in_place(&self, b: &mut [f32]) {
+        assert_eq!(b.len(), self.dim, "cholesky solve: rhs length");
+        // L y = b
+        for i in 0..self.dim {
+            let base = i * (i + 1) / 2;
+            let mut s = b[i] as f64;
+            for k in 0..i {
+                s -= self.l[base + k] as f64 * b[k] as f64;
+            }
+            b[i] = (s / self.l[base + i] as f64) as f32;
+        }
+        // Lᵀ x = y
+        for i in (0..self.dim).rev() {
+            let mut s = b[i] as f64;
+            for k in i + 1..self.dim {
+                s -= self.l[k * (k + 1) / 2 + i] as f64 * b[k] as f64;
+            }
+            b[i] = (s / self.l[i * (i + 1) / 2 + i] as f64) as f32;
+        }
+    }
+
+    /// Solve into a fresh vector.
+    pub fn solve(&self, b: &[f32]) -> Vec<f32> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+}
+
+/// One-shot solve `A x = b` for packed SPD `A`.
+pub fn cholesky_solve(a: &SymPacked, b: &[f32]) -> Result<Vec<f32>, NotPositiveDefinite> {
+    Ok(cholesky_factor(a)?.solve(b))
+}
+
+/// Exact FMA count of a packed Cholesky factorization of dimension `f`
+/// followed by two triangular solves — used by the simulator's cost model.
+pub fn cholesky_flops(f: usize) -> u64 {
+    let f = f as u64;
+    // factor: ~f³/3 multiply-adds; solves: 2 × f²/2.
+    f * f * f / 3 + f * f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::dot;
+
+    fn spd(dim: usize, seed: u64) -> SymPacked {
+        // Build Σ v vᵀ + I from a few pseudo-random vectors: SPD by construction.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f32 / (1u64 << 53) as f32 * 2.0 - 0.5
+        };
+        let mut a = SymPacked::zeros(dim);
+        for _ in 0..dim + 2 {
+            let v: Vec<f32> = (0..dim).map(|_| next()).collect();
+            a.syr(&v);
+        }
+        a.add_diagonal(1.0);
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd(6, 42);
+        let f = cholesky_factor(&a).unwrap();
+        for i in 0..6 {
+            for j in 0..6 {
+                let mut s = 0.0f32;
+                for k in 0..6 {
+                    s += f.l(i, k) * f.l(j, k);
+                }
+                assert!((s - a.get(i, j)).abs() < 1e-4, "({i},{j}): {s} vs {}", a.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn solve_residual_is_small() {
+        for seed in 1..8u64 {
+            let a = spd(10, seed);
+            let b: Vec<f32> = (0..10).map(|i| (i as f32 - 4.5) * 0.3).collect();
+            let x = cholesky_solve(&a, &b).unwrap();
+            let mut ax = vec![0.0; 10];
+            a.matvec(&x, &mut ax);
+            for i in 0..10 {
+                assert!((ax[i] - b[i]).abs() < 1e-3, "seed {seed} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let mut a = SymPacked::zeros(5);
+        a.add_diagonal(1.0);
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(cholesky_solve(&a, &b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut a = SymPacked::zeros(3);
+        a.add_diagonal(-1.0);
+        assert_eq!(cholesky_factor(&a).unwrap_err(), NotPositiveDefinite { pivot: 0 });
+    }
+
+    #[test]
+    fn solution_minimizes_quadratic() {
+        // x* = argmin ½xᵀAx - bᵀx ⇒ perturbations increase the objective.
+        let a = spd(5, 9);
+        let b = [0.3, -0.2, 1.0, 0.0, -0.7];
+        let x = cholesky_solve(&a, &b).unwrap();
+        let obj = |x: &[f32]| {
+            let mut ax = vec![0.0; 5];
+            a.matvec(x, &mut ax);
+            0.5 * dot(&ax, x) - dot(&b, x)
+        };
+        let base = obj(&x);
+        for i in 0..5 {
+            for delta in [-0.01f32, 0.01] {
+                let mut xp = x.clone();
+                xp[i] += delta;
+                assert!(obj(&xp) >= base - 1e-5, "perturbing {i} by {delta} decreased objective");
+            }
+        }
+    }
+
+    #[test]
+    fn flop_count_is_cubic() {
+        assert!(cholesky_flops(200) > 7 * cholesky_flops(100));
+    }
+}

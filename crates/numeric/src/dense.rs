@@ -1,0 +1,266 @@
+//! Dense vector and matrix kernels.
+//!
+//! Row-major `f32` storage throughout, matching how the feature matrices
+//! `X ∈ R^{m×f}` and `Θ ∈ R^{n×f}` live in (simulated) device memory: one
+//! `f`-long feature vector per row, contiguous.
+
+/// Dot product of two equal-length vectors, accumulated in `f32`.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Dot product accumulated in `f64`; used where the roundoff of a long
+/// reduction would pollute a convergence decision (RMSE, CG residuals).
+#[inline]
+pub fn dot_f64(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x as f64 * y as f64;
+    }
+    acc
+}
+
+/// `y ← y + alpha·x`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y ← x + beta·y` (the CG direction update `p = r + β p`).
+#[inline]
+pub fn xpby(x: &[f32], beta: f32, y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = xi + beta * *yi;
+    }
+}
+
+/// Euclidean norm with `f64` accumulation.
+#[inline]
+pub fn norm2(a: &[f32]) -> f32 {
+    dot_f64(a, a).sqrt() as f32
+}
+
+/// Scale a vector in place.
+#[inline]
+pub fn scale(alpha: f32, a: &mut [f32]) {
+    for x in a {
+        *x *= alpha;
+    }
+}
+
+/// A dense row-major matrix of `f32`.
+///
+/// This is the storage for feature matrices and for the full (unpacked) form
+/// of Gram matrices where a kernel wants plain `f²` layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// An all-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a row-major buffer; `data.len()` must equal `rows × cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "DenseMatrix::from_vec: size mismatch");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// The identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the whole row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the whole row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// `y = self · x` (matrix–vector product).
+    pub fn matvec(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length");
+        assert_eq!(y.len(), self.rows, "matvec: y length");
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = dot(self.row(i), x);
+        }
+    }
+
+    /// Dense `C = A · Bᵀ` where both A and B are row-major with equal `cols`.
+    ///
+    /// This layout (`B` accessed by rows) is the natural one for computing
+    /// predicted ratings `X · Θᵀ` from two feature matrices.
+    pub fn gemm_nt(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.cols, "gemm_nt: inner dimension");
+        let mut out = DenseMatrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a = self.row(i);
+            for j in 0..other.rows {
+                let v = dot(a, other.row(j));
+                out.data[i * out.cols + j] = v;
+            }
+        }
+        out
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm with f64 accumulation.
+    pub fn frobenius_norm(&self) -> f32 {
+        dot_f64(&self.data, &self.data).sqrt() as f32
+    }
+
+    /// Fill with samples from `gen` (used to initialize feature matrices).
+    pub fn fill_with(&mut self, mut gen: impl FnMut() -> f32) {
+        for v in &mut self.data {
+            *v = gen();
+        }
+    }
+
+    /// Maximum absolute element-wise difference against another matrix.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f32 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_axpy_basics() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        let mut y = [1.0, 1.0, 1.0];
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, [3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn xpby_matches_formula() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        xpby(&x, 0.5, &mut y);
+        assert_eq!(y, [6.0, 12.0]);
+    }
+
+    #[test]
+    fn matvec_identity_is_noop() {
+        let m = DenseMatrix::identity(4);
+        let x = [1.0, -2.0, 3.0, -4.0];
+        let mut y = [0.0; 4];
+        m.matvec(&x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn gemm_nt_small_case() {
+        // A = [[1,2],[3,4]], B = [[5,6],[7,8]]; A·Bᵀ = [[17,23],[39,53]]
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = DenseMatrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.gemm_nt(&b);
+        assert_eq!(c.as_slice(), &[17.0, 23.0, 39.0, 53.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(2, 1), m.get(1, 2));
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        let m = DenseMatrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert_eq!(m.frobenius_norm(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_vec_rejects_bad_length() {
+        let _ = DenseMatrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+}

@@ -1,0 +1,319 @@
+//! Software IEEE 754 binary16 ("half precision", FP16).
+//!
+//! The paper's Solution 4 stores the Gram matrices `A_u` in FP16 to halve the
+//! bytes moved by the memory-bound CG solver. GPUs read FP16 and widen to
+//! FP32 before the FMA; we reproduce exactly that contract: [`F16`] is a
+//! **storage** type — all arithmetic happens after conversion to `f32`.
+//!
+//! The conversion pair implemented here is the standard round-to-nearest-even
+//! narrowing and exact widening, covering normals, subnormals, signed zeros,
+//! infinities and NaNs.
+
+/// An IEEE 754 binary16 value stored as its raw bit pattern.
+///
+/// Layout: 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+/// Largest finite value is 65504; smallest positive normal is 2⁻¹⁴;
+/// unit roundoff is 2⁻¹¹ ≈ 4.88e-4.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct F16(pub u16);
+
+const EXP_MASK: u16 = 0x7C00;
+const MAN_MASK: u16 = 0x03FF;
+const SIGN_MASK: u16 = 0x8000;
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// A quiet NaN.
+    pub const NAN: F16 = F16(0x7E00);
+    /// Largest finite value (65504.0).
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest positive normal value (2⁻¹⁴).
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Smallest positive subnormal value (2⁻²⁴).
+    pub const MIN_SUBNORMAL: F16 = F16(0x0001);
+    /// Machine epsilon: distance from 1.0 to the next representable value.
+    pub const EPSILON: F16 = F16(0x1400);
+
+    /// Narrow an `f32` to binary16 with round-to-nearest-even.
+    ///
+    /// Values above [`F16::MAX`] overflow to infinity; values below the
+    /// subnormal range flush to (signed) zero via the rounding, matching
+    /// hardware `__float2half_rn`.
+    #[inline]
+    pub fn from_f32(x: f32) -> F16 {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let man = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Infinity or NaN. Preserve NaN-ness (set a mantissa bit).
+            return if man == 0 {
+                F16(sign | EXP_MASK)
+            } else {
+                F16(sign | EXP_MASK | 0x0200 | ((man >> 13) as u16 & MAN_MASK))
+            };
+        }
+
+        // Unbiased exponent in f32, rebiased for f16 (bias 15).
+        let unbiased = exp - 127;
+        let half_exp = unbiased + 15;
+
+        if half_exp >= 0x1F {
+            // Overflow → infinity.
+            return F16(sign | EXP_MASK);
+        }
+
+        if half_exp <= 0 {
+            // Subnormal (or zero) in f16. The implicit leading 1 of the f32
+            // mantissa becomes explicit and is shifted right.
+            if half_exp < -10 {
+                // Too small even for the largest shift: rounds to zero.
+                return F16(sign);
+            }
+            let full_man = man | 0x0080_0000; // make leading 1 explicit
+            // value = full_man × 2^(unbiased-23); subnormal unit is 2⁻²⁴,
+            // so half_man = full_man >> (14 - half_exp).
+            let shift = (14 - half_exp) as u32;
+            let half_man = full_man >> shift;
+            // Round to nearest even on the dropped bits.
+            let dropped = full_man & ((1u32 << shift) - 1);
+            let halfway = 1u32 << (shift - 1);
+            let mut h = half_man as u16;
+            if dropped > halfway || (dropped == halfway && (h & 1) == 1) {
+                h += 1; // may carry into the exponent: that is correct
+            }
+            return F16(sign | h);
+        }
+
+        // Normal case: keep top 10 mantissa bits, round-to-nearest-even.
+        let mut h = (half_exp as u16) << 10 | ((man >> 13) as u16 & MAN_MASK);
+        let dropped = man & 0x1FFF;
+        if dropped > 0x1000 || (dropped == 0x1000 && (h & 1) == 1) {
+            h += 1; // carries into exponent (and to infinity) correctly
+        }
+        F16(sign | h)
+    }
+
+    /// Widen to `f32`. Exact for every binary16 value.
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & SIGN_MASK) as u32) << 16;
+        let exp = ((self.0 & EXP_MASK) >> 10) as u32;
+        let man = (self.0 & MAN_MASK) as u32;
+
+        let bits = if exp == 0 {
+            if man == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal: value = man × 2⁻²⁴ = 1.fff × 2^(p−24) where p is
+                // the MSB position of man. Normalize into f32.
+                let p = 31 - man.leading_zeros(); // 0..=9
+                let exp32 = 127 - 24 + p;
+                let man32 = (man << (23 - p)) & 0x007F_FFFF; // drop leading 1
+                sign | (exp32 << 23) | man32
+            }
+        } else if exp == 0x1F {
+            sign | 0x7F80_0000 | (man << 13) // inf / NaN
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (man << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// `true` if this value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// `true` if this value is +∞ or −∞.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & !SIGN_MASK) == EXP_MASK
+    }
+
+    /// `true` if this value is neither infinite nor NaN.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// Raw bit pattern.
+    #[inline]
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Construct from a raw bit pattern.
+    #[inline]
+    pub fn from_bits(bits: u16) -> F16 {
+        F16(bits)
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(h: F16) -> Self {
+        h.to_f32()
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl core::fmt::Debug for F16 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}f16", self.to_f32())
+    }
+}
+
+impl core::fmt::Display for F16 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Narrow a whole `f32` slice into a pre-allocated `F16` buffer.
+///
+/// This is the store path of the paper's FP16 pipeline: `get_hermitian`
+/// writes `A_u` once in FP16; the CG solver then reads it many times.
+pub fn narrow_slice(src: &[f32], dst: &mut [F16]) {
+    assert_eq!(src.len(), dst.len(), "narrow_slice: length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = F16::from_f32(s);
+    }
+}
+
+/// Widen a whole `F16` slice into a pre-allocated `f32` buffer.
+pub fn widen_slice(src: &[F16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "widen_slice: length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s.to_f32();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for i in -2048..=2048 {
+            let x = i as f32;
+            assert_eq!(F16::from_f32(x).to_f32(), x, "integer {i} must be exact");
+        }
+    }
+
+    #[test]
+    fn constants_match_ieee() {
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), 2.0f32.powi(-14));
+        assert_eq!(F16::MIN_SUBNORMAL.to_f32(), 2.0f32.powi(-24));
+        assert_eq!(F16::EPSILON.to_f32(), 2.0f32.powi(-10));
+        assert!(F16::NAN.is_nan());
+        assert!(F16::INFINITY.is_infinite());
+        assert_eq!(F16::NEG_INFINITY.to_f32(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert!(F16::from_f32(65520.0).is_infinite()); // rounds up past MAX
+        assert_eq!(F16::from_f32(65504.0), F16::MAX);
+        assert_eq!(F16::from_f32(1e9), F16::INFINITY);
+        assert_eq!(F16::from_f32(-1e9), F16::NEG_INFINITY);
+    }
+
+    #[test]
+    fn underflow_flushes_to_signed_zero() {
+        assert_eq!(F16::from_f32(1e-9).to_bits(), 0x0000);
+        assert_eq!(F16::from_f32(-1e-9).to_bits(), 0x8000);
+        assert_eq!(F16::from_f32(-0.0).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn subnormals_round_trip() {
+        // Every subnormal is k × 2⁻²⁴ for k in 1..1024.
+        for k in 1u32..1024 {
+            let x = k as f32 * 2.0f32.powi(-24);
+            let h = F16::from_f32(x);
+            assert_eq!(h.to_f32(), x, "subnormal k={k}");
+        }
+    }
+
+    #[test]
+    fn round_to_nearest_even_at_halfway() {
+        // 1 + 2⁻¹¹ is exactly halfway between 1.0 and 1+2⁻¹⁰: ties to even → 1.0.
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway).to_f32(), 1.0);
+        // 1 + 3·2⁻¹¹ is halfway between 1+2⁻¹⁰ and 1+2·2⁻¹⁰: ties to even → 1+2·2⁻¹⁰.
+        let halfway_up = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway_up).to_f32(), 1.0 + 2.0 * 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn rounding_carry_into_exponent() {
+        // Just below 2.0: mantissa all-ones rounds up and carries.
+        let x = 2.0 - 2.0f32.powi(-12);
+        assert_eq!(F16::from_f32(x).to_f32(), 2.0);
+    }
+
+    #[test]
+    fn nan_payload_preserved_as_nan() {
+        let h = F16::from_f32(f32::NAN);
+        assert!(h.is_nan());
+        assert!(h.to_f32().is_nan());
+    }
+
+    #[test]
+    fn relative_error_bound_for_normals() {
+        // Unit roundoff for binary16 is 2⁻¹¹.
+        let u = 2.0f32.powi(-11);
+        let mut x = 2.0f32.powi(-14);
+        while x < 60000.0 {
+            let err = (F16::from_f32(x).to_f32() - x).abs() / x;
+            assert!(err <= u, "x={x} err={err}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let src: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 0.25).collect();
+        let mut h = vec![F16::ZERO; src.len()];
+        let mut back = vec![0.0f32; src.len()];
+        narrow_slice(&src, &mut h);
+        widen_slice(&h, &mut back);
+        assert_eq!(src, back, "quarter-integers are exact in f16");
+    }
+
+    #[test]
+    fn ordering_matches_f32() {
+        let vals = [-3.5f32, -0.0, 0.0, 0.1, 1.0, 1000.0];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    F16::from_f32(a).partial_cmp(&F16::from_f32(b)),
+                    a.partial_cmp(&b),
+                    "ordering of {a} vs {b}"
+                );
+            }
+        }
+    }
+}

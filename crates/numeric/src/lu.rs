@@ -1,0 +1,195 @@
+//! LU factorization with partial pivoting.
+//!
+//! This is the host-side analog of cuBLAS `getrfBatched`/`getrsBatched`, the
+//! "direct solver" the paper's Figure 5 uses as its `LU-FP32` baseline. It is
+//! deliberately general (works for any nonsingular matrix, not just SPD) so
+//! it can also back the batched GEMM/solve comparisons.
+
+use crate::dense::DenseMatrix;
+
+/// Error raised when elimination encounters a (numerically) singular pivot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Singular {
+    /// Column at which no usable pivot was found.
+    pub column: usize,
+}
+
+impl core::fmt::Display for Singular {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "matrix is singular at column {}", self.column)
+    }
+}
+
+impl std::error::Error for Singular {}
+
+/// A row-pivoted LU factorization `P A = L U` stored compactly: `L` (unit
+/// diagonal) below, `U` on and above the diagonal of one dense matrix.
+#[derive(Clone, Debug)]
+pub struct LuFactor {
+    dim: usize,
+    lu: DenseMatrix,
+    /// Row permutation: row `i` of the factored matrix came from `perm[i]`.
+    perm: Vec<usize>,
+}
+
+/// Factor a square dense matrix with partial pivoting.
+pub fn lu_factor(a: &DenseMatrix) -> Result<LuFactor, Singular> {
+    assert_eq!(a.rows(), a.cols(), "lu_factor: must be square");
+    let dim = a.rows();
+    let mut lu = a.clone();
+    let mut perm: Vec<usize> = (0..dim).collect();
+
+    for k in 0..dim {
+        // Pivot: largest |value| in column k at or below the diagonal.
+        let mut pivot_row = k;
+        let mut pivot_val = lu.get(k, k).abs();
+        for i in k + 1..dim {
+            let v = lu.get(i, k).abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = i;
+            }
+        }
+        if pivot_val == 0.0 || !pivot_val.is_finite() {
+            return Err(Singular { column: k });
+        }
+        if pivot_row != k {
+            perm.swap(k, pivot_row);
+            for j in 0..dim {
+                let a = lu.get(k, j);
+                let b = lu.get(pivot_row, j);
+                lu.set(k, j, b);
+                lu.set(pivot_row, j, a);
+            }
+        }
+        // Eliminate below the pivot.
+        let pivot = lu.get(k, k);
+        for i in k + 1..dim {
+            let factor = lu.get(i, k) / pivot;
+            lu.set(i, k, factor);
+            for j in k + 1..dim {
+                let v = lu.get(i, j) - factor * lu.get(k, j);
+                lu.set(i, j, v);
+            }
+        }
+    }
+    Ok(LuFactor { dim, lu, perm })
+}
+
+impl LuFactor {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Solve `A x = b` using the stored factors.
+    pub fn solve(&self, b: &[f32]) -> Vec<f32> {
+        assert_eq!(b.len(), self.dim, "lu solve: rhs length");
+        // Apply permutation, then L y = Pb (unit diagonal), then U x = y.
+        let mut x: Vec<f32> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 0..self.dim {
+            let mut s = x[i] as f64;
+            for k in 0..i {
+                s -= self.lu.get(i, k) as f64 * x[k] as f64;
+            }
+            x[i] = s as f32;
+        }
+        for i in (0..self.dim).rev() {
+            let mut s = x[i] as f64;
+            for k in i + 1..self.dim {
+                s -= self.lu.get(i, k) as f64 * x[k] as f64;
+            }
+            x[i] = (s / self.lu.get(i, i) as f64) as f32;
+        }
+        x
+    }
+}
+
+/// One-shot dense solve `A x = b`.
+pub fn lu_solve(a: &DenseMatrix, b: &[f32]) -> Result<Vec<f32>, Singular> {
+    Ok(lu_factor(a)?.solve(b))
+}
+
+/// FMA count of an LU factor + solve of dimension `f` — the `O(f³)` term in
+/// the paper's Table I `solve` row, used by the simulator's cost model.
+pub fn lu_flops(f: usize) -> u64 {
+    let f = f as u64;
+    // 2f³/3 for elimination, 2 × f²/2 for the triangular solves.
+    2 * f * f * f / 3 + f * f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_system_exactly() {
+        // [[2,1],[1,3]] x = [3,5] → x = [4/5, 7/5]
+        let a = DenseMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = lu_solve(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-6);
+        assert!((x[1] - 1.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [[0,1],[1,0]] needs a row swap.
+        let a = DenseMatrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = lu_solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(matches!(lu_solve(&a, &[1.0, 1.0]), Err(Singular { .. })));
+    }
+
+    #[test]
+    fn residual_small_on_random_systems() {
+        let mut state = 0x1234_5678_9ABC_DEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u32 << 24) as f32 - 0.5
+        };
+        for trial in 0..10 {
+            let n = 8;
+            let mut a = DenseMatrix::zeros(n, n);
+            a.fill_with(&mut next);
+            for i in 0..n {
+                a.set(i, i, a.get(i, i) + 4.0); // diagonally dominant
+            }
+            let b: Vec<f32> = (0..n).map(|_| next()).collect();
+            let x = lu_solve(&a, &b).unwrap();
+            let mut ax = vec![0.0; n];
+            a.matvec(&x, &mut ax);
+            for i in 0..n {
+                assert!((ax[i] - b[i]).abs() < 1e-4, "trial {trial} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_cholesky_on_spd() {
+        use crate::sym::SymPacked;
+        let mut s = SymPacked::zeros(4);
+        s.syr(&[1.0, 2.0, 0.5, -1.0]);
+        s.syr(&[0.0, 1.0, 1.0, 1.0]);
+        s.add_diagonal(2.0);
+        let b = [1.0, 0.0, -1.0, 2.0];
+        let x_chol = crate::cholesky::cholesky_solve(&s, &b).unwrap();
+        let x_lu = lu_solve(&s.to_dense(), &b).unwrap();
+        for i in 0..4 {
+            assert!((x_chol[i] - x_lu[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn lu_flops_dominate_cholesky_flops() {
+        // LU does ~2× the work of Cholesky at the same size.
+        let f = 100;
+        assert!(lu_flops(f) > crate::cholesky::cholesky_flops(f));
+    }
+}

@@ -1,0 +1,218 @@
+//! Streaming statistics and error metrics for the experiment protocol.
+//!
+//! The paper's stopping criterion is "test RMSE reaches an acceptable level"
+//! (0.92 / 22.0 / 0.52 for its three datasets); [`Welford`] provides the
+//! numerically stable accumulation used to compute it over hundreds of
+//! millions of test ratings without catastrophic cancellation.
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merge another accumulator (parallel reduction; Chan et al.).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 if fewer than 1 observation).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// √(mean of observations) — when observations are squared errors this is
+    /// exactly the RMSE. NaN observations (e.g. from a diverged model)
+    /// propagate to a NaN result rather than being masked.
+    pub fn root_mean(&self) -> f64 {
+        if self.mean.is_nan() {
+            f64::NAN
+        } else {
+            self.mean.max(0.0).sqrt()
+        }
+    }
+}
+
+/// RMSE between predictions and targets.
+pub fn rmse(predictions: &[f32], targets: &[f32]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "rmse: length mismatch");
+    let mut w = Welford::new();
+    for (&p, &t) in predictions.iter().zip(targets) {
+        let e = (p - t) as f64;
+        w.push(e * e);
+    }
+    w.root_mean()
+}
+
+/// Mean absolute error.
+pub fn mae(predictions: &[f32], targets: &[f32]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "mae: length mismatch");
+    let mut w = Welford::new();
+    for (&p, &t) in predictions.iter().zip(targets) {
+        w.push(((p - t) as f64).abs());
+    }
+    w.mean()
+}
+
+/// A deterministic xorshift64* PRNG for places where pulling in `rand` is
+/// not worth it (cost-model jitter, test fixtures). Not cryptographic.
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeded constructor; a zero seed is remapped to a fixed constant.
+    pub fn new(seed: u64) -> Self {
+        XorShift64 { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u32 << 24) as f32
+    }
+
+    /// Uniform in `[0, n)`.
+    #[inline]
+    pub fn next_below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_mean_variance() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 5.0).collect();
+        let mut whole = Welford::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        xs[..33].iter().for_each(|&x| a.push(x));
+        xs[33..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut w = Welford::new();
+        w.push(3.0);
+        let before = w;
+        w.merge(&Welford::new());
+        assert_eq!(w.mean(), before.mean());
+        let mut empty = Welford::new();
+        empty.merge(&before);
+        assert_eq!(empty.mean(), before.mean());
+    }
+
+    #[test]
+    fn nan_observations_propagate() {
+        let mut w = Welford::new();
+        w.push(1.0);
+        w.push(f64::NAN);
+        assert!(w.root_mean().is_nan());
+        assert!(rmse(&[f32::NAN], &[1.0]).is_nan());
+    }
+
+    #[test]
+    fn rmse_of_exact_predictions_is_zero() {
+        let t = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        // errors: 1, -1, 1, -1 → RMSE = 1
+        let p = [2.0, 1.0, 4.0, 3.0];
+        let t = [1.0, 2.0, 3.0, 4.0];
+        assert!((rmse(&p, &t) - 1.0).abs() < 1e-12);
+        assert!((mae(&p, &t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_spread() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Crude uniformity check on [0,1).
+        let mut r = XorShift64::new(7);
+        let mean: f32 = (0..10_000).map(|_| r.next_f32()).sum::<f32>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the numeric substrate.
+
+use cumf_numeric::cg::{cg_solve, MatVec};
+use cumf_numeric::cholesky::cholesky_solve;
+use cumf_numeric::dense::{dot_f64, DenseMatrix};
+use cumf_numeric::f16::F16;
+use cumf_numeric::lu::lu_solve;
+use cumf_numeric::stats::Welford;
+use cumf_numeric::sym::{packed_index, packed_len, SymPacked};
+use proptest::prelude::*;
+
+/// Finite, moderately sized floats that stay well inside f16's normal range.
+fn small_f32() -> impl Strategy<Value = f32> {
+    (-2000i32..=2000i32).prop_map(|i| i as f32 / 8.0)
+}
+
+fn any_normal_f32() -> impl Strategy<Value = f32> {
+    prop::num::f32::NORMAL.prop_filter("within f16 range magnitude", |x| {
+        x.abs() >= 2.0f32.powi(-14) && x.abs() <= 60000.0
+    })
+}
+
+fn spd_matrix(dim: usize) -> impl Strategy<Value = SymPacked> {
+    prop::collection::vec(prop::collection::vec(-1.0f32..1.0, dim), dim + 2).prop_map(move |vs| {
+        let mut a = SymPacked::zeros(dim);
+        for v in &vs {
+            a.syr(v);
+        }
+        a.add_diagonal(1.0);
+        a
+    })
+}
+
+proptest! {
+    /// Round-tripping through f16 keeps relative error within the unit
+    /// roundoff 2⁻¹¹ for all normal-range values.
+    #[test]
+    fn f16_round_trip_error_bound(x in any_normal_f32()) {
+        let r = F16::from_f32(x).to_f32();
+        let err = (r - x).abs() / x.abs();
+        prop_assert!(err <= 2.0f32.powi(-11), "x={x} r={r} err={err}");
+    }
+
+    /// Widening any bit pattern and narrowing it back is the identity
+    /// (f32 has strictly more precision and range than f16).
+    #[test]
+    fn f16_widen_narrow_identity(bits in any::<u16>()) {
+        let h = F16::from_bits(bits);
+        let back = F16::from_f32(h.to_f32());
+        if h.is_nan() {
+            prop_assert!(back.is_nan());
+        } else {
+            prop_assert_eq!(h, back);
+        }
+    }
+
+    /// f16 narrowing is monotone: a ≤ b implies f16(a) ≤ f16(b).
+    #[test]
+    fn f16_narrowing_monotone(a in small_f32(), b in small_f32()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+    }
+
+    /// packed_index is a bijection from the lower triangle to 0..packed_len.
+    #[test]
+    fn packed_index_bijection(dim in 1usize..20) {
+        let mut seen = vec![false; packed_len(dim)];
+        for i in 0..dim {
+            for j in 0..=i {
+                let k = packed_index(i, j);
+                prop_assert!(!seen[k], "duplicate index at ({},{})", i, j);
+                seen[k] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Symmetric matvec agrees with the dense expansion.
+    #[test]
+    fn sym_matvec_matches_dense(a in spd_matrix(7), x in prop::collection::vec(-2.0f32..2.0, 7)) {
+        let mut y1 = vec![0.0; 7];
+        let mut y2 = vec![0.0; 7];
+        a.matvec(&x, &mut y1);
+        a.to_dense().matvec(&x, &mut y2);
+        for i in 0..7 {
+            prop_assert!((y1[i] - y2[i]).abs() < 1e-4);
+        }
+    }
+
+    /// Cholesky solve of a random SPD system leaves a tiny residual.
+    #[test]
+    fn cholesky_residual(a in spd_matrix(8), b in prop::collection::vec(-2.0f32..2.0, 8)) {
+        let x = cholesky_solve(&a, &b).unwrap();
+        let mut ax = vec![0.0; 8];
+        a.matvec(&x, &mut ax);
+        for i in 0..8 {
+            prop_assert!((ax[i] - b[i]).abs() < 1e-3, "row {}: {} vs {}", i, ax[i], b[i]);
+        }
+    }
+
+    /// LU and Cholesky agree on SPD systems.
+    #[test]
+    fn lu_matches_cholesky(a in spd_matrix(6), b in prop::collection::vec(-2.0f32..2.0, 6)) {
+        let xc = cholesky_solve(&a, &b).unwrap();
+        let xl = lu_solve(&a.to_dense(), &b).unwrap();
+        for i in 0..6 {
+            prop_assert!((xc[i] - xl[i]).abs() < 1e-3);
+        }
+    }
+
+    /// CG with fs = dim reaches the direct solution (finite termination).
+    #[test]
+    fn cg_finite_termination(a in spd_matrix(6), b in prop::collection::vec(-2.0f32..2.0, 6)) {
+        let exact = cholesky_solve(&a, &b).unwrap();
+        let mut x = vec![0.0; 6];
+        cg_solve(&a, &mut x, &b, 12, 1e-7);
+        for i in 0..6 {
+            prop_assert!((x[i] - exact[i]).abs() < 5e-2, "i {}: {} vs {}", i, x[i], exact[i]);
+        }
+    }
+
+    /// Each CG iteration never increases the A-norm error (CG optimality).
+    #[test]
+    fn cg_energy_monotone(a in spd_matrix(5), b in prop::collection::vec(-2.0f32..2.0, 5)) {
+        let exact = cholesky_solve(&a, &b).unwrap();
+        let energy = |x: &[f32]| {
+            let e: Vec<f32> = x.iter().zip(&exact).map(|(xi, ei)| xi - ei).collect();
+            let mut ae = vec![0.0; 5];
+            a.matvec(&e, &mut ae);
+            dot_f64(&ae, &e)
+        };
+        let mut prev = f64::INFINITY;
+        for fs in 1..=5 {
+            let mut x = vec![0.0; 5];
+            cg_solve(&a, &mut x, &b, fs, 0.0);
+            let cur = energy(&x);
+            prop_assert!(cur <= prev * (1.0 + 1e-3) + 1e-6, "fs={}: {} > {}", fs, cur, prev);
+            prev = cur;
+        }
+    }
+
+    /// Welford merge is associative with sequential push (within fp tolerance).
+    #[test]
+    fn welford_merge_associativity(xs in prop::collection::vec(-100.0f64..100.0, 1..200), split in 0usize..200) {
+        let split = split % (xs.len() + 1);
+        let mut whole = Welford::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        xs[..split].iter().for_each(|&x| a.push(x));
+        xs[split..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-4);
+    }
+
+    /// gemm_nt against hand-rolled triple loop.
+    #[test]
+    fn gemm_nt_reference(
+        a in prop::collection::vec(-2.0f32..2.0, 12),
+        b in prop::collection::vec(-2.0f32..2.0, 8),
+    ) {
+        let ma = DenseMatrix::from_vec(3, 4, a);
+        let mb = DenseMatrix::from_vec(2, 4, b);
+        let c = ma.gemm_nt(&mb);
+        for i in 0..3 {
+            for j in 0..2 {
+                let mut s = 0.0f32;
+                for k in 0..4 {
+                    s += ma.get(i, k) * mb.get(j, k);
+                }
+                prop_assert!((c.get(i, j) - s).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// MatVec through the trait object path equals the inherent method.
+    #[test]
+    fn matvec_trait_consistency(a in spd_matrix(5), x in prop::collection::vec(-1.0f32..1.0, 5)) {
+        let mut y1 = vec![0.0; 5];
+        let mut y2 = vec![0.0; 5];
+        a.matvec(&x, &mut y1);
+        MatVec::matvec(&a, &x, &mut y2);
+        prop_assert_eq!(y1, y2);
+    }
+}

@@ -1,0 +1,189 @@
+//! 2-D grid partitioning for parallel SGD (the "blocking" scheme of §VI-A).
+//!
+//! LIBMF, DSGD, NOMAD and GPU-SGD all rely on the same structural fact: two
+//! SGD updates conflict only if they touch the same row of `X` or the same
+//! row of `Θ`, i.e. only if the two ratings share a row or a column of `R`.
+//! Partition `R` into a `gb × gb` grid of blocks; any set of blocks forming a
+//! (generalized) diagonal is conflict-free and can be updated by `gb` workers
+//! in parallel. A full pass over the grid is `gb` such *waves*.
+
+use crate::coo::CooMatrix;
+
+/// A `grid × grid` partition of a COO matrix into rectangular blocks.
+///
+/// Entry `(r, c)` belongs to block `(r / row_stride, c / col_stride)`.
+/// Each block stores its entries contiguously so a worker streams them.
+#[derive(Clone, Debug)]
+pub struct BlockGrid {
+    grid: usize,
+    rows: usize,
+    cols: usize,
+    row_stride: usize,
+    col_stride: usize,
+    /// Entry index ranges per block, row-major over the grid.
+    block_ptr: Vec<usize>,
+    /// Entries grouped by block.
+    entries: Vec<crate::coo::Entry>,
+}
+
+impl BlockGrid {
+    /// Partition `coo` into a `grid × grid` block grid (counting sort, O(Nz)).
+    pub fn partition(coo: &CooMatrix, grid: usize) -> Self {
+        assert!(grid >= 1, "grid must be at least 1");
+        let rows = coo.rows();
+        let cols = coo.cols();
+        let row_stride = rows.div_ceil(grid).max(1);
+        let col_stride = cols.div_ceil(grid).max(1);
+        let nblocks = grid * grid;
+
+        let block_of = |e: &crate::coo::Entry| {
+            let br = (e.row as usize / row_stride).min(grid - 1);
+            let bc = (e.col as usize / col_stride).min(grid - 1);
+            br * grid + bc
+        };
+
+        let mut counts = vec![0usize; nblocks + 1];
+        for e in coo.entries() {
+            counts[block_of(e) + 1] += 1;
+        }
+        for i in 0..nblocks {
+            counts[i + 1] += counts[i];
+        }
+        let block_ptr = counts.clone();
+        let mut entries = vec![crate::coo::Entry { row: 0, col: 0, value: 0.0 }; coo.nnz()];
+        let mut cursor = counts;
+        for e in coo.entries() {
+            let b = block_of(e);
+            entries[cursor[b]] = *e;
+            cursor[b] += 1;
+        }
+
+        BlockGrid { grid, rows, cols, row_stride, col_stride, block_ptr, entries }
+    }
+
+    /// Grid dimension `gb`.
+    #[inline]
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Shape of the underlying matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Entries of block `(br, bc)`.
+    pub fn block(&self, br: usize, bc: usize) -> &[crate::coo::Entry] {
+        assert!(br < self.grid && bc < self.grid, "block index out of range");
+        let b = br * self.grid + bc;
+        &self.entries[self.block_ptr[b]..self.block_ptr[b + 1]]
+    }
+
+    /// Non-zero count of block `(br, bc)`.
+    pub fn block_nnz(&self, br: usize, bc: usize) -> usize {
+        let b = br * self.grid + bc;
+        self.block_ptr[b + 1] - self.block_ptr[b]
+    }
+
+    /// The `w`-th conflict-free wave: blocks `(i, (i + w) mod gb)` for all
+    /// `i`. Over `w = 0..gb` every block is visited exactly once.
+    pub fn wave(&self, w: usize) -> Vec<(usize, usize)> {
+        (0..self.grid).map(|i| (i, (i + w) % self.grid)).collect()
+    }
+
+    /// Row range `[start, end)` covered by block row `br`.
+    pub fn row_range(&self, br: usize) -> (usize, usize) {
+        let s = br * self.row_stride;
+        (s.min(self.rows), ((br + 1) * self.row_stride).min(self.rows))
+    }
+
+    /// Column range `[start, end)` covered by block column `bc`.
+    pub fn col_range(&self, bc: usize) -> (usize, usize) {
+        let s = bc * self.col_stride;
+        (s.min(self.cols), ((bc + 1) * self.col_stride).min(self.cols))
+    }
+
+    /// Total entries across all blocks (must equal the source Nz).
+    pub fn total_nnz(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_numeric::stats::XorShift64;
+
+    fn random_coo(rows: usize, cols: usize, nnz: usize, seed: u64) -> CooMatrix {
+        let mut rng = XorShift64::new(seed);
+        let mut m = CooMatrix::new(rows, cols);
+        for _ in 0..nnz {
+            m.push(rng.next_below(rows) as u32, rng.next_below(cols) as u32, rng.next_f32());
+        }
+        m
+    }
+
+    #[test]
+    fn partition_conserves_entries() {
+        let coo = random_coo(100, 80, 1000, 1);
+        let g = BlockGrid::partition(&coo, 4);
+        assert_eq!(g.total_nnz(), 1000);
+        let sum: usize = (0..4).flat_map(|r| (0..4).map(move |c| (r, c))).map(|(r, c)| g.block_nnz(r, c)).sum();
+        assert_eq!(sum, 1000);
+    }
+
+    #[test]
+    fn entries_land_in_their_block() {
+        let coo = random_coo(64, 64, 500, 2);
+        let g = BlockGrid::partition(&coo, 8);
+        for br in 0..8 {
+            for bc in 0..8 {
+                let (rs, re) = g.row_range(br);
+                let (cs, ce) = g.col_range(bc);
+                for e in g.block(br, bc) {
+                    assert!((e.row as usize) >= rs && (e.row as usize) < re);
+                    assert!((e.col as usize) >= cs && (e.col as usize) < ce);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn waves_are_conflict_free_and_exhaustive() {
+        let g = BlockGrid::partition(&random_coo(32, 32, 100, 3), 5);
+        let mut seen = vec![false; 25];
+        for w in 0..5 {
+            let wave = g.wave(w);
+            // No two blocks in one wave share a row or a column of the grid.
+            for i in 0..wave.len() {
+                for j in i + 1..wave.len() {
+                    assert_ne!(wave[i].0, wave[j].0, "wave {w} shares block-row");
+                    assert_ne!(wave[i].1, wave[j].1, "wave {w} shares block-col");
+                }
+            }
+            for (r, c) in wave {
+                assert!(!seen[r * 5 + c], "block visited twice");
+                seen[r * 5 + c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every block visited");
+    }
+
+    #[test]
+    fn grid_one_is_single_block() {
+        let coo = random_coo(10, 10, 30, 4);
+        let g = BlockGrid::partition(&coo, 1);
+        assert_eq!(g.block_nnz(0, 0), 30);
+        assert_eq!(g.wave(0), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn uneven_dimensions_cover_all_rows() {
+        // 10 rows, grid 3 → stride 4: block rows cover 0..4, 4..8, 8..10.
+        let coo = random_coo(10, 7, 50, 5);
+        let g = BlockGrid::partition(&coo, 3);
+        assert_eq!(g.row_range(2), (8, 10));
+        assert_eq!(g.col_range(2), (6, 7));
+        assert_eq!(g.total_nnz(), 50);
+    }
+}

@@ -1,0 +1,180 @@
+//! Coordinate-format sparse matrices: the builder/interchange format.
+//!
+//! Datasets arrive as `(user, item, rating)` triplets; [`CooMatrix`] holds
+//! them with explicit dimensions and converts to [`crate::csr::CsrMatrix`]
+//! via a counting sort (no comparison sort needed).
+
+/// A single observation `r_{uv}`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Entry {
+    /// Row index (user).
+    pub row: u32,
+    /// Column index (item).
+    pub col: u32,
+    /// Observed value (rating).
+    pub value: f32,
+}
+
+/// A sparse matrix as an unordered list of entries.
+#[derive(Clone, Debug)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<Entry>,
+}
+
+impl CooMatrix {
+    /// An empty matrix of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooMatrix { rows, cols, entries: Vec::new() }
+    }
+
+    /// Build from parts, validating every index against the shape.
+    pub fn from_entries(rows: usize, cols: usize, entries: Vec<Entry>) -> Self {
+        for e in &entries {
+            assert!(
+                (e.row as usize) < rows && (e.col as usize) < cols,
+                "entry ({}, {}) out of bounds for {}×{}",
+                e.row,
+                e.col,
+                rows,
+                cols
+            );
+        }
+        CooMatrix { rows, cols, entries }
+    }
+
+    /// Append one observation.
+    #[inline]
+    pub fn push(&mut self, row: u32, col: u32, value: f32) {
+        debug_assert!((row as usize) < self.rows && (col as usize) < self.cols);
+        self.entries.push(Entry { row, col, value });
+    }
+
+    /// Reserve capacity for `additional` more entries.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
+    /// Number of rows (m).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (n).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries (Nz).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Borrow the entries.
+    #[inline]
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Consume into the entry list.
+    pub fn into_entries(self) -> Vec<Entry> {
+        self.entries
+    }
+
+    /// Density `Nz / (m·n)`.
+    pub fn density(&self) -> f64 {
+        self.entries.len() as f64 / (self.rows as f64 * self.cols as f64)
+    }
+
+    /// Transposed copy (rows and columns swapped).
+    pub fn transpose(&self) -> CooMatrix {
+        CooMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            entries: self
+                .entries
+                .iter()
+                .map(|e| Entry { row: e.col, col: e.row, value: e.value })
+                .collect(),
+        }
+    }
+
+    /// Mean of the stored values (0 if empty); datasets use this for
+    /// mean-centering checks.
+    pub fn mean_value(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.entries.iter().map(|e| e.value as f64).sum::<f64>() / self.entries.len() as f64
+    }
+
+    /// Per-row non-zero counts (`n_{x_u}` in the paper's notation).
+    pub fn row_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.rows];
+        for e in &self.entries {
+            counts[e.row as usize] += 1;
+        }
+        counts
+    }
+
+    /// Per-column non-zero counts (`n_{θ_v}`).
+    pub fn col_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.cols];
+        for e in &self.entries {
+            counts[e.col as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooMatrix {
+        let mut m = CooMatrix::new(3, 4);
+        m.push(0, 1, 5.0);
+        m.push(2, 3, 1.0);
+        m.push(1, 0, 3.0);
+        m.push(0, 3, 4.0);
+        m
+    }
+
+    #[test]
+    fn shape_and_counts() {
+        let m = sample();
+        assert_eq!((m.rows(), m.cols(), m.nnz()), (3, 4, 4));
+        assert_eq!(m.row_counts(), vec![2, 1, 1]);
+        assert_eq!(m.col_counts(), vec![1, 1, 0, 2]);
+    }
+
+    #[test]
+    fn density_and_mean() {
+        let m = sample();
+        assert!((m.density() - 4.0 / 12.0).abs() < 1e-12);
+        assert!((m.mean_value() - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let t = sample().transpose();
+        assert_eq!((t.rows(), t.cols()), (4, 3));
+        assert_eq!(t.row_counts(), vec![1, 1, 0, 2]);
+        assert!(t.entries().contains(&Entry { row: 1, col: 0, value: 5.0 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_entries_validates() {
+        CooMatrix::from_entries(2, 2, vec![Entry { row: 2, col: 0, value: 1.0 }]);
+    }
+
+    #[test]
+    fn empty_matrix_mean_is_zero() {
+        assert_eq!(CooMatrix::new(5, 5).mean_value(), 0.0);
+    }
+}

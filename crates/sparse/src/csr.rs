@@ -1,0 +1,301 @@
+//! Compressed sparse row matrices — the working format of every solver here.
+//!
+//! `row_ptr` has `rows+1` entries; the non-zeros of row `u` live at
+//! `col_idx[row_ptr[u]..row_ptr[u+1]]` / `values[...]`, sorted by column.
+//! This is exactly the device-memory layout cuMF_ALS keeps `R` in: the
+//! `get_hermitian` kernel for row `u` walks this slice to find which `θ_v`
+//! columns to stage into shared memory.
+
+use crate::coo::{CooMatrix, Entry};
+
+/// A sparse matrix in CSR format with column indices sorted within each row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u64>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Convert from COO with a counting sort on rows (O(Nz + m)), then sort
+    /// each row's entries by column. Duplicate coordinates are summed.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let rows = coo.rows();
+        let cols = coo.cols();
+        let entries = coo.entries();
+
+        // Counting sort by row.
+        let mut row_ptr = vec![0u64; rows + 1];
+        for e in entries {
+            row_ptr[e.row as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = vec![0u32; entries.len()];
+        let mut values = vec![0f32; entries.len()];
+        let mut cursor = row_ptr.clone();
+        for e in entries {
+            let p = cursor[e.row as usize] as usize;
+            col_idx[p] = e.col;
+            values[p] = e.value;
+            cursor[e.row as usize] += 1;
+        }
+
+        // Sort within each row by column, then merge duplicates.
+        let mut merged_col: Vec<u32> = Vec::with_capacity(col_idx.len());
+        let mut merged_val: Vec<f32> = Vec::with_capacity(values.len());
+        let mut merged_ptr = vec![0u64; rows + 1];
+        let mut scratch: Vec<(u32, f32)> = Vec::new();
+        for r in 0..rows {
+            let (s, e) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
+            scratch.clear();
+            scratch.extend(col_idx[s..e].iter().copied().zip(values[s..e].iter().copied()));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let (c, mut v) = scratch[i];
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                merged_col.push(c);
+                merged_val.push(v);
+                i = j;
+            }
+            merged_ptr[r + 1] = merged_col.len() as u64;
+        }
+
+        CsrMatrix { rows, cols, row_ptr: merged_ptr, col_idx: merged_col, values: merged_val }
+    }
+
+    /// Build directly from raw CSR arrays (validated).
+    pub fn from_raw(rows: usize, cols: usize, row_ptr: Vec<u64>, col_idx: Vec<u32>, values: Vec<f32>) -> Self {
+        assert_eq!(row_ptr.len(), rows + 1, "row_ptr length");
+        assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
+        assert_eq!(*row_ptr.last().unwrap() as usize, col_idx.len(), "row_ptr end");
+        assert_eq!(col_idx.len(), values.len(), "col/val length");
+        for w in row_ptr.windows(2) {
+            assert!(w[0] <= w[1], "row_ptr must be nondecreasing");
+        }
+        for &c in &col_idx {
+            assert!((c as usize) < cols, "column index {c} out of bounds");
+        }
+        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Non-zero count of row `r` — the paper's `n_{x_u}`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        (self.row_ptr[r + 1] - self.row_ptr[r]) as usize
+    }
+
+    /// Column indices of row `r`.
+    #[inline]
+    pub fn row_cols(&self, r: usize) -> &[u32] {
+        &self.col_idx[self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize]
+    }
+
+    /// Values of row `r`.
+    #[inline]
+    pub fn row_values(&self, r: usize) -> &[f32] {
+        &self.values[self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize]
+    }
+
+    /// Iterate `(col, value)` over row `r`.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.row_cols(r).iter().copied().zip(self.row_values(r).iter().copied())
+    }
+
+    /// The raw row-pointer array.
+    #[inline]
+    pub fn row_ptr(&self) -> &[u64] {
+        &self.row_ptr
+    }
+
+    /// The raw column-index array.
+    #[inline]
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The raw value array.
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Look up `self[r][c]` (binary search within the row).
+    pub fn get(&self, r: usize, c: u32) -> Option<f32> {
+        let cols = self.row_cols(r);
+        cols.binary_search(&c).ok().map(|i| self.row_values(r)[i])
+    }
+
+    /// Transpose into a new CSR matrix (i.e. CSC of the original) using a
+    /// counting sort over columns; columns of the result stay sorted.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut row_ptr = vec![0u64; self.cols + 1];
+        for &c in &self.col_idx {
+            row_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0f32; self.nnz()];
+        let mut cursor = row_ptr.clone();
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                let p = cursor[c as usize] as usize;
+                col_idx[p] = r as u32;
+                values[p] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        CsrMatrix { rows: self.cols, cols: self.rows, row_ptr, col_idx, values }
+    }
+
+    /// Sparse matrix–dense vector product `y = R·x`.
+    pub fn spmv(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "spmv: x length");
+        assert_eq!(y.len(), self.rows, "spmv: y length");
+        for r in 0..self.rows {
+            let mut acc = 0.0f32;
+            for (c, v) in self.row_iter(r) {
+                acc += v * x[c as usize];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Convert back to COO (row-major ordered).
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut entries = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                entries.push(Entry { row: r as u32, col: c, value: v });
+            }
+        }
+        CooMatrix::from_entries(self.rows, self.cols, entries)
+    }
+
+    /// Histogram of row lengths, for dataset-shape diagnostics.
+    pub fn row_length_histogram(&self, buckets: &[usize]) -> Vec<usize> {
+        let mut hist = vec![0usize; buckets.len() + 1];
+        for r in 0..self.rows {
+            let n = self.row_nnz(r);
+            let b = buckets.iter().position(|&ub| n <= ub).unwrap_or(buckets.len());
+            hist[b] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[0,5,0,4],[3,0,0,0],[0,0,0,1]]
+        let mut m = CooMatrix::new(3, 4);
+        m.push(0, 3, 4.0);
+        m.push(0, 1, 5.0);
+        m.push(1, 0, 3.0);
+        m.push(2, 3, 1.0);
+        CsrMatrix::from_coo(&m)
+    }
+
+    #[test]
+    fn rows_are_sorted_by_column() {
+        let m = sample();
+        assert_eq!(m.row_cols(0), &[1, 3]);
+        assert_eq!(m.row_values(0), &[5.0, 4.0]);
+        assert_eq!(m.row_nnz(1), 1);
+        assert_eq!(m.get(0, 3), Some(4.0));
+        assert_eq!(m.get(0, 2), None);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 0, 1.0);
+        m.push(0, 0, 2.5);
+        let csr = CsrMatrix::from_coo(&m);
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.get(0, 0), Some(3.5));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        let tt = m.transpose().transpose();
+        assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn transpose_moves_entries() {
+        let t = sample().transpose();
+        assert_eq!((t.rows(), t.cols()), (4, 3));
+        assert_eq!(t.get(3, 0), Some(4.0));
+        assert_eq!(t.get(3, 2), Some(1.0));
+        assert_eq!(t.get(0, 1), Some(3.0));
+    }
+
+    #[test]
+    fn spmv_reference() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut y = [0.0; 3];
+        m.spmv(&x, &mut y);
+        assert_eq!(y, [5.0 * 2.0 + 4.0 * 4.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn coo_round_trip_preserves_everything() {
+        let m = sample();
+        assert_eq!(CsrMatrix::from_coo(&m.to_coo()), m);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let coo = CooMatrix::new(4, 4); // all rows empty
+        let m = CsrMatrix::from_coo(&coo);
+        assert_eq!(m.nnz(), 0);
+        for r in 0..4 {
+            assert_eq!(m.row_nnz(r), 0);
+        }
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let m = sample(); // row lengths 2,1,1
+        assert_eq!(m.row_length_histogram(&[1, 2]), vec![2, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr must be nondecreasing")]
+    fn from_raw_validates_monotonicity() {
+        CsrMatrix::from_raw(2, 2, vec![0, 2, 1], vec![0], vec![1.0]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Train/test splitting, following the paper's protocol (§V-B): use the
+//! provider split when one exists, otherwise hold out a random 10% of the
+//! observations (what the paper does for Hugewiki).
+
+use crate::coo::{CooMatrix, Entry};
+use cumf_numeric::stats::XorShift64;
+
+/// A dataset split into training and test observation sets over the same
+/// `m × n` index space.
+#[derive(Clone, Debug)]
+pub struct TrainTestSplit {
+    /// Training observations.
+    pub train: CooMatrix,
+    /// Held-out test observations.
+    pub test: CooMatrix,
+}
+
+/// Randomly hold out a fraction `test_fraction` of the entries.
+///
+/// Deterministic given `seed`. Every entry lands in exactly one side.
+pub fn random_split(data: &CooMatrix, test_fraction: f64, seed: u64) -> TrainTestSplit {
+    assert!((0.0..1.0).contains(&test_fraction), "test_fraction must be in [0, 1)");
+    let mut rng = XorShift64::new(seed);
+    let mut train = CooMatrix::new(data.rows(), data.cols());
+    let mut test = CooMatrix::new(data.rows(), data.cols());
+    let threshold = test_fraction as f32;
+    for e in data.entries() {
+        if rng.next_f32() < threshold {
+            test.push(e.row, e.col, e.value);
+        } else {
+            train.push(e.row, e.col, e.value);
+        }
+    }
+    TrainTestSplit { train, test }
+}
+
+/// Hold out up to `per_row` entries from every row that has more than
+/// `min_keep` entries — a leave-k-out protocol that guarantees every user
+/// keeps training signal (used by the recommender example).
+pub fn leave_k_out_split(data: &CooMatrix, per_row: usize, min_keep: usize, seed: u64) -> TrainTestSplit {
+    let mut rng = XorShift64::new(seed);
+    // Bucket entries by row first.
+    let mut by_row: Vec<Vec<Entry>> = vec![Vec::new(); data.rows()];
+    for e in data.entries() {
+        by_row[e.row as usize].push(*e);
+    }
+    let mut train = CooMatrix::new(data.rows(), data.cols());
+    let mut test = CooMatrix::new(data.rows(), data.cols());
+    for row in &mut by_row {
+        // Fisher–Yates to pick the held-out entries uniformly.
+        let k = if row.len() > min_keep { per_row.min(row.len() - min_keep) } else { 0 };
+        let len = row.len();
+        for i in 0..k {
+            let j = i + rng.next_below(len - i);
+            row.swap(i, j);
+        }
+        for (i, e) in row.iter().enumerate() {
+            if i < k {
+                test.push(e.row, e.col, e.value);
+            } else {
+                train.push(e.row, e.col, e.value);
+            }
+        }
+    }
+    TrainTestSplit { train, test }
+}
+
+impl TrainTestSplit {
+    /// Fraction of all observations that were held out.
+    pub fn test_fraction(&self) -> f64 {
+        let total = self.train.nnz() + self.test.nnz();
+        if total == 0 {
+            0.0
+        } else {
+            self.test.nnz() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(rows: usize, cols: usize, nnz: usize) -> CooMatrix {
+        let mut rng = XorShift64::new(99);
+        let mut m = CooMatrix::new(rows, cols);
+        for _ in 0..nnz {
+            m.push(rng.next_below(rows) as u32, rng.next_below(cols) as u32, 1.0 + rng.next_f32() * 4.0);
+        }
+        m
+    }
+
+    #[test]
+    fn random_split_conserves_entries() {
+        let data = dataset(200, 100, 5000);
+        let s = random_split(&data, 0.1, 7);
+        assert_eq!(s.train.nnz() + s.test.nnz(), 5000);
+        let f = s.test_fraction();
+        assert!((f - 0.1).abs() < 0.02, "held-out fraction {f}");
+    }
+
+    #[test]
+    fn random_split_is_deterministic() {
+        let data = dataset(50, 50, 500);
+        let a = random_split(&data, 0.2, 42);
+        let b = random_split(&data, 0.2, 42);
+        assert_eq!(a.train.nnz(), b.train.nnz());
+        assert_eq!(a.test.entries(), b.test.entries());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let data = dataset(50, 50, 500);
+        let a = random_split(&data, 0.2, 1);
+        let b = random_split(&data, 0.2, 2);
+        assert_ne!(a.test.entries(), b.test.entries());
+    }
+
+    #[test]
+    fn zero_fraction_keeps_everything() {
+        let data = dataset(20, 20, 100);
+        let s = random_split(&data, 0.0, 3);
+        assert_eq!(s.train.nnz(), 100);
+        assert_eq!(s.test.nnz(), 0);
+    }
+
+    #[test]
+    fn leave_k_out_respects_min_keep() {
+        let data = dataset(100, 40, 2000);
+        let s = leave_k_out_split(&data, 2, 3, 5);
+        assert_eq!(s.train.nnz() + s.test.nnz(), 2000);
+        let train_counts = s.train.row_counts();
+        let orig_counts = data.row_counts();
+        let test_counts = s.test.row_counts();
+        for r in 0..100 {
+            if orig_counts[r] > 3 {
+                assert!(train_counts[r] as usize >= 3, "row {r} kept too little");
+                assert!(test_counts[r] <= 2, "row {r} held out too much");
+            } else {
+                assert_eq!(test_counts[r], 0, "small row {r} must not lose entries");
+            }
+        }
+    }
+}

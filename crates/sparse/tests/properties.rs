@@ -1,0 +1,126 @@
+//! Property-based tests for the sparse substrate.
+
+use cumf_sparse::blocking::BlockGrid;
+use cumf_sparse::coo::{CooMatrix, Entry};
+use cumf_sparse::csr::CsrMatrix;
+use cumf_sparse::split::random_split;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_coo(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
+    (1..max_dim, 1..max_dim).prop_flat_map(move |(rows, cols)| {
+        prop::collection::vec(
+            (0..rows as u32, 0..cols as u32, -10.0f32..10.0),
+            0..max_nnz,
+        )
+        .prop_map(move |trips| {
+            let entries = trips.into_iter().map(|(row, col, value)| Entry { row, col, value }).collect();
+            CooMatrix::from_entries(rows, cols, entries)
+        })
+    })
+}
+
+/// Multiset of (row, col, summed value) — the canonical content of a matrix.
+fn canonical(m: &CsrMatrix) -> BTreeMap<(u32, u32), f32> {
+    let mut map = BTreeMap::new();
+    for r in 0..m.rows() {
+        for (c, v) in m.row_iter(r) {
+            *map.entry((r as u32, c)).or_insert(0.0) += v;
+        }
+    }
+    map
+}
+
+proptest! {
+    /// COO→CSR→COO→CSR is a fixed point, and duplicate coordinates merge
+    /// into a single summed entry.
+    #[test]
+    fn csr_conversion_is_lossless(coo in arb_coo(40, 200)) {
+        let csr = CsrMatrix::from_coo(&coo);
+        let again = CsrMatrix::from_coo(&csr.to_coo());
+        prop_assert_eq!(&csr, &again);
+
+        // Content matches the source after duplicate-merging.
+        let mut expect: BTreeMap<(u32, u32), f32> = BTreeMap::new();
+        for e in coo.entries() {
+            *expect.entry((e.row, e.col)).or_insert(0.0) += e.value;
+        }
+        let got = canonical(&csr);
+        prop_assert_eq!(expect.len(), got.len());
+        for (k, v) in &expect {
+            let g = got[k];
+            prop_assert!((g - v).abs() < 1e-3, "({},{}) {} vs {}", k.0, k.1, g, v);
+        }
+    }
+
+    /// Transpose preserves content with swapped coordinates.
+    #[test]
+    fn transpose_preserves_content(coo in arb_coo(30, 150)) {
+        let csr = CsrMatrix::from_coo(&coo);
+        let t = csr.transpose();
+        prop_assert_eq!(csr.nnz(), t.nnz());
+        let orig = canonical(&csr);
+        let flipped: BTreeMap<(u32, u32), f32> =
+            canonical(&t).into_iter().map(|((r, c), v)| ((c, r), v)).collect();
+        prop_assert_eq!(orig, flipped);
+    }
+
+    /// Rows stay sorted by column after conversion.
+    #[test]
+    fn csr_rows_sorted(coo in arb_coo(30, 150)) {
+        let csr = CsrMatrix::from_coo(&coo);
+        for r in 0..csr.rows() {
+            let cols = csr.row_cols(r);
+            prop_assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {} not strictly sorted", r);
+        }
+    }
+
+    /// Block partitioning conserves the entry multiset and the waves tile
+    /// the grid exactly once.
+    #[test]
+    fn block_partition_conserves(coo in arb_coo(50, 300), grid in 1usize..8) {
+        let g = BlockGrid::partition(&coo, grid);
+        prop_assert_eq!(g.total_nnz(), coo.nnz());
+        let mut count = 0usize;
+        for br in 0..grid {
+            for bc in 0..grid {
+                let (rs, re) = g.row_range(br);
+                let (cs, ce) = g.col_range(bc);
+                for e in g.block(br, bc) {
+                    prop_assert!((e.row as usize) >= rs && (e.row as usize) < re);
+                    prop_assert!((e.col as usize) >= cs && (e.col as usize) < ce);
+                    count += 1;
+                }
+            }
+        }
+        prop_assert_eq!(count, coo.nnz());
+    }
+
+    /// Splits partition the data: no entry lost, no entry duplicated.
+    #[test]
+    fn split_partitions_data(coo in arb_coo(40, 200), frac in 0.0f64..0.9, seed in 1u64..1000) {
+        let s = random_split(&coo, frac, seed);
+        prop_assert_eq!(s.train.nnz() + s.test.nnz(), coo.nnz());
+        prop_assert_eq!(s.train.rows(), coo.rows());
+        prop_assert_eq!(s.test.cols(), coo.cols());
+    }
+
+    /// spmv distributes over vector addition: R(x+y) = Rx + Ry.
+    #[test]
+    fn spmv_linear(coo in arb_coo(20, 100)) {
+        let csr = CsrMatrix::from_coo(&coo);
+        let n = csr.cols();
+        let x: Vec<f32> = (0..n).map(|i| (i % 7) as f32 - 3.0).collect();
+        let y: Vec<f32> = (0..n).map(|i| (i % 5) as f32 * 0.5).collect();
+        let xy: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let mut rx = vec![0.0; csr.rows()];
+        let mut ry = vec![0.0; csr.rows()];
+        let mut rxy = vec![0.0; csr.rows()];
+        csr.spmv(&x, &mut rx);
+        csr.spmv(&y, &mut ry);
+        csr.spmv(&xy, &mut rxy);
+        for r in 0..csr.rows() {
+            prop_assert!((rxy[r] - (rx[r] + ry[r])).abs() < 1e-2);
+        }
+    }
+}

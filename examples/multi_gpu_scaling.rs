@@ -1,0 +1,53 @@
+//! Multi-GPU scaling: train the Hugewiki-shaped dataset on 1–4 simulated
+//! GPUs of each generation, showing the capacity constraint (Hugewiki's
+//! factor matrix alone exceeds one 12 GB device) and the compute/comm
+//! trade-off of model-parallel ALS.
+//!
+//! ```sh
+//! cargo run -p cumf-examples --bin multi_gpu_scaling
+//! ```
+
+use cumf_als::{AlsConfig, AlsTrainer};
+use cumf_datasets::{MfDataset, SizeClass};
+use cumf_gpu_sim::GpuSpec;
+
+fn main() {
+    let data = MfDataset::hugewiki(SizeClass::Tiny, 3);
+    println!(
+        "Hugewiki profile: {} × {} with {} non-zeros — X alone is {:.1} GB at f=100",
+        data.profile.m,
+        data.profile.n,
+        data.profile.nz,
+        data.profile.factor_bytes(data.profile.m) as f64 / 1e9
+    );
+
+    for spec in [GpuSpec::maxwell_titan_x(), GpuSpec::pascal_p100()] {
+        println!("\ndevice: {} ({} GB)", spec.name, spec.dram_capacity >> 30);
+        println!(
+            "{:>5} {:>10} {:>12} {:>12} {:>12} {:>10}",
+            "GPUs", "fits?", "epoch (s)", "compute (s)", "comm (s)", "speedup"
+        );
+        let mut base_epoch = None;
+        for gpus in [1u32, 2, 4] {
+            let config = AlsConfig { iterations: 1, rmse_target: None, ..AlsConfig::for_profile(&data.profile) };
+            let mut trainer = AlsTrainer::new(&data, config, spec.clone(), gpus);
+            let fits = trainer.device_bytes_per_gpu() <= spec.dram_capacity;
+            let (phases, _) = trainer.run_epoch();
+            let total = phases.total();
+            let base = *base_epoch.get_or_insert(total);
+            println!(
+                "{:>5} {:>10} {:>12.2} {:>12.2} {:>12.2} {:>9.2}x",
+                gpus,
+                if fits { "yes" } else { "NO" },
+                total,
+                phases.compute + phases.load + phases.write + phases.bias + phases.solve,
+                phases.comm,
+                base / total
+            );
+        }
+    }
+
+    println!("\nReading: 1 Maxwell GPU cannot even hold Hugewiki (the paper runs it on 4);");
+    println!("NVLink (Pascal) keeps the all-gather cheap enough for near-linear scaling,");
+    println!("PCIe (Maxwell) gives up part of the 4-GPU gain to communication.");
+}

@@ -1,0 +1,106 @@
+//! Cross-system agreement: every MF implementation in the workspace must
+//! find factors of equivalent quality on the same data — the differences
+//! the paper studies are *speed*, never correctness.
+
+use cumf_als::{AlsConfig, AlsTrainer};
+use cumf_baselines::bidmach::BidMach;
+use cumf_baselines::ccd::{CcdConfig, CcdTrainer};
+use cumf_baselines::sgd::{blocked_epoch, sgd_test_rmse, SgdConfig, SgdModel};
+use cumf_baselines::{GpuAlsBaseline, GpuSgd};
+use cumf_datasets::{MfDataset, SizeClass};
+use cumf_gpu_sim::host::CpuSpec;
+use cumf_gpu_sim::GpuSpec;
+use cumf_numeric::dense::DenseMatrix;
+use cumf_sparse::blocking::BlockGrid;
+
+const F: usize = 8;
+
+fn data() -> MfDataset {
+    MfDataset::netflix(SizeClass::Tiny, 42)
+}
+
+fn als_rmse(data: &MfDataset) -> f64 {
+    let cfg = AlsConfig { f: F, iterations: 8, rmse_target: None, ..AlsConfig::for_profile(&data.profile) };
+    let mut t = AlsTrainer::new(data, cfg, GpuSpec::maxwell_titan_x(), 1);
+    t.train().final_rmse()
+}
+
+#[test]
+fn every_system_reaches_comparable_quality() {
+    let data = data();
+    let reference = als_rmse(&data);
+
+    // GPU-ALS baseline (exact solver) — must match cuMF_ALS closely.
+    let gpu_als = GpuAlsBaseline { spec: GpuSpec::maxwell_titan_x(), gpus: 1 }
+        .train_with_f(&data, 8, F)
+        .curve
+        .best_rmse()
+        .unwrap();
+    assert!((gpu_als - reference).abs() < 0.03, "GPU-ALS {gpu_als} vs cuMF {reference}");
+
+    // Blocked SGD.
+    let sgd_cfg = SgdConfig::new(F, 0.05);
+    let grid = BlockGrid::partition(&data.train_coo, sgd_cfg.grid);
+    let mut model = SgdModel::init(data.m(), data.n(), &sgd_cfg, 3.6);
+    for k in 0..30 {
+        blocked_epoch(&grid, &mut model, &sgd_cfg, k);
+    }
+    let sgd = sgd_test_rmse(&model, &data.test);
+    assert!((sgd - reference).abs() < 0.12, "SGD {sgd} vs ALS {reference}");
+
+    // Hogwild GPU-SGD.
+    let mut gsgd = GpuSgd::paper_setup(GpuSpec::maxwell_titan_x(), 1, F, &data.profile);
+    gsgd.config = SgdConfig::new(F, 0.05);
+    let hog = gsgd.train(&data, 30).curve.best_rmse().unwrap();
+    assert!((hog - reference).abs() < 0.12, "Hogwild {hog} vs ALS {reference}");
+
+    // CCD++.
+    let mut ccd = CcdTrainer::new(&data, CcdConfig { f: F, lambda: 0.05, inner: 1, seed: 1 }, CpuSpec::power8());
+    let ccd_rmse = ccd.train(12).best_rmse().unwrap();
+    assert!((ccd_rmse - reference).abs() < 0.12, "CCD++ {ccd_rmse} vs ALS {reference}");
+}
+
+#[test]
+fn bidmach_generic_kernels_agree_with_fused_everywhere() {
+    let data = data();
+    let bid = BidMach { spec: GpuSpec::maxwell_titan_x(), f: F, lambda: 0.05 };
+    let mut rng = cumf_numeric::stats::XorShift64::new(9);
+    let mut features = DenseMatrix::zeros(data.n(), F);
+    features.fill_with(|| rng.next_f32() - 0.5);
+    for row in 0..data.m().min(200) {
+        assert!(bid.matches_fused(&data.r, &features, row), "row {row} disagrees");
+    }
+}
+
+#[test]
+fn als_trainer_factors_solve_their_own_normal_equations() {
+    // Near convergence, each x_u approximately satisfies its row's
+    // regularized normal equations against the final Θ (the ALS fixed-point
+    // property; exact equality would need X re-solved after the last Θ
+    // sweep, so a small drift tolerance remains).
+    let data = data();
+    let cfg = AlsConfig {
+        f: F,
+        iterations: 10,
+        rmse_target: None,
+        solver: cumf_als::SolverKind::BatchCholesky,
+        ..AlsConfig::for_profile(&data.profile)
+    };
+    let mut t = AlsTrainer::new(&data, cfg, GpuSpec::maxwell_titan_x(), 1);
+    t.train();
+    for u in (0..data.m()).step_by(41) {
+        let cols = data.r.row_cols(u);
+        if cols.is_empty() {
+            continue;
+        }
+        let a = cumf_als::kernels::hermitian::hermitian_row_reference(cols, &t.theta, 0.05, F);
+        let mut b = vec![0.0f32; F];
+        cumf_als::kernels::bias::bias_row(cols, data.r.row_values(u), &t.theta, &mut b);
+        let mut ax = vec![0.0f32; F];
+        a.matvec(t.x.row(u), &mut ax);
+        for i in 0..F {
+            let tol = 5e-2f32.max(0.02 * b[i].abs());
+            assert!((ax[i] - b[i]).abs() < tol, "row {u} dim {i}: {} vs {}", ax[i], b[i]);
+        }
+    }
+}

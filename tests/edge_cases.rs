@@ -1,0 +1,154 @@
+//! Edge cases and failure injection: degenerate datasets, extreme
+//! configurations, and pathological inputs must not panic or corrupt
+//! results.
+
+use cumf_als::{AlsConfig, AlsTrainer, Precision, SolverKind};
+use cumf_datasets::{DatasetProfile, MfDataset, SizeClass};
+use cumf_gpu_sim::GpuSpec;
+use cumf_sparse::coo::CooMatrix;
+use cumf_sparse::csr::CsrMatrix;
+
+/// Build an MfDataset from explicit entries (bypassing the generator).
+fn dataset_from(m: usize, n: usize, entries: &[(u32, u32, f32)]) -> MfDataset {
+    let mut coo = CooMatrix::new(m, n);
+    for &(u, v, r) in entries {
+        coo.push(u, v, r);
+    }
+    let r = CsrMatrix::from_coo(&coo);
+    let rt = r.transpose();
+    MfDataset {
+        profile: DatasetProfile::netflix(),
+        rt,
+        test: CooMatrix::new(m, n),
+        train_coo: coo.clone(),
+        r,
+        noise_floor: 0.0,
+    }
+}
+
+fn tiny_cfg(f: usize) -> AlsConfig {
+    AlsConfig {
+        f,
+        iterations: 3,
+        rmse_target: None,
+        ..AlsConfig::for_profile(&DatasetProfile::netflix())
+    }
+}
+
+#[test]
+fn trains_on_single_rating() {
+    let data = dataset_from(2, 2, &[(0, 0, 4.0)]);
+    let mut t = AlsTrainer::new(&data, tiny_cfg(4), GpuSpec::maxwell_titan_x(), 1);
+    let report = t.train();
+    assert_eq!(report.epochs.len(), 3);
+    // The single observation should be approximately reproduced.
+    let pred = cumf_als::metrics::predict(t.x.row(0), t.theta.row(0));
+    assert!((pred - 4.0).abs() < 1.0, "pred {pred}");
+    // Unobserved rows/cols carry zero factors (regularized optimum).
+    assert!(t.x.row(1).iter().all(|&v| v == 0.0));
+    assert!(t.theta.row(1).iter().all(|&v| v == 0.0));
+}
+
+#[test]
+fn trains_on_fully_empty_matrix() {
+    let data = dataset_from(3, 3, &[]);
+    let mut t = AlsTrainer::new(&data, tiny_cfg(4), GpuSpec::maxwell_titan_x(), 1);
+    let report = t.train();
+    assert!(report.final_rmse() == 0.0, "empty test set → RMSE 0");
+    assert!(t.x.as_slice().iter().all(|&v| v == 0.0));
+}
+
+#[test]
+fn handles_rank_deficient_rows() {
+    // A user with many ratings of one single item: A_u is rank-1 + λI.
+    let entries: Vec<(u32, u32, f32)> = vec![(0, 0, 5.0), (1, 0, 3.0), (2, 0, 1.0), (0, 1, 2.0)];
+    let data = dataset_from(3, 2, &entries);
+    for solver in [
+        SolverKind::BatchLu,
+        SolverKind::BatchCholesky,
+        SolverKind::Cg { fs: 8, tolerance: 1e-6, precision: Precision::Fp32 },
+    ] {
+        let mut cfg = tiny_cfg(4);
+        cfg.solver = solver;
+        let mut t = AlsTrainer::new(&data, cfg, GpuSpec::maxwell_titan_x(), 1);
+        t.train();
+        assert!(t.x.as_slice().iter().all(|v| v.is_finite()), "{solver:?} produced non-finite factors");
+    }
+}
+
+#[test]
+fn extreme_ratings_stay_finite_under_fp16() {
+    // Values near f16's max: narrowing A_u must not produce infinities that
+    // reach the factors.
+    let entries: Vec<(u32, u32, f32)> = (0..20).map(|i| (i % 4, i % 3, 3.0e4)).collect();
+    let data = dataset_from(4, 3, &entries);
+    let mut cfg = tiny_cfg(4);
+    cfg.solver = SolverKind::Cg { fs: 8, tolerance: 1e-4, precision: Precision::Fp16 };
+    let mut t = AlsTrainer::new(&data, cfg, GpuSpec::pascal_p100(), 1);
+    t.train();
+    assert!(t.x.as_slice().iter().all(|v| v.is_finite()));
+    assert!(t.theta.as_slice().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn f_larger_than_dimensions_is_fine() {
+    // f = 16 latent dimensions on a 5×4 matrix: heavily overparameterized
+    // but regularized — must stay finite and fit the data.
+    let entries: Vec<(u32, u32, f32)> =
+        vec![(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0), (3, 3, 4.0), (4, 0, 5.0), (0, 1, 2.5)];
+    let data = dataset_from(5, 4, &entries);
+    let mut t = AlsTrainer::new(&data, tiny_cfg(16), GpuSpec::maxwell_titan_x(), 1);
+    t.train();
+    let obj = cumf_als::metrics::training_objective(&data.r, &t.x, &t.theta, 0.05);
+    assert!(obj.is_finite() && obj < 30.0, "objective {obj}");
+}
+
+#[test]
+fn more_gpus_than_rows_is_safe() {
+    let data = dataset_from(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]);
+    let mut t = AlsTrainer::new(&data, tiny_cfg(4), GpuSpec::pascal_p100(), 4);
+    let report = t.train();
+    assert!(report.total_sim_time() > 0.0);
+}
+
+#[test]
+fn duplicate_ratings_are_merged_not_double_counted() {
+    // CSR construction sums duplicates; the trainer must see one entry.
+    let data = dataset_from(2, 2, &[(0, 0, 2.0), (0, 0, 2.0)]);
+    assert_eq!(data.r.nnz(), 1);
+    assert_eq!(data.r.get(0, 0), Some(4.0), "duplicates sum (COO contract)");
+}
+
+#[test]
+fn negative_ratings_work() {
+    // MF over mean-centered data produces negative values routinely.
+    let entries: Vec<(u32, u32, f32)> = vec![(0, 0, -1.5), (0, 1, 1.5), (1, 0, 1.5), (1, 1, -1.5)];
+    let data = dataset_from(2, 2, &entries);
+    let mut t = AlsTrainer::new(&data, tiny_cfg(4), GpuSpec::maxwell_titan_x(), 1);
+    t.train();
+    let pred = cumf_als::metrics::predict(t.x.row(0), t.theta.row(0));
+    assert!(pred < 0.0, "must fit the negative observation, got {pred}");
+}
+
+#[test]
+fn loader_rejects_malformed_then_recovers() {
+    use cumf_datasets::loader::{parse_ratings, LoadError};
+    use std::io::Cursor;
+    let bad = parse_ratings(Cursor::new("1 2 3\n4 five 6\n"));
+    assert!(matches!(bad, Err(LoadError::Parse { line: 2, .. })));
+    // The same reader logic accepts the fixed file.
+    let good = parse_ratings(Cursor::new("1 2 3\n4 5 6\n")).unwrap();
+    assert_eq!(good.nnz(), 2);
+}
+
+#[test]
+fn zero_iterations_returns_empty_report() {
+    let data = dataset_from(2, 2, &[(0, 0, 1.0)]);
+    let mut cfg = tiny_cfg(4);
+    cfg.iterations = 0;
+    let mut t = AlsTrainer::new(&data, cfg, GpuSpec::maxwell_titan_x(), 1);
+    let report = t.train();
+    assert!(report.epochs.is_empty());
+    assert_eq!(report.total_sim_time(), 0.0);
+    assert!(report.final_rmse().is_infinite());
+}

@@ -1,0 +1,127 @@
+//! End-to-end explicit MF: generate → train → converge, across all three
+//! dataset shapes, devices, solvers and load patterns.
+
+use cumf_als::{AlsConfig, AlsTrainer, Precision, SolverKind};
+use cumf_datasets::{MfDataset, SizeClass};
+use cumf_gpu_sim::memory::LoadPattern;
+use cumf_gpu_sim::GpuSpec;
+
+fn fast(data: &MfDataset, f: usize) -> AlsConfig {
+    AlsConfig { f, iterations: 6, rmse_target: None, ..AlsConfig::for_profile(&data.profile) }
+}
+
+#[test]
+fn all_three_datasets_converge() {
+    let makers: [(fn(SizeClass, u64) -> MfDataset, f64); 3] = [
+        (MfDataset::netflix, 1.05),
+        (MfDataset::yahoo_music, 24.0),
+        (MfDataset::hugewiki, 0.75),
+    ];
+    for (mk, loose_bound) in makers {
+        let data = mk(SizeClass::Tiny, 5);
+        let mut trainer = AlsTrainer::new(&data, fast(&data, 8), GpuSpec::maxwell_titan_x(), 1);
+        let report = trainer.train();
+        assert!(
+            report.final_rmse() < loose_bound,
+            "{}: final RMSE {} above {}",
+            data.profile.name,
+            report.final_rmse(),
+            loose_bound
+        );
+        // Simulated time is positive and phases decompose it.
+        let e = report.epochs.last().unwrap();
+        let sum: f64 = report.epochs.iter().map(|e| e.phases.total()).sum();
+        assert!((sum - e.sim_time).abs() < 1e-9, "phase sums must equal the clock");
+    }
+}
+
+#[test]
+fn load_pattern_never_changes_results_only_time() {
+    let data = MfDataset::netflix(SizeClass::Tiny, 6);
+    let mut results = Vec::new();
+    for pattern in [LoadPattern::NonCoalescedL1, LoadPattern::NonCoalescedNoL1, LoadPattern::Coalesced] {
+        let mut cfg = fast(&data, 8);
+        cfg.load_pattern = pattern;
+        let mut t = AlsTrainer::new(&data, cfg, GpuSpec::maxwell_titan_x(), 1);
+        let r = t.train();
+        results.push((pattern, r.final_rmse(), r.total_sim_time()));
+    }
+    // Identical RMSE (bitwise-identical math), different times.
+    assert_eq!(results[0].1, results[1].1);
+    assert_eq!(results[0].1, results[2].1);
+    assert!(results[0].2 < results[2].2, "nonCoal-L1 must be faster than coal");
+}
+
+#[test]
+fn solver_choice_changes_time_far_more_than_quality() {
+    let data = MfDataset::netflix(SizeClass::Tiny, 7);
+    let solvers = [
+        SolverKind::BatchLu,
+        SolverKind::BatchCholesky,
+        SolverKind::Cg { fs: 6, tolerance: 1e-4, precision: Precision::Fp32 },
+        SolverKind::Cg { fs: 6, tolerance: 1e-4, precision: Precision::Fp16 },
+    ];
+    let mut rmses = Vec::new();
+    let mut times = Vec::new();
+    for s in solvers {
+        let mut cfg = fast(&data, 8);
+        cfg.solver = s;
+        let mut t = AlsTrainer::new(&data, cfg, GpuSpec::maxwell_titan_x(), 1);
+        let r = t.train();
+        rmses.push(r.final_rmse());
+        times.push(r.total_sim_time());
+    }
+    let spread = rmses.iter().cloned().fold(f64::MIN, f64::max) - rmses.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 0.03, "solver choice must not hurt convergence: {rmses:?}");
+    // FP16 storage always halves the CG solver's traffic, at any f. (The
+    // O(f³) vs O(f²) LU-vs-CG gap needs the paper's f=100 and is asserted
+    // in the simulator_consistency suite.)
+    assert!(times[2] > times[3], "CG-FP32 {} vs CG-FP16 {}", times[2], times[3]);
+}
+
+#[test]
+fn devices_order_by_capability_with_identical_results() {
+    let data = MfDataset::netflix(SizeClass::Tiny, 8);
+    let mut times = Vec::new();
+    let mut rmses = Vec::new();
+    for spec in GpuSpec::paper_catalog() {
+        let mut t = AlsTrainer::new(&data, fast(&data, 8), spec, 1);
+        let r = t.train();
+        times.push(r.total_sim_time());
+        rmses.push(r.final_rmse());
+    }
+    assert_eq!(rmses[0], rmses[1]);
+    assert_eq!(rmses[1], rmses[2]);
+    assert!(times[0] > times[1], "Kepler slower than Maxwell");
+    assert!(times[1] > times[2], "Maxwell slower than Pascal");
+}
+
+#[test]
+fn trained_model_beats_mean_predictor() {
+    let data = MfDataset::netflix(SizeClass::Tiny, 9);
+    let mut t = AlsTrainer::new(&data, fast(&data, 8), GpuSpec::pascal_p100(), 1);
+    let report = t.train();
+    // Mean-only predictor RMSE = std of test values around the global mean.
+    let mean = data.train_coo.mean_value() as f32;
+    let mut w = cumf_numeric::stats::Welford::new();
+    for e in data.test.entries() {
+        w.push(((e.value - mean) as f64).powi(2));
+    }
+    let mean_rmse = w.root_mean();
+    assert!(
+        report.final_rmse() < mean_rmse * 0.95,
+        "model {} must beat mean predictor {}",
+        report.final_rmse(),
+        mean_rmse
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let data = MfDataset::netflix(SizeClass::Tiny, 10);
+    let run = || {
+        let mut t = AlsTrainer::new(&data, fast(&data, 8), GpuSpec::maxwell_titan_x(), 1);
+        t.train().final_rmse()
+    };
+    assert_eq!(run(), run(), "same seed, same data → identical training");
+}

@@ -1,0 +1,82 @@
+//! End-to-end implicit (one-class) MF across dataset shapes and solvers.
+
+use cumf_als::{ImplicitAlsConfig, ImplicitAlsTrainer, Precision, SolverKind};
+use cumf_datasets::{MfDataset, SizeClass};
+use cumf_gpu_sim::GpuSpec;
+
+fn config(f: usize) -> ImplicitAlsConfig {
+    ImplicitAlsConfig { f, iterations: 4, alpha: 10.0, ..ImplicitAlsConfig::default() }
+}
+
+#[test]
+fn objective_decreases_on_all_shapes() {
+    let makers: [fn(SizeClass, u64) -> MfDataset; 3] =
+        [MfDataset::netflix, MfDataset::yahoo_music, MfDataset::hugewiki];
+    for mk in makers {
+        let data = mk(SizeClass::Tiny, 3);
+        let mut t = ImplicitAlsTrainer::new(&data, config(8), GpuSpec::maxwell_titan_x());
+        let reports = t.train();
+        for w in reports.windows(2) {
+            assert!(
+                w[1].objective <= w[0].objective * 1.001,
+                "{}: objective rose {} → {}",
+                data.profile.name,
+                w[0].objective,
+                w[1].objective
+            );
+        }
+    }
+}
+
+#[test]
+fn implicit_separates_observed_from_unobserved() {
+    let data = MfDataset::netflix(SizeClass::Tiny, 4);
+    let mut t = ImplicitAlsTrainer::new(&data, config(8), GpuSpec::maxwell_titan_x());
+    t.train();
+    let mut obs = cumf_numeric::stats::Welford::new();
+    let mut unobs = cumf_numeric::stats::Welford::new();
+    let mut rng = cumf_numeric::stats::XorShift64::new(1);
+    for u in (0..data.m()).step_by(7) {
+        let seen: std::collections::HashSet<u32> = data.r.row_cols(u).iter().copied().collect();
+        for (v, _) in data.r.row_iter(u) {
+            obs.push(cumf_als::metrics::predict(t.x.row(u), t.theta.row(v as usize)) as f64);
+        }
+        for _ in 0..8 {
+            let v = rng.next_below(data.n()) as u32;
+            if !seen.contains(&v) {
+                unobs.push(cumf_als::metrics::predict(t.x.row(u), t.theta.row(v as usize)) as f64);
+            }
+        }
+    }
+    assert!(
+        obs.mean() > unobs.mean() + 0.1,
+        "observed mean {} must exceed unobserved mean {}",
+        obs.mean(),
+        unobs.mean()
+    );
+}
+
+#[test]
+fn cg_solver_matches_direct_on_implicit_systems() {
+    let data = MfDataset::netflix(SizeClass::Tiny, 5);
+    let mut direct_cfg = config(8);
+    direct_cfg.solver = SolverKind::BatchCholesky;
+    let mut cg_cfg = config(8);
+    cg_cfg.solver = SolverKind::Cg { fs: 8, tolerance: 1e-6, precision: Precision::Fp32 };
+
+    let mut a = ImplicitAlsTrainer::new(&data, direct_cfg, GpuSpec::maxwell_titan_x());
+    let mut b = ImplicitAlsTrainer::new(&data, cg_cfg, GpuSpec::maxwell_titan_x());
+    let ra = a.train();
+    let rb = b.train();
+    let fa = ra.last().unwrap().objective;
+    let fb = rb.last().unwrap().objective;
+    assert!((fa - fb).abs() / fa.abs().max(1.0) < 0.01, "direct {fa} vs CG {fb}");
+}
+
+#[test]
+fn sim_time_grows_with_device_weakness() {
+    let data = MfDataset::netflix(SizeClass::Tiny, 6);
+    let t_k = ImplicitAlsTrainer::new(&data, config(8), GpuSpec::kepler_k40()).epoch_sim_time();
+    let t_p = ImplicitAlsTrainer::new(&data, config(8), GpuSpec::pascal_p100()).epoch_sim_time();
+    assert!(t_k > t_p);
+}

@@ -1,0 +1,62 @@
+//! Multi-GPU behaviour through the full trainer: results must be identical
+//! to single-GPU (model parallelism is a pure partitioning of independent
+//! row solves), with time split across devices plus communication.
+
+use cumf_als::{AlsConfig, AlsTrainer};
+use cumf_datasets::{MfDataset, SizeClass};
+use cumf_gpu_sim::GpuSpec;
+
+fn fast(data: &MfDataset) -> AlsConfig {
+    AlsConfig { f: 8, iterations: 4, rmse_target: None, ..AlsConfig::for_profile(&data.profile) }
+}
+
+#[test]
+fn gpu_count_does_not_change_results() {
+    let data = MfDataset::hugewiki(SizeClass::Tiny, 21);
+    let mut rmses = Vec::new();
+    for gpus in [1u32, 2, 4] {
+        let mut t = AlsTrainer::new(&data, fast(&data), GpuSpec::pascal_p100(), gpus);
+        rmses.push(t.train().final_rmse());
+    }
+    assert_eq!(rmses[0], rmses[1], "1 vs 2 GPUs");
+    assert_eq!(rmses[1], rmses[2], "2 vs 4 GPUs");
+}
+
+#[test]
+fn more_gpus_is_faster_overall() {
+    let data = MfDataset::hugewiki(SizeClass::Tiny, 22);
+    let time = |gpus| {
+        let mut t = AlsTrainer::new(&data, fast(&data), GpuSpec::pascal_p100(), gpus);
+        t.train().total_sim_time()
+    };
+    let t1 = time(1);
+    let t2 = time(2);
+    let t4 = time(4);
+    assert!(t2 < t1);
+    assert!(t4 < t2);
+    assert!(t4 > t1 / 4.0, "communication prevents perfect scaling");
+}
+
+#[test]
+fn capacity_check_tracks_partitioning() {
+    let data = MfDataset::hugewiki(SizeClass::Tiny, 23);
+    let cfg = AlsConfig { f: 100, iterations: 1, ..AlsConfig::for_profile(&data.profile) };
+    let per_gpu_1 = AlsTrainer::new(&data, cfg.clone(), GpuSpec::pascal_p100(), 1).device_bytes_per_gpu();
+    let per_gpu_4 = AlsTrainer::new(&data, cfg, GpuSpec::pascal_p100(), 4).device_bytes_per_gpu();
+    assert!(per_gpu_4 < per_gpu_1);
+    assert!(per_gpu_4 > per_gpu_1 / 4, "Θ replication keeps per-GPU bytes above a quarter");
+}
+
+#[test]
+fn comm_phase_only_appears_with_multiple_gpus() {
+    let data = MfDataset::netflix(SizeClass::Tiny, 24);
+    let mut t1 = AlsTrainer::new(&data, fast(&data), GpuSpec::maxwell_titan_x(), 1);
+    let (p1, _) = t1.run_epoch();
+    assert_eq!(p1.comm, 0.0);
+    assert_eq!(t1.clock().phase_time("comm"), 0.0);
+
+    let mut t2 = AlsTrainer::new(&data, fast(&data), GpuSpec::maxwell_titan_x(), 2);
+    let (p2, _) = t2.run_epoch();
+    assert!(p2.comm > 0.0);
+    assert!((t2.clock().phase_time("comm") - p2.comm).abs() < 1e-12);
+}
