@@ -40,7 +40,9 @@ impl BidMach {
         // memory traffic that caps generic-kernel throughput).
         let mut gathered = DenseMatrix::zeros(cols.len(), f);
         for (i, &v) in cols.iter().enumerate() {
-            gathered.row_mut(i).copy_from_slice(features.row(v as usize));
+            gathered
+                .row_mut(i)
+                .copy_from_slice(features.row(v as usize));
         }
         // Step 2: generic syrk over the gathered block.
         let mut a = SymPacked::zeros(f);
@@ -91,7 +93,11 @@ mod tests {
     #[test]
     fn generic_pipeline_matches_fused_kernel() {
         let data = MfDataset::netflix(SizeClass::Tiny, 3);
-        let bid = BidMach { spec: GpuSpec::maxwell_titan_x(), f: 8, lambda: 0.05 };
+        let bid = BidMach {
+            spec: GpuSpec::maxwell_titan_x(),
+            f: 8,
+            lambda: 0.05,
+        };
         let mut rng = XorShift64::new(4);
         let mut features = DenseMatrix::zeros(data.n(), 8);
         features.fill_with(|| rng.next_f32() - 0.5);
@@ -105,7 +111,11 @@ mod tests {
         // Netflix at f=100: 2·Nz·f² ≈ 2e12 flops ≈ 50 s at 40 GFLOPS — vs
         // ≈1 s for cuMF_ALS. This is why BIDMach misses the time budget.
         let data = MfDataset::netflix(SizeClass::Tiny, 1);
-        let bid = BidMach { spec: GpuSpec::maxwell_titan_x(), f: 100, lambda: 0.05 };
+        let bid = BidMach {
+            spec: GpuSpec::maxwell_titan_x(),
+            f: 100,
+            lambda: 0.05,
+        };
         let t = bid.epoch_time(&data);
         assert!(t > 20.0 && t < 80.0, "BIDMach epoch {t}s");
     }
@@ -113,7 +123,11 @@ mod tests {
     #[test]
     fn forty_gflops_is_far_below_cumf() {
         // Figure 7(a): cuMF_ALS achieves 2–3 TFLOPS on Maxwell.
-        let bid = BidMach { spec: GpuSpec::maxwell_titan_x(), f: 100, lambda: 0.05 };
+        let bid = BidMach {
+            spec: GpuSpec::maxwell_titan_x(),
+            f: 100,
+            lambda: 0.05,
+        };
         let cumf_flops = GpuSpec::maxwell_titan_x().peak_fp32_flops
             * cumf_gpu_sim::kernel::hermitian_pipe_efficiency(&GpuSpec::maxwell_titan_x());
         assert!(cumf_flops / (bid.achieved_gflops() * 1e9) > 50.0);

@@ -56,7 +56,14 @@ impl<'a> CcdTrainer<'a> {
         let center = (data.profile.value_mean.max(0.01) / config.f as f32).sqrt();
         theta.fill_with(|| center + (rng.next_f32() - 0.5) * center * 0.5);
         let residual = data.r.values().to_vec();
-        CcdTrainer { data, config, cpu, x, theta, residual }
+        CcdTrainer {
+            data,
+            config,
+            cpu,
+            x,
+            theta,
+            residual,
+        }
     }
 
     /// One outer iteration: cycle through all `f` ranks, updating X's and
@@ -180,7 +187,16 @@ mod tests {
     #[test]
     fn ccd_converges() {
         let data = setup();
-        let mut t = CcdTrainer::new(&data, CcdConfig { f: 8, lambda: 0.05, inner: 1, seed: 2 }, CpuSpec::power8());
+        let mut t = CcdTrainer::new(
+            &data,
+            CcdConfig {
+                f: 8,
+                lambda: 0.05,
+                inner: 1,
+                seed: 2,
+            },
+            CpuSpec::power8(),
+        );
         let curve = t.train(10);
         let best = curve.best_rmse().unwrap();
         assert!(best < 1.1, "CCD++ best RMSE {best}");
@@ -189,7 +205,16 @@ mod tests {
     #[test]
     fn residuals_stay_consistent() {
         let data = setup();
-        let mut t = CcdTrainer::new(&data, CcdConfig { f: 4, lambda: 0.1, inner: 1, seed: 3 }, CpuSpec::power8());
+        let mut t = CcdTrainer::new(
+            &data,
+            CcdConfig {
+                f: 4,
+                lambda: 0.1,
+                inner: 1,
+                seed: 3,
+            },
+            CpuSpec::power8(),
+        );
         for _ in 0..3 {
             t.run_epoch();
         }
@@ -210,7 +235,16 @@ mod tests {
     fn makes_less_progress_per_iteration_than_als() {
         // §VI-B: CCD++ has lower per-iteration cost but less progress.
         let data = setup();
-        let mut ccd = CcdTrainer::new(&data, CcdConfig { f: 8, lambda: 0.05, inner: 1, seed: 2 }, CpuSpec::power8());
+        let mut ccd = CcdTrainer::new(
+            &data,
+            CcdConfig {
+                f: 8,
+                lambda: 0.05,
+                inner: 1,
+                seed: 2,
+            },
+            CpuSpec::power8(),
+        );
         ccd.run_epoch();
         let ccd_rmse_1 = cumf_als::metrics::test_rmse(&ccd.x, &ccd.theta, &data.test);
 
@@ -218,7 +252,8 @@ mod tests {
         cfg.f = 8;
         cfg.iterations = 1;
         cfg.rmse_target = None;
-        let mut als = cumf_als::AlsTrainer::new(&data, cfg, cumf_gpu_sim::GpuSpec::maxwell_titan_x(), 1);
+        let mut als =
+            cumf_als::AlsTrainer::new(&data, cfg, cumf_gpu_sim::GpuSpec::maxwell_titan_x(), 1);
         let rep = als.train();
         assert!(
             rep.final_rmse() < ccd_rmse_1 + 0.05,
@@ -231,8 +266,28 @@ mod tests {
     #[test]
     fn epoch_cost_linear_in_f() {
         let data = setup();
-        let t8 = CcdTrainer::new(&data, CcdConfig { f: 8, lambda: 0.05, inner: 1, seed: 2 }, CpuSpec::power8()).epoch_time();
-        let t16 = CcdTrainer::new(&data, CcdConfig { f: 16, lambda: 0.05, inner: 1, seed: 2 }, CpuSpec::power8()).epoch_time();
+        let t8 = CcdTrainer::new(
+            &data,
+            CcdConfig {
+                f: 8,
+                lambda: 0.05,
+                inner: 1,
+                seed: 2,
+            },
+            CpuSpec::power8(),
+        )
+        .epoch_time();
+        let t16 = CcdTrainer::new(
+            &data,
+            CcdConfig {
+                f: 16,
+                lambda: 0.05,
+                inner: 1,
+                seed: 2,
+            },
+            CpuSpec::power8(),
+        )
+        .epoch_time();
         assert!((t16 / t8 - 2.0).abs() < 0.1);
     }
 }

@@ -56,7 +56,11 @@ impl GemmBatch {
     pub fn timing(&self, spec: &GpuSpec, batch: u64) -> (LaunchTiming, f64) {
         let occ = occupancy(
             spec,
-            &KernelResources { regs_per_thread: 64, threads_per_block: 256, shared_mem_per_block: 16 << 10 },
+            &KernelResources {
+                regs_per_thread: 64,
+                threads_per_block: 256,
+                shared_mem_per_block: 16 << 10,
+            },
         );
         let cost = self.cost(spec, batch);
         let t = launch_time(spec, &occ, &cost);

@@ -23,29 +23,55 @@ pub struct GpuAlsBaseline {
 impl GpuAlsBaseline {
     /// Run GPU-ALS (coalesced + batched LU) to the profile's RMSE target.
     pub fn train(&self, data: &MfDataset, max_epochs: u32) -> SystemReport {
-        let mut config = AlsConfig::gpu_als_baseline(&data.profile);
-        config.iterations = max_epochs as usize;
-        let mut trainer = AlsTrainer::new(data, config, self.spec.clone(), self.gpus);
-        let report = trainer.train();
-        let epochs_run = report.epochs.len() as u32;
-        let epoch_time = if epochs_run > 0 { report.total_sim_time() / epochs_run as f64 } else { 0.0 };
-        let mut curve = report.curve.clone();
-        curve.label = "GPU-ALS".to_string();
-        SystemReport { curve, epoch_time, time_to_target: report.time_to_target, epochs_run }
+        self.run(data, max_epochs, None, &cumf_telemetry::NOOP)
+    }
+
+    /// [`GpuAlsBaseline::train`] with a telemetry recorder attached to the
+    /// underlying ALS trainer (its kernel launches carry the baseline's
+    /// coalesced-load / LU-solve cost profile).
+    pub fn train_with_recorder(
+        &self,
+        data: &MfDataset,
+        max_epochs: u32,
+        recorder: &dyn cumf_telemetry::Recorder,
+    ) -> SystemReport {
+        self.run(data, max_epochs, None, recorder)
     }
 
     /// Run with an explicit `f` override (for fast tests).
     pub fn train_with_f(&self, data: &MfDataset, max_epochs: u32, f: usize) -> SystemReport {
+        self.run(data, max_epochs, Some(f), &cumf_telemetry::NOOP)
+    }
+
+    fn run(
+        &self,
+        data: &MfDataset,
+        max_epochs: u32,
+        f: Option<usize>,
+        recorder: &dyn cumf_telemetry::Recorder,
+    ) -> SystemReport {
         let mut config = AlsConfig::gpu_als_baseline(&data.profile);
         config.iterations = max_epochs as usize;
-        config.f = f;
-        let mut trainer = AlsTrainer::new(data, config, self.spec.clone(), self.gpus);
+        if let Some(f) = f {
+            config.f = f;
+        }
+        let mut trainer =
+            AlsTrainer::with_recorder(data, config, self.spec.clone(), self.gpus, recorder);
         let report = trainer.train();
         let epochs_run = report.epochs.len() as u32;
-        let epoch_time = if epochs_run > 0 { report.total_sim_time() / epochs_run as f64 } else { 0.0 };
+        let epoch_time = if epochs_run > 0 {
+            report.total_sim_time() / epochs_run as f64
+        } else {
+            0.0
+        };
         let mut curve = report.curve.clone();
         curve.label = "GPU-ALS".to_string();
-        SystemReport { curve, epoch_time, time_to_target: report.time_to_target, epochs_run }
+        SystemReport {
+            curve,
+            epoch_time,
+            time_to_target: report.time_to_target,
+            epochs_run,
+        }
     }
 }
 
@@ -78,7 +104,10 @@ mod tests {
         let (slow_phases, _) = slow.run_epoch();
 
         let speedup = slow_phases.total() / fast_phases.total();
-        assert!(speedup > 2.0 && speedup < 4.5, "Figure 1 band: speedup {speedup}");
+        assert!(
+            speedup > 2.0 && speedup < 4.5,
+            "Figure 1 band: speedup {speedup}"
+        );
     }
 
     #[test]
@@ -86,7 +115,10 @@ mod tests {
         // GPU-ALS is exact ALS — convergence quality matches cuMF_ALS; only
         // time differs.
         let data = MfDataset::netflix(SizeClass::Tiny, 2);
-        let baseline = GpuAlsBaseline { spec: GpuSpec::maxwell_titan_x(), gpus: 1 };
+        let baseline = GpuAlsBaseline {
+            spec: GpuSpec::maxwell_titan_x(),
+            gpus: 1,
+        };
         let report = baseline.train_with_f(&data, 5, 8);
         assert!(report.curve.best_rmse().unwrap() < 1.3);
         assert!(report.epoch_time > 0.0);

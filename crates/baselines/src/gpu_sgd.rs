@@ -13,8 +13,11 @@ use crate::libmf::SystemReport;
 use crate::sgd::{hogwild_epoch, sgd_test_rmse, SgdConfig, SgdModel};
 use cumf_datasets::MfDataset;
 use cumf_gpu_sim::interconnect::Interconnect;
+use cumf_gpu_sim::kernel::{KernelCost, LaunchTiming};
+use cumf_gpu_sim::occupancy::{occupancy, KernelResources};
 use cumf_gpu_sim::timeline::ConvergenceCurve;
 use cumf_gpu_sim::{GpuGeneration, GpuSpec};
+use cumf_telemetry::{KernelLaunchRecord, PhaseSpan, Recorder, NOOP};
 
 /// Achieved fraction of peak bandwidth of cuMF_SGD's scattered update
 /// kernel (random row/column access, half-width transactions).
@@ -34,8 +37,18 @@ pub struct GpuSgd {
 
 impl GpuSgd {
     /// cuMF_SGD as Figure 8 runs it.
-    pub fn paper_setup(spec: GpuSpec, gpus: u32, f: usize, profile: &cumf_datasets::DatasetProfile) -> GpuSgd {
-        GpuSgd { spec, gpus, half_precision: true, config: SgdConfig::for_profile(f, profile) }
+    pub fn paper_setup(
+        spec: GpuSpec,
+        gpus: u32,
+        f: usize,
+        profile: &cumf_datasets::DatasetProfile,
+    ) -> GpuSgd {
+        GpuSgd {
+            spec,
+            gpus,
+            half_precision: true,
+            config: SgdConfig::for_profile(f, profile),
+        }
     }
 
     /// Simulated time of one epoch at full scale.
@@ -55,7 +68,10 @@ impl GpuSgd {
                 _ => Interconnect::pcie3(),
             };
             // Exchange the column factors once per epoch.
-            ic.allgather_time(data.profile.n * self.config.f as u64 * elem as u64, self.gpus)
+            ic.allgather_time(
+                data.profile.n * self.config.f as u64 * elem as u64,
+                self.gpus,
+            )
         } else {
             0.0
         };
@@ -64,6 +80,19 @@ impl GpuSgd {
 
     /// Train until `max_epochs` or the profile's RMSE target.
     pub fn train(&self, data: &MfDataset, max_epochs: u32) -> SystemReport {
+        self.train_with_recorder(data, max_epochs, &NOOP)
+    }
+
+    /// [`GpuSgd::train`] with a telemetry recorder: each epoch emits one
+    /// `sgd_hogwild_update` kernel record (memory-bound, as Table I
+    /// predicts), a communication record on multi-GPU runs, and an
+    /// `epoch-sgd` phase span. Recording never changes the epoch pricing.
+    pub fn train_with_recorder(
+        &self,
+        data: &MfDataset,
+        max_epochs: u32,
+        recorder: &dyn Recorder,
+    ) -> SystemReport {
         let mut model = SgdModel::init(data.m(), data.n(), &self.config, data.profile.value_mean);
         let epoch_time = self.epoch_time(data);
         let target = data.profile.rmse_target;
@@ -76,12 +105,106 @@ impl GpuSgd {
             let rmse = sgd_test_rmse(&model, &data.test);
             let t = epoch_time * epochs_run as f64;
             curve.push(t, epochs_run, rmse);
+            if recorder.enabled() {
+                self.emit_epoch_telemetry(recorder, data, t - epoch_time);
+            }
             if rmse <= target {
                 time_to_target = Some(t);
                 break;
             }
         }
-        SystemReport { curve, epoch_time, time_to_target, epochs_run }
+        SystemReport {
+            curve,
+            epoch_time,
+            time_to_target,
+            epochs_run,
+        }
+    }
+
+    /// One epoch's telemetry, starting at simulated `t0`: the Hogwild update
+    /// kernel (costs recomputed exactly as [`GpuSgd::epoch_time`] prices
+    /// them) and, on multi-GPU runs, the column-factor exchange.
+    fn emit_epoch_telemetry(&self, recorder: &dyn Recorder, data: &MfDataset, t0: f64) {
+        let nz = data.profile.nz as f64 / self.gpus as f64;
+        let f = self.config.f as f64;
+        let elem = if self.half_precision { 2.0 } else { 4.0 };
+        let bytes = nz * (4.0 * f * elem + 12.0);
+        let mem_time = bytes / (self.spec.dram_bandwidth * SGD_BANDWIDTH_EFFICIENCY);
+        let flop_time = nz * 8.0 * f / (self.spec.peak_fp32_flops * 0.5);
+        let compute = mem_time.max(flop_time);
+        let occ = occupancy(
+            &self.spec,
+            &KernelResources {
+                regs_per_thread: 48,
+                threads_per_block: 128,
+                shared_mem_per_block: 0,
+            },
+        );
+        let cost = KernelCost {
+            flops_fp32: nz * 8.0 * f,
+            flops_fp16: 0.0,
+            dram_read_bytes: bytes / 2.0,
+            dram_write_bytes: bytes / 2.0,
+            l2_wire_bytes: bytes,
+            transactions: bytes / 32.0,
+            mlp: 4.0,
+            pipe_efficiency: 0.5,
+        };
+        let timing = LaunchTiming {
+            compute_time: flop_time,
+            dram_time: mem_time,
+            l2_time: 0.0,
+            latency_time: 0.0,
+            time: compute,
+        };
+        recorder.kernel(KernelLaunchRecord::new(
+            "sgd_hogwild_update",
+            &self.spec,
+            occ,
+            cost,
+            timing,
+            t0,
+            data.profile.nz / 256 / self.gpus as u64,
+            128,
+        ));
+        let mut t_end = t0 + compute;
+        if self.gpus > 1 {
+            let ic = match self.spec.generation {
+                GpuGeneration::Pascal => Interconnect::nvlink(),
+                _ => Interconnect::pcie3(),
+            };
+            let comm_bytes = data.profile.n * self.config.f as u64 * elem as u64;
+            let comm = ic.allgather_time(comm_bytes, self.gpus);
+            let comm_cost = KernelCost {
+                flops_fp32: 0.0,
+                flops_fp16: 0.0,
+                dram_read_bytes: comm_bytes as f64,
+                dram_write_bytes: 0.0,
+                l2_wire_bytes: 0.0,
+                transactions: 0.0,
+                mlp: 1.0,
+                pipe_efficiency: 1.0,
+            };
+            let comm_timing = LaunchTiming {
+                compute_time: 0.0,
+                dram_time: comm,
+                l2_time: 0.0,
+                latency_time: 0.0,
+                time: comm,
+            };
+            recorder.kernel(KernelLaunchRecord::new(
+                "nccl_allgather",
+                &self.spec,
+                occ,
+                comm_cost,
+                comm_timing,
+                t_end,
+                self.gpus as u64,
+                1,
+            ));
+            t_end += comm;
+        }
+        recorder.phase(PhaseSpan::new("epoch-sgd", t0, t_end));
     }
 }
 
@@ -105,7 +228,10 @@ mod tests {
     fn half_precision_halves_traffic_time() {
         let data = MfDataset::netflix(SizeClass::Tiny, 1);
         let half = GpuSgd::paper_setup(GpuSpec::maxwell_titan_x(), 1, 100, &data.profile);
-        let full = GpuSgd { half_precision: false, ..GpuSgd::paper_setup(GpuSpec::maxwell_titan_x(), 1, 100, &data.profile) };
+        let full = GpuSgd {
+            half_precision: false,
+            ..GpuSgd::paper_setup(GpuSpec::maxwell_titan_x(), 1, 100, &data.profile)
+        };
         let ratio = full.epoch_time(&data) / half.epoch_time(&data);
         assert!(ratio > 1.7 && ratio < 2.1, "fp32/fp16 epoch ratio {ratio}");
     }
@@ -113,8 +239,10 @@ mod tests {
     #[test]
     fn multi_gpu_scales_with_comm_overhead() {
         let data = MfDataset::hugewiki(SizeClass::Tiny, 1);
-        let one = GpuSgd::paper_setup(GpuSpec::maxwell_titan_x(), 1, 100, &data.profile).epoch_time(&data);
-        let four = GpuSgd::paper_setup(GpuSpec::maxwell_titan_x(), 4, 100, &data.profile).epoch_time(&data);
+        let one = GpuSgd::paper_setup(GpuSpec::maxwell_titan_x(), 1, 100, &data.profile)
+            .epoch_time(&data);
+        let four = GpuSgd::paper_setup(GpuSpec::maxwell_titan_x(), 4, 100, &data.profile)
+            .epoch_time(&data);
         assert!(four < one, "4 GPUs should beat 1");
         assert!(four > one / 4.0, "but not perfectly (comm)");
     }
@@ -125,6 +253,10 @@ mod tests {
         let mut sgd = GpuSgd::paper_setup(GpuSpec::maxwell_titan_x(), 1, 8, &data.profile);
         sgd.config = SgdConfig::new(8, 0.05);
         let report = sgd.train(&data, 25);
-        assert!(report.curve.best_rmse().unwrap() < 1.2, "best {:?}", report.curve.best_rmse());
+        assert!(
+            report.curve.best_rmse().unwrap() < 1.2,
+            "best {:?}",
+            report.curve.best_rmse()
+        );
     }
 }

@@ -46,10 +46,14 @@ impl CpuImplicitAls {
                 let flops = 2.0 * (p.m + p.n) as f64 * packed // grams
                     + 4.0 * p.nz as f64 * packed // confidence updates (both sides)
                     + (p.m + p.n) as f64 * f * f * f / 3.0; // Cholesky solves
-                // Efficiency calibrated to the paper's measured 90 s per
-                // Netflix-implicit iteration (Python dispatch + gather-bound
-                // inner loops keep it far from SIMD peak).
-                let w = HostWorkload { flops, bytes: p.nz as f64 * f * 8.0, efficiency: 0.025 };
+                                                            // Efficiency calibrated to the paper's measured 90 s per
+                                                            // Netflix-implicit iteration (Python dispatch + gather-bound
+                                                            // inner loops keep it far from SIMD peak).
+                let w = HostWorkload {
+                    flops,
+                    bytes: p.nz as f64 * f * 8.0,
+                    efficiency: 0.025,
+                };
                 self.cpu.workload_time(&w, self.cpu.cores, SyncModel::None)
             }
             ImplicitLibrary::Qmf => {
@@ -58,7 +62,11 @@ impl CpuImplicitAls {
                 // full per-row factorization — ≈4× the implicit library.
                 let flops = 8.0 * p.nz as f64 * packed + (p.m + p.n) as f64 * 2.0 * f * f * f / 3.0;
                 // Calibrated to the paper's measured 360 s per iteration.
-                let w = HostWorkload { flops, bytes: p.nz as f64 * f * 16.0, efficiency: 0.0125 };
+                let w = HostWorkload {
+                    flops,
+                    bytes: p.nz as f64 * f * 16.0,
+                    efficiency: 0.0125,
+                };
                 self.cpu.workload_time(&w, self.cpu.cores, SyncModel::None)
             }
         }
@@ -76,24 +84,46 @@ mod tests {
     fn section_vf_per_iteration_ordering() {
         // cuMF (2.2 s) ≪ implicit (90 s) < QMF (360 s) on Netflix implicit.
         let data = MfDataset::netflix(SizeClass::Tiny, 1);
-        let gpu = ImplicitAlsTrainer::new(&data, ImplicitAlsConfig::default(), GpuSpec::maxwell_titan_x())
-            .epoch_sim_time();
-        let imp = CpuImplicitAls { library: ImplicitLibrary::Implicit, cpu: CpuSpec::power8(), f: 100 }
-            .iteration_time(&data);
-        let qmf = CpuImplicitAls { library: ImplicitLibrary::Qmf, cpu: CpuSpec::power8(), f: 100 }
-            .iteration_time(&data);
+        let gpu = ImplicitAlsTrainer::new(
+            &data,
+            ImplicitAlsConfig::default(),
+            GpuSpec::maxwell_titan_x(),
+        )
+        .epoch_sim_time();
+        let imp = CpuImplicitAls {
+            library: ImplicitLibrary::Implicit,
+            cpu: CpuSpec::power8(),
+            f: 100,
+        }
+        .iteration_time(&data);
+        let qmf = CpuImplicitAls {
+            library: ImplicitLibrary::Qmf,
+            cpu: CpuSpec::power8(),
+            f: 100,
+        }
+        .iteration_time(&data);
         assert!(gpu < imp && imp < qmf, "gpu {gpu} imp {imp} qmf {qmf}");
         let gpu_ratio = imp / gpu;
-        assert!(gpu_ratio > 15.0 && gpu_ratio < 120.0, "implicit/cuMF ratio {gpu_ratio} (paper ≈ 41)");
+        assert!(
+            gpu_ratio > 15.0 && gpu_ratio < 120.0,
+            "implicit/cuMF ratio {gpu_ratio} (paper ≈ 41)"
+        );
         let qmf_ratio = qmf / imp;
-        assert!(qmf_ratio > 2.0 && qmf_ratio < 8.0, "QMF/implicit ratio {qmf_ratio} (paper = 4)");
+        assert!(
+            qmf_ratio > 2.0 && qmf_ratio < 8.0,
+            "QMF/implicit ratio {qmf_ratio} (paper = 4)"
+        );
     }
 
     #[test]
     fn iteration_time_scales_with_nz() {
         let nf = MfDataset::netflix(SizeClass::Tiny, 1);
         let hw = MfDataset::hugewiki(SizeClass::Tiny, 1);
-        let lib = CpuImplicitAls { library: ImplicitLibrary::Implicit, cpu: CpuSpec::power8(), f: 100 };
+        let lib = CpuImplicitAls {
+            library: ImplicitLibrary::Implicit,
+            cpu: CpuSpec::power8(),
+            f: 100,
+        };
         assert!(lib.iteration_time(&hw) > 10.0 * lib.iteration_time(&nf));
     }
 }

@@ -47,7 +47,14 @@ impl LibMf {
     /// LIBMF as the paper benchmarks it: 40 threads on the POWER8 host,
     /// learning rate tuned to the dataset's value scale.
     pub fn paper_setup(f: usize, profile: &cumf_datasets::DatasetProfile) -> LibMf {
-        LibMf { cpu: CpuSpec::power8(), threads: 40, config: SgdConfig { grid: 16, ..SgdConfig::for_profile(f, profile) } }
+        LibMf {
+            cpu: CpuSpec::power8(),
+            threads: 40,
+            config: SgdConfig {
+                grid: 16,
+                ..SgdConfig::for_profile(f, profile)
+            },
+        }
     }
 
     /// Simulated time of one SGD epoch over the full-scale dataset.
@@ -62,7 +69,13 @@ impl LibMf {
             bytes: nz * (4.0 * f * 4.0 + 12.0),
             efficiency: SGD_SIMD_EFFICIENCY,
         };
-        self.cpu.workload_time(&w, self.threads, SyncModel::SharedLock { serial_fraction: SCHEDULER_SERIAL_FRACTION })
+        self.cpu.workload_time(
+            &w,
+            self.threads,
+            SyncModel::SharedLock {
+                serial_fraction: SCHEDULER_SERIAL_FRACTION,
+            },
+        )
     }
 
     /// Train until `max_epochs` or the profile's RMSE target.
@@ -85,7 +98,12 @@ impl LibMf {
                 break;
             }
         }
-        SystemReport { curve, epoch_time, time_to_target, epochs_run }
+        SystemReport {
+            curve,
+            epoch_time,
+            time_to_target,
+            epochs_run,
+        }
     }
 }
 
@@ -106,7 +124,13 @@ mod tests {
     #[test]
     fn more_threads_help_until_they_dont() {
         let data = MfDataset::netflix(SizeClass::Tiny, 1);
-        let mk = |threads| LibMf { threads, ..LibMf::paper_setup(100, &data.profile) }.epoch_time(&data);
+        let mk = |threads| {
+            LibMf {
+                threads,
+                ..LibMf::paper_setup(100, &data.profile)
+            }
+            .epoch_time(&data)
+        };
         let t4 = mk(4);
         let t16 = mk(16);
         let t40 = mk(40);
@@ -118,7 +142,14 @@ mod tests {
     #[test]
     fn converges_on_tiny_data() {
         let data = MfDataset::netflix(SizeClass::Tiny, 3);
-        let libmf = LibMf { config: SgdConfig { f: 8, grid: 8, ..SgdConfig::new(8, 0.05) }, ..LibMf::paper_setup(8, &data.profile) };
+        let libmf = LibMf {
+            config: SgdConfig {
+                f: 8,
+                grid: 8,
+                ..SgdConfig::new(8, 0.05)
+            },
+            ..LibMf::paper_setup(8, &data.profile)
+        };
         let report = libmf.train(&data, 20);
         assert!(report.curve.best_rmse().unwrap() < 1.2);
         assert_eq!(report.curve.points().len() as u32, report.epochs_run);

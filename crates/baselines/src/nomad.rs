@@ -47,7 +47,10 @@ impl Nomad {
             node_cpu: CpuSpec::xeon_e5_2667(),
             machines,
             network: ClusterNetwork::ten_gbe(),
-            config: SgdConfig { grid: 16, ..SgdConfig::for_profile(f, profile) },
+            config: SgdConfig {
+                grid: 16,
+                ..SgdConfig::for_profile(f, profile)
+            },
         }
     }
 
@@ -73,7 +76,9 @@ impl Nomad {
             bytes: nz * (4.0 * f * 4.0 + 12.0),
             efficiency: SGD_SIMD_EFFICIENCY,
         };
-        let compute = self.node_cpu.workload_time(&w, self.node_cpu.cores, SyncModel::None);
+        let compute = self
+            .node_cpu
+            .workload_time(&w, self.node_cpu.cores, SyncModel::None);
         let col_bytes = data.profile.n as f64 * f * 4.0 * CIRCULATIONS_PER_EPOCH;
         let messages = data.profile.n as f64 * CIRCULATIONS_PER_EPOCH / 64.0; // batched tokens
         let comm = self.network.exchange_time(col_bytes, messages);
@@ -102,7 +107,12 @@ impl Nomad {
                 break;
             }
         }
-        SystemReport { curve, epoch_time, time_to_target, epochs_run }
+        SystemReport {
+            curve,
+            epoch_time,
+            time_to_target,
+            epochs_run,
+        }
     }
 }
 
@@ -114,9 +124,18 @@ mod tests {
 
     #[test]
     fn paper_setup_machine_counts() {
-        assert_eq!(Nomad::paper_setup(&cumf_datasets::DatasetProfile::netflix(), 100).machines, 32);
-        assert_eq!(Nomad::paper_setup(&cumf_datasets::DatasetProfile::yahoo_music(), 100).machines, 32);
-        assert_eq!(Nomad::paper_setup(&cumf_datasets::DatasetProfile::hugewiki(), 100).machines, 64);
+        assert_eq!(
+            Nomad::paper_setup(&cumf_datasets::DatasetProfile::netflix(), 100).machines,
+            32
+        );
+        assert_eq!(
+            Nomad::paper_setup(&cumf_datasets::DatasetProfile::yahoo_music(), 100).machines,
+            32
+        );
+        assert_eq!(
+            Nomad::paper_setup(&cumf_datasets::DatasetProfile::hugewiki(), 100).machines,
+            64
+        );
     }
 
     #[test]
@@ -139,16 +158,30 @@ mod tests {
         let t_nf = nomad.epoch_time(&nf);
         let t_ym = nomad.epoch_time(&ym);
         // Yahoo's epoch is comm-bound and far slower despite only 2.5× Nz.
-        assert!(t_ym / t_nf > 5.0, "yahoo/netflix epoch ratio {}", t_ym / t_nf);
+        assert!(
+            t_ym / t_nf > 5.0,
+            "yahoo/netflix epoch ratio {}",
+            t_ym / t_nf
+        );
         let libmf = LibMf::paper_setup(100, &ym.profile);
         let libmf_ratio = libmf.epoch_time(&ym) / libmf.epoch_time(&nf);
-        assert!(libmf_ratio < 4.0, "LIBMF scales with Nz only: {libmf_ratio}");
+        assert!(
+            libmf_ratio < 4.0,
+            "LIBMF scales with Nz only: {libmf_ratio}"
+        );
     }
 
     #[test]
     fn converges_on_tiny_data() {
         let data = MfDataset::netflix(SizeClass::Tiny, 9);
-        let nomad = Nomad { config: SgdConfig { f: 8, grid: 8, ..SgdConfig::new(8, 0.05) }, ..Nomad::paper_setup(&data.profile, 8) };
+        let nomad = Nomad {
+            config: SgdConfig {
+                f: 8,
+                grid: 8,
+                ..SgdConfig::new(8, 0.05)
+            },
+            ..Nomad::paper_setup(&data.profile, 8)
+        };
         let report = nomad.train(&data, 20);
         assert!(report.curve.best_rmse().unwrap() < 1.2);
     }

@@ -43,7 +43,14 @@ pub struct SgdConfig {
 impl SgdConfig {
     /// Reasonable defaults at dimension `f` for 1–5-star rating data.
     pub fn new(f: usize, lambda: f32) -> SgdConfig {
-        SgdConfig { f, lambda, lr0: 0.05, decay: 0.3, grid: 8, seed: 17 }
+        SgdConfig {
+            f,
+            lambda,
+            lr0: 0.05,
+            decay: 0.3,
+            grid: 8,
+            seed: 17,
+        }
     }
 
     /// Benchmark-tuned configuration for a dataset profile: λ from
@@ -52,7 +59,14 @@ impl SgdConfig {
     /// 1–100-range dataset needs a ~25× smaller step than a 1–5 one).
     pub fn for_profile(f: usize, profile: &cumf_datasets::DatasetProfile) -> SgdConfig {
         let lr0 = 0.029 / profile.value_mean.max(0.1);
-        SgdConfig { f, lambda: profile.lambda, lr0, decay: 0.35, grid: 8, seed: 17 }
+        SgdConfig {
+            f,
+            lambda: profile.lambda,
+            lr0,
+            decay: 0.35,
+            grid: 8,
+            seed: 17,
+        }
     }
 
     /// Learning rate at epoch `k` (0-based).
@@ -110,8 +124,16 @@ pub fn blocked_epoch(grid: &BlockGrid, model: &mut SgdModel, config: &SgdConfig,
     for w in 0..gb {
         let wave = grid.wave(w);
         // Split X by block-row ranges and Θ by block-column ranges.
-        let x_chunks = split_by_ranges(model.x.as_mut_slice(), (0..gb).map(|i| grid.row_range(i)), f);
-        let t_chunks = split_by_ranges(model.theta.as_mut_slice(), (0..gb).map(|i| grid.col_range(i)), f);
+        let x_chunks = split_by_ranges(
+            model.x.as_mut_slice(),
+            (0..gb).map(|i| grid.row_range(i)),
+            f,
+        );
+        let t_chunks = split_by_ranges(
+            model.theta.as_mut_slice(),
+            (0..gb).map(|i| grid.col_range(i)),
+            f,
+        );
         // Pair each block with its chunks; waves have distinct rows & cols.
         let mut tasks: Vec<(usize, usize, &mut [f32], &mut [f32])> = Vec::with_capacity(gb);
         let mut x_iter: Vec<Option<&mut [f32]>> = x_chunks.into_iter().map(Some).collect();
@@ -129,7 +151,13 @@ pub fn blocked_epoch(grid: &BlockGrid, model: &mut SgdModel, config: &SgdConfig,
                     for e in grid.block(br, bc) {
                         let u = e.row as usize - rs;
                         let v = e.col as usize - cs;
-                        update_one(&mut xc[u * f..(u + 1) * f], &mut tc[v * f..(v + 1) * f], e.value, lr, config.lambda);
+                        update_one(
+                            &mut xc[u * f..(u + 1) * f],
+                            &mut tc[v * f..(v + 1) * f],
+                            e.value,
+                            lr,
+                            config.lambda,
+                        );
                     }
                 });
             }
@@ -139,11 +167,11 @@ pub fn blocked_epoch(grid: &BlockGrid, model: &mut SgdModel, config: &SgdConfig,
 
 /// Slice a factor buffer into per-range chunks (ranges are contiguous,
 /// non-overlapping, and ordered — exactly what [`BlockGrid`] provides).
-fn split_by_ranges<'a>(
-    mut buf: &'a mut [f32],
+fn split_by_ranges(
+    mut buf: &mut [f32],
     ranges: impl Iterator<Item = (usize, usize)>,
     f: usize,
-) -> Vec<&'a mut [f32]> {
+) -> Vec<&mut [f32]> {
     let mut out = Vec::new();
     let mut consumed = 0usize;
     for (start, end) in ranges {
@@ -210,7 +238,10 @@ mod tests {
 
     fn setup() -> (MfDataset, SgdConfig) {
         let data = MfDataset::netflix(SizeClass::Tiny, 21);
-        let config = SgdConfig { f: 8, ..SgdConfig::new(8, 0.05) }; // hogwild buffer cap is 512
+        let config = SgdConfig {
+            f: 8,
+            ..SgdConfig::new(8, 0.05)
+        }; // hogwild buffer cap is 512
         (data, config)
     }
 
@@ -238,7 +269,10 @@ mod tests {
         }
         let after = sgd_test_rmse(&model, &data.test);
         assert!(after < before);
-        assert!(after < 1.2, "hogwild should converge despite races: {after}");
+        assert!(
+            after < 1.2,
+            "hogwild should converge despite races: {after}"
+        );
     }
 
     #[test]

@@ -33,9 +33,13 @@ fn bench_f16(c: &mut Criterion) {
     let mut back = vec![0.0f32; n];
     let mut group = c.benchmark_group("f16_gram_matrix");
     group.throughput(Throughput::Bytes((n * 4) as u64));
-    group.bench_function("narrow", |b| b.iter(|| narrow_slice(black_box(&src), &mut half)));
+    group.bench_function("narrow", |b| {
+        b.iter(|| narrow_slice(black_box(&src), &mut half))
+    });
     narrow_slice(&src, &mut half);
-    group.bench_function("widen", |b| b.iter(|| widen_slice(black_box(&half), &mut back)));
+    group.bench_function("widen", |b| {
+        b.iter(|| widen_slice(black_box(&half), &mut back))
+    });
     group.finish();
 }
 

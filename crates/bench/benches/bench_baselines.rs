@@ -29,8 +29,12 @@ fn bench_sparse(c: &mut Criterion) {
     let data = MfDataset::netflix(SizeClass::Tiny, 12);
     let mut group = c.benchmark_group("sparse_conversions");
     group.throughput(Throughput::Elements(data.train_nnz() as u64));
-    group.bench_function("coo_to_csr", |b| b.iter(|| black_box(CsrMatrix::from_coo(black_box(&data.train_coo)))));
-    group.bench_function("csr_transpose", |b| b.iter(|| black_box(data.r.transpose())));
+    group.bench_function("coo_to_csr", |b| {
+        b.iter(|| black_box(CsrMatrix::from_coo(black_box(&data.train_coo))))
+    });
+    group.bench_function("csr_transpose", |b| {
+        b.iter(|| black_box(data.r.transpose()))
+    });
     group.finish();
 }
 

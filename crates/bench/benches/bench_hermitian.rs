@@ -25,7 +25,14 @@ fn bench_hermitian(c: &mut Criterion) {
             let mut staging = Vec::new();
             let mut acc = SymPacked::zeros(f);
             b.iter(|| {
-                hermitian_row(black_box(&cols), &feats, 0.05, &shape, &mut staging, &mut acc);
+                hermitian_row(
+                    black_box(&cols),
+                    &feats,
+                    0.05,
+                    &shape,
+                    &mut staging,
+                    &mut acc,
+                );
                 black_box(acc.get(0, 0))
             })
         });

@@ -10,37 +10,56 @@
 use cumf_als::als::{price_side, Side};
 use cumf_als::kernels::hermitian::{hermitian_phases, HermitianShape, HermitianWorkload};
 use cumf_als::{AlsConfig, AlsTrainer, Precision, SolverKind};
-use cumf_bench::{fmt_s, HarnessArgs};
+use cumf_bench::{fmt_s, HarnessArgs, TelemetrySink};
 use cumf_datasets::MfDataset;
 use cumf_gpu_sim::memory::LoadPattern;
 use cumf_gpu_sim::GpuSpec;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let sink = TelemetrySink::from_args(&args);
     let spec = GpuSpec::maxwell_titan_x();
     let data = MfDataset::netflix(args.size(), args.seed);
     let epochs = args.epochs(8) as usize;
 
     // --- fs sweep -------------------------------------------------------
     println!("Ablation 1 — CG truncation depth fs (Netflix, f=100, {epochs} epochs)");
-    println!("{:<6} {:>10} {:>14} {:>12}", "fs", "final RMSE", "solve s/epoch", "mean iters");
+    println!(
+        "{:<6} {:>10} {:>14} {:>12}",
+        "fs", "final RMSE", "solve s/epoch", "mean iters"
+    );
     let mut exact_rmse = None;
     for fs in [1usize, 2, 4, 6, 10, 100] {
         let mut cfg = AlsConfig::for_profile(&data.profile);
         cfg.solver = if fs == 100 {
             SolverKind::BatchCholesky
         } else {
-            SolverKind::Cg { fs, tolerance: 1e-4, precision: Precision::Fp32 }
+            SolverKind::Cg {
+                fs,
+                tolerance: 1e-4,
+                precision: Precision::Fp32,
+            }
         };
         cfg.iterations = epochs;
         cfg.rmse_target = None;
         let mut t = AlsTrainer::new(&data, cfg.clone(), spec.clone(), 1);
         let rep = t.train();
-        let mean_iters = rep.epochs.iter().map(|e| e.mean_cg_iters).sum::<f64>() / rep.epochs.len() as f64;
+        let mean_iters =
+            rep.epochs.iter().map(|e| e.mean_cg_iters).sum::<f64>() / rep.epochs.len() as f64;
         let solve = price_side(&data.profile, &cfg, Side::X, &spec, 1, mean_iters).solve
             + price_side(&data.profile, &cfg, Side::Theta, &spec, 1, mean_iters).solve;
-        let label = if fs == 100 { "exact".to_string() } else { fs.to_string() };
-        println!("{:<6} {:>10.4} {:>14} {:>12.2}", label, rep.final_rmse(), fmt_s(solve), mean_iters);
+        let label = if fs == 100 {
+            "exact".to_string()
+        } else {
+            fs.to_string()
+        };
+        println!(
+            "{:<6} {:>10.4} {:>14} {:>12.2}",
+            label,
+            rep.final_rmse(),
+            fmt_s(solve),
+            mean_iters
+        );
         if fs == 100 {
             exact_rmse = Some(rep.final_rmse());
         }
@@ -52,13 +71,27 @@ fn main() {
     // --- tile sweep -----------------------------------------------------
     println!();
     println!("Ablation 2 — register tile T vs occupancy and load time (f=100, nonCoal-L1)");
-    println!("{:<6} {:>14} {:>12} {:>10}", "T", "regs/thread", "blocks/SM", "load s");
-    let w = HermitianWorkload { rows: data.profile.m, feature_rows: data.profile.n, nz: data.profile.nz };
+    println!(
+        "{:<6} {:>14} {:>12} {:>10}",
+        "T", "regs/thread", "blocks/SM", "load s"
+    );
+    let w = HermitianWorkload {
+        rows: data.profile.m,
+        feature_rows: data.profile.n,
+        nz: data.profile.nz,
+    };
     for tile in [4usize, 5, 10, 20, 25] {
-        let shape = HermitianShape { f: 100, bin: 32, tile };
+        let shape = HermitianShape {
+            f: 100,
+            bin: 32,
+            tile,
+        };
         let res = shape.resources();
         if res.regs_per_thread * res.threads_per_block > 65_536 {
-            println!("{:<6} {:>14} {:>12} {:>10}", tile, res.regs_per_thread, "-", "(won't launch)");
+            println!(
+                "{:<6} {:>14} {:>12} {:>10}",
+                tile, res.regs_per_thread, "-", "(won't launch)"
+            );
             continue;
         }
         let ph = hermitian_phases(&spec, &w, &shape, LoadPattern::NonCoalescedL1);
@@ -74,12 +107,22 @@ fn main() {
     // --- BIN sweep ------------------------------------------------------
     println!();
     println!("Ablation 3 — staging batch BIN vs shared memory and occupancy (f=100, T=10)");
-    println!("{:<6} {:>12} {:>12} {:>10}", "BIN", "smem/block", "blocks/SM", "load s");
+    println!(
+        "{:<6} {:>12} {:>12} {:>10}",
+        "BIN", "smem/block", "blocks/SM", "load s"
+    );
     for bin in [8usize, 16, 32, 64, 128] {
-        let shape = HermitianShape { f: 100, bin, tile: 10 };
+        let shape = HermitianShape {
+            f: 100,
+            bin,
+            tile: 10,
+        };
         let res = shape.resources();
         if res.shared_mem_per_block > spec.shared_mem_per_sm {
-            println!("{:<6} {:>12} {:>12} {:>10}", bin, res.shared_mem_per_block, "-", "(won't launch)");
+            println!(
+                "{:<6} {:>12} {:>12} {:>10}",
+                bin, res.shared_mem_per_block, "-", "(won't launch)"
+            );
             continue;
         }
         let ph = hermitian_phases(&spec, &w, &shape, LoadPattern::NonCoalescedL1);
@@ -97,11 +140,19 @@ fn main() {
     println!("Ablation 4 — FP16 storage perturbation (CG fs=6, {epochs} epochs)");
     for precision in [Precision::Fp32, Precision::Fp16] {
         let mut cfg = AlsConfig::for_profile(&data.profile);
-        cfg.solver = SolverKind::Cg { fs: 6, tolerance: 1e-4, precision };
+        cfg.solver = SolverKind::Cg {
+            fs: 6,
+            tolerance: 1e-4,
+            precision,
+        };
         cfg.iterations = epochs;
         cfg.rmse_target = None;
-        let mut t = AlsTrainer::new(&data, cfg, spec.clone(), 1);
+        // The FP16/FP32 pair is the most telemetry-interesting ablation:
+        // record it so SolverRecords carry the round-trip error stats.
+        let mut t = AlsTrainer::with_recorder(&data, cfg, spec.clone(), 1, sink.recorder());
         let rep = t.train();
         println!("  {:?}: final RMSE {:.5}", precision, rep.final_rmse());
     }
+
+    sink.finish().expect("writing telemetry output");
 }

@@ -8,8 +8,9 @@
 //! model to validate the closed-form load estimates.
 
 use cumf_als::kernels::hermitian::{hermitian_phases, HermitianShape, HermitianWorkload};
-use cumf_bench::{fmt_s, HarnessArgs};
-use cumf_datasets::DatasetProfile;
+use cumf_als::{AlsConfig, AlsTrainer};
+use cumf_bench::{fmt_s, HarnessArgs, TelemetrySink};
+use cumf_datasets::{DatasetProfile, MfDataset};
 use cumf_gpu_sim::cache::{maxwell_l1, maxwell_l2, Access};
 use cumf_gpu_sim::memory::LoadPattern;
 use cumf_gpu_sim::GpuSpec;
@@ -19,16 +20,33 @@ fn main() {
     let spec = GpuSpec::maxwell_titan_x();
     let profile = DatasetProfile::netflix();
     let shape = HermitianShape::paper(100);
-    let patterns = [LoadPattern::NonCoalescedL1, LoadPattern::NonCoalescedNoL1, LoadPattern::Coalesced];
+    let patterns = [
+        LoadPattern::NonCoalescedL1,
+        LoadPattern::NonCoalescedNoL1,
+        LoadPattern::Coalesced,
+    ];
 
     println!("Figure 4 — get_hermitian load scheme comparison");
-    println!("dataset: Netflix ({} x {}, {} nz), f=100, BIN=32, device: {}", profile.m, profile.n, profile.nz, spec.name);
+    println!(
+        "dataset: Netflix ({} x {}, {} nz), f=100, BIN=32, device: {}",
+        profile.m, profile.n, profile.nz, spec.name
+    );
     println!();
 
-    for (side, rows, feat) in [("update X", profile.m, profile.n), ("update Θ", profile.n, profile.m)] {
-        let w = HermitianWorkload { rows, feature_rows: feat, nz: profile.nz };
+    for (side, rows, feat) in [
+        ("update X", profile.m, profile.n),
+        ("update Θ", profile.n, profile.m),
+    ] {
+        let w = HermitianWorkload {
+            rows,
+            feature_rows: feat,
+            nz: profile.nz,
+        };
         println!("{side}");
-        println!("{:<14} {:>8} {:>9} {:>8} {:>8}", "scheme", "load", "compute", "write", "total");
+        println!(
+            "{:<14} {:>8} {:>9} {:>8} {:>8}",
+            "scheme", "load", "compute", "write", "total"
+        );
         for p in patterns {
             let ph = hermitian_phases(&spec, &w, &shape, p);
             println!(
@@ -67,13 +85,34 @@ fn main() {
         }
     }
     println!("trace validation (nonCoal-L1, {sample_blocks} sampled blocks, {reads} loads):");
-    println!("  L1 hit ratio: {:.3}  (closed form assumes per-thread line reuse ≈ {:.3})", l1.hit_ratio(), 31.0 / 32.0);
+    println!(
+        "  L1 hit ratio: {:.3}  (closed form assumes per-thread line reuse ≈ {:.3})",
+        l1.hit_ratio(),
+        31.0 / 32.0
+    );
     println!("  L2 hit ratio on L1 misses: {:.3}", l2.hit_ratio());
     println!(
         "  modeled DRAM fraction of requested bytes: {:.3}",
         cumf_gpu_sim::memory::staged_dram_bytes(
             &spec,
-            &cumf_gpu_sim::memory::StagedLoad { total_bytes: profile.nz * f * 4, unique_bytes: profile.n * f * 4 }
+            &cumf_gpu_sim::memory::StagedLoad {
+                total_bytes: profile.nz * f * 4,
+                unique_bytes: profile.n * f * 4
+            }
         ) / (profile.nz * f * 4) as f64
     );
+
+    // Telemetry: run an instrumented training epoch or two so the trace
+    // carries real get_hermitian.{load,compute,write} / get_bias / solve
+    // kernel events under each pattern's cost profile.
+    let sink = TelemetrySink::from_args(&args);
+    if sink.enabled() {
+        let data = MfDataset::netflix(args.size(), args.seed);
+        let mut cfg = AlsConfig::for_profile(&data.profile);
+        cfg.iterations = args.epochs(2) as usize;
+        cfg.rmse_target = None;
+        let mut trainer = AlsTrainer::with_recorder(&data, cfg, spec.clone(), 1, sink.recorder());
+        trainer.train();
+        sink.finish().expect("writing telemetry output");
+    }
 }

@@ -7,37 +7,69 @@
 
 use cumf_als::als::{price_epoch, price_side, Side};
 use cumf_als::{AlsConfig, AlsTrainer, Precision, SolverKind};
-use cumf_bench::{fmt_s, HarnessArgs};
+use cumf_bench::{fmt_s, HarnessArgs, TelemetrySink};
 use cumf_datasets::MfDataset;
 use cumf_gpu_sim::GpuSpec;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let sink = TelemetrySink::from_args(&args);
     let spec = GpuSpec::maxwell_titan_x();
     let data = MfDataset::netflix(args.size(), args.seed);
     let iters = 10u32;
 
-    // Measure the real mean CG iteration count over a training run.
+    // Measure the real mean CG iteration count over a training run. The
+    // telemetry recorder (if requested) observes this run, so the JSONL
+    // stream carries its per-sweep SolverRecords.
     let mut cfg = AlsConfig::for_profile(&data.profile);
-    cfg.solver = SolverKind::Cg { fs: 6, tolerance: 1e-4, precision: Precision::Fp32 };
+    cfg.solver = SolverKind::Cg {
+        fs: 6,
+        tolerance: 1e-4,
+        precision: Precision::Fp32,
+    };
     cfg.iterations = args.epochs(iters) as usize;
     cfg.rmse_target = None;
-    let mut trainer = AlsTrainer::new(&data, cfg.clone(), spec.clone(), 1);
+    let mut trainer =
+        AlsTrainer::with_recorder(&data, cfg.clone(), spec.clone(), 1, sink.recorder());
     let report = trainer.train();
-    let mean_cg: f64 = report.epochs.iter().map(|e| e.mean_cg_iters).sum::<f64>() / report.epochs.len() as f64;
+    let mean_cg: f64 =
+        report.epochs.iter().map(|e| e.mean_cg_iters).sum::<f64>() / report.epochs.len() as f64;
 
-    println!("Figure 5 — solver time for {iters} ALS iterations (Netflix, {}, f=100, fs=6)", spec.name);
+    println!(
+        "Figure 5 — solver time for {iters} ALS iterations (Netflix, {}, f=100, fs=6)",
+        spec.name
+    );
     println!("measured mean CG iterations per row: {mean_cg:.2}");
     println!();
-    println!("{:<10} {:>12} {:>12} {:>15}", "solver", "solve-noL1", "solve-L1", "get_hermitian");
+    println!(
+        "{:<10} {:>12} {:>12} {:>15}",
+        "solver", "solve-noL1", "solve-L1", "get_hermitian"
+    );
 
     let solvers: [(&str, SolverKind); 3] = [
         ("LU-FP32", SolverKind::BatchLu),
-        ("CG-FP32", SolverKind::Cg { fs: 6, tolerance: 1e-4, precision: Precision::Fp32 }),
-        ("CG-FP16", SolverKind::Cg { fs: 6, tolerance: 1e-4, precision: Precision::Fp16 }),
+        (
+            "CG-FP32",
+            SolverKind::Cg {
+                fs: 6,
+                tolerance: 1e-4,
+                precision: Precision::Fp32,
+            },
+        ),
+        (
+            "CG-FP16",
+            SolverKind::Cg {
+                fs: 6,
+                tolerance: 1e-4,
+                precision: Precision::Fp16,
+            },
+        ),
     ];
 
-    let herm_cfg = AlsConfig { solver: SolverKind::cumf_default(), ..cfg.clone() };
+    let herm_cfg = AlsConfig {
+        solver: SolverKind::cumf_default(),
+        ..cfg.clone()
+    };
     let herm_epoch = {
         let p = price_epoch(&data.profile, &herm_cfg, &spec, 1, mean_cg);
         (p.load + p.compute + p.write) * iters as f64
@@ -45,13 +77,22 @@ fn main() {
 
     let mut rows = Vec::new();
     for (name, solver) in solvers {
-        let c = AlsConfig { solver, ..cfg.clone() };
+        let c = AlsConfig {
+            solver,
+            ..cfg.clone()
+        };
         // The solve phase is L1-insensitive (Figure 5's observation): price
         // both flags and show they agree.
         let px = price_side(&data.profile, &c, Side::X, &spec, 1, mean_cg);
         let pt = price_side(&data.profile, &c, Side::Theta, &spec, 1, mean_cg);
         let solve_10 = (px.solve + pt.solve) * iters as f64;
-        println!("{:<10} {:>12} {:>12} {:>15}", name, fmt_s(solve_10), fmt_s(solve_10), fmt_s(herm_epoch));
+        println!(
+            "{:<10} {:>12} {:>12} {:>15}",
+            name,
+            fmt_s(solve_10),
+            fmt_s(solve_10),
+            fmt_s(herm_epoch)
+        );
         rows.push((name, solve_10));
     }
 
@@ -61,5 +102,24 @@ fn main() {
     let cg16 = rows[2].1;
     println!("ratios: CG-FP32/LU-FP32 = {:.2} (paper ≈ 0.25)", cg32 / lu);
     println!("        CG-FP16/CG-FP32 = {:.2} (paper ≈ 0.5)", cg16 / cg32);
-    println!("        LU-FP32/get_hermitian = {:.2} (paper ≈ 2)", lu / herm_epoch);
+    println!(
+        "        LU-FP32/get_hermitian = {:.2} (paper ≈ 2)",
+        lu / herm_epoch
+    );
+
+    if sink.enabled() {
+        // Also record a CG-FP16 run so the stream carries solve_cg_fp16
+        // SolverRecords (residual trajectories + FP16 round-trip error) —
+        // enough to regenerate this figure's CG rows from the JSONL alone.
+        let cfg16 = AlsConfig {
+            solver: SolverKind::Cg {
+                fs: 6,
+                tolerance: 1e-4,
+                precision: Precision::Fp16,
+            },
+            ..cfg.clone()
+        };
+        AlsTrainer::with_recorder(&data, cfg16, spec.clone(), 1, sink.recorder()).train();
+        sink.finish().expect("writing telemetry output");
+    }
 }

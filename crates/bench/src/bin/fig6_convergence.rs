@@ -11,7 +11,7 @@
 use cumf_als::als::price_epoch;
 use cumf_als::{AlsConfig, AlsTrainer};
 use cumf_baselines::{GpuAlsBaseline, LibMf, Nomad};
-use cumf_bench::{fmt_s, HarnessArgs};
+use cumf_bench::{fmt_s, HarnessArgs, TelemetrySink};
 use cumf_gpu_sim::timeline::ConvergenceCurve;
 use cumf_gpu_sim::GpuSpec;
 
@@ -22,20 +22,29 @@ struct Row {
 
 fn main() {
     let args = HarnessArgs::parse();
+    let sink = TelemetrySink::from_args(&args);
     let datasets = args.datasets();
     let als_epochs = args.epochs(20);
     let sgd_epochs = args.epochs(60);
 
     let mut rows: Vec<Row> = ["LIBMF", "NOMAD", "GPU-ALS@M", "cuMFALS@M", "cuMFALS@P"]
         .iter()
-        .map(|s| Row { system: s.to_string(), times: Vec::new() })
+        .map(|s| Row {
+            system: s.to_string(),
+            times: Vec::new(),
+        })
         .collect();
     let mut curves: Vec<(String, Vec<ConvergenceCurve>)> = Vec::new();
 
     for data in &datasets {
         let name = data.profile.name;
         let gpus = if name == "Hugewiki" { 4 } else { 1 };
-        eprintln!("[fig6] {name}: m={} n={} nz={}", data.m(), data.n(), data.train_nnz());
+        eprintln!(
+            "[fig6] {name}: m={} n={} nz={}",
+            data.m(),
+            data.n(),
+            data.train_nnz()
+        );
         let mut ds_curves = Vec::new();
 
         // LIBMF.
@@ -49,13 +58,26 @@ fn main() {
         ds_curves.push(nomad.curve);
 
         // GPU-ALS on Maxwell.
-        let gpu_als = GpuAlsBaseline { spec: GpuSpec::maxwell_titan_x(), gpus }.train(data, als_epochs);
+        let gpu_als = GpuAlsBaseline {
+            spec: GpuSpec::maxwell_titan_x(),
+            gpus,
+        }
+        .train(data, als_epochs);
         rows[2].times.push(gpu_als.time_to_target);
         ds_curves.push(gpu_als.curve);
 
         // cuMF_ALS on Maxwell (functional run), re-priced for Pascal.
-        let config = AlsConfig { iterations: als_epochs as usize, ..AlsConfig::for_profile(&data.profile) };
-        let mut trainer = AlsTrainer::new(data, config.clone(), GpuSpec::maxwell_titan_x(), gpus);
+        let config = AlsConfig {
+            iterations: als_epochs as usize,
+            ..AlsConfig::for_profile(&data.profile)
+        };
+        let mut trainer = AlsTrainer::with_recorder(
+            data,
+            config.clone(),
+            GpuSpec::maxwell_titan_x(),
+            gpus,
+            sink.recorder(),
+        );
         let cumf_m = trainer.train();
         rows[3].times.push(cumf_m.time_to_target);
 
@@ -116,4 +138,6 @@ fn main() {
             print!("{}", c.to_tsv());
         }
     }
+
+    sink.finish().expect("writing telemetry output");
 }

@@ -17,7 +17,6 @@ use cumf_gpu_sim::memory::LoadPattern;
 use cumf_gpu_sim::occupancy::{occupancy, KernelResources};
 use cumf_gpu_sim::GpuSpec;
 
-
 fn main() {
     let _args = HarnessArgs::parse();
     let profile = DatasetProfile::netflix();
@@ -31,7 +30,11 @@ fn main() {
     );
     for spec in GpuSpec::paper_catalog() {
         // cuMF: hermitian over m rows of k entries each.
-        let w = HermitianWorkload { rows: profile.m, feature_rows: profile.n, nz: profile.m * k as u64 };
+        let w = HermitianWorkload {
+            rows: profile.m,
+            feature_rows: profile.n,
+            nz: profile.m * k as u64,
+        };
         let shape = HermitianShape::paper(f);
         let ph = hermitian_phases(&spec, &w, &shape, LoadPattern::NonCoalescedL1);
         // Credit the arithmetic the kernel actually performs: 2·Nz·f(f+1)/2
@@ -57,13 +60,24 @@ fn main() {
 
     println!();
     println!("Figure 7(b) — CG solver memory bandwidth vs cudaMemcpy");
-    println!("{:<10} {:>14} {:>14} {:>10}", "device", "CG GB/s", "memcpy GB/s", "CG util");
+    println!(
+        "{:<10} {:>14} {:>14} {:>10}",
+        "device", "CG GB/s", "memcpy GB/s", "CG util"
+    );
     for spec in GpuSpec::paper_catalog() {
-        let solver = SolverKind::Cg { fs: 6, tolerance: 1e-4, precision: Precision::Fp32 };
+        let solver = SolverKind::Cg {
+            fs: 6,
+            tolerance: 1e-4,
+            precision: Precision::Fp32,
+        };
         let cost = solve_cost(&spec, &solver, profile.m, f as u64, 6.0, false);
         let occ = occupancy(
             &spec,
-            &KernelResources { regs_per_thread: 40, threads_per_block: 128, shared_mem_per_block: 0 },
+            &KernelResources {
+                regs_per_thread: 40,
+                threads_per_block: 128,
+                shared_mem_per_block: 0,
+            },
         );
         let t = launch_time(&spec, &occ, &cost);
         let bw = t.achieved_bandwidth(cost.l2_wire_bytes + cost.dram_write_bytes);

@@ -3,11 +3,12 @@
 
 use cumf_als::{AlsConfig, AlsTrainer};
 use cumf_baselines::GpuSgd;
-use cumf_bench::{fmt_s, HarnessArgs};
+use cumf_bench::{fmt_s, HarnessArgs, TelemetrySink};
 use cumf_gpu_sim::GpuSpec;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let sink = TelemetrySink::from_args(&args);
     let datasets = args.datasets();
     let als_epochs = args.epochs(20);
     let sgd_epochs = args.epochs(60);
@@ -22,19 +23,32 @@ fn main() {
 
         for &g in gpu_counts {
             // ALS.
-            let config = AlsConfig { iterations: als_epochs as usize, ..AlsConfig::for_profile(&data.profile) };
-            let mut trainer = AlsTrainer::new(data, config, spec(), g);
+            let config = AlsConfig {
+                iterations: als_epochs as usize,
+                ..AlsConfig::for_profile(&data.profile)
+            };
+            let mut trainer = AlsTrainer::with_recorder(data, config, spec(), g, sink.recorder());
             let als = trainer.train();
             println!("# als@{g}");
             print!("{}", als.curve.to_tsv());
 
             // SGD.
-            let sgd = GpuSgd::paper_setup(spec(), g, 100, &data.profile).train(data, sgd_epochs);
+            let sgd = GpuSgd::paper_setup(spec(), g, 100, &data.profile).train_with_recorder(
+                data,
+                sgd_epochs,
+                sink.recorder(),
+            );
             println!("# sgd@{g}");
             print!("{}", sgd.curve.to_tsv());
 
-            let als_t = als.time_to_target.map(fmt_s).unwrap_or_else(|| "n/a".into());
-            let sgd_t = sgd.time_to_target.map(fmt_s).unwrap_or_else(|| "n/a".into());
+            let als_t = als
+                .time_to_target
+                .map(fmt_s)
+                .unwrap_or_else(|| "n/a".into());
+            let sgd_t = sgd
+                .time_to_target
+                .map(fmt_s)
+                .unwrap_or_else(|| "n/a".into());
             println!("# time-to-target @{g} GPU(s): als={als_t}s sgd={sgd_t}s");
         }
     }
@@ -42,4 +56,5 @@ fn main() {
     println!();
     println!("(Paper's reading: SGD wins slightly per-GPU on the larger/denser sets,");
     println!(" ALS wins with 4 GPUs on Hugewiki and extends to implicit inputs.)");
+    sink.finish().expect("writing telemetry output");
 }

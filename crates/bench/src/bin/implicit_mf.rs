@@ -7,34 +7,58 @@
 
 use cumf_als::{ImplicitAlsConfig, ImplicitAlsTrainer};
 use cumf_baselines::implicit_cpu::{CpuImplicitAls, ImplicitLibrary};
-use cumf_bench::{fmt_s, HarnessArgs};
+use cumf_bench::{fmt_s, HarnessArgs, TelemetrySink};
 use cumf_datasets::MfDataset;
 use cumf_gpu_sim::host::CpuSpec;
 use cumf_gpu_sim::GpuSpec;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let sink = TelemetrySink::from_args(&args);
     let data = MfDataset::netflix(args.size(), args.seed);
     let sweeps = args.epochs(8);
 
     // cuMF_ALS implicit: functional + priced.
-    let config = ImplicitAlsConfig { iterations: sweeps as usize, ..ImplicitAlsConfig::default() };
+    let config = ImplicitAlsConfig {
+        iterations: sweeps as usize,
+        ..ImplicitAlsConfig::default()
+    };
     let mut trainer = ImplicitAlsTrainer::new(&data, config, GpuSpec::maxwell_titan_x());
+    trainer.set_recorder(sink.recorder());
     let reports = trainer.train();
 
     println!("Implicit MF (§V-F) — Netflix as one-class input, f=100, alpha=40");
     println!();
     println!("one-class objective per sweep (must decrease):");
     for r in &reports {
-        println!("  sweep {:>2}: objective {:>14.1}  sim time {:>7}s", r.epoch, r.objective, fmt_s(r.sim_time));
+        println!(
+            "  sweep {:>2}: objective {:>14.1}  sim time {:>7}s",
+            r.epoch,
+            r.objective,
+            fmt_s(r.sim_time)
+        );
     }
-    let monotone = reports.windows(2).all(|w| w[1].objective <= w[0].objective * 1.001);
+    let monotone = reports
+        .windows(2)
+        .all(|w| w[1].objective <= w[0].objective * 1.001);
     println!("  monotone: {monotone}");
 
-    let cumf_iter = reports.last().map(|r| r.sim_time / r.epoch as f64).unwrap_or(0.0);
-    let implicit_iter =
-        CpuImplicitAls { library: ImplicitLibrary::Implicit, cpu: CpuSpec::power8(), f: 100 }.iteration_time(&data);
-    let qmf_iter = CpuImplicitAls { library: ImplicitLibrary::Qmf, cpu: CpuSpec::power8(), f: 100 }.iteration_time(&data);
+    let cumf_iter = reports
+        .last()
+        .map(|r| r.sim_time / r.epoch as f64)
+        .unwrap_or(0.0);
+    let implicit_iter = CpuImplicitAls {
+        library: ImplicitLibrary::Implicit,
+        cpu: CpuSpec::power8(),
+        f: 100,
+    }
+    .iteration_time(&data);
+    let qmf_iter = CpuImplicitAls {
+        library: ImplicitLibrary::Qmf,
+        cpu: CpuSpec::power8(),
+        f: 100,
+    }
+    .iteration_time(&data);
 
     println!();
     println!("per-iteration time (simulated seconds; paper: 2.2 / 90 / 360):");
@@ -42,7 +66,14 @@ fn main() {
     println!("  {:<10} {:>8}", "implicit", fmt_s(implicit_iter));
     println!("  {:<10} {:>8}", "QMF", fmt_s(qmf_iter));
     println!();
-    println!("  implicit/cuMFALS = {:.1}x (paper 40.9x)", implicit_iter / cumf_iter);
-    println!("  QMF/implicit     = {:.1}x (paper 4.0x)", qmf_iter / implicit_iter);
+    println!(
+        "  implicit/cuMFALS = {:.1}x (paper 40.9x)",
+        implicit_iter / cumf_iter
+    );
+    println!(
+        "  QMF/implicit     = {:.1}x (paper 4.0x)",
+        qmf_iter / implicit_iter
+    );
     assert!(cumf_iter < implicit_iter && implicit_iter < qmf_iter);
+    sink.finish().expect("writing telemetry output");
 }

@@ -25,14 +25,30 @@ fn main() {
     // get_hermitian (+bias) over both sides.
     let mut herm = KernelCost::default();
     for (rows, feats) in [(p.m, p.n), (p.n, p.m)] {
-        let w = HermitianWorkload { rows, feature_rows: feats, nz: p.nz };
-        herm.accumulate(&hermitian_cost(&spec, &w, &shape, LoadPattern::NonCoalescedL1));
+        let w = HermitianWorkload {
+            rows,
+            feature_rows: feats,
+            nz: p.nz,
+        };
+        herm.accumulate(&hermitian_cost(
+            &spec,
+            &w,
+            &shape,
+            LoadPattern::NonCoalescedL1,
+        ));
         herm.accumulate(&bias_cost(&spec, rows, p.nz, f));
     }
 
     // solve over both sides, exact (the Table-I row uses the direct solver).
     let mut solve = KernelCost::default();
-    solve.accumulate(&solve_cost(&spec, &SolverKind::BatchLu, p.m + p.n, f, f as f64, false));
+    solve.accumulate(&solve_cost(
+        &spec,
+        &SolverKind::BatchLu,
+        p.m + p.n,
+        f,
+        f as f64,
+        false,
+    ));
 
     // SGD epoch counters.
     let sgd = KernelCost {
@@ -45,16 +61,29 @@ fn main() {
     };
 
     println!("Table I — measured compute (C) and memory (M) per epoch, Netflix f=100");
-    println!("{:<18} {:>12} {:>12} {:>8} {:>22}", "kernel", "C (GFLOP)", "M (GB)", "C/M", "normalized constant");
+    println!(
+        "{:<18} {:>12} {:>12} {:>8} {:>22}",
+        "kernel", "C (GFLOP)", "M (GB)", "C/M", "normalized constant"
+    );
     let rows = [
-        ("ALS get_hermitian", &herm, herm.flops_fp32 / (2.0 * p.nz as f64 * (f * f) as f64), "C / (2·Nz·f²)"),
+        (
+            "ALS get_hermitian",
+            &herm,
+            herm.flops_fp32 / (2.0 * p.nz as f64 * (f * f) as f64),
+            "C / (2·Nz·f²)",
+        ),
         (
             "ALS solve",
             &solve,
             solve.flops_fp32 / (((p.m + p.n) * f * f * f) as f64),
             "C / ((m+n)·f³)",
         ),
-        ("SGD", &sgd, sgd.flops_fp32 / ((p.nz * f) as f64), "C / (Nz·f)"),
+        (
+            "SGD",
+            &sgd,
+            sgd.flops_fp32 / ((p.nz * f) as f64),
+            "C / (Nz·f)",
+        ),
     ];
     for (name, c, norm, norm_label) in rows {
         println!(
@@ -70,7 +99,10 @@ fn main() {
     println!();
     println!("paper's claim: ALS C/M ratio ≈ f (per float) — compute-intensive;");
     println!("SGD C/M ≈ 1 — memory-intensive. Measured per-float ratios:");
-    println!("  get_hermitian: {:.1} (f = {f})", herm.arithmetic_intensity() * 4.0);
+    println!(
+        "  get_hermitian: {:.1} (f = {f})",
+        herm.arithmetic_intensity() * 4.0
+    );
     println!("  SGD:           {:.1}", sgd.arithmetic_intensity() * 4.0);
     assert!(herm.arithmetic_intensity() * 4.0 > 20.0 * sgd.arithmetic_intensity() * 4.0);
 }

@@ -7,54 +7,110 @@ use cumf_baselines::bidmach::BidMach;
 use cumf_baselines::ccd::{CcdConfig, CcdTrainer};
 use cumf_baselines::sgd::SgdConfig;
 use cumf_baselines::{GpuAlsBaseline, GpuSgd, LibMf, Nomad};
-use cumf_bench::{fmt_s, HarnessArgs};
+use cumf_bench::{fmt_s, HarnessArgs, TelemetrySink};
 use cumf_datasets::{MfDataset, SizeClass};
 use cumf_gpu_sim::host::CpuSpec;
 use cumf_gpu_sim::GpuSpec;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let sink = TelemetrySink::from_args(&args);
     let data = MfDataset::netflix(SizeClass::Tiny, args.seed);
     let f = 8usize;
     let epochs = 6u32;
 
-    println!("Table V — parallel MF solutions (implemented cells, smoke-run on tiny Netflix, f={f})");
+    println!(
+        "Table V — parallel MF solutions (implemented cells, smoke-run on tiny Netflix, f={f})"
+    );
     println!(
         "{:<10} {:<28} {:<8} {:>12} {:>10}",
         "algorithm", "system (modeled)", "where", "s/epoch(sim)", "RMSE"
     );
 
     // SGD / CPU: LIBMF (blocking, single node).
-    let libmf = LibMf { config: SgdConfig { f, grid: 8, ..SgdConfig::new(f, 0.05) }, ..LibMf::paper_setup(f, &data.profile) };
+    let libmf = LibMf {
+        config: SgdConfig {
+            f,
+            grid: 8,
+            ..SgdConfig::new(f, 0.05)
+        },
+        ..LibMf::paper_setup(f, &data.profile)
+    };
     let r = libmf.train(&data, epochs);
-    row("SGD", "LIBMF (blocking, 40 thr)", "CPU", r.epoch_time, r.curve.best_rmse());
+    row(
+        "SGD",
+        "LIBMF (blocking, 40 thr)",
+        "CPU",
+        r.epoch_time,
+        r.curve.best_rmse(),
+    );
 
     // SGD / CPU distributed: NOMAD.
-    let nomad = Nomad { config: SgdConfig { f, grid: 8, ..SgdConfig::new(f, 0.05) }, ..Nomad::paper_setup(&data.profile, f) };
+    let nomad = Nomad {
+        config: SgdConfig {
+            f,
+            grid: 8,
+            ..SgdConfig::new(f, 0.05)
+        },
+        ..Nomad::paper_setup(&data.profile, f)
+    };
     let r = nomad.train(&data, epochs);
-    row("SGD", "NOMAD (async, 32 nodes)", "cluster", r.epoch_time, r.curve.best_rmse());
+    row(
+        "SGD",
+        "NOMAD (async, 32 nodes)",
+        "cluster",
+        r.epoch_time,
+        r.curve.best_rmse(),
+    );
 
     // SGD / GPU: cuMF_SGD.
     let mut sgd = GpuSgd::paper_setup(GpuSpec::maxwell_titan_x(), 1, f, &data.profile);
     sgd.config = SgdConfig::new(f, 0.05);
     let r = sgd.train(&data, epochs * 2);
-    row("SGD", "GPU-SGD (Hogwild, half)", "GPU", r.epoch_time, r.curve.best_rmse());
+    row(
+        "SGD",
+        "GPU-SGD (Hogwild, half)",
+        "GPU",
+        r.epoch_time,
+        r.curve.best_rmse(),
+    );
 
     // ALS / GPU: BIDMach generic kernels (per-epoch time only; §V-C notes
     // it does not converge to the acceptance level under the protocol).
-    let bid = BidMach { spec: GpuSpec::maxwell_titan_x(), f: 100, lambda: 0.05 };
-    row("ALS", "BIDMach (generic kernels)", "GPU", bid.epoch_time(&data), None);
+    let bid = BidMach {
+        spec: GpuSpec::maxwell_titan_x(),
+        f: 100,
+        lambda: 0.05,
+    };
+    row(
+        "ALS",
+        "BIDMach (generic kernels)",
+        "GPU",
+        bid.epoch_time(&data),
+        None,
+    );
 
     // ALS / GPU: GPU-ALS (HPDC'16).
-    let r = GpuAlsBaseline { spec: GpuSpec::maxwell_titan_x(), gpus: 1 }.train_with_f(&data, epochs, f);
-    row("ALS", "GPU-ALS (coal + LU)", "GPU", r.epoch_time, r.curve.best_rmse());
+    let r = GpuAlsBaseline {
+        spec: GpuSpec::maxwell_titan_x(),
+        gpus: 1,
+    }
+    .train_with_f(&data, epochs, f);
+    row(
+        "ALS",
+        "GPU-ALS (coal + LU)",
+        "GPU",
+        r.epoch_time,
+        r.curve.best_rmse(),
+    );
 
     // ALS / GPU: cuMF_ALS.
     let mut cfg = AlsConfig::for_profile(&data.profile);
     cfg.f = f;
     cfg.iterations = epochs as usize;
     cfg.rmse_target = None;
-    let mut t = AlsTrainer::new(&data, cfg, GpuSpec::maxwell_titan_x(), 1);
+    let mut t =
+        AlsTrainer::with_recorder(&data, cfg, GpuSpec::maxwell_titan_x(), 1, sink.recorder());
     let rep = t.train();
     row(
         "ALS",
@@ -65,24 +121,59 @@ fn main() {
     );
 
     // ALS / GPU implicit.
-    let mut icfg = ImplicitAlsConfig { f, iterations: 2, ..ImplicitAlsConfig::default() };
+    let mut icfg = ImplicitAlsConfig {
+        f,
+        iterations: 2,
+        ..ImplicitAlsConfig::default()
+    };
     icfg.alpha = 10.0;
     let it = ImplicitAlsTrainer::new(&data, icfg, GpuSpec::maxwell_titan_x());
-    row("ALS", "cuMF_ALS implicit (HKV)", "GPU", it.epoch_sim_time(), None);
+    row(
+        "ALS",
+        "cuMF_ALS implicit (HKV)",
+        "GPU",
+        it.epoch_sim_time(),
+        None,
+    );
 
     // CCD / CPU: CCD++.
-    let mut ccd = CcdTrainer::new(&data, CcdConfig { f, lambda: 0.05, inner: 1, seed: args.seed }, CpuSpec::power8());
+    let mut ccd = CcdTrainer::new(
+        &data,
+        CcdConfig {
+            f,
+            lambda: 0.05,
+            inner: 1,
+            seed: args.seed,
+        },
+        CpuSpec::power8(),
+    );
     let curve = ccd.train(epochs);
-    row("CCD", "CCD++ (cyclic, multicore)", "CPU", ccd.epoch_time(), curve.best_rmse());
+    row(
+        "CCD",
+        "CCD++ (cyclic, multicore)",
+        "CPU",
+        ccd.epoch_time(),
+        curve.best_rmse(),
+    );
 
     println!();
     println!("unimplemented-but-catalogued (documentation rows of Table V): HogWild!,");
     println!("FactorBird, Petuum, DSGD, DSGD++, dcMF, MLGF-MF, PALS, DALS, SparkALS,");
     println!("GraphLab, Sparkler, Facebook rotation, HPC-ALS, approximate ALS [29],");
     println!("parallel CCD++ on GPU [20].");
+    sink.finish().expect("writing telemetry output");
 }
 
 fn row(alg: &str, system: &str, place: &str, epoch_s: f64, rmse: Option<f64>) {
-    let rmse_s = rmse.map(|r| format!("{r:.3}")).unwrap_or_else(|| "-".into());
-    println!("{:<10} {:<28} {:<8} {:>12} {:>10}", alg, system, place, fmt_s(epoch_s), rmse_s);
+    let rmse_s = rmse
+        .map(|r| format!("{r:.3}"))
+        .unwrap_or_else(|| "-".into());
+    println!(
+        "{:<10} {:<28} {:<8} {:>12} {:>10}",
+        alg,
+        system,
+        place,
+        fmt_s(epoch_s),
+        rmse_s
+    );
 }

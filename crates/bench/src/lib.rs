@@ -8,20 +8,37 @@
 #![deny(missing_docs)]
 
 use cumf_datasets::{MfDataset, SizeClass};
+use cumf_telemetry::{
+    render_summary, summarize_events, write_chrome_trace, write_jsonl, MemoryRecorder, Recorder,
+    NOOP,
+};
 
 /// Parsed common CLI flags for harness binaries.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct HarnessArgs {
     /// Run on Tiny instances with fewer epochs (CI smoke mode).
     pub quick: bool,
     /// RNG seed.
     pub seed: u64,
+    /// Write a Chrome trace-event JSON file here (`--trace PATH`).
+    pub trace: Option<String>,
+    /// Write a JSONL metrics stream here (`--metrics PATH`).
+    pub metrics: Option<String>,
+    /// Print the nvprof-style per-kernel summary table (`--profile`).
+    pub profile: bool,
 }
 
 impl HarnessArgs {
-    /// Parse from `std::env::args`: `--quick` and `--seed N` are accepted.
+    /// Parse from `std::env::args`: `--quick`, `--seed N`, `--trace PATH`,
+    /// `--metrics PATH` and `--profile` are accepted.
     pub fn parse() -> HarnessArgs {
-        let mut args = HarnessArgs { quick: false, seed: 42 };
+        let mut args = HarnessArgs {
+            quick: false,
+            seed: 42,
+            trace: None,
+            metrics: None,
+            profile: false,
+        };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -29,14 +46,26 @@ impl HarnessArgs {
                 "--seed" => {
                     args.seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(42);
                 }
+                "--trace" => args.trace = it.next(),
+                "--metrics" => args.metrics = it.next(),
+                "--profile" => args.profile = true,
                 "--help" | "-h" => {
-                    eprintln!("flags: --quick (tiny instances), --seed N");
+                    eprintln!(
+                        "flags: --quick (tiny instances), --seed N, --trace PATH \
+                         (Chrome trace JSON), --metrics PATH (JSONL), --profile \
+                         (per-kernel summary table)"
+                    );
                     std::process::exit(0);
                 }
                 other => eprintln!("ignoring unknown flag {other}"),
             }
         }
         args
+    }
+
+    /// Whether any telemetry output was requested.
+    pub fn telemetry_requested(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some() || self.profile
     }
 
     /// The dataset size class this run uses.
@@ -67,6 +96,64 @@ impl HarnessArgs {
     }
 }
 
+/// Telemetry plumbing shared by all harness binaries: holds a
+/// [`MemoryRecorder`] when any of `--trace` / `--metrics` / `--profile` was
+/// passed (a no-op recorder otherwise), and flushes the requested exporters
+/// at the end of the run.
+pub struct TelemetrySink {
+    recorder: Option<MemoryRecorder>,
+    trace: Option<String>,
+    metrics: Option<String>,
+    profile: bool,
+}
+
+impl TelemetrySink {
+    /// Build from parsed flags. The recorder only exists (and instrumented
+    /// code only pays for event construction) when telemetry was requested.
+    pub fn from_args(args: &HarnessArgs) -> TelemetrySink {
+        TelemetrySink {
+            recorder: args.telemetry_requested().then(MemoryRecorder::new),
+            trace: args.trace.clone(),
+            metrics: args.metrics.clone(),
+            profile: args.profile,
+        }
+    }
+
+    /// The recorder to hand to trainers ([`NOOP`] when telemetry is off).
+    pub fn recorder(&self) -> &dyn Recorder {
+        match &self.recorder {
+            Some(m) => m,
+            None => &NOOP,
+        }
+    }
+
+    /// Whether events are being collected.
+    pub fn enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Write the requested trace/metrics files and print the `--profile`
+    /// summary. Call once, after the workload.
+    pub fn finish(&self) -> std::io::Result<()> {
+        let Some(m) = &self.recorder else {
+            return Ok(());
+        };
+        let events = m.events();
+        if let Some(path) = &self.trace {
+            write_chrome_trace(path, &events)?;
+            eprintln!("wrote Chrome trace ({} events) to {path}", events.len());
+        }
+        if let Some(path) = &self.metrics {
+            write_jsonl(path, &events)?;
+            eprintln!("wrote JSONL metrics ({} events) to {path}", events.len());
+        }
+        if self.profile {
+            println!("{}", render_summary(&summarize_events(&events)));
+        }
+        Ok(())
+    }
+}
+
 /// Format seconds compactly for table output.
 pub fn fmt_s(t: f64) -> String {
     if t >= 100.0 {
@@ -94,13 +181,37 @@ mod tests {
         assert_eq!(fmt_s(3.456), "3.46");
     }
 
+    fn args(quick: bool) -> HarnessArgs {
+        HarnessArgs {
+            quick,
+            seed: 1,
+            trace: None,
+            metrics: None,
+            profile: false,
+        }
+    }
+
     #[test]
     fn quick_mode_uses_tiny() {
-        let a = HarnessArgs { quick: true, seed: 1 };
+        let a = args(true);
         assert_eq!(a.size(), SizeClass::Tiny);
         assert_eq!(a.epochs(30), 5);
-        let b = HarnessArgs { quick: false, seed: 1 };
+        let b = args(false);
         assert_eq!(b.size(), SizeClass::Default);
         assert_eq!(b.epochs(30), 30);
+    }
+
+    #[test]
+    fn sink_is_noop_unless_requested() {
+        let off = TelemetrySink::from_args(&args(true));
+        assert!(!off.enabled());
+        assert!(!off.recorder().enabled());
+        off.finish().unwrap();
+
+        let mut a = args(true);
+        a.profile = true;
+        let on = TelemetrySink::from_args(&a);
+        assert!(on.enabled());
+        assert!(on.recorder().enabled());
     }
 }

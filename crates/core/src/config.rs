@@ -38,7 +38,11 @@ impl SolverKind {
     /// The configuration the paper ships as cuMF_ALS's default: CG with
     /// `fs = 6`, FP16 storage.
     pub fn cumf_default() -> SolverKind {
-        SolverKind::Cg { fs: 6, tolerance: 1e-4, precision: Precision::Fp16 }
+        SolverKind::Cg {
+            fs: 6,
+            tolerance: 1e-4,
+            precision: Precision::Fp16,
+        }
     }
 }
 

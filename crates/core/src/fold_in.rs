@@ -72,7 +72,12 @@ mod tests {
 
     fn trained() -> (MfDataset, DenseMatrix, DenseMatrix) {
         let data = MfDataset::netflix(SizeClass::Tiny, 33);
-        let cfg = AlsConfig { f: 8, iterations: 6, rmse_target: None, ..AlsConfig::for_profile(&data.profile) };
+        let cfg = AlsConfig {
+            f: 8,
+            iterations: 6,
+            rmse_target: None,
+            ..AlsConfig::for_profile(&data.profile)
+        };
         let mut t = AlsTrainer::new(&data, cfg, GpuSpec::maxwell_titan_x(), 1);
         t.train();
         let x = t.x.clone();
@@ -89,11 +94,11 @@ mod tests {
         let user = (0..data.m()).max_by_key(|&u| data.r.row_nnz(u)).unwrap();
         let ratings: Vec<(u32, f32)> = data.r.row_iter(user).collect();
         let folded = fold_in_row(&theta, &ratings, 0.05, &solver);
-        for i in 0..8 {
+        for (i, &fv) in folded.iter().enumerate().take(8) {
             assert!(
-                (folded[i] - x.get(user, i)).abs() < 0.05,
+                (fv - x.get(user, i)).abs() < 0.05,
                 "dim {i}: folded {} vs trained {}",
-                folded[i],
+                fv,
                 x.get(user, i)
             );
         }
@@ -124,8 +129,7 @@ mod tests {
     #[test]
     fn batch_matches_row_by_row() {
         let (data, _, theta) = trained();
-        let rows: Vec<Vec<(u32, f32)>> =
-            (0..20).map(|u| data.r.row_iter(u).collect()).collect();
+        let rows: Vec<Vec<(u32, f32)>> = (0..20).map(|u| data.r.row_iter(u).collect()).collect();
         let solver = SolverKind::BatchCholesky;
         let batch = fold_in_batch(&theta, &rows, 0.05, &solver);
         for (u, ratings) in rows.iter().enumerate() {

@@ -28,7 +28,11 @@ pub struct IncrementalConfig {
 
 impl Default for IncrementalConfig {
     fn default() -> Self {
-        IncrementalConfig { lr: 0.01, lambda: 0.05, passes: 2 }
+        IncrementalConfig {
+            lr: 0.01,
+            lambda: 0.05,
+            passes: 2,
+        }
     }
 }
 
@@ -52,18 +56,52 @@ impl HybridTrainer {
         gpus: u32,
         incremental: IncrementalConfig,
     ) -> (HybridTrainer, TrainReport) {
-        let mut trainer = AlsTrainer::new(data, config, spec, gpus);
+        Self::batch_train_with_recorder(
+            data,
+            config,
+            spec,
+            gpus,
+            incremental,
+            &cumf_telemetry::NOOP,
+        )
+    }
+
+    /// [`HybridTrainer::batch_train`] with a telemetry recorder observing the
+    /// batch ALS phase (the incremental SGD phase is host-side and unpriced).
+    pub fn batch_train_with_recorder(
+        data: &MfDataset,
+        config: AlsConfig,
+        spec: GpuSpec,
+        gpus: u32,
+        incremental: IncrementalConfig,
+        recorder: &dyn cumf_telemetry::Recorder,
+    ) -> (HybridTrainer, TrainReport) {
+        let mut trainer = AlsTrainer::with_recorder(data, config, spec, gpus, recorder);
         let report = trainer.train();
         (
-            HybridTrainer { x: trainer.x.clone(), theta: trainer.theta.clone(), incremental, pending: Vec::new() },
+            HybridTrainer {
+                x: trainer.x.clone(),
+                theta: trainer.theta.clone(),
+                incremental,
+                pending: Vec::new(),
+            },
             report,
         )
     }
 
     /// Wrap pre-trained factors directly.
-    pub fn from_factors(x: DenseMatrix, theta: DenseMatrix, incremental: IncrementalConfig) -> HybridTrainer {
+    pub fn from_factors(
+        x: DenseMatrix,
+        theta: DenseMatrix,
+        incremental: IncrementalConfig,
+    ) -> HybridTrainer {
         assert_eq!(x.cols(), theta.cols(), "factor dimensions must agree");
-        HybridTrainer { x, theta, incremental, pending: Vec::new() }
+        HybridTrainer {
+            x,
+            theta,
+            incremental,
+            pending: Vec::new(),
+        }
     }
 
     /// Ingest a batch of new ratings: `passes` SGD sweeps over just these
@@ -75,7 +113,10 @@ impl HybridTrainer {
         for _ in 0..self.incremental.passes.max(1) {
             for e in events {
                 let (u, v) = (e.row as usize, e.col as usize);
-                assert!(u < self.x.rows() && v < self.theta.rows(), "event out of model bounds");
+                assert!(
+                    u < self.x.rows() && v < self.theta.rows(),
+                    "event out of model bounds"
+                );
                 let mut err = e.value;
                 for i in 0..f {
                     err -= self.x.get(u, i) * self.theta.get(v, i);
@@ -123,8 +164,19 @@ mod tests {
 
     fn setup() -> (MfDataset, HybridTrainer) {
         let data = MfDataset::netflix(SizeClass::Tiny, 55);
-        let cfg = AlsConfig { f: 8, iterations: 6, rmse_target: None, ..AlsConfig::for_profile(&data.profile) };
-        let (h, report) = HybridTrainer::batch_train(&data, cfg, GpuSpec::maxwell_titan_x(), 1, IncrementalConfig::default());
+        let cfg = AlsConfig {
+            f: 8,
+            iterations: 6,
+            rmse_target: None,
+            ..AlsConfig::for_profile(&data.profile)
+        };
+        let (h, report) = HybridTrainer::batch_train(
+            &data,
+            cfg,
+            GpuSpec::maxwell_titan_x(),
+            1,
+            IncrementalConfig::default(),
+        );
         assert!(report.final_rmse() < 1.1);
         (data, h)
     }
@@ -139,7 +191,10 @@ mod tests {
             h.ingest(&events);
         }
         let after = h.rmse_over(&events);
-        assert!(after < before, "ingest must adapt the model: {before} → {after}");
+        assert!(
+            after < before,
+            "ingest must adapt the model: {before} → {after}"
+        );
         assert_eq!(h.pending_events(), events.len() * 5);
     }
 
@@ -175,7 +230,11 @@ mod tests {
     #[should_panic(expected = "out of model bounds")]
     fn out_of_range_event_panics() {
         let (_, mut h) = setup();
-        h.ingest(&[Entry { row: u32::MAX, col: 0, value: 1.0 }]);
+        h.ingest(&[Entry {
+            row: u32::MAX,
+            col: 0,
+            value: 1.0,
+        }]);
     }
 
     #[test]

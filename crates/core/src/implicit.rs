@@ -16,10 +16,11 @@
 //! `ΘᵀΘ` is computed once per sweep (`O(n f²)`), after which each row costs
 //! only its observed non-zeros — the same complexity class as explicit ALS.
 
+use crate::als::solver_kernel_name;
 use crate::config::{Precision, SolverKind};
 use crate::kernels::solve::{solve_cost, solve_row};
 use cumf_datasets::MfDataset;
-use cumf_gpu_sim::kernel::{hermitian_pipe_efficiency, launch_time};
+use cumf_gpu_sim::kernel::{hermitian_pipe_efficiency, launch_time, KernelCost, LaunchTiming};
 use cumf_gpu_sim::occupancy::{occupancy, KernelResources};
 use cumf_gpu_sim::timeline::SimClock;
 use cumf_gpu_sim::GpuSpec;
@@ -27,6 +28,7 @@ use cumf_numeric::dense::DenseMatrix;
 use cumf_numeric::stats::XorShift64;
 use cumf_numeric::sym::{packed_len, SymPacked};
 use cumf_sparse::CsrMatrix;
+use cumf_telemetry::{KernelLaunchRecord, PhaseSpan, Recorder, NOOP};
 use rayon::prelude::*;
 
 /// Configuration of the implicit-feedback trainer.
@@ -54,7 +56,11 @@ impl Default for ImplicitAlsConfig {
             lambda: 0.05,
             alpha: 40.0,
             iterations: 10,
-            solver: SolverKind::Cg { fs: 6, tolerance: 1e-4, precision: Precision::Fp32 },
+            solver: SolverKind::Cg {
+                fs: 6,
+                tolerance: 1e-4,
+                precision: Precision::Fp32,
+            },
             seed: 7,
         }
     }
@@ -81,6 +87,7 @@ pub struct ImplicitAlsTrainer<'a> {
     /// Item factors.
     pub theta: DenseMatrix,
     clock: SimClock,
+    recorder: &'a dyn Recorder,
 }
 
 impl<'a> ImplicitAlsTrainer<'a> {
@@ -94,7 +101,22 @@ impl<'a> ImplicitAlsTrainer<'a> {
         let s = 0.1 / (f as f32).sqrt();
         x.fill_with(|| rng.next_f32() * s);
         theta.fill_with(|| rng.next_f32() * s);
-        ImplicitAlsTrainer { data, config, spec, x, theta, clock: SimClock::new() }
+        ImplicitAlsTrainer {
+            data,
+            config,
+            spec,
+            x,
+            theta,
+            clock: SimClock::new(),
+            recorder: &NOOP,
+        }
+    }
+
+    /// Attach a telemetry recorder; each sweep then emits a phase span and
+    /// kernel records for the Gram/row-update compute and the batched solve.
+    /// Recording never changes the simulated times.
+    pub fn set_recorder(&mut self, recorder: &'a dyn Recorder) {
+        self.recorder = recorder;
     }
 
     /// The simulated clock.
@@ -107,19 +129,82 @@ impl<'a> ImplicitAlsTrainer<'a> {
         (1..=self.config.iterations as u32)
             .map(|epoch| {
                 self.run_epoch();
-                ImplicitEpochReport { epoch, sim_time: self.clock.now(), objective: self.objective() }
+                ImplicitEpochReport {
+                    epoch,
+                    sim_time: self.clock.now(),
+                    objective: self.objective(),
+                }
             })
             .collect()
     }
 
     /// One full sweep: update X from Θ, then Θ from X.
     pub fn run_epoch(&mut self) {
+        let t0 = self.clock.now();
         let new_x = self.update_factors(&self.data.r, &self.theta, &self.x);
         self.x = new_x;
         let new_t = self.update_factors(&self.data.rt, &self.x, &self.theta);
         self.theta = new_t;
         let t = self.epoch_sim_time();
         self.clock.advance("implicit-epoch", t);
+        if self.recorder.enabled() {
+            self.emit_epoch_telemetry(t0);
+        }
+    }
+
+    /// Telemetry for one sweep: the Gram/row-update compute and the batched
+    /// solve as kernel records (their costs recomputed exactly as
+    /// [`ImplicitAlsTrainer::epoch_sim_time`] prices them, so the two launch
+    /// durations sum to the advanced epoch time), under an
+    /// `implicit-epoch` phase span.
+    fn emit_epoch_telemetry(&self, t0: f64) {
+        let p = &self.data.profile;
+        let f = self.config.f as u64;
+        let spec = &self.spec;
+        let occ = occupancy(
+            spec,
+            &KernelResources {
+                regs_per_thread: 64,
+                threads_per_block: 128,
+                shared_mem_per_block: 0,
+            },
+        );
+        let gram_flops = 2.0 * (p.n + p.m) as f64 * packed_len(f as usize) as f64;
+        let row_flops = 2.0 * 2.0 * p.nz as f64 * packed_len(f as usize) as f64;
+        let eff = hermitian_pipe_efficiency(spec);
+        let compute = (gram_flops + row_flops) / (spec.peak_fp32_flops * eff);
+        let compute_cost = KernelCost::compute_only(gram_flops + row_flops, eff);
+        let compute_timing = LaunchTiming {
+            compute_time: compute,
+            dram_time: 0.0,
+            l2_time: 0.0,
+            latency_time: 0.0,
+            time: compute,
+        };
+        self.recorder.kernel(KernelLaunchRecord::new(
+            "implicit_gram_update",
+            spec,
+            occ,
+            compute_cost,
+            compute_timing,
+            t0,
+            p.m + p.n,
+            128,
+        ));
+        let scost = solve_cost(spec, &self.config.solver, p.m + p.n, f, 6.0, false);
+        let stiming = launch_time(spec, &occ, &scost);
+        self.recorder.kernel(KernelLaunchRecord::new(
+            solver_kernel_name(&self.config.solver),
+            spec,
+            occ,
+            scost,
+            stiming,
+            t0 + compute,
+            p.m + p.n,
+            128,
+        ));
+        self.recorder
+            .phase(PhaseSpan::new("implicit-epoch", t0, self.clock.now()));
     }
 
     /// Simulated time of one sweep at full-scale profile dimensions.
@@ -129,13 +214,18 @@ impl<'a> ImplicitAlsTrainer<'a> {
         let spec = &self.spec;
         let occ = occupancy(
             spec,
-            &KernelResources { regs_per_thread: 64, threads_per_block: 128, shared_mem_per_block: 0 },
+            &KernelResources {
+                regs_per_thread: 64,
+                threads_per_block: 128,
+                shared_mem_per_block: 0,
+            },
         );
         // Gram precomputes: ΘᵀΘ and XᵀX.
         let gram_flops = 2.0 * (p.n + p.m) as f64 * packed_len(f as usize) as f64;
         // Per-row confidence updates: like get_hermitian over Nz, twice.
         let row_flops = 2.0 * 2.0 * p.nz as f64 * packed_len(f as usize) as f64;
-        let compute = (gram_flops + row_flops) / (spec.peak_fp32_flops * hermitian_pipe_efficiency(spec));
+        let compute =
+            (gram_flops + row_flops) / (spec.peak_fp32_flops * hermitian_pipe_efficiency(spec));
         // Solves for all m + n rows.
         let solve = launch_time(
             spec,
@@ -147,7 +237,12 @@ impl<'a> ImplicitAlsTrainer<'a> {
     }
 
     /// Update one side's factors given the other side's (`features`).
-    fn update_factors(&self, r: &CsrMatrix, features: &DenseMatrix, old: &DenseMatrix) -> DenseMatrix {
+    fn update_factors(
+        &self,
+        r: &CsrMatrix,
+        features: &DenseMatrix,
+        old: &DenseMatrix,
+    ) -> DenseMatrix {
         let f = self.config.f;
         let lambda = self.config.lambda;
         let alpha = self.config.alpha;
@@ -175,21 +270,24 @@ impl<'a> ImplicitAlsTrainer<'a> {
             );
 
         let mut out = DenseMatrix::zeros(r.rows(), f);
-        out.as_mut_slice().par_chunks_mut(f).enumerate().for_each_init(
-            || (SymPacked::zeros(f), vec![0.0f32; f]),
-            |(a, b), (u, row)| {
-                a.as_mut_slice().copy_from_slice(gram.as_slice());
-                b.fill(0.0);
-                for (v, rv) in r.row_iter(u) {
-                    let c_minus_1 = alpha * rv.max(0.0);
-                    a.syr_scaled(c_minus_1, features.row(v as usize));
-                    cumf_numeric::dense::axpy(1.0 + c_minus_1, features.row(v as usize), b);
-                }
-                a.add_diagonal(lambda);
-                row.copy_from_slice(old.row(u));
-                solve_row(&solver, a, row, b);
-            },
-        );
+        out.as_mut_slice()
+            .par_chunks_mut(f)
+            .enumerate()
+            .for_each_init(
+                || (SymPacked::zeros(f), vec![0.0f32; f]),
+                |(a, b), (u, row)| {
+                    a.as_mut_slice().copy_from_slice(gram.as_slice());
+                    b.fill(0.0);
+                    for (v, rv) in r.row_iter(u) {
+                        let c_minus_1 = alpha * rv.max(0.0);
+                        a.syr_scaled(c_minus_1, features.row(v as usize));
+                        cumf_numeric::dense::axpy(1.0 + c_minus_1, features.row(v as usize), b);
+                    }
+                    a.add_diagonal(lambda);
+                    row.copy_from_slice(old.row(u));
+                    solve_row(&solver, a, row, b);
+                },
+            );
         out
     }
 
@@ -244,7 +342,12 @@ mod tests {
     }
 
     fn cfg(f: usize, iterations: usize) -> ImplicitAlsConfig {
-        ImplicitAlsConfig { f, iterations, alpha: 10.0, ..Default::default() }
+        ImplicitAlsConfig {
+            f,
+            iterations,
+            alpha: 10.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -301,7 +404,15 @@ mod tests {
         let r = CsrMatrix::from_coo(&coo);
         let got = {
             // Use the private path through a fresh trainer-less call.
-            let tt = ImplicitAlsTrainer { data: t.data, config: config.clone(), spec: t.spec.clone(), x: old.clone(), theta: theta.clone(), clock: SimClock::new() };
+            let tt = ImplicitAlsTrainer {
+                data: t.data,
+                config: config.clone(),
+                spec: t.spec.clone(),
+                x: old.clone(),
+                theta: theta.clone(),
+                clock: SimClock::new(),
+                recorder: &NOOP,
+            };
             tt.update_factors(&r, &theta, &old)
         };
         // Brute force for row 0: A = ΘᵀΘ + α·2·θ₀θ₀ᵀ + λI, b = (1+α·2)θ₀.
@@ -315,8 +426,13 @@ mod tests {
         let mut b = vec![0.0f32; 2];
         cumf_numeric::dense::axpy(1.0 + alpha * 2.0, theta.row(0), &mut b);
         let expect = cumf_numeric::cholesky::cholesky_solve(&a, &b).unwrap();
-        for j in 0..2 {
-            assert!((got.get(0, j) - expect[j]).abs() < 1e-3, "j={j}: {} vs {}", got.get(0, j), expect[j]);
+        for (j, &ev) in expect.iter().enumerate().take(2) {
+            assert!(
+                (got.get(0, j) - ev).abs() < 1e-3,
+                "j={j}: {} vs {}",
+                got.get(0, j),
+                ev
+            );
         }
     }
 
@@ -324,7 +440,11 @@ mod tests {
     fn per_iteration_time_in_figure_ballpark() {
         // §V-F: cuMFALS ≈ 2.2 s per implicit iteration on Netflix.
         let data = tiny();
-        let t = ImplicitAlsTrainer::new(&data, ImplicitAlsConfig::default(), GpuSpec::maxwell_titan_x());
+        let t = ImplicitAlsTrainer::new(
+            &data,
+            ImplicitAlsConfig::default(),
+            GpuSpec::maxwell_titan_x(),
+        );
         let time = t.epoch_sim_time();
         assert!(time > 0.5 && time < 8.0, "implicit epoch priced at {time}s");
     }

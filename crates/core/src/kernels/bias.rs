@@ -6,8 +6,8 @@
 //! it so epoch totals are complete.
 
 use cumf_gpu_sim::kernel::KernelCost;
-use cumf_numeric::dense::DenseMatrix;
 use cumf_gpu_sim::GpuSpec;
+use cumf_numeric::dense::DenseMatrix;
 
 /// Compute one row's right-hand side `b_u = Σ_v r_uv θ_v` into `out`.
 pub fn bias_row(cols: &[u32], values: &[f32], features: &DenseMatrix, out: &mut [f32]) {
@@ -77,7 +77,11 @@ mod tests {
         // Table I: bias is f× cheaper than hermitian in compute.
         let herm = crate::kernels::hermitian::hermitian_cost(
             &spec,
-            &crate::kernels::hermitian::HermitianWorkload { rows: 1000, feature_rows: 500, nz: 10_000 },
+            &crate::kernels::hermitian::HermitianWorkload {
+                rows: 1000,
+                feature_rows: 500,
+                nz: 10_000,
+            },
             &crate::kernels::hermitian::HermitianShape::paper(100),
             cumf_gpu_sim::memory::LoadPattern::NonCoalescedL1,
         );

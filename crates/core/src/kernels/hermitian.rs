@@ -20,7 +20,9 @@
 //! occupancy the register demand allows.
 
 use cumf_gpu_sim::kernel::{hermitian_pipe_efficiency, KernelCost};
-use cumf_gpu_sim::memory::{load_time, streaming_write_time, LoadBreakdown, LoadPattern, StagedLoad};
+use cumf_gpu_sim::memory::{
+    load_time, streaming_write_time, LoadBreakdown, LoadPattern, StagedLoad,
+};
 use cumf_gpu_sim::occupancy::{hermitian_regs_per_thread, occupancy, KernelResources, Occupancy};
 use cumf_gpu_sim::GpuSpec;
 use cumf_numeric::dense::DenseMatrix;
@@ -41,7 +43,11 @@ pub struct HermitianShape {
 impl HermitianShape {
     /// The paper's geometry at a given `f`.
     pub fn paper(f: usize) -> Self {
-        HermitianShape { f, bin: 32, tile: 10 }
+        HermitianShape {
+            f,
+            bin: 32,
+            tile: 10,
+        }
     }
 
     /// Thread-block resources this geometry compiles to (64-thread blocks,
@@ -72,7 +78,11 @@ pub fn tiled_rank1_update(acc: &mut [f32], theta: &[f32], tile: usize) {
                 let ti = theta[i];
                 let base = i * (i + 1) / 2;
                 // Diagonal tiles only fill their lower half.
-                let jmax = if tx == ty { i.min(col_end - 1) } else { col_end - 1 };
+                let jmax = if tx == ty {
+                    i.min(col_end - 1)
+                } else {
+                    col_end - 1
+                };
                 for j in col_start..=jmax {
                     acc[base + j] += ti * theta[j];
                 }
@@ -110,14 +120,23 @@ pub fn hermitian_row(
         }
         // Accumulate each staged vector tile-by-tile (shared → registers).
         for idx in 0..batch.len() {
-            tiled_rank1_update(out.as_mut_slice(), &staging[idx * f..(idx + 1) * f], shape.tile);
+            tiled_rank1_update(
+                out.as_mut_slice(),
+                &staging[idx * f..(idx + 1) * f],
+                shape.tile,
+            );
         }
     }
     out.add_diagonal(lambda * cols.len() as f32);
 }
 
 /// Reference implementation (no staging, no tiling) for equivalence tests.
-pub fn hermitian_row_reference(cols: &[u32], features: &DenseMatrix, lambda: f32, f: usize) -> SymPacked {
+pub fn hermitian_row_reference(
+    cols: &[u32],
+    features: &DenseMatrix,
+    lambda: f32,
+    f: usize,
+) -> SymPacked {
     let mut a = SymPacked::zeros(f);
     for &v in cols {
         a.syr(features.row(v as usize));
@@ -173,7 +192,10 @@ pub fn hermitian_phases(
         spec,
         &occ,
         pattern,
-        &StagedLoad { total_bytes: w.nz * f * 4, unique_bytes: w.feature_rows * f * 4 },
+        &StagedLoad {
+            total_bytes: w.nz * f * 4,
+            unique_bytes: w.feature_rows * f * 4,
+        },
     );
 
     // FMAs: Nz × f(f+1)/2 into the lower triangle (the paper quotes Nz·f²
@@ -184,12 +206,22 @@ pub fn hermitian_phases(
     // Flush: the solver consumes full (symmetrized) f×f matrices.
     let write_time = streaming_write_time(spec, w.rows * f * f * 4);
 
-    HermitianPhases { load, compute_time, write_time, occupancy: occ }
+    HermitianPhases {
+        load,
+        compute_time,
+        write_time,
+        occupancy: occ,
+    }
 }
 
 /// The accumulated [`KernelCost`] of a launch — the operation counters the
 /// Table-I harness reads.
-pub fn hermitian_cost(spec: &GpuSpec, w: &HermitianWorkload, shape: &HermitianShape, pattern: LoadPattern) -> KernelCost {
+pub fn hermitian_cost(
+    spec: &GpuSpec,
+    w: &HermitianWorkload,
+    shape: &HermitianShape,
+    pattern: LoadPattern,
+) -> KernelCost {
     let phases = hermitian_phases(spec, w, shape, pattern);
     let f = shape.f as f64;
     KernelCost {
@@ -221,7 +253,12 @@ pub fn for_each_row_hermitian<F>(
 {
     use rayon::prelude::*;
     (0..r.rows()).into_par_iter().for_each_init(
-        || (SymPacked::zeros(shape.f), Vec::with_capacity(shape.bin * shape.f)),
+        || {
+            (
+                SymPacked::zeros(shape.f),
+                Vec::with_capacity(shape.bin * shape.f),
+            )
+        },
         |(acc, staging), u| {
             hermitian_row(r.row_cols(u), features, lambda, shape, staging, acc);
             consumer(u, acc);
@@ -283,7 +320,10 @@ mod tests {
         hermitian_row(&[1, 2, 3], &features, 0.5, &shape, &mut staging, &mut a);
         let bare = hermitian_row_reference(&[1, 2, 3], &features, 0.0, f);
         for i in 0..f {
-            assert!((a.get(i, i) - bare.get(i, i) - 1.5).abs() < 1e-6, "λ·n_u = 0.5·3 on the diagonal");
+            assert!(
+                (a.get(i, i) - bare.get(i, i) - 1.5).abs() < 1e-6,
+                "λ·n_u = 0.5·3 on the diagonal"
+            );
         }
     }
 
@@ -307,7 +347,11 @@ mod tests {
         let mut coo = CooMatrix::new(30, 20);
         let mut rng = XorShift64::new(11);
         for _ in 0..200 {
-            coo.push(rng.next_below(30) as u32, rng.next_below(20) as u32, rng.next_f32());
+            coo.push(
+                rng.next_below(30) as u32,
+                rng.next_below(20) as u32,
+                rng.next_f32(),
+            );
         }
         let r = CsrMatrix::from_coo(&coo);
         let features = random_features(20, f, 5);
@@ -318,8 +362,8 @@ mod tests {
         for_each_row_hermitian(&r, &features, 0.1, &shape, |u, a| {
             *results[u].lock() = Some(a.clone());
         });
-        for u in 0..30 {
-            let got = results[u].lock().take().unwrap();
+        for (u, cell) in results.iter().enumerate() {
+            let got = cell.lock().take().unwrap();
             let want = hermitian_row_reference(r.row_cols(u), &features, 0.1, f);
             assert_eq!(got.as_slice(), want.as_slice(), "row {u}");
         }
@@ -330,7 +374,11 @@ mod tests {
         // Netflix update-X on Maxwell: nonCoal-L1 load < nonCoal-noL1 < coal;
         // compute identical across patterns.
         let spec = GpuSpec::maxwell_titan_x();
-        let w = HermitianWorkload { rows: 480_189, feature_rows: 17_770, nz: 99_072_112 };
+        let w = HermitianWorkload {
+            rows: 480_189,
+            feature_rows: 17_770,
+            nz: 99_072_112,
+        };
         let shape = HermitianShape::paper(100);
         let l1 = hermitian_phases(&spec, &w, &shape, LoadPattern::NonCoalescedL1);
         let no_l1 = hermitian_phases(&spec, &w, &shape, LoadPattern::NonCoalescedNoL1);
@@ -338,7 +386,10 @@ mod tests {
         assert!(l1.load.time < no_l1.load.time);
         assert!(no_l1.load.time < coal.load.time);
         assert_eq!(l1.compute_time, coal.compute_time);
-        assert_eq!(l1.occupancy.blocks_per_sm, 6, "the paper's occupancy example");
+        assert_eq!(
+            l1.occupancy.blocks_per_sm, 6,
+            "the paper's occupancy example"
+        );
     }
 
     #[test]
@@ -350,13 +401,21 @@ mod tests {
         let shape = HermitianShape::paper(100);
         let x = hermitian_phases(
             &spec,
-            &HermitianWorkload { rows: 480_189, feature_rows: 17_770, nz: 99_072_112 },
+            &HermitianWorkload {
+                rows: 480_189,
+                feature_rows: 17_770,
+                nz: 99_072_112,
+            },
             &shape,
             LoadPattern::NonCoalescedL1,
         );
         let theta = hermitian_phases(
             &spec,
-            &HermitianWorkload { rows: 17_770, feature_rows: 480_189, nz: 99_072_112 },
+            &HermitianWorkload {
+                rows: 17_770,
+                feature_rows: 480_189,
+                nz: 99_072_112,
+            },
             &shape,
             LoadPattern::NonCoalescedL1,
         );
@@ -369,7 +428,11 @@ mod tests {
     #[test]
     fn cost_counters_match_table1_complexity() {
         let spec = GpuSpec::maxwell_titan_x();
-        let w = HermitianWorkload { rows: 1000, feature_rows: 500, nz: 50_000 };
+        let w = HermitianWorkload {
+            rows: 1000,
+            feature_rows: 500,
+            nz: 50_000,
+        };
         let shape = HermitianShape::paper(100);
         let cost = hermitian_cost(&spec, &w, &shape, LoadPattern::NonCoalescedL1);
         // C = Nz·f(f+1) ≈ Nz·f²; intensity C/M ~ f/4 per byte.

@@ -11,7 +11,7 @@ use crate::config::{Precision, SolverKind};
 use cumf_gpu_sim::kernel::{KernelCost, LU_BATCHED_PIPE_EFFICIENCY};
 use cumf_gpu_sim::memory::STREAM_READ_EFFICIENCY;
 use cumf_gpu_sim::GpuSpec;
-use cumf_numeric::cg::cg_solve;
+use cumf_numeric::cg::{cg_solve, cg_solve_traced};
 use cumf_numeric::cholesky::cholesky_solve;
 use cumf_numeric::lu::{lu_flops, lu_solve};
 use cumf_numeric::sym::SymPacked;
@@ -26,6 +26,22 @@ pub struct SolveStats {
     pub converged: bool,
 }
 
+/// Observability capture of one traced row solve: the CG residual
+/// trajectory and, for FP16 solves, round-trip error statistics of the
+/// narrowed Gram matrix. Filled by [`solve_row_traced`]; `solve_row` skips
+/// it entirely.
+#[derive(Clone, Debug, Default)]
+pub struct SolveTrace {
+    /// Residual norms: one before the first CG iteration, one per
+    /// iteration. Empty for direct solves.
+    pub residuals: Vec<f64>,
+    /// RMS of `|a_ij − fp32(fp16(a_ij))|` over the Gram entries (0 unless
+    /// the solve narrowed to FP16).
+    pub fp16_roundtrip_rms: f64,
+    /// Max of the same round-trip error.
+    pub fp16_roundtrip_max: f64,
+}
+
 /// Solve `A x = b` for one row, warm-starting CG from the incoming `x`.
 ///
 /// Returns the per-row stats. Falls back from a failed direct factorization
@@ -33,26 +49,82 @@ pub struct SolveStats {
 /// handles semidefiniteness gracefully — the same guard the CUDA batched
 /// solver implements via info codes.
 pub fn solve_row(solver: &SolverKind, a: &SymPacked, x: &mut [f32], b: &[f32]) -> SolveStats {
+    solve_row_impl(solver, a, x, b, None)
+}
+
+/// [`solve_row`] plus telemetry capture: CG residual trajectories and FP16
+/// round-trip error statistics land in `trace`. The solve arithmetic is
+/// identical to the untraced path.
+pub fn solve_row_traced(
+    solver: &SolverKind,
+    a: &SymPacked,
+    x: &mut [f32],
+    b: &[f32],
+    trace: &mut SolveTrace,
+) -> SolveStats {
+    solve_row_impl(solver, a, x, b, Some(trace))
+}
+
+fn fp16_roundtrip_stats(
+    original: &SymPacked,
+    narrowed: &cumf_numeric::sym::SymPackedF16,
+    trace: &mut SolveTrace,
+) {
+    let mut sum_sq = 0.0f64;
+    let mut max = 0.0f64;
+    let n = original.as_slice().len().max(1);
+    for (&v, h) in original.as_slice().iter().zip(narrowed.as_slice()) {
+        let err = (v - h.to_f32()).abs() as f64;
+        sum_sq += err * err;
+        max = max.max(err);
+    }
+    trace.fp16_roundtrip_rms = (sum_sq / n as f64).sqrt();
+    trace.fp16_roundtrip_max = max;
+}
+
+fn solve_row_impl(
+    solver: &SolverKind,
+    a: &SymPacked,
+    x: &mut [f32],
+    b: &[f32],
+    mut trace: Option<&mut SolveTrace>,
+) -> SolveStats {
     let f = a.dim();
+    fn residuals<'t>(t: &'t mut Option<&mut SolveTrace>) -> Option<&'t mut Vec<f64>> {
+        t.as_deref_mut().map(|t| &mut t.residuals)
+    }
     match solver {
         SolverKind::BatchCholesky => match cholesky_solve(a, b) {
             Ok(sol) => {
                 x.copy_from_slice(&sol);
-                SolveStats { iterations: f, converged: true }
+                SolveStats {
+                    iterations: f,
+                    converged: true,
+                }
             }
             Err(_) => cg_fallback(a, x, b),
         },
         SolverKind::BatchLu => match lu_solve(&a.to_dense(), b) {
             Ok(sol) => {
                 x.copy_from_slice(&sol);
-                SolveStats { iterations: f, converged: true }
+                SolveStats {
+                    iterations: f,
+                    converged: true,
+                }
             }
             Err(_) => cg_fallback(a, x, b),
         },
-        SolverKind::Cg { fs, tolerance, precision } => match precision {
+        SolverKind::Cg {
+            fs,
+            tolerance,
+            precision,
+        } => match precision {
             Precision::Fp32 => {
-                let out = cg_solve(a, x, b, *fs, *tolerance);
-                SolveStats { iterations: out.iterations, converged: out.converged }
+                let out = cg_solve_traced(a, x, b, *fs, *tolerance, residuals(&mut trace));
+                SolveStats {
+                    iterations: out.iterations,
+                    converged: out.converged,
+                }
             }
             Precision::Fp16 => {
                 // Narrow A_u to half precision — the reduced-precision read
@@ -72,12 +144,25 @@ pub fn solve_row(solver: &SolverKind, a: &SymPacked, x: &mut [f32], b: &[f32]) -
                     }
                     let b_scaled: Vec<f32> = b.iter().map(|x| x / s).collect();
                     let a16 = scaled.to_f16();
-                    let out = cg_solve(&a16, x, &b_scaled, *fs, *tolerance);
-                    SolveStats { iterations: out.iterations, converged: out.converged }
+                    if let Some(t) = trace.as_deref_mut() {
+                        fp16_roundtrip_stats(&scaled, &a16, t);
+                    }
+                    let out =
+                        cg_solve_traced(&a16, x, &b_scaled, *fs, *tolerance, residuals(&mut trace));
+                    SolveStats {
+                        iterations: out.iterations,
+                        converged: out.converged,
+                    }
                 } else {
                     let a16 = a.to_f16();
-                    let out = cg_solve(&a16, x, b, *fs, *tolerance);
-                    SolveStats { iterations: out.iterations, converged: out.converged }
+                    if let Some(t) = trace.as_deref_mut() {
+                        fp16_roundtrip_stats(a, &a16, t);
+                    }
+                    let out = cg_solve_traced(&a16, x, b, *fs, *tolerance, residuals(&mut trace));
+                    SolveStats {
+                        iterations: out.iterations,
+                        converged: out.converged,
+                    }
                 }
             }
         },
@@ -86,7 +171,10 @@ pub fn solve_row(solver: &SolverKind, a: &SymPacked, x: &mut [f32], b: &[f32]) -
 
 fn cg_fallback(a: &SymPacked, x: &mut [f32], b: &[f32]) -> SolveStats {
     let out = cg_solve(a, x, b, a.dim(), 1e-6);
-    SolveStats { iterations: out.iterations, converged: out.converged }
+    SolveStats {
+        iterations: out.iterations,
+        converged: out.converged,
+    }
 }
 
 /// Cost of a batched solve over `rows` systems of dimension `f`.
@@ -96,7 +184,14 @@ fn cg_fallback(a: &SymPacked, x: &mut [f32], b: &[f32]) -> SolveStats {
 /// "does L1 benefit the CG solver?" question — it does not (coalesced
 /// high-occupancy streams bypass it), so it deliberately has no effect,
 /// matching the identical `solve-L1`/`solve-noL1` bars of Figure 5.
-pub fn solve_cost(_spec: &GpuSpec, solver: &SolverKind, rows: u64, f: u64, mean_cg_iters: f64, l1_enabled: bool) -> KernelCost {
+pub fn solve_cost(
+    _spec: &GpuSpec,
+    solver: &SolverKind,
+    rows: u64,
+    f: u64,
+    mean_cg_iters: f64,
+    l1_enabled: bool,
+) -> KernelCost {
     let _ = l1_enabled;
     match solver {
         SolverKind::BatchLu | SolverKind::BatchCholesky => {
@@ -166,7 +261,11 @@ mod tests {
         let solvers = [
             SolverKind::BatchLu,
             SolverKind::BatchCholesky,
-            SolverKind::Cg { fs: 2 * f, tolerance: 1e-7, precision: Precision::Fp32 },
+            SolverKind::Cg {
+                fs: 2 * f,
+                tolerance: 1e-7,
+                precision: Precision::Fp32,
+            },
         ];
         let mut solutions = Vec::new();
         for s in &solvers {
@@ -177,7 +276,10 @@ mod tests {
         }
         for sol in &solutions[1..] {
             for i in 0..f {
-                assert!((sol[i] - solutions[0][i]).abs() < 1e-2, "solver disagreement at {i}");
+                assert!(
+                    (sol[i] - solutions[0][i]).abs() < 1e-2,
+                    "solver disagreement at {i}"
+                );
             }
         }
     }
@@ -189,10 +291,33 @@ mod tests {
         let b: Vec<f32> = (0..f).map(|i| ((i * 3) % 5) as f32 * 0.3 - 0.6).collect();
         let mut x32 = vec![0.0f32; f];
         let mut x16 = vec![0.0f32; f];
-        solve_row(&SolverKind::Cg { fs: 24, tolerance: 1e-6, precision: Precision::Fp32 }, &a, &mut x32, &b);
-        solve_row(&SolverKind::Cg { fs: 24, tolerance: 1e-6, precision: Precision::Fp16 }, &a, &mut x16, &b);
+        solve_row(
+            &SolverKind::Cg {
+                fs: 24,
+                tolerance: 1e-6,
+                precision: Precision::Fp32,
+            },
+            &a,
+            &mut x32,
+            &b,
+        );
+        solve_row(
+            &SolverKind::Cg {
+                fs: 24,
+                tolerance: 1e-6,
+                precision: Precision::Fp16,
+            },
+            &a,
+            &mut x16,
+            &b,
+        );
         for i in 0..f {
-            assert!((x32[i] - x16[i]).abs() < 0.05, "i={i}: {} vs {}", x32[i], x16[i]);
+            assert!(
+                (x32[i] - x16[i]).abs() < 0.05,
+                "i={i}: {} vs {}",
+                x32[i],
+                x16[i]
+            );
         }
     }
 
@@ -207,11 +332,23 @@ mod tests {
         }
         let b: Vec<f32> = (0..f).map(|i| (i as f32 + 1.0) * 1.0e5).collect();
         let mut x16 = vec![0.0f32; f];
-        solve_row(&SolverKind::Cg { fs: 2 * f, tolerance: 0.0, precision: Precision::Fp16 }, &a, &mut x16, &b);
+        solve_row(
+            &SolverKind::Cg {
+                fs: 2 * f,
+                tolerance: 0.0,
+                precision: Precision::Fp16,
+            },
+            &a,
+            &mut x16,
+            &b,
+        );
         assert!(x16.iter().all(|v| v.is_finite()), "{x16:?}");
         let x_exact = cholesky_solve(&a, &b).unwrap();
         for i in 0..f {
-            assert!((x16[i] - x_exact[i]).abs() < 0.05 * x_exact[i].abs().max(0.01), "i={i}");
+            assert!(
+                (x16[i] - x_exact[i]).abs() < 0.05 * x_exact[i].abs().max(0.01),
+                "i={i}"
+            );
         }
     }
 
@@ -221,9 +358,53 @@ mod tests {
         let a = spd(f, 5);
         let b = vec![1.0f32; f];
         let mut x = vec![0.0f32; f];
-        let stats = solve_row(&SolverKind::Cg { fs: 6, tolerance: 0.0, precision: Precision::Fp32 }, &a, &mut x, &b);
+        let stats = solve_row(
+            &SolverKind::Cg {
+                fs: 6,
+                tolerance: 0.0,
+                precision: Precision::Fp32,
+            },
+            &a,
+            &mut x,
+            &b,
+        );
         assert_eq!(stats.iterations, 6);
         assert!(!stats.converged);
+    }
+
+    #[test]
+    fn traced_solve_is_bit_identical_and_captures_fp16_error() {
+        let f = 10;
+        let a = spd(f, 6);
+        let b: Vec<f32> = (0..f).map(|i| (i as f32) * 0.2 - 0.8).collect();
+        for precision in [Precision::Fp32, Precision::Fp16] {
+            let solver = SolverKind::Cg {
+                fs: 8,
+                tolerance: 1e-6,
+                precision,
+            };
+            let mut x_plain = vec![0.0f32; f];
+            let mut x_traced = vec![0.0f32; f];
+            let mut trace = SolveTrace::default();
+            let plain = solve_row(&solver, &a, &mut x_plain, &b);
+            let traced = solve_row_traced(&solver, &a, &mut x_traced, &b, &mut trace);
+            assert_eq!(
+                x_plain, x_traced,
+                "{precision:?}: tracing changed the solution"
+            );
+            assert_eq!(plain.iterations, traced.iterations);
+            assert_eq!(trace.residuals.len(), traced.iterations + 1);
+            match precision {
+                Precision::Fp32 => assert_eq!(trace.fp16_roundtrip_rms, 0.0),
+                Precision::Fp16 => {
+                    assert!(trace.fp16_roundtrip_rms > 0.0);
+                    assert!(trace.fp16_roundtrip_max >= trace.fp16_roundtrip_rms);
+                    // Relative error of binary16 narrowing is ≤ 2⁻¹¹.
+                    let amax = a.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs())) as f64;
+                    assert!(trace.fp16_roundtrip_max <= amax * 5e-4);
+                }
+            }
+        }
     }
 
     #[test]
@@ -238,8 +419,19 @@ mod tests {
     }
 
     fn cg_times(spec: &GpuSpec, rows: u64, f: u64, precision: Precision) -> f64 {
-        let occ = occupancy(spec, &KernelResources { regs_per_thread: 40, threads_per_block: 128, shared_mem_per_block: 0 });
-        let solver = SolverKind::Cg { fs: 6, tolerance: 1e-4, precision };
+        let occ = occupancy(
+            spec,
+            &KernelResources {
+                regs_per_thread: 40,
+                threads_per_block: 128,
+                shared_mem_per_block: 0,
+            },
+        );
+        let solver = SolverKind::Cg {
+            fs: 6,
+            tolerance: 1e-4,
+            precision,
+        };
         let cost = solve_cost(spec, &solver, rows, f, 6.0, false);
         cumf_gpu_sim::kernel::launch_time(spec, &occ, &cost).time
     }
@@ -249,7 +441,14 @@ mod tests {
         // LU-FP32 ≈ 4× CG-FP32; CG-FP16 ≈ ½ CG-FP32 (on Maxwell: FP16 saves
         // only bandwidth).
         let spec = GpuSpec::maxwell_titan_x();
-        let occ = occupancy(&spec, &KernelResources { regs_per_thread: 40, threads_per_block: 128, shared_mem_per_block: 0 });
+        let occ = occupancy(
+            &spec,
+            &KernelResources {
+                regs_per_thread: 40,
+                threads_per_block: 128,
+                shared_mem_per_block: 0,
+            },
+        );
         let rows = 498_000u64;
         let f = 100u64;
         let lu_cost = solve_cost(&spec, &SolverKind::BatchLu, rows, f, 0.0, false);
@@ -275,7 +474,11 @@ mod tests {
     #[test]
     fn cg_cost_scales_with_measured_iterations() {
         let spec = GpuSpec::maxwell_titan_x();
-        let solver = SolverKind::Cg { fs: 6, tolerance: 1e-4, precision: Precision::Fp32 };
+        let solver = SolverKind::Cg {
+            fs: 6,
+            tolerance: 1e-4,
+            precision: Precision::Fp32,
+        };
         let c3 = solve_cost(&spec, &solver, 1000, 100, 3.0, false);
         let c6 = solve_cost(&spec, &solver, 1000, 100, 6.0, false);
         assert!(c6.dram_read_bytes > c3.dram_read_bytes * 1.5);

@@ -53,7 +53,10 @@ pub mod kernels;
 pub mod metrics;
 pub mod selector;
 
-pub use als::{AlsTrainer, EpochReport, TrainReport};
+pub use als::{
+    price_epoch, price_side, price_side_detailed, solver_kernel_name, AlsTrainer, EpochPhases,
+    EpochReport, Side, SideCosts, TrainReport,
+};
 pub use config::{AlsConfig, Precision, SolverKind};
 pub use fold_in::{fold_in_batch, fold_in_row};
 pub use hybrid::{HybridTrainer, IncrementalConfig};

@@ -70,7 +70,15 @@ fn sgd_epoch_time(profile: &DatasetProfile, spec: &GpuSpec, gpus: u32) -> f64 {
 fn min_gpus_that_fit(profile: &DatasetProfile, spec: &GpuSpec, available: u32) -> Option<u32> {
     (1..=available).find(|&g| {
         let mut mem = DeviceMemory::new(spec);
-        als_footprint(&mut mem, profile.m, profile.n, profile.nz, profile.f as u64, g as u64).is_ok()
+        als_footprint(
+            &mut mem,
+            profile.m,
+            profile.n,
+            profile.nz,
+            profile.f as u64,
+            g as u64,
+        )
+        .is_ok()
     })
 }
 
@@ -78,14 +86,20 @@ fn min_gpus_that_fit(profile: &DatasetProfile, spec: &GpuSpec, available: u32) -
 ///
 /// `implicit` marks one-class/positive-unlabeled input, which rules SGD out
 /// (its cost is `O(m·n·f)` on a dense preference matrix, §V-F).
-pub fn select(profile: &DatasetProfile, spec: &GpuSpec, available_gpus: u32, implicit: bool) -> Selection {
+pub fn select(
+    profile: &DatasetProfile,
+    spec: &GpuSpec,
+    available_gpus: u32,
+    implicit: bool,
+) -> Selection {
     assert!(available_gpus >= 1);
     let min_gpus = min_gpus_that_fit(profile, spec, available_gpus);
 
     // Price ALS across feasible GPU counts; keep the smallest count within
     // MARGINAL_GPU_GAIN of the best.
     let als_config = AlsConfig::for_profile(profile);
-    let als_time = |g: u32| crate::als::price_epoch(profile, &als_config, spec, g, 6.0).total() * ALS_EPOCHS;
+    let als_time =
+        |g: u32| crate::als::price_epoch(profile, &als_config, spec, g, 6.0).total() * ALS_EPOCHS;
     let (als_gpus, als_t) = match min_gpus {
         Some(lo) => {
             let mut best = (lo, als_time(lo));
@@ -105,9 +119,10 @@ pub fn select(profile: &DatasetProfile, spec: &GpuSpec, available_gpus: u32, imp
             algorithm: Algorithm::Als,
             gpus: als_gpus,
             estimated_time: als_t,
-            rationale: "implicit input: the preference matrix is dense (Nz = m·n), so SGD's O(Nz·f) \
+            rationale:
+                "implicit input: the preference matrix is dense (Nz = m·n), so SGD's O(Nz·f) \
                         per epoch is intractable; ALS with the Gram trick stays O(observed·f²)"
-                .to_string(),
+                    .to_string(),
         };
     }
 
@@ -150,7 +165,12 @@ mod tests {
 
     #[test]
     fn hugewiki_needs_multiple_gpus() {
-        let s = select(&DatasetProfile::hugewiki(), &GpuSpec::maxwell_titan_x(), 4, false);
+        let s = select(
+            &DatasetProfile::hugewiki(),
+            &GpuSpec::maxwell_titan_x(),
+            4,
+            false,
+        );
         assert!(s.gpus >= 2, "Hugewiki cannot fit one Titan X: {s:?}");
     }
 
@@ -158,7 +178,12 @@ mod tests {
     fn netflix_explicit_single_gpu_is_competitive() {
         // §V-E / Figure 8: on one GPU the two algorithms are close; the
         // selector must produce a finite, sane estimate either way.
-        let s = select(&DatasetProfile::netflix(), &GpuSpec::maxwell_titan_x(), 1, false);
+        let s = select(
+            &DatasetProfile::netflix(),
+            &GpuSpec::maxwell_titan_x(),
+            1,
+            false,
+        );
         assert!(s.estimated_time.is_finite());
         assert_eq!(s.gpus, 1);
     }
@@ -196,7 +221,12 @@ mod tests {
 
     #[test]
     fn rationale_is_informative() {
-        let s = select(&DatasetProfile::yahoo_music(), &GpuSpec::maxwell_titan_x(), 2, true);
+        let s = select(
+            &DatasetProfile::yahoo_music(),
+            &GpuSpec::maxwell_titan_x(),
+            2,
+            true,
+        );
         assert!(s.rationale.contains("implicit"));
     }
 }

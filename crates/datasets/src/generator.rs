@@ -124,8 +124,16 @@ impl MfDataset {
         // Planted factors: N(0,1) entries; the observed signal is
         // mean + (x·θ) × signal_sigma / √k + ε.
         let k = config.true_rank;
-        let x_true: Vec<f32> = Normal::new(0.0f32, 1.0).unwrap().sample_iter(&mut rng).take(m * k).collect();
-        let t_true: Vec<f32> = Normal::new(0.0f32, 1.0).unwrap().sample_iter(&mut rng).take(n * k).collect();
+        let x_true: Vec<f32> = Normal::new(0.0f32, 1.0)
+            .unwrap()
+            .sample_iter(&mut rng)
+            .take(m * k)
+            .collect();
+        let t_true: Vec<f32> = Normal::new(0.0f32, 1.0)
+            .unwrap()
+            .sample_iter(&mut rng)
+            .take(n * k)
+            .collect();
         let signal_scale = config.signal_sigma / (k as f32).sqrt();
         let noise = Normal::new(0.0f32, config.noise_sigma).unwrap();
 
@@ -288,7 +296,11 @@ mod tests {
         let total: u64 = counts.iter().map(|&c| c as u64).sum();
         let top10: u64 = counts[..counts.len() / 10].iter().map(|&c| c as u64).sum();
         // Zipf 0.8: top-10% of items should hold well over 25% of ratings.
-        assert!(top10 as f64 / total as f64 > 0.25, "top-10% share {}", top10 as f64 / total as f64);
+        assert!(
+            top10 as f64 / total as f64 > 0.25,
+            "top-10% share {}",
+            top10 as f64 / total as f64
+        );
     }
 
     #[test]

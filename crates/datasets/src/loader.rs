@@ -59,7 +59,12 @@ pub fn parse_ratings<R: BufRead>(reader: R) -> Result<CooMatrix, LoadError> {
         })();
         match parsed {
             Some(t) => triplets.push(t),
-            None => return Err(LoadError::Parse { line: idx + 1, text: trimmed.to_string() }),
+            None => {
+                return Err(LoadError::Parse {
+                    line: idx + 1,
+                    text: trimmed.to_string(),
+                })
+            }
         }
     }
 
@@ -72,9 +77,17 @@ pub fn parse_ratings<R: BufRead>(reader: R) -> Result<CooMatrix, LoadError> {
         let uu = *user_map.entry(u).or_insert(next_u);
         let next_v = item_map.len() as u32;
         let vv = *item_map.entry(v).or_insert(next_v);
-        coo_entries.push(cumf_sparse::coo::Entry { row: uu, col: vv, value: r });
+        coo_entries.push(cumf_sparse::coo::Entry {
+            row: uu,
+            col: vv,
+            value: r,
+        });
     }
-    Ok(CooMatrix::from_entries(user_map.len().max(1), item_map.len().max(1), coo_entries))
+    Ok(CooMatrix::from_entries(
+        user_map.len().max(1),
+        item_map.len().max(1),
+        coo_entries,
+    ))
 }
 
 /// Load a ratings file from disk.

@@ -9,6 +9,8 @@
 //!    sampled slice of the real `get_hermitian` access stream to measure
 //!    L1/L2 behaviour of coalesced vs. non-coalesced staging directly.
 
+use serde::Serialize;
+
 /// Result of one cache access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Access {
@@ -34,7 +36,10 @@ impl CacheSim {
     /// Build a cache of `capacity_bytes` with the given line size and
     /// associativity. Capacity must be a multiple of `line_size × ways`.
     pub fn new(capacity_bytes: u64, line_size: u64, ways: usize) -> Self {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways >= 1);
         let lines = capacity_bytes / line_size;
         assert!(lines >= ways as u64, "capacity too small for associativity");
@@ -120,6 +125,17 @@ impl CacheSim {
         self.misses * self.line_size
     }
 
+    /// Snapshot all counters at once, so a recorder sees a consistent view
+    /// (hits, misses, ratio, and fill traffic from the same instant).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            hit_ratio: self.hit_ratio(),
+            fill_bytes: self.fill_bytes(),
+        }
+    }
+
     /// Reset counters but keep cache contents.
     pub fn reset_counters(&mut self) {
         self.hits = 0;
@@ -130,6 +146,19 @@ impl CacheSim {
     pub fn line_size(&self) -> u64 {
         self.line_size
     }
+}
+
+/// An atomic snapshot of a [`CacheSim`]'s counters (see [`CacheSim::stats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct CacheStats {
+    /// Accesses that found their line resident.
+    pub hits: u64,
+    /// Accesses that fetched from the next level.
+    pub misses: u64,
+    /// `hits / (hits + misses)`, or 0 when no accesses were made.
+    pub hit_ratio: f64,
+    /// Bytes fetched from the next level (misses × line size).
+    pub fill_bytes: u64,
 }
 
 /// Maxwell's per-SM L1: 48 KB, 128-byte lines, modeled 4-way.
@@ -182,7 +211,9 @@ mod tests {
 
     #[test]
     fn hit_ratio_monotone_in_capacity_for_looped_sweep() {
-        let trace: Vec<u64> = (0..4u64).flat_map(|_| (0..64u64).map(|i| i * 128)).collect();
+        let trace: Vec<u64> = (0..4u64)
+            .flat_map(|_| (0..64u64).map(|i| i * 128))
+            .collect();
         let mut prev = -1.0f64;
         for cap_kb in [1u64, 2, 4, 8, 16] {
             let mut c = CacheSim::fully_associative(cap_kb << 10, 128);

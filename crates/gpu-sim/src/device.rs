@@ -189,7 +189,11 @@ impl GpuSpec {
 
     /// The three paper GPUs, oldest first — handy for generation sweeps.
     pub fn paper_catalog() -> Vec<GpuSpec> {
-        vec![Self::kepler_k40(), Self::maxwell_titan_x(), Self::pascal_p100()]
+        vec![
+            Self::kepler_k40(),
+            Self::maxwell_titan_x(),
+            Self::pascal_p100(),
+        ]
     }
 
     /// Peak FP16 FLOP/s (= FP32 peak × rate ratio).

@@ -70,7 +70,8 @@ impl CpuSpec {
     /// Amdahl-style limits scaling.
     pub fn workload_time(&self, w: &HostWorkload, threads: u32, sync: SyncModel) -> f64 {
         let usable_cores = (threads.min(self.cores)) as f64;
-        let compute = w.flops / (self.peak_flops() * w.efficiency * usable_cores / self.cores as f64);
+        let compute =
+            w.flops / (self.peak_flops() * w.efficiency * usable_cores / self.cores as f64);
         let memory = w.bytes / self.mem_bandwidth;
         let base = compute.max(memory);
         match sync {
@@ -123,7 +124,10 @@ pub struct ClusterNetwork {
 impl ClusterNetwork {
     /// 10 GbE (commodity cluster the NOMAD paper used).
     pub fn ten_gbe() -> ClusterNetwork {
-        ClusterNetwork { bandwidth: 1.25e9, latency: 50e-6 }
+        ClusterNetwork {
+            bandwidth: 1.25e9,
+            latency: 50e-6,
+        }
     }
 
     /// Time for each node to exchange `bytes_per_node` with peers,
@@ -153,7 +157,11 @@ mod tests {
     #[test]
     fn compute_bound_workload_scales_until_core_count() {
         let cpu = CpuSpec::power8();
-        let w = HostWorkload { flops: 1e12, bytes: 1e6, efficiency: 0.5 };
+        let w = HostWorkload {
+            flops: 1e12,
+            bytes: 1e6,
+            efficiency: 0.5,
+        };
         let t10 = cpu.workload_time(&w, 10, SyncModel::None);
         let t20 = cpu.workload_time(&w, 20, SyncModel::None);
         let t40 = cpu.workload_time(&w, 40, SyncModel::None);
@@ -164,7 +172,11 @@ mod tests {
     #[test]
     fn memory_bound_workload_ignores_threads() {
         let cpu = CpuSpec::power8();
-        let w = HostWorkload { flops: 1e6, bytes: 230e9, efficiency: 0.5 };
+        let w = HostWorkload {
+            flops: 1e6,
+            bytes: 230e9,
+            efficiency: 0.5,
+        };
         let t = cpu.workload_time(&w, 40, SyncModel::None);
         assert!((t - 1.0).abs() < 1e-6);
     }
@@ -172,9 +184,25 @@ mod tests {
     #[test]
     fn shared_lock_hurts_at_scale() {
         let cpu = CpuSpec::xeon_e5_2670();
-        let w = HostWorkload { flops: 1e12, bytes: 1e9, efficiency: 0.5 };
-        let t8 = cpu.workload_time(&w, 8, SyncModel::SharedLock { serial_fraction: 0.05 });
-        let t24 = cpu.workload_time(&w, 24, SyncModel::SharedLock { serial_fraction: 0.05 });
+        let w = HostWorkload {
+            flops: 1e12,
+            bytes: 1e9,
+            efficiency: 0.5,
+        };
+        let t8 = cpu.workload_time(
+            &w,
+            8,
+            SyncModel::SharedLock {
+                serial_fraction: 0.05,
+            },
+        );
+        let t24 = cpu.workload_time(
+            &w,
+            24,
+            SyncModel::SharedLock {
+                serial_fraction: 0.05,
+            },
+        );
         let t8_free = cpu.workload_time(&w, 8, SyncModel::None);
         assert!(t8 > t8_free, "lock adds overhead");
         // Scaling efficiency decays: tripling threads gives < 2× speedup here.

@@ -24,13 +24,23 @@ pub struct Interconnect {
 impl Interconnect {
     /// PCIe 3.0 x16: ~12.8 GB/s effective per direction, shared bridge.
     pub fn pcie3() -> Interconnect {
-        Interconnect { name: "PCIe 3.0 x16", link_bandwidth: 12.8e9, latency: 10e-6, all_to_all: false }
+        Interconnect {
+            name: "PCIe 3.0 x16",
+            link_bandwidth: 12.8e9,
+            latency: 10e-6,
+            all_to_all: false,
+        }
     }
 
     /// NVLink 1.0 as on the P100 server: 4 links × 40 GB/s per GPU
     /// (the paper quotes 40 GB/s per link with four links per GPU).
     pub fn nvlink() -> Interconnect {
-        Interconnect { name: "NVLink", link_bandwidth: 40e9, latency: 5e-6, all_to_all: true }
+        Interconnect {
+            name: "NVLink",
+            link_bandwidth: 40e9,
+            latency: 5e-6,
+            all_to_all: true,
+        }
     }
 
     /// Time for a ring all-gather where each of `gpus` devices contributes
@@ -119,7 +129,10 @@ mod tests {
         let ic = Interconnect::nvlink();
         let t4 = ic.broadcast_time(1 << 30, 4);
         let one_hop = (1u64 << 30) as f64 / ic.link_bandwidth;
-        assert!((t4 - 2.0 * (one_hop + ic.latency)).abs() < 1e-9, "log2(4)=2 steps");
+        assert!(
+            (t4 - 2.0 * (one_hop + ic.latency)).abs() < 1e-9,
+            "log2(4)=2 steps"
+        );
     }
 
     #[test]

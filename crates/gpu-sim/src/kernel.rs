@@ -21,9 +21,10 @@
 
 use crate::device::GpuSpec;
 use crate::occupancy::Occupancy;
+use serde::Serialize;
 
 /// Cost description of one kernel launch (or an accumulation of many).
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
 pub struct KernelCost {
     /// FP32 floating-point operations (FMA = 2).
     pub flops_fp32: f64,
@@ -48,7 +49,12 @@ pub struct KernelCost {
 impl KernelCost {
     /// A pure-compute cost (no memory term) at a given efficiency.
     pub fn compute_only(flops_fp32: f64, pipe_efficiency: f64) -> Self {
-        KernelCost { flops_fp32, pipe_efficiency, mlp: 1.0, ..Default::default() }
+        KernelCost {
+            flops_fp32,
+            pipe_efficiency,
+            mlp: 1.0,
+            ..Default::default()
+        }
     }
 
     /// Fold another cost into this one (costs of sequential launches add;
@@ -101,7 +107,7 @@ impl KernelCost {
 }
 
 /// Priced timing of one launch.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub struct LaunchTiming {
     /// Compute-bound time.
     pub compute_time: f64,
@@ -151,7 +157,11 @@ impl LaunchTiming {
 
 /// Price a kernel cost on a device at a given occupancy.
 pub fn launch_time(spec: &GpuSpec, occ: &Occupancy, cost: &KernelCost) -> LaunchTiming {
-    let eff = if cost.pipe_efficiency > 0.0 { cost.pipe_efficiency } else { 1.0 };
+    let eff = if cost.pipe_efficiency > 0.0 {
+        cost.pipe_efficiency
+    } else {
+        1.0
+    };
     let fp32_time = cost.flops_fp32 / (spec.peak_fp32_flops * eff);
     let fp16_time = cost.flops_fp16 / (spec.peak_fp16_flops() * eff);
     let compute_time = fp32_time + fp16_time;
@@ -164,7 +174,13 @@ pub fn launch_time(spec: &GpuSpec, occ: &Occupancy, cost: &KernelCost) -> Launch
     let latency_time = cost.transactions * spec.dram_latency_cycles / (parallelism * spec.clock_hz);
 
     let time = compute_time.max(dram_time).max(l2_time).max(latency_time);
-    LaunchTiming { compute_time, dram_time, l2_time, latency_time, time }
+    LaunchTiming {
+        compute_time,
+        dram_time,
+        l2_time,
+        latency_time,
+        time,
+    }
 }
 
 /// Pipe efficiency of the register-tiled `get_hermitian` kernel per
@@ -205,7 +221,14 @@ mod tests {
     use crate::occupancy::{occupancy, KernelResources};
 
     fn full_occ(spec: &GpuSpec) -> Occupancy {
-        occupancy(spec, &KernelResources { regs_per_thread: 32, threads_per_block: 256, shared_mem_per_block: 0 })
+        occupancy(
+            spec,
+            &KernelResources {
+                regs_per_thread: 32,
+                threads_per_block: 256,
+                shared_mem_per_block: 0,
+            },
+        )
     }
 
     #[test]
@@ -258,7 +281,11 @@ mod tests {
         let spec = GpuSpec::maxwell_titan_x();
         let occ = occupancy(
             &spec,
-            &KernelResources { regs_per_thread: 168, threads_per_block: 64, shared_mem_per_block: 12800 },
+            &KernelResources {
+                regs_per_thread: 168,
+                threads_per_block: 64,
+                shared_mem_per_block: 12800,
+            },
         );
         let cost = KernelCost {
             dram_read_bytes: 1e9,
@@ -290,7 +317,10 @@ mod tests {
         assert_eq!(a.flops_fp32, 15.0);
         assert_eq!(a.total_dram_bytes(), 150.0);
         assert_eq!(a.transactions, 2.0);
-        assert_eq!(a.pipe_efficiency, 0.5, "the dominant (larger-flops) side keeps its efficiency floor");
+        assert_eq!(
+            a.pipe_efficiency, 0.5,
+            "the dominant (larger-flops) side keeps its efficiency floor"
+        );
     }
 
     #[test]
@@ -311,7 +341,13 @@ mod tests {
 
     #[test]
     fn achieved_flops_and_bandwidth() {
-        let t = LaunchTiming { compute_time: 2.0, dram_time: 1.0, l2_time: 0.0, latency_time: 0.0, time: 2.0 };
+        let t = LaunchTiming {
+            compute_time: 2.0,
+            dram_time: 1.0,
+            l2_time: 0.0,
+            latency_time: 0.0,
+            time: 2.0,
+        };
         assert_eq!(t.achieved_flops(4.0e12), 2.0e12);
         assert_eq!(t.achieved_bandwidth(2.0e9), 1.0e9);
     }

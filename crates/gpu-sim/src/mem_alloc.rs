@@ -42,20 +42,33 @@ pub struct DeviceMemory {
 impl DeviceMemory {
     /// An empty arena with the device's full capacity.
     pub fn new(spec: &GpuSpec) -> Self {
-        DeviceMemory { capacity: spec.dram_capacity, allocations: BTreeMap::new() }
+        DeviceMemory {
+            capacity: spec.dram_capacity,
+            allocations: BTreeMap::new(),
+        }
     }
 
     /// An arena with explicit capacity (tests, reserved-memory scenarios).
     pub fn with_capacity(capacity: u64) -> Self {
-        DeviceMemory { capacity, allocations: BTreeMap::new() }
+        DeviceMemory {
+            capacity,
+            allocations: BTreeMap::new(),
+        }
     }
 
     /// Allocate `bytes` under `label`; labels must be unique while live.
     pub fn alloc(&mut self, label: &str, bytes: u64) -> Result<(), OutOfMemory> {
-        assert!(!self.allocations.contains_key(label), "allocation {label:?} already live");
+        assert!(
+            !self.allocations.contains_key(label),
+            "allocation {label:?} already live"
+        );
         let available = self.available();
         if bytes > available {
-            return Err(OutOfMemory { label: label.to_string(), requested: bytes, available });
+            return Err(OutOfMemory {
+                label: label.to_string(),
+                requested: bytes,
+                available,
+            });
         }
         self.allocations.insert(label.to_string(), bytes);
         Ok(())
@@ -63,7 +76,9 @@ impl DeviceMemory {
 
     /// Free a live allocation; returns its size.
     pub fn free(&mut self, label: &str) -> u64 {
-        self.allocations.remove(label).unwrap_or_else(|| panic!("allocation {label:?} not live"))
+        self.allocations
+            .remove(label)
+            .unwrap_or_else(|| panic!("allocation {label:?} not live"))
     }
 
     /// Bytes currently allocated.
@@ -90,7 +105,14 @@ impl DeviceMemory {
 /// The standard device-resident footprint of an ALS problem slice:
 /// `rows/gpus` rows of X, all of Θ, the rating slice in CSR, and a solver
 /// staging window. Mirrors what cuMF_ALS keeps resident per GPU.
-pub fn als_footprint(mem: &mut DeviceMemory, m: u64, n: u64, nz: u64, f: u64, gpus: u64) -> Result<(), OutOfMemory> {
+pub fn als_footprint(
+    mem: &mut DeviceMemory,
+    m: u64,
+    n: u64,
+    nz: u64,
+    f: u64,
+    gpus: u64,
+) -> Result<(), OutOfMemory> {
     mem.alloc("x_slice", m.div_ceil(gpus) * f * 4)?;
     mem.alloc("theta_full", n * f * 4)?;
     mem.alloc("csr_slice", nz / gpus * 8 + (m.div_ceil(gpus) + 1) * 8)?;

@@ -87,24 +87,29 @@ pub fn staged_dram_bytes(spec: &GpuSpec, load: &StagedLoad) -> f64 {
     load.unique_bytes as f64 + reuse_bytes * (1.0 - residency)
 }
 
-/// Price a staging load phase on `spec` at the given achieved occupancy.
-pub fn load_time(spec: &GpuSpec, occ: &Occupancy, pattern: LoadPattern, load: &StagedLoad) -> LoadBreakdown {
-    let dram_bytes = staged_dram_bytes(spec, load);
-    let dram_time = dram_bytes / spec.dram_bandwidth;
-    let l2_bw = spec.dram_bandwidth * spec.l2_bandwidth_ratio;
-
-    // Wire bytes on the L2 crossbar: everything the SMs request that L1
-    // does not absorb.
-    let (wire_bytes, transactions, mlp) = match pattern {
+/// Request-level profile of a staged load under a [`LoadPattern`]: bytes
+/// crossing the L2 wire, memory transactions issued, and per-warp MLP —
+/// the inputs both [`load_time`] and telemetry's per-launch
+/// `KernelCost` records need.
+pub fn load_wire_profile(pattern: LoadPattern, load: &StagedLoad) -> (f64, f64, f64) {
+    match pattern {
         LoadPattern::Coalesced => {
             // 128B transactions; L1 bypassed but each transaction is fully
             // used, so wire bytes = requested bytes.
-            (load.total_bytes as f64, load.total_bytes as f64 / 128.0, MLP_COALESCED)
+            (
+                load.total_bytes as f64,
+                load.total_bytes as f64 / 128.0,
+                MLP_COALESCED,
+            )
         }
         LoadPattern::NonCoalescedL1 => {
             // L1 turns each thread's 32 sequential reads into one 128B line
             // fill: wire bytes = requested bytes, at line granularity.
-            (load.total_bytes as f64, load.total_bytes as f64 / 128.0, MLP_NON_COALESCED)
+            (
+                load.total_bytes as f64,
+                load.total_bytes as f64 / 128.0,
+                MLP_NON_COALESCED,
+            )
         }
         LoadPattern::NonCoalescedNoL1 => {
             // Every request is its own 32B sector on the crossbar.
@@ -114,10 +119,37 @@ pub fn load_time(spec: &GpuSpec, occ: &Occupancy, pattern: LoadPattern, load: &S
                 MLP_NON_COALESCED,
             )
         }
-    };
+    }
+}
+
+/// Modeled L1 hit ratio of a staging loop: with L1 acting as the coalescer
+/// each 128-byte line fill serves the thread's next 31 reads (31/32 hits);
+/// the other two patterns bypass L1 entirely.
+pub fn load_l1_hit_ratio(pattern: LoadPattern) -> f64 {
+    match pattern {
+        LoadPattern::NonCoalescedL1 => 31.0 / 32.0,
+        LoadPattern::Coalesced | LoadPattern::NonCoalescedNoL1 => 0.0,
+    }
+}
+
+/// Price a staging load phase on `spec` at the given achieved occupancy.
+pub fn load_time(
+    spec: &GpuSpec,
+    occ: &Occupancy,
+    pattern: LoadPattern,
+    load: &StagedLoad,
+) -> LoadBreakdown {
+    let dram_bytes = staged_dram_bytes(spec, load);
+    let dram_time = dram_bytes / spec.dram_bandwidth;
+    let l2_bw = spec.dram_bandwidth * spec.l2_bandwidth_ratio;
+
+    // Wire bytes on the L2 crossbar: everything the SMs request that L1
+    // does not absorb.
+    let (wire_bytes, transactions, mlp) = load_wire_profile(pattern, load);
     let l2_time = wire_bytes / l2_bw;
     let parallelism = mlp * occ.device_warps(spec) as f64;
-    let latency_time = transactions * spec.dram_latency_cycles / (parallelism.max(1.0) * spec.clock_hz);
+    let latency_time =
+        transactions * spec.dram_latency_cycles / (parallelism.max(1.0) * spec.clock_hz);
 
     LoadBreakdown {
         dram_time,
@@ -164,13 +196,20 @@ mod tests {
 
     fn netflix_update_x_load() -> StagedLoad {
         // Full-scale Netflix, f = 100: total = Nz × f × 4, unique = n × f × 4.
-        StagedLoad { total_bytes: 99_072_112 * 100 * 4, unique_bytes: 17_770 * 100 * 4 }
+        StagedLoad {
+            total_bytes: 99_072_112 * 100 * 4,
+            unique_bytes: 17_770 * 100 * 4,
+        }
     }
 
     fn low_occupancy() -> Occupancy {
         occupancy(
             &GpuSpec::maxwell_titan_x(),
-            &KernelResources { regs_per_thread: 168, threads_per_block: 64, shared_mem_per_block: 12800 },
+            &KernelResources {
+                regs_per_thread: 168,
+                threads_per_block: 64,
+                shared_mem_per_block: 12800,
+            },
         )
     }
 
@@ -182,18 +221,37 @@ mod tests {
         let coal = load_time(&spec, &occ, LoadPattern::Coalesced, &load);
         let no_l1 = load_time(&spec, &occ, LoadPattern::NonCoalescedNoL1, &load);
         let l1 = load_time(&spec, &occ, LoadPattern::NonCoalescedL1, &load);
-        assert!(l1.time < no_l1.time, "nonCoal-L1 {} !< nonCoal-noL1 {}", l1.time, no_l1.time);
-        assert!(no_l1.time < coal.time, "nonCoal-noL1 {} !< coal {}", no_l1.time, coal.time);
+        assert!(
+            l1.time < no_l1.time,
+            "nonCoal-L1 {} !< nonCoal-noL1 {}",
+            l1.time,
+            no_l1.time
+        );
+        assert!(
+            no_l1.time < coal.time,
+            "nonCoal-noL1 {} !< coal {}",
+            no_l1.time,
+            coal.time
+        );
         // Magnitudes in the Figure-4 ballpark (tens to ~200 ms per update).
         assert!(l1.time > 0.02 && l1.time < 0.15, "l1 time {}", l1.time);
-        assert!(coal.time > 0.10 && coal.time < 0.45, "coal time {}", coal.time);
+        assert!(
+            coal.time > 0.10 && coal.time < 0.45,
+            "coal time {}",
+            coal.time
+        );
     }
 
     #[test]
     fn coalesced_is_latency_bound_at_low_occupancy() {
         let spec = GpuSpec::maxwell_titan_x();
         let occ = low_occupancy();
-        let b = load_time(&spec, &occ, LoadPattern::Coalesced, &netflix_update_x_load());
+        let b = load_time(
+            &spec,
+            &occ,
+            LoadPattern::Coalesced,
+            &netflix_update_x_load(),
+        );
         assert!(b.latency_time > b.dram_time, "Observation 2: latency-bound");
         assert_eq!(b.time, b.latency_time);
     }
@@ -203,9 +261,18 @@ mod tests {
         let spec = GpuSpec::maxwell_titan_x();
         let occ = occupancy(
             &spec,
-            &KernelResources { regs_per_thread: 32, threads_per_block: 256, shared_mem_per_block: 0 },
+            &KernelResources {
+                regs_per_thread: 32,
+                threads_per_block: 256,
+                shared_mem_per_block: 0,
+            },
         );
-        let b = load_time(&spec, &occ, LoadPattern::Coalesced, &netflix_update_x_load());
+        let b = load_time(
+            &spec,
+            &occ,
+            LoadPattern::Coalesced,
+            &netflix_update_x_load(),
+        );
         assert!(b.time <= b.dram_time * 1.01, "high occupancy hides latency");
     }
 
@@ -222,7 +289,10 @@ mod tests {
     fn tiny_working_set_is_fully_cached() {
         let spec = GpuSpec::maxwell_titan_x();
         // Unique set of 1 MB < 3 MB L2 → only compulsory traffic.
-        let load = StagedLoad { total_bytes: 1 << 30, unique_bytes: 1 << 20 };
+        let load = StagedLoad {
+            total_bytes: 1 << 30,
+            unique_bytes: 1 << 20,
+        };
         let d = staged_dram_bytes(&spec, &load);
         assert_eq!(d, (1u64 << 20) as f64);
     }

@@ -8,6 +8,7 @@
 //! low occupancy, hence latency-bound loads (and hence Solution 2).
 
 use crate::device::GpuSpec;
+use serde::Serialize;
 
 /// Per-launch resource requirements of a kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -21,7 +22,7 @@ pub struct KernelResources {
 }
 
 /// Which resource capped the resident block count.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
 pub enum OccupancyLimit {
     /// Register file exhausted first (the paper's `get_hermitian` case).
     Registers,
@@ -34,7 +35,7 @@ pub enum OccupancyLimit {
 }
 
 /// Result of the occupancy calculation for one kernel on one device.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub struct Occupancy {
     /// Resident blocks per SM.
     pub blocks_per_sm: u32,
@@ -81,11 +82,10 @@ pub fn occupancy(spec: &GpuSpec, res: &KernelResources) -> Occupancy {
     );
 
     let by_regs = spec.registers_per_sm / regs_per_block;
-    let by_smem = if res.shared_mem_per_block == 0 {
-        u32::MAX
-    } else {
-        spec.shared_mem_per_sm / res.shared_mem_per_block
-    };
+    let by_smem = spec
+        .shared_mem_per_sm
+        .checked_div(res.shared_mem_per_block)
+        .unwrap_or(u32::MAX);
     let by_threads = spec.max_threads_per_sm / res.threads_per_block;
     let by_slots = spec.max_blocks_per_sm;
 
@@ -137,7 +137,11 @@ mod tests {
         assert_eq!(regs, 168, "paper quotes 168 registers per thread");
         let occ = occupancy(
             &spec,
-            &KernelResources { regs_per_thread: regs, threads_per_block: 64, shared_mem_per_block: 32 * 100 * 4 },
+            &KernelResources {
+                regs_per_thread: regs,
+                threads_per_block: 64,
+                shared_mem_per_block: 32 * 100 * 4,
+            },
         );
         assert_eq!(occ.blocks_per_sm, 6);
         assert_eq!(occ.limited_by, OccupancyLimit::Registers);
@@ -149,7 +153,11 @@ mod tests {
         let spec = GpuSpec::maxwell_titan_x();
         let occ = occupancy(
             &spec,
-            &KernelResources { regs_per_thread: 16, threads_per_block: 32, shared_mem_per_block: 0 },
+            &KernelResources {
+                regs_per_thread: 16,
+                threads_per_block: 32,
+                shared_mem_per_block: 0,
+            },
         );
         assert_eq!(occ.limited_by, OccupancyLimit::BlockSlots);
         assert_eq!(occ.blocks_per_sm, 32);
@@ -160,7 +168,11 @@ mod tests {
         let spec = GpuSpec::maxwell_titan_x();
         let occ = occupancy(
             &spec,
-            &KernelResources { regs_per_thread: 16, threads_per_block: 1024, shared_mem_per_block: 0 },
+            &KernelResources {
+                regs_per_thread: 16,
+                threads_per_block: 1024,
+                shared_mem_per_block: 0,
+            },
         );
         assert_eq!(occ.limited_by, OccupancyLimit::Threads);
         assert_eq!(occ.blocks_per_sm, 2);
@@ -172,7 +184,11 @@ mod tests {
         let spec = GpuSpec::maxwell_titan_x(); // 96 KB smem per SM
         let occ = occupancy(
             &spec,
-            &KernelResources { regs_per_thread: 16, threads_per_block: 64, shared_mem_per_block: 40 << 10 },
+            &KernelResources {
+                regs_per_thread: 16,
+                threads_per_block: 64,
+                shared_mem_per_block: 40 << 10,
+            },
         );
         assert_eq!(occ.limited_by, OccupancyLimit::SharedMemory);
         assert_eq!(occ.blocks_per_sm, 2);
@@ -182,7 +198,11 @@ mod tests {
     fn device_warps_scale_with_sms() {
         let m = GpuSpec::maxwell_titan_x();
         let p = GpuSpec::pascal_p100();
-        let res = KernelResources { regs_per_thread: 64, threads_per_block: 128, shared_mem_per_block: 0 };
+        let res = KernelResources {
+            regs_per_thread: 64,
+            threads_per_block: 128,
+            shared_mem_per_block: 0,
+        };
         let om = occupancy(&m, &res);
         let op = occupancy(&p, &res);
         assert!(op.device_warps(&p) > om.device_warps(&m));
@@ -193,7 +213,11 @@ mod tests {
     fn impossible_launch_panics() {
         occupancy(
             &GpuSpec::maxwell_titan_x(),
-            &KernelResources { regs_per_thread: 255, threads_per_block: 1024, shared_mem_per_block: 0 },
+            &KernelResources {
+                regs_per_thread: 255,
+                threads_per_block: 1024,
+                shared_mem_per_block: 0,
+            },
         );
     }
 

@@ -5,13 +5,17 @@
 //! / communicate). Convergence experiments (Figures 6 and 8) additionally
 //! record `(sim_time, test RMSE)` points on a [`ConvergenceCurve`].
 
+use serde::Serialize;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
-/// A simulated clock with per-phase attribution.
+/// A simulated clock with per-phase attribution. Phase keys are
+/// `Cow<'static, str>` so dynamically named phases (per-dataset, per-GPU,
+/// telemetry-invented) can be attributed without leaking interned strings.
 #[derive(Clone, Debug, Default)]
 pub struct SimClock {
     now: f64,
-    phases: BTreeMap<&'static str, f64>,
+    phases: BTreeMap<Cow<'static, str>, f64>,
 }
 
 impl SimClock {
@@ -20,9 +24,14 @@ impl SimClock {
         Self::default()
     }
 
-    /// Advance by `seconds`, attributing them to `phase`.
-    pub fn advance(&mut self, phase: &'static str, seconds: f64) {
-        assert!(seconds >= 0.0 && seconds.is_finite(), "bad time increment {seconds} in {phase}");
+    /// Advance by `seconds`, attributing them to `phase` (a `&'static str`
+    /// or an owned `String`).
+    pub fn advance(&mut self, phase: impl Into<Cow<'static, str>>, seconds: f64) {
+        let phase = phase.into();
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "bad time increment {seconds} in {phase}"
+        );
         self.now += seconds;
         *self.phases.entry(phase).or_insert(0.0) += seconds;
     }
@@ -38,8 +47,8 @@ impl SimClock {
     }
 
     /// All phases and their accumulated times, alphabetical.
-    pub fn phases(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
-        self.phases.iter().map(|(&k, &v)| (k, v))
+    pub fn phases(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.phases.iter().map(|(k, &v)| (k.as_ref(), v))
     }
 
     /// Reset to t = 0, clearing attribution.
@@ -50,7 +59,7 @@ impl SimClock {
 }
 
 /// One observation on a convergence curve.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub struct ConvergencePoint {
     /// Simulated training time at which the metric was evaluated.
     pub sim_time: f64,
@@ -61,7 +70,7 @@ pub struct ConvergencePoint {
 }
 
 /// A named series of `(time, RMSE)` points — one line of Figure 6 / 8.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize)]
 pub struct ConvergenceCurve {
     /// Legend label (e.g. "cuMFALS@P").
     pub label: String,
@@ -71,7 +80,10 @@ pub struct ConvergenceCurve {
 impl ConvergenceCurve {
     /// An empty curve with a legend label.
     pub fn new(label: impl Into<String>) -> Self {
-        ConvergenceCurve { label: label.into(), points: Vec::new() }
+        ConvergenceCurve {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Append a point; time must be nondecreasing.
@@ -79,7 +91,11 @@ impl ConvergenceCurve {
         if let Some(last) = self.points.last() {
             assert!(sim_time >= last.sim_time, "time must be nondecreasing");
         }
-        self.points.push(ConvergencePoint { sim_time, epoch, test_rmse });
+        self.points.push(ConvergencePoint {
+            sim_time,
+            epoch,
+            test_rmse,
+        });
     }
 
     /// The recorded points.
@@ -90,12 +106,18 @@ impl ConvergenceCurve {
     /// First simulated time at which RMSE ≤ `target` (the paper's
     /// "training time when converging to acceptable RMSE", Table IV).
     pub fn time_to_rmse(&self, target: f64) -> Option<f64> {
-        self.points.iter().find(|p| p.test_rmse <= target).map(|p| p.sim_time)
+        self.points
+            .iter()
+            .find(|p| p.test_rmse <= target)
+            .map(|p| p.sim_time)
     }
 
     /// Best (lowest) RMSE reached.
     pub fn best_rmse(&self) -> Option<f64> {
-        self.points.iter().map(|p| p.test_rmse).min_by(|a, b| a.partial_cmp(b).unwrap())
+        self.points
+            .iter()
+            .map(|p| p.test_rmse)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
     }
 
     /// Render as `time\trmse` rows for plotting (gnuplot-style, like the
@@ -106,6 +128,12 @@ impl ConvergenceCurve {
             s.push_str(&format!("{:.3}\t{:.5}\n", p.sim_time, p.test_rmse));
         }
         s
+    }
+
+    /// Render as a JSON document `{"label": …, "points": [{…}, …]}` for
+    /// machine consumption (plotting scripts, trace attachments).
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
     }
 }
 
@@ -165,5 +193,29 @@ mod tests {
         let mut curve = ConvergenceCurve::new("t");
         curve.push(1.5, 1, 0.95);
         assert_eq!(curve.to_tsv(), "1.500\t0.95000\n");
+    }
+
+    #[test]
+    fn dynamic_phase_keys_accumulate() {
+        let mut c = SimClock::new();
+        for gpu in 0..3 {
+            c.advance(format!("h2d-gpu{gpu}"), 0.5);
+        }
+        c.advance("solve", 1.0);
+        assert_eq!(c.phases().count(), 4);
+        assert!((c.phase_time("h2d-gpu1") - 0.5).abs() < 1e-12);
+        assert!((c.now() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_to_json_parses_back() {
+        let mut curve = ConvergenceCurve::new("cuMFALS@1xM");
+        curve.push(1.5, 1, 0.95);
+        curve.push(3.0, 2, 0.91);
+        let v = serde::Value::parse(&curve.to_json()).unwrap();
+        assert_eq!(v.get("label").unwrap().as_str(), Some("cuMFALS@1xM"));
+        let pts = v.get("points").unwrap().as_array().unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].get("epoch").unwrap().as_f64(), Some(2.0));
     }
 }

@@ -11,13 +11,16 @@ use cumf_gpu_sim::GpuSpec;
 use proptest::prelude::*;
 
 fn resources() -> impl Strategy<Value = KernelResources> {
-    (8u32..=128, prop::sample::select(vec![32u32, 64, 128, 256]), 0u32..32_768).prop_map(
-        |(regs, threads, smem)| KernelResources {
+    (
+        8u32..=128,
+        prop::sample::select(vec![32u32, 64, 128, 256]),
+        0u32..32_768,
+    )
+        .prop_map(|(regs, threads, smem)| KernelResources {
             regs_per_thread: regs,
             threads_per_block: threads,
             shared_mem_per_block: smem,
-        },
-    )
+        })
 }
 
 proptest! {

@@ -84,7 +84,29 @@ pub struct CgOutcome {
 ///
 /// ALS warm-starts each solve from the previous sweep's `x_u`, which is a
 /// large part of why so few CG steps suffice.
-pub fn cg_solve(a: &impl MatVec, x: &mut [f32], b: &[f32], max_iters: usize, tolerance: f32) -> CgOutcome {
+pub fn cg_solve(
+    a: &impl MatVec,
+    x: &mut [f32],
+    b: &[f32],
+    max_iters: usize,
+    tolerance: f32,
+) -> CgOutcome {
+    cg_solve_traced(a, x, b, max_iters, tolerance, None)
+}
+
+/// [`cg_solve`] with an optional residual-trajectory trace: when `trace` is
+/// `Some`, the residual norm `√(rᵀr)` is appended once before the first
+/// iteration and once per iteration. The arithmetic is identical with or
+/// without a trace — tracing only observes values the solver computes
+/// anyway.
+pub fn cg_solve_traced(
+    a: &impl MatVec,
+    x: &mut [f32],
+    b: &[f32],
+    max_iters: usize,
+    tolerance: f32,
+    mut trace: Option<&mut Vec<f64>>,
+) -> CgOutcome {
     let dim = a.dim();
     assert_eq!(x.len(), dim, "cg_solve: x length");
     assert_eq!(b.len(), dim, "cg_solve: b length");
@@ -100,9 +122,16 @@ pub fn cg_solve(a: &impl MatVec, x: &mut [f32], b: &[f32], max_iters: usize, tol
     }
     p.copy_from_slice(&r);
     let mut rsold = dot_f64(&r, &r);
+    if let Some(t) = trace.as_deref_mut() {
+        t.push(rsold.sqrt());
+    }
 
     if (rsold.sqrt() as f32) < tolerance {
-        return CgOutcome { iterations: 0, residual_norm: rsold.sqrt() as f32, converged: true };
+        return CgOutcome {
+            iterations: 0,
+            residual_norm: rsold.sqrt() as f32,
+            converged: true,
+        };
     }
 
     let mut iterations = 0;
@@ -122,6 +151,9 @@ pub fn cg_solve(a: &impl MatVec, x: &mut [f32], b: &[f32], max_iters: usize, tol
         axpy(alpha, &p, x);
         axpy(-alpha, &ap, &mut r);
         rsnew = dot_f64(&r, &r);
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(rsnew.sqrt());
+        }
         if (rsnew.sqrt() as f32) < tolerance {
             converged = true;
             break;
@@ -130,7 +162,11 @@ pub fn cg_solve(a: &impl MatVec, x: &mut [f32], b: &[f32], max_iters: usize, tol
         rsold = rsnew;
     }
 
-    CgOutcome { iterations, residual_norm: rsnew.sqrt() as f32, converged }
+    CgOutcome {
+        iterations,
+        residual_norm: rsnew.sqrt() as f32,
+        converged,
+    }
 }
 
 /// FMA count of `iters` CG iterations at dimension `f` — the `O(fs·f²)` cost
@@ -182,7 +218,12 @@ mod tests {
             let out = cg_solve(&a, &mut x, &b, 16, 1e-7);
             assert!(out.converged, "seed {seed} should converge");
             for i in 0..8 {
-                assert!((x[i] - direct[i]).abs() < 1e-3, "seed {seed} i {i}: {} vs {}", x[i], direct[i]);
+                assert!(
+                    (x[i] - direct[i]).abs() < 1e-3,
+                    "seed {seed} i {i}: {} vs {}",
+                    x[i],
+                    direct[i]
+                );
             }
         }
     }
@@ -195,7 +236,12 @@ mod tests {
         for fs in 1..8 {
             let mut x = vec![0.0; 12];
             let out = cg_solve(&a, &mut x, &b, fs, 0.0);
-            assert!(out.residual_norm <= prev + 1e-4, "fs={fs}: {} > {}", out.residual_norm, prev);
+            assert!(
+                out.residual_norm <= prev + 1e-4,
+                "fs={fs}: {} > {}",
+                out.residual_norm,
+                prev
+            );
             prev = out.residual_norm;
         }
     }
@@ -207,7 +253,11 @@ mod tests {
         let mut x = cholesky_solve(&a, &b).unwrap();
         let out = cg_solve(&a, &mut x, &b, 10, 1e-3);
         assert!(out.converged);
-        assert!(out.iterations <= 1, "warm start took {} iterations", out.iterations);
+        assert!(
+            out.iterations <= 1,
+            "warm start took {} iterations",
+            out.iterations
+        );
     }
 
     #[test]
@@ -231,8 +281,30 @@ mod tests {
         cg_solve(&h, &mut x, &b, 20, 1e-4);
         // FP16 matrix perturbs A by ≤2⁻¹¹ relatively; solution error stays small.
         for i in 0..10 {
-            assert!((x[i] - exact[i]).abs() < 0.02, "i {i}: {} vs {}", x[i], exact[i]);
+            assert!(
+                (x[i] - exact[i]).abs() < 0.02,
+                "i {i}: {} vs {}",
+                x[i],
+                exact[i]
+            );
         }
+    }
+
+    #[test]
+    fn traced_solve_matches_untraced_and_records_residuals() {
+        let a = spd(12, 8);
+        let b: Vec<f32> = (0..12).map(|i| (i as f32) * 0.3 - 1.5).collect();
+        let mut x_plain = vec![0.0; 12];
+        let mut x_traced = vec![0.0; 12];
+        let mut residuals = Vec::new();
+        let plain = cg_solve(&a, &mut x_plain, &b, 6, 0.0);
+        let traced = cg_solve_traced(&a, &mut x_traced, &b, 6, 0.0, Some(&mut residuals));
+        assert_eq!(x_plain, x_traced, "tracing must not change arithmetic");
+        assert_eq!(plain, traced);
+        // One entry before iteration 1 plus one per iteration.
+        assert_eq!(residuals.len(), plain.iterations + 1);
+        assert!(residuals.last().unwrap() < residuals.first().unwrap());
+        assert!((residuals.last().unwrap() - plain.residual_norm as f64).abs() < 1e-3);
     }
 
     #[test]
@@ -249,6 +321,9 @@ mod tests {
     fn flops_model_is_quadratic_per_iteration() {
         // 6 CG iterations at f=100 ≈ 6·10⁴ FMAs ≪ LU's ~6.7·10⁵.
         assert!(cg_flops(100, 6) < crate::lu::lu_flops(100) / 4);
-        assert_eq!(cg_matrix_bytes_per_iter(100, 2) * 2, cg_matrix_bytes_per_iter(100, 4));
+        assert_eq!(
+            cg_matrix_bytes_per_iter(100, 2) * 2,
+            cg_matrix_bytes_per_iter(100, 4)
+        );
     }
 }

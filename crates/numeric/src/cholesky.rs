@@ -86,16 +86,16 @@ impl CholeskyFactor {
         for i in 0..self.dim {
             let base = i * (i + 1) / 2;
             let mut s = b[i] as f64;
-            for k in 0..i {
-                s -= self.l[base + k] as f64 * b[k] as f64;
+            for (&lv, &bv) in self.l[base..base + i].iter().zip(b.iter()) {
+                s -= lv as f64 * bv as f64;
             }
             b[i] = (s / self.l[base + i] as f64) as f32;
         }
         // Lᵀ x = y
         for i in (0..self.dim).rev() {
             let mut s = b[i] as f64;
-            for k in i + 1..self.dim {
-                s -= self.l[k * (k + 1) / 2 + i] as f64 * b[k] as f64;
+            for (k, &bv) in b.iter().enumerate().skip(i + 1) {
+                s -= self.l[k * (k + 1) / 2 + i] as f64 * bv as f64;
             }
             b[i] = (s / self.l[i * (i + 1) / 2 + i] as f64) as f32;
         }
@@ -155,7 +155,11 @@ mod tests {
                 for k in 0..6 {
                     s += f.l(i, k) * f.l(j, k);
                 }
-                assert!((s - a.get(i, j)).abs() < 1e-4, "({i},{j}): {s} vs {}", a.get(i, j));
+                assert!(
+                    (s - a.get(i, j)).abs() < 1e-4,
+                    "({i},{j}): {s} vs {}",
+                    a.get(i, j)
+                );
             }
         }
     }
@@ -186,7 +190,10 @@ mod tests {
     fn rejects_indefinite() {
         let mut a = SymPacked::zeros(3);
         a.add_diagonal(-1.0);
-        assert_eq!(cholesky_factor(&a).unwrap_err(), NotPositiveDefinite { pivot: 0 });
+        assert_eq!(
+            cholesky_factor(&a).unwrap_err(),
+            NotPositiveDefinite { pivot: 0 }
+        );
     }
 
     #[test]
@@ -205,7 +212,10 @@ mod tests {
             for delta in [-0.01f32, 0.01] {
                 let mut xp = x.clone();
                 xp[i] += delta;
-                assert!(obj(&xp) >= base - 1e-5, "perturbing {i} by {delta} decreased objective");
+                assert!(
+                    obj(&xp) >= base - 1e-5,
+                    "perturbing {i} by {delta} decreased objective"
+                );
             }
         }
     }

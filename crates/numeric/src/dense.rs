@@ -73,12 +73,20 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// An all-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a row-major buffer; `data.len()` must equal `rows × cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "DenseMatrix::from_vec: size mismatch");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "DenseMatrix::from_vec: size mismatch"
+        );
         DenseMatrix { rows, cols, data }
     }
 

@@ -79,8 +79,8 @@ impl F16 {
                 return F16(sign);
             }
             let full_man = man | 0x0080_0000; // make leading 1 explicit
-            // value = full_man × 2^(unbiased-23); subnormal unit is 2⁻²⁴,
-            // so half_man = full_man >> (14 - half_exp).
+                                              // value = full_man × 2^(unbiased-23); subnormal unit is 2⁻²⁴,
+                                              // so half_man = full_man >> (14 - half_exp).
             let shift = (14 - half_exp) as u32;
             let half_man = full_man >> shift;
             // Round to nearest even on the dropped bits.
@@ -264,7 +264,10 @@ mod tests {
         assert_eq!(F16::from_f32(halfway).to_f32(), 1.0);
         // 1 + 3·2⁻¹¹ is halfway between 1+2⁻¹⁰ and 1+2·2⁻¹⁰: ties to even → 1+2·2⁻¹⁰.
         let halfway_up = 1.0 + 3.0 * 2.0f32.powi(-11);
-        assert_eq!(F16::from_f32(halfway_up).to_f32(), 1.0 + 2.0 * 2.0f32.powi(-10));
+        assert_eq!(
+            F16::from_f32(halfway_up).to_f32(),
+            1.0 + 2.0 * 2.0f32.powi(-10)
+        );
     }
 
     #[test]

@@ -89,15 +89,15 @@ impl LuFactor {
         let mut x: Vec<f32> = self.perm.iter().map(|&p| b[p]).collect();
         for i in 0..self.dim {
             let mut s = x[i] as f64;
-            for k in 0..i {
-                s -= self.lu.get(i, k) as f64 * x[k] as f64;
+            for (k, &xv) in x.iter().enumerate().take(i) {
+                s -= self.lu.get(i, k) as f64 * xv as f64;
             }
             x[i] = s as f32;
         }
         for i in (0..self.dim).rev() {
             let mut s = x[i] as f64;
-            for k in i + 1..self.dim {
-                s -= self.lu.get(i, k) as f64 * x[k] as f64;
+            for (k, &xv) in x.iter().enumerate().skip(i + 1) {
+                s -= self.lu.get(i, k) as f64 * xv as f64;
             }
             x[i] = (s / self.lu.get(i, i) as f64) as f32;
         }
@@ -147,7 +147,7 @@ mod tests {
 
     #[test]
     fn residual_small_on_random_systems() {
-        let mut state = 0x1234_5678_9ABC_DEFu64;
+        let mut state = 0x0123_4567_89AB_CDEF_u64;
         let mut next = move || {
             state ^= state << 13;
             state ^= state >> 7;

@@ -40,7 +40,8 @@ impl Welford {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
     }
 
@@ -106,7 +107,9 @@ pub struct XorShift64 {
 impl XorShift64 {
     /// Seeded constructor; a zero seed is remapped to a fixed constant.
     pub fn new(seed: u64) -> Self {
-        XorShift64 { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+        XorShift64 {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
     }
 
     /// Next raw 64-bit output.

@@ -36,7 +36,10 @@ pub fn packed_index(i: usize, j: usize) -> usize {
 impl SymPacked {
     /// The zero matrix of dimension `dim`.
     pub fn zeros(dim: usize) -> Self {
-        SymPacked { dim, data: vec![0.0; packed_len(dim)] }
+        SymPacked {
+            dim,
+            data: vec![0.0; packed_len(dim)],
+        }
     }
 
     /// Build from a packed lower-triangle buffer.
@@ -158,7 +161,10 @@ impl SymPacked {
     pub fn to_f16(&self) -> SymPackedF16 {
         let mut data = vec![F16::ZERO; self.data.len()];
         crate::f16::narrow_slice(&self.data, &mut data);
-        SymPackedF16 { dim: self.dim, data }
+        SymPackedF16 {
+            dim: self.dim,
+            data,
+        }
     }
 }
 
@@ -211,7 +217,10 @@ impl SymPackedF16 {
     pub fn to_f32(&self) -> SymPacked {
         let mut data = vec![0.0f32; self.data.len()];
         crate::f16::widen_slice(&self.data, &mut data);
-        SymPacked { dim: self.dim, data }
+        SymPacked {
+            dim: self.dim,
+            data,
+        }
     }
 }
 

@@ -1,0 +1,244 @@
+//! Vendored **sequential** work-alike shim for the slice of `rayon` this
+//! workspace uses. The build environment has no registry access, so the
+//! workspace points `rayon` at this path crate (see the root `Cargo.toml`).
+//!
+//! Semantics: every "parallel" iterator here runs sequentially on the
+//! calling thread, in order. That is a legal rayon schedule (rayon makes no
+//! ordering or thread-count promises to `for_each`/`reduce` callers), so
+//! code written against real rayon behaves identically — deterministically
+//! so, which the simulator tests actually prefer. Swapping real rayon back
+//! in is a one-line change in the workspace manifest.
+
+#![deny(missing_docs)]
+
+use std::marker::PhantomData;
+
+/// A "parallel" iterator — a thin newtype over a sequential [`Iterator`].
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Map each item.
+    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    /// Pair items with their index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Zip with another parallel iterator.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    /// Keep items satisfying `pred`.
+    pub fn filter<P>(self, pred: P) -> ParIter<std::iter::Filter<I, P>>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        ParIter(self.0.filter(pred))
+    }
+
+    /// Consume every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, mut f: F) {
+        for item in self.0 {
+            f(item);
+        }
+    }
+
+    /// Consume every item with per-"thread" scratch state (allocated once
+    /// here — the sequential schedule is a single rayon job).
+    pub fn for_each_init<INIT, T, F>(self, mut init: INIT, mut f: F)
+    where
+        INIT: FnMut() -> T,
+        F: FnMut(&mut T, I::Item),
+    {
+        let mut scratch = init();
+        for item in self.0 {
+            f(&mut scratch, item);
+        }
+    }
+
+    /// Fold items into per-job accumulators (a single one, sequentially).
+    pub fn fold<T, ID, F>(self, mut identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: FnMut() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// Reduce all items with `op`, seeding with `identity()`.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: FnOnce() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Sum all items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Count the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Collect into any [`FromIterator`] container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+/// Conversion into a [`ParIter`]; implemented for everything iterable.
+pub trait IntoParallelIterator {
+    /// The underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Iter = C::IntoIter;
+    type Item = C::Item;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Shared-slice parallel views.
+pub trait ParallelSlice<T> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// Parallel iterator over non-overlapping chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+/// Mutable-slice parallel views.
+pub trait ParallelSliceMut<T> {
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+}
+
+/// A fork-join scope; spawned tasks run immediately on the calling thread.
+pub struct Scope<'scope>(PhantomData<&'scope ()>);
+
+impl<'scope> Scope<'scope> {
+    /// Run `body` (immediately — the sequential schedule).
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + 'scope,
+    {
+        body(self);
+    }
+}
+
+/// Create a fork-join scope and run `op` in it.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    op(&Scope(PhantomData))
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_sum() {
+        let s: u64 = (0u64..100).into_par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 9900);
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        let total = (1u64..=10)
+            .into_par_iter()
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, 55);
+    }
+
+    #[test]
+    fn chunks_mut_with_zip_and_enumerate() {
+        let mut buf = vec![0i32; 6];
+        let adds = [10, 20, 30];
+        buf.as_mut_slice()
+            .par_chunks_mut(2)
+            .zip(adds.par_iter())
+            .enumerate()
+            .for_each(|(i, (chunk, &a))| {
+                for c in chunk.iter_mut() {
+                    *c = a + i as i32;
+                }
+            });
+        assert_eq!(buf, vec![10, 10, 21, 21, 32, 32]);
+    }
+
+    #[test]
+    fn for_each_init_reuses_scratch() {
+        let mut hits = 0usize;
+        (0..5usize).into_par_iter().for_each_init(
+            || {
+                hits += 1;
+                Vec::<usize>::new()
+            },
+            |scratch, x| scratch.push(x),
+        );
+        assert_eq!(hits, 1, "sequential schedule allocates scratch once");
+    }
+
+    #[test]
+    fn scope_spawn_runs_everything() {
+        let mut parts: Vec<i32> = vec![0; 3];
+        {
+            let mut iter = parts.iter_mut();
+            let (a, b, c) = (
+                iter.next().unwrap(),
+                iter.next().unwrap(),
+                iter.next().unwrap(),
+            );
+            super::scope(|s| {
+                s.spawn(move |_| *a = 1);
+                s.spawn(move |_| *b = 2);
+                s.spawn(move |_| *c = 3);
+            });
+        }
+        assert_eq!(parts, vec![1, 2, 3]);
+    }
+}

@@ -50,7 +50,14 @@ impl BlockGrid {
             counts[i + 1] += counts[i];
         }
         let block_ptr = counts.clone();
-        let mut entries = vec![crate::coo::Entry { row: 0, col: 0, value: 0.0 }; coo.nnz()];
+        let mut entries = vec![
+            crate::coo::Entry {
+                row: 0,
+                col: 0,
+                value: 0.0
+            };
+            coo.nnz()
+        ];
         let mut cursor = counts;
         for e in coo.entries() {
             let b = block_of(e);
@@ -58,7 +65,15 @@ impl BlockGrid {
             cursor[b] += 1;
         }
 
-        BlockGrid { grid, rows, cols, row_stride, col_stride, block_ptr, entries }
+        BlockGrid {
+            grid,
+            rows,
+            cols,
+            row_stride,
+            col_stride,
+            block_ptr,
+            entries,
+        }
     }
 
     /// Grid dimension `gb`.
@@ -94,13 +109,19 @@ impl BlockGrid {
     /// Row range `[start, end)` covered by block row `br`.
     pub fn row_range(&self, br: usize) -> (usize, usize) {
         let s = br * self.row_stride;
-        (s.min(self.rows), ((br + 1) * self.row_stride).min(self.rows))
+        (
+            s.min(self.rows),
+            ((br + 1) * self.row_stride).min(self.rows),
+        )
     }
 
     /// Column range `[start, end)` covered by block column `bc`.
     pub fn col_range(&self, bc: usize) -> (usize, usize) {
         let s = bc * self.col_stride;
-        (s.min(self.cols), ((bc + 1) * self.col_stride).min(self.cols))
+        (
+            s.min(self.cols),
+            ((bc + 1) * self.col_stride).min(self.cols),
+        )
     }
 
     /// Total entries across all blocks (must equal the source Nz).
@@ -118,7 +139,11 @@ mod tests {
         let mut rng = XorShift64::new(seed);
         let mut m = CooMatrix::new(rows, cols);
         for _ in 0..nnz {
-            m.push(rng.next_below(rows) as u32, rng.next_below(cols) as u32, rng.next_f32());
+            m.push(
+                rng.next_below(rows) as u32,
+                rng.next_below(cols) as u32,
+                rng.next_f32(),
+            );
         }
         m
     }
@@ -128,7 +153,10 @@ mod tests {
         let coo = random_coo(100, 80, 1000, 1);
         let g = BlockGrid::partition(&coo, 4);
         assert_eq!(g.total_nnz(), 1000);
-        let sum: usize = (0..4).flat_map(|r| (0..4).map(move |c| (r, c))).map(|(r, c)| g.block_nnz(r, c)).sum();
+        let sum: usize = (0..4)
+            .flat_map(|r| (0..4).map(move |c| (r, c)))
+            .map(|(r, c)| g.block_nnz(r, c))
+            .sum();
         assert_eq!(sum, 1000);
     }
 
@@ -151,7 +179,7 @@ mod tests {
     #[test]
     fn waves_are_conflict_free_and_exhaustive() {
         let g = BlockGrid::partition(&random_coo(32, 32, 100, 3), 5);
-        let mut seen = vec![false; 25];
+        let mut seen = [false; 25];
         for w in 0..5 {
             let wave = g.wave(w);
             // No two blocks in one wave share a row or a column of the grid.

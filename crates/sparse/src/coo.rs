@@ -26,7 +26,11 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// An empty matrix of the given shape.
     pub fn new(rows: usize, cols: usize) -> Self {
-        CooMatrix { rows, cols, entries: Vec::new() }
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Build from parts, validating every index against the shape.
@@ -41,7 +45,11 @@ impl CooMatrix {
                 cols
             );
         }
-        CooMatrix { rows, cols, entries }
+        CooMatrix {
+            rows,
+            cols,
+            entries,
+        }
     }
 
     /// Append one observation.
@@ -98,7 +106,11 @@ impl CooMatrix {
             entries: self
                 .entries
                 .iter()
-                .map(|e| Entry { row: e.col, col: e.row, value: e.value })
+                .map(|e| Entry {
+                    row: e.col,
+                    col: e.row,
+                    value: e.value,
+                })
                 .collect(),
         }
     }
@@ -164,13 +176,25 @@ mod tests {
         let t = sample().transpose();
         assert_eq!((t.rows(), t.cols()), (4, 3));
         assert_eq!(t.row_counts(), vec![1, 1, 0, 2]);
-        assert!(t.entries().contains(&Entry { row: 1, col: 0, value: 5.0 }));
+        assert!(t.entries().contains(&Entry {
+            row: 1,
+            col: 0,
+            value: 5.0
+        }));
     }
 
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn from_entries_validates() {
-        CooMatrix::from_entries(2, 2, vec![Entry { row: 2, col: 0, value: 1.0 }]);
+        CooMatrix::from_entries(
+            2,
+            2,
+            vec![Entry {
+                row: 2,
+                col: 0,
+                value: 1.0,
+            }],
+        );
     }
 
     #[test]

@@ -52,7 +52,12 @@ impl CsrMatrix {
         for r in 0..rows {
             let (s, e) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
             scratch.clear();
-            scratch.extend(col_idx[s..e].iter().copied().zip(values[s..e].iter().copied()));
+            scratch.extend(
+                col_idx[s..e]
+                    .iter()
+                    .copied()
+                    .zip(values[s..e].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < scratch.len() {
@@ -69,14 +74,30 @@ impl CsrMatrix {
             merged_ptr[r + 1] = merged_col.len() as u64;
         }
 
-        CsrMatrix { rows, cols, row_ptr: merged_ptr, col_idx: merged_col, values: merged_val }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr: merged_ptr,
+            col_idx: merged_col,
+            values: merged_val,
+        }
     }
 
     /// Build directly from raw CSR arrays (validated).
-    pub fn from_raw(rows: usize, cols: usize, row_ptr: Vec<u64>, col_idx: Vec<u32>, values: Vec<f32>) -> Self {
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<u64>,
+        col_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
         assert_eq!(row_ptr.len(), rows + 1, "row_ptr length");
         assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
-        assert_eq!(*row_ptr.last().unwrap() as usize, col_idx.len(), "row_ptr end");
+        assert_eq!(
+            *row_ptr.last().unwrap() as usize,
+            col_idx.len(),
+            "row_ptr end"
+        );
         assert_eq!(col_idx.len(), values.len(), "col/val length");
         for w in row_ptr.windows(2) {
             assert!(w[0] <= w[1], "row_ptr must be nondecreasing");
@@ -84,7 +105,13 @@ impl CsrMatrix {
         for &c in &col_idx {
             assert!((c as usize) < cols, "column index {c} out of bounds");
         }
-        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -125,7 +152,10 @@ impl CsrMatrix {
 
     /// Iterate `(col, value)` over row `r`.
     pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
-        self.row_cols(r).iter().copied().zip(self.row_values(r).iter().copied())
+        self.row_cols(r)
+            .iter()
+            .copied()
+            .zip(self.row_values(r).iter().copied())
     }
 
     /// The raw row-pointer array.
@@ -173,19 +203,25 @@ impl CsrMatrix {
                 cursor[c as usize] += 1;
             }
         }
-        CsrMatrix { rows: self.cols, cols: self.rows, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Sparse matrix–dense vector product `y = R·x`.
     pub fn spmv(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "spmv: x length");
         assert_eq!(y.len(), self.rows, "spmv: y length");
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0f32;
             for (c, v) in self.row_iter(r) {
                 acc += v * x[c as usize];
             }
-            y[r] = acc;
+            *yr = acc;
         }
     }
 
@@ -194,7 +230,11 @@ impl CsrMatrix {
         let mut entries = Vec::with_capacity(self.nnz());
         for r in 0..self.rows {
             for (c, v) in self.row_iter(r) {
-                entries.push(Entry { row: r as u32, col: c, value: v });
+                entries.push(Entry {
+                    row: r as u32,
+                    col: c,
+                    value: v,
+                });
             }
         }
         CooMatrix::from_entries(self.rows, self.cols, entries)
@@ -205,7 +245,10 @@ impl CsrMatrix {
         let mut hist = vec![0usize; buckets.len() + 1];
         for r in 0..self.rows {
             let n = self.row_nnz(r);
-            let b = buckets.iter().position(|&ub| n <= ub).unwrap_or(buckets.len());
+            let b = buckets
+                .iter()
+                .position(|&ub| n <= ub)
+                .unwrap_or(buckets.len());
             hist[b] += 1;
         }
         hist

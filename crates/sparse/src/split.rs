@@ -19,7 +19,10 @@ pub struct TrainTestSplit {
 ///
 /// Deterministic given `seed`. Every entry lands in exactly one side.
 pub fn random_split(data: &CooMatrix, test_fraction: f64, seed: u64) -> TrainTestSplit {
-    assert!((0.0..1.0).contains(&test_fraction), "test_fraction must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&test_fraction),
+        "test_fraction must be in [0, 1)"
+    );
     let mut rng = XorShift64::new(seed);
     let mut train = CooMatrix::new(data.rows(), data.cols());
     let mut test = CooMatrix::new(data.rows(), data.cols());
@@ -37,7 +40,12 @@ pub fn random_split(data: &CooMatrix, test_fraction: f64, seed: u64) -> TrainTes
 /// Hold out up to `per_row` entries from every row that has more than
 /// `min_keep` entries — a leave-k-out protocol that guarantees every user
 /// keeps training signal (used by the recommender example).
-pub fn leave_k_out_split(data: &CooMatrix, per_row: usize, min_keep: usize, seed: u64) -> TrainTestSplit {
+pub fn leave_k_out_split(
+    data: &CooMatrix,
+    per_row: usize,
+    min_keep: usize,
+    seed: u64,
+) -> TrainTestSplit {
     let mut rng = XorShift64::new(seed);
     // Bucket entries by row first.
     let mut by_row: Vec<Vec<Entry>> = vec![Vec::new(); data.rows()];
@@ -48,7 +56,11 @@ pub fn leave_k_out_split(data: &CooMatrix, per_row: usize, min_keep: usize, seed
     let mut test = CooMatrix::new(data.rows(), data.cols());
     for row in &mut by_row {
         // Fisher–Yates to pick the held-out entries uniformly.
-        let k = if row.len() > min_keep { per_row.min(row.len() - min_keep) } else { 0 };
+        let k = if row.len() > min_keep {
+            per_row.min(row.len() - min_keep)
+        } else {
+            0
+        };
         let len = row.len();
         for i in 0..k {
             let j = i + rng.next_below(len - i);
@@ -85,7 +97,11 @@ mod tests {
         let mut rng = XorShift64::new(99);
         let mut m = CooMatrix::new(rows, cols);
         for _ in 0..nnz {
-            m.push(rng.next_below(rows) as u32, rng.next_below(cols) as u32, 1.0 + rng.next_f32() * 4.0);
+            m.push(
+                rng.next_below(rows) as u32,
+                rng.next_below(cols) as u32,
+                1.0 + rng.next_f32() * 4.0,
+            );
         }
         m
     }

@@ -9,14 +9,14 @@ use std::collections::BTreeMap;
 
 fn arb_coo(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
     (1..max_dim, 1..max_dim).prop_flat_map(move |(rows, cols)| {
-        prop::collection::vec(
-            (0..rows as u32, 0..cols as u32, -10.0f32..10.0),
-            0..max_nnz,
-        )
-        .prop_map(move |trips| {
-            let entries = trips.into_iter().map(|(row, col, value)| Entry { row, col, value }).collect();
-            CooMatrix::from_entries(rows, cols, entries)
-        })
+        prop::collection::vec((0..rows as u32, 0..cols as u32, -10.0f32..10.0), 0..max_nnz)
+            .prop_map(move |trips| {
+                let entries = trips
+                    .into_iter()
+                    .map(|(row, col, value)| Entry { row, col, value })
+                    .collect();
+                CooMatrix::from_entries(rows, cols, entries)
+            })
     })
 }
 

@@ -1,0 +1,237 @@
+//! Chrome trace-event exporter (`chrome://tracing` / Perfetto JSON).
+//!
+//! Spans (phases and kernel launches) become paired `B`/`E` duration
+//! events; counters become `C` events; solver batches become `i` instants.
+//! Timestamps are **simulated** seconds converted to microseconds, the
+//! unit the trace-event format expects.
+
+use crate::event::Event;
+use serde::{Serialize, Value};
+
+/// One interval to lay out as a `B`/`E` pair.
+struct Interval {
+    name: String,
+    cat: &'static str,
+    start: f64,
+    end: f64,
+    seq: usize,
+    args: Value,
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn us(seconds: f64) -> f64 {
+    seconds * 1e6
+}
+
+/// Convert an event stream into a Chrome trace-event JSON document.
+///
+/// All spans go on one pid/tid (the simulation is a single timeline);
+/// properly nested input intervals (kernels inside phases) produce properly
+/// nested `B`/`E` pairs, enforced by a stack-based sweep.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut intervals: Vec<Interval> = Vec::new();
+    let mut out: Vec<Value> = Vec::new();
+
+    // Process metadata so the trace viewer shows a meaningful lane name.
+    out.push(obj(vec![
+        ("name", Value::Str("process_name".into())),
+        ("ph", Value::Str("M".into())),
+        ("pid", Value::Num(0.0)),
+        ("tid", Value::Num(0.0)),
+        ("args", obj(vec![("name", Value::Str("cumf-sim".into()))])),
+    ]));
+
+    for (seq, event) in events.iter().enumerate() {
+        match event {
+            Event::Phase { span } => intervals.push(Interval {
+                name: span.name.to_string(),
+                cat: "phase",
+                start: span.start,
+                end: span.end,
+                seq,
+                args: obj(vec![("duration_s", Value::Num(span.duration()))]),
+            }),
+            Event::Kernel { record } => intervals.push(Interval {
+                name: record.kernel.to_string(),
+                cat: "kernel",
+                start: record.start,
+                end: record.end(),
+                seq,
+                args: obj(vec![
+                    ("device", Value::Str(record.device.clone())),
+                    ("bound", Value::Str(record.bound.to_string())),
+                    ("grid_blocks", Value::Num(record.grid_blocks as f64)),
+                    ("block_threads", Value::Num(record.block_threads as f64)),
+                    ("occupancy", Value::Num(record.occupancy.fraction)),
+                    ("l1_hit_ratio", Value::Num(record.l1_hit_ratio)),
+                    ("l2_hit_ratio", Value::Num(record.l2_hit_ratio)),
+                    ("achieved_gflops", Value::Num(record.achieved_flops / 1e9)),
+                    (
+                        "pct_of_peak_flops",
+                        Value::Num(100.0 * record.flops_fraction_of_peak()),
+                    ),
+                    ("achieved_gbps", Value::Num(record.achieved_bandwidth / 1e9)),
+                    (
+                        "pct_of_peak_bw",
+                        Value::Num(100.0 * record.bandwidth_fraction_of_peak()),
+                    ),
+                ]),
+            }),
+            Event::Counter { sample } => out.push(obj(vec![
+                ("name", Value::Str(sample.name.to_string())),
+                ("ph", Value::Str("C".into())),
+                ("ts", Value::Num(us(sample.time))),
+                ("pid", Value::Num(0.0)),
+                ("tid", Value::Num(0.0)),
+                ("args", obj(vec![("value", Value::Num(sample.value))])),
+            ])),
+            Event::Solver { record } => out.push(obj(vec![
+                (
+                    "name",
+                    Value::Str(format!("{}[{}]", record.solver, record.side)),
+                ),
+                ("ph", Value::Str("i".into())),
+                ("ts", Value::Num(us(record.sim_time))),
+                ("pid", Value::Num(0.0)),
+                ("tid", Value::Num(0.0)),
+                ("s", Value::Str("t".into())),
+                ("args", record.to_value()),
+            ])),
+        }
+    }
+
+    // Outer spans first at equal starts, so the sweep opens the enclosing
+    // phase before the kernel it contains.
+    intervals.sort_by(|a, b| {
+        a.start
+            .partial_cmp(&b.start)
+            .unwrap()
+            .then(b.end.partial_cmp(&a.end).unwrap())
+            .then(a.seq.cmp(&b.seq))
+    });
+
+    // Stack-based sweep: close every open interval that ends at or before
+    // the next one starts, then open the next. Remaining opens close LIFO,
+    // so B/E pairs nest properly even with floating-point edge jitter.
+    let mut stack: Vec<(String, f64)> = Vec::new();
+    const EPS: f64 = 1e-12;
+    for iv in &intervals {
+        while let Some((name, end)) = stack.last() {
+            if *end <= iv.start + EPS {
+                out.push(close_event(name, *end));
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        out.push(obj(vec![
+            ("name", Value::Str(iv.name.clone())),
+            ("cat", Value::Str(iv.cat.into())),
+            ("ph", Value::Str("B".into())),
+            ("ts", Value::Num(us(iv.start))),
+            ("pid", Value::Num(0.0)),
+            ("tid", Value::Num(0.0)),
+            ("args", iv.args.clone()),
+        ]));
+        stack.push((iv.name.clone(), iv.end));
+    }
+    while let Some((name, end)) = stack.pop() {
+        out.push(close_event(&name, end));
+    }
+
+    obj(vec![
+        ("traceEvents", Value::Array(out)),
+        ("displayTimeUnit", Value::Str("ms".into())),
+    ])
+    .to_json()
+}
+
+fn close_event(name: &str, end: f64) -> Value {
+    obj(vec![
+        ("name", Value::Str(name.to_string())),
+        ("ph", Value::Str("E".into())),
+        ("ts", Value::Num(us(end))),
+        ("pid", Value::Num(0.0)),
+        ("tid", Value::Num(0.0)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CounterSample, PhaseSpan};
+
+    fn span(name: &'static str, start: f64, end: f64) -> Event {
+        Event::Phase {
+            span: PhaseSpan::new(name, start, end),
+        }
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_paired_events() {
+        let events = vec![
+            span("epoch", 0.0, 2.0),
+            span("get_hermitian-X", 0.0, 1.0),
+            span("solve-X", 1.0, 2.0),
+            Event::Counter {
+                sample: CounterSample::new("mem", 0.5, 1024.0),
+            },
+        ];
+        let json = chrome_trace(&events);
+        let v = Value::parse(&json).expect("valid JSON");
+        let trace = v.get("traceEvents").unwrap().as_array().unwrap();
+        // Every B has a matching E and nesting is proper.
+        let mut depth = 0i64;
+        for e in trace {
+            match e.get("ph").unwrap().as_str().unwrap() {
+                "B" => depth += 1,
+                "E" => {
+                    depth -= 1;
+                    assert!(depth >= 0, "E without open B");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "unclosed B events");
+        assert_eq!(
+            trace
+                .iter()
+                .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn sequential_spans_close_before_next_opens() {
+        let json = chrome_trace(&[span("a", 0.0, 1.0), span("b", 1.0, 2.0)]);
+        let v = Value::parse(&json).unwrap();
+        let names: Vec<(String, String)> = v
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| matches!(e.get("ph").unwrap().as_str(), Some("B") | Some("E")))
+            .map(|e| {
+                (
+                    e.get("ph").unwrap().as_str().unwrap().to_string(),
+                    e.get("name").unwrap().as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        let expect: Vec<(String, String)> = [("B", "a"), ("E", "a"), ("B", "b"), ("E", "b")]
+            .iter()
+            .map(|(p, n)| (p.to_string(), n.to_string()))
+            .collect();
+        assert_eq!(names, expect);
+    }
+}

@@ -1,0 +1,294 @@
+//! Typed telemetry events, all stamped with **simulated** time.
+//!
+//! Every event carries enough context to be analyzed standalone from a
+//! JSONL stream: a [`KernelLaunchRecord`] embeds the full cost model inputs
+//! and outputs (so roofline plots can be re-derived), a [`SolverRecord`]
+//! carries per-batch CG statistics (so Figure 5's solver comparison can be
+//! regenerated), and a [`CounterSample`] tracks scalar gauges like
+//! device-memory high-water marks.
+
+use cumf_gpu_sim::device::GpuSpec;
+use cumf_gpu_sim::kernel::{KernelCost, LaunchTiming};
+use cumf_gpu_sim::occupancy::Occupancy;
+use serde::Serialize;
+use std::borrow::Cow;
+
+/// One priced kernel launch: identity, geometry, the full cost-model input
+/// and output, and roofline context (achieved vs. peak rates).
+#[derive(Clone, Debug, Serialize)]
+pub struct KernelLaunchRecord {
+    /// Kernel name (e.g. `get_hermitian`, `solve_cg_fp16`).
+    pub kernel: Cow<'static, str>,
+    /// Device the launch was priced on (marketing name from [`GpuSpec`]).
+    pub device: String,
+    /// Blocks in the grid.
+    pub grid_blocks: u64,
+    /// Threads per block.
+    pub block_threads: u32,
+    /// Simulated start time, seconds.
+    pub start: f64,
+    /// Achieved occupancy (blocks/warps per SM, limiting resource).
+    pub occupancy: Occupancy,
+    /// The launch's cost description: flops, traffic, transactions, MLP.
+    pub cost: KernelCost,
+    /// All four timing bounds plus the winning time.
+    pub timing: LaunchTiming,
+    /// Which bound won: `"compute"`, `"dram"`, `"l2"`, or `"latency"`.
+    pub bound: Cow<'static, str>,
+    /// Modeled L1 hit ratio of the launch's load stream (0 when unknown).
+    pub l1_hit_ratio: f64,
+    /// Modeled L2 hit ratio of the launch's load stream (0 when unknown).
+    pub l2_hit_ratio: f64,
+    /// Achieved FLOP/s over the launch (`total_flops / time`).
+    pub achieved_flops: f64,
+    /// Device peak FLOP/s for the launch's precision mix.
+    pub peak_flops: f64,
+    /// Achieved DRAM bandwidth over the launch, bytes/s.
+    pub achieved_bandwidth: f64,
+    /// Device peak DRAM bandwidth, bytes/s.
+    pub peak_bandwidth: f64,
+}
+
+impl KernelLaunchRecord {
+    /// Build a record from a priced launch, deriving the roofline context
+    /// (bound, achieved and peak rates) from the cost, timing, and device.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kernel: impl Into<Cow<'static, str>>,
+        spec: &GpuSpec,
+        occ: Occupancy,
+        cost: KernelCost,
+        timing: LaunchTiming,
+        start: f64,
+        grid_blocks: u64,
+        block_threads: u32,
+    ) -> Self {
+        // Peak for the launch's precision mix: fp16 flops count against the
+        // device's fp16 rate, fp32 against the fp32 rate.
+        let total = cost.total_flops();
+        let peak_flops = if total > 0.0 {
+            let w16 = cost.flops_fp16 / total;
+            spec.peak_fp32_flops * (1.0 - w16) + spec.peak_fp16_flops() * w16
+        } else {
+            spec.peak_fp32_flops
+        };
+        KernelLaunchRecord {
+            kernel: kernel.into(),
+            device: spec.name.to_string(),
+            grid_blocks,
+            block_threads,
+            start,
+            occupancy: occ,
+            cost,
+            timing,
+            bound: Cow::Borrowed(timing.bound()),
+            l1_hit_ratio: 0.0,
+            l2_hit_ratio: 0.0,
+            achieved_flops: timing.achieved_flops(total),
+            peak_flops,
+            achieved_bandwidth: timing.achieved_bandwidth(cost.total_dram_bytes()),
+            peak_bandwidth: spec.dram_bandwidth,
+        }
+    }
+
+    /// Attach modeled L1/L2 hit ratios (builder-style).
+    pub fn with_cache_hit_ratios(mut self, l1: f64, l2: f64) -> Self {
+        self.l1_hit_ratio = l1;
+        self.l2_hit_ratio = l2;
+        self
+    }
+
+    /// Simulated duration of the launch, seconds.
+    pub fn duration(&self) -> f64 {
+        self.timing.time
+    }
+
+    /// Simulated end time, seconds.
+    pub fn end(&self) -> f64 {
+        self.start + self.timing.time
+    }
+
+    /// Achieved fraction of peak FLOP/s (0 when the launch does no flops).
+    pub fn flops_fraction_of_peak(&self) -> f64 {
+        if self.peak_flops > 0.0 {
+            self.achieved_flops / self.peak_flops
+        } else {
+            0.0
+        }
+    }
+
+    /// Achieved fraction of peak DRAM bandwidth.
+    pub fn bandwidth_fraction_of_peak(&self) -> f64 {
+        if self.peak_bandwidth > 0.0 {
+            self.achieved_bandwidth / self.peak_bandwidth
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A named span of simulated time: one ALS phase on one side
+/// (`get_hermitian-X`, `solve-Θ`, `rmse-eval`, …).
+#[derive(Clone, Debug, Serialize)]
+pub struct PhaseSpan {
+    /// Phase name.
+    pub name: Cow<'static, str>,
+    /// Simulated start time, seconds.
+    pub start: f64,
+    /// Simulated end time, seconds.
+    pub end: f64,
+}
+
+impl PhaseSpan {
+    /// A span `[start, end]` named `name`.
+    pub fn new(name: impl Into<Cow<'static, str>>, start: f64, end: f64) -> Self {
+        let (name, start) = (name.into(), start);
+        assert!(end >= start, "span {name} ends before it starts");
+        PhaseSpan { name, start, end }
+    }
+
+    /// Span length in simulated seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Why a batched iterative solve stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum SolverExit {
+    /// Residual dropped below tolerance before the iteration cap.
+    Converged,
+    /// The iteration cap was reached (the paper's fixed-iteration regime).
+    IterationCap,
+    /// Direct solver — no iteration at all.
+    Direct,
+}
+
+/// Per-batch statistics of one solver invocation (one side of one epoch):
+/// CG step counts, a sampled residual trajectory, early-exit accounting,
+/// and FP16 round-trip error statistics — enough to regenerate the
+/// Figure-5 solver comparison from a JSONL stream alone.
+#[derive(Clone, Debug, Serialize)]
+pub struct SolverRecord {
+    /// Solver name (`cg-fp32`, `cg-fp16`, `lu-fp32`, …).
+    pub solver: Cow<'static, str>,
+    /// Which side was solved (`X` or `Theta`).
+    pub side: Cow<'static, str>,
+    /// Epoch index (0-based).
+    pub epoch: u32,
+    /// Rows (users or items) in the batch.
+    pub rows: u64,
+    /// Total CG iterations summed over the batch (0 for direct solvers).
+    pub total_cg_iters: u64,
+    /// Mean CG iterations per row.
+    pub mean_cg_iters: f64,
+    /// Maximum CG iterations any row took.
+    pub max_cg_iters: u32,
+    /// Rows that exited early on the residual tolerance.
+    pub rows_converged: u64,
+    /// Rows that ran to the iteration cap.
+    pub rows_iteration_capped: u64,
+    /// How this batch predominantly exited.
+    pub exit: SolverExit,
+    /// Residual norms per CG step of a representative (first) row.
+    pub residual_trajectory: Vec<f64>,
+    /// RMS of the FP16 round-trip error over sampled matrix entries
+    /// (0 for FP32 solvers).
+    pub fp16_roundtrip_rms: f64,
+    /// Largest absolute FP16 round-trip error over sampled entries.
+    pub fp16_roundtrip_max: f64,
+    /// Simulated time at which the batch solve completed.
+    pub sim_time: f64,
+}
+
+/// A scalar gauge sample (device-memory high-water, cumulative interconnect
+/// bytes, cache hit ratios, …) at one simulated instant.
+#[derive(Clone, Debug, Serialize)]
+pub struct CounterSample {
+    /// Counter name (e.g. `device_mem_bytes`, `interconnect_bytes`).
+    pub name: Cow<'static, str>,
+    /// Simulated time of the sample, seconds.
+    pub time: f64,
+    /// The sampled value.
+    pub value: f64,
+}
+
+impl CounterSample {
+    /// A sample of `name` = `value` at simulated `time`.
+    pub fn new(name: impl Into<Cow<'static, str>>, time: f64, value: f64) -> Self {
+        CounterSample {
+            name: name.into(),
+            time,
+            value,
+        }
+    }
+}
+
+/// Any telemetry event — the unit the recorder pipeline moves around.
+#[derive(Clone, Debug, Serialize)]
+pub enum Event {
+    /// A priced kernel launch.
+    Kernel {
+        /// The launch record.
+        record: KernelLaunchRecord,
+    },
+    /// A phase span.
+    Phase {
+        /// The span.
+        span: PhaseSpan,
+    },
+    /// A batched solver invocation.
+    Solver {
+        /// The solver statistics.
+        record: SolverRecord,
+    },
+    /// A scalar gauge sample.
+    Counter {
+        /// The sample.
+        sample: CounterSample,
+    },
+}
+
+impl Event {
+    /// The kernel record, if this is a kernel event.
+    pub fn as_kernel(&self) -> Option<&KernelLaunchRecord> {
+        match self {
+            Event::Kernel { record } => Some(record),
+            _ => None,
+        }
+    }
+
+    /// The phase span, if this is a phase event.
+    pub fn as_phase(&self) -> Option<&PhaseSpan> {
+        match self {
+            Event::Phase { span } => Some(span),
+            _ => None,
+        }
+    }
+
+    /// The solver record, if this is a solver event.
+    pub fn as_solver(&self) -> Option<&SolverRecord> {
+        match self {
+            Event::Solver { record } => Some(record),
+            _ => None,
+        }
+    }
+
+    /// The counter sample, if this is a counter event.
+    pub fn as_counter(&self) -> Option<&CounterSample> {
+        match self {
+            Event::Counter { sample } => Some(sample),
+            _ => None,
+        }
+    }
+
+    /// Simulated timestamp of the event (start time for spans/kernels).
+    pub fn timestamp(&self) -> f64 {
+        match self {
+            Event::Kernel { record } => record.start,
+            Event::Phase { span } => span.start,
+            Event::Solver { record } => record.sim_time,
+            Event::Counter { sample } => sample.time,
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! JSONL metrics exporter: one self-describing JSON object per line.
+//!
+//! Each line is one [`Event`], serialized with its `"type"` tag
+//! (`Kernel` / `Phase` / `Solver` / `Counter`), so a downstream script can
+//! stream-filter with nothing but a JSON parser — e.g. pull every `Solver`
+//! line to regenerate the Figure-5 comparison.
+
+use crate::event::Event;
+use serde::Serialize;
+
+/// Serialize events as JSON Lines (one event per line, `\n`-terminated).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event.to_value().to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CounterSample, PhaseSpan};
+    use serde::Value;
+
+    #[test]
+    fn one_tagged_object_per_line() {
+        let events = vec![
+            Event::Phase {
+                span: PhaseSpan::new("solve-X", 0.0, 1.5),
+            },
+            Event::Counter {
+                sample: CounterSample::new("mem", 1.5, 4096.0),
+            },
+        ];
+        let jsonl = to_jsonl(&events);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Value::parse(lines[0]).unwrap();
+        assert_eq!(first.get("type").unwrap().as_str(), Some("Phase"));
+        assert_eq!(
+            first.get("span").unwrap().get("name").unwrap().as_str(),
+            Some("solve-X")
+        );
+        let second = Value::parse(lines[1]).unwrap();
+        assert_eq!(second.get("type").unwrap().as_str(), Some("Counter"));
+        assert_eq!(
+            second.get("sample").unwrap().get("value").unwrap().as_f64(),
+            Some(4096.0)
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! The recorder abstraction: instrumentation sites hold a `&dyn Recorder`
+//! and stay on the zero-cost path unless a real sink is attached.
+//!
+//! The contract instrumented code follows:
+//!
+//! 1. check [`Recorder::enabled`] **before** building an event (building a
+//!    [`KernelLaunchRecord`](crate::KernelLaunchRecord) allocates);
+//! 2. never branch *simulation* logic on the recorder — simulated times and
+//!    model outputs must be bit-identical whether or not anyone is
+//!    listening.
+
+use crate::event::{CounterSample, Event, KernelLaunchRecord, PhaseSpan, SolverRecord};
+use parking_lot::Mutex;
+
+/// A sink for telemetry events.
+pub trait Recorder: Sync {
+    /// Whether events will be kept. Instrumentation sites must check this
+    /// before constructing events, so a disabled recorder costs one virtual
+    /// call and a branch per site.
+    fn enabled(&self) -> bool;
+
+    /// Accept one event. May be called from parallel workers; implementors
+    /// must synchronize internally.
+    fn record(&self, event: Event);
+
+    /// Record a kernel launch (convenience).
+    fn kernel(&self, record: KernelLaunchRecord) {
+        self.record(Event::Kernel { record });
+    }
+
+    /// Record a phase span (convenience).
+    fn phase(&self, span: PhaseSpan) {
+        self.record(Event::Phase { span });
+    }
+
+    /// Record a solver batch (convenience).
+    fn solver(&self, record: SolverRecord) {
+        self.record(Event::Solver { record });
+    }
+
+    /// Record a counter sample (convenience).
+    fn counter(&self, sample: CounterSample) {
+        self.record(Event::Counter { sample });
+    }
+}
+
+/// The do-nothing recorder: `enabled()` is `false`, events are dropped.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+/// A shared static no-op recorder, for APIs that default to "not profiling"
+/// without forcing callers to own a sink.
+pub static NOOP: NoopRecorder = NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: Event) {}
+}
+
+/// An in-memory recorder: appends every event to a mutex-guarded vector,
+/// in arrival order. The exporters ([`crate::chrome`], [`crate::jsonl`],
+/// [`crate::summary`]) consume its snapshot.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all events recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Drain all events, leaving the recorder empty.
+    pub fn take_events(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock())
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All kernel launch records, in arrival order.
+    pub fn kernel_records(&self) -> Vec<KernelLaunchRecord> {
+        self.events
+            .lock()
+            .iter()
+            .filter_map(|e| e.as_kernel().cloned())
+            .collect()
+    }
+
+    /// All phase spans, in arrival order.
+    pub fn phase_spans(&self) -> Vec<PhaseSpan> {
+        self.events
+            .lock()
+            .iter()
+            .filter_map(|e| e.as_phase().cloned())
+            .collect()
+    }
+
+    /// All solver records, in arrival order.
+    pub fn solver_records(&self) -> Vec<SolverRecord> {
+        self.events
+            .lock()
+            .iter()
+            .filter_map(|e| e.as_solver().cloned())
+            .collect()
+    }
+
+    /// All counter samples, in arrival order.
+    pub fn counter_samples(&self) -> Vec<CounterSample> {
+        self.events
+            .lock()
+            .iter()
+            .filter_map(|e| e.as_counter().cloned())
+            .collect()
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: Event) {
+        self.events.lock().push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_drops_everything() {
+        assert!(!NOOP.enabled());
+        NOOP.counter(CounterSample::new("x", 0.0, 1.0));
+    }
+
+    #[test]
+    fn memory_recorder_keeps_order_and_filters() {
+        let rec = MemoryRecorder::new();
+        assert!(rec.is_empty());
+        rec.counter(CounterSample::new("mem", 0.0, 42.0));
+        rec.phase(PhaseSpan::new("solve-X", 0.0, 1.0));
+        rec.counter(CounterSample::new("mem", 1.0, 84.0));
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.counter_samples().len(), 2);
+        assert_eq!(rec.phase_spans()[0].name, "solve-X");
+        assert_eq!(rec.events()[0].timestamp(), 0.0);
+        assert_eq!(rec.take_events().len(), 3);
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn recorder_is_object_safe() {
+        let mem = MemoryRecorder::new();
+        let as_dyn: &dyn Recorder = &mem;
+        as_dyn.counter(CounterSample::new("c", 0.5, 1.0));
+        assert_eq!(mem.len(), 1);
+        let noop_dyn: &dyn Recorder = &NOOP;
+        assert!(!noop_dyn.enabled());
+    }
+}

@@ -1,0 +1,236 @@
+//! The nvprof-style per-kernel summary table.
+//!
+//! Aggregates [`KernelLaunchRecord`]s by kernel name into call counts,
+//! total/average simulated time, share of the profiled run, the dominant
+//! bound classification, aggregate arithmetic intensity, cache hit ratios,
+//! and achieved-vs-peak fractions — the columns `nvprof --print-gpu-summary`
+//! and a roofline analysis would give you on real hardware.
+
+use crate::event::{Event, KernelLaunchRecord};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Aggregated statistics for one kernel across all its launches.
+#[derive(Clone, Debug, Serialize)]
+pub struct KernelSummaryRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Number of launches.
+    pub calls: u64,
+    /// Total simulated time, seconds.
+    pub total_time: f64,
+    /// Average simulated time per launch, seconds.
+    pub avg_time: f64,
+    /// Share of summed kernel time across the whole profile, in \[0, 1\].
+    pub time_fraction: f64,
+    /// Dominant bound over the launches, weighted by time:
+    /// `"compute"`, `"dram"`, `"l2"`, or `"latency"`.
+    pub bound: String,
+    /// Aggregate arithmetic intensity: total flops / total DRAM bytes.
+    pub arithmetic_intensity: f64,
+    /// Time-weighted mean L1 hit ratio.
+    pub l1_hit_ratio: f64,
+    /// Time-weighted mean L2 hit ratio.
+    pub l2_hit_ratio: f64,
+    /// Time-weighted mean achieved fraction of peak FLOP/s.
+    pub flops_fraction_of_peak: f64,
+    /// Time-weighted mean achieved fraction of peak DRAM bandwidth.
+    pub bandwidth_fraction_of_peak: f64,
+}
+
+/// Aggregate kernel launch records into per-kernel summary rows, sorted by
+/// descending total time (nvprof's default ordering).
+pub fn kernel_summary(records: &[KernelLaunchRecord]) -> Vec<KernelSummaryRow> {
+    struct Acc {
+        calls: u64,
+        total_time: f64,
+        flops: f64,
+        dram_bytes: f64,
+        bound_time: BTreeMap<&'static str, f64>,
+        l1_weighted: f64,
+        l2_weighted: f64,
+        flops_frac_weighted: f64,
+        bw_frac_weighted: f64,
+    }
+    let mut by_kernel: BTreeMap<String, Acc> = BTreeMap::new();
+    for r in records {
+        let acc = by_kernel.entry(r.kernel.to_string()).or_insert(Acc {
+            calls: 0,
+            total_time: 0.0,
+            flops: 0.0,
+            dram_bytes: 0.0,
+            bound_time: BTreeMap::new(),
+            l1_weighted: 0.0,
+            l2_weighted: 0.0,
+            flops_frac_weighted: 0.0,
+            bw_frac_weighted: 0.0,
+        });
+        let t = r.duration();
+        acc.calls += 1;
+        acc.total_time += t;
+        acc.flops += r.cost.total_flops();
+        acc.dram_bytes += r.cost.total_dram_bytes();
+        *acc.bound_time.entry(r.timing.bound()).or_insert(0.0) += t;
+        acc.l1_weighted += r.l1_hit_ratio * t;
+        acc.l2_weighted += r.l2_hit_ratio * t;
+        acc.flops_frac_weighted += r.flops_fraction_of_peak() * t;
+        acc.bw_frac_weighted += r.bandwidth_fraction_of_peak() * t;
+    }
+
+    let grand_total: f64 = by_kernel.values().map(|a| a.total_time).sum();
+    let mut rows: Vec<KernelSummaryRow> = by_kernel
+        .into_iter()
+        .map(|(kernel, acc)| {
+            let t = acc.total_time;
+            let norm = if t > 0.0 { t } else { 1.0 };
+            let bound = acc
+                .bound_time
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(b, _)| b.to_string())
+                .unwrap_or_else(|| "latency".to_string());
+            KernelSummaryRow {
+                kernel,
+                calls: acc.calls,
+                total_time: t,
+                avg_time: t / acc.calls as f64,
+                time_fraction: if grand_total > 0.0 {
+                    t / grand_total
+                } else {
+                    0.0
+                },
+                bound,
+                arithmetic_intensity: if acc.dram_bytes > 0.0 {
+                    acc.flops / acc.dram_bytes
+                } else {
+                    f64::INFINITY
+                },
+                l1_hit_ratio: acc.l1_weighted / norm,
+                l2_hit_ratio: acc.l2_weighted / norm,
+                flops_fraction_of_peak: acc.flops_frac_weighted / norm,
+                bandwidth_fraction_of_peak: acc.bw_frac_weighted / norm,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.total_time.partial_cmp(&a.total_time).unwrap());
+    rows
+}
+
+/// Aggregate the kernel events of a full event stream (convenience).
+pub fn summarize_events(events: &[Event]) -> Vec<KernelSummaryRow> {
+    let records: Vec<KernelLaunchRecord> = events
+        .iter()
+        .filter_map(|e| e.as_kernel().cloned())
+        .collect();
+    kernel_summary(&records)
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3}s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3}ms", seconds * 1e3)
+    } else {
+        format!("{:.3}us", seconds * 1e6)
+    }
+}
+
+/// Render summary rows as an aligned, nvprof-flavoured text table.
+pub fn render_summary(rows: &[KernelSummaryRow]) -> String {
+    let mut out = String::new();
+    out.push_str("==PROF== Simulated GPU kernel summary\n");
+    out.push_str(&format!(
+        "{:>8} {:>10} {:>6} {:>10} {:>8} {:>8} {:>7} {:>7} {:>8} {:>8}  {}\n",
+        "Time(%)",
+        "Total",
+        "Calls",
+        "Avg",
+        "Bound",
+        "AI",
+        "L1hit",
+        "L2hit",
+        "%peakF",
+        "%peakBW",
+        "Name"
+    ));
+    for r in rows {
+        let ai = if r.arithmetic_intensity.is_finite() {
+            format!("{:.1}", r.arithmetic_intensity)
+        } else {
+            "inf".to_string()
+        };
+        out.push_str(&format!(
+            "{:>7.2}% {:>10} {:>6} {:>10} {:>8} {:>8} {:>6.1}% {:>6.1}% {:>7.1}% {:>7.1}%  {}\n",
+            100.0 * r.time_fraction,
+            fmt_time(r.total_time),
+            r.calls,
+            fmt_time(r.avg_time),
+            r.bound,
+            ai,
+            100.0 * r.l1_hit_ratio,
+            100.0 * r.l2_hit_ratio,
+            100.0 * r.flops_fraction_of_peak,
+            100.0 * r.bandwidth_fraction_of_peak,
+            r.kernel,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_gpu_sim::device::GpuSpec;
+    use cumf_gpu_sim::kernel::{launch_time, KernelCost};
+    use cumf_gpu_sim::occupancy::{occupancy, KernelResources};
+
+    fn record(kernel: &'static str, flops: f64, start: f64) -> KernelLaunchRecord {
+        let spec = GpuSpec::maxwell_titan_x();
+        let occ = occupancy(
+            &spec,
+            &KernelResources {
+                regs_per_thread: 32,
+                threads_per_block: 256,
+                shared_mem_per_block: 0,
+            },
+        );
+        let cost = KernelCost {
+            flops_fp32: flops,
+            dram_read_bytes: 1e9,
+            mlp: 8.0,
+            pipe_efficiency: 0.5,
+            ..Default::default()
+        };
+        let timing = launch_time(&spec, &occ, &cost);
+        KernelLaunchRecord::new(kernel, &spec, occ, cost, timing, start, 1024, 256)
+            .with_cache_hit_ratios(0.8, 0.5)
+    }
+
+    #[test]
+    fn summary_aggregates_by_kernel_and_sorts_by_time() {
+        let records = vec![
+            record("get_hermitian", 2e12, 0.0),
+            record("solve_cg", 1e10, 1.0),
+            record("get_hermitian", 2e12, 2.0),
+        ];
+        let rows = kernel_summary(&records);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].kernel, "get_hermitian");
+        assert_eq!(rows[0].calls, 2);
+        assert!(rows[0].total_time > rows[1].total_time);
+        let total: f64 = rows.iter().map(|r| r.time_fraction).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((rows[0].l1_hit_ratio - 0.8).abs() < 1e-12);
+        assert_eq!(rows[0].bound, "compute");
+    }
+
+    #[test]
+    fn render_mentions_every_kernel_and_classification() {
+        let rows = kernel_summary(&[record("get_hermitian", 2e12, 0.0)]);
+        let table = render_summary(&rows);
+        assert!(table.contains("get_hermitian"));
+        assert!(table.contains("compute"));
+        assert!(table.contains("Time(%)"));
+        assert!(table.contains("L1hit"));
+    }
+}

@@ -23,11 +23,19 @@ fn main() {
         data.train_nnz()
     );
 
-    let config = ImplicitAlsConfig { f: 16, iterations: 6, alpha: 20.0, ..ImplicitAlsConfig::default() };
+    let config = ImplicitAlsConfig {
+        f: 16,
+        iterations: 6,
+        alpha: 20.0,
+        ..ImplicitAlsConfig::default()
+    };
     let mut trainer = ImplicitAlsTrainer::new(&data, config, GpuSpec::maxwell_titan_x());
     let reports = trainer.train();
 
-    println!("\n{:>6} {:>16} {:>12}", "sweep", "objective", "sim time (s)");
+    println!(
+        "\n{:>6} {:>16} {:>12}",
+        "sweep", "objective", "sim time (s)"
+    );
     for r in &reports {
         println!("{:>6} {:>16.1} {:>12.2}", r.epoch, r.objective, r.sim_time);
     }
@@ -47,10 +55,21 @@ fn main() {
 
     // Sanity property the paper relies on: interacted items should rank
     // above the median unseen item.
-    let seen_mean: f32 = ranked.iter().filter(|(v, _)| seen.contains(v)).map(|(_, s)| s).sum::<f32>()
+    let seen_mean: f32 = ranked
+        .iter()
+        .filter(|(v, _)| seen.contains(v))
+        .map(|(_, s)| s)
+        .sum::<f32>()
         / seen.len().max(1) as f32;
-    let unseen_mean: f32 = ranked.iter().filter(|(v, _)| !seen.contains(v)).map(|(_, s)| s).sum::<f32>()
+    let unseen_mean: f32 = ranked
+        .iter()
+        .filter(|(v, _)| !seen.contains(v))
+        .map(|(_, s)| s)
+        .sum::<f32>()
         / (ranked.len() - seen.len()).max(1) as f32;
     println!("\nmean preference — interacted: {seen_mean:.3}, unseen: {unseen_mean:.3}");
-    assert!(seen_mean > unseen_mean, "one-class training must separate the classes");
+    assert!(
+        seen_mean > unseen_mean,
+        "one-class training must separate the classes"
+    );
 }

@@ -32,10 +32,19 @@ fn main() {
         ..base
     };
 
-    let config = AlsConfig { f: 16, iterations: 8, rmse_target: None, ..AlsConfig::for_profile(&data.profile) };
+    let config = AlsConfig {
+        f: 16,
+        iterations: 8,
+        rmse_target: None,
+        ..AlsConfig::for_profile(&data.profile)
+    };
     let mut trainer = AlsTrainer::new(&data, config, GpuSpec::maxwell_titan_x(), 1);
     let report = trainer.train();
-    println!("trained {} epochs, leave-2-out RMSE {:.3}", report.epochs.len(), report.final_rmse());
+    println!(
+        "trained {} epochs, leave-2-out RMSE {:.3}",
+        report.epochs.len(),
+        report.final_rmse()
+    );
 
     // Top-N recommendation: score every unseen item for a user.
     let user = (0..data.m()).max_by_key(|&u| data.r.row_nnz(u)).unwrap();
@@ -45,7 +54,10 @@ fn main() {
         .map(|v| (v, dot(trainer.x.row(user), trainer.theta.row(v as usize))))
         .collect();
     scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    println!("\ntop-5 recommendations for user {user} ({} ratings in history):", seen.len());
+    println!(
+        "\ntop-5 recommendations for user {user} ({} ratings in history):",
+        seen.len()
+    );
     for (v, score) in scored.iter().take(5) {
         println!("  item {v:>4}  predicted rating {score:.2}");
     }
@@ -66,10 +78,17 @@ fn main() {
             hits += 1;
         }
     }
-    println!("\nhit-rate@20 over {total} held-out ratings: {:.1}%", 100.0 * hits as f64 / total as f64);
+    println!(
+        "\nhit-rate@20 over {total} held-out ratings: {:.1}%",
+        100.0 * hits as f64 / total as f64
+    );
 
     // Cold user: no history → zero factors → fall back to popularity.
-    let cold_scores: Vec<f32> = (0..data.n()).map(|v| dot(&vec![0.0; 16], trainer.theta.row(v))).collect();
+    let cold_scores: Vec<f32> = (0..data.n())
+        .map(|v| dot(&[0.0; 16], trainer.theta.row(v)))
+        .collect();
     assert!(cold_scores.iter().all(|&s| s == 0.0));
-    println!("cold users score 0 everywhere → serve popularity fallback (as production systems do).");
+    println!(
+        "cold users score 0 everywhere → serve popularity fallback (as production systems do)."
+    );
 }

@@ -29,7 +29,11 @@ fn main() {
         );
         let mut base_epoch = None;
         for gpus in [1u32, 2, 4] {
-            let config = AlsConfig { iterations: 1, rmse_target: None, ..AlsConfig::for_profile(&data.profile) };
+            let config = AlsConfig {
+                iterations: 1,
+                rmse_target: None,
+                ..AlsConfig::for_profile(&data.profile)
+            };
             let mut trainer = AlsTrainer::new(&data, config, spec.clone(), gpus);
             let fits = trainer.device_bytes_per_gpu() <= spec.dram_capacity;
             let (phases, _) = trainer.run_epoch();

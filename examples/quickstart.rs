@@ -26,25 +26,44 @@ fn main() {
     // 2. Configure. `for_profile` gives the paper's settings (f=100, λ from
     //    Table II, CG solver with fs=6 + FP16, non-coalesced loads); we
     //    shrink f for a fast demo.
-    let config = AlsConfig { f: 16, iterations: 10, ..AlsConfig::for_profile(&data.profile) };
+    let config = AlsConfig {
+        f: 16,
+        iterations: 10,
+        ..AlsConfig::for_profile(&data.profile)
+    };
 
     // 3. Train on a simulated Maxwell Titan X.
     let mut trainer = AlsTrainer::new(&data, config, GpuSpec::maxwell_titan_x(), 1);
     let report = trainer.train();
 
     // 4. Inspect.
-    println!("\n{:>5} {:>12} {:>10} {:>9}", "epoch", "sim time (s)", "test RMSE", "CG iters");
+    println!(
+        "\n{:>5} {:>12} {:>10} {:>9}",
+        "epoch", "sim time (s)", "test RMSE", "CG iters"
+    );
     for e in &report.epochs {
-        println!("{:>5} {:>12.3} {:>10.4} {:>9.2}", e.epoch, e.sim_time, e.test_rmse, e.mean_cg_iters);
+        println!(
+            "{:>5} {:>12.3} {:>10.4} {:>9.2}",
+            e.epoch, e.sim_time, e.test_rmse, e.mean_cg_iters
+        );
     }
     match report.time_to_target {
-        Some(t) => println!("\nreached RMSE target {} at simulated {t:.2}s", data.profile.rmse_target),
+        Some(t) => println!(
+            "\nreached RMSE target {} at simulated {t:.2}s",
+            data.profile.rmse_target
+        ),
         None => println!("\nfinal RMSE {:.4}", report.final_rmse()),
     }
 
     // 5. Use the model: predict a held-out rating.
     if let Some(entry) = data.test.entries().first() {
-        let pred = cumf_als::metrics::predict(trainer.x.row(entry.row as usize), trainer.theta.row(entry.col as usize));
-        println!("sample prediction: user {} item {} → {pred:.2} (actual {:.2})", entry.row, entry.col, entry.value);
+        let pred = cumf_als::metrics::predict(
+            trainer.x.row(entry.row as usize),
+            trainer.theta.row(entry.col as usize),
+        );
+        println!(
+            "sample prediction: user {} item {} → {pred:.2} (actual {:.2})",
+            entry.row, entry.col, entry.value
+        );
     }
 }

@@ -24,17 +24,31 @@ fn main() {
         data.train_nnz()
     );
 
-    let config = AlsConfig { f, iterations: 8, rmse_target: None, ..AlsConfig::for_profile(&data.profile) };
+    let config = AlsConfig {
+        f,
+        iterations: 8,
+        rmse_target: None,
+        ..AlsConfig::for_profile(&data.profile)
+    };
     let mut trainer = AlsTrainer::new(&data, config, GpuSpec::pascal_p100(), 1);
     let report = trainer.train();
-    println!("factorized to rank {f} in {} epochs, reconstruction RMSE {:.3}\n", report.epochs.len(), report.final_rmse());
+    println!(
+        "factorized to rank {f} in {} epochs, reconstruction RMSE {:.3}\n",
+        report.epochs.len(),
+        report.final_rmse()
+    );
 
     // Topics: the highest-loading terms of each latent dimension.
     for topic in 0..3 {
-        let mut loadings: Vec<(usize, f32)> =
-            (0..data.n()).map(|t| (t, trainer.theta.get(t, topic))).collect();
+        let mut loadings: Vec<(usize, f32)> = (0..data.n())
+            .map(|t| (t, trainer.theta.get(t, topic)))
+            .collect();
         loadings.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
-        let terms: Vec<String> = loadings.iter().take(6).map(|(t, w)| format!("term{t}({w:+.2})")).collect();
+        let terms: Vec<String> = loadings
+            .iter()
+            .take(6)
+            .map(|(t, w)| format!("term{t}({w:+.2})"))
+            .collect();
         println!("topic {topic}: {}", terms.join(" "));
     }
 

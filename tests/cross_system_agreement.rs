@@ -20,7 +20,12 @@ fn data() -> MfDataset {
 }
 
 fn als_rmse(data: &MfDataset) -> f64 {
-    let cfg = AlsConfig { f: F, iterations: 8, rmse_target: None, ..AlsConfig::for_profile(&data.profile) };
+    let cfg = AlsConfig {
+        f: F,
+        iterations: 8,
+        rmse_target: None,
+        ..AlsConfig::for_profile(&data.profile)
+    };
     let mut t = AlsTrainer::new(data, cfg, GpuSpec::maxwell_titan_x(), 1);
     t.train().final_rmse()
 }
@@ -31,12 +36,18 @@ fn every_system_reaches_comparable_quality() {
     let reference = als_rmse(&data);
 
     // GPU-ALS baseline (exact solver) — must match cuMF_ALS closely.
-    let gpu_als = GpuAlsBaseline { spec: GpuSpec::maxwell_titan_x(), gpus: 1 }
-        .train_with_f(&data, 8, F)
-        .curve
-        .best_rmse()
-        .unwrap();
-    assert!((gpu_als - reference).abs() < 0.03, "GPU-ALS {gpu_als} vs cuMF {reference}");
+    let gpu_als = GpuAlsBaseline {
+        spec: GpuSpec::maxwell_titan_x(),
+        gpus: 1,
+    }
+    .train_with_f(&data, 8, F)
+    .curve
+    .best_rmse()
+    .unwrap();
+    assert!(
+        (gpu_als - reference).abs() < 0.03,
+        "GPU-ALS {gpu_als} vs cuMF {reference}"
+    );
 
     // Blocked SGD.
     let sgd_cfg = SgdConfig::new(F, 0.05);
@@ -46,29 +57,54 @@ fn every_system_reaches_comparable_quality() {
         blocked_epoch(&grid, &mut model, &sgd_cfg, k);
     }
     let sgd = sgd_test_rmse(&model, &data.test);
-    assert!((sgd - reference).abs() < 0.12, "SGD {sgd} vs ALS {reference}");
+    assert!(
+        (sgd - reference).abs() < 0.12,
+        "SGD {sgd} vs ALS {reference}"
+    );
 
     // Hogwild GPU-SGD.
     let mut gsgd = GpuSgd::paper_setup(GpuSpec::maxwell_titan_x(), 1, F, &data.profile);
     gsgd.config = SgdConfig::new(F, 0.05);
     let hog = gsgd.train(&data, 30).curve.best_rmse().unwrap();
-    assert!((hog - reference).abs() < 0.12, "Hogwild {hog} vs ALS {reference}");
+    assert!(
+        (hog - reference).abs() < 0.12,
+        "Hogwild {hog} vs ALS {reference}"
+    );
 
     // CCD++.
-    let mut ccd = CcdTrainer::new(&data, CcdConfig { f: F, lambda: 0.05, inner: 1, seed: 1 }, CpuSpec::power8());
+    let mut ccd = CcdTrainer::new(
+        &data,
+        CcdConfig {
+            f: F,
+            lambda: 0.05,
+            inner: 1,
+            seed: 1,
+        },
+        CpuSpec::power8(),
+    );
     let ccd_rmse = ccd.train(12).best_rmse().unwrap();
-    assert!((ccd_rmse - reference).abs() < 0.12, "CCD++ {ccd_rmse} vs ALS {reference}");
+    assert!(
+        (ccd_rmse - reference).abs() < 0.12,
+        "CCD++ {ccd_rmse} vs ALS {reference}"
+    );
 }
 
 #[test]
 fn bidmach_generic_kernels_agree_with_fused_everywhere() {
     let data = data();
-    let bid = BidMach { spec: GpuSpec::maxwell_titan_x(), f: F, lambda: 0.05 };
+    let bid = BidMach {
+        spec: GpuSpec::maxwell_titan_x(),
+        f: F,
+        lambda: 0.05,
+    };
     let mut rng = cumf_numeric::stats::XorShift64::new(9);
     let mut features = DenseMatrix::zeros(data.n(), F);
     features.fill_with(|| rng.next_f32() - 0.5);
     for row in 0..data.m().min(200) {
-        assert!(bid.matches_fused(&data.r, &features, row), "row {row} disagrees");
+        assert!(
+            bid.matches_fused(&data.r, &features, row),
+            "row {row} disagrees"
+        );
     }
 }
 
@@ -100,7 +136,12 @@ fn als_trainer_factors_solve_their_own_normal_equations() {
         a.matvec(t.x.row(u), &mut ax);
         for i in 0..F {
             let tol = 5e-2f32.max(0.02 * b[i].abs());
-            assert!((ax[i] - b[i]).abs() < tol, "row {u} dim {i}: {} vs {}", ax[i], b[i]);
+            assert!(
+                (ax[i] - b[i]).abs() < tol,
+                "row {u} dim {i}: {} vs {}",
+                ax[i],
+                b[i]
+            );
         }
     }
 }

@@ -3,7 +3,7 @@
 //! results.
 
 use cumf_als::{AlsConfig, AlsTrainer, Precision, SolverKind};
-use cumf_datasets::{DatasetProfile, MfDataset, SizeClass};
+use cumf_datasets::{DatasetProfile, MfDataset};
 use cumf_gpu_sim::GpuSpec;
 use cumf_sparse::coo::CooMatrix;
 use cumf_sparse::csr::CsrMatrix;
@@ -66,13 +66,20 @@ fn handles_rank_deficient_rows() {
     for solver in [
         SolverKind::BatchLu,
         SolverKind::BatchCholesky,
-        SolverKind::Cg { fs: 8, tolerance: 1e-6, precision: Precision::Fp32 },
+        SolverKind::Cg {
+            fs: 8,
+            tolerance: 1e-6,
+            precision: Precision::Fp32,
+        },
     ] {
         let mut cfg = tiny_cfg(4);
         cfg.solver = solver;
         let mut t = AlsTrainer::new(&data, cfg, GpuSpec::maxwell_titan_x(), 1);
         t.train();
-        assert!(t.x.as_slice().iter().all(|v| v.is_finite()), "{solver:?} produced non-finite factors");
+        assert!(
+            t.x.as_slice().iter().all(|v| v.is_finite()),
+            "{solver:?} produced non-finite factors"
+        );
     }
 }
 
@@ -83,7 +90,11 @@ fn extreme_ratings_stay_finite_under_fp16() {
     let entries: Vec<(u32, u32, f32)> = (0..20).map(|i| (i % 4, i % 3, 3.0e4)).collect();
     let data = dataset_from(4, 3, &entries);
     let mut cfg = tiny_cfg(4);
-    cfg.solver = SolverKind::Cg { fs: 8, tolerance: 1e-4, precision: Precision::Fp16 };
+    cfg.solver = SolverKind::Cg {
+        fs: 8,
+        tolerance: 1e-4,
+        precision: Precision::Fp16,
+    };
     let mut t = AlsTrainer::new(&data, cfg, GpuSpec::pascal_p100(), 1);
     t.train();
     assert!(t.x.as_slice().iter().all(|v| v.is_finite()));
@@ -94,8 +105,14 @@ fn extreme_ratings_stay_finite_under_fp16() {
 fn f_larger_than_dimensions_is_fine() {
     // f = 16 latent dimensions on a 5×4 matrix: heavily overparameterized
     // but regularized — must stay finite and fit the data.
-    let entries: Vec<(u32, u32, f32)> =
-        vec![(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0), (3, 3, 4.0), (4, 0, 5.0), (0, 1, 2.5)];
+    let entries: Vec<(u32, u32, f32)> = vec![
+        (0, 0, 1.0),
+        (1, 1, 2.0),
+        (2, 2, 3.0),
+        (3, 3, 4.0),
+        (4, 0, 5.0),
+        (0, 1, 2.5),
+    ];
     let data = dataset_from(5, 4, &entries);
     let mut t = AlsTrainer::new(&data, tiny_cfg(16), GpuSpec::maxwell_titan_x(), 1);
     t.train();

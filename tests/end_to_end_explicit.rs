@@ -7,12 +7,19 @@ use cumf_gpu_sim::memory::LoadPattern;
 use cumf_gpu_sim::GpuSpec;
 
 fn fast(data: &MfDataset, f: usize) -> AlsConfig {
-    AlsConfig { f, iterations: 6, rmse_target: None, ..AlsConfig::for_profile(&data.profile) }
+    AlsConfig {
+        f,
+        iterations: 6,
+        rmse_target: None,
+        ..AlsConfig::for_profile(&data.profile)
+    }
 }
+
+type DatasetMaker = fn(SizeClass, u64) -> MfDataset;
 
 #[test]
 fn all_three_datasets_converge() {
-    let makers: [(fn(SizeClass, u64) -> MfDataset, f64); 3] = [
+    let makers: [(DatasetMaker, f64); 3] = [
         (MfDataset::netflix, 1.05),
         (MfDataset::yahoo_music, 24.0),
         (MfDataset::hugewiki, 0.75),
@@ -31,7 +38,10 @@ fn all_three_datasets_converge() {
         // Simulated time is positive and phases decompose it.
         let e = report.epochs.last().unwrap();
         let sum: f64 = report.epochs.iter().map(|e| e.phases.total()).sum();
-        assert!((sum - e.sim_time).abs() < 1e-9, "phase sums must equal the clock");
+        assert!(
+            (sum - e.sim_time).abs() < 1e-9,
+            "phase sums must equal the clock"
+        );
     }
 }
 
@@ -39,7 +49,11 @@ fn all_three_datasets_converge() {
 fn load_pattern_never_changes_results_only_time() {
     let data = MfDataset::netflix(SizeClass::Tiny, 6);
     let mut results = Vec::new();
-    for pattern in [LoadPattern::NonCoalescedL1, LoadPattern::NonCoalescedNoL1, LoadPattern::Coalesced] {
+    for pattern in [
+        LoadPattern::NonCoalescedL1,
+        LoadPattern::NonCoalescedNoL1,
+        LoadPattern::Coalesced,
+    ] {
         let mut cfg = fast(&data, 8);
         cfg.load_pattern = pattern;
         let mut t = AlsTrainer::new(&data, cfg, GpuSpec::maxwell_titan_x(), 1);
@@ -49,7 +63,10 @@ fn load_pattern_never_changes_results_only_time() {
     // Identical RMSE (bitwise-identical math), different times.
     assert_eq!(results[0].1, results[1].1);
     assert_eq!(results[0].1, results[2].1);
-    assert!(results[0].2 < results[2].2, "nonCoal-L1 must be faster than coal");
+    assert!(
+        results[0].2 < results[2].2,
+        "nonCoal-L1 must be faster than coal"
+    );
 }
 
 #[test]
@@ -58,8 +75,16 @@ fn solver_choice_changes_time_far_more_than_quality() {
     let solvers = [
         SolverKind::BatchLu,
         SolverKind::BatchCholesky,
-        SolverKind::Cg { fs: 6, tolerance: 1e-4, precision: Precision::Fp32 },
-        SolverKind::Cg { fs: 6, tolerance: 1e-4, precision: Precision::Fp16 },
+        SolverKind::Cg {
+            fs: 6,
+            tolerance: 1e-4,
+            precision: Precision::Fp32,
+        },
+        SolverKind::Cg {
+            fs: 6,
+            tolerance: 1e-4,
+            precision: Precision::Fp16,
+        },
     ];
     let mut rmses = Vec::new();
     let mut times = Vec::new();
@@ -71,12 +96,21 @@ fn solver_choice_changes_time_far_more_than_quality() {
         rmses.push(r.final_rmse());
         times.push(r.total_sim_time());
     }
-    let spread = rmses.iter().cloned().fold(f64::MIN, f64::max) - rmses.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(spread < 0.03, "solver choice must not hurt convergence: {rmses:?}");
+    let spread = rmses.iter().cloned().fold(f64::MIN, f64::max)
+        - rmses.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        spread < 0.03,
+        "solver choice must not hurt convergence: {rmses:?}"
+    );
     // FP16 storage always halves the CG solver's traffic, at any f. (The
     // O(f³) vs O(f²) LU-vs-CG gap needs the paper's f=100 and is asserted
     // in the simulator_consistency suite.)
-    assert!(times[2] > times[3], "CG-FP32 {} vs CG-FP16 {}", times[2], times[3]);
+    assert!(
+        times[2] > times[3],
+        "CG-FP32 {} vs CG-FP16 {}",
+        times[2],
+        times[3]
+    );
 }
 
 #[test]

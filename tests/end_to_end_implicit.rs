@@ -5,13 +5,21 @@ use cumf_datasets::{MfDataset, SizeClass};
 use cumf_gpu_sim::GpuSpec;
 
 fn config(f: usize) -> ImplicitAlsConfig {
-    ImplicitAlsConfig { f, iterations: 4, alpha: 10.0, ..ImplicitAlsConfig::default() }
+    ImplicitAlsConfig {
+        f,
+        iterations: 4,
+        alpha: 10.0,
+        ..ImplicitAlsConfig::default()
+    }
 }
 
 #[test]
 fn objective_decreases_on_all_shapes() {
-    let makers: [fn(SizeClass, u64) -> MfDataset; 3] =
-        [MfDataset::netflix, MfDataset::yahoo_music, MfDataset::hugewiki];
+    let makers: [fn(SizeClass, u64) -> MfDataset; 3] = [
+        MfDataset::netflix,
+        MfDataset::yahoo_music,
+        MfDataset::hugewiki,
+    ];
     for mk in makers {
         let data = mk(SizeClass::Tiny, 3);
         let mut t = ImplicitAlsTrainer::new(&data, config(8), GpuSpec::maxwell_titan_x());
@@ -62,7 +70,11 @@ fn cg_solver_matches_direct_on_implicit_systems() {
     let mut direct_cfg = config(8);
     direct_cfg.solver = SolverKind::BatchCholesky;
     let mut cg_cfg = config(8);
-    cg_cfg.solver = SolverKind::Cg { fs: 8, tolerance: 1e-6, precision: Precision::Fp32 };
+    cg_cfg.solver = SolverKind::Cg {
+        fs: 8,
+        tolerance: 1e-6,
+        precision: Precision::Fp32,
+    };
 
     let mut a = ImplicitAlsTrainer::new(&data, direct_cfg, GpuSpec::maxwell_titan_x());
     let mut b = ImplicitAlsTrainer::new(&data, cg_cfg, GpuSpec::maxwell_titan_x());
@@ -70,7 +82,10 @@ fn cg_solver_matches_direct_on_implicit_systems() {
     let rb = b.train();
     let fa = ra.last().unwrap().objective;
     let fb = rb.last().unwrap().objective;
-    assert!((fa - fb).abs() / fa.abs().max(1.0) < 0.01, "direct {fa} vs CG {fb}");
+    assert!(
+        (fa - fb).abs() / fa.abs().max(1.0) < 0.01,
+        "direct {fa} vs CG {fb}"
+    );
 }
 
 #[test]

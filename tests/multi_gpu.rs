@@ -7,7 +7,12 @@ use cumf_datasets::{MfDataset, SizeClass};
 use cumf_gpu_sim::GpuSpec;
 
 fn fast(data: &MfDataset) -> AlsConfig {
-    AlsConfig { f: 8, iterations: 4, rmse_target: None, ..AlsConfig::for_profile(&data.profile) }
+    AlsConfig {
+        f: 8,
+        iterations: 4,
+        rmse_target: None,
+        ..AlsConfig::for_profile(&data.profile)
+    }
 }
 
 #[test]
@@ -40,11 +45,19 @@ fn more_gpus_is_faster_overall() {
 #[test]
 fn capacity_check_tracks_partitioning() {
     let data = MfDataset::hugewiki(SizeClass::Tiny, 23);
-    let cfg = AlsConfig { f: 100, iterations: 1, ..AlsConfig::for_profile(&data.profile) };
-    let per_gpu_1 = AlsTrainer::new(&data, cfg.clone(), GpuSpec::pascal_p100(), 1).device_bytes_per_gpu();
+    let cfg = AlsConfig {
+        f: 100,
+        iterations: 1,
+        ..AlsConfig::for_profile(&data.profile)
+    };
+    let per_gpu_1 =
+        AlsTrainer::new(&data, cfg.clone(), GpuSpec::pascal_p100(), 1).device_bytes_per_gpu();
     let per_gpu_4 = AlsTrainer::new(&data, cfg, GpuSpec::pascal_p100(), 4).device_bytes_per_gpu();
     assert!(per_gpu_4 < per_gpu_1);
-    assert!(per_gpu_4 > per_gpu_1 / 4, "Θ replication keeps per-GPU bytes above a quarter");
+    assert!(
+        per_gpu_4 > per_gpu_1 / 4,
+        "Θ replication keeps per-GPU bytes above a quarter"
+    );
 }
 
 #[test]

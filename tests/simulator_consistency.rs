@@ -8,7 +8,11 @@ use cumf_gpu_sim::memory::LoadPattern;
 use cumf_gpu_sim::GpuSpec;
 
 fn cfg(profile: &DatasetProfile, solver: SolverKind, pattern: LoadPattern) -> AlsConfig {
-    AlsConfig { solver, load_pattern: pattern, ..AlsConfig::for_profile(profile) }
+    AlsConfig {
+        solver,
+        load_pattern: pattern,
+        ..AlsConfig::for_profile(profile)
+    }
 }
 
 #[test]
@@ -18,7 +22,11 @@ fn figure1_two_to_four_x_speedup_band() {
     // devices.
     for profile in DatasetProfile::table2() {
         for spec in [GpuSpec::maxwell_titan_x(), GpuSpec::pascal_p100()] {
-            let fast = cfg(&profile, SolverKind::cumf_default(), LoadPattern::NonCoalescedL1);
+            let fast = cfg(
+                &profile,
+                SolverKind::cumf_default(),
+                LoadPattern::NonCoalescedL1,
+            );
             let slow = cfg(&profile, SolverKind::BatchLu, LoadPattern::Coalesced);
             let t_fast = price_epoch(&profile, &fast, &spec, 1, 6.0).total();
             let t_slow = price_epoch(&profile, &slow, &spec, 1, 6.0).total();
@@ -41,7 +49,12 @@ fn observation3_solve_dominates_with_lu() {
     let config = cfg(&profile, SolverKind::BatchLu, LoadPattern::NonCoalescedL1);
     let p = price_epoch(&profile, &config, &spec, 1, 0.0);
     let hermitian = p.load + p.compute + p.write;
-    assert!(p.solve > 1.5 * hermitian, "solve {} vs hermitian {}", p.solve, hermitian);
+    assert!(
+        p.solve > 1.5 * hermitian,
+        "solve {} vs hermitian {}",
+        p.solve,
+        hermitian
+    );
 }
 
 #[test]
@@ -54,10 +67,22 @@ fn solution3_and_4_each_contribute() {
         p.solve
     };
     let lu = solve_time(SolverKind::BatchLu);
-    let cg32 = solve_time(SolverKind::Cg { fs: 6, tolerance: 1e-4, precision: Precision::Fp32 });
-    let cg16 = solve_time(SolverKind::Cg { fs: 6, tolerance: 1e-4, precision: Precision::Fp16 });
+    let cg32 = solve_time(SolverKind::Cg {
+        fs: 6,
+        tolerance: 1e-4,
+        precision: Precision::Fp32,
+    });
+    let cg16 = solve_time(SolverKind::Cg {
+        fs: 6,
+        tolerance: 1e-4,
+        precision: Precision::Fp16,
+    });
     assert!(lu / cg32 > 3.0 && lu / cg32 < 5.5, "CG gain {}", lu / cg32);
-    assert!(cg32 / cg16 > 1.6 && cg32 / cg16 < 2.1, "FP16 gain {}", cg32 / cg16);
+    assert!(
+        cg32 / cg16 > 1.6 && cg32 / cg16 < 2.1,
+        "FP16 gain {}",
+        cg32 / cg16
+    );
     // Combined: ~1/8 as the paper reports.
     assert!(lu / cg16 > 5.5, "combined gain {}", lu / cg16);
 }
@@ -65,23 +90,40 @@ fn solution3_and_4_each_contribute() {
 #[test]
 fn hugewiki_scales_to_four_gpus() {
     let profile = DatasetProfile::hugewiki();
-    let config = cfg(&profile, SolverKind::cumf_default(), LoadPattern::NonCoalescedL1);
+    let config = cfg(
+        &profile,
+        SolverKind::cumf_default(),
+        LoadPattern::NonCoalescedL1,
+    );
     for spec in [GpuSpec::maxwell_titan_x(), GpuSpec::pascal_p100()] {
         let t1 = price_epoch(&profile, &config, &spec, 1, 6.0).total();
         let t4 = price_epoch(&profile, &config, &spec, 4, 6.0).total();
         let scaling = t1 / t4;
         assert!(scaling > 2.0, "{}: 4-GPU scaling {scaling}", spec.name);
-        assert!(scaling <= 4.0, "{}: scaling cannot be superlinear, got {scaling}", spec.name);
+        assert!(
+            scaling <= 4.0,
+            "{}: scaling cannot be superlinear, got {scaling}",
+            spec.name
+        );
     }
 }
 
 #[test]
 fn nvlink_scales_better_than_pcie() {
     let profile = DatasetProfile::hugewiki();
-    let config = cfg(&profile, SolverKind::cumf_default(), LoadPattern::NonCoalescedL1);
+    let config = cfg(
+        &profile,
+        SolverKind::cumf_default(),
+        LoadPattern::NonCoalescedL1,
+    );
     let comm_m = price_epoch(&profile, &config, &GpuSpec::maxwell_titan_x(), 4, 6.0).comm;
     let comm_p = price_epoch(&profile, &config, &GpuSpec::pascal_p100(), 4, 6.0).comm;
-    assert!(comm_p < comm_m, "NVLink comm {} vs PCIe comm {}", comm_p, comm_m);
+    assert!(
+        comm_p < comm_m,
+        "NVLink comm {} vs PCIe comm {}",
+        comm_p,
+        comm_m
+    );
 }
 
 #[test]
@@ -90,7 +132,11 @@ fn update_sides_price_asymmetrically() {
     // systems; update-Θ stages a bigger unique working set.
     let profile = DatasetProfile::netflix();
     let spec = GpuSpec::maxwell_titan_x();
-    let config = cfg(&profile, SolverKind::cumf_default(), LoadPattern::NonCoalescedL1);
+    let config = cfg(
+        &profile,
+        SolverKind::cumf_default(),
+        LoadPattern::NonCoalescedL1,
+    );
     let px = price_side(&profile, &config, Side::X, &spec, 1, 6.0);
     let pt = price_side(&profile, &config, Side::Theta, &spec, 1, 6.0);
     assert!(px.write > pt.write);
@@ -104,7 +150,11 @@ fn per_epoch_times_in_paper_ballpark() {
     // epochs implies ≈0.7–1 s per epoch; our model must land within 3× of
     // that band.
     let profile = DatasetProfile::netflix();
-    let config = cfg(&profile, SolverKind::cumf_default(), LoadPattern::NonCoalescedL1);
+    let config = cfg(
+        &profile,
+        SolverKind::cumf_default(),
+        LoadPattern::NonCoalescedL1,
+    );
     let t = price_epoch(&profile, &config, &GpuSpec::maxwell_titan_x(), 1, 6.0).total();
     assert!(t > 0.3 && t < 3.0, "epoch priced at {t}s");
 }

@@ -1,0 +1,283 @@
+//! Cross-crate telemetry tests: recorder/trainer consistency, exporter
+//! validity, and the disabled-recorder bit-identity guarantee.
+
+use cumf_als::{AlsConfig, AlsTrainer, Precision, SolverKind};
+use cumf_datasets::{MfDataset, SizeClass};
+use cumf_gpu_sim::GpuSpec;
+use cumf_telemetry::{chrome_trace, to_jsonl, MemoryRecorder, SolverExit};
+use serde::Value;
+
+fn tiny() -> MfDataset {
+    MfDataset::netflix(SizeClass::Tiny, 99)
+}
+
+fn cg_config(data: &MfDataset, precision: Precision, epochs: usize) -> AlsConfig {
+    AlsConfig {
+        f: 8,
+        iterations: epochs,
+        solver: SolverKind::Cg {
+            fs: 4,
+            tolerance: 1e-4,
+            precision,
+        },
+        rmse_target: None,
+        ..AlsConfig::for_profile(&data.profile)
+    }
+}
+
+/// Property: for a full ALS epoch, the sum of per-launch simulated kernel
+/// times equals the epoch's phase total — kernel records are a lossless
+/// decomposition of the priced epoch. Holds at 1 GPU and (thanks to the
+/// all-gather record) at 4 GPUs.
+#[test]
+fn kernel_records_sum_to_epoch_total() {
+    for gpus in [1u32, 4] {
+        let data = tiny();
+        let rec = MemoryRecorder::new();
+        let mut t = AlsTrainer::with_recorder(
+            &data,
+            cg_config(&data, Precision::Fp32, 1),
+            GpuSpec::pascal_p100(),
+            gpus,
+            &rec,
+        );
+        let (phases, _) = t.run_epoch();
+        let kernel_sum: f64 = rec.kernel_records().iter().map(|k| k.duration()).sum();
+        let total = phases.total();
+        assert!(
+            (kernel_sum - total).abs() <= 1e-9 * total.max(1.0),
+            "gpus={gpus}: kernel sum {kernel_sum} != epoch total {total}"
+        );
+    }
+}
+
+/// Phase spans tile the epoch: each sweep's get_hermitian/get_bias/solve
+/// spans are contiguous and their union covers the epoch exactly.
+#[test]
+fn phase_spans_are_contiguous_and_cover_the_epoch() {
+    let data = tiny();
+    let rec = MemoryRecorder::new();
+    let mut t = AlsTrainer::with_recorder(
+        &data,
+        cg_config(&data, Precision::Fp32, 1),
+        GpuSpec::maxwell_titan_x(),
+        1,
+        &rec,
+    );
+    let (phases, _) = t.run_epoch();
+    let spans = rec.phase_spans();
+    // X sweep then Theta sweep, three spans each, back to back.
+    let names: Vec<&str> = spans.iter().map(|s| s.name.as_ref()).collect();
+    assert_eq!(
+        names,
+        [
+            "get_hermitian-X",
+            "get_bias-X",
+            "solve-X",
+            "get_hermitian-Theta",
+            "get_bias-Theta",
+            "solve-Theta"
+        ]
+    );
+    for w in spans.windows(2) {
+        assert!(
+            (w[1].start - w[0].end).abs() < 1e-12,
+            "gap between {} and {}",
+            w[0].name,
+            w[1].name
+        );
+    }
+    let covered: f64 = spans.iter().map(|s| s.duration()).sum();
+    assert!((covered - phases.total()).abs() <= 1e-9 * phases.total());
+}
+
+/// Golden test: the Chrome-trace exporter emits valid JSON whose duration
+/// events are properly paired and nested (every B has a matching E, stack
+/// discipline holds, and ph values are from the trace-event vocabulary).
+#[test]
+fn chrome_trace_is_valid_json_with_balanced_events() {
+    let data = tiny();
+    let rec = MemoryRecorder::new();
+    let mut t = AlsTrainer::with_recorder(
+        &data,
+        cg_config(&data, Precision::Fp16, 2),
+        GpuSpec::maxwell_titan_x(),
+        1,
+        &rec,
+    );
+    t.train();
+    let json = chrome_trace(&rec.events());
+    let doc = Value::parse(&json).expect("trace must parse as JSON");
+    let events = match doc.get("traceEvents") {
+        Some(Value::Array(items)) => items,
+        other => panic!("traceEvents missing or not an array: {other:?}"),
+    };
+    assert!(!events.is_empty());
+
+    let mut depth = 0i64;
+    let mut b_count = 0u64;
+    let mut e_count = 0u64;
+    let mut last_ts = f64::NEG_INFINITY;
+    for ev in events {
+        let ph = match ev.get("ph") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => panic!("event without ph: {ev:?}"),
+        };
+        assert!(
+            ["B", "E", "C", "i", "M"].contains(&ph.as_str()),
+            "unexpected ph {ph:?}"
+        );
+        if ph == "B" || ph == "E" {
+            let ts = match ev.get("ts") {
+                Some(Value::Num(n)) => *n,
+                _ => panic!("duration event without numeric ts"),
+            };
+            assert!(ts >= last_ts, "duration events must be time-ordered");
+            last_ts = ts;
+        }
+        match ph.as_str() {
+            "B" => {
+                depth += 1;
+                b_count += 1;
+            }
+            "E" => {
+                depth -= 1;
+                e_count += 1;
+                assert!(depth >= 0, "E without matching B");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(depth, 0, "unbalanced B/E events");
+    assert_eq!(b_count, e_count);
+    assert!(b_count > 0, "trace must contain duration events");
+}
+
+/// The JSONL stream from a CG-FP16 run carries everything Figure 5 needs:
+/// solver identity, per-sweep iteration counts, residual trajectories and
+/// FP16 round-trip error — all parseable line by line.
+#[test]
+fn jsonl_solver_records_regenerate_fig5_inputs() {
+    let data = tiny();
+    let rec = MemoryRecorder::new();
+    let mut t = AlsTrainer::with_recorder(
+        &data,
+        cg_config(&data, Precision::Fp16, 2),
+        GpuSpec::maxwell_titan_x(),
+        1,
+        &rec,
+    );
+    t.train();
+
+    let solvers = rec.solver_records();
+    assert_eq!(solvers.len(), 4, "two sweeps per epoch, two epochs");
+    for s in &solvers {
+        assert_eq!(s.solver, "solve_cg_fp16");
+        assert!(s.rows > 0);
+        assert!(s.total_cg_iters > 0);
+        assert!(s.mean_cg_iters > 0.0);
+        assert!(s.max_cg_iters as u64 >= 1);
+        assert!(
+            !s.residual_trajectory.is_empty(),
+            "need a residual trajectory"
+        );
+        assert!(
+            s.fp16_roundtrip_rms > 0.0,
+            "FP16 runs must report round-trip error"
+        );
+        assert!(s.fp16_roundtrip_max >= s.fp16_roundtrip_rms);
+        assert!(matches!(
+            s.exit,
+            SolverExit::Converged | SolverExit::IterationCap
+        ));
+    }
+
+    // And the JSONL stream itself: one valid JSON object per line, solver
+    // events recoverable with their numeric payloads.
+    let jsonl = to_jsonl(&rec.events());
+    let mut solver_lines = 0;
+    for line in jsonl.lines() {
+        let v = Value::parse(line).expect("each JSONL line parses");
+        if matches!(v.get("type"), Some(Value::Str(s)) if s == "Solver") {
+            solver_lines += 1;
+            match v.get("record").and_then(|r| r.get("mean_cg_iters")) {
+                Some(Value::Num(n)) => assert!(*n > 0.0),
+                other => panic!("solver record missing mean_cg_iters: {other:?}"),
+            }
+        }
+    }
+    assert_eq!(solver_lines, 4);
+}
+
+/// Attaching a recorder must not change the simulation: simulated times,
+/// RMSE trajectory and the factor matrices are bit-identical with and
+/// without telemetry.
+#[test]
+fn recorder_is_bit_identical_to_uninstrumented_run() {
+    for precision in [Precision::Fp32, Precision::Fp16] {
+        let data = tiny();
+        let cfg = cg_config(&data, precision, 3);
+
+        let mut plain = AlsTrainer::new(&data, cfg.clone(), GpuSpec::maxwell_titan_x(), 2);
+        let r_plain = plain.train();
+
+        let rec = MemoryRecorder::new();
+        let mut traced = AlsTrainer::with_recorder(&data, cfg, GpuSpec::maxwell_titan_x(), 2, &rec);
+        let r_traced = traced.train();
+
+        assert!(!rec.is_empty(), "traced run must record events");
+        assert_eq!(r_plain.epochs.len(), r_traced.epochs.len());
+        for (a, b) in r_plain.epochs.iter().zip(&r_traced.epochs) {
+            assert_eq!(
+                a.sim_time.to_bits(),
+                b.sim_time.to_bits(),
+                "sim time must be bit-identical"
+            );
+            assert_eq!(
+                a.test_rmse.to_bits(),
+                b.test_rmse.to_bits(),
+                "RMSE must be bit-identical"
+            );
+            assert_eq!(a.mean_cg_iters.to_bits(), b.mean_cg_iters.to_bits());
+        }
+        assert_eq!(
+            plain.x.as_slice(),
+            traced.x.as_slice(),
+            "factors must be bit-identical"
+        );
+        assert_eq!(plain.theta.as_slice(), traced.theta.as_slice());
+    }
+}
+
+/// Multi-GPU runs emit the interconnect counters and the all-gather kernel.
+#[test]
+fn multi_gpu_emits_comm_telemetry() {
+    let data = tiny();
+    let rec = MemoryRecorder::new();
+    let mut t = AlsTrainer::with_recorder(
+        &data,
+        cg_config(&data, Precision::Fp32, 2),
+        GpuSpec::pascal_p100(),
+        4,
+        &rec,
+    );
+    t.train();
+    let kernels = rec.kernel_records();
+    let allgathers: Vec<_> = kernels
+        .iter()
+        .filter(|k| k.kernel == "nccl_allgather")
+        .collect();
+    assert_eq!(allgathers.len(), 4, "one all-gather per sweep");
+    let counters = rec.counter_samples();
+    let ic: Vec<f64> = counters
+        .iter()
+        .filter(|c| c.name == "interconnect_bytes")
+        .map(|c| c.value)
+        .collect();
+    assert_eq!(ic.len(), 4);
+    assert!(
+        ic.windows(2).all(|w| w[1] > w[0]),
+        "interconnect counter must be cumulative"
+    );
+    assert!(counters.iter().any(|c| c.name == "device_mem_bytes"));
+}
