@@ -1,4 +1,4 @@
-//! BIDMach-style baseline [2]: ALS expressed over *generic* sparse matrix
+//! BIDMach-style baseline \[2\]: ALS expressed over *generic* sparse matrix
 //! kernels rather than an MF-specialized fused kernel.
 //!
 //! BIDMach builds ALS from its general-purpose sparse primitives; the paper

@@ -1,4 +1,4 @@
-//! CCD++ baseline [36]: cyclic coordinate descent for matrix factorization.
+//! CCD++ baseline \[36\]: cyclic coordinate descent for matrix factorization.
 //!
 //! CCD++ updates one latent dimension at a time: for rank `k`, with the
 //! rank-k residual matrix maintained per non-zero, the closed-form scalar
@@ -32,7 +32,7 @@ pub struct CcdConfig {
     pub seed: u64,
 }
 
-/// The CCD++ trainer (CPU; the GPU variant [20] shares the math).
+/// The CCD++ trainer (CPU; the GPU variant \[20\] shares the math).
 pub struct CcdTrainer<'a> {
     data: &'a MfDataset,
     config: CcdConfig,

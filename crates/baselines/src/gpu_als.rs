@@ -1,4 +1,4 @@
-//! GPU-ALS baseline: the paper's own predecessor (HPDC'16, [31]) — ALS on
+//! GPU-ALS baseline: the paper's own predecessor (HPDC'16, \[31\]) — ALS on
 //! GPUs with register/shared-memory tiling but **without** the two ICPP'18
 //! contributions: loads are conventionally coalesced and the solver is exact
 //! batched LU in FP32.

@@ -1,4 +1,4 @@
-//! GPU-SGD baseline: the cuMF_SGD system [35] — batch Hogwild! SGD on one
+//! GPU-SGD baseline: the cuMF_SGD system \[35\] — batch Hogwild! SGD on one
 //! or more GPUs, with warp-shuffle update kernels and half-precision
 //! factor storage.
 //!

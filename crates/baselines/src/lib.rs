@@ -7,12 +7,12 @@
 //! | module | system | strategy |
 //! |---|---|---|
 //! | [`sgd`] | (shared SGD substrate) | blocked waves + Hogwild atomics |
-//! | [`libmf`] | LIBMF [39], [3] | multi-threaded blocked SGD, one box |
-//! | [`nomad`] | NOMAD [37] | asynchronous distributed SGD over MPI |
-//! | [`gpu_sgd`] | cuMF_SGD [35] | batch Hogwild SGD on GPUs |
-//! | [`gpu_als`] | GPU-ALS [31] (HPDC'16) | ALS, coalesced loads + batch LU |
-//! | [`bidmach`] | BIDMach [2] | ALS over generic sparse kernels |
-//! | [`ccd`] | CCD++ [36] | cyclic coordinate descent |
+//! | [`libmf`] | LIBMF \[39\], \[3\] | multi-threaded blocked SGD, one box |
+//! | [`nomad`] | NOMAD \[37\] | asynchronous distributed SGD over MPI |
+//! | [`gpu_sgd`] | cuMF_SGD \[35\] | batch Hogwild SGD on GPUs |
+//! | [`gpu_als`] | GPU-ALS \[31\] (HPDC'16) | ALS, coalesced loads + batch LU |
+//! | [`bidmach`] | BIDMach \[2\] | ALS over generic sparse kernels |
+//! | [`ccd`] | CCD++ \[36\] | cyclic coordinate descent |
 //! | [`implicit_cpu`] | implicit / QMF | CPU iALS for one-class inputs |
 //! | [`gemm_batched`] | cuBLAS `gemmBatched` | Figure 7(a) FLOPS baseline |
 //!

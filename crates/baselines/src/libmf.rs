@@ -1,4 +1,4 @@
-//! LIBMF-style baseline: multi-threaded blocked SGD on one machine [39][3].
+//! LIBMF-style baseline: multi-threaded blocked SGD on one machine \[39\]\[3\].
 //!
 //! Functional: the [`crate::sgd`] blocked scheme with a grid larger than the
 //! thread count (LIBMF's work-stealing grid). Timing: the host roofline of

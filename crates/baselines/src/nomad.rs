@@ -1,5 +1,5 @@
 //! NOMAD-style baseline: asynchronous decentralized SGD over an MPI
-//! cluster [37].
+//! cluster \[37\].
 //!
 //! NOMAD partitions rows across machines and circulates *column* factor
 //! vectors between them: whichever machine holds column `v`'s token updates

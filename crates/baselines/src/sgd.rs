@@ -32,7 +32,7 @@ pub struct SgdConfig {
     /// Initial learning rate α₀.
     pub lr0: f32,
     /// Decay: α_k = α₀ / (1 + decay·k) per epoch k (the bold-driver-free
-    /// schedule LIBMF's learning-rate paper [3] reduces to).
+    /// schedule LIBMF's learning-rate paper \[3\] reduces to).
     pub decay: f32,
     /// Block-grid dimension for the blocking scheme (≥ worker count).
     pub grid: usize,
@@ -185,7 +185,7 @@ fn split_by_ranges(
 }
 
 /// One **Hogwild** epoch: entries updated in parallel with relaxed atomic
-/// read-modify-writes and no coordination — the lock-free scheme of [22].
+/// read-modify-writes and no coordination — the lock-free scheme of \[22\].
 /// Updates may interleave mid-vector; with sparse data conflicts are rare
 /// and convergence survives, which is the scheme's entire point.
 pub fn hogwild_epoch(data: &CooMatrix, model: &mut SgdModel, config: &SgdConfig, epoch: usize) {

@@ -1,0 +1,271 @@
+//! Closed-loop serving benchmark: train once, then replay a Poisson
+//! request stream against the `cumf-serve` engine and report latency
+//! percentiles, throughput and cache effectiveness.
+//!
+//! The generator paces request *arrivals* at the target QPS (open-loop
+//! arrivals), but dispatches them in micro-batches as the engine frees up
+//! (closed-loop service), so queueing delay shows up in the latencies the
+//! moment the engine can't keep up — exactly the saturation behavior a
+//! capacity plan needs to see.
+//!
+//! ```text
+//! cargo run --release -p cumf-bench --bin serve_bench -- \
+//!     --quick --qps 2000 --requests 4000 --fp16 --metrics /tmp/serve.jsonl
+//! ```
+//!
+//! Extra flags on top of the common set: `--qps F`, `--requests N`,
+//! `--k N`, `--batch N` (micro-batch size), `--cache N` (entries),
+//! `--cold-frac F` (fraction served as cold-start fold-ins), `--fp16`
+//! (score from the FP16 factor copy), `--republish` (publish a new model
+//! epoch halfway through, exercising snapshot swap + cache turnover).
+
+use cumf_als::{AlsConfig, AlsTrainer};
+use cumf_bench::{fmt_s, rule, HarnessArgs, TelemetrySink};
+use cumf_datasets::{MfDataset, RequestSampler, SizeClass};
+use cumf_gpu_sim::GpuSpec;
+use cumf_serve::{ModelSnapshot, Request, ScoreConfig, ServeConfig, ServeEngine, UserRef};
+use cumf_telemetry::{CounterSample, LatencyHistogram};
+use std::time::{Duration, Instant};
+
+struct ServeFlags {
+    qps: f64,
+    requests: usize,
+    k: usize,
+    batch: usize,
+    cache: usize,
+    cold_frac: f64,
+    fp16: bool,
+    republish: bool,
+}
+
+fn parse_flags() -> (HarnessArgs, ServeFlags) {
+    let (args, extras) = HarnessArgs::parse_with_extras();
+    let mut flags = ServeFlags {
+        qps: 2000.0,
+        requests: if args.quick { 4000 } else { 20000 },
+        k: 10,
+        batch: 64,
+        cache: 4096,
+        cold_frac: 0.02,
+        fp16: false,
+        republish: false,
+    };
+    let mut it = extras.into_iter();
+    while let Some(a) = it.next() {
+        let mut val = |d: f64| it.next().and_then(|s| s.parse().ok()).unwrap_or(d);
+        match a.as_str() {
+            "--qps" => flags.qps = val(2000.0),
+            "--requests" => flags.requests = val(20000.0) as usize,
+            "--k" => flags.k = val(10.0) as usize,
+            "--batch" => flags.batch = (val(64.0) as usize).max(1),
+            "--cache" => flags.cache = val(4096.0) as usize,
+            "--cold-frac" => flags.cold_frac = val(0.02),
+            "--fp16" => flags.fp16 = true,
+            "--republish" => flags.republish = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "serve_bench flags: --qps F, --requests N, --k N, --batch N, \
+                     --cache N, --cold-frac F, --fp16, --republish; common: {}",
+                    HarnessArgs::common_usage()
+                );
+                std::process::exit(0);
+            }
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+    (args, flags)
+}
+
+/// Popularity prior: a small log-count bonus, the usual cold-item floor.
+fn popularity_prior(data: &MfDataset) -> Vec<f32> {
+    (0..data.n())
+        .map(|v| 0.01 * (1.0 + data.rt.row_nnz(v) as f32).ln())
+        .collect()
+}
+
+fn main() {
+    let (args, flags) = parse_flags();
+    let sink = TelemetrySink::from_args(&args);
+    let rec = sink.recorder();
+
+    // ── Train the model this engine will serve ──────────────────────────
+    let size = if args.quick {
+        SizeClass::Tiny
+    } else {
+        SizeClass::Small
+    };
+    let data = MfDataset::netflix(size, args.seed);
+    let cfg = AlsConfig {
+        f: if args.quick { 16 } else { 48 },
+        iterations: args.epochs(8) as usize,
+        rmse_target: None,
+        ..AlsConfig::for_profile(&data.profile)
+    };
+    eprintln!(
+        "training {}×{} ({} ratings), f={} …",
+        data.m(),
+        data.n(),
+        data.train_nnz(),
+        cfg.f
+    );
+    let mut trainer = AlsTrainer::new(&data, cfg, GpuSpec::maxwell_titan_x(), 1);
+    trainer.train();
+
+    let mut snapshot = ModelSnapshot::new(0, trainer.theta.clone(), popularity_prior(&data));
+    if flags.fp16 {
+        snapshot = snapshot.with_fp16();
+    }
+    let engine = ServeEngine::new(
+        trainer.x.clone(),
+        snapshot,
+        ServeConfig {
+            k: flags.k,
+            cache_capacity: flags.cache,
+            score: ScoreConfig {
+                use_fp16: flags.fp16,
+                ..ScoreConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+
+    // ── Synthesize the request stream ───────────────────────────────────
+    let mut sampler = RequestSampler::from_dataset(&data, args.seed ^ 0xBEEF);
+    let stream = sampler.sample(flags.requests, flags.qps);
+    // Every cold_frac-th request is replayed as an unseen user carrying
+    // the sampled user's training history (a realistic fold-in workload).
+    let cold_every = if flags.cold_frac > 0.0 {
+        (1.0 / flags.cold_frac).round() as usize
+    } else {
+        usize::MAX
+    };
+
+    eprintln!(
+        "replaying {} requests at {} QPS (batch ≤ {}, cache {}, k {}, {}{})",
+        flags.requests,
+        flags.qps,
+        flags.batch,
+        flags.cache,
+        flags.k,
+        if flags.fp16 { "fp16" } else { "fp32" },
+        if flags.republish { ", republish" } else { "" },
+    );
+
+    // ── Closed-loop replay ──────────────────────────────────────────────
+    let mut hist = LatencyHistogram::new();
+    let mut served = 0usize;
+    let mut republished = false;
+    let t0 = Instant::now();
+    let mut next = 0usize;
+    while next < stream.len() {
+        // Mid-run publish: same factors, new epoch — snapshot swap under
+        // load, every cache key rolls over.
+        if flags.republish && !republished && next >= stream.len() / 2 {
+            let snap = engine.store().snapshot();
+            let mut fresh = ModelSnapshot::new(
+                snap.epoch + 1,
+                snap.item_factors().clone(),
+                popularity_prior(&data),
+            );
+            if flags.fp16 {
+                fresh = fresh.with_fp16();
+            }
+            engine.store().publish(fresh);
+            republished = true;
+        }
+
+        // Wait for at least one arrival, then drain everything due into
+        // one micro-batch (bounded by --batch).
+        let now = t0.elapsed().as_secs_f64();
+        let first_due = stream[next].arrival;
+        if first_due > now {
+            std::thread::sleep(Duration::from_secs_f64(first_due - now));
+        }
+        let now = t0.elapsed().as_secs_f64();
+        let mut batch = Vec::with_capacity(flags.batch);
+        let mut arrivals = Vec::with_capacity(flags.batch);
+        while next < stream.len() && stream[next].arrival <= now && batch.len() < flags.batch {
+            let req = &stream[next];
+            let user = if cold_every != usize::MAX && next % cold_every == cold_every - 1 {
+                UserRef::Cold(data.r.row_iter(req.user as usize).collect())
+            } else {
+                UserRef::Known(req.user)
+            };
+            batch.push(Request {
+                id: next as u64,
+                user,
+            });
+            arrivals.push(req.arrival);
+            next += 1;
+        }
+
+        let out = engine.recommend_batch(&batch, rec);
+        let done = t0.elapsed().as_secs_f64();
+        for (resp, &arrival) in out.iter().zip(&arrivals) {
+            debug_assert!(resp.items.len() <= flags.k);
+            hist.record_secs(done - arrival);
+        }
+        served += out.len();
+    }
+    let span = t0.elapsed().as_secs_f64();
+
+    // ── Report ──────────────────────────────────────────────────────────
+    let (p50, p95, p99) = hist.percentiles();
+    let qps = served as f64 / span;
+    let cache = engine.cache_stats();
+    let header = format!(
+        "{:<26} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "metric", "p50 ms", "p95 ms", "p99 ms", "mean ms", "max ms"
+    );
+    println!("{header}");
+    println!("{}", rule(header.len()));
+    println!(
+        "{:<26} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+        "request latency",
+        p50 * 1e3,
+        p95 * 1e3,
+        p99 * 1e3,
+        hist.mean() * 1e3,
+        hist.max() * 1e3
+    );
+    println!();
+    println!(
+        "served {served} requests in {} s wall — {:.0} QPS achieved (target {:.0})",
+        fmt_s(span),
+        qps,
+        flags.qps
+    );
+    println!(
+        "cache: {} hits / {} misses ({:.1}% hit ratio), {} / {} entries resident",
+        cache.hits,
+        cache.misses,
+        cache.hit_ratio() * 100.0,
+        cache.len,
+        cache.capacity
+    );
+    println!(
+        "model epoch served at exit: {} ({})",
+        engine.store().epoch(),
+        if flags.fp16 {
+            "fp16 factor copy"
+        } else {
+            "fp32 factors"
+        }
+    );
+
+    // Final aggregates into the JSONL stream alongside the engine's
+    // per-batch counters.
+    if rec.enabled() {
+        let t = engine.now();
+        for c in hist.to_counters("serve.latency", t) {
+            rec.counter(c);
+        }
+        rec.counter(CounterSample::new("serve.qps", t, qps));
+        rec.counter(CounterSample::new(
+            "serve.cache_hit_ratio",
+            t,
+            cache.hit_ratio(),
+        ));
+    }
+    sink.finish().expect("failed to write telemetry outputs");
+}

@@ -30,8 +30,31 @@ pub struct HarnessArgs {
 
 impl HarnessArgs {
     /// Parse from `std::env::args`: `--quick`, `--seed N`, `--trace PATH`,
-    /// `--metrics PATH` and `--profile` are accepted.
+    /// `--metrics PATH` and `--profile` are accepted; anything else is
+    /// warned about and dropped.
     pub fn parse() -> HarnessArgs {
+        let (args, extras) = Self::parse_with_extras();
+        for e in extras {
+            if e == "--help" || e == "-h" {
+                eprintln!("flags: {}", Self::common_usage());
+                std::process::exit(0);
+            }
+            eprintln!("ignoring unknown flag {e}");
+        }
+        args
+    }
+
+    /// Like [`HarnessArgs::parse`], but hands unrecognized tokens back to
+    /// the caller (in order) instead of warning — for binaries that layer
+    /// their own flags on top of the common set.
+    pub fn parse_with_extras() -> (HarnessArgs, Vec<String>) {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// The testable core of argument parsing: consumes an explicit token
+    /// stream (no `--help` handling, which only makes sense on a real
+    /// command line — `--help` lands in the extras).
+    pub fn parse_from(tokens: impl IntoIterator<Item = String>) -> (HarnessArgs, Vec<String>) {
         let mut args = HarnessArgs {
             quick: false,
             seed: 42,
@@ -39,7 +62,8 @@ impl HarnessArgs {
             metrics: None,
             profile: false,
         };
-        let mut it = std::env::args().skip(1);
+        let mut extras = Vec::new();
+        let mut it = tokens.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => args.quick = true,
@@ -49,18 +73,17 @@ impl HarnessArgs {
                 "--trace" => args.trace = it.next(),
                 "--metrics" => args.metrics = it.next(),
                 "--profile" => args.profile = true,
-                "--help" | "-h" => {
-                    eprintln!(
-                        "flags: --quick (tiny instances), --seed N, --trace PATH \
-                         (Chrome trace JSON), --metrics PATH (JSONL), --profile \
-                         (per-kernel summary table)"
-                    );
-                    std::process::exit(0);
-                }
-                other => eprintln!("ignoring unknown flag {other}"),
+                _ => extras.push(a),
             }
         }
-        args
+        (args, extras)
+    }
+
+    /// The usage line for the common flags, for binaries composing their
+    /// own `--help` output.
+    pub fn common_usage() -> &'static str {
+        "--quick (tiny instances), --seed N, --trace PATH (Chrome trace \
+         JSON), --metrics PATH (JSONL), --profile (per-kernel summary table)"
     }
 
     /// Whether any telemetry output was requested.
@@ -189,6 +212,17 @@ mod tests {
             metrics: None,
             profile: false,
         }
+    }
+
+    #[test]
+    fn parse_from_splits_known_and_extra_flags() {
+        let tokens = ["--quick", "--qps", "500", "--seed", "7", "--fp16"]
+            .into_iter()
+            .map(String::from);
+        let (args, extras) = HarnessArgs::parse_from(tokens);
+        assert!(args.quick);
+        assert_eq!(args.seed, 7);
+        assert_eq!(extras, vec!["--qps", "500", "--fp16"]);
     }
 
     #[test]

@@ -89,7 +89,7 @@ impl AlsConfig {
     }
 
     /// The GPU-ALS baseline configuration (the paper's own HPDC'16
-    /// predecessor [31]): exact batched LU and conventional coalesced
+    /// predecessor \[31\]): exact batched LU and conventional coalesced
     /// loads — no Solution 2/3/4.
     pub fn gpu_als_baseline(profile: &DatasetProfile) -> AlsConfig {
         AlsConfig {

@@ -14,6 +14,81 @@ use crate::kernels::solve::solve_row;
 use cumf_numeric::dense::DenseMatrix;
 use cumf_numeric::sym::SymPacked;
 
+/// Reusable workspace for fold-in solves at one feature dimension `f`.
+///
+/// One fold-in allocates a staging buffer, a packed Gram matrix, a bias
+/// vector and two index/value scatter buffers; a serving engine folding
+/// cold users on every micro-batch wants to pay that once per worker, not
+/// once per request. All buffers are fully overwritten on each solve, so
+/// reuse never leaks state between rows.
+#[derive(Clone, Debug)]
+pub struct FoldInScratch {
+    shape: HermitianShape,
+    staging: Vec<f32>,
+    a: SymPacked,
+    b: Vec<f32>,
+    cols: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl FoldInScratch {
+    /// A workspace for feature dimension `f` (the paper's BIN staging
+    /// shape).
+    pub fn new(f: usize) -> FoldInScratch {
+        let shape = HermitianShape::paper(f);
+        FoldInScratch {
+            staging: Vec::with_capacity(shape.bin * f),
+            shape,
+            a: SymPacked::zeros(f),
+            b: vec![0.0f32; f],
+            cols: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The feature dimension this workspace was sized for.
+    pub fn f(&self) -> usize {
+        self.b.len()
+    }
+}
+
+/// [`fold_in_row`] writing into a caller-provided buffer through a
+/// reusable [`FoldInScratch`] — the allocation-free form batch callers
+/// loop over. `out.len()` and `scratch.f()` must equal
+/// `item_factors.cols()`.
+pub fn fold_in_row_into(
+    item_factors: &DenseMatrix,
+    ratings: &[(u32, f32)],
+    lambda: f32,
+    solver: &SolverKind,
+    scratch: &mut FoldInScratch,
+    out: &mut [f32],
+) {
+    let f = item_factors.cols();
+    assert_eq!(out.len(), f, "output buffer must be f-long");
+    assert_eq!(scratch.f(), f, "scratch sized for a different f");
+    out.fill(0.0);
+    if ratings.is_empty() {
+        return;
+    }
+    scratch.cols.clear();
+    scratch.values.clear();
+    for &(v, r) in ratings {
+        scratch.cols.push(v);
+        scratch.values.push(r);
+    }
+    hermitian_row(
+        &scratch.cols,
+        item_factors,
+        lambda,
+        &scratch.shape,
+        &mut scratch.staging,
+        &mut scratch.a,
+    );
+    bias_row(&scratch.cols, &scratch.values, item_factors, &mut scratch.b);
+    solve_row(solver, &scratch.a, out, &scratch.b);
+}
+
 /// Fold a new row (user) into an existing model: returns the factor vector
 /// that optimally explains `ratings` against the fixed `item_factors`.
 ///
@@ -28,22 +103,13 @@ pub fn fold_in_row(
 ) -> Vec<f32> {
     let f = item_factors.cols();
     let mut x = vec![0.0f32; f];
-    if ratings.is_empty() {
-        return x;
-    }
-    let cols: Vec<u32> = ratings.iter().map(|&(v, _)| v).collect();
-    let values: Vec<f32> = ratings.iter().map(|&(_, r)| r).collect();
-    let shape = HermitianShape::paper(f);
-    let mut staging = Vec::with_capacity(shape.bin * f);
-    let mut a = SymPacked::zeros(f);
-    hermitian_row(&cols, item_factors, lambda, &shape, &mut staging, &mut a);
-    let mut b = vec![0.0f32; f];
-    bias_row(&cols, &values, item_factors, &mut b);
-    solve_row(solver, &a, &mut x, &b);
+    let mut scratch = FoldInScratch::new(f);
+    fold_in_row_into(item_factors, ratings, lambda, solver, &mut scratch, &mut x);
     x
 }
 
 /// Fold a batch of new rows in, returning an `rows × f` factor matrix.
+/// Rows solve in parallel, each worker reusing one [`FoldInScratch`].
 pub fn fold_in_batch(
     item_factors: &DenseMatrix,
     rows: &[Vec<(u32, f32)>],
@@ -56,9 +122,12 @@ pub fn fold_in_batch(
     out.as_mut_slice()
         .par_chunks_mut(f)
         .zip(rows.par_iter())
-        .for_each(|(row, ratings)| {
-            row.copy_from_slice(&fold_in_row(item_factors, ratings, lambda, solver));
-        });
+        .for_each_init(
+            || FoldInScratch::new(f),
+            |scratch, (row, ratings)| {
+                fold_in_row_into(item_factors, ratings, lambda, solver, scratch, row);
+            },
+        );
     out
 }
 
@@ -124,6 +193,29 @@ mod tests {
         let (_, _, theta) = trained();
         let folded = fold_in_row(&theta, &[], 0.05, &SolverKind::BatchCholesky);
         assert!(folded.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // Solving row B after row A through one scratch must equal solving
+        // B through a fresh scratch — no state may leak between solves.
+        let (data, _, theta) = trained();
+        let a: Vec<(u32, f32)> = data.r.row_iter(0).collect();
+        let b: Vec<(u32, f32)> = data.r.row_iter(1).collect();
+        let solver = SolverKind::cumf_default();
+        let f = theta.cols();
+        let mut shared = FoldInScratch::new(f);
+        let mut out_a = vec![0.0f32; f];
+        let mut out_b = vec![0.0f32; f];
+        fold_in_row_into(&theta, &a, 0.05, &solver, &mut shared, &mut out_a);
+        fold_in_row_into(&theta, &b, 0.05, &solver, &mut shared, &mut out_b);
+        let mut fresh = FoldInScratch::new(f);
+        let mut out_fresh = vec![1.0f32; f]; // dirty output buffer too
+        fold_in_row_into(&theta, &b, 0.05, &solver, &mut fresh, &mut out_fresh);
+        assert_eq!(out_b, out_fresh);
+        // Empty ratings still zero a dirty output buffer.
+        fold_in_row_into(&theta, &[], 0.05, &solver, &mut shared, &mut out_a);
+        assert!(out_a.iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -58,7 +58,8 @@ pub use als::{
     EpochReport, Side, SideCosts, TrainReport,
 };
 pub use config::{AlsConfig, Precision, SolverKind};
-pub use fold_in::{fold_in_batch, fold_in_row};
+pub use fold_in::{fold_in_batch, fold_in_row, fold_in_row_into, FoldInScratch};
 pub use hybrid::{HybridTrainer, IncrementalConfig};
 pub use implicit::{ImplicitAlsConfig, ImplicitAlsTrainer};
+pub use metrics::{predict, test_rmse, training_objective};
 pub use selector::{select, Algorithm, Selection};

@@ -26,6 +26,8 @@
 pub mod generator;
 pub mod loader;
 pub mod profile;
+pub mod requests;
 
 pub use generator::{MfDataset, SizeClass};
 pub use profile::DatasetProfile;
+pub use requests::{RequestSampler, SampledRequest};

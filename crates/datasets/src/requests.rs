@@ -1,0 +1,170 @@
+//! Serving-traffic synthesis: who asks for recommendations, and when.
+//!
+//! The generators in this crate shape *training* data; this module shapes
+//! the *request stream* a serving benchmark replays against the trained
+//! model. Two empirical properties matter for cache and batching behavior:
+//!
+//! * **Skew** — active users request far more often than inactive ones.
+//!   We reuse each user's planted activity (training-row non-zero count)
+//!   as their request weight, so the same log-normal skew that shaped the
+//!   rating matrix shapes the traffic, and cache hit ratios are meaningful.
+//! * **Burstiness** — arrivals are a Poisson process at a target QPS
+//!   (exponential inter-arrival gaps), not a metronome.
+//!
+//! Everything is deterministic from the seed, like the rest of the crate.
+
+use crate::generator::MfDataset;
+use rand::prelude::*;
+
+/// One synthetic request: a user asking at an arrival time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampledRequest {
+    /// Requesting user (row of the training matrix).
+    pub user: u32,
+    /// Arrival time in seconds from stream start.
+    pub arrival: f64,
+}
+
+/// Weighted sampler of recommendation requests.
+#[derive(Clone, Debug)]
+pub struct RequestSampler {
+    /// Cumulative weights over users; `cdf[m-1]` is the total weight.
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl RequestSampler {
+    /// Traffic shaped like `data`'s planted user activity: user `u`'s
+    /// request weight is `1 + row_nnz(u)`, so heavy raters dominate the
+    /// stream the way they dominated the rating matrix (the `+1` keeps
+    /// holdout-emptied users reachable).
+    pub fn from_dataset(data: &MfDataset, seed: u64) -> RequestSampler {
+        Self::from_weights((0..data.m()).map(|u| 1.0 + data.r.row_nnz(u) as f64), seed)
+    }
+
+    /// Uniform traffic over `m` users (the cache-hostile worst case).
+    pub fn uniform(m: usize, seed: u64) -> RequestSampler {
+        Self::from_weights(std::iter::repeat_n(1.0, m), seed)
+    }
+
+    /// Arbitrary non-negative per-user weights (at least one must be
+    /// positive).
+    pub fn from_weights(weights: impl IntoIterator<Item = f64>, seed: u64) -> RequestSampler {
+        let mut cdf = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and ≥ 0");
+            total += w;
+            cdf.push(total);
+        }
+        assert!(total > 0.0, "at least one user needs positive weight");
+        RequestSampler {
+            cdf,
+            rng: StdRng::seed_from_u64(seed ^ 0x5E57_1CE5),
+        }
+    }
+
+    /// Number of users in the population.
+    pub fn n_users(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one requesting user (weighted, with replacement).
+    pub fn next_user(&mut self) -> u32 {
+        let total = *self.cdf.last().unwrap();
+        let x = self.rng.gen_f64() * total;
+        // First index whose cumulative weight exceeds x.
+        self.cdf.partition_point(|&c| c <= x) as u32
+    }
+
+    /// Draw `count` requests arriving as a Poisson process at `qps`
+    /// requests/second (arrival times strictly increase from ~0).
+    pub fn sample(&mut self, count: usize, qps: f64) -> Vec<SampledRequest> {
+        assert!(qps > 0.0, "target QPS must be positive");
+        let mut t = 0.0f64;
+        (0..count)
+            .map(|_| {
+                // Exponential inter-arrival: -ln(1-u)/λ, u ∈ [0,1).
+                let u = self.rng.gen_f64();
+                t += -(1.0 - u).ln() / qps;
+                SampledRequest {
+                    user: self.next_user(),
+                    arrival: t,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::SizeClass;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let d = MfDataset::netflix(SizeClass::Tiny, 11);
+        let a = RequestSampler::from_dataset(&d, 5).sample(200, 100.0);
+        let b = RequestSampler::from_dataset(&d, 5).sample(200, 100.0);
+        assert_eq!(a, b);
+        let c = RequestSampler::from_dataset(&d, 6).sample(200, 100.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_increase_at_roughly_target_qps() {
+        let mut s = RequestSampler::uniform(10, 1);
+        let reqs = s.sample(2000, 500.0);
+        for w in reqs.windows(2) {
+            assert!(w[1].arrival > w[0].arrival);
+        }
+        let span = reqs.last().unwrap().arrival;
+        let rate = 2000.0 / span;
+        assert!((rate - 500.0).abs() < 50.0, "achieved rate {rate}");
+    }
+
+    #[test]
+    fn activity_weighting_skews_traffic() {
+        let d = MfDataset::netflix(SizeClass::Tiny, 12);
+        let mut s = RequestSampler::from_dataset(&d, 2);
+        let mut counts = vec![0u32; d.m()];
+        for _ in 0..20_000 {
+            counts[s.next_user() as usize] += 1;
+        }
+        // The most active decile should receive well over its uniform
+        // share (10%) of requests.
+        let mut users: Vec<usize> = (0..d.m()).collect();
+        users.sort_unstable_by_key(|&u| std::cmp::Reverse(d.r.row_nnz(u)));
+        let top: u32 = users[..d.m() / 10].iter().map(|&u| counts[u]).sum();
+        let share = top as f64 / 20_000.0;
+        assert!(share > 0.2, "top-decile share {share}");
+    }
+
+    #[test]
+    fn uniform_covers_all_users() {
+        let mut s = RequestSampler::uniform(8, 3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[s.next_user() as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn weighted_sampling_respects_zero_weights() {
+        let mut s = RequestSampler::from_weights([0.0, 1.0, 0.0, 3.0], 4);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[s.next_user() as usize] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        assert!(counts[3] > counts[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn all_zero_weights_rejected() {
+        let _ = RequestSampler::from_weights([0.0, 0.0], 1);
+    }
+}

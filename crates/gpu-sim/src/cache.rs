@@ -8,6 +8,18 @@
 //! 2. **Microbenchmark experiments** — the Figure-4 harness replays a
 //!    sampled slice of the real `get_hermitian` access stream to measure
 //!    L1/L2 behaviour of coalesced vs. non-coalesced staging directly.
+//!
+//! # Example
+//!
+//! ```
+//! use cumf_gpu_sim::cache::{Access, CacheSim};
+//!
+//! // A Maxwell-shaped L1: 24 KiB of 128-byte lines, 4-way.
+//! let mut l1 = CacheSim::new(24 * 1024, 128, 4);
+//! assert_eq!(l1.access(0x1000), Access::Miss); // cold line
+//! assert_eq!(l1.access(0x1004), Access::Hit);  // same 128-byte line
+//! assert_eq!(l1.hit_ratio(), 0.5);
+//! ```
 
 use serde::Serialize;
 

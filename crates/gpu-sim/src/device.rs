@@ -9,6 +9,21 @@
 //! The peak numbers are the ones the paper quotes; microarchitectural
 //! parameters (SM counts, register files, cache sizes) come from the vendor
 //! whitepapers for those parts.
+//!
+//! # Example
+//!
+//! ```
+//! use cumf_gpu_sim::device::{GpuGeneration, GpuSpec};
+//!
+//! let titan = GpuSpec::maxwell_titan_x();
+//! assert_eq!(titan.generation, GpuGeneration::Maxwell);
+//! assert_eq!(titan.peak_fp32_flops, 7.0e12); // Table III: 7 TFLOPS
+//!
+//! // Pascal runs FP16 arithmetic at twice the FP32 rate; on Maxwell FP16
+//! // only saves memory bandwidth, not compute.
+//! assert_eq!(GpuSpec::pascal_p100().fp16_rate_ratio, 2.0);
+//! assert_eq!(titan.fp16_rate_ratio, 1.0);
+//! ```
 
 /// The GPU microarchitecture generations modeled: the three the paper
 /// evaluates, plus Volta — the Tensor-Core part its future work targets.

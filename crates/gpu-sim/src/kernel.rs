@@ -18,6 +18,33 @@
 //! The same struct doubles as the **operation counter** the Table-I harness
 //! reads: its additive monoid structure ([`KernelCost::accumulate`]) sums
 //! per-launch costs into per-epoch compute/memory totals.
+//!
+//! # Example
+//!
+//! A launch that streams 34 GB through DRAM on the Titan X (340 GB/s) is
+//! memory-bound and prices at 0.1 simulated seconds:
+//!
+//! ```
+//! use cumf_gpu_sim::device::GpuSpec;
+//! use cumf_gpu_sim::kernel::{launch_time, KernelCost};
+//! use cumf_gpu_sim::occupancy::{occupancy, KernelResources};
+//!
+//! let spec = GpuSpec::maxwell_titan_x();
+//! let occ = occupancy(
+//!     &spec,
+//!     &KernelResources { regs_per_thread: 32, threads_per_block: 256, shared_mem_per_block: 0 },
+//! );
+//! let cost = KernelCost {
+//!     flops_fp32: 1e9,
+//!     dram_read_bytes: 34e9,
+//!     mlp: 4.0,
+//!     pipe_efficiency: 1.0,
+//!     ..KernelCost::default()
+//! };
+//! let t = launch_time(&spec, &occ, &cost);
+//! assert_eq!(t.bound(), "dram");
+//! assert!((t.time - 0.1).abs() < 1e-12);
+//! ```
 
 use crate::device::GpuSpec;
 use crate::occupancy::Occupancy;

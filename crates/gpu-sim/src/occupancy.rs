@@ -6,6 +6,26 @@
 //! per thread and 64-thread blocks, so an SM holds
 //! `65536 / (168 × 64) ≈ 6` blocks — far below the 32-block capacity, hence
 //! low occupancy, hence latency-bound loads (and hence Solution 2).
+//!
+//! # Example
+//!
+//! The paper's worked example, verbatim:
+//!
+//! ```
+//! use cumf_gpu_sim::device::GpuSpec;
+//! use cumf_gpu_sim::occupancy::{occupancy, KernelResources, OccupancyLimit};
+//!
+//! let occ = occupancy(
+//!     &GpuSpec::maxwell_titan_x(),
+//!     &KernelResources {
+//!         regs_per_thread: 168,     // get_hermitian at f = 100, T = 10
+//!         threads_per_block: 64,
+//!         shared_mem_per_block: 4 * 1024,
+//!     },
+//! );
+//! assert_eq!(occ.blocks_per_sm, 6); // 65536 / (168 × 64) = 6
+//! assert_eq!(occ.limited_by, OccupancyLimit::Registers);
+//! ```
 
 use crate::device::GpuSpec;
 use serde::Serialize;

@@ -3,7 +3,7 @@
 //! This crate is dependency-light on purpose: everything the ALS/SGD/CCD
 //! solvers need from "a BLAS" is implemented here from scratch —
 //!
-//! * [`f16`] — a software IEEE 754 binary16 type, the storage format used by
+//! * [`mod@f16`] — a software IEEE 754 binary16 type, the storage format used by
 //!   the paper's reduced-precision CG solver (Solution 4);
 //! * [`dense`] — dense vector/matrix kernels (dot, axpy, gemv, gemm, norms);
 //! * [`sym`] — symmetric matrices in lower-triangular packed storage, the

@@ -1,0 +1,317 @@
+//! LRU result cache keyed by `(user, model epoch)`.
+//!
+//! Recommendation traffic is heavily skewed (the dataset generators plant
+//! Zipf item popularity and log-normal user activity precisely because real
+//! traces look that way), so a small cache in front of the scorer absorbs a
+//! large share of requests. Keying by epoch makes invalidation free: a
+//! published snapshot changes the key of every lookup, so stale entries
+//! simply stop being hit and age out of the LRU list.
+//!
+//! Entries are returned by reference to the stored vector, so a hit is
+//! bit-identical to the scoring pass that populated it (test-enforced).
+
+use crate::topk::ScoredItem;
+use std::collections::HashMap;
+
+/// Cache key: a known user under one published model epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// User row.
+    pub user: u32,
+    /// Model epoch the cached ranking was computed under.
+    pub epoch: u64,
+}
+
+/// Hit/miss/occupancy counters, cheap to copy out for telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Maximum entries.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits over all lookups (0 when nothing was looked up).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+/// One slot of the intrusive LRU list.
+#[derive(Debug)]
+struct Slot {
+    key: CacheKey,
+    value: Vec<ScoredItem>,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map from [`CacheKey`] to a ranked
+/// item list. All operations are `O(1)` (hash map + intrusive list).
+///
+/// ```
+/// use cumf_serve::cache::{CacheKey, ResultCache};
+/// use cumf_serve::topk::ScoredItem;
+///
+/// let mut cache = ResultCache::new(2);
+/// let k = |user| CacheKey { user, epoch: 0 };
+/// let v = vec![ScoredItem { item: 9, score: 1.0 }];
+/// cache.insert(k(1), v.clone());
+/// cache.insert(k(2), v.clone());
+/// assert!(cache.get(&k(1)).is_some()); // 1 is now most-recent
+/// cache.insert(k(3), v.clone());       // evicts 2, the LRU entry
+/// assert!(cache.get(&k(2)).is_none());
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<Slot>,
+    /// Most-recently-used slot index, NIL when empty.
+    head: usize,
+    /// Least-recently-used slot index, NIL when empty.
+    tail: usize,
+    /// Reusable slot indices from evictions.
+    free: Vec<usize>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` entries (0 disables
+    /// caching: every lookup misses and inserts are dropped).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<&[ScoredItem]> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.detach(idx);
+                self.push_front(idx);
+                Some(&self.slots[idx].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether `key` is resident, without touching recency or counters.
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Insert (or overwrite) `key`, evicting the least-recently-used entry
+    /// if the cache is full.
+    pub fn insert(&mut self, key: CacheKey, value: Vec<ScoredItem>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slots[idx].value = value;
+            self.detach(idx);
+            self.push_front(idx);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            self.detach(lru);
+            let old = self.slots[lru].key;
+            self.map.remove(&old);
+            self.free.push(lru);
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Slot {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            len: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drop every entry (counters are preserved — they describe traffic,
+    /// not contents).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(user: u32, epoch: u64) -> CacheKey {
+        CacheKey { user, epoch }
+    }
+
+    fn val(item: u32) -> Vec<ScoredItem> {
+        vec![ScoredItem {
+            item,
+            score: item as f32,
+        }]
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = ResultCache::new(3);
+        for u in 0..3 {
+            c.insert(key(u, 0), val(u));
+        }
+        // Touch 0 so 1 becomes LRU.
+        assert!(c.get(&key(0, 0)).is_some());
+        c.insert(key(3, 0), val(3));
+        assert!(c.contains(&key(0, 0)));
+        assert!(!c.contains(&key(1, 0)));
+        assert!(c.contains(&key(2, 0)));
+        assert!(c.contains(&key(3, 0)));
+        assert_eq!(c.stats().len, 3);
+    }
+
+    #[test]
+    fn epoch_partitions_the_keyspace() {
+        let mut c = ResultCache::new(4);
+        c.insert(key(7, 0), val(1));
+        assert!(c.get(&key(7, 1)).is_none(), "new epoch: logical miss");
+        c.insert(key(7, 1), val(2));
+        assert_eq!(c.get(&key(7, 0)).unwrap()[0].item, 1);
+        assert_eq!(c.get(&key(7, 1)).unwrap()[0].item, 2);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut c = ResultCache::new(2);
+        assert!(c.get(&key(0, 0)).is_none());
+        c.insert(key(0, 0), val(0));
+        assert!(c.get(&key(0, 0)).is_some());
+        assert!(c.get(&key(0, 0)).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        assert!((s.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overwrite_updates_value_and_recency() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(0, 0), val(1));
+        c.insert(key(1, 0), val(2));
+        c.insert(key(0, 0), val(3)); // overwrite; 1 is now LRU
+        c.insert(key(2, 0), val(4));
+        assert!(!c.contains(&key(1, 0)));
+        assert_eq!(c.get(&key(0, 0)).unwrap()[0].item, 3);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert(key(0, 0), val(1));
+        assert!(c.get(&key(0, 0)).is_none());
+        assert_eq!(c.stats().len, 0);
+    }
+
+    #[test]
+    fn single_slot_cache_churns_correctly() {
+        let mut c = ResultCache::new(1);
+        for u in 0..10 {
+            c.insert(key(u, 0), val(u));
+            assert_eq!(c.get(&key(u, 0)).unwrap()[0].item, u);
+            if u > 0 {
+                assert!(!c.contains(&key(u - 1, 0)));
+            }
+        }
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(0, 0), val(0));
+        let _ = c.get(&key(0, 0));
+        c.clear();
+        assert_eq!(c.stats().len, 0);
+        assert_eq!(c.stats().hits, 1);
+        assert!(c.get(&key(0, 0)).is_none());
+    }
+}

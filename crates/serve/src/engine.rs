@@ -1,0 +1,433 @@
+//! The serving engine: micro-batched requests in, ranked items out.
+//!
+//! [`ServeEngine`] composes the crate's pieces into the request path:
+//!
+//! 1. snapshot the [`FactorStore`] once per batch (every request in the
+//!    batch scores one consistent epoch);
+//! 2. answer known users from the [`ResultCache`] when possible;
+//! 3. fold cold users' rating histories into factor vectors with
+//!    [`cumf_als::fold_in_batch`] (one regularized solve each, CG or
+//!    Cholesky per the configured [`SolverKind`]);
+//! 4. score all remaining users in one blocked [`top_k_batch`] pass;
+//! 5. fill the cache and emit telemetry counters.
+//!
+//! Telemetry uses *wall-clock* seconds since engine construction as the
+//! time base — serving is a real host-side workload, unlike training whose
+//! events carry simulated GPU time.
+
+use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::scorer::{top_k_batch, ScoreConfig};
+use crate::store::{FactorStore, ModelSnapshot};
+use crate::topk::ScoredItem;
+use cumf_als::{fold_in_batch, SolverKind};
+use cumf_numeric::dense::DenseMatrix;
+use cumf_telemetry::{CounterSample, PhaseSpan, Recorder};
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Engine-level configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Items returned per request.
+    pub k: usize,
+    /// Scorer tiling and precision (see [`ScoreConfig`]).
+    pub score: ScoreConfig,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Regularization for cold-start fold-in solves.
+    pub lambda: f32,
+    /// Solver for cold-start fold-in systems.
+    pub solver: SolverKind,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            k: 10,
+            score: ScoreConfig::default(),
+            cache_capacity: 4096,
+            lambda: 0.05,
+            solver: SolverKind::cumf_default(),
+        }
+    }
+}
+
+/// Who a request is for.
+#[derive(Clone, Debug)]
+pub enum UserRef {
+    /// A user the model was trained on: row of the engine's `X` matrix.
+    Known(u32),
+    /// A cold user: a rating history to fold in before scoring. Cold
+    /// results are never cached (there is no stable key for them).
+    Cold(Vec<(u32, f32)>),
+}
+
+/// One recommendation request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Caller-chosen id, echoed in the [`Recommendation`].
+    pub id: u64,
+    /// Which user to score.
+    pub user: UserRef,
+}
+
+/// One served response.
+#[derive(Clone, Debug)]
+pub struct Recommendation {
+    /// The request's id.
+    pub request_id: u64,
+    /// Model epoch the ranking was computed under.
+    pub epoch: u64,
+    /// Top-k items, best first.
+    pub items: Vec<ScoredItem>,
+    /// Whether the ranking came from the result cache.
+    pub from_cache: bool,
+}
+
+/// The batched top-k inference engine.
+///
+/// ```
+/// use cumf_numeric::dense::DenseMatrix;
+/// use cumf_serve::engine::{Request, ServeConfig, ServeEngine, UserRef};
+/// use cumf_serve::store::ModelSnapshot;
+/// use cumf_telemetry::NOOP;
+///
+/// // 2 users × 3 items, f = 2, identity-ish factors.
+/// let x = DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+/// let theta = DenseMatrix::from_vec(3, 2, vec![0.9, 0.1, 0.1, 0.9, 0.5, 0.5]);
+/// let engine = ServeEngine::new(x, ModelSnapshot::new(0, theta, vec![]), ServeConfig {
+///     k: 1,
+///     ..ServeConfig::default()
+/// });
+/// let out = engine.recommend_batch(
+///     &[Request { id: 0, user: UserRef::Known(0) }],
+///     &NOOP,
+/// );
+/// assert_eq!(out[0].items[0].item, 0); // user 0 aligns with item 0
+/// ```
+pub struct ServeEngine {
+    store: FactorStore,
+    user_factors: DenseMatrix,
+    cache: Mutex<ResultCache>,
+    cfg: ServeConfig,
+    started: Instant,
+}
+
+impl ServeEngine {
+    /// An engine serving `snapshot`, with `user_factors` (`X` from
+    /// training) backing known-user requests.
+    pub fn new(
+        user_factors: DenseMatrix,
+        snapshot: ModelSnapshot,
+        cfg: ServeConfig,
+    ) -> ServeEngine {
+        assert_eq!(
+            user_factors.cols(),
+            snapshot.f(),
+            "user and item factor dimensions must agree"
+        );
+        ServeEngine {
+            store: FactorStore::new(snapshot),
+            cache: Mutex::new(ResultCache::new(cfg.cache_capacity)),
+            user_factors,
+            cfg,
+            started: Instant::now(),
+        }
+    }
+
+    /// The underlying store, for publishing new epochs. Publishing does
+    /// not flush the cache — epoch-qualified keys make old entries
+    /// unreachable, and the LRU list ages them out.
+    pub fn store(&self) -> &FactorStore {
+        &self.store
+    }
+
+    /// Replace the known-user factor matrix (e.g. after retraining `X`
+    /// alongside a published `Θ`).
+    pub fn set_user_factors(&mut self, user_factors: DenseMatrix) {
+        assert_eq!(user_factors.cols(), self.store.snapshot().f());
+        self.user_factors = user_factors;
+    }
+
+    /// Number of known users.
+    pub fn n_users(&self) -> usize {
+        self.user_factors.rows()
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Result-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().stats()
+    }
+
+    /// Wall-clock seconds since engine construction — the time base of the
+    /// engine's telemetry events.
+    pub fn now(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Serve one known user (a batch of one).
+    pub fn recommend_user(&self, user: u32, recorder: &dyn Recorder) -> Recommendation {
+        self.recommend_batch(
+            &[Request {
+                id: user as u64,
+                user: UserRef::Known(user),
+            }],
+            recorder,
+        )
+        .pop()
+        .expect("batch of one returns one response")
+    }
+
+    /// Serve a micro-batch: cache lookups, cold-start fold-in, one blocked
+    /// scoring pass, responses in request order.
+    ///
+    /// Panics if a [`UserRef::Known`] index is out of range of the user
+    /// factor matrix.
+    pub fn recommend_batch(
+        &self,
+        requests: &[Request],
+        recorder: &dyn Recorder,
+    ) -> Vec<Recommendation> {
+        let t0 = self.now();
+        let snapshot = self.store.snapshot();
+        let epoch = snapshot.epoch;
+        let f = snapshot.f();
+
+        // Pass 1: answer from cache, collect the users that need scoring.
+        let mut responses: Vec<Option<Recommendation>> = vec![None; requests.len()];
+        // (request index, Some(user) when cacheable)
+        let mut to_score: Vec<(usize, Option<u32>)> = Vec::new();
+        let mut cold_histories: Vec<Vec<(u32, f32)>> = Vec::new();
+        let mut batch_hits = 0u64;
+        {
+            let mut cache = self.cache.lock();
+            for (i, req) in requests.iter().enumerate() {
+                match &req.user {
+                    UserRef::Known(u) => {
+                        assert!(
+                            (*u as usize) < self.user_factors.rows(),
+                            "unknown user {u}; engine knows {} users",
+                            self.user_factors.rows()
+                        );
+                        let key = CacheKey { user: *u, epoch };
+                        if let Some(items) = cache.get(&key) {
+                            batch_hits += 1;
+                            responses[i] = Some(Recommendation {
+                                request_id: req.id,
+                                epoch,
+                                items: items.to_vec(),
+                                from_cache: true,
+                            });
+                        } else {
+                            to_score.push((i, Some(*u)));
+                        }
+                    }
+                    UserRef::Cold(history) => {
+                        to_score.push((i, None));
+                        cold_histories.push(history.clone());
+                    }
+                }
+            }
+        }
+
+        // Pass 2: fold cold users, assemble the batch factor matrix.
+        let folded = if cold_histories.is_empty() {
+            None
+        } else {
+            Some(fold_in_batch(
+                snapshot.item_factors(),
+                &cold_histories,
+                self.cfg.lambda,
+                &self.cfg.solver,
+            ))
+        };
+        let mut batch = DenseMatrix::zeros(to_score.len(), f);
+        let mut next_cold = 0usize;
+        for (row, (_, user)) in to_score.iter().enumerate() {
+            let src = match user {
+                Some(u) => self.user_factors.row(*u as usize),
+                None => {
+                    let r = folded
+                        .as_ref()
+                        .expect("cold rows were folded")
+                        .row(next_cold);
+                    next_cold += 1;
+                    r
+                }
+            };
+            batch.row_mut(row).copy_from_slice(src);
+        }
+
+        // Pass 3: one blocked scoring pass over the whole micro-batch.
+        let ranked = top_k_batch(&snapshot, &batch, self.cfg.k, &self.cfg.score);
+
+        // Pass 4: fill cache, assemble responses in request order.
+        {
+            let mut cache = self.cache.lock();
+            for ((i, user), items) in to_score.iter().zip(ranked) {
+                if let Some(u) = user {
+                    cache.insert(CacheKey { user: *u, epoch }, items.clone());
+                }
+                responses[*i] = Some(Recommendation {
+                    request_id: requests[*i].id,
+                    epoch,
+                    items,
+                    from_cache: false,
+                });
+            }
+        }
+
+        if recorder.enabled() {
+            let t1 = self.now();
+            let scored = (to_score.len() - cold_histories.len()) as f64;
+            recorder.phase(PhaseSpan::new("serve.batch", t0, t1));
+            recorder.counter(CounterSample::new(
+                "serve.batch_requests",
+                t1,
+                requests.len() as f64,
+            ));
+            recorder.counter(CounterSample::new(
+                "serve.cache_hits",
+                t1,
+                batch_hits as f64,
+            ));
+            recorder.counter(CounterSample::new("serve.cache_misses", t1, scored));
+            recorder.counter(CounterSample::new(
+                "serve.cold_users",
+                t1,
+                cold_histories.len() as f64,
+            ));
+        }
+
+        responses
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_telemetry::{MemoryRecorder, NOOP};
+    use rand::prelude::*;
+
+    fn engine(users: usize, items: usize, f: usize, cfg: ServeConfig) -> ServeEngine {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut x = DenseMatrix::zeros(users, f);
+        x.fill_with(|| rng.gen_f32() - 0.5);
+        let mut theta = DenseMatrix::zeros(items, f);
+        theta.fill_with(|| rng.gen_f32() - 0.5);
+        ServeEngine::new(x, ModelSnapshot::new(0, theta, vec![]), cfg)
+    }
+
+    fn known(ids: &[u32]) -> Vec<Request> {
+        ids.iter()
+            .map(|&u| Request {
+                id: u as u64,
+                user: UserRef::Known(u),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_answers_in_request_order() {
+        let e = engine(10, 30, 4, ServeConfig::default());
+        let out = e.recommend_batch(&known(&[3, 1, 4, 1, 5]), &NOOP);
+        assert_eq!(
+            out.iter().map(|r| r.request_id).collect::<Vec<_>>(),
+            vec![3, 1, 4, 1, 5]
+        );
+        assert!(out.iter().all(|r| r.items.len() == 10));
+    }
+
+    #[test]
+    fn second_lookup_hits_cache_bit_identically() {
+        let e = engine(5, 40, 6, ServeConfig::default());
+        let cold = e.recommend_user(2, &NOOP);
+        assert!(!cold.from_cache);
+        let warm = e.recommend_user(2, &NOOP);
+        assert!(warm.from_cache);
+        assert_eq!(cold.items, warm.items, "cache must be bit-identical");
+        let s = e.cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn duplicate_users_in_one_batch_agree_then_hit() {
+        let e = engine(4, 20, 3, ServeConfig::default());
+        // Same user twice in one batch: both scored this round (the second
+        // is enqueued before the first's insert), identical results.
+        let out = e.recommend_batch(&known(&[0, 0]), &NOOP);
+        assert_eq!(out[0].items, out[1].items);
+        // Next batch hits.
+        let again = e.recommend_batch(&known(&[0]), &NOOP);
+        assert!(again[0].from_cache);
+    }
+
+    #[test]
+    fn publish_invalidates_cache_by_keying() {
+        let e = engine(3, 15, 4, ServeConfig::default());
+        let before = e.recommend_user(1, &NOOP);
+        let mut theta2 = e.store().snapshot().item_factors().clone();
+        cumf_numeric::dense::scale(-1.0, theta2.as_mut_slice());
+        e.store().publish(ModelSnapshot::new(1, theta2, vec![]));
+        let after = e.recommend_user(1, &NOOP);
+        assert!(!after.from_cache, "new epoch must not hit old entries");
+        assert_eq!(after.epoch, 1);
+        assert_ne!(before.items, after.items);
+    }
+
+    #[test]
+    fn cold_user_with_history_gets_nonzero_scores() {
+        let e = engine(2, 25, 5, ServeConfig::default());
+        let history: Vec<(u32, f32)> = (0..8).map(|v| (v, 4.0)).collect();
+        let out = e.recommend_batch(
+            &[Request {
+                id: 7,
+                user: UserRef::Cold(history),
+            }],
+            &NOOP,
+        );
+        assert!(!out[0].from_cache);
+        assert!(out[0].items.iter().any(|s| s.score != 0.0));
+    }
+
+    #[test]
+    fn mixed_batch_counts_telemetry() {
+        let e = engine(6, 20, 3, ServeConfig::default());
+        e.recommend_user(0, &NOOP); // warm one entry
+        let rec = MemoryRecorder::new();
+        let mut reqs = known(&[0, 1]);
+        reqs.push(Request {
+            id: 100,
+            user: UserRef::Cold(vec![(0, 5.0)]),
+        });
+        e.recommend_batch(&reqs, &rec);
+        let counters = rec.counter_samples();
+        let get = |name: &str| {
+            counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+                .unwrap()
+        };
+        assert_eq!(get("serve.batch_requests"), 3.0);
+        assert_eq!(get("serve.cache_hits"), 1.0);
+        assert_eq!(get("serve.cache_misses"), 1.0);
+        assert_eq!(get("serve.cold_users"), 1.0);
+        assert_eq!(rec.phase_spans().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown user")]
+    fn out_of_range_user_panics() {
+        let e = engine(2, 10, 2, ServeConfig::default());
+        e.recommend_user(5, &NOOP);
+    }
+}

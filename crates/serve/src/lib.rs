@@ -1,0 +1,68 @@
+//! # cumf-serve — batched top-k recommendation inference
+//!
+//! Training (`cumf-als`) ends with two factor matrices; serving turns them
+//! into ranked recommendations under load. This crate is the online half
+//! the ROADMAP's "heavy traffic from millions of users" goal needs:
+//!
+//! * [`store`] — [`FactorStore`]: immutable [`ModelSnapshot`]s behind an
+//!   atomic `Arc` swap, so a background trainer publishes new epochs
+//!   without ever blocking readers. Snapshots optionally carry an FP16
+//!   copy of the factors — the paper's half-precision storage trick
+//!   (Solution 4), here halving *scoring* bandwidth instead of solver
+//!   bandwidth.
+//! * [`scorer`] — a blocked user×item scoring pass reduced through
+//!   per-user bounded heaps ([`topk`]): `O(n log k)` per user, never
+//!   materializing the full score matrix.
+//! * [`engine`] — [`ServeEngine`]: micro-batching, cold-start fold-in via
+//!   [`cumf_als::fold_in_batch`], an epoch-keyed LRU result [`cache`],
+//!   and telemetry counters through [`cumf_telemetry::Recorder`].
+//! * [`metrics`] — NDCG@k, the ranking-quality yardstick used to bound the
+//!   FP16 path's approximation error.
+//!
+//! ## Round-trip: fold a cold user in, then recommend
+//!
+//! ```
+//! use cumf_als::{fold_in_row, SolverKind};
+//! use cumf_numeric::dense::DenseMatrix;
+//! use cumf_serve::scorer::{top_k_one, ScoreConfig};
+//! use cumf_serve::store::ModelSnapshot;
+//!
+//! // A trained Θ for 4 items in a 2-D latent space: items 0–1 are "genre
+//! // A", items 2–3 "genre B".
+//! let theta = DenseMatrix::from_vec(4, 2, vec![
+//!     1.0, 0.0,
+//!     0.9, 0.1,
+//!     0.0, 1.0,
+//!     0.1, 0.9,
+//! ]);
+//!
+//! // A new user who loved item 0: one regularized solve against Θ.
+//! let x_new = fold_in_row(&theta, &[(0, 5.0)], 0.05, &SolverKind::BatchCholesky);
+//!
+//! // Score them against the catalog.
+//! let snapshot = ModelSnapshot::new(0, theta, vec![]);
+//! let top = top_k_one(&snapshot, &x_new, 2, &ScoreConfig::default());
+//! assert_eq!(top[0].item, 0, "their rated item ranks first");
+//! assert_eq!(top[1].item, 1, "the same-genre neighbour is next");
+//! ```
+//!
+//! For the full engine path (batching, cache, cold-start, telemetry) see
+//! [`engine::ServeEngine`]; for the closed-loop load generator see
+//! `serve_bench` in `cumf-bench`.
+
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cache;
+pub mod engine;
+pub mod metrics;
+pub mod scorer;
+pub mod store;
+pub mod topk;
+
+pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use engine::{Recommendation, Request, ServeConfig, ServeEngine, UserRef};
+pub use metrics::{dcg_at_k, ndcg_at_k};
+pub use scorer::{score_one, top_k_batch, top_k_one, ScoreConfig};
+pub use store::{FactorStore, ModelSnapshot};
+pub use topk::{naive_top_k, ScoredItem, TopK};

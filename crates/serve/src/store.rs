@@ -1,0 +1,237 @@
+//! The factor store: immutable model snapshots behind an atomic swap.
+//!
+//! Serving reads factors on every request while a background trainer wants
+//! to publish a new epoch every few minutes. The classic lock-free-reader
+//! answer (arc-swap, RCU) is an `Arc` per snapshot swapped under a brief
+//! lock: readers clone the `Arc` (nanoseconds, never blocked by a publish
+//! in progress), in-flight batches keep scoring the epoch they started
+//! with, and the old snapshot is dropped when its last reader finishes.
+
+use cumf_numeric::dense::DenseMatrix;
+use cumf_numeric::f16::{narrow_slice, widen_slice, F16};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// One immutable published model epoch: item factors (optionally also in
+/// FP16), per-item popularity priors, and the epoch number.
+///
+/// ```
+/// use cumf_numeric::dense::DenseMatrix;
+/// use cumf_serve::store::ModelSnapshot;
+///
+/// let theta = DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+/// let snap = ModelSnapshot::new(7, theta, vec![0.1, 0.2]).with_fp16();
+/// assert_eq!(snap.epoch, 7);
+/// assert_eq!(snap.n_items(), 2);
+/// assert!(snap.has_fp16());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ModelSnapshot {
+    /// Monotonic epoch number; cache keys embed it so entries from an old
+    /// model can never answer for a new one.
+    pub epoch: u64,
+    /// Item factors `Θ`, one `f`-long row per item.
+    item_factors: DenseMatrix,
+    /// The same factors narrowed to binary16 (row-major, same layout),
+    /// populated by [`ModelSnapshot::with_fp16`]. Reading these halves
+    /// scoring bandwidth exactly as the paper's FP16 Gram storage halves
+    /// solver bandwidth.
+    item_factors_f16: Option<Vec<F16>>,
+    /// Per-item additive prior (e.g. log-popularity), added to every score;
+    /// empty means no prior.
+    popularity: Vec<f32>,
+}
+
+impl ModelSnapshot {
+    /// A snapshot of `item_factors` with additive `popularity` priors
+    /// (pass an empty vector for none; otherwise one entry per item).
+    pub fn new(epoch: u64, item_factors: DenseMatrix, popularity: Vec<f32>) -> ModelSnapshot {
+        assert!(
+            popularity.is_empty() || popularity.len() == item_factors.rows(),
+            "popularity prior length {} != item count {}",
+            popularity.len(),
+            item_factors.rows()
+        );
+        ModelSnapshot {
+            epoch,
+            item_factors,
+            item_factors_f16: None,
+            popularity,
+        }
+    }
+
+    /// Attach an FP16 copy of the factors, enabling the quantized scoring
+    /// path (builder-style). Costs one narrowing pass now; the FP32 master
+    /// stays available (fold-in always solves against it).
+    pub fn with_fp16(mut self) -> ModelSnapshot {
+        let src = self.item_factors.as_slice();
+        let mut q = vec![F16::ZERO; src.len()];
+        narrow_slice(src, &mut q);
+        self.item_factors_f16 = Some(q);
+        self
+    }
+
+    /// Number of items (rows of `Θ`).
+    pub fn n_items(&self) -> usize {
+        self.item_factors.rows()
+    }
+
+    /// Feature dimension `f`.
+    pub fn f(&self) -> usize {
+        self.item_factors.cols()
+    }
+
+    /// Whether the FP16 factor copy is present.
+    pub fn has_fp16(&self) -> bool {
+        self.item_factors_f16.is_some()
+    }
+
+    /// The FP32 item-factor matrix.
+    pub fn item_factors(&self) -> &DenseMatrix {
+        &self.item_factors
+    }
+
+    /// Additive prior for `item` (0 when no priors were attached).
+    #[inline]
+    pub fn prior(&self, item: usize) -> f32 {
+        if self.popularity.is_empty() {
+            0.0
+        } else {
+            self.popularity[item]
+        }
+    }
+
+    /// Materialize item rows `[start, start+len)` as `f32` into `scratch`
+    /// and return the filled slice, reading the FP16 copy when `fp16` is
+    /// set (and present). The FP32 path borrows directly from the matrix —
+    /// no copy — so `scratch` is only written on the quantized path.
+    pub fn block_rows<'a>(
+        &'a self,
+        start: usize,
+        len: usize,
+        fp16: bool,
+        scratch: &'a mut [f32],
+    ) -> &'a [f32] {
+        let f = self.f();
+        debug_assert!(start + len <= self.n_items());
+        match (&self.item_factors_f16, fp16) {
+            (Some(q), true) => {
+                let dst = &mut scratch[..len * f];
+                widen_slice(&q[start * f..(start + len) * f], dst);
+                dst
+            }
+            _ => {
+                let all = self.item_factors.as_slice();
+                &all[start * f..(start + len) * f]
+            }
+        }
+    }
+}
+
+/// Snapshot-swapped holder of the current [`ModelSnapshot`].
+///
+/// ```
+/// use cumf_numeric::dense::DenseMatrix;
+/// use cumf_serve::store::{FactorStore, ModelSnapshot};
+///
+/// let store = FactorStore::new(ModelSnapshot::new(0, DenseMatrix::identity(3), vec![]));
+/// let reader = store.snapshot(); // epoch 0, held across a batch
+/// store.publish(ModelSnapshot::new(1, DenseMatrix::identity(3), vec![]));
+/// assert_eq!(reader.epoch, 0);           // in-flight batch is unaffected
+/// assert_eq!(store.snapshot().epoch, 1); // new requests see the new epoch
+/// ```
+#[derive(Debug)]
+pub struct FactorStore {
+    current: RwLock<Arc<ModelSnapshot>>,
+}
+
+impl FactorStore {
+    /// A store initially serving `snapshot`.
+    pub fn new(snapshot: ModelSnapshot) -> FactorStore {
+        FactorStore {
+            current: RwLock::new(Arc::new(snapshot)),
+        }
+    }
+
+    /// The current snapshot. Cheap (`Arc` clone under a read lock) and
+    /// never blocked for the duration of a publish — hold the returned
+    /// `Arc` for a whole batch so the batch scores one consistent epoch.
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        self.current.read().clone()
+    }
+
+    /// Atomically replace the served snapshot; returns the new epoch.
+    /// In-flight readers keep their old `Arc`; it is freed when the last
+    /// of them drops it.
+    pub fn publish(&self, snapshot: ModelSnapshot) -> u64 {
+        let epoch = snapshot.epoch;
+        *self.current.write() = Arc::new(snapshot);
+        epoch
+    }
+
+    /// Epoch of the currently served snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(epoch: u64, n: usize, f: usize) -> ModelSnapshot {
+        let mut m = DenseMatrix::zeros(n, f);
+        for i in 0..n {
+            for j in 0..f {
+                m.set(i, j, (i * f + j) as f32 * 0.1);
+            }
+        }
+        ModelSnapshot::new(epoch, m, vec![])
+    }
+
+    #[test]
+    fn publish_swaps_epoch_without_touching_readers() {
+        let store = FactorStore::new(snap(1, 4, 3));
+        let held = store.snapshot();
+        assert_eq!(store.publish(snap(2, 4, 3)), 2);
+        assert_eq!(held.epoch, 1);
+        assert_eq!(store.epoch(), 2);
+        assert_eq!(store.snapshot().epoch, 2);
+    }
+
+    #[test]
+    fn fp16_block_read_is_close_to_fp32() {
+        let s = snap(0, 8, 4).with_fp16();
+        let mut scratch = vec![0.0f32; 8 * 4];
+        let exact: Vec<f32> = s.block_rows(2, 3, false, &mut scratch).to_vec();
+        let quant = s.block_rows(2, 3, true, &mut scratch);
+        assert_eq!(quant.len(), exact.len());
+        for (q, e) in quant.iter().zip(&exact) {
+            // binary16 unit roundoff is 2⁻¹¹; values here are ≤ 3.1.
+            assert!((q - e).abs() <= e.abs() * 1e-3 + 1e-6, "{q} vs {e}");
+        }
+    }
+
+    #[test]
+    fn fp16_flag_without_copy_falls_back_to_fp32() {
+        let s = snap(0, 4, 2);
+        let mut scratch = vec![0.0f32; 8];
+        let rows = s.block_rows(0, 2, true, &mut scratch);
+        assert_eq!(rows, &s.item_factors().as_slice()[..4]);
+    }
+
+    #[test]
+    fn priors_default_to_zero() {
+        let s = snap(0, 3, 2);
+        assert_eq!(s.prior(2), 0.0);
+        let with = ModelSnapshot::new(0, DenseMatrix::identity(2), vec![0.5, -0.5]);
+        assert_eq!(with.prior(0), 0.5);
+        assert_eq!(with.prior(1), -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "popularity prior length")]
+    fn wrong_prior_length_rejected() {
+        let _ = ModelSnapshot::new(0, DenseMatrix::identity(3), vec![1.0]);
+    }
+}

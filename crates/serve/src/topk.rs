@@ -1,0 +1,204 @@
+//! Bounded top-k selection: a size-capped min-heap per user.
+//!
+//! Scoring a user against `n` items produces `n` candidate scores but the
+//! response only carries `k ≪ n` of them. Keeping a k-entry min-heap while
+//! streaming scores costs `O(n log k)` and `O(k)` memory per user — versus
+//! `O(n log n)` time and `O(n)` memory for a full argsort — which is what
+//! lets the scorer walk item blocks without ever materializing the full
+//! score row.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One recommendation candidate: an item index and its score.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoredItem {
+    /// Item (column of the rating matrix / row of `Θ`).
+    pub item: u32,
+    /// Predicted score, priors included.
+    pub score: f32,
+}
+
+impl ScoredItem {
+    /// Ranking order: higher score first; ties broken toward the smaller
+    /// item id so rankings are deterministic regardless of scoring order.
+    #[inline]
+    pub fn ranks_before(&self, other: &ScoredItem) -> bool {
+        match self.score.total_cmp(&other.score) {
+            Ordering::Greater => true,
+            Ordering::Less => false,
+            Ordering::Equal => self.item < other.item,
+        }
+    }
+}
+
+/// Heap adapter: orders entries *worst-first* so a max-[`BinaryHeap`] keeps
+/// the current cut-off candidate at the top.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct WorstFirst(ScoredItem);
+
+impl Eq for WorstFirst {}
+
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.0 == other.0 {
+            Ordering::Equal
+        } else if self.0.ranks_before(&other.0) {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        }
+    }
+}
+
+/// A bounded min-heap keeping the best `k` of a stream of scored items.
+///
+/// ```
+/// use cumf_serve::topk::TopK;
+///
+/// let mut top = TopK::new(2);
+/// for (item, score) in [(0, 1.0), (1, 5.0), (2, 3.0), (3, 4.0)] {
+///     top.push(item, score);
+/// }
+/// let best = top.into_sorted();
+/// assert_eq!(best[0].item, 1);
+/// assert_eq!(best[1].item, 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<WorstFirst>,
+}
+
+impl TopK {
+    /// An empty selector that will retain at most `k` items.
+    pub fn new(k: usize) -> TopK {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offer one candidate. Kept only if fewer than `k` items have been
+    /// seen or it ranks before the current worst retained item.
+    #[inline]
+    pub fn push(&mut self, item: u32, score: f32) {
+        if self.k == 0 {
+            return;
+        }
+        let cand = ScoredItem { item, score };
+        if self.heap.len() < self.k {
+            self.heap.push(WorstFirst(cand));
+        } else if let Some(worst) = self.heap.peek() {
+            if cand.ranks_before(&worst.0) {
+                self.heap.pop();
+                self.heap.push(WorstFirst(cand));
+            }
+        }
+    }
+
+    /// Number of items currently retained (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The retained items, best first.
+    pub fn into_sorted(self) -> Vec<ScoredItem> {
+        let mut v: Vec<ScoredItem> = self.heap.into_iter().map(|w| w.0).collect();
+        v.sort_unstable_by(|a, b| {
+            if a.ranks_before(b) {
+                Ordering::Less
+            } else if b.ranks_before(a) {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        });
+        v
+    }
+}
+
+/// Reference selection: full argsort, then truncate. `O(n log n)` — used by
+/// tests as the ground truth the heap path must match exactly.
+pub fn naive_top_k(scores: &[f32], k: usize) -> Vec<ScoredItem> {
+    let mut all: Vec<ScoredItem> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| ScoredItem {
+            item: i as u32,
+            score: s,
+        })
+        .collect();
+    all.sort_unstable_by(|a, b| {
+        if a.ranks_before(b) {
+            Ordering::Less
+        } else if b.ranks_before(a) {
+            Ordering::Greater
+        } else {
+            Ordering::Equal
+        }
+    });
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k_sorted() {
+        let scores = [0.5, 3.0, -1.0, 2.0, 3.0, 0.0];
+        let mut top = TopK::new(3);
+        for (i, &s) in scores.iter().enumerate() {
+            top.push(i as u32, s);
+        }
+        let got = top.into_sorted();
+        // Ties (items 1 and 4, both 3.0) break toward the smaller id.
+        assert_eq!(
+            got.iter().map(|s| s.item).collect::<Vec<_>>(),
+            vec![1, 4, 3]
+        );
+        assert_eq!(got, naive_top_k(&scores, 3));
+    }
+
+    #[test]
+    fn fewer_candidates_than_k() {
+        let mut top = TopK::new(10);
+        top.push(7, 1.0);
+        top.push(3, 2.0);
+        let got = top.into_sorted();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].item, 3);
+    }
+
+    #[test]
+    fn k_zero_retains_nothing() {
+        let mut top = TopK::new(0);
+        top.push(0, 1.0);
+        assert!(top.is_empty());
+        assert!(top.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn matches_naive_on_adversarial_ties() {
+        // All-equal scores: ranking must be item order, and heap == argsort.
+        let scores = vec![1.0f32; 20];
+        let mut top = TopK::new(5);
+        for (i, &s) in scores.iter().enumerate() {
+            top.push(i as u32, s);
+        }
+        assert_eq!(top.into_sorted(), naive_top_k(&scores, 5));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based and model-level tests for the serving crate:
+//! the blocked top-k path against a naive argsort oracle, and the FP16
+//! scoring path's ranking quality on a trained model.
+
+use cumf_als::{AlsConfig, AlsTrainer};
+use cumf_datasets::{MfDataset, SizeClass};
+use cumf_gpu_sim::GpuSpec;
+use cumf_numeric::dense::DenseMatrix;
+use cumf_serve::{naive_top_k, ndcg_at_k, score_one, top_k_batch, ModelSnapshot, ScoreConfig};
+use proptest::prelude::*;
+
+/// A random (snapshot, user batch) pair: n items × f features plus u user
+/// rows, entries in [-1, 1], and random popularity priors.
+fn arb_model() -> impl Strategy<Value = (ModelSnapshot, DenseMatrix)> {
+    (1usize..80, 1usize..8, 1usize..12).prop_flat_map(|(n, f, u)| {
+        (
+            prop::collection::vec(-1.0f32..1.0, n * f),
+            prop::collection::vec(0.0f32..0.2, n),
+            prop::collection::vec(-1.0f32..1.0, u * f),
+        )
+            .prop_map(move |(theta, pop, x)| {
+                (
+                    ModelSnapshot::new(0, DenseMatrix::from_vec(n, f, theta), pop),
+                    DenseMatrix::from_vec(u, f, x),
+                )
+            })
+    })
+}
+
+proptest! {
+    /// The blocked, heap-reduced batch scorer must agree *exactly* (same
+    /// items, same scores, same order) with a full naive argsort of the
+    /// unblocked score rows, for every tiling geometry.
+    #[test]
+    fn batched_top_k_equals_naive_argsort(
+        model in arb_model(),
+        k in 1usize..15,
+        block_items in 1usize..97,
+        user_chunk in 1usize..9,
+    ) {
+        let (snapshot, users) = model;
+        let cfg = ScoreConfig { block_items, user_chunk, use_fp16: false };
+        let got = top_k_batch(&snapshot, &users, k, &cfg);
+        prop_assert_eq!(got.len(), users.rows());
+        for (u, ranked) in got.iter().enumerate() {
+            let scores = score_one(&snapshot, users.row(u), false);
+            let want = naive_top_k(&scores, k);
+            prop_assert_eq!(ranked, &want, "user {} tiling {}x{}", u, block_items, user_chunk);
+        }
+    }
+
+    /// Rankings are invariant under tiling: any two block geometries
+    /// produce bit-identical results.
+    #[test]
+    fn tiling_never_changes_the_ranking(
+        model in arb_model(),
+        blocks in (1usize..64, 1usize..64),
+    ) {
+        let (snapshot, users) = model;
+        let a = top_k_batch(&snapshot, &users, 8, &ScoreConfig {
+            block_items: blocks.0, user_chunk: 3, use_fp16: false });
+        let b = top_k_batch(&snapshot, &users, 8, &ScoreConfig {
+            block_items: blocks.1, user_chunk: 5, use_fp16: false });
+        prop_assert_eq!(a, b);
+    }
+}
+
+fn trained_tiny() -> (MfDataset, DenseMatrix, DenseMatrix) {
+    let data = MfDataset::netflix(SizeClass::Tiny, 77);
+    let cfg = AlsConfig {
+        f: 8,
+        iterations: 5,
+        rmse_target: None,
+        ..AlsConfig::for_profile(&data.profile)
+    };
+    let mut t = AlsTrainer::new(&data, cfg, GpuSpec::maxwell_titan_x(), 1);
+    t.train();
+    let (x, theta) = (t.x.clone(), t.theta.clone());
+    drop(t);
+    (data, x, theta)
+}
+
+/// The paper's claim, transplanted to serving: FP16 storage is
+/// approximation-free *where it matters*. Quantized scoring must not move
+/// ranking quality — NDCG@10 of the FP16 ranking, graded by the exact FP32
+/// scores, stays within 1e-3 of ideal on a trained model.
+#[test]
+fn fp16_scoring_moves_ndcg_at_10_by_less_than_1e_3() {
+    let (data, x, theta) = trained_tiny();
+    let snapshot = ModelSnapshot::new(0, theta, vec![]).with_fp16();
+    let cfg16 = ScoreConfig {
+        use_fp16: true,
+        ..ScoreConfig::default()
+    };
+    let k = 10;
+    let ranked16 = top_k_batch(&snapshot, &x, k, &cfg16);
+    let mut worst: f64 = 1.0;
+    for (u, ranked) in ranked16.iter().enumerate().take(data.m().min(200)) {
+        // Relevance = the exact FP32 scores, shifted to be non-negative.
+        let exact = score_one(&snapshot, x.row(u), false);
+        let min = exact.iter().cloned().fold(f32::INFINITY, f32::min);
+        let rel: Vec<f32> = exact.iter().map(|s| s - min).collect();
+        let ndcg = ndcg_at_k(ranked, &rel, k);
+        worst = worst.min(ndcg);
+    }
+    assert!(
+        worst > 1.0 - 1e-3,
+        "FP16 ranking NDCG@10 dropped to {worst}"
+    );
+}
+
+/// The FP32 path with a quantized copy present (but disabled) must be
+/// bit-identical to a snapshot that never carried FP16 at all.
+#[test]
+fn fp16_copy_present_but_disabled_changes_nothing() {
+    let (_, x, theta) = trained_tiny();
+    let plain = ModelSnapshot::new(0, theta.clone(), vec![]);
+    let carrying = ModelSnapshot::new(0, theta, vec![]).with_fp16();
+    let cfg = ScoreConfig::default();
+    assert_eq!(
+        top_k_batch(&plain, &x, 10, &cfg),
+        top_k_batch(&carrying, &x, 10, &cfg)
+    );
+}

@@ -1,0 +1,271 @@
+//! Log-bucketed latency histogram with quantile estimation.
+//!
+//! Serving benchmarks need p50/p95/p99 over millions of request latencies
+//! without keeping every sample. [`LatencyHistogram`] is the standard
+//! HDR-style answer scaled down: geometric buckets spanning 1 µs – ~100 s
+//! at a fixed ~5% relative resolution, O(1) record, O(buckets) quantiles,
+//! and mergeability so per-worker histograms can be combined.
+
+use serde::Serialize;
+
+/// Lowest representable latency, seconds (1 µs).
+const FLOOR: f64 = 1e-6;
+/// Geometric bucket growth factor: ~5% relative quantile error.
+const GROWTH: f64 = 1.05;
+/// Bucket count: FLOOR · GROWTH^379 ≈ 108 s of range.
+const BUCKETS: usize = 380;
+
+/// A fixed-memory histogram of latencies in seconds.
+///
+/// ```
+/// use cumf_telemetry::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for i in 1..=100 {
+///     h.record_secs(i as f64 * 1e-3); // 1ms..100ms, uniform
+/// }
+/// assert_eq!(h.count(), 100);
+/// let p50 = h.quantile(0.50);
+/// assert!((p50 - 0.050).abs() < 0.005, "p50 {p50}");
+/// assert!(h.quantile(0.99) > h.quantile(0.50));
+/// ```
+#[derive(Clone, Debug, Serialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: 0.0,
+        }
+    }
+
+    /// Bucket index of a latency: geometric above the 1 µs floor, clamped
+    /// at both ends.
+    fn bucket(secs: f64) -> usize {
+        if secs <= FLOOR {
+            return 0;
+        }
+        let idx = (secs / FLOOR).ln() / GROWTH.ln();
+        (idx as usize).min(BUCKETS - 1)
+    }
+
+    /// Representative (upper-edge) latency of bucket `i`.
+    fn bucket_value(i: usize) -> f64 {
+        FLOOR * GROWTH.powi(i as i32 + 1)
+    }
+
+    /// Record one latency in seconds. Non-finite or negative samples are
+    /// counted in the lowest bucket (they indicate a measurement bug, not
+    /// a fast request, but dropping them would skew the count).
+    pub fn record_secs(&mut self, secs: f64) {
+        let s = if secs.is_finite() && secs >= 0.0 {
+            secs
+        } else {
+            0.0
+        };
+        self.counts[Self::bucket(s)] += 1;
+        self.count += 1;
+        self.sum += s;
+        self.min = self.min.min(s);
+        self.max = self.max.max(s);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean latency in seconds (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded latency (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded latency (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The `q`-quantile latency in seconds (`q` in `[0, 1]`), within ~5%
+    /// relative error; 0 when empty. Clamped to the observed min/max so
+    /// bucket edges never report a value outside the recorded range.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one (per-worker → global).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The standard percentile triple (p50, p95, p99), seconds.
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+
+    /// Export the summary as [`CounterSample`](crate::CounterSample) events
+    /// named `{prefix}.p50` / `.p95` / `.p99` / `.mean` / `.count`, stamped
+    /// at `time` — the JSONL exporter then carries serving latencies in the
+    /// same stream as everything else.
+    pub fn to_counters(&self, prefix: &str, time: f64) -> Vec<crate::CounterSample> {
+        let (p50, p95, p99) = self.percentiles();
+        [
+            ("p50", p50),
+            ("p95", p95),
+            ("p99", p99),
+            ("mean", self.mean()),
+            ("count", self.count as f64),
+        ]
+        .into_iter()
+        .map(|(suffix, value)| crate::CounterSample::new(format!("{prefix}.{suffix}"), time, value))
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000 {
+            h.record_secs(i as f64 * 1e-4); // 0.1ms .. 100ms
+        }
+        assert_eq!(h.count(), 1000);
+        let (p50, p95, p99) = h.percentiles();
+        assert!((p50 - 0.050).abs() < 0.050 * 0.08, "p50 {p50}");
+        assert!((p95 - 0.095).abs() < 0.095 * 0.08, "p95 {p95}");
+        assert!((p99 - 0.099).abs() < 0.099 * 0.08, "p99 {p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_reports_itself_everywhere() {
+        let mut h = LatencyHistogram::new();
+        h.record_secs(0.0123);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!((v - 0.0123).abs() < 0.0123 * 0.06, "q={q}: {v}");
+        }
+        assert_eq!(h.min(), 0.0123);
+        assert_eq!(h.max(), 0.0123);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for i in 0..500 {
+            let s = 1e-5 * (1.0 + i as f64);
+            if i % 2 == 0 {
+                a.record_secs(s);
+            } else {
+                b.record_secs(s);
+            }
+            both.record_secs(s);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.quantile(0.5), both.quantile(0.5));
+        assert_eq!(a.quantile(0.99), both.quantile(0.99));
+        assert!((a.mean() - both.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_samples_clamp() {
+        let mut h = LatencyHistogram::new();
+        h.record_secs(1e-9); // below floor
+        h.record_secs(1e6); // above ceiling
+        h.record_secs(f64::NAN); // measurement bug
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile(1.0) >= 100.0, "ceiling bucket");
+    }
+
+    #[test]
+    fn counter_export_carries_the_percentiles() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..10 {
+            h.record_secs(2e-3);
+        }
+        let counters = h.to_counters("serve.latency", 1.5);
+        assert_eq!(counters.len(), 5);
+        assert!(counters.iter().all(|c| c.time == 1.5));
+        let count = counters
+            .iter()
+            .find(|c| c.name == "serve.latency.count")
+            .unwrap();
+        assert_eq!(count.value, 10.0);
+        let p50 = counters
+            .iter()
+            .find(|c| c.name == "serve.latency.p50")
+            .unwrap();
+        assert!((p50.value - 2e-3).abs() < 2e-4);
+    }
+}

@@ -16,6 +16,9 @@
 //! * **Exporters**: Chrome trace-event JSON ([`chrome`]), JSON-Lines metric
 //!   streams ([`jsonl`]), and an nvprof-style per-kernel summary table
 //!   ([`summary`]).
+//! * **Latency aggregation** ([`hist`]): a log-bucketed
+//!   [`LatencyHistogram`] (p50/p95/p99, mergeable) for the *wall-clock*
+//!   serving path, exportable into the same counter stream.
 //!
 //! Typical harness wiring:
 //!
@@ -37,12 +40,14 @@
 
 pub mod chrome;
 pub mod event;
+pub mod hist;
 pub mod jsonl;
 pub mod recorder;
 pub mod summary;
 
 pub use chrome::chrome_trace;
 pub use event::{CounterSample, Event, KernelLaunchRecord, PhaseSpan, SolverExit, SolverRecord};
+pub use hist::LatencyHistogram;
 pub use jsonl::to_jsonl;
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder, NOOP};
 pub use summary::{kernel_summary, render_summary, summarize_events, KernelSummaryRow};

@@ -4,7 +4,7 @@
 //! The contract instrumented code follows:
 //!
 //! 1. check [`Recorder::enabled`] **before** building an event (building a
-//!    [`KernelLaunchRecord`](crate::KernelLaunchRecord) allocates);
+//!    [`KernelLaunchRecord`] allocates);
 //! 2. never branch *simulation* logic on the recorder — simulated times and
 //!    model outputs must be bit-identical whether or not anyone is
 //!    listening.

@@ -1,0 +1,155 @@
+//! End-to-end serving: train with cumf-als, publish into cumf-serve,
+//! replay sampled traffic, and check the rankings, the cold-start path,
+//! the snapshot swap, and the telemetry stream all line up.
+
+use cumf_als::{AlsConfig, AlsTrainer};
+use cumf_datasets::{MfDataset, RequestSampler, SizeClass};
+use cumf_gpu_sim::GpuSpec;
+use cumf_numeric::dense::DenseMatrix;
+use cumf_serve::{ModelSnapshot, Request, ScoreConfig, ServeConfig, ServeEngine, UserRef};
+use cumf_telemetry::{to_jsonl, MemoryRecorder, NOOP};
+
+fn trained() -> (MfDataset, DenseMatrix, DenseMatrix) {
+    let data = MfDataset::netflix(SizeClass::Tiny, 4242);
+    let cfg = AlsConfig {
+        f: 8,
+        iterations: 6,
+        rmse_target: None,
+        ..AlsConfig::for_profile(&data.profile)
+    };
+    let mut t = AlsTrainer::new(&data, cfg, GpuSpec::maxwell_titan_x(), 1);
+    t.train();
+    let (x, theta) = (t.x.clone(), t.theta.clone());
+    drop(t);
+    (data, x, theta)
+}
+
+fn engine_from(x: &DenseMatrix, theta: &DenseMatrix, fp16: bool) -> ServeEngine {
+    let mut snapshot = ModelSnapshot::new(0, theta.clone(), vec![]);
+    if fp16 {
+        snapshot = snapshot.with_fp16();
+    }
+    ServeEngine::new(
+        x.clone(),
+        snapshot,
+        ServeConfig {
+            k: 10,
+            score: ScoreConfig {
+                use_fp16: fp16,
+                ..ScoreConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+}
+
+#[test]
+fn trained_model_serves_sampled_traffic() {
+    let (data, x, theta) = trained();
+    let engine = engine_from(&x, &theta, false);
+    let mut sampler = RequestSampler::from_dataset(&data, 7);
+    let stream = sampler.sample(300, 1000.0);
+
+    let rec = MemoryRecorder::new();
+    let mut served = 0;
+    for chunk in stream.chunks(32) {
+        let reqs: Vec<Request> = chunk
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Request {
+                id: i as u64,
+                user: UserRef::Known(s.user),
+            })
+            .collect();
+        let out = engine.recommend_batch(&reqs, &rec);
+        assert_eq!(out.len(), reqs.len());
+        for r in &out {
+            assert_eq!(r.items.len(), 10);
+            // Rankings are strictly ordered.
+            for w in r.items.windows(2) {
+                assert!(w[0].ranks_before(&w[1]));
+            }
+        }
+        served += out.len();
+    }
+    assert_eq!(served, 300);
+
+    // Skewed traffic over a Tiny population must produce repeat users,
+    // hence cache hits.
+    let stats = engine.cache_stats();
+    assert!(stats.hits > 0, "no cache hits over 300 skewed requests");
+    assert_eq!(stats.hits + stats.misses, 300);
+
+    // The telemetry stream carries the serving counters.
+    let jsonl = to_jsonl(&rec.events());
+    assert!(jsonl.contains("serve.batch_requests"));
+    assert!(jsonl.contains("serve.cache_hits"));
+}
+
+#[test]
+fn cold_start_reconstructs_a_known_users_taste() {
+    let (data, x, theta) = trained();
+    let engine = engine_from(&x, &theta, false);
+    // The heaviest rater: their fold-in solve is best-conditioned.
+    let user = (0..data.m()).max_by_key(|&u| data.r.row_nnz(u)).unwrap() as u32;
+    let known = engine.recommend_user(user, &NOOP);
+    let cold = engine.recommend_batch(
+        &[Request {
+            id: 0,
+            user: UserRef::Cold(data.r.row_iter(user as usize).collect()),
+        }],
+        &NOOP,
+    );
+    // Folding the user's own history must land on essentially the same
+    // recommendations the trained factors produce.
+    let known_items: Vec<u32> = known.items.iter().map(|s| s.item).collect();
+    let overlap = cold[0]
+        .items
+        .iter()
+        .filter(|s| known_items.contains(&s.item))
+        .count();
+    assert!(
+        overlap >= 7,
+        "cold-start top-10 shares only {overlap}/10 items with the trained ranking"
+    );
+}
+
+#[test]
+fn publishing_a_new_epoch_rolls_the_cache_over() {
+    let (_, x, theta) = trained();
+    let engine = engine_from(&x, &theta, false);
+    let first = engine.recommend_user(3, &NOOP);
+    assert!(!first.from_cache);
+    assert!(engine.recommend_user(3, &NOOP).from_cache);
+
+    // "Retrain" (identity republish is enough for the swap semantics).
+    engine
+        .store()
+        .publish(ModelSnapshot::new(1, theta.clone(), vec![]));
+    let after = engine.recommend_user(3, &NOOP);
+    assert_eq!(after.epoch, 1);
+    assert!(!after.from_cache, "old epoch's entry must not answer");
+    // Identical factors ⇒ identical ranking, fresh epoch tag.
+    assert_eq!(after.items, first.items);
+}
+
+#[test]
+fn fp16_engine_serves_nearly_the_same_items() {
+    let (data, x, theta) = trained();
+    let exact = engine_from(&x, &theta, false);
+    let quant = engine_from(&x, &theta, true);
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for user in (0..data.m() as u32).step_by(37) {
+        let a = exact.recommend_user(user, &NOOP);
+        let b = quant.recommend_user(user, &NOOP);
+        let a_items: Vec<u32> = a.items.iter().map(|s| s.item).collect();
+        agree += b.items.iter().filter(|s| a_items.contains(&s.item)).count();
+        total += a.items.len();
+    }
+    let frac = agree as f64 / total as f64;
+    assert!(
+        frac > 0.95,
+        "FP16 top-10 agreement with FP32 only {frac:.3}"
+    );
+}
