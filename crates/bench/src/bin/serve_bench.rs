@@ -1,41 +1,57 @@
-//! Closed-loop serving benchmark: train once, then replay a Poisson
-//! request stream against the `cumf-serve` engine and report latency
-//! percentiles, throughput and cache effectiveness.
+//! Serving benchmark: train once, then replay a Poisson request stream
+//! through the `cumf-serve` admission queue and report latency
+//! percentiles, throughput, shed rate and cache effectiveness.
 //!
-//! The generator paces request *arrivals* at the target QPS (open-loop
-//! arrivals), but dispatches them in micro-batches as the engine frees up
-//! (closed-loop service), so queueing delay shows up in the latencies the
-//! moment the engine can't keep up — exactly the saturation behavior a
-//! capacity plan needs to see.
+//! The generator paces request *arrivals* at the target QPS and submits
+//! each into the engine's bounded admission queue; a worker thread drains
+//! the queue into micro-batches that close on size or age. In the default
+//! closed loop a full queue blocks the submitter (backpressure), so
+//! queueing delay shows up in the latencies the moment the engine can't
+//! keep up. With `--open-loop` the submitter never blocks: a full queue
+//! *sheds* the request, and overload turns into a measured rejection rate
+//! while the latency of admitted requests stays bounded.
 //!
 //! ```text
 //! cargo run --release -p cumf-bench --bin serve_bench -- \
-//!     --quick --qps 2000 --requests 4000 --fp16 --metrics /tmp/serve.jsonl
+//!     --quick --qps 2000 --requests 4000 --shards 4 --fp16 \
+//!     --json BENCH_serve.json --metrics /tmp/serve.jsonl
 //! ```
 //!
 //! Extra flags on top of the common set: `--qps F`, `--requests N`,
-//! `--k N`, `--batch N` (micro-batch size), `--cache N` (entries),
-//! `--cold-frac F` (fraction served as cold-start fold-ins), `--fp16`
-//! (score from the FP16 factor copy), `--republish` (publish a new model
-//! epoch halfway through, exercising snapshot swap + cache turnover).
+//! `--k N`, `--batch N` (max micro-batch), `--batch-age-us N` (batch close
+//! deadline), `--queue-depth N` (admission queue capacity), `--shards N`
+//! (item-range shards), `--open-loop` (shed instead of blocking when the
+//! queue is full), `--cache N` (entries), `--cold-frac F` (fraction served
+//! as cold-start fold-ins), `--fp16` (score from the FP16 factor copy),
+//! `--republish` (publish a new model epoch halfway through), `--json
+//! PATH` (write a machine-readable summary).
 
 use cumf_als::{AlsConfig, AlsTrainer};
 use cumf_bench::{fmt_s, rule, HarnessArgs, TelemetrySink};
 use cumf_datasets::{MfDataset, RequestSampler, SizeClass};
 use cumf_gpu_sim::GpuSpec;
-use cumf_serve::{ModelSnapshot, Request, ScoreConfig, ServeConfig, ServeEngine, UserRef};
+use cumf_serve::{
+    admission_queue, AdmissionConfig, AdmissionReport, Completion, ModelSnapshot, Request,
+    ScoreConfig, ServeConfig, ServeEngine, SubmitError, UserRef,
+};
 use cumf_telemetry::{CounterSample, LatencyHistogram};
-use std::time::{Duration, Instant};
+use serde::Value;
+use std::time::Duration;
 
 struct ServeFlags {
     qps: f64,
     requests: usize,
     k: usize,
     batch: usize,
+    batch_age_us: u64,
+    queue_depth: usize,
+    shards: usize,
+    open_loop: bool,
     cache: usize,
     cold_frac: f64,
     fp16: bool,
     republish: bool,
+    json: Option<String>,
 }
 
 fn parse_flags() -> (HarnessArgs, ServeFlags) {
@@ -45,10 +61,15 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
         requests: if args.quick { 4000 } else { 20000 },
         k: 10,
         batch: 64,
+        batch_age_us: 500,
+        queue_depth: 256,
+        shards: 1,
+        open_loop: false,
         cache: 4096,
         cold_frac: 0.02,
         fp16: false,
         republish: false,
+        json: None,
     };
     let mut it = extras.into_iter();
     while let Some(a) = it.next() {
@@ -58,14 +79,21 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
             "--requests" => flags.requests = val(20000.0) as usize,
             "--k" => flags.k = val(10.0) as usize,
             "--batch" => flags.batch = (val(64.0) as usize).max(1),
+            "--batch-age-us" => flags.batch_age_us = val(500.0) as u64,
+            "--queue-depth" => flags.queue_depth = (val(256.0) as usize).max(1),
+            "--shards" => flags.shards = (val(1.0) as usize).max(1),
+            "--open-loop" => flags.open_loop = true,
             "--cache" => flags.cache = val(4096.0) as usize,
             "--cold-frac" => flags.cold_frac = val(0.02),
             "--fp16" => flags.fp16 = true,
             "--republish" => flags.republish = true,
+            "--json" => flags.json = it.next(),
             "--help" | "-h" => {
                 eprintln!(
                     "serve_bench flags: --qps F, --requests N, --k N, --batch N, \
-                     --cache N, --cold-frac F, --fp16, --republish; common: {}",
+                     --batch-age-us N, --queue-depth N, --shards N, --open-loop, \
+                     --cache N, --cold-frac F, --fp16, --republish, --json PATH; \
+                     common: {}",
                     HarnessArgs::common_usage()
                 );
                 std::process::exit(0);
@@ -81,6 +109,15 @@ fn popularity_prior(data: &MfDataset) -> Vec<f32> {
     (0..data.n())
         .map(|v| 0.01 * (1.0 + data.rt.row_nnz(v) as f32).ln())
         .collect()
+}
+
+/// Everything the replay measured, for the human report and the JSON dump.
+struct ReplaySummary {
+    served: usize,
+    shed: usize,
+    span: f64,
+    latency: LatencyHistogram,
+    admission: AdmissionReport,
 }
 
 fn main() {
@@ -120,6 +157,7 @@ fn main() {
         snapshot,
         ServeConfig {
             k: flags.k,
+            shards: flags.shards,
             cache_capacity: flags.cache,
             score: ScoreConfig {
                 use_fp16: flags.fp16,
@@ -141,77 +179,126 @@ fn main() {
     };
 
     eprintln!(
-        "replaying {} requests at {} QPS (batch ≤ {}, cache {}, k {}, {}{})",
+        "replaying {} requests at {} QPS ({} loop, batch ≤ {} or {} µs, queue {}, \
+         {} shard{}, cache {}, k {}, {}{})",
         flags.requests,
         flags.qps,
+        if flags.open_loop { "open" } else { "closed" },
         flags.batch,
+        flags.batch_age_us,
+        flags.queue_depth,
+        flags.shards,
+        if flags.shards == 1 { "" } else { "s" },
         flags.cache,
         flags.k,
         if flags.fp16 { "fp16" } else { "fp32" },
         if flags.republish { ", republish" } else { "" },
     );
 
-    // ── Closed-loop replay ──────────────────────────────────────────────
-    let mut hist = LatencyHistogram::new();
-    let mut served = 0usize;
-    let mut republished = false;
-    let t0 = Instant::now();
-    let mut next = 0usize;
-    while next < stream.len() {
-        // Mid-run publish: same factors, new epoch — snapshot swap under
-        // load, every cache key rolls over.
-        if flags.republish && !republished && next >= stream.len() / 2 {
-            let snap = engine.store().snapshot();
-            let mut fresh = ModelSnapshot::new(
-                snap.epoch + 1,
-                snap.item_factors().clone(),
-                popularity_prior(&data),
-            );
-            if flags.fp16 {
-                fresh = fresh.with_fp16();
+    // ── Replay through the admission queue ──────────────────────────────
+    // The worker drains the queue on its own thread while this thread
+    // paces arrivals; latency for an admitted request is measured from its
+    // *scheduled* arrival to batch completion, so both queueing delay and
+    // closed-loop backpressure (a late submit) are charged to it.
+    let (queue, worker, done) = admission_queue(AdmissionConfig {
+        max_batch: flags.batch,
+        queue_depth: flags.queue_depth,
+        batch_age: Duration::from_micros(flags.batch_age_us),
+    });
+    let mut shed = 0usize;
+    let replay0 = engine.now();
+    let (admission, completions) = std::thread::scope(|scope| {
+        let engine = &engine;
+        let handle = scope.spawn(move || worker.run(engine, rec));
+        let mut republished = false;
+        for (i, sampled) in stream.iter().enumerate() {
+            // Mid-run publish: same factors, new epoch — snapshot swap
+            // under load, every cache key rolls over.
+            if flags.republish && !republished && i >= stream.len() / 2 {
+                let snap = engine.store().snapshot();
+                let mut fresh = ModelSnapshot::new(
+                    snap.epoch() + 1,
+                    snap.full().item_factors().clone(),
+                    popularity_prior(&data),
+                );
+                if flags.fp16 {
+                    fresh = fresh.with_fp16();
+                }
+                engine.store().publish(fresh);
+                republished = true;
             }
-            engine.store().publish(fresh);
-            republished = true;
-        }
 
-        // Wait for at least one arrival, then drain everything due into
-        // one micro-batch (bounded by --batch).
-        let now = t0.elapsed().as_secs_f64();
-        let first_due = stream[next].arrival;
-        if first_due > now {
-            std::thread::sleep(Duration::from_secs_f64(first_due - now));
-        }
-        let now = t0.elapsed().as_secs_f64();
-        let mut batch = Vec::with_capacity(flags.batch);
-        let mut arrivals = Vec::with_capacity(flags.batch);
-        while next < stream.len() && stream[next].arrival <= now && batch.len() < flags.batch {
-            let req = &stream[next];
-            let user = if cold_every != usize::MAX && next % cold_every == cold_every - 1 {
-                UserRef::Cold(data.r.row_iter(req.user as usize).collect())
+            let due = replay0 + sampled.arrival;
+            let now = engine.now();
+            if due > now {
+                std::thread::sleep(Duration::from_secs_f64(due - now));
+            }
+            let user = if cold_every != usize::MAX && i % cold_every == cold_every - 1 {
+                UserRef::Cold(data.r.row_iter(sampled.user as usize).collect())
             } else {
-                UserRef::Known(req.user)
+                UserRef::Known(sampled.user)
             };
-            batch.push(Request {
-                id: next as u64,
-                user,
-            });
-            arrivals.push(req.arrival);
-            next += 1;
+            let req = Request { id: i as u64, user };
+            if flags.open_loop {
+                match queue.try_submit(req, due) {
+                    Ok(()) | Err(SubmitError::Full(_)) => {}
+                    Err(SubmitError::Closed(_)) => panic!("admission worker died"),
+                }
+            } else {
+                queue.submit(req, due).expect("admission worker died");
+            }
         }
+        shed = queue.rejected() as usize;
+        drop(queue); // disconnect: the worker drains and returns
+        let completions: Vec<Completion> = done.iter().collect();
+        (handle.join().expect("worker panicked"), completions)
+    });
+    let span = engine.now() - replay0;
 
-        let out = engine.recommend_batch(&batch, rec);
-        let done = t0.elapsed().as_secs_f64();
-        for (resp, &arrival) in out.iter().zip(&arrivals) {
-            debug_assert!(resp.items.len() <= flags.k);
-            hist.record_secs(done - arrival);
-        }
-        served += out.len();
+    let mut latency = LatencyHistogram::new();
+    for c in &completions {
+        debug_assert!(c.response.items.len() <= flags.k);
+        latency.record_secs((c.finished_at - c.submitted_at).max(0.0));
     }
-    let span = t0.elapsed().as_secs_f64();
+    let summary = ReplaySummary {
+        served: completions.len(),
+        shed,
+        span,
+        latency,
+        admission,
+    };
+    report(&engine, &flags, &summary);
 
-    // ── Report ──────────────────────────────────────────────────────────
-    let (p50, p95, p99) = hist.percentiles();
-    let qps = served as f64 / span;
+    // Final aggregates into the JSONL stream alongside the engine's
+    // per-batch counters.
+    if rec.enabled() {
+        let t = engine.now();
+        for c in summary.latency.to_counters("serve.latency", t) {
+            rec.counter(c);
+        }
+        rec.counter(CounterSample::new(
+            "serve.qps",
+            t,
+            summary.served as f64 / summary.span,
+        ));
+        rec.counter(CounterSample::new(
+            "serve.cache_hit_ratio",
+            t,
+            engine.cache_stats().hit_ratio(),
+        ));
+        summary.admission.emit(rec, t);
+    }
+    if let Some(path) = &flags.json {
+        let json = json_summary(&engine, &flags, &summary);
+        std::fs::write(path, json.to_json()).expect("failed to write JSON summary");
+        eprintln!("wrote {path}");
+    }
+    sink.finish().expect("failed to write telemetry outputs");
+}
+
+fn report(engine: &ServeEngine, flags: &ServeFlags, s: &ReplaySummary) {
+    let (p50, p95, p99) = s.latency.percentiles();
+    let qps = s.served as f64 / s.span;
     let cache = engine.cache_stats();
     let header = format!(
         "{:<26} {:>10} {:>10} {:>10} {:>10} {:>10}",
@@ -225,15 +312,34 @@ fn main() {
         p50 * 1e3,
         p95 * 1e3,
         p99 * 1e3,
-        hist.mean() * 1e3,
-        hist.max() * 1e3
+        s.latency.mean() * 1e3,
+        s.latency.max() * 1e3
+    );
+    let (q50, q95, q99) = s.admission.queue_delay.percentiles();
+    println!(
+        "{:<26} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+        "queueing delay",
+        q50 * 1e3,
+        q95 * 1e3,
+        q99 * 1e3,
+        s.admission.queue_delay.mean() * 1e3,
+        s.admission.queue_delay.max() * 1e3
     );
     println!();
     println!(
-        "served {served} requests in {} s wall — {:.0} QPS achieved (target {:.0})",
-        fmt_s(span),
+        "served {} requests in {} s wall — {:.0} QPS achieved (target {:.0}); {} shed",
+        s.served,
+        fmt_s(s.span),
         qps,
-        flags.qps
+        flags.qps,
+        s.shed
+    );
+    println!(
+        "admission: {} batches (mean {:.1} req/batch; {} closed by size, {} by age)",
+        s.admission.batches,
+        s.admission.mean_batch(),
+        s.admission.closed_by_size,
+        s.admission.closed_by_age
     );
     println!(
         "cache: {} hits / {} misses ({:.1}% hit ratio), {} / {} entries resident",
@@ -244,28 +350,85 @@ fn main() {
         cache.capacity
     );
     println!(
-        "model epoch served at exit: {} ({})",
+        "model epoch served at exit: {} across {} shard{} ({})",
         engine.store().epoch(),
+        engine.store().n_shards(),
+        if engine.store().n_shards() == 1 {
+            ""
+        } else {
+            "s"
+        },
         if flags.fp16 {
             "fp16 factor copy"
         } else {
             "fp32 factors"
         }
     );
+}
 
-    // Final aggregates into the JSONL stream alongside the engine's
-    // per-batch counters.
-    if rec.enabled() {
-        let t = engine.now();
-        for c in hist.to_counters("serve.latency", t) {
-            rec.counter(c);
-        }
-        rec.counter(CounterSample::new("serve.qps", t, qps));
-        rec.counter(CounterSample::new(
-            "serve.cache_hit_ratio",
-            t,
-            cache.hit_ratio(),
-        ));
-    }
-    sink.finish().expect("failed to write telemetry outputs");
+fn json_summary(engine: &ServeEngine, flags: &ServeFlags, s: &ReplaySummary) -> Value {
+    let (p50, p95, p99) = s.latency.percentiles();
+    let (q50, q95, q99) = s.admission.queue_delay.percentiles();
+    let cache = engine.cache_stats();
+    let obj = |pairs: Vec<(&str, Value)>| {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    };
+    obj(vec![
+        ("bench", Value::Str("serve_bench".to_string())),
+        ("shards", Value::Num(engine.store().n_shards() as f64)),
+        ("requests", Value::Num(flags.requests as f64)),
+        ("served", Value::Num(s.served as f64)),
+        ("shed", Value::Num(s.shed as f64)),
+        ("open_loop", Value::Bool(flags.open_loop)),
+        ("target_qps", Value::Num(flags.qps)),
+        ("qps", Value::Num(s.served as f64 / s.span)),
+        ("wall_s", Value::Num(s.span)),
+        (
+            "latency_ms",
+            obj(vec![
+                ("p50", Value::Num(p50 * 1e3)),
+                ("p95", Value::Num(p95 * 1e3)),
+                ("p99", Value::Num(p99 * 1e3)),
+                ("mean", Value::Num(s.latency.mean() * 1e3)),
+                ("max", Value::Num(s.latency.max() * 1e3)),
+            ]),
+        ),
+        (
+            "queue_delay_ms",
+            obj(vec![
+                ("p50", Value::Num(q50 * 1e3)),
+                ("p95", Value::Num(q95 * 1e3)),
+                ("p99", Value::Num(q99 * 1e3)),
+            ]),
+        ),
+        (
+            "admission",
+            obj(vec![
+                ("batches", Value::Num(s.admission.batches as f64)),
+                ("mean_batch", Value::Num(s.admission.mean_batch())),
+                (
+                    "closed_by_size",
+                    Value::Num(s.admission.closed_by_size as f64),
+                ),
+                (
+                    "closed_by_age",
+                    Value::Num(s.admission.closed_by_age as f64),
+                ),
+                ("rejected", Value::Num(s.admission.rejected as f64)),
+                ("queue_depth", Value::Num(flags.queue_depth as f64)),
+                ("max_batch", Value::Num(flags.batch as f64)),
+                ("batch_age_us", Value::Num(flags.batch_age_us as f64)),
+            ]),
+        ),
+        (
+            "cache",
+            obj(vec![
+                ("hit_ratio", Value::Num(cache.hit_ratio())),
+                ("hits", Value::Num(cache.hits as f64)),
+                ("misses", Value::Num(cache.misses as f64)),
+            ]),
+        ),
+        ("fp16", Value::Bool(flags.fp16)),
+        ("k", Value::Num(flags.k as f64)),
+    ])
 }

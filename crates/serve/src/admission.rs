@@ -1,0 +1,497 @@
+//! Asynchronous request admission: a bounded queue between request
+//! producers and the batched engine.
+//!
+//! The serving benchmark used to form micro-batches synchronously — chop
+//! the replay into fixed windows, score a window, repeat — which couples
+//! batch shape to arrival order and has no answer to overload beyond
+//! unbounded queueing. This module replaces that with the standard
+//! admission-controlled design:
+//!
+//! * **Bounded queue.** [`AdmissionQueue::submit`] enqueues into a
+//!   fixed-depth channel; when the queue is full, `submit` blocks (closed
+//!   loop: producers experience backpressure) while
+//!   [`AdmissionQueue::try_submit`] *sheds* — the request is rejected
+//!   immediately, handed back to the caller, and counted. The queue can
+//!   therefore never grow without bound; overload turns into an explicit,
+//!   measured rejection rate instead of silent latency collapse.
+//! * **Adaptive batch close.** The worker opens a batch on the first
+//!   queued request and closes it when either `max_batch` requests have
+//!   accumulated **or** the oldest queued request has waited `batch_age`
+//!   — whichever comes first. Under load, batches fill and the engine
+//!   amortizes its scoring pass; when traffic is sparse the age deadline
+//!   bounds the latency a lone request pays for batching.
+//! * **Completions out-of-band.** Each served request is reported as a
+//!   [`Completion`] carrying submit/admit/finish stamps on the engine's
+//!   wall clock, so callers can split total latency into queueing delay
+//!   and service time.
+//!
+//! Shutdown is by channel disconnect: drop every [`AdmissionQueue`] clone
+//! and the worker drains what is buffered, then returns its
+//! [`AdmissionReport`].
+//!
+//! ```
+//! use cumf_numeric::dense::DenseMatrix;
+//! use cumf_serve::admission::{admission_queue, AdmissionConfig};
+//! use cumf_serve::engine::{Request, ServeConfig, ServeEngine, UserRef};
+//! use cumf_serve::store::ModelSnapshot;
+//! use cumf_telemetry::NOOP;
+//!
+//! let engine = ServeEngine::new(
+//!     DenseMatrix::identity(4),
+//!     ModelSnapshot::new(0, DenseMatrix::identity(4), vec![]),
+//!     ServeConfig { k: 2, ..ServeConfig::default() },
+//! );
+//! let (queue, worker, done) = admission_queue(AdmissionConfig::default());
+//! for u in 0..4u32 {
+//!     queue
+//!         .submit(Request { id: u as u64, user: UserRef::Known(u) }, engine.now())
+//!         .unwrap();
+//! }
+//! drop(queue); // disconnect: the worker drains and returns
+//! let report = worker.run(&engine, &NOOP);
+//! assert_eq!(report.admitted, 4);
+//! assert_eq!(done.iter().count(), 4);
+//! ```
+
+use crate::engine::{Recommendation, Request, ServeEngine};
+use cumf_telemetry::{CounterSample, LatencyHistogram, Recorder};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Queue depth and batch-close policy.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Requests per micro-batch at most; a batch closes as soon as it
+    /// holds this many (floored at 1).
+    pub max_batch: usize,
+    /// Bounded queue capacity. `try_submit` sheds beyond this; `submit`
+    /// blocks.
+    pub queue_depth: usize,
+    /// Maximum time the first request of a batch waits for company before
+    /// the batch closes anyway.
+    pub batch_age: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            max_batch: 64,
+            queue_depth: 256,
+            batch_age: Duration::from_micros(500),
+        }
+    }
+}
+
+/// A request waiting in the queue, stamped with its submission time on the
+/// engine clock.
+struct Submitted {
+    req: Request,
+    submitted_at: f64,
+}
+
+/// Why `try_submit` handed a request back.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The queue is at capacity — the request was shed (and counted).
+    Full(Request),
+    /// The worker is gone; nothing will ever drain the queue.
+    Closed(Request),
+}
+
+/// Producer handle: submit requests into the bounded queue. Cloneable —
+/// any number of submitter threads may share one queue. Dropping every
+/// clone disconnects the worker, which then drains and returns.
+#[derive(Clone)]
+pub struct AdmissionQueue {
+    tx: SyncSender<Submitted>,
+    rejected: Arc<AtomicU64>,
+}
+
+impl AdmissionQueue {
+    /// Closed-loop submit: blocks while the queue is full (backpressure),
+    /// errors only if the worker is gone. `submitted_at` is the request's
+    /// timestamp on the engine clock ([`ServeEngine::now`]).
+    pub fn submit(&self, req: Request, submitted_at: f64) -> Result<(), Request> {
+        self.tx
+            .send(Submitted { req, submitted_at })
+            .map_err(|e| e.0.req)
+    }
+
+    /// Open-loop submit: never blocks. A full queue sheds the request —
+    /// it is returned in [`SubmitError::Full`] and the rejection counter
+    /// increments — so overload produces a measured reject rate instead
+    /// of unbounded queueing.
+    pub fn try_submit(&self, req: Request, submitted_at: f64) -> Result<(), SubmitError> {
+        match self.tx.try_send(Submitted { req, submitted_at }) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(s)) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Full(s.req))
+            }
+            Err(TrySendError::Disconnected(s)) => Err(SubmitError::Closed(s.req)),
+        }
+    }
+
+    /// Requests shed so far by [`AdmissionQueue::try_submit`].
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+/// One served request, stamped on the engine clock: queueing delay is
+/// `admitted_at - submitted_at`, service time `finished_at - admitted_at`.
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// The engine's response.
+    pub response: Recommendation,
+    /// When the producer submitted the request.
+    pub submitted_at: f64,
+    /// When the worker closed the batch containing it.
+    pub admitted_at: f64,
+    /// When the engine finished the batch.
+    pub finished_at: f64,
+    /// How many requests shared the batch.
+    pub batch_size: usize,
+}
+
+/// Why a batch closed.
+enum Close {
+    Size,
+    Age,
+    Drain,
+}
+
+/// Consumer side: drains the queue into engine micro-batches. Run it on
+/// its own thread (e.g. inside `std::thread::scope`) while producers
+/// submit; [`AdmissionWorker::run`] returns when every producer handle
+/// has been dropped and the queue is empty.
+pub struct AdmissionWorker {
+    rx: Receiver<Submitted>,
+    done: Sender<Completion>,
+    rejected: Arc<AtomicU64>,
+    cfg: AdmissionConfig,
+}
+
+impl AdmissionWorker {
+    /// Serve batches until the queue disconnects; returns the admission
+    /// statistics. Completions are sent to the receiver returned by
+    /// [`admission_queue`]; if that receiver was dropped, completions are
+    /// discarded but serving continues.
+    pub fn run(self, engine: &ServeEngine, recorder: &dyn Recorder) -> AdmissionReport {
+        let max_batch = self.cfg.max_batch.max(1);
+        let mut report = AdmissionReport::new(self.cfg);
+        // Each iteration blocks for the first request of the next batch;
+        // a recv error means every producer handle is gone and we're done.
+        while let Ok(first) = self.rx.recv() {
+            let deadline = Instant::now() + self.cfg.batch_age;
+            let mut batch = vec![first];
+            let close = loop {
+                if batch.len() >= max_batch {
+                    break Close::Size;
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break Close::Age;
+                }
+                match self.rx.recv_timeout(remaining) {
+                    Ok(s) => batch.push(s),
+                    Err(RecvTimeoutError::Timeout) => break Close::Age,
+                    Err(RecvTimeoutError::Disconnected) => break Close::Drain,
+                }
+            };
+
+            let admitted_at = engine.now();
+            let mut stamps = Vec::with_capacity(batch.len());
+            let mut reqs = Vec::with_capacity(batch.len());
+            for s in batch {
+                stamps.push(s.submitted_at);
+                reqs.push(s.req);
+            }
+            let out = engine.recommend_batch(&reqs, recorder);
+            let finished_at = engine.now();
+
+            let n = out.len();
+            report.batches += 1;
+            report.admitted += n as u64;
+            match close {
+                Close::Size => report.closed_by_size += 1,
+                Close::Age => report.closed_by_age += 1,
+                Close::Drain => report.closed_by_drain += 1,
+            }
+            for (submitted_at, response) in stamps.into_iter().zip(out) {
+                report
+                    .queue_delay
+                    .record_secs((admitted_at - submitted_at).max(0.0));
+                let _ = self.done.send(Completion {
+                    response,
+                    submitted_at,
+                    admitted_at,
+                    finished_at,
+                    batch_size: n,
+                });
+            }
+        }
+        report.rejected = self.rejected.load(Ordering::Relaxed);
+        report
+    }
+}
+
+/// What the admission worker did over its lifetime.
+#[derive(Clone, Debug)]
+pub struct AdmissionReport {
+    /// The policy the worker ran under.
+    pub cfg: AdmissionConfig,
+    /// Micro-batches served.
+    pub batches: u64,
+    /// Requests admitted (= served).
+    pub admitted: u64,
+    /// Batches closed by reaching `max_batch`.
+    pub closed_by_size: u64,
+    /// Batches closed by the age deadline.
+    pub closed_by_age: u64,
+    /// Batches closed by queue disconnect during shutdown drain.
+    pub closed_by_drain: u64,
+    /// Requests shed by `try_submit` (snapshot at worker exit).
+    pub rejected: u64,
+    /// Queueing delay (submit → batch close) distribution.
+    pub queue_delay: LatencyHistogram,
+}
+
+impl AdmissionReport {
+    fn new(cfg: AdmissionConfig) -> AdmissionReport {
+        AdmissionReport {
+            cfg,
+            batches: 0,
+            admitted: 0,
+            closed_by_size: 0,
+            closed_by_age: 0,
+            closed_by_drain: 0,
+            rejected: 0,
+            queue_delay: LatencyHistogram::new(),
+        }
+    }
+
+    /// Mean requests per served batch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.admitted as f64 / self.batches as f64
+        }
+    }
+
+    /// Export the report as telemetry counters stamped at `time`:
+    /// `serve.admission.{admitted,rejected,batches,closed_by_size,
+    /// closed_by_age}` plus the `serve.admission.queue_delay.*` histogram
+    /// summary.
+    pub fn emit(&self, recorder: &dyn Recorder, time: f64) {
+        if !recorder.enabled() {
+            return;
+        }
+        for (name, value) in [
+            ("serve.admission.admitted", self.admitted as f64),
+            ("serve.admission.rejected", self.rejected as f64),
+            ("serve.admission.batches", self.batches as f64),
+            ("serve.admission.closed_by_size", self.closed_by_size as f64),
+            ("serve.admission.closed_by_age", self.closed_by_age as f64),
+        ] {
+            recorder.counter(CounterSample::new(name, time, value));
+        }
+        for c in self
+            .queue_delay
+            .to_counters("serve.admission.queue_delay", time)
+        {
+            recorder.counter(c);
+        }
+    }
+}
+
+/// Build the queue / worker / completion-stream triple for `cfg`.
+///
+/// Typical wiring: move the [`AdmissionWorker`] onto a scoped thread with
+/// a shared `&ServeEngine`, submit from the current thread (or several),
+/// drop the queue, read [`Completion`]s, join the worker for the
+/// [`AdmissionReport`].
+pub fn admission_queue(
+    cfg: AdmissionConfig,
+) -> (AdmissionQueue, AdmissionWorker, Receiver<Completion>) {
+    let (tx, rx) = sync_channel(cfg.queue_depth.max(1));
+    let (done_tx, done_rx) = channel();
+    let rejected = Arc::new(AtomicU64::new(0));
+    let queue = AdmissionQueue {
+        tx,
+        rejected: Arc::clone(&rejected),
+    };
+    let worker = AdmissionWorker {
+        rx,
+        done: done_tx,
+        rejected,
+        cfg,
+    };
+    (queue, worker, done_rx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ServeConfig, UserRef};
+    use crate::store::ModelSnapshot;
+    use cumf_numeric::dense::DenseMatrix;
+    use cumf_telemetry::NOOP;
+
+    fn tiny_engine(users: usize) -> ServeEngine {
+        let f = 3;
+        let mut x = DenseMatrix::zeros(users, f);
+        let mut theta = DenseMatrix::zeros(20, f);
+        x.fill_with(|| 0.5);
+        theta.fill_with(|| 0.25);
+        ServeEngine::new(
+            x,
+            ModelSnapshot::new(0, theta, vec![]),
+            ServeConfig {
+                k: 3,
+                ..ServeConfig::default()
+            },
+        )
+    }
+
+    fn req(u: u32) -> Request {
+        Request {
+            id: u as u64,
+            user: UserRef::Known(u),
+        }
+    }
+
+    #[test]
+    fn batches_close_on_size() {
+        let engine = tiny_engine(8);
+        let (queue, worker, done) = admission_queue(AdmissionConfig {
+            max_batch: 4,
+            queue_depth: 16,
+            batch_age: Duration::from_secs(60), // never fires
+        });
+        for u in 0..8 {
+            queue.submit(req(u), engine.now()).unwrap();
+        }
+        drop(queue);
+        let report = worker.run(&engine, &NOOP);
+        assert_eq!(report.admitted, 8);
+        assert_eq!(report.batches, 2);
+        assert_eq!(report.closed_by_size, 2);
+        assert_eq!(report.rejected, 0);
+        let completions: Vec<Completion> = done.iter().collect();
+        assert_eq!(completions.len(), 8);
+        assert!(completions.iter().all(|c| c.batch_size == 4));
+        // Request order is preserved through the queue and within batches.
+        let ids: Vec<u64> = completions.iter().map(|c| c.response.request_id).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<u64>>());
+        // Stamps are ordered: submit ≤ admit ≤ finish.
+        for c in &completions {
+            assert!(c.submitted_at <= c.admitted_at);
+            assert!(c.admitted_at <= c.finished_at);
+        }
+    }
+
+    #[test]
+    fn lone_request_closes_on_age() {
+        let engine = tiny_engine(2);
+        let (queue, worker, done) = admission_queue(AdmissionConfig {
+            max_batch: 1000,
+            queue_depth: 16,
+            batch_age: Duration::from_millis(5),
+        });
+        std::thread::scope(|scope| {
+            let engine = &engine;
+            let handle = scope.spawn(move || worker.run(engine, &NOOP));
+            queue.submit(req(0), engine.now()).unwrap();
+            // The worker must answer without the queue disconnecting:
+            // batch size 1000 is unreachable, only the age deadline fires.
+            let c = done
+                .recv_timeout(Duration::from_secs(10))
+                .expect("age deadline must close the batch");
+            assert_eq!(c.response.request_id, 0);
+            assert_eq!(c.batch_size, 1);
+            drop(queue);
+            let report = handle.join().unwrap();
+            assert_eq!(report.closed_by_age, 1);
+            assert_eq!(report.admitted, 1);
+        });
+    }
+
+    #[test]
+    fn overloaded_queue_sheds_instead_of_growing() {
+        let engine = tiny_engine(16);
+        let depth = 3;
+        let (queue, worker, done) = admission_queue(AdmissionConfig {
+            max_batch: 64,
+            queue_depth: depth,
+            batch_age: Duration::from_millis(1),
+        });
+        // No worker running: the queue fills to exactly `depth`, then
+        // every further try_submit is shed and counted.
+        let mut accepted = 0;
+        let mut shed = 0;
+        for u in 0..10 {
+            match queue.try_submit(req(u), engine.now()) {
+                Ok(()) => accepted += 1,
+                Err(SubmitError::Full(r)) => {
+                    assert_eq!(r.id, u as u64, "shed request is handed back");
+                    shed += 1;
+                }
+                Err(SubmitError::Closed(_)) => panic!("worker not yet dropped"),
+            }
+        }
+        assert_eq!(accepted, depth);
+        assert_eq!(shed, 10 - depth);
+        assert_eq!(queue.rejected(), (10 - depth) as u64);
+        drop(queue);
+        let report = worker.run(&engine, &NOOP);
+        assert_eq!(report.admitted, depth as u64);
+        assert_eq!(report.rejected, (10 - depth) as u64);
+        assert_eq!(done.iter().count(), depth);
+    }
+
+    #[test]
+    fn submit_after_worker_exit_errors() {
+        let engine = tiny_engine(2);
+        let (queue, worker, _done) = admission_queue(AdmissionConfig::default());
+        drop(worker);
+        assert!(queue.submit(req(0), engine.now()).is_err());
+        match queue.try_submit(req(1), engine.now()) {
+            Err(SubmitError::Closed(r)) => assert_eq!(r.id, 1),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        // A dead worker is not overload: nothing was counted as shed.
+        assert_eq!(queue.rejected(), 0);
+    }
+
+    #[test]
+    fn report_emits_admission_counters() {
+        let engine = tiny_engine(4);
+        let (queue, worker, _done) = admission_queue(AdmissionConfig {
+            max_batch: 2,
+            queue_depth: 8,
+            batch_age: Duration::from_secs(60),
+        });
+        for u in 0..4 {
+            queue.submit(req(u), engine.now()).unwrap();
+        }
+        drop(queue);
+        let report = worker.run(&engine, &NOOP);
+        assert_eq!(report.mean_batch(), 2.0);
+        let rec = cumf_telemetry::MemoryRecorder::new();
+        report.emit(&rec, 1.0);
+        let names: Vec<String> = rec
+            .counter_samples()
+            .iter()
+            .map(|c| c.name.to_string())
+            .collect();
+        assert!(names.contains(&"serve.admission.admitted".to_string()));
+        assert!(names.contains(&"serve.admission.rejected".to_string()));
+        assert!(names.contains(&"serve.admission.queue_delay.p99".to_string()));
+    }
+}

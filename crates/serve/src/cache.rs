@@ -1,4 +1,5 @@
-//! LRU result cache keyed by `(user, model epoch)`.
+//! LRU result cache keyed by `(user, model epoch)`, and its lock-striped
+//! concurrent wrapper.
 //!
 //! Recommendation traffic is heavily skewed (the dataset generators plant
 //! Zipf item popularity and log-normal user activity precisely because real
@@ -9,8 +10,14 @@
 //!
 //! Entries are returned by reference to the stored vector, so a hit is
 //! bit-identical to the scoring pass that populated it (test-enforced).
+//!
+//! [`ResultCache`] itself is single-threaded (`&mut self`); the engine
+//! fronts it with [`StripedCache`], which hashes each user id to one of N
+//! independently locked segments so concurrent request threads contend
+//! only when they land on the same stripe.
 
 use crate::topk::ScoredItem;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// Cache key: a known user under one published model epoch.
@@ -220,6 +227,97 @@ impl ResultCache {
     }
 }
 
+/// A lock-striped concurrent view over N [`ResultCache`] segments.
+///
+/// Each user id hashes (Fibonacci multiplicative hash — epoch is *not*
+/// part of the stripe choice, so a republish keeps every user on the same
+/// stripe and old-epoch entries age out of that stripe's LRU list) to one
+/// segment guarded by its own mutex. Hit/miss semantics per lookup are
+/// exactly [`ResultCache`]'s; total capacity is split evenly across
+/// stripes, and [`StripedCache::stats`] sums the per-stripe counters so
+/// hit/miss/occupancy numbers aggregate the way the single-lock cache
+/// reported them.
+///
+/// ```
+/// use cumf_serve::cache::{CacheKey, StripedCache};
+/// use cumf_serve::topk::ScoredItem;
+///
+/// let cache = StripedCache::new(64, 8);
+/// let key = CacheKey { user: 7, epoch: 0 };
+/// assert!(cache.get(&key).is_none());
+/// cache.insert(key, vec![ScoredItem { item: 1, score: 2.0 }]);
+/// assert_eq!(cache.get(&key).unwrap()[0].item, 1);
+/// let s = cache.stats();
+/// assert_eq!((s.hits, s.misses, s.len, s.capacity), (1, 1, 1, 64));
+/// ```
+#[derive(Debug)]
+pub struct StripedCache {
+    stripes: Vec<Mutex<ResultCache>>,
+}
+
+impl StripedCache {
+    /// A cache of `capacity` total entries split over `n_stripes`
+    /// independently locked segments (`n_stripes` is floored at 1; the
+    /// first `capacity % n_stripes` stripes absorb the remainder, so the
+    /// segment capacities always sum to `capacity`). Capacity 0 disables
+    /// caching entirely, as in [`ResultCache::new`].
+    pub fn new(capacity: usize, n_stripes: usize) -> StripedCache {
+        let n = n_stripes.max(1);
+        let (base, rem) = (capacity / n, capacity % n);
+        StripedCache {
+            stripes: (0..n)
+                .map(|i| Mutex::new(ResultCache::new(base + usize::from(i < rem))))
+                .collect(),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn n_stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The stripe a key's user id hashes to.
+    #[inline]
+    fn stripe_of(&self, key: &CacheKey) -> &Mutex<ResultCache> {
+        let h = key.user.wrapping_mul(0x9E37_79B9) as usize >> 16;
+        &self.stripes[h % self.stripes.len()]
+    }
+
+    /// Look up `key` in its stripe, promoting it to most-recently-used on
+    /// a hit. Returns a clone of the stored ranking (the stripe lock is
+    /// released before returning).
+    pub fn get(&self, key: &CacheKey) -> Option<Vec<ScoredItem>> {
+        self.stripe_of(key).lock().get(key).map(<[_]>::to_vec)
+    }
+
+    /// Insert (or overwrite) `key` in its stripe, evicting that stripe's
+    /// least-recently-used entry if the stripe is full.
+    pub fn insert(&self, key: CacheKey, value: Vec<ScoredItem>) {
+        self.stripe_of(&key).lock().insert(key, value);
+    }
+
+    /// Counters and occupancy summed over all stripes.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for stripe in &self.stripes {
+            let s = stripe.lock().stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.len += s.len;
+            total.capacity += s.capacity;
+        }
+        total
+    }
+
+    /// Drop every entry in every stripe (counters are preserved, as in
+    /// [`ResultCache::clear`]).
+    pub fn clear(&self) {
+        for stripe in &self.stripes {
+            stripe.lock().clear();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,5 +411,62 @@ mod tests {
         assert_eq!(c.stats().len, 0);
         assert_eq!(c.stats().hits, 1);
         assert!(c.get(&key(0, 0)).is_none());
+    }
+
+    #[test]
+    fn striped_capacity_sums_to_total() {
+        for (cap, stripes) in [(64, 8), (10, 3), (7, 16), (0, 4), (5, 1)] {
+            let c = StripedCache::new(cap, stripes);
+            assert_eq!(c.stats().capacity, cap, "{cap} entries / {stripes} stripes");
+            assert_eq!(c.n_stripes(), stripes);
+        }
+        // Stripe count floors at 1.
+        assert_eq!(StripedCache::new(8, 0).n_stripes(), 1);
+    }
+
+    #[test]
+    fn striped_semantics_match_the_single_lock_cache() {
+        let striped = StripedCache::new(256, 8);
+        let mut single = ResultCache::new(256);
+        for round in 0..3u32 {
+            for user in 0..100u32 {
+                let k = key(user, 0);
+                let a = striped.get(&k);
+                let b = single.get(&k).map(<[_]>::to_vec);
+                assert_eq!(a.is_some(), b.is_some(), "round {round} user {user}");
+                if a.is_none() {
+                    striped.insert(k, val(user));
+                    single.insert(k, val(user));
+                } else {
+                    assert_eq!(a, b);
+                }
+            }
+        }
+        // Capacity exceeds the working set, so no evictions anywhere and
+        // the aggregate counters agree exactly with the single-lock run.
+        let (s, t) = (striped.stats(), single.stats());
+        assert_eq!((s.hits, s.misses, s.len), (t.hits, t.misses, t.len));
+    }
+
+    #[test]
+    fn striped_same_user_new_epoch_stays_on_one_stripe() {
+        let c = StripedCache::new(16, 4);
+        c.insert(key(9, 0), val(1));
+        c.insert(key(9, 1), val(2));
+        // Both epochs resident; epoch 0 entry is a logical miss under
+        // epoch 1's key but still retrievable under its own.
+        assert_eq!(c.get(&key(9, 0)).unwrap()[0].item, 1);
+        assert_eq!(c.get(&key(9, 1)).unwrap()[0].item, 2);
+    }
+
+    #[test]
+    fn striped_eviction_is_per_stripe() {
+        // One stripe of capacity 1: inserting two users that collide on
+        // the single stripe evicts the older entry.
+        let c = StripedCache::new(1, 1);
+        c.insert(key(0, 0), val(0));
+        c.insert(key(1, 0), val(1));
+        assert!(c.get(&key(0, 0)).is_none());
+        assert_eq!(c.get(&key(1, 0)).unwrap()[0].item, 1);
     }
 }

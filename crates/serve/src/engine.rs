@@ -2,27 +2,37 @@
 //!
 //! [`ServeEngine`] composes the crate's pieces into the request path:
 //!
-//! 1. snapshot the [`FactorStore`] once per batch (every request in the
-//!    batch scores one consistent epoch);
-//! 2. answer known users from the [`ResultCache`] when possible;
+//! 1. snapshot the [`ShardedFactorStore`] once per batch (every request in
+//!    the batch scores one consistent epoch);
+//! 2. answer known users from the lock-striped result cache
+//!    ([`StripedCache`]) when possible;
 //! 3. fold cold users' rating histories into factor vectors with
 //!    [`cumf_als::fold_in_batch`] (one regularized solve each, CG or
-//!    Cholesky per the configured [`SolverKind`]);
-//! 4. score all remaining users in one blocked [`top_k_batch`] pass;
-//! 5. fill the cache and emit telemetry counters.
+//!    Cholesky per the configured [`SolverKind`]) against the full Θ;
+//! 4. scatter the remaining users across the snapshot's shards, one
+//!    blocked scoring pass per shard, and gather the per-shard heaps into
+//!    global rankings ([`top_k_batch_sharded_timed`] — bit-identical to
+//!    the unsharded scorer);
+//! 5. fill the cache and emit telemetry counters, including per-shard
+//!    kernel timings.
 //!
 //! Telemetry uses *wall-clock* seconds since engine construction as the
 //! time base — serving is a real host-side workload, unlike training whose
 //! events carry simulated GPU time.
+//!
+//! `recommend_batch` takes `&self` and every shared structure behind it is
+//! internally synchronized, so the admission worker
+//! ([`crate::admission`]) and any number of submitter threads can share
+//! one engine by reference.
 
-use crate::cache::{CacheKey, CacheStats, ResultCache};
-use crate::scorer::{top_k_batch, ScoreConfig};
-use crate::store::{FactorStore, ModelSnapshot};
+use crate::cache::{CacheKey, CacheStats, StripedCache};
+use crate::scorer::ScoreConfig;
+use crate::shard::{top_k_batch_sharded_timed, ShardedFactorStore};
+use crate::store::ModelSnapshot;
 use crate::topk::ScoredItem;
 use cumf_als::{fold_in_batch, SolverKind};
 use cumf_numeric::dense::DenseMatrix;
 use cumf_telemetry::{CounterSample, PhaseSpan, Recorder};
-use parking_lot::Mutex;
 use std::time::Instant;
 
 /// Engine-level configuration.
@@ -32,8 +42,13 @@ pub struct ServeConfig {
     pub k: usize,
     /// Scorer tiling and precision (see [`ScoreConfig`]).
     pub score: ScoreConfig,
+    /// Contiguous item-range shards the snapshot is split into (clamped
+    /// to `[1, n_items]`; 1 reproduces the unsharded scorer exactly).
+    pub shards: usize,
     /// Result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Lock stripes the result cache is split into (floored at 1).
+    pub cache_stripes: usize,
     /// Regularization for cold-start fold-in solves.
     pub lambda: f32,
     /// Solver for cold-start fold-in systems.
@@ -45,7 +60,9 @@ impl Default for ServeConfig {
         ServeConfig {
             k: 10,
             score: ScoreConfig::default(),
+            shards: 1,
             cache_capacity: 4096,
+            cache_stripes: 8,
             lambda: 0.05,
             solver: SolverKind::cumf_default(),
         }
@@ -106,16 +123,16 @@ pub struct Recommendation {
 /// assert_eq!(out[0].items[0].item, 0); // user 0 aligns with item 0
 /// ```
 pub struct ServeEngine {
-    store: FactorStore,
+    store: ShardedFactorStore,
     user_factors: DenseMatrix,
-    cache: Mutex<ResultCache>,
+    cache: StripedCache,
     cfg: ServeConfig,
     started: Instant,
 }
 
 impl ServeEngine {
-    /// An engine serving `snapshot`, with `user_factors` (`X` from
-    /// training) backing known-user requests.
+    /// An engine serving `snapshot` (split into `cfg.shards` ranges), with
+    /// `user_factors` (`X` from training) backing known-user requests.
     pub fn new(
         user_factors: DenseMatrix,
         snapshot: ModelSnapshot,
@@ -127,18 +144,19 @@ impl ServeEngine {
             "user and item factor dimensions must agree"
         );
         ServeEngine {
-            store: FactorStore::new(snapshot),
-            cache: Mutex::new(ResultCache::new(cfg.cache_capacity)),
+            store: ShardedFactorStore::new(snapshot, cfg.shards),
+            cache: StripedCache::new(cfg.cache_capacity, cfg.cache_stripes),
             user_factors,
             cfg,
             started: Instant::now(),
         }
     }
 
-    /// The underlying store, for publishing new epochs. Publishing does
+    /// The underlying store, for publishing new epochs (each publish is
+    /// re-sharded at the engine's configured shard count). Publishing does
     /// not flush the cache — epoch-qualified keys make old entries
-    /// unreachable, and the LRU list ages them out.
-    pub fn store(&self) -> &FactorStore {
+    /// unreachable, and the LRU lists age them out.
+    pub fn store(&self) -> &ShardedFactorStore {
         &self.store
     }
 
@@ -159,9 +177,9 @@ impl ServeEngine {
         &self.cfg
     }
 
-    /// Result-cache counters.
+    /// Result-cache counters, summed over all stripes.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().stats()
+        self.cache.stats()
     }
 
     /// Wall-clock seconds since engine construction — the time base of the
@@ -183,8 +201,9 @@ impl ServeEngine {
         .expect("batch of one returns one response")
     }
 
-    /// Serve a micro-batch: cache lookups, cold-start fold-in, one blocked
-    /// scoring pass, responses in request order.
+    /// Serve a micro-batch: cache lookups, cold-start fold-in, one
+    /// scatter-gather scoring pass across the snapshot's shards, responses
+    /// in request order.
     ///
     /// Panics if a [`UserRef::Known`] index is out of range of the user
     /// factor matrix.
@@ -195,52 +214,51 @@ impl ServeEngine {
     ) -> Vec<Recommendation> {
         let t0 = self.now();
         let snapshot = self.store.snapshot();
-        let epoch = snapshot.epoch;
+        let epoch = snapshot.epoch();
         let f = snapshot.f();
 
-        // Pass 1: answer from cache, collect the users that need scoring.
+        // Pass 1: answer from cache (one stripe lock per lookup), collect
+        // the users that need scoring.
         let mut responses: Vec<Option<Recommendation>> = vec![None; requests.len()];
         // (request index, Some(user) when cacheable)
         let mut to_score: Vec<(usize, Option<u32>)> = Vec::new();
         let mut cold_histories: Vec<Vec<(u32, f32)>> = Vec::new();
         let mut batch_hits = 0u64;
-        {
-            let mut cache = self.cache.lock();
-            for (i, req) in requests.iter().enumerate() {
-                match &req.user {
-                    UserRef::Known(u) => {
-                        assert!(
-                            (*u as usize) < self.user_factors.rows(),
-                            "unknown user {u}; engine knows {} users",
-                            self.user_factors.rows()
-                        );
-                        let key = CacheKey { user: *u, epoch };
-                        if let Some(items) = cache.get(&key) {
-                            batch_hits += 1;
-                            responses[i] = Some(Recommendation {
-                                request_id: req.id,
-                                epoch,
-                                items: items.to_vec(),
-                                from_cache: true,
-                            });
-                        } else {
-                            to_score.push((i, Some(*u)));
-                        }
+        for (i, req) in requests.iter().enumerate() {
+            match &req.user {
+                UserRef::Known(u) => {
+                    assert!(
+                        (*u as usize) < self.user_factors.rows(),
+                        "unknown user {u}; engine knows {} users",
+                        self.user_factors.rows()
+                    );
+                    let key = CacheKey { user: *u, epoch };
+                    if let Some(items) = self.cache.get(&key) {
+                        batch_hits += 1;
+                        responses[i] = Some(Recommendation {
+                            request_id: req.id,
+                            epoch,
+                            items,
+                            from_cache: true,
+                        });
+                    } else {
+                        to_score.push((i, Some(*u)));
                     }
-                    UserRef::Cold(history) => {
-                        to_score.push((i, None));
-                        cold_histories.push(history.clone());
-                    }
+                }
+                UserRef::Cold(history) => {
+                    to_score.push((i, None));
+                    cold_histories.push(history.clone());
                 }
             }
         }
 
-        // Pass 2: fold cold users, assemble the batch factor matrix.
+        // Pass 2: fold cold users (against the full Θ), assemble the batch
+        // factor matrix.
         let folded = if cold_histories.is_empty() {
             None
         } else {
             Some(fold_in_batch(
-                snapshot.item_factors(),
+                snapshot.full().item_factors(),
                 &cold_histories,
                 self.cfg.lambda,
                 &self.cfg.solver,
@@ -263,23 +281,23 @@ impl ServeEngine {
             batch.row_mut(row).copy_from_slice(src);
         }
 
-        // Pass 3: one blocked scoring pass over the whole micro-batch.
-        let ranked = top_k_batch(&snapshot, &batch, self.cfg.k, &self.cfg.score);
+        // Pass 3: scatter the micro-batch across shards, gather the
+        // per-shard heaps into global rankings.
+        let (ranked, shard_timings) =
+            top_k_batch_sharded_timed(&snapshot, &batch, self.cfg.k, &self.cfg.score);
 
         // Pass 4: fill cache, assemble responses in request order.
-        {
-            let mut cache = self.cache.lock();
-            for ((i, user), items) in to_score.iter().zip(ranked) {
-                if let Some(u) = user {
-                    cache.insert(CacheKey { user: *u, epoch }, items.clone());
-                }
-                responses[*i] = Some(Recommendation {
-                    request_id: requests[*i].id,
-                    epoch,
-                    items,
-                    from_cache: false,
-                });
+        for ((i, user), items) in to_score.iter().zip(ranked) {
+            if let Some(u) = user {
+                self.cache
+                    .insert(CacheKey { user: *u, epoch }, items.clone());
             }
+            responses[*i] = Some(Recommendation {
+                request_id: requests[*i].id,
+                epoch,
+                items,
+                from_cache: false,
+            });
         }
 
         if recorder.enabled() {
@@ -302,6 +320,22 @@ impl ServeEngine {
                 t1,
                 cold_histories.len() as f64,
             ));
+            // Per-shard kernel accounting: score evaluations and host
+            // seconds for each shard's blocked pass this batch.
+            if !to_score.is_empty() {
+                for t in &shard_timings {
+                    recorder.counter(CounterSample::new(
+                        format!("serve.shard{}.scored", t.shard),
+                        t1,
+                        t.scored as f64,
+                    ));
+                    recorder.counter(CounterSample::new(
+                        format!("serve.shard{}.secs", t.shard),
+                        t1,
+                        t.secs,
+                    ));
+                }
+            }
         }
 
         responses
@@ -374,7 +408,7 @@ mod tests {
     fn publish_invalidates_cache_by_keying() {
         let e = engine(3, 15, 4, ServeConfig::default());
         let before = e.recommend_user(1, &NOOP);
-        let mut theta2 = e.store().snapshot().item_factors().clone();
+        let mut theta2 = e.store().snapshot().full().item_factors().clone();
         cumf_numeric::dense::scale(-1.0, theta2.as_mut_slice());
         e.store().publish(ModelSnapshot::new(1, theta2, vec![]));
         let after = e.recommend_user(1, &NOOP);
@@ -422,6 +456,28 @@ mod tests {
         assert_eq!(get("serve.cache_misses"), 1.0);
         assert_eq!(get("serve.cold_users"), 1.0);
         assert_eq!(rec.phase_spans().len(), 1);
+    }
+
+    #[test]
+    fn sharded_engine_matches_unsharded() {
+        let reqs = known(&[0, 2, 4, 1]);
+        let base = engine(6, 37, 4, ServeConfig::default());
+        let want = base.recommend_batch(&reqs, &NOOP);
+        for shards in [2, 3, 8] {
+            let e = engine(
+                6,
+                37,
+                4,
+                ServeConfig {
+                    shards,
+                    ..ServeConfig::default()
+                },
+            );
+            let got = e.recommend_batch(&reqs, &NOOP);
+            for (a, b) in want.iter().zip(&got) {
+                assert_eq!(a.items, b.items, "shards={shards}");
+            }
+        }
     }
 
     #[test]

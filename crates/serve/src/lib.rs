@@ -12,12 +12,22 @@
 //!   bandwidth.
 //! * [`scorer`] — a blocked user×item scoring pass reduced through
 //!   per-user bounded heaps ([`topk`]): `O(n log k)` per user, never
-//!   materializing the full score matrix.
+//!   materializing the full score matrix. The Θ-block size auto-tunes
+//!   from `f` to a ~100 KiB cache-resident tile.
+//! * [`shard`] — [`ShardedFactorStore`]: the catalog split into
+//!   contiguous item-range shards, scored scatter-gather and merged with
+//!   a deterministic tie-break so the result is bit-identical to the
+//!   unsharded scorer.
 //! * [`engine`] — [`ServeEngine`]: micro-batching, cold-start fold-in via
-//!   [`cumf_als::fold_in_batch`], an epoch-keyed LRU result [`cache`],
-//!   and telemetry counters through [`cumf_telemetry::Recorder`].
+//!   [`cumf_als::fold_in_batch`], an epoch-keyed lock-striped LRU result
+//!   [`cache`], and telemetry counters through
+//!   [`cumf_telemetry::Recorder`].
+//! * [`admission`] — a bounded request queue in front of the engine:
+//!   batches close on size or age, overload sheds with a counted
+//!   rejection instead of unbounded queueing.
 //! * [`metrics`] — NDCG@k, the ranking-quality yardstick used to bound the
-//!   FP16 path's approximation error.
+//!   FP16 path's approximation error, plus overlap@k for comparing two
+//!   rankers.
 //!
 //! ## Round-trip: fold a cold user in, then recommend
 //!
@@ -53,16 +63,26 @@
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod admission;
 pub mod cache;
 pub mod engine;
 pub mod metrics;
 pub mod scorer;
+pub mod shard;
 pub mod store;
 pub mod topk;
 
-pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use admission::{
+    admission_queue, AdmissionConfig, AdmissionQueue, AdmissionReport, AdmissionWorker, Completion,
+    SubmitError,
+};
+pub use cache::{CacheKey, CacheStats, ResultCache, StripedCache};
 pub use engine::{Recommendation, Request, ServeConfig, ServeEngine, UserRef};
-pub use metrics::{dcg_at_k, ndcg_at_k};
+pub use metrics::{dcg_at_k, ndcg_at_k, overlap_at_k};
 pub use scorer::{score_one, top_k_batch, top_k_one, ScoreConfig};
+pub use shard::{
+    top_k_batch_sharded, top_k_batch_sharded_timed, Shard, ShardTiming, ShardedFactorStore,
+    ShardedSnapshot,
+};
 pub use store::{FactorStore, ModelSnapshot};
-pub use topk::{naive_top_k, ScoredItem, TopK};
+pub use topk::{merge_top_k, naive_top_k, ScoredItem, TopK};

@@ -5,7 +5,8 @@
 //! which items surface? NDCG@k answers it: 1.0 means the evaluated ranking
 //! ordered items exactly as well as the ideal ordering of the relevance
 //! scores, and the discount makes swaps near the top cost more than swaps
-//! near the cut-off.
+//! near the cut-off. [`overlap_at_k`] is the coarser set-level companion:
+//! what fraction of the top-k two rankers agree on at all.
 
 use crate::topk::ScoredItem;
 
@@ -44,6 +45,21 @@ pub fn ndcg_at_k(ranking: &[ScoredItem], relevance: &[f32], k: usize) -> f64 {
     } else {
         dcg / idcg
     }
+}
+
+/// Fraction of the first `k` items two rankings share, order-ignored
+/// (`|A∩B| / k`, with `k` clamped to the shorter prefix actually
+/// available). 1.0 means both rankers surfaced the same set — the
+/// question asked when comparing the FP16 path or a sharded deployment
+/// against the exact scorer. Returns 1.0 when `k` is 0.
+pub fn overlap_at_k(a: &[ScoredItem], b: &[ScoredItem], k: usize) -> f64 {
+    let k = k.min(a.len()).min(b.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let set: std::collections::HashSet<u32> = a.iter().take(k).map(|s| s.item).collect();
+    let shared = b.iter().take(k).filter(|s| set.contains(&s.item)).count();
+    shared as f64 / k as f64
 }
 
 #[cfg(test)]
@@ -94,5 +110,18 @@ mod tests {
         // Item 2 (rel 5) missing from the top-2 window hurts.
         let n = ndcg_at_k(&ranking(&[0, 1, 2]), &rel, 2);
         assert!(n < 0.5, "NDCG@2 {n}");
+    }
+
+    #[test]
+    fn overlap_ignores_order_and_clamps_k() {
+        let a = ranking(&[0, 1, 2, 3]);
+        let b = ranking(&[3, 2, 1, 0]);
+        assert_eq!(overlap_at_k(&a, &b, 4), 1.0);
+        assert_eq!(overlap_at_k(&a, &b, 2), 0.0, "top-2 sets are disjoint");
+        let half = overlap_at_k(&ranking(&[0, 1]), &ranking(&[1, 9]), 2);
+        assert_eq!(half, 0.5);
+        // k beyond either list clamps to the shorter prefix.
+        assert_eq!(overlap_at_k(&a, &ranking(&[0]), 10), 1.0);
+        assert_eq!(overlap_at_k(&a, &b, 0), 1.0);
     }
 }

@@ -18,8 +18,11 @@ use rayon::prelude::*;
 /// Tiling and precision knobs for the batched scorer.
 #[derive(Clone, Copy, Debug)]
 pub struct ScoreConfig {
-    /// Items per Θ-block (the cache-resident tile edge).
-    pub block_items: usize,
+    /// Items per Θ-block (the cache-resident tile edge). `None` auto-tunes
+    /// from the model's feature dimension so the block stays ~100 KiB
+    /// regardless of `f` (see [`ScoreConfig::effective_block_items`]);
+    /// `Some(n)` is an explicit override.
+    pub block_items: Option<usize>,
     /// Users per rayon task.
     pub user_chunk: usize,
     /// Read the FP16 factor copy when the snapshot carries one.
@@ -29,12 +32,39 @@ pub struct ScoreConfig {
 impl Default for ScoreConfig {
     fn default() -> ScoreConfig {
         ScoreConfig {
-            // 256 items × f=100 × 4 B ≈ 100 KiB: L2-resident on every
-            // device the simulator models, and far larger than the heap's
-            // O(k) working set.
-            block_items: 256,
+            block_items: None,
             user_chunk: 32,
             use_fp16: false,
+        }
+    }
+}
+
+impl ScoreConfig {
+    /// Auto-tuned Θ-block footprint target, bytes. ~100 KiB is L2-resident
+    /// on every device the simulator models, and far larger than the
+    /// heap's O(k) working set.
+    pub const AUTO_BLOCK_BYTES: usize = 100 * 1024;
+
+    /// Items per Θ-block for a model of feature dimension `f`: the
+    /// explicit override when set, otherwise [`Self::AUTO_BLOCK_BYTES`]
+    /// divided by the FP32 row footprint `4·f`, clamped to `[16, 4096]`.
+    /// At `f = 100` this lands on the 256-item block the scorer always
+    /// used; a wide model (`f = 400`) drops to 64 items and a narrow one
+    /// (`f = 8`) grows to 3200 — same cache footprint either way.
+    ///
+    /// ```
+    /// use cumf_serve::scorer::ScoreConfig;
+    ///
+    /// let auto = ScoreConfig::default();
+    /// assert_eq!(auto.effective_block_items(100), 256);
+    /// assert_eq!(auto.effective_block_items(400), 64);
+    /// let fixed = ScoreConfig { block_items: Some(17), ..auto };
+    /// assert_eq!(fixed.effective_block_items(400), 17);
+    /// ```
+    pub fn effective_block_items(&self, f: usize) -> usize {
+        match self.block_items {
+            Some(n) => n.max(1),
+            None => (Self::AUTO_BLOCK_BYTES / (4 * f.max(1))).clamp(16, 4096),
         }
     }
 }
@@ -60,15 +90,18 @@ pub fn top_k_batch(
     let n = snapshot.n_items();
     let f = snapshot.f();
     let users = user_factors.rows();
-    let block = cfg.block_items.max(1);
+    let block = cfg.effective_block_items(f);
     let fp16 = cfg.use_fp16 && snapshot.has_fp16();
 
+    // Scratch is only written on the FP16 path (widening a Θ-block to
+    // f32); FP32 borrows straight from the matrix, so skip the allocation.
+    let scratch_len = if fp16 { block * f } else { 0 };
     let mut heaps: Vec<TopK> = (0..users).map(|_| TopK::new(k)).collect();
     heaps
         .par_chunks_mut(cfg.user_chunk.max(1))
         .enumerate()
         .for_each_init(
-            || vec![0.0f32; block * f],
+            || vec![0.0f32; scratch_len],
             |scratch, (chunk_idx, chunk)| {
                 let user0 = chunk_idx * cfg.user_chunk.max(1);
                 let mut start = 0;
@@ -146,14 +179,15 @@ mod tests {
         let want: Vec<Vec<ScoredItem>> = (0..users.rows())
             .map(|u| naive_top_k(&score_one(&snap, users.row(u), false), 10))
             .collect();
-        for (block_items, user_chunk) in [(1, 1), (7, 3), (64, 32), (1000, 1000)] {
+        for (block_items, user_chunk) in [(Some(1), 1), (Some(7), 3), (Some(64), 32), (None, 1000)]
+        {
             let cfg = ScoreConfig {
                 block_items,
                 user_chunk,
                 use_fp16: false,
             };
             let got = top_k_batch(&snap, &users, 10, &cfg);
-            assert_eq!(got, want, "tiling {block_items}×{user_chunk}");
+            assert_eq!(got, want, "tiling {block_items:?}×{user_chunk}");
         }
     }
 
@@ -194,6 +228,23 @@ mod tests {
         let top = top_k_one(&snap, &[1.0], 2, &ScoreConfig::default());
         assert_eq!(top[0].item, 1, "prior must break the tie");
         assert_eq!(top[0].score, 2.0);
+    }
+
+    #[test]
+    fn auto_block_targets_100kib_and_clamps() {
+        let auto = ScoreConfig::default();
+        // 100 KiB / (4·f), so narrow models take bigger blocks…
+        assert_eq!(auto.effective_block_items(100), 256);
+        assert_eq!(auto.effective_block_items(50), 512);
+        // …and the range is clamped at both ends.
+        assert_eq!(auto.effective_block_items(1), 4096);
+        assert_eq!(auto.effective_block_items(100_000), 16);
+        // Explicit override wins, floored at 1.
+        let fixed = ScoreConfig {
+            block_items: Some(0),
+            ..auto
+        };
+        assert_eq!(fixed.effective_block_items(100), 1);
     }
 
     #[test]

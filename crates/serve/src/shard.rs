@@ -1,0 +1,435 @@
+//! Sharded factor storage and scatter-gather scoring.
+//!
+//! The paper's training-side win comes from partitioning the factor
+//! matrices across parallel workers and cache-blocking each partition's
+//! walk; this module applies the same reasoning to serving. Item factors
+//! are split into contiguous item-id ranges — each shard carrying its own
+//! FP32 (and optional FP16) blocks and popularity priors — and a request
+//! batch is *scattered*: every shard runs the existing blocked scoring
+//! kernel ([`top_k_batch`]) over its slice, producing one bounded heap per
+//! (shard, user). The *gather* step merges the per-shard heaps with the
+//! deterministic tie-break of [`merge_top_k`] (score descending, item id
+//! ascending), so the sharded ranking is bit-identical to the unsharded
+//! scorer's — test-enforced for shard counts 1–8 including tied scores
+//! straddling shard boundaries.
+//!
+//! Shards score on scoped OS threads when the host has more than one core
+//! (the rayon shim is sequential, so parallelism across shards comes from
+//! `std::thread`); on a single-core host they run inline in shard order.
+//! Either way the merge order is fixed, so results never depend on the
+//! schedule. Beyond parallel scoring, contiguous range shards are the
+//! on-ramp to multi-node serving: each range could live in a different
+//! process and the gather step would not change.
+
+use crate::scorer::{top_k_batch, ScoreConfig};
+use crate::store::ModelSnapshot;
+use crate::topk::{merge_top_k, ScoredItem};
+use cumf_numeric::dense::DenseMatrix;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// One contiguous slice of the item catalog: global ids
+/// `[start, start + local.n_items())`, with factors and priors copied out
+/// of the parent snapshot so each shard's scoring walk touches only its
+/// own blocks.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    /// Global item id of the shard's first row.
+    pub start: usize,
+    /// The shard's factors/priors as a self-contained snapshot (same
+    /// epoch as the parent; FP16 copy present iff the parent carried one).
+    pub local: ModelSnapshot,
+}
+
+impl Shard {
+    /// Number of items in this shard.
+    pub fn n_items(&self) -> usize {
+        self.local.n_items()
+    }
+}
+
+/// A published model epoch split into contiguous item-range shards.
+///
+/// Keeps the unsharded [`ModelSnapshot`] alongside the shards: cold-start
+/// fold-in solves against the full Θ, and the single-shard fast path
+/// scores it directly.
+///
+/// ```
+/// use cumf_numeric::dense::DenseMatrix;
+/// use cumf_serve::shard::ShardedSnapshot;
+/// use cumf_serve::store::ModelSnapshot;
+///
+/// let theta = DenseMatrix::from_vec(5, 2, (0..10).map(|i| i as f32).collect());
+/// let sharded = ShardedSnapshot::build(ModelSnapshot::new(3, theta, vec![]), 2);
+/// assert_eq!(sharded.epoch(), 3);
+/// assert_eq!(sharded.n_shards(), 2);
+/// // 5 items over 2 shards: ranges [0,3) and [3,5).
+/// assert_eq!(sharded.shards()[0].n_items(), 3);
+/// assert_eq!(sharded.shards()[1].start, 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardedSnapshot {
+    full: ModelSnapshot,
+    shards: Vec<Shard>,
+}
+
+impl ShardedSnapshot {
+    /// Split `snapshot` into `n_shards` contiguous item ranges, sized as
+    /// evenly as possible (earlier shards take the remainder). The shard
+    /// count is clamped to `[1, n_items]` so no shard is ever empty; each
+    /// shard re-narrows its own FP16 copy when the parent carries one.
+    pub fn build(snapshot: ModelSnapshot, n_shards: usize) -> ShardedSnapshot {
+        let n = snapshot.n_items();
+        let f = snapshot.f();
+        let s = n_shards.clamp(1, n.max(1));
+        let theta = snapshot.item_factors().as_slice();
+        let priors = snapshot.popularity();
+        let (base, rem) = (n / s, n % s);
+        let mut shards = Vec::with_capacity(s);
+        let mut start = 0usize;
+        for i in 0..s {
+            let len = base + usize::from(i < rem);
+            let rows = theta[start * f..(start + len) * f].to_vec();
+            let pop = if priors.is_empty() {
+                vec![]
+            } else {
+                priors[start..start + len].to_vec()
+            };
+            let mut local =
+                ModelSnapshot::new(snapshot.epoch, DenseMatrix::from_vec(len, f, rows), pop);
+            if snapshot.has_fp16() {
+                local = local.with_fp16();
+            }
+            shards.push(Shard { start, local });
+            start += len;
+        }
+        ShardedSnapshot {
+            full: snapshot,
+            shards,
+        }
+    }
+
+    /// Model epoch of this snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.full.epoch
+    }
+
+    /// Feature dimension `f`.
+    pub fn f(&self) -> usize {
+        self.full.f()
+    }
+
+    /// Total items across all shards.
+    pub fn n_items(&self) -> usize {
+        self.full.n_items()
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The unsharded snapshot (fold-in solves and the single-shard fast
+    /// path read this).
+    pub fn full(&self) -> &ModelSnapshot {
+        &self.full
+    }
+
+    /// The shards, in item-range order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+}
+
+/// Wall-clock accounting for one shard's scoring pass, for per-shard
+/// telemetry counters.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardTiming {
+    /// Shard index.
+    pub shard: usize,
+    /// `items × users` score evaluations the shard performed.
+    pub scored: u64,
+    /// Host wall-clock seconds the shard's pass took.
+    pub secs: f64,
+}
+
+/// Scatter-gather scoring: every shard runs the blocked kernel over its
+/// item range, then per-user heaps are merged into global rankings.
+/// Returns the rankings plus per-shard timings.
+///
+/// Bit-identical to [`top_k_batch`] over the unsharded snapshot: shard
+/// slices preserve row layout so each item's dot product is the same
+/// arithmetic, and [`merge_top_k`]'s total order (score descending, item
+/// id ascending) picks exactly the set and order one global heap would.
+pub fn top_k_batch_sharded_timed(
+    sharded: &ShardedSnapshot,
+    user_factors: &DenseMatrix,
+    k: usize,
+    cfg: &ScoreConfig,
+) -> (Vec<Vec<ScoredItem>>, Vec<ShardTiming>) {
+    let users = user_factors.rows();
+    if sharded.n_shards() == 1 {
+        let t0 = std::time::Instant::now();
+        let ranked = top_k_batch(sharded.full(), user_factors, k, cfg);
+        let timing = ShardTiming {
+            shard: 0,
+            scored: (sharded.n_items() * users) as u64,
+            secs: t0.elapsed().as_secs_f64(),
+        };
+        return (ranked, vec![timing]);
+    }
+
+    // Scatter: one blocked pass per shard, on scoped threads when the
+    // host can actually run them concurrently. Results are gathered in
+    // shard order either way, so the schedule never shows in the output.
+    let score_shard = |idx: usize, shard: &Shard| -> (Vec<Vec<ScoredItem>>, ShardTiming) {
+        let t0 = std::time::Instant::now();
+        let mut local = top_k_batch(&shard.local, user_factors, k, cfg);
+        for user_ranking in &mut local {
+            for item in user_ranking.iter_mut() {
+                item.item += shard.start as u32;
+            }
+        }
+        let timing = ShardTiming {
+            shard: idx,
+            scored: (shard.n_items() * users) as u64,
+            secs: t0.elapsed().as_secs_f64(),
+        };
+        (local, timing)
+    };
+    let multicore = std::thread::available_parallelism()
+        .map(|p| p.get() > 1)
+        .unwrap_or(false);
+    let per_shard: Vec<(Vec<Vec<ScoredItem>>, ShardTiming)> = if multicore {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = sharded
+                .shards()
+                .iter()
+                .enumerate()
+                .map(|(idx, shard)| scope.spawn(move || score_shard(idx, shard)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard scoring panicked"))
+                .collect()
+        })
+    } else {
+        sharded
+            .shards()
+            .iter()
+            .enumerate()
+            .map(|(idx, shard)| score_shard(idx, shard))
+            .collect()
+    };
+
+    // Gather: merge each user's per-shard heaps under the total order.
+    let mut timings = Vec::with_capacity(per_shard.len());
+    let mut shard_rankings: Vec<Vec<Vec<ScoredItem>>> = Vec::with_capacity(per_shard.len());
+    for (rankings, timing) in per_shard {
+        shard_rankings.push(rankings);
+        timings.push(timing);
+    }
+    let mut scratch: Vec<Vec<ScoredItem>> = vec![Vec::new(); shard_rankings.len()];
+    let merged = (0..users)
+        .map(|u| {
+            for (slot, rankings) in scratch.iter_mut().zip(&mut shard_rankings) {
+                *slot = std::mem::take(&mut rankings[u]);
+            }
+            merge_top_k(&scratch, k)
+        })
+        .collect();
+    (merged, timings)
+}
+
+/// [`top_k_batch_sharded_timed`] without the timings — the plain sharded
+/// counterpart of [`top_k_batch`].
+pub fn top_k_batch_sharded(
+    sharded: &ShardedSnapshot,
+    user_factors: &DenseMatrix,
+    k: usize,
+    cfg: &ScoreConfig,
+) -> Vec<Vec<ScoredItem>> {
+    top_k_batch_sharded_timed(sharded, user_factors, k, cfg).0
+}
+
+/// Snapshot-swapped holder of the current [`ShardedSnapshot`] — the
+/// sharded successor of [`FactorStore`](crate::store::FactorStore), with
+/// the same publish semantics: readers clone an `Arc` per batch and are
+/// never blocked by a publish in progress.
+///
+/// ```
+/// use cumf_numeric::dense::DenseMatrix;
+/// use cumf_serve::shard::ShardedFactorStore;
+/// use cumf_serve::store::ModelSnapshot;
+///
+/// let store = ShardedFactorStore::new(
+///     ModelSnapshot::new(0, DenseMatrix::identity(8), vec![]),
+///     4,
+/// );
+/// let held = store.snapshot();
+/// store.publish(ModelSnapshot::new(1, DenseMatrix::identity(8), vec![]));
+/// assert_eq!(held.epoch(), 0); // in-flight batch unaffected
+/// assert_eq!(store.epoch(), 1);
+/// assert_eq!(store.snapshot().n_shards(), 4); // re-sharded on publish
+/// ```
+#[derive(Debug)]
+pub struct ShardedFactorStore {
+    current: RwLock<Arc<ShardedSnapshot>>,
+    n_shards: usize,
+}
+
+impl ShardedFactorStore {
+    /// A store serving `snapshot` split into `n_shards` ranges (clamped
+    /// to the item count; every later publish re-shards at the same
+    /// count).
+    pub fn new(snapshot: ModelSnapshot, n_shards: usize) -> ShardedFactorStore {
+        let sharded = ShardedSnapshot::build(snapshot, n_shards);
+        let n_shards = sharded.n_shards();
+        ShardedFactorStore {
+            current: RwLock::new(Arc::new(sharded)),
+            n_shards,
+        }
+    }
+
+    /// The current sharded snapshot. Cheap (`Arc` clone under a read
+    /// lock); hold it for a whole batch so the batch scores one epoch.
+    pub fn snapshot(&self) -> Arc<ShardedSnapshot> {
+        self.current.read().clone()
+    }
+
+    /// Shard, then atomically replace the served snapshot; returns the
+    /// new epoch. The sharding pass runs before the write lock is taken,
+    /// so readers only ever wait for the pointer swap.
+    pub fn publish(&self, snapshot: ModelSnapshot) -> u64 {
+        let sharded = Arc::new(ShardedSnapshot::build(snapshot, self.n_shards));
+        let epoch = sharded.epoch();
+        *self.current.write() = sharded;
+        epoch
+    }
+
+    /// Shard count every snapshot is split into.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Epoch of the currently served snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(n: usize, f: usize, priors: bool) -> ModelSnapshot {
+        let mut theta = DenseMatrix::zeros(n, f);
+        for i in 0..n {
+            for j in 0..f {
+                theta.set(i, j, ((i * 31 + j * 7) % 13) as f32 * 0.21 - 1.0);
+            }
+        }
+        let pop = if priors {
+            (0..n).map(|i| (i % 5) as f32 * 0.1).collect()
+        } else {
+            vec![]
+        };
+        ModelSnapshot::new(0, theta, pop)
+    }
+
+    fn users(u: usize, f: usize) -> DenseMatrix {
+        let mut x = DenseMatrix::zeros(u, f);
+        for i in 0..u {
+            for j in 0..f {
+                x.set(i, j, ((i * 17 + j * 3) % 11) as f32 * 0.19 - 0.9);
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_catalog() {
+        for (n, s) in [(10, 3), (8, 8), (7, 2), (5, 1), (3, 9)] {
+            let sharded = ShardedSnapshot::build(snap(n, 2, true), s);
+            assert_eq!(sharded.n_shards(), s.min(n));
+            let mut next = 0usize;
+            for shard in sharded.shards() {
+                assert_eq!(shard.start, next);
+                assert!(shard.n_items() > 0, "no shard may be empty");
+                next += shard.n_items();
+            }
+            assert_eq!(next, n);
+        }
+    }
+
+    #[test]
+    fn shard_slices_carry_identical_rows_and_priors() {
+        let full = snap(11, 3, true);
+        let sharded = ShardedSnapshot::build(full.clone(), 4);
+        for shard in sharded.shards() {
+            for local in 0..shard.n_items() {
+                let global = shard.start + local;
+                assert_eq!(
+                    shard.local.item_factors().row(local),
+                    full.item_factors().row(global)
+                );
+                assert_eq!(shard.local.prior(local), full.prior(global));
+            }
+        }
+    }
+
+    #[test]
+    fn fp16_carries_through_sharding() {
+        let sharded = ShardedSnapshot::build(snap(9, 4, false).with_fp16(), 3);
+        assert!(sharded.full().has_fp16());
+        assert!(sharded.shards().iter().all(|s| s.local.has_fp16()));
+        let plain = ShardedSnapshot::build(snap(9, 4, false), 3);
+        assert!(plain.shards().iter().all(|s| !s.local.has_fp16()));
+    }
+
+    #[test]
+    fn sharded_scoring_is_bit_identical_to_unsharded() {
+        let full = snap(37, 5, true);
+        let x = users(6, 5);
+        let cfg = ScoreConfig::default();
+        let want = top_k_batch(&full, &x, 9, &cfg);
+        for s in [1, 2, 3, 7, 8] {
+            let sharded = ShardedSnapshot::build(full.clone(), s);
+            let (got, timings) = top_k_batch_sharded_timed(&sharded, &x, 9, &cfg);
+            assert_eq!(got, want, "{s} shards");
+            assert_eq!(timings.len(), sharded.n_shards());
+            let scored: u64 = timings.iter().map(|t| t.scored).sum();
+            assert_eq!(scored, 37 * 6, "{s} shards must cover every score");
+        }
+    }
+
+    #[test]
+    fn tied_scores_straddling_a_boundary_merge_deterministically() {
+        // All items identical ⇒ every score ties; the ranking must be
+        // items 0..k in id order no matter where shard cuts fall.
+        let theta = DenseMatrix::from_vec(12, 2, vec![0.5; 24]);
+        let full = ModelSnapshot::new(0, theta, vec![]);
+        let x = users(3, 2);
+        let want = top_k_batch(&full, &x, 5, &ScoreConfig::default());
+        for s in [2, 3, 5, 7, 8, 12] {
+            let sharded = ShardedSnapshot::build(full.clone(), s);
+            let got = top_k_batch_sharded(&sharded, &x, 5, &ScoreConfig::default());
+            assert_eq!(got, want, "{s} shards");
+            for ranking in &got {
+                let ids: Vec<u32> = ranking.iter().map(|r| r.item).collect();
+                assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+            }
+        }
+    }
+
+    #[test]
+    fn store_republish_reshards_at_the_same_count() {
+        let store = ShardedFactorStore::new(snap(10, 2, false), 3);
+        assert_eq!(store.n_shards(), 3);
+        let epoch = store.publish(ModelSnapshot::new(9, DenseMatrix::identity(6), vec![]));
+        assert_eq!(epoch, 9);
+        let snap = store.snapshot();
+        assert_eq!(snap.n_shards(), 3);
+        assert_eq!(snap.n_items(), 6);
+    }
+}

@@ -91,6 +91,11 @@ impl ModelSnapshot {
         &self.item_factors
     }
 
+    /// The per-item popularity priors (empty when none were attached).
+    pub fn popularity(&self) -> &[f32] {
+        &self.popularity
+    }
+
     /// Additive prior for `item` (0 when no priors were attached).
     #[inline]
     pub fn prior(&self, item: usize) -> f32 {

@@ -1,4 +1,5 @@
-//! Bounded top-k selection: a size-capped min-heap per user.
+//! Bounded top-k selection: a size-capped min-heap per user, plus the
+//! deterministic merge the sharded scorer reduces through.
 //!
 //! Scoring a user against `n` items produces `n` candidate scores but the
 //! response only carries `k ≪ n` of them. Keeping a k-entry min-heap while
@@ -6,6 +7,15 @@
 //! `O(n log n)` time and `O(n)` memory for a full argsort — which is what
 //! lets the scorer walk item blocks without ever materializing the full
 //! score row.
+//!
+//! ## The tie-break contract
+//!
+//! Every selection and merge in this module orders candidates by **score
+//! descending, then item id ascending** ([`ScoredItem::ranks_before`],
+//! a total order via `f32::total_cmp`). The contract matters because the
+//! same item set reaches a ranking along different paths — one heap walk,
+//! a naive argsort, or a merge of per-shard heaps — and responses must be
+//! bit-identical regardless of which path produced them (test-enforced).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -129,8 +139,52 @@ impl TopK {
     }
 }
 
+/// Merge per-shard rankings into one global top-k, best first.
+///
+/// Each input list must already be sorted best-first by the module's
+/// tie-break order (score descending, item id ascending) — which is what
+/// [`TopK::into_sorted`] and [`naive_top_k`] produce. The merge preserves
+/// that total order, so the result is bit-identical to ranking the union
+/// of all candidates in one pass: shard boundaries can never reorder tied
+/// scores (test-enforced, including ties straddling shards).
+///
+/// ```
+/// use cumf_serve::topk::{merge_top_k, ScoredItem};
+///
+/// let s = |item, score| ScoredItem { item, score };
+/// // Two shards, a tie at 1.0 straddling them: item 2 must win the tie.
+/// let a = vec![s(5, 1.0), s(0, 0.5)];
+/// let b = vec![s(2, 1.0), s(9, 0.7)];
+/// let merged = merge_top_k(&[a, b], 3);
+/// assert_eq!(
+///     merged.iter().map(|x| x.item).collect::<Vec<_>>(),
+///     vec![2, 5, 9]
+/// );
+/// ```
+pub fn merge_top_k(lists: &[Vec<ScoredItem>], k: usize) -> Vec<ScoredItem> {
+    debug_assert!(lists.iter().all(|l| l
+        .windows(2)
+        .all(|w| w[0].ranks_before(&w[1]) || w[0] == w[1])));
+    let mut all: Vec<ScoredItem> = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+    for list in lists {
+        all.extend_from_slice(list);
+    }
+    all.sort_unstable_by(|a, b| {
+        if a.ranks_before(b) {
+            Ordering::Less
+        } else if b.ranks_before(a) {
+            Ordering::Greater
+        } else {
+            Ordering::Equal
+        }
+    });
+    all.truncate(k);
+    all
+}
+
 /// Reference selection: full argsort, then truncate. `O(n log n)` — used by
-/// tests as the ground truth the heap path must match exactly.
+/// tests as the ground truth the heap path must match exactly. Follows the
+/// module's tie-break contract: score descending, then item id ascending.
 pub fn naive_top_k(scores: &[f32], k: usize) -> Vec<ScoredItem> {
     let mut all: Vec<ScoredItem> = scores
         .iter()
@@ -189,6 +243,63 @@ mod tests {
         top.push(0, 1.0);
         assert!(top.is_empty());
         assert!(top.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn merge_matches_single_list_ranking() {
+        // Items 0..12 with scores that collide in pairs; split across three
+        // "shards" by item-id range, the merge must equal one global sort.
+        let scores: Vec<f32> = (0..12).map(|i| ((i * 7) % 5) as f32).collect();
+        let want = naive_top_k(&scores, 6);
+        let lists: Vec<Vec<ScoredItem>> = [(0usize, 4usize), (4, 8), (8, 12)]
+            .iter()
+            .map(|&(lo, hi)| {
+                let mut top = TopK::new(6);
+                for (i, &score) in scores.iter().enumerate().take(hi).skip(lo) {
+                    top.push(i as u32, score);
+                }
+                top.into_sorted()
+            })
+            .collect();
+        assert_eq!(merge_top_k(&lists, 6), want);
+    }
+
+    #[test]
+    fn merge_breaks_ties_toward_smaller_item_id_across_lists() {
+        let s = |item, score| ScoredItem { item, score };
+        // The tied score 2.0 appears in both lists; item 1 (second list)
+        // must rank before item 6 (first list).
+        let a = vec![s(6, 2.0), s(0, 1.0)];
+        let b = vec![s(1, 2.0), s(3, 1.5)];
+        let merged = merge_top_k(&[a, b], 4);
+        assert_eq!(
+            merged.iter().map(|x| x.item).collect::<Vec<_>>(),
+            vec![1, 6, 3, 0]
+        );
+        // Reversing the list order changes nothing: the order is total.
+        let a = vec![s(6, 2.0), s(0, 1.0)];
+        let b = vec![s(1, 2.0), s(3, 1.5)];
+        assert_eq!(merge_top_k(&[b, a], 4), merged);
+    }
+
+    #[test]
+    fn merge_truncates_and_handles_empty_lists() {
+        let s = |item, score| ScoredItem { item, score };
+        let lists = vec![vec![], vec![s(2, 1.0)], vec![], vec![s(1, 3.0)]];
+        let merged = merge_top_k(&lists, 1);
+        assert_eq!(merged, vec![s(1, 3.0)]);
+        assert!(merge_top_k(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn naive_top_k_tie_break_is_score_desc_then_item_asc() {
+        // Regression: the documented contract, checked directly.
+        let scores = [2.0f32, 3.0, 3.0, 1.0, 3.0];
+        let got = naive_top_k(&scores, 5);
+        assert_eq!(
+            got.iter().map(|s| s.item).collect::<Vec<_>>(),
+            vec![1, 2, 4, 0, 3]
+        );
     }
 
     #[test]

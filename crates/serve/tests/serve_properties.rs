@@ -1,13 +1,20 @@
 //! Property-based and model-level tests for the serving crate:
-//! the blocked top-k path against a naive argsort oracle, and the FP16
-//! scoring path's ranking quality on a trained model.
+//! the blocked top-k path against a naive argsort oracle, the sharded
+//! scatter-gather path against the unsharded scorer, admission-queue
+//! overload behavior, and the FP16 scoring path's ranking quality on a
+//! trained model.
 
 use cumf_als::{AlsConfig, AlsTrainer};
 use cumf_datasets::{MfDataset, SizeClass};
 use cumf_gpu_sim::GpuSpec;
 use cumf_numeric::dense::DenseMatrix;
-use cumf_serve::{naive_top_k, ndcg_at_k, score_one, top_k_batch, ModelSnapshot, ScoreConfig};
+use cumf_serve::{
+    admission_queue, naive_top_k, ndcg_at_k, score_one, top_k_batch, top_k_batch_sharded,
+    AdmissionConfig, ModelSnapshot, Request, ScoreConfig, ServeConfig, ServeEngine,
+    ShardedSnapshot, SubmitError, UserRef,
+};
 use proptest::prelude::*;
+use std::time::Duration;
 
 /// A random (snapshot, user batch) pair: n items × f features plus u user
 /// rows, entries in [-1, 1], and random popularity priors.
@@ -39,7 +46,7 @@ proptest! {
         user_chunk in 1usize..9,
     ) {
         let (snapshot, users) = model;
-        let cfg = ScoreConfig { block_items, user_chunk, use_fp16: false };
+        let cfg = ScoreConfig { block_items: Some(block_items), user_chunk, use_fp16: false };
         let got = top_k_batch(&snapshot, &users, k, &cfg);
         prop_assert_eq!(got.len(), users.rows());
         for (u, ranked) in got.iter().enumerate() {
@@ -58,10 +65,103 @@ proptest! {
     ) {
         let (snapshot, users) = model;
         let a = top_k_batch(&snapshot, &users, 8, &ScoreConfig {
-            block_items: blocks.0, user_chunk: 3, use_fp16: false });
+            block_items: Some(blocks.0), user_chunk: 3, use_fp16: false });
         let b = top_k_batch(&snapshot, &users, 8, &ScoreConfig {
-            block_items: blocks.1, user_chunk: 5, use_fp16: false });
+            block_items: Some(blocks.1), user_chunk: 5, use_fp16: false });
         prop_assert_eq!(a, b);
+    }
+
+    /// Sharded scatter-gather scoring is bit-identical to the unsharded
+    /// scorer for every shard count, on arbitrary models.
+    #[test]
+    fn sharded_scoring_equals_unsharded(
+        model in arb_model(),
+        k in 1usize..15,
+    ) {
+        let (snapshot, users) = model;
+        let cfg = ScoreConfig::default();
+        let want = top_k_batch(&snapshot, &users, k, &cfg);
+        for shards in [1usize, 2, 3, 7, 8] {
+            let sharded = ShardedSnapshot::build(snapshot.clone(), shards);
+            let got = top_k_batch_sharded(&sharded, &users, k, &cfg);
+            prop_assert_eq!(&got, &want, "{} shards", shards);
+        }
+    }
+
+    /// Ties straddling shard boundaries never perturb the ranking: with a
+    /// catalog of *duplicated* item rows every duplicate pair ties, and
+    /// the sharded merge must still reproduce the unsharded order (score
+    /// desc, item id asc) for every cut placement.
+    #[test]
+    fn boundary_ties_merge_identically(
+        f in 1usize..6,
+        dup in 2usize..5,
+        groups in 2usize..8,
+        seed_row in prop::collection::vec(-1.0f32..1.0, 8),
+    ) {
+        let n = dup * groups;
+        // Rows repeat every `groups` items, so ties are spread across the
+        // catalog and any shard cut separates some tied pair.
+        let mut theta = Vec::with_capacity(n * f);
+        for i in 0..n {
+            for j in 0..f {
+                theta.push(seed_row[(i % groups + j) % 8]);
+            }
+        }
+        let snapshot = ModelSnapshot::new(0, DenseMatrix::from_vec(n, f, theta), vec![]);
+        let users = DenseMatrix::from_vec(1, f, seed_row[..f].to_vec());
+        let cfg = ScoreConfig::default();
+        let want = top_k_batch(&snapshot, &users, n, &cfg);
+        for shards in 1..=n {
+            let sharded = ShardedSnapshot::build(snapshot.clone(), shards);
+            let got = top_k_batch_sharded(&sharded, &users, n, &cfg);
+            prop_assert_eq!(&got, &want, "{} shards over {} items", shards, n);
+        }
+    }
+}
+
+/// An overloaded admission queue must reject rather than grow: with no
+/// worker draining, exactly `queue_depth` requests are accepted and every
+/// further submission is shed and counted.
+#[test]
+fn overloaded_admission_queue_rejects_rather_than_grows() {
+    let theta = DenseMatrix::identity(8);
+    let engine = ServeEngine::new(
+        DenseMatrix::identity(8),
+        ModelSnapshot::new(0, theta, vec![]),
+        ServeConfig {
+            k: 3,
+            ..ServeConfig::default()
+        },
+    );
+    for depth in [1usize, 4, 16] {
+        let (queue, worker, done) = admission_queue(AdmissionConfig {
+            max_batch: 8,
+            queue_depth: depth,
+            batch_age: Duration::from_millis(1),
+        });
+        let total = depth + 13;
+        let mut accepted = 0usize;
+        for i in 0..total {
+            match queue.try_submit(
+                Request {
+                    id: i as u64,
+                    user: UserRef::Known((i % 8) as u32),
+                },
+                engine.now(),
+            ) {
+                Ok(()) => accepted += 1,
+                Err(SubmitError::Full(_)) => {}
+                Err(SubmitError::Closed(_)) => panic!("worker still alive"),
+            }
+        }
+        assert_eq!(accepted, depth, "bounded queue holds exactly its depth");
+        assert_eq!(queue.rejected(), 13, "every overflow is counted");
+        drop(queue);
+        let report = worker.run(&engine, &cumf_telemetry::NOOP);
+        assert_eq!(report.admitted, depth as u64);
+        assert_eq!(report.rejected, 13);
+        assert_eq!(done.iter().count(), depth, "accepted requests still served");
     }
 }
 

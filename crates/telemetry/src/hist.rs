@@ -87,6 +87,12 @@ impl LatencyHistogram {
         self.max = self.max.max(s);
     }
 
+    /// Record one latency given as a [`std::time::Duration`] — convenience
+    /// for call sites timing with `Instant::elapsed()`.
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        self.record_secs(d.as_secs_f64());
+    }
+
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
         self.count
@@ -236,6 +242,16 @@ mod tests {
         assert_eq!(a.quantile(0.5), both.quantile(0.5));
         assert_eq!(a.quantile(0.99), both.quantile(0.99));
         assert!((a.mean() - both.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_duration_matches_record_secs() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record_duration(std::time::Duration::from_micros(1500));
+        b.record_secs(1.5e-3);
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+        assert_eq!(a.count(), 1);
     }
 
     #[test]
