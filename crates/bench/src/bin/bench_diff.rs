@@ -1,0 +1,131 @@
+//! Regression gate over `serve_bench --json` summaries.
+//!
+//! Compares a freshly produced summary against the committed reference
+//! (`BENCH_serve.json`) and fails when throughput, tail latency, or the
+//! shed fraction regressed beyond tolerance. Intended for CI:
+//!
+//! ```text
+//! serve_bench --quick --qps 4000 --requests 6000 --shards 8 --json fresh.json
+//! bench_diff --reference BENCH_serve.json --current fresh.json
+//! ```
+//!
+//! Exit codes: 0 = within tolerance, 1 = regression, 2 = usage or
+//! schema error (missing file, unparsable JSON, schema_version skew).
+//! `--warn-only` demotes exit 1 to 0 so noisy CI hosts can observe the
+//! report without blocking merges.
+
+use cumf_bench::diff::{diff, DiffTolerances};
+use serde::Value;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+bench_diff: compare serve_bench --json summaries against a committed reference
+
+USAGE:
+  bench_diff --reference PATH --current PATH [options]
+
+OPTIONS:
+  --reference PATH     committed baseline summary (e.g. BENCH_serve.json)
+  --current PATH       freshly produced summary to gate
+  --warn-only          print the report but exit 0 even on regression
+  --tol-qps FRAC       max fractional qps drop        (default 0.35)
+  --tol-p50 FRAC       max fractional p50 rise        (default 1.0)
+  --tol-p99 FRAC       max fractional p99 rise        (default 1.5)
+  --tol-shed FRAC      max absolute shed-fraction rise (default 0.05)
+  -h, --help           show this help";
+
+struct Flags {
+    reference: String,
+    current: String,
+    warn_only: bool,
+    tol: DiffTolerances,
+}
+
+fn parse_flags() -> Result<Flags, String> {
+    let mut reference = None;
+    let mut current = None;
+    let mut warn_only = false;
+    let mut tol = DiffTolerances::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |what: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--reference" => reference = Some(val("--reference")?),
+            "--current" => current = Some(val("--current")?),
+            "--warn-only" => warn_only = true,
+            "--tol-qps" => tol.qps_drop_frac = parse_frac(&val("--tol-qps")?)?,
+            "--tol-p50" => tol.p50_rise_frac = parse_frac(&val("--tol-p50")?)?,
+            "--tol-p99" => tol.p99_rise_frac = parse_frac(&val("--tol-p99")?)?,
+            "--tol-shed" => tol.shed_rise_abs = parse_frac(&val("--tol-shed")?)?,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Flags {
+        reference: reference.ok_or("--reference is required")?,
+        current: current.ok_or("--current is required")?,
+        warn_only,
+        tol,
+    })
+}
+
+fn parse_frac(s: &str) -> Result<f64, String> {
+    let f: f64 = s.parse().map_err(|_| format!("`{s}` is not a number"))?;
+    if f < 0.0 {
+        return Err(format!("tolerance `{s}` must be non-negative"));
+    }
+    Ok(f)
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Value::parse(&text).map_err(|e| format!("`{path}` is not valid JSON: {e}"))
+}
+
+fn main() -> ExitCode {
+    let flags = match parse_flags() {
+        Ok(f) => f,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("bench_diff: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let (reference, current) = match (load(&flags.reference), load(&flags.current)) {
+        (Ok(r), Ok(c)) => (r, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match diff(&reference, &current, &flags.tol) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "bench_diff: {} vs {}\n{}",
+        flags.reference,
+        flags.current,
+        report.render()
+    );
+    if report.regressed() {
+        if flags.warn_only {
+            println!("bench_diff: REGRESSED beyond tolerance (warn-only, not failing)");
+            ExitCode::SUCCESS
+        } else {
+            println!("bench_diff: REGRESSED beyond tolerance");
+            ExitCode::FAILURE
+        }
+    } else {
+        println!("bench_diff: within tolerance");
+        ExitCode::SUCCESS
+    }
+}

@@ -24,15 +24,24 @@
 //! queue is full), `--cache N` (entries), `--cold-frac F` (fraction served
 //! as cold-start fold-ins), `--fp16` (score from the FP16 factor copy),
 //! `--republish` (publish a new model epoch halfway through), `--json
-//! PATH` (write a machine-readable summary).
+//! PATH` (write a machine-readable summary carrying
+//! [`cumf_bench::diff::SCHEMA_VERSION`], gateable with `bench_diff`).
+//!
+//! Observability flags (the `serve::obs` stack is always on; these expose
+//! it): `--prom-out PATH` writes the Prometheus text exposition at exit,
+//! `--slow-trace-us N` sets the flight-recorder slow threshold,
+//! `--slow-trace PATH` dumps a Chrome trace of the slowest exemplar
+//! requests, `--slo-target-us N` sets the SLO latency target that the
+//! burn-rate windows and the report's compliance line are computed from.
 
 use cumf_als::{AlsConfig, AlsTrainer};
+use cumf_bench::diff::SCHEMA_VERSION;
 use cumf_bench::{fmt_s, rule, HarnessArgs, TelemetrySink};
 use cumf_datasets::{MfDataset, RequestSampler, SizeClass};
 use cumf_gpu_sim::GpuSpec;
 use cumf_serve::{
-    admission_queue, AdmissionConfig, AdmissionReport, Completion, ModelSnapshot, Request,
-    ScoreConfig, ServeConfig, ServeEngine, SubmitError, UserRef,
+    admission_queue, AdmissionConfig, AdmissionReport, Completion, ModelSnapshot, ObsConfig,
+    Request, ScoreConfig, ServeConfig, ServeEngine, SloConfig, SubmitError, UserRef,
 };
 use cumf_telemetry::{CounterSample, LatencyHistogram};
 use serde::Value;
@@ -52,6 +61,10 @@ struct ServeFlags {
     fp16: bool,
     republish: bool,
     json: Option<String>,
+    prom_out: Option<String>,
+    slow_trace: Option<String>,
+    slow_trace_us: u64,
+    slo_target_us: u64,
 }
 
 fn parse_flags() -> (HarnessArgs, ServeFlags) {
@@ -70,6 +83,10 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
         fp16: false,
         republish: false,
         json: None,
+        prom_out: None,
+        slow_trace: None,
+        slow_trace_us: 2_000,
+        slo_target_us: 25_000,
     };
     let mut it = extras.into_iter();
     while let Some(a) = it.next() {
@@ -88,12 +105,17 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
             "--fp16" => flags.fp16 = true,
             "--republish" => flags.republish = true,
             "--json" => flags.json = it.next(),
+            "--prom-out" => flags.prom_out = it.next(),
+            "--slow-trace" => flags.slow_trace = it.next(),
+            "--slow-trace-us" => flags.slow_trace_us = (val(2000.0) as u64).max(1),
+            "--slo-target-us" => flags.slo_target_us = (val(25000.0) as u64).max(1),
             "--help" | "-h" => {
                 eprintln!(
                     "serve_bench flags: --qps F, --requests N, --k N, --batch N, \
                      --batch-age-us N, --queue-depth N, --shards N, --open-loop, \
-                     --cache N, --cold-frac F, --fp16, --republish, --json PATH; \
-                     common: {}",
+                     --cache N, --cold-frac F, --fp16, --republish, --json PATH, \
+                     --prom-out PATH, --slow-trace PATH, --slow-trace-us N, \
+                     --slo-target-us N; common: {}",
                     HarnessArgs::common_usage()
                 );
                 std::process::exit(0);
@@ -152,6 +174,14 @@ fn main() {
     if flags.fp16 {
         snapshot = snapshot.with_fp16();
     }
+    let obs_cfg = ObsConfig {
+        slow_threshold: Duration::from_micros(flags.slow_trace_us),
+        slo: SloConfig {
+            target: Duration::from_micros(flags.slo_target_us),
+            ..SloConfig::default()
+        },
+        ..ObsConfig::default()
+    };
     let engine = ServeEngine::new(
         trainer.x.clone(),
         snapshot,
@@ -163,6 +193,7 @@ fn main() {
                 use_fp16: flags.fp16,
                 ..ScoreConfig::default()
             },
+            obs: obs_cfg,
             ..ServeConfig::default()
         },
     );
@@ -205,6 +236,8 @@ fn main() {
         queue_depth: flags.queue_depth,
         batch_age: Duration::from_micros(flags.batch_age_us),
     });
+    // Shed requests must spend SLO budget, so the queue needs the obs hook.
+    let queue = queue.with_obs(engine.obs_arc());
     let mut shed = 0usize;
     let replay0 = engine.now();
     let (admission, completions) = std::thread::scope(|scope| {
@@ -293,6 +326,16 @@ fn main() {
         std::fs::write(path, json.to_json()).expect("failed to write JSON summary");
         eprintln!("wrote {path}");
     }
+    if let Some(path) = &flags.prom_out {
+        let text = engine.obs().render_prometheus(engine.now());
+        std::fs::write(path, text).expect("failed to write Prometheus exposition");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &flags.slow_trace {
+        let trace = engine.obs().flight().exemplar_trace();
+        std::fs::write(path, trace).expect("failed to write slow-request trace");
+        eprintln!("wrote {path}");
+    }
     sink.finish().expect("failed to write telemetry outputs");
 }
 
@@ -349,6 +392,24 @@ fn report(engine: &ServeEngine, flags: &ServeFlags, s: &ReplaySummary) {
         cache.len,
         cache.capacity
     );
+    if let Some(slo) = &s.admission.slo {
+        let burns: Vec<String> = slo
+            .burn_rates
+            .iter()
+            .map(|b| format!("{:.2}x/{:.0}s", b.burn, b.window_secs))
+            .collect();
+        println!(
+            "SLO: target {:.1} ms, {:.1}% compliant ({} breached, {} shed of {}), \
+             burn {} — {}",
+            slo.target_secs * 1e3,
+            slo.compliance * 100.0,
+            slo.breached,
+            slo.shed,
+            slo.total,
+            burns.join(", "),
+            if slo.met() { "met" } else { "VIOLATED" }
+        );
+    }
     println!(
         "model epoch served at exit: {} across {} shard{} ({})",
         engine.store().epoch(),
@@ -373,7 +434,18 @@ fn json_summary(engine: &ServeEngine, flags: &ServeFlags, s: &ReplaySummary) -> 
     let obj = |pairs: Vec<(&str, Value)>| {
         Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     };
+    let slo = s.admission.slo.as_ref().map(|slo| {
+        obj(vec![
+            ("target_ms", Value::Num(slo.target_secs * 1e3)),
+            ("error_budget", Value::Num(slo.error_budget)),
+            ("compliance", Value::Num(slo.compliance)),
+            ("breached", Value::Num(slo.breached as f64)),
+            ("shed", Value::Num(slo.shed as f64)),
+            ("met", Value::Bool(slo.met())),
+        ])
+    });
     obj(vec![
+        ("schema_version", Value::Num(SCHEMA_VERSION)),
         ("bench", Value::Str("serve_bench".to_string())),
         ("shards", Value::Num(engine.store().n_shards() as f64)),
         ("requests", Value::Num(flags.requests as f64)),
@@ -430,5 +502,6 @@ fn json_summary(engine: &ServeEngine, flags: &ServeFlags, s: &ReplaySummary) -> 
         ),
         ("fp16", Value::Bool(flags.fp16)),
         ("k", Value::Num(flags.k as f64)),
+        ("slo", slo.unwrap_or(Value::Null)),
     ])
 }

@@ -7,6 +7,8 @@
 
 #![deny(missing_docs)]
 
+pub mod diff;
+
 use cumf_datasets::{MfDataset, SizeClass};
 use cumf_telemetry::{
     render_summary, summarize_events, write_chrome_trace, write_jsonl, MemoryRecorder, Recorder,

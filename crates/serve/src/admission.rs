@@ -53,7 +53,8 @@
 //! assert_eq!(done.iter().count(), 4);
 //! ```
 
-use crate::engine::{Recommendation, Request, ServeEngine};
+use crate::engine::{Recommendation, Request, ServeEngine, UserRef};
+use crate::obs::{RequestSpan, ServeObs, SloReport};
 use cumf_telemetry::{CounterSample, LatencyHistogram, Recorder};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{
@@ -109,9 +110,19 @@ pub enum SubmitError {
 pub struct AdmissionQueue {
     tx: SyncSender<Submitted>,
     rejected: Arc<AtomicU64>,
+    obs: Option<Arc<ServeObs>>,
 }
 
 impl AdmissionQueue {
+    /// Route shed accounting into an engine's observability bundle
+    /// (typically [`ServeEngine::obs_arc`]): every request
+    /// [`try_submit`](AdmissionQueue::try_submit) sheds is counted in
+    /// `serve_shed_total` and spends SLO error budget at its submission
+    /// time.
+    pub fn with_obs(mut self, obs: Arc<ServeObs>) -> AdmissionQueue {
+        self.obs = Some(obs);
+        self
+    }
     /// Closed-loop submit: blocks while the queue is full (backpressure),
     /// errors only if the worker is gone. `submitted_at` is the request's
     /// timestamp on the engine clock ([`ServeEngine::now`]).
@@ -130,6 +141,9 @@ impl AdmissionQueue {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(s)) => {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = &self.obs {
+                    obs.observe_shed(s.submitted_at);
+                }
                 Err(SubmitError::Full(s.req))
             }
             Err(TrySendError::Disconnected(s)) => Err(SubmitError::Closed(s.req)),
@@ -156,6 +170,10 @@ pub struct Completion {
     pub finished_at: f64,
     /// How many requests shared the batch.
     pub batch_size: usize,
+    /// The request's stage-decomposed timing record: queue / cache /
+    /// foldin / score / merge / respond durations that telescope to
+    /// `finished_at - submitted_at`.
+    pub span: RequestSpan,
 }
 
 /// Why a batch closed.
@@ -211,8 +229,8 @@ impl AdmissionWorker {
                 stamps.push(s.submitted_at);
                 reqs.push(s.req);
             }
-            let out = engine.recommend_batch(&reqs, recorder);
-            let finished_at = engine.now();
+            let (out, trace) = engine.recommend_batch_traced(&reqs, recorder);
+            let finished_at = trace.end;
 
             let n = out.len();
             report.batches += 1;
@@ -222,20 +240,30 @@ impl AdmissionWorker {
                 Close::Age => report.closed_by_age += 1,
                 Close::Drain => report.closed_by_drain += 1,
             }
-            for (submitted_at, response) in stamps.into_iter().zip(out) {
+            for ((submitted_at, response), req) in stamps.into_iter().zip(out).zip(&reqs) {
                 report
                     .queue_delay
                     .record_secs((admitted_at - submitted_at).max(0.0));
+                let span = RequestSpan::from_batch(
+                    &trace,
+                    response.request_id,
+                    submitted_at,
+                    response.from_cache,
+                    matches!(req.user, UserRef::Cold(_)),
+                );
+                engine.obs().observe_completion(&span);
                 let _ = self.done.send(Completion {
                     response,
                     submitted_at,
                     admitted_at,
                     finished_at,
                     batch_size: n,
+                    span,
                 });
             }
         }
         report.rejected = self.rejected.load(Ordering::Relaxed);
+        report.slo = Some(engine.obs().refresh_slo_gauges(engine.now()));
         report
     }
 }
@@ -259,6 +287,9 @@ pub struct AdmissionReport {
     pub rejected: u64,
     /// Queueing delay (submit → batch close) distribution.
     pub queue_delay: LatencyHistogram,
+    /// SLO summary at worker exit (compliance, breaches, sheds, windowed
+    /// burn rates), from the engine's [`crate::obs::SloTracker`].
+    pub slo: Option<SloReport>,
 }
 
 impl AdmissionReport {
@@ -272,6 +303,7 @@ impl AdmissionReport {
             closed_by_drain: 0,
             rejected: 0,
             queue_delay: LatencyHistogram::new(),
+            slo: None,
         }
     }
 
@@ -325,6 +357,7 @@ pub fn admission_queue(
     let queue = AdmissionQueue {
         tx,
         rejected: Arc::clone(&rejected),
+        obs: None,
     };
     let worker = AdmissionWorker {
         rx,
@@ -467,6 +500,88 @@ mod tests {
         }
         // A dead worker is not overload: nothing was counted as shed.
         assert_eq!(queue.rejected(), 0);
+    }
+
+    #[test]
+    fn completion_spans_telescope_to_e2e_latency() {
+        // The tentpole acceptance criterion: a request through admission →
+        // sharded scoring → merge → cache carries a span whose stage
+        // durations sum (within clock precision) to its e2e latency.
+        let f = 3;
+        let mut x = DenseMatrix::zeros(8, f);
+        let mut theta = DenseMatrix::zeros(24, f);
+        x.fill_with(|| 0.5);
+        theta.fill_with(|| 0.25);
+        let engine = ServeEngine::new(
+            x,
+            ModelSnapshot::new(0, theta, vec![]),
+            ServeConfig {
+                k: 3,
+                shards: 3,
+                ..ServeConfig::default()
+            },
+        );
+        let (queue, worker, done) = admission_queue(AdmissionConfig {
+            max_batch: 4,
+            queue_depth: 16,
+            batch_age: Duration::from_millis(2),
+        });
+        for u in 0..8 {
+            queue.submit(req(u), engine.now()).unwrap();
+        }
+        // Serve user 0 twice so the second trip is a cache hit.
+        queue.submit(req(0), engine.now()).unwrap();
+        drop(queue);
+        let report = worker.run(&engine, &NOOP);
+        assert_eq!(report.admitted, 9);
+        let completions: Vec<Completion> = done.iter().collect();
+        for c in &completions {
+            let e2e = c.finished_at - c.submitted_at;
+            assert!(
+                (c.span.stages.total() - e2e).abs() < 1e-9,
+                "stages {:?} sum {} != e2e {}",
+                c.span.stages,
+                c.span.stages.total(),
+                e2e
+            );
+            assert_eq!(c.span.request_id, c.response.request_id);
+            assert_eq!(c.span.batch_size, c.batch_size);
+            assert!(c.span.stages.queue >= 0.0);
+        }
+        // At least one from-cache completion flowed through with the flag.
+        assert!(completions.iter().any(|c| c.span.from_cache));
+        // Every completion landed in the engine's obs bundle.
+        assert_eq!(engine.obs().metrics().request_latency.snapshot().count(), 9);
+        assert_eq!(engine.obs().flight().totals().0, 9);
+        let slo = report.slo.expect("worker reports SLO state");
+        assert_eq!(slo.total, 9);
+        assert_eq!(slo.shed, 0);
+    }
+
+    #[test]
+    fn sheds_spend_slo_budget_through_the_obs_hook() {
+        let engine = tiny_engine(4);
+        let (queue, worker, _done) = admission_queue(AdmissionConfig {
+            max_batch: 64,
+            queue_depth: 2,
+            batch_age: Duration::from_millis(1),
+        });
+        let queue = queue.with_obs(engine.obs_arc());
+        // No worker running: fill the queue, then shed twice.
+        let mut shed = 0;
+        for u in 0..4 {
+            if queue.try_submit(req(u % 4), engine.now()).is_err() {
+                shed += 1;
+            }
+        }
+        assert_eq!(shed, 2);
+        assert_eq!(engine.obs().metrics().shed.get(), 2);
+        drop(queue);
+        let report = worker.run(&engine, &NOOP);
+        let slo = report.slo.expect("slo present");
+        assert_eq!(slo.shed, 2);
+        assert_eq!(slo.total, 2 + 2);
+        assert!((slo.compliance - 0.5).abs() < 1e-12);
     }
 
     #[test]

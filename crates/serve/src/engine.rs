@@ -11,10 +11,11 @@
 //!    Cholesky per the configured [`SolverKind`]) against the full Θ;
 //! 4. scatter the remaining users across the snapshot's shards, one
 //!    blocked scoring pass per shard, and gather the per-shard heaps into
-//!    global rankings ([`top_k_batch_sharded_timed`] — bit-identical to
-//!    the unsharded scorer);
-//! 5. fill the cache and emit telemetry counters, including per-shard
-//!    kernel timings.
+//!    global rankings ([`scatter_top_k`] + gather — bit-identical to the
+//!    unsharded scorer);
+//! 5. fill the cache, update the typed serving metrics
+//!    ([`crate::obs::ServeMetrics`]), and stamp a [`BatchTrace`] whose
+//!    stage timestamps the admission worker turns into per-request spans.
 //!
 //! Telemetry uses *wall-clock* seconds since engine construction as the
 //! time base — serving is a real host-side workload, unlike training whose
@@ -26,13 +27,15 @@
 //! one engine by reference.
 
 use crate::cache::{CacheKey, CacheStats, StripedCache};
+use crate::obs::{BatchTrace, ObsConfig, ServeObs, ShardMetrics};
 use crate::scorer::ScoreConfig;
-use crate::shard::{top_k_batch_sharded_timed, ShardedFactorStore};
+use crate::shard::{scatter_top_k, ShardedFactorStore};
 use crate::store::ModelSnapshot;
 use crate::topk::ScoredItem;
 use cumf_als::{fold_in_batch, SolverKind};
 use cumf_numeric::dense::DenseMatrix;
-use cumf_telemetry::{CounterSample, PhaseSpan, Recorder};
+use cumf_telemetry::{PhaseSpan, Recorder, NOOP};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Engine-level configuration.
@@ -53,6 +56,9 @@ pub struct ServeConfig {
     pub lambda: f32,
     /// Solver for cold-start fold-in systems.
     pub solver: SolverKind,
+    /// Observability layer: flight-recorder retention, slow-request
+    /// threshold, and the SLO to track (see [`crate::obs`]).
+    pub obs: ObsConfig,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +71,7 @@ impl Default for ServeConfig {
             cache_stripes: 8,
             lambda: 0.05,
             solver: SolverKind::cumf_default(),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -128,6 +135,9 @@ pub struct ServeEngine {
     cache: StripedCache,
     cfg: ServeConfig,
     started: Instant,
+    obs: Arc<ServeObs>,
+    /// Registered-once-per-shard metric handles, indexed by shard.
+    shard_metrics: Vec<ShardMetrics>,
 }
 
 impl ServeEngine {
@@ -143,13 +153,33 @@ impl ServeEngine {
             snapshot.f(),
             "user and item factor dimensions must agree"
         );
+        let store = ShardedFactorStore::new(snapshot, cfg.shards);
+        let obs = Arc::new(ServeObs::new(cfg.obs));
+        let shard_metrics = (0..store.n_shards())
+            .map(|i| obs.metrics().shard(i))
+            .collect();
         ServeEngine {
-            store: ShardedFactorStore::new(snapshot, cfg.shards),
             cache: StripedCache::new(cfg.cache_capacity, cfg.cache_stripes),
+            store,
             user_factors,
             cfg,
             started: Instant::now(),
+            obs,
+            shard_metrics,
         }
+    }
+
+    /// The engine's observability bundle: typed metrics, the flight
+    /// recorder, and the SLO tracker. Everything behind it is internally
+    /// synchronized, so exposition can read while serving writes.
+    pub fn obs(&self) -> &ServeObs {
+        &self.obs
+    }
+
+    /// A shareable handle to the observability bundle (e.g. for an
+    /// exposition endpoint or the admission queue's shed accounting).
+    pub fn obs_arc(&self) -> Arc<ServeObs> {
+        Arc::clone(&self.obs)
     }
 
     /// The underlying store, for publishing new epochs (each publish is
@@ -212,6 +242,25 @@ impl ServeEngine {
         requests: &[Request],
         recorder: &dyn Recorder,
     ) -> Vec<Recommendation> {
+        self.recommend_batch_traced(requests, recorder).0
+    }
+
+    /// [`recommend_batch`](ServeEngine::recommend_batch) plus the batch's
+    /// [`BatchTrace`]: six contiguous engine-clock timestamps bracketing
+    /// the cache, fold-in, scatter, merge, and response stages. The
+    /// admission worker re-bases the trace onto each request as a
+    /// [`crate::obs::RequestSpan`] whose stage durations telescope to its
+    /// end-to-end latency.
+    ///
+    /// Always updates the engine's [`ServeObs`] metrics; additionally
+    /// emits `serve.batch` / `serve.batch.*` phase spans (and per-shard
+    /// `serve.shard{i}.score` spans from the scatter) when `recorder` is
+    /// enabled.
+    pub fn recommend_batch_traced(
+        &self,
+        requests: &[Request],
+        recorder: &dyn Recorder,
+    ) -> (Vec<Recommendation>, BatchTrace) {
         let t0 = self.now();
         let snapshot = self.store.snapshot();
         let epoch = snapshot.epoch();
@@ -251,6 +300,7 @@ impl ServeEngine {
                 }
             }
         }
+        let t1 = self.now();
 
         // Pass 2: fold cold users (against the full Θ), assemble the batch
         // factor matrix.
@@ -280,11 +330,23 @@ impl ServeEngine {
             };
             batch.row_mut(row).copy_from_slice(src);
         }
+        let t2 = self.now();
 
-        // Pass 3: scatter the micro-batch across shards, gather the
-        // per-shard heaps into global rankings.
-        let (ranked, shard_timings) =
-            top_k_batch_sharded_timed(&snapshot, &batch, self.cfg.k, &self.cfg.score);
+        // Pass 3: scatter the micro-batch across shards (per-shard
+        // `serve.shard{i}.score` spans land on the engine clock at `t2`),
+        // then gather the per-shard heaps into global rankings.
+        let scatter_rec: &dyn Recorder = if to_score.is_empty() { &NOOP } else { recorder };
+        let scatter = scatter_top_k(
+            &snapshot,
+            &batch,
+            self.cfg.k,
+            &self.cfg.score,
+            scatter_rec,
+            t2,
+        );
+        let t3 = self.now();
+        let (ranked, shard_timings) = scatter.gather(self.cfg.k);
+        let t4 = self.now();
 
         // Pass 4: fill cache, assemble responses in request order.
         for ((i, user), items) in to_score.iter().zip(ranked) {
@@ -299,49 +361,57 @@ impl ServeEngine {
                 from_cache: false,
             });
         }
+        let t5 = self.now();
 
-        if recorder.enabled() {
-            let t1 = self.now();
-            let scored = (to_score.len() - cold_histories.len()) as f64;
-            recorder.phase(PhaseSpan::new("serve.batch", t0, t1));
-            recorder.counter(CounterSample::new(
-                "serve.batch_requests",
-                t1,
-                requests.len() as f64,
-            ));
-            recorder.counter(CounterSample::new(
-                "serve.cache_hits",
-                t1,
-                batch_hits as f64,
-            ));
-            recorder.counter(CounterSample::new("serve.cache_misses", t1, scored));
-            recorder.counter(CounterSample::new(
-                "serve.cold_users",
-                t1,
-                cold_histories.len() as f64,
-            ));
-            // Per-shard kernel accounting: score evaluations and host
-            // seconds for each shard's blocked pass this batch.
-            if !to_score.is_empty() {
-                for t in &shard_timings {
-                    recorder.counter(CounterSample::new(
-                        format!("serve.shard{}.scored", t.shard),
-                        t1,
-                        t.scored as f64,
-                    ));
-                    recorder.counter(CounterSample::new(
-                        format!("serve.shard{}.secs", t.shard),
-                        t1,
-                        t.secs,
-                    ));
+        let scored_users = to_score.len() - cold_histories.len();
+        let trace = BatchTrace {
+            start: t0,
+            cache_done: t1,
+            foldin_done: t2,
+            score_done: t3,
+            merge_done: t4,
+            end: t5,
+            requests: requests.len(),
+            cache_hits: batch_hits as usize,
+            cold_users: cold_histories.len(),
+            scored_users,
+            epoch,
+            shard_timings,
+        };
+
+        // Always-on typed metrics (lock-free counters, striped by thread).
+        let m = self.obs.metrics();
+        m.requests.add(requests.len() as u64);
+        m.batches.inc();
+        m.cache_hits.add(batch_hits);
+        m.cache_misses.add(scored_users as u64);
+        m.cold_users.add(cold_histories.len() as u64);
+        m.epoch.set(epoch as f64);
+        m.observe_batch_stages(&trace);
+        if !to_score.is_empty() {
+            for t in &trace.shard_timings {
+                if let Some(sm) = self.shard_metrics.get(t.shard) {
+                    sm.scored.add(t.scored);
+                    sm.pass_seconds.observe_secs(t.secs);
                 }
             }
         }
 
-        responses
+        // Event-stream spans for Chrome traces (the scatter already
+        // emitted the per-shard spans inside [t2, t3]).
+        if recorder.enabled() {
+            recorder.phase(PhaseSpan::new("serve.batch", t0, t5));
+            recorder.phase(PhaseSpan::new("serve.batch.cache", t0, t1));
+            recorder.phase(PhaseSpan::new("serve.batch.foldin", t1, t2));
+            recorder.phase(PhaseSpan::new("serve.batch.merge", t3, t4));
+            recorder.phase(PhaseSpan::new("serve.batch.respond", t4, t5));
+        }
+
+        let out = responses
             .into_iter()
             .map(|r| r.expect("every request answered"))
-            .collect()
+            .collect();
+        (out, trace)
     }
 }
 
@@ -433,7 +503,7 @@ mod tests {
     }
 
     #[test]
-    fn mixed_batch_counts_telemetry() {
+    fn mixed_batch_counts_typed_metrics() {
         let e = engine(6, 20, 3, ServeConfig::default());
         e.recommend_user(0, &NOOP); // warm one entry
         let rec = MemoryRecorder::new();
@@ -442,20 +512,82 @@ mod tests {
             id: 100,
             user: UserRef::Cold(vec![(0, 5.0)]),
         });
+        let m = e.obs().metrics();
+        let (req0, hit0) = (m.requests.get(), m.cache_hits.get());
         e.recommend_batch(&reqs, &rec);
-        let counters = rec.counter_samples();
-        let get = |name: &str| {
-            counters
-                .iter()
-                .find(|c| c.name == name)
-                .map(|c| c.value)
-                .unwrap()
-        };
-        assert_eq!(get("serve.batch_requests"), 3.0);
-        assert_eq!(get("serve.cache_hits"), 1.0);
-        assert_eq!(get("serve.cache_misses"), 1.0);
-        assert_eq!(get("serve.cold_users"), 1.0);
-        assert_eq!(rec.phase_spans().len(), 1);
+        assert_eq!(m.requests.get() - req0, 3);
+        assert_eq!(m.cache_hits.get() - hit0, 1);
+        assert_eq!(m.cache_misses.get(), 1 + 1); // warming miss + user 1
+        assert_eq!(m.cold_users.get(), 1);
+        assert_eq!(m.batches.get(), 2);
+        // Per-shard handles saw the scoring pass (1 shard by default).
+        assert!(e.obs().metrics().shard(0).scored.get() > 0);
+        // The event stream carries the batch + stage + shard spans.
+        let names: Vec<String> = rec
+            .phase_spans()
+            .iter()
+            .map(|s| s.name.to_string())
+            .collect();
+        for want in [
+            "serve.shard0.score",
+            "serve.batch",
+            "serve.batch.cache",
+            "serve.batch.foldin",
+            "serve.batch.merge",
+            "serve.batch.respond",
+        ] {
+            assert!(
+                names.contains(&want.to_string()),
+                "missing {want}: {names:?}"
+            );
+        }
+        // And the Prometheus exposition renders the same counts.
+        let text = e.obs().render_prometheus(e.now());
+        assert!(text.contains("serve_cold_users_total 1"));
+        assert!(text.contains("serve_shard_scored_total{shard=\"0\"}"));
+        assert!(text.contains("serve_stage_seconds_count{stage=\"score\"} 2"));
+    }
+
+    #[test]
+    fn batch_trace_timestamps_are_contiguous_and_counted() {
+        let e = engine(
+            8,
+            30,
+            4,
+            ServeConfig {
+                shards: 3,
+                ..ServeConfig::default()
+            },
+        );
+        e.recommend_user(2, &NOOP); // warm one entry
+        let mut reqs = known(&[2, 3]);
+        reqs.push(Request {
+            id: 50,
+            user: UserRef::Cold(vec![(1, 3.0)]),
+        });
+        let (out, trace) = e.recommend_batch_traced(&reqs, &NOOP);
+        assert_eq!(out.len(), 3);
+        // Monotone, contiguous boundaries.
+        let ts = [
+            trace.start,
+            trace.cache_done,
+            trace.foldin_done,
+            trace.score_done,
+            trace.merge_done,
+            trace.end,
+        ];
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+        assert_eq!(
+            (
+                trace.requests,
+                trace.cache_hits,
+                trace.cold_users,
+                trace.scored_users
+            ),
+            (3, 1, 1, 1)
+        );
+        assert_eq!(trace.shard_timings.len(), 3);
+        assert_eq!(trace.epoch, 0);
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //! * [`metrics`] — NDCG@k, the ranking-quality yardstick used to bound the
 //!   FP16 path's approximation error, plus overlap@k for comparing two
 //!   rankers.
+//! * [`obs`] — request-level observability: stage-decomposed
+//!   [`RequestSpan`]s, typed metrics with Prometheus exposition, an
+//!   always-on flight recorder, and SLO burn-rate tracking (see
+//!   `docs/OBSERVABILITY.md`).
 //!
 //! ## Round-trip: fold a cold user in, then recommend
 //!
@@ -67,6 +71,7 @@ pub mod admission;
 pub mod cache;
 pub mod engine;
 pub mod metrics;
+pub mod obs;
 pub mod scorer;
 pub mod shard;
 pub mod store;
@@ -79,6 +84,10 @@ pub use admission::{
 pub use cache::{CacheKey, CacheStats, ResultCache, StripedCache};
 pub use engine::{Recommendation, Request, ServeConfig, ServeEngine, UserRef};
 pub use metrics::{dcg_at_k, ndcg_at_k, overlap_at_k};
+pub use obs::{
+    BatchTrace, FlightRecorder, ObsConfig, RequestSpan, ServeMetrics, ServeObs, SloConfig,
+    SloReport, SloTracker, StageBreakdown,
+};
 pub use scorer::{score_one, top_k_batch, top_k_one, ScoreConfig};
 pub use shard::{
     top_k_batch_sharded, top_k_batch_sharded_timed, Shard, ShardTiming, ShardedFactorStore,

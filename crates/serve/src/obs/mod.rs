@@ -1,0 +1,362 @@
+//! `serve::obs` — request tracing, live metrics, flight recording, and
+//! SLO tracking for the serving path.
+//!
+//! PR 1 gave training an nvprof-style event pipeline; this module is the
+//! serving-side observability layer built on top of it (see
+//! `docs/OBSERVABILITY.md` for the full tour):
+//!
+//! * [`span`] — [`RequestSpan`]: every served request decomposed into
+//!   queue / cache / foldin / score / merge / respond stages whose
+//!   durations telescope exactly to its end-to-end latency.
+//! * a typed [`ServeMetrics`] registry ([`cumf_telemetry::MetricsRegistry`]
+//!   underneath) replacing the ad-hoc `serve.*` counter strings: Prometheus
+//!   text exposition, JSON snapshots, and a bridge into the JSONL stream.
+//! * [`flight`] — [`FlightRecorder`]: an always-on ring of recent spans
+//!   plus a tail-latency exemplar sampler, dumpable as a Chrome trace.
+//! * [`slo`] — [`SloTracker`]: latency target + error/shed budget with
+//!   multi-window burn rates, surfaced in the admission report.
+//!
+//! One [`ServeObs`] bundles all four; the engine owns it
+//! ([`crate::engine::ServeEngine::obs`]) so the admission worker and any
+//! exposition endpoint observe the same state.
+
+pub mod flight;
+pub mod slo;
+pub mod span;
+
+pub use flight::{chrome_trace_for, FlightRecorder};
+pub use slo::{SloConfig, SloReport, SloTracker, WindowBurn};
+pub use span::{BatchTrace, RequestSpan, StageBreakdown, STAGES};
+
+use cumf_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
+use serde::Value;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration for the serving observability layer.
+#[derive(Clone, Copy, Debug)]
+pub struct ObsConfig {
+    /// Spans retained in the flight recorder's ring.
+    pub ring_capacity: usize,
+    /// Slow-request exemplars retained (slowest first).
+    pub exemplar_capacity: usize,
+    /// End-to-end latency at which a request becomes a slow exemplar.
+    pub slow_threshold: Duration,
+    /// The service-level objective to track.
+    pub slo: SloConfig,
+}
+
+impl Default for ObsConfig {
+    fn default() -> ObsConfig {
+        ObsConfig {
+            ring_capacity: 256,
+            exemplar_capacity: 16,
+            slow_threshold: Duration::from_millis(50),
+            slo: SloConfig::default(),
+        }
+    }
+}
+
+/// Per-shard metric handles, registered once per shard index and cached
+/// by the engine.
+#[derive(Clone, Debug)]
+pub struct ShardMetrics {
+    /// `items × users` score evaluations this shard performed.
+    pub scored: Counter,
+    /// Wall-clock seconds per scoring pass on this shard.
+    pub pass_seconds: Histogram,
+}
+
+/// Typed handles for every serving metric, backed by one
+/// [`MetricsRegistry`]. Names follow Prometheus conventions: `serve_`
+/// prefix, `_total` counters, `_seconds` unit suffix, labels for
+/// dimensions (`shard`, `stage`, `window`).
+#[derive(Clone, Debug)]
+pub struct ServeMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Requests entering the engine (cache hits included).
+    pub requests: Counter,
+    /// Engine micro-batches served.
+    pub batches: Counter,
+    /// Requests answered from the result cache.
+    pub cache_hits: Counter,
+    /// Known-user requests that missed the cache and were scored.
+    pub cache_misses: Counter,
+    /// Cold users folded in.
+    pub cold_users: Counter,
+    /// Requests shed at admission.
+    pub shed: Counter,
+    /// End-to-end latency (submit → batch end), per request.
+    pub request_latency: Histogram,
+    /// Admission queueing delay (submit → batch start), per request.
+    pub queue_delay: Histogram,
+    /// Model epoch currently being served.
+    pub epoch: Gauge,
+    /// Per-batch stage durations, labeled `stage="cache"|...|"respond"`
+    /// (the queue stage is per-request: see `queue_delay`).
+    stages: Vec<(&'static str, Histogram)>,
+}
+
+impl ServeMetrics {
+    /// Register every serving metric on `registry` (idempotent — two
+    /// `ServeMetrics` on one registry share all handles).
+    pub fn new(registry: Arc<MetricsRegistry>) -> ServeMetrics {
+        let stages = STAGES
+            .iter()
+            .filter(|&&s| s != "queue")
+            .map(|&s| {
+                (
+                    s,
+                    registry.histogram_with(
+                        "serve_stage_seconds",
+                        "Engine batch-stage durations",
+                        &[("stage", s)],
+                    ),
+                )
+            })
+            .collect();
+        ServeMetrics {
+            requests: registry.counter("serve_requests_total", "Requests entering the engine"),
+            batches: registry.counter("serve_batches_total", "Engine micro-batches served"),
+            cache_hits: registry.counter("serve_cache_hits_total", "Result-cache hits"),
+            cache_misses: registry
+                .counter("serve_cache_misses_total", "Known-user cache misses scored"),
+            cold_users: registry.counter("serve_cold_users_total", "Cold users folded in"),
+            shed: registry.counter("serve_shed_total", "Requests shed at admission"),
+            request_latency: registry.histogram(
+                "serve_request_latency_seconds",
+                "End-to-end request latency (submit to batch end)",
+            ),
+            queue_delay: registry.histogram(
+                "serve_queue_delay_seconds",
+                "Admission queueing delay (submit to batch start)",
+            ),
+            epoch: registry.gauge("serve_model_epoch", "Model epoch currently served"),
+            stages,
+            registry,
+        }
+    }
+
+    /// The registry behind the handles.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Handles for shard `i` (registered on first use, cached by caller).
+    pub fn shard(&self, i: usize) -> ShardMetrics {
+        let idx = i.to_string();
+        ShardMetrics {
+            scored: self.registry.counter_with(
+                "serve_shard_scored_total",
+                "Score evaluations per shard",
+                &[("shard", &idx)],
+            ),
+            pass_seconds: self.registry.histogram_with(
+                "serve_shard_pass_seconds",
+                "Per-batch scoring-pass duration per shard",
+                &[("shard", &idx)],
+            ),
+        }
+    }
+
+    /// Record one batch's stage durations from its trace.
+    pub fn observe_batch_stages(&self, trace: &BatchTrace) {
+        for (name, h) in &self.stages {
+            let dur = match *name {
+                "cache" => trace.cache_done - trace.start,
+                "foldin" => trace.foldin_done - trace.cache_done,
+                "score" => trace.score_done - trace.foldin_done,
+                "merge" => trace.merge_done - trace.score_done,
+                "respond" => trace.end - trace.merge_done,
+                _ => unreachable!("queue is excluded at construction"),
+            };
+            h.observe_secs(dur.max(0.0));
+        }
+    }
+}
+
+/// The serving observability bundle: metrics + flight recorder + SLO
+/// tracker behind one handle. Created by the engine from [`ObsConfig`];
+/// everything is internally synchronized, so clones of the `Arc` may be
+/// read (exposition) while the worker writes.
+#[derive(Debug)]
+pub struct ServeObs {
+    metrics: ServeMetrics,
+    flight: FlightRecorder,
+    slo: SloTracker,
+}
+
+impl ServeObs {
+    /// Build the bundle on a fresh registry.
+    pub fn new(cfg: ObsConfig) -> ServeObs {
+        ServeObs::with_registry(cfg, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Build the bundle on an existing registry (e.g. one shared with
+    /// other subsystems exposing on the same endpoint).
+    pub fn with_registry(cfg: ObsConfig, registry: Arc<MetricsRegistry>) -> ServeObs {
+        ServeObs {
+            metrics: ServeMetrics::new(registry),
+            flight: FlightRecorder::new(
+                cfg.ring_capacity,
+                cfg.exemplar_capacity,
+                cfg.slow_threshold.as_secs_f64(),
+            ),
+            slo: SloTracker::new(cfg.slo),
+        }
+    }
+
+    /// The typed metric handles.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The SLO tracker.
+    pub fn slo(&self) -> &SloTracker {
+        &self.slo
+    }
+
+    /// Record one completed request span: latency + queue-delay
+    /// histograms, the flight recorder, and the SLO tracker.
+    pub fn observe_completion(&self, span: &RequestSpan) {
+        self.metrics.request_latency.observe_secs(span.e2e());
+        self.metrics.queue_delay.observe_secs(span.stages.queue);
+        self.flight.observe(span);
+        self.slo.record(span.finished_at, span.e2e());
+    }
+
+    /// Record one shed request at engine time `now`.
+    pub fn observe_shed(&self, now: f64) {
+        self.metrics.shed.inc();
+        self.slo.record_shed(now);
+    }
+
+    /// Refresh the derived SLO gauges (`serve_slo_compliance`,
+    /// `serve_slo_burn_rate{window=...}`) from the tracker's state at
+    /// engine time `now`.
+    pub fn refresh_slo_gauges(&self, now: f64) -> SloReport {
+        let report = self.slo.report(now);
+        let reg = self.metrics.registry();
+        reg.gauge("serve_slo_compliance", "Lifetime good fraction vs the SLO")
+            .set(report.compliance);
+        for w in &report.burn_rates {
+            let label = format!("{}s", w.window_secs);
+            reg.gauge_with(
+                "serve_slo_burn_rate",
+                "Windowed bad fraction over the error budget",
+                &[("window", &label)],
+            )
+            .set(w.burn);
+        }
+        report
+    }
+
+    /// Prometheus text exposition of every serving metric, with the SLO
+    /// gauges refreshed at engine time `now`.
+    pub fn render_prometheus(&self, now: f64) -> String {
+        self.refresh_slo_gauges(now);
+        self.metrics.registry().render_prometheus()
+    }
+
+    /// JSON snapshot of every serving metric, SLO gauges refreshed at
+    /// engine time `now`.
+    pub fn snapshot(&self, now: f64) -> Value {
+        self.refresh_slo_gauges(now);
+        self.metrics.registry().snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, submitted: f64, end: f64) -> RequestSpan {
+        let trace = BatchTrace {
+            start: submitted + (end - submitted) * 0.25,
+            cache_done: submitted + (end - submitted) * 0.35,
+            foldin_done: submitted + (end - submitted) * 0.45,
+            score_done: submitted + (end - submitted) * 0.8,
+            merge_done: submitted + (end - submitted) * 0.9,
+            end,
+            requests: 2,
+            cache_hits: 0,
+            cold_users: 0,
+            scored_users: 2,
+            epoch: 3,
+            shard_timings: vec![],
+        };
+        RequestSpan::from_batch(&trace, id, submitted, false, false)
+    }
+
+    #[test]
+    fn completion_flows_into_metrics_flight_and_slo() {
+        let obs = ServeObs::new(ObsConfig {
+            slow_threshold: Duration::from_millis(10),
+            ..ObsConfig::default()
+        });
+        obs.observe_completion(&span(1, 0.0, 0.002)); // fast
+        obs.observe_completion(&span(2, 1.0, 1.2)); // slow: exemplar + breach
+        obs.observe_shed(1.3);
+        assert_eq!(obs.metrics().request_latency.snapshot().count(), 2);
+        assert_eq!(obs.flight().exemplars().len(), 1);
+        assert_eq!(obs.flight().slowest().unwrap().request_id, 2);
+        let report = obs.refresh_slo_gauges(1.3);
+        assert_eq!((report.total, report.breached, report.shed), (3, 1, 1));
+        let text = obs.render_prometheus(1.3);
+        assert!(text.contains("serve_slo_compliance"));
+        assert!(text.contains("serve_slo_burn_rate{window=\"1s\"}"));
+        assert!(text.contains("serve_shed_total 1"));
+        assert!(text.contains("serve_request_latency_seconds_count 2"));
+    }
+
+    #[test]
+    fn two_metrics_views_share_one_registry() {
+        let obs = ServeObs::new(ObsConfig::default());
+        let again = ServeMetrics::new(Arc::clone(obs.metrics().registry()));
+        obs.metrics().requests.add(5);
+        assert_eq!(again.requests.get(), 5, "same underlying counter");
+        // Shard handles are idempotent too.
+        obs.metrics().shard(3).scored.add(7);
+        assert_eq!(again.shard(3).scored.get(), 7);
+    }
+
+    #[test]
+    fn batch_stage_histograms_cover_the_service_time() {
+        let obs = ServeObs::new(ObsConfig::default());
+        let trace = BatchTrace {
+            start: 0.025,
+            cache_done: 0.035,
+            foldin_done: 0.045,
+            score_done: 0.08,
+            merge_done: 0.09,
+            end: 0.1,
+            requests: 2,
+            cache_hits: 0,
+            cold_users: 0,
+            scored_users: 2,
+            epoch: 0,
+            shard_timings: vec![],
+        };
+        obs.metrics().observe_batch_stages(&trace);
+        let total: f64 = STAGES
+            .iter()
+            .filter(|&&n| n != "queue")
+            .map(|&n| {
+                obs.metrics()
+                    .stages
+                    .iter()
+                    .find(|(name, _)| *name == n)
+                    .unwrap()
+                    .1
+                    .snapshot()
+                    .sum()
+            })
+            .sum();
+        assert!((total - trace.service_secs()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,315 @@
+//! SLO tracking: a latency target, an error/shed budget, and multi-window
+//! burn rates.
+//!
+//! An SLO here is "at least `1 - error_budget` of requests finish within
+//! `target`". A request is *bad* if it finishes over the target **or** is
+//! shed at admission (a shed user got no answer at all — it spends budget
+//! exactly like a slow one). The tracker keeps:
+//!
+//! * **lifetime totals** — good / breached / shed counts and overall
+//!   compliance, reported in [`crate::admission::AdmissionReport`], and
+//! * **windowed burn rates** — for each configured window, the fraction
+//!   of bad requests inside it divided by the error budget. Burn 1.0
+//!   means budget is being spent exactly at the sustainable rate; burn 10
+//!   over a short window is the classic fast-burn page. Two windows
+//!   (short + long) distinguish a transient spike from a sustained
+//!   regression, per the standard multi-window alerting recipe.
+//!
+//! Time is the engine clock (`ServeEngine::now`), bucketed into a coarse
+//! wheel so recording stays O(1) and memory is bounded by the long
+//! window.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// The service-level objective being tracked.
+#[derive(Clone, Copy, Debug)]
+pub struct SloConfig {
+    /// End-to-end latency target per request.
+    pub target: Duration,
+    /// Fraction of requests allowed to be bad (breach or shed).
+    pub error_budget: f64,
+    /// Burn-rate windows, short first (e.g. 1 s and 10 s for a bench run;
+    /// minutes to hours in a long-lived deployment).
+    pub windows: [Duration; 2],
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            target: Duration::from_millis(25),
+            error_budget: 0.01,
+            windows: [Duration::from_secs(1), Duration::from_secs(10)],
+        }
+    }
+}
+
+/// One wheel slot covering `[start, start + resolution)` on the engine
+/// clock.
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    start: f64,
+    good: u64,
+    bad: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    buckets: VecDeque<Bucket>,
+    good: u64,
+    breached: u64,
+    shed: u64,
+}
+
+/// Tracks one [`SloConfig`] over a stream of completions and sheds.
+/// All methods take `&self`.
+#[derive(Debug)]
+pub struct SloTracker {
+    cfg: SloConfig,
+    /// Wheel slot width in seconds: short window / 8, floored at 1 ms.
+    resolution: f64,
+    inner: Mutex<Inner>,
+}
+
+impl SloTracker {
+    /// A tracker for `cfg` starting with an empty history.
+    pub fn new(cfg: SloConfig) -> SloTracker {
+        let resolution = (cfg.windows[0].as_secs_f64() / 8.0).max(1e-3);
+        SloTracker {
+            cfg,
+            resolution,
+            inner: Mutex::new(Inner {
+                buckets: VecDeque::new(),
+                good: 0,
+                breached: 0,
+                shed: 0,
+            }),
+        }
+    }
+
+    /// The objective being tracked.
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Record one completion at engine time `now`; returns whether it
+    /// breached the latency target.
+    pub fn record(&self, now: f64, latency_secs: f64) -> bool {
+        let breached = latency_secs > self.cfg.target.as_secs_f64();
+        let mut inner = self.inner.lock();
+        if breached {
+            inner.breached += 1;
+        } else {
+            inner.good += 1;
+        }
+        self.bucket_at(&mut inner, now, breached);
+        breached
+    }
+
+    /// Record one shed (rejected at admission) at engine time `now`.
+    pub fn record_shed(&self, now: f64) {
+        let mut inner = self.inner.lock();
+        inner.shed += 1;
+        self.bucket_at(&mut inner, now, true);
+    }
+
+    fn bucket_at(&self, inner: &mut Inner, now: f64, bad: bool) {
+        let start = (now / self.resolution).floor() * self.resolution;
+        // Stamps are monotone per thread but threads interleave; walk
+        // back over the (few) newest slots to find the right one.
+        let slot = inner
+            .buckets
+            .iter_mut()
+            .rev()
+            .take(4)
+            .find(|b| b.start <= start && start < b.start + self.resolution);
+        let slot = match slot {
+            Some(b) => b,
+            None => {
+                inner.buckets.push_back(Bucket {
+                    start,
+                    good: 0,
+                    bad: 0,
+                });
+                // Bound memory to the long window (+ slack for stragglers).
+                let horizon = self.cfg.windows[1].as_secs_f64() + 4.0 * self.resolution;
+                while let Some(front) = inner.buckets.front() {
+                    if front.start + self.resolution < now - horizon {
+                        inner.buckets.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                inner.buckets.back_mut().expect("just pushed")
+            }
+        };
+        if bad {
+            slot.bad += 1;
+        } else {
+            slot.good += 1;
+        }
+    }
+
+    /// Burn rate over the trailing `window` ending at `now`: the bad
+    /// fraction inside the window divided by the error budget. 0.0 when
+    /// the window is empty.
+    pub fn burn_rate(&self, now: f64, window: Duration) -> f64 {
+        let inner = self.inner.lock();
+        let from = now - window.as_secs_f64();
+        let (mut good, mut bad) = (0u64, 0u64);
+        for b in inner.buckets.iter().rev() {
+            if b.start + self.resolution <= from {
+                break;
+            }
+            good += b.good;
+            bad += b.bad;
+        }
+        let total = good + bad;
+        if total == 0 || self.cfg.error_budget <= 0.0 {
+            0.0
+        } else {
+            (bad as f64 / total as f64) / self.cfg.error_budget
+        }
+    }
+
+    /// Summarize the tracker at engine time `now`.
+    pub fn report(&self, now: f64) -> SloReport {
+        let (good, breached, shed) = {
+            let inner = self.inner.lock();
+            (inner.good, inner.breached, inner.shed)
+        };
+        let total = good + breached + shed;
+        SloReport {
+            target_secs: self.cfg.target.as_secs_f64(),
+            error_budget: self.cfg.error_budget,
+            total,
+            breached,
+            shed,
+            compliance: if total == 0 {
+                1.0
+            } else {
+                good as f64 / total as f64
+            },
+            burn_rates: self
+                .cfg
+                .windows
+                .iter()
+                .map(|&w| WindowBurn {
+                    window_secs: w.as_secs_f64(),
+                    burn: self.burn_rate(now, w),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Burn rate over one trailing window.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct WindowBurn {
+    /// Window length in seconds.
+    pub window_secs: f64,
+    /// Bad fraction in the window divided by the error budget.
+    pub burn: f64,
+}
+
+/// Point-in-time SLO summary, carried in
+/// [`crate::admission::AdmissionReport`] and the bench JSON.
+#[derive(Clone, Debug, Serialize)]
+pub struct SloReport {
+    /// Latency target in seconds.
+    pub target_secs: f64,
+    /// Allowed bad fraction.
+    pub error_budget: f64,
+    /// Requests accounted (completions + sheds).
+    pub total: u64,
+    /// Completions over the latency target.
+    pub breached: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Lifetime good fraction (1.0 when nothing was recorded).
+    pub compliance: f64,
+    /// Burn rate per configured window.
+    pub burn_rates: Vec<WindowBurn>,
+}
+
+impl SloReport {
+    /// Whether lifetime compliance still meets the objective.
+    pub fn met(&self) -> bool {
+        self.compliance >= 1.0 - self.error_budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(target_ms: u64, budget: f64) -> SloConfig {
+        SloConfig {
+            target: Duration::from_millis(target_ms),
+            error_budget: budget,
+            windows: [Duration::from_secs(1), Duration::from_secs(10)],
+        }
+    }
+
+    #[test]
+    fn compliance_counts_breaches_and_sheds() {
+        let t = SloTracker::new(cfg(10, 0.1));
+        for i in 0..8 {
+            assert!(!t.record(i as f64 * 0.01, 0.001));
+        }
+        assert!(t.record(0.09, 0.5), "50 ms breaches a 10 ms target");
+        t.record_shed(0.1);
+        let r = t.report(0.1);
+        assert_eq!((r.total, r.breached, r.shed), (10, 1, 1));
+        assert!((r.compliance - 0.8).abs() < 1e-12);
+        assert!(!r.met(), "20% bad > 10% budget");
+    }
+
+    #[test]
+    fn empty_tracker_is_compliant_with_zero_burn() {
+        let t = SloTracker::new(SloConfig::default());
+        let r = t.report(5.0);
+        assert_eq!(r.total, 0);
+        assert_eq!(r.compliance, 1.0);
+        assert!(r.met());
+        assert!(r.burn_rates.iter().all(|w| w.burn == 0.0));
+    }
+
+    #[test]
+    fn burn_rate_sees_only_its_window() {
+        let t = SloTracker::new(cfg(10, 0.5));
+        // Older traffic: all bad, inside the long window but well before
+        // the short one.
+        for i in 0..10 {
+            t.record(15.0 + i as f64 * 0.05, 1.0);
+        }
+        // Recent traffic: all good, inside the last second.
+        for i in 0..10 {
+            t.record(20.0 + i as f64 * 0.05, 0.001);
+        }
+        let now = 20.5;
+        let short = t.burn_rate(now, Duration::from_secs(1));
+        let long = t.burn_rate(now, Duration::from_secs(10));
+        assert_eq!(short, 0.0, "short window holds only good requests");
+        assert!(
+            (long - 1.0).abs() < 1e-9,
+            "half bad / 0.5 budget = 1.0, got {long}"
+        );
+        assert!(short < long);
+    }
+
+    #[test]
+    fn wheel_prunes_beyond_the_long_window() {
+        let t = SloTracker::new(cfg(10, 0.01));
+        for i in 0..1000 {
+            t.record(i as f64 * 0.5, 0.001);
+        }
+        let buckets = t.inner.lock().buckets.len();
+        // Long window 10 s at 125 ms resolution + slack: far below 1000.
+        assert!(buckets < 100, "wheel must stay bounded, had {buckets}");
+        // Lifetime totals still see everything.
+        assert_eq!(t.report(500.0).total, 1000);
+    }
+}

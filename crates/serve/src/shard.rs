@@ -25,8 +25,10 @@ use crate::scorer::{top_k_batch, ScoreConfig};
 use crate::store::ModelSnapshot;
 use crate::topk::{merge_top_k, ScoredItem};
 use cumf_numeric::dense::DenseMatrix;
+use cumf_telemetry::{PhaseSpan, Recorder, NOOP};
 use parking_lot::RwLock;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One contiguous slice of the item catalog: global ids
 /// `[start, start + local.n_items())`, with factors and priors copied out
@@ -153,6 +155,136 @@ pub struct ShardTiming {
     pub secs: f64,
 }
 
+/// The scatter half of sharded scoring: per-shard rankings (global item
+/// ids, pre-merge) plus per-shard timings. Produced by [`scatter_top_k`],
+/// consumed by [`ShardScatter::gather`] — the split lets the engine stamp
+/// scatter and merge time separately for request-span stage breakdowns.
+#[derive(Debug)]
+pub struct ShardScatter {
+    /// Shard-major rankings: `rankings[shard][user]`.
+    rankings: Vec<Vec<Vec<ScoredItem>>>,
+    /// Per-shard accounting, in shard order.
+    pub timings: Vec<ShardTiming>,
+    users: usize,
+}
+
+impl ShardScatter {
+    /// The gather half: merge each user's per-shard heaps under the
+    /// total order of [`merge_top_k`] (score descending, item id
+    /// ascending). Consumes the scatter; returns rankings in user order
+    /// plus the per-shard timings.
+    pub fn gather(mut self, k: usize) -> (Vec<Vec<ScoredItem>>, Vec<ShardTiming>) {
+        if self.rankings.len() == 1 {
+            // Single shard: its local order is already the global order.
+            let only = self.rankings.pop().expect("one shard");
+            return (only, self.timings);
+        }
+        let mut scratch: Vec<Vec<ScoredItem>> = vec![Vec::new(); self.rankings.len()];
+        let merged = (0..self.users)
+            .map(|u| {
+                for (slot, rankings) in scratch.iter_mut().zip(&mut self.rankings) {
+                    *slot = std::mem::take(&mut rankings[u]);
+                }
+                merge_top_k(&scratch, k)
+            })
+            .collect();
+        (merged, self.timings)
+    }
+}
+
+/// Scatter: one blocked scoring pass per shard over its item range, on
+/// scoped threads when the host has more than one core.
+///
+/// When `recorder` is enabled, each shard buffers a
+/// `serve.shard{i}.score` [`PhaseSpan`] *locally on its own thread* —
+/// stamped on the engine clock as `t_base` plus the shard's offset within
+/// the scatter — and the buffered spans are flushed to the recorder in
+/// shard-index order after all threads join. Recording therefore never
+/// takes a lock inside the scoring loop and the event order is
+/// deterministic regardless of thread schedule; scores are bit-identical
+/// with the recorder on or off (test-enforced).
+pub fn scatter_top_k(
+    sharded: &ShardedSnapshot,
+    user_factors: &DenseMatrix,
+    k: usize,
+    cfg: &ScoreConfig,
+    recorder: &dyn Recorder,
+    t_base: f64,
+) -> ShardScatter {
+    let users = user_factors.rows();
+    let tracing = recorder.enabled();
+    let anchor = Instant::now();
+    // One shard's pass: rankings shifted to global ids, timing, and the
+    // locally buffered span (None when tracing is off).
+    let score_shard =
+        |idx: usize, shard: &Shard| -> (Vec<Vec<ScoredItem>>, ShardTiming, Option<PhaseSpan>) {
+            let s0 = anchor.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let mut local = top_k_batch(&shard.local, user_factors, k, cfg);
+            for user_ranking in &mut local {
+                for item in user_ranking.iter_mut() {
+                    item.item += shard.start as u32;
+                }
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            let timing = ShardTiming {
+                shard: idx,
+                scored: (shard.n_items() * users) as u64,
+                secs,
+            };
+            let span = tracing.then(|| {
+                PhaseSpan::new(
+                    format!("serve.shard{idx}.score"),
+                    t_base + s0,
+                    t_base + s0 + secs,
+                )
+            });
+            (local, timing, span)
+        };
+    let multicore = std::thread::available_parallelism()
+        .map(|p| p.get() > 1)
+        .unwrap_or(false);
+    let per_shard: Vec<(Vec<Vec<ScoredItem>>, ShardTiming, Option<PhaseSpan>)> =
+        if multicore && sharded.n_shards() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = sharded
+                    .shards()
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, shard)| scope.spawn(move || score_shard(idx, shard)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard scoring panicked"))
+                    .collect()
+            })
+        } else {
+            sharded
+                .shards()
+                .iter()
+                .enumerate()
+                .map(|(idx, shard)| score_shard(idx, shard))
+                .collect()
+        };
+
+    // Deterministic merge of the per-thread buffers: shard-index order,
+    // whatever order the threads actually finished in.
+    let mut rankings = Vec::with_capacity(per_shard.len());
+    let mut timings = Vec::with_capacity(per_shard.len());
+    for (local, timing, span) in per_shard {
+        rankings.push(local);
+        timings.push(timing);
+        if let Some(span) = span {
+            recorder.phase(span);
+        }
+    }
+    ShardScatter {
+        rankings,
+        timings,
+        users,
+    }
+}
+
 /// Scatter-gather scoring: every shard runs the blocked kernel over its
 /// item range, then per-user heaps are merged into global rankings.
 /// Returns the rankings plus per-shard timings.
@@ -167,78 +299,7 @@ pub fn top_k_batch_sharded_timed(
     k: usize,
     cfg: &ScoreConfig,
 ) -> (Vec<Vec<ScoredItem>>, Vec<ShardTiming>) {
-    let users = user_factors.rows();
-    if sharded.n_shards() == 1 {
-        let t0 = std::time::Instant::now();
-        let ranked = top_k_batch(sharded.full(), user_factors, k, cfg);
-        let timing = ShardTiming {
-            shard: 0,
-            scored: (sharded.n_items() * users) as u64,
-            secs: t0.elapsed().as_secs_f64(),
-        };
-        return (ranked, vec![timing]);
-    }
-
-    // Scatter: one blocked pass per shard, on scoped threads when the
-    // host can actually run them concurrently. Results are gathered in
-    // shard order either way, so the schedule never shows in the output.
-    let score_shard = |idx: usize, shard: &Shard| -> (Vec<Vec<ScoredItem>>, ShardTiming) {
-        let t0 = std::time::Instant::now();
-        let mut local = top_k_batch(&shard.local, user_factors, k, cfg);
-        for user_ranking in &mut local {
-            for item in user_ranking.iter_mut() {
-                item.item += shard.start as u32;
-            }
-        }
-        let timing = ShardTiming {
-            shard: idx,
-            scored: (shard.n_items() * users) as u64,
-            secs: t0.elapsed().as_secs_f64(),
-        };
-        (local, timing)
-    };
-    let multicore = std::thread::available_parallelism()
-        .map(|p| p.get() > 1)
-        .unwrap_or(false);
-    let per_shard: Vec<(Vec<Vec<ScoredItem>>, ShardTiming)> = if multicore {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = sharded
-                .shards()
-                .iter()
-                .enumerate()
-                .map(|(idx, shard)| scope.spawn(move || score_shard(idx, shard)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard scoring panicked"))
-                .collect()
-        })
-    } else {
-        sharded
-            .shards()
-            .iter()
-            .enumerate()
-            .map(|(idx, shard)| score_shard(idx, shard))
-            .collect()
-    };
-
-    // Gather: merge each user's per-shard heaps under the total order.
-    let mut timings = Vec::with_capacity(per_shard.len());
-    let mut shard_rankings: Vec<Vec<Vec<ScoredItem>>> = Vec::with_capacity(per_shard.len());
-    for (rankings, timing) in per_shard {
-        shard_rankings.push(rankings);
-        timings.push(timing);
-    }
-    let mut scratch: Vec<Vec<ScoredItem>> = vec![Vec::new(); shard_rankings.len()];
-    let merged = (0..users)
-        .map(|u| {
-            for (slot, rankings) in scratch.iter_mut().zip(&mut shard_rankings) {
-                *slot = std::mem::take(&mut rankings[u]);
-            }
-            merge_top_k(&scratch, k)
-        })
-        .collect();
-    (merged, timings)
+    scatter_top_k(sharded, user_factors, k, cfg, &NOOP, 0.0).gather(k)
 }
 
 /// [`top_k_batch_sharded_timed`] without the timings — the plain sharded
@@ -418,6 +479,36 @@ mod tests {
             for ranking in &got {
                 let ids: Vec<u32> = ranking.iter().map(|r| r.item).collect();
                 assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+            }
+        }
+    }
+
+    #[test]
+    fn recorder_enabled_scatter_is_bit_identical_and_ordered() {
+        let full = snap(41, 4, true);
+        let x = users(5, 4);
+        let cfg = ScoreConfig::default();
+        for s in [1, 3, 8] {
+            let sharded = ShardedSnapshot::build(full.clone(), s);
+            // Recorder off (the production fast path)…
+            let (want, _) =
+                scatter_top_k(&sharded, &x, 7, &cfg, &cumf_telemetry::NOOP, 0.0).gather(7);
+            // …vs recorder on: scores must be bit-identical (the PR 1
+            // guarantee: telemetry never branches the math).
+            let rec = cumf_telemetry::MemoryRecorder::new();
+            let (got, timings) = scatter_top_k(&sharded, &x, 7, &cfg, &rec, 100.0).gather(7);
+            assert_eq!(got, want, "{s} shards");
+            // Per-thread span buffers merge deterministically: one span
+            // per shard, in shard-index order, on the engine time base.
+            let spans = rec.phase_spans();
+            assert_eq!(spans.len(), sharded.n_shards());
+            for (i, span) in spans.iter().enumerate() {
+                assert_eq!(span.name.as_ref(), format!("serve.shard{i}.score"));
+                assert!(span.start >= 100.0 && span.end >= span.start);
+            }
+            // And the spans agree with the reported timings.
+            for (span, t) in spans.iter().zip(&timings) {
+                assert!((span.duration() - t.secs).abs() < 1e-9);
             }
         }
     }

@@ -57,17 +57,37 @@ impl LatencyHistogram {
     }
 
     /// Bucket index of a latency: geometric above the 1 µs floor, clamped
-    /// at both ends.
+    /// at both ends. Buckets are half-open `[lower_edge, upper_edge)`;
+    /// because the index comes from a floating-point logarithm, samples
+    /// landing *exactly* on an edge can truncate one bucket low (or, more
+    /// rarely, round one high), so the index is re-checked against the
+    /// edge contract after truncation.
     fn bucket(secs: f64) -> usize {
         if secs <= FLOOR {
             return 0;
         }
         let idx = (secs / FLOOR).ln() / GROWTH.ln();
-        (idx as usize).min(BUCKETS - 1)
+        let mut i = (idx as usize).min(BUCKETS - 1);
+        if i + 1 < BUCKETS && secs >= Self::upper_edge(i) {
+            i += 1;
+        } else if i > 0 && secs < Self::lower_edge(i) {
+            i -= 1;
+        }
+        i
     }
 
-    /// Representative (upper-edge) latency of bucket `i`.
-    fn bucket_value(i: usize) -> f64 {
+    /// Lower edge of bucket `i`, seconds. Bucket 0 absorbs everything at
+    /// or below the floor, so its lower edge is 0.
+    fn lower_edge(i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            FLOOR * GROWTH.powi(i as i32)
+        }
+    }
+
+    /// Upper edge of bucket `i`, seconds (exclusive).
+    fn upper_edge(i: usize) -> f64 {
         FLOOR * GROWTH.powi(i as i32 + 1)
     }
 
@@ -127,8 +147,13 @@ impl LatencyHistogram {
     }
 
     /// The `q`-quantile latency in seconds (`q` in `[0, 1]`), within ~5%
-    /// relative error; 0 when empty. Clamped to the observed min/max so
-    /// bucket edges never report a value outside the recorded range.
+    /// relative error; 0 when empty. The rank is located in a bucket, then
+    /// interpolated *within* the bucket (geometrically, matching the
+    /// geometric bucket widths) by how far through the bucket's occupancy
+    /// the rank falls — reporting the upper edge outright would bias every
+    /// quantile high by up to one bucket width. Clamped to the observed
+    /// min/max so bucket edges never report a value outside the recorded
+    /// range.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -136,12 +161,42 @@ impl LatencyHistogram {
         let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
             seen += c;
             if seen >= rank {
-                return Self::bucket_value(i).clamp(self.min, self.max);
+                let into = (rank - (seen - c)) as f64 / c as f64;
+                let lo = Self::lower_edge(i);
+                let hi = Self::upper_edge(i);
+                // Bucket 0's range starts at 0, where geometric
+                // interpolation degenerates; interpolate linearly there.
+                let v = if i == 0 {
+                    hi * into
+                } else {
+                    lo * (hi / lo).powf(into)
+                };
+                return v.clamp(self.min, self.max);
             }
         }
         self.max
+    }
+
+    /// Sum of all recorded latencies, seconds.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Occupied buckets as `(upper_edge_secs, count)` pairs in ascending
+    /// edge order — the raw material for Prometheus-style cumulative
+    /// `le`-bucket exposition (the exporter cumulates and appends `+Inf`).
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::upper_edge(i), c))
+            .collect()
     }
 
     /// Merge another histogram into this one (per-worker → global).
@@ -262,6 +317,72 @@ mod tests {
         h.record_secs(f64::NAN); // measurement bug
         assert_eq!(h.count(), 3);
         assert!(h.quantile(1.0) >= 100.0, "ceiling bucket");
+    }
+
+    #[test]
+    fn samples_on_exact_bucket_edges_stay_in_their_bucket() {
+        // A sample exactly on an edge must land in the bucket whose
+        // half-open range contains it, despite log-computation jitter —
+        // recording the edge value and asking for the 1.0-quantile has to
+        // return the sample itself (clamping makes this observable).
+        for i in [1usize, 10, 100, 250, 378] {
+            let edge = FLOOR * GROWTH.powi(i as i32);
+            let b = LatencyHistogram::bucket(edge);
+            assert!(
+                edge >= LatencyHistogram::lower_edge(b) && edge < LatencyHistogram::upper_edge(b),
+                "edge {edge} (index {i}) filed into bucket {b} \
+                 [{}, {})",
+                LatencyHistogram::lower_edge(b),
+                LatencyHistogram::upper_edge(b),
+            );
+        }
+    }
+
+    #[test]
+    fn nonzero_buckets_partition_the_count() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100 {
+            h.record_secs(i as f64 * 1e-3);
+        }
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), 100);
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "ascending");
+        assert!((h.sum() - (1..=100).map(|i| i as f64 * 1e-3).sum::<f64>()).abs() < 1e-9);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(40))]
+
+        /// For arbitrary sample sets, every reported quantile must sit
+        /// within one geometric bucket (~5% relative) of the exact
+        /// order-statistic the same rank convention picks from the sorted
+        /// samples — the bound the histogram's docs promise.
+        #[test]
+        fn quantile_error_is_bounded(
+            lo in 2e-6f64..1e-3,
+            spread in 1.5f64..200.0,
+            raw in proptest::prop::collection::vec(0.0f64..1.0, 64..256),
+        ) {
+            let mut h = LatencyHistogram::new();
+            // Skewed (squared-uniform) samples over [lo, lo*spread]: covers
+            // tight and wide, head-heavy distributions.
+            let samples: Vec<f64> = raw.iter().map(|u| lo * spread.powf(u * u)).collect();
+            for &s in &samples {
+                h.record_secs(s);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for q in [0.5, 0.9, 0.99] {
+                let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+                let exact = sorted[rank - 1];
+                let got = h.quantile(q);
+                let rel = (got - exact).abs() / exact;
+                proptest::prop_assert!(
+                    rel <= GROWTH - 1.0 + 1e-9,
+                    "q={} exact={} got={} rel={}", q, exact, got, rel
+                );
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! * **Latency aggregation** ([`hist`]): a log-bucketed
 //!   [`LatencyHistogram`] (p50/p95/p99, mergeable) for the *wall-clock*
 //!   serving path, exportable into the same counter stream.
+//! * **Live metrics** ([`registry`]): a [`MetricsRegistry`] of typed,
+//!   labeled handles — thread-striped atomic [`Counter`]s, [`Gauge`]s,
+//!   [`Histogram`]s — with Prometheus text exposition and JSON snapshots,
+//!   for operational state that events are the wrong shape for.
 //!
 //! Typical harness wiring:
 //!
@@ -43,6 +47,7 @@ pub mod event;
 pub mod hist;
 pub mod jsonl;
 pub mod recorder;
+pub mod registry;
 pub mod summary;
 
 pub use chrome::chrome_trace;
@@ -50,6 +55,7 @@ pub use event::{CounterSample, Event, KernelLaunchRecord, PhaseSpan, SolverExit,
 pub use hist::LatencyHistogram;
 pub use jsonl::to_jsonl;
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder, NOOP};
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use summary::{kernel_summary, render_summary, summarize_events, KernelSummaryRow};
 
 /// Write a Chrome trace-event JSON document for `events` to `path`.

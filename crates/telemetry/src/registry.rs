@@ -1,0 +1,587 @@
+//! A metrics registry: typed, labeled counters, gauges, and latency
+//! histograms with Prometheus text exposition and JSON snapshots.
+//!
+//! The recorder pipeline ([`crate::recorder`]) moves *events* — good for
+//! traces and offline analysis, wrong for live operational state: serving
+//! code wants `cache_hits.inc()` on a hot path, and an operator wants
+//! `GET /metrics` to show the current totals. This module is that layer:
+//!
+//! * **Handles are cheap and `Sync`.** A [`Counter`] is a set of
+//!   cache-line-padded atomics striped by thread (so shard threads
+//!   incrementing the same logical counter don't bounce one cache line);
+//!   a [`Gauge`] is one atomic `f64`; a [`Histogram`] wraps the
+//!   log-bucketed [`LatencyHistogram`] behind a mutex. All are `Clone`
+//!   (shared state behind an `Arc`) and registered once by
+//!   `(name, labels)` — re-registering returns the same underlying metric.
+//! * **Exposition is pull-based.** [`MetricsRegistry::render_prometheus`]
+//!   emits the standard text format (`# HELP` / `# TYPE` / samples, with
+//!   histograms as cumulative `le` buckets plus `_sum`/`_count`);
+//!   [`MetricsRegistry::snapshot`] returns the same data as a JSON value;
+//!   [`MetricsRegistry::to_counter_samples`] bridges current values into
+//!   the event stream so a JSONL dump carries the final aggregates.
+//!
+//! ```
+//! use cumf_telemetry::registry::MetricsRegistry;
+//!
+//! let reg = MetricsRegistry::new();
+//! let hits = reg.counter("serve_cache_hits_total", "Result-cache hits");
+//! let lat = reg.histogram("serve_request_latency_seconds", "End-to-end latency");
+//! hits.inc();
+//! lat.observe_secs(0.002);
+//! let text = reg.render_prometheus();
+//! assert!(text.contains("serve_cache_hits_total 1"));
+//! assert!(text.contains("serve_request_latency_seconds_count 1"));
+//! ```
+
+use crate::event::CounterSample;
+use crate::hist::LatencyHistogram;
+use parking_lot::Mutex;
+use serde::Value;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Stripes per counter: enough that the handful of threads a serving host
+/// runs rarely share one, small enough that reading stays trivial.
+const COUNTER_STRIPES: usize = 8;
+
+/// One cache line per stripe so concurrent increments on different
+/// stripes never contend on the same line.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedAtomic(AtomicU64);
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread is assigned a stripe round-robin on first use.
+    static THREAD_STRIPE: usize =
+        NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % COUNTER_STRIPES;
+}
+
+/// A monotonically increasing counter, striped across padded atomics.
+/// Cloning shares the underlying metric.
+#[derive(Clone)]
+pub struct Counter {
+    stripes: Arc<[PaddedAtomic; COUNTER_STRIPES]>,
+}
+
+impl Counter {
+    fn new() -> Counter {
+        Counter {
+            stripes: Arc::new(Default::default()),
+        }
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n` (relaxed; totals are exact, ordering across counters is
+    /// not guaranteed).
+    pub fn add(&self, n: u64) {
+        THREAD_STRIPE.with(|&s| self.stripes[s].0.fetch_add(n, Ordering::Relaxed));
+    }
+
+    /// Current total, summed over stripes.
+    pub fn get(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A settable scalar (an `f64` stored as atomic bits). Cloning shares the
+/// underlying metric.
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+/// A latency distribution: the log-bucketed [`LatencyHistogram`] behind a
+/// mutex. Cloning shares the underlying metric.
+#[derive(Clone)]
+pub struct Histogram {
+    hist: Arc<Mutex<LatencyHistogram>>,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            hist: Arc::new(Mutex::new(LatencyHistogram::new())),
+        }
+    }
+
+    /// Record one observation in seconds.
+    pub fn observe_secs(&self, secs: f64) {
+        self.hist.lock().record_secs(secs);
+    }
+
+    /// Record one observation from a [`std::time::Duration`].
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.hist.lock().record_duration(d);
+    }
+
+    /// Merge a locally accumulated histogram in (per-worker → global).
+    pub fn merge(&self, other: &LatencyHistogram) {
+        self.hist.lock().merge(other);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        self.hist.lock().clone()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Histogram(count={})", self.hist.lock().count())
+    }
+}
+
+/// Any registered metric handle.
+#[derive(Clone, Debug)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Handle {
+    fn kind(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One labeled instance within a family.
+struct Metric {
+    labels: Vec<(String, String)>,
+    handle: Handle,
+}
+
+/// All instances sharing one metric name.
+struct Family {
+    name: String,
+    help: String,
+    kind: &'static str,
+    metrics: Vec<Metric>,
+}
+
+/// The registry: named metric families, each holding one handle per label
+/// set. All methods take `&self`; registration is idempotent by
+/// `(name, labels)`.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let fams = self.families.lock();
+        write!(f, "MetricsRegistry({} families)", fams.len())
+    }
+}
+
+/// Valid Prometheus metric name: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| {
+                assert!(valid_name(k), "invalid label name {k:?}");
+                (k.to_string(), v.to_string())
+            })
+            .collect();
+        let mut families = self.families.lock();
+        if let Some(family) = families.iter_mut().find(|f| f.name == name) {
+            if let Some(m) = family.metrics.iter().find(|m| m.labels == labels) {
+                return m.handle.clone();
+            }
+            let handle = make();
+            assert_eq!(
+                family.kind,
+                handle.kind(),
+                "metric {name} already registered as a {}",
+                family.kind
+            );
+            family.metrics.push(Metric {
+                labels,
+                handle: handle.clone(),
+            });
+            return handle;
+        }
+        let handle = make();
+        families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: handle.kind(),
+            metrics: vec![Metric {
+                labels,
+                handle: handle.clone(),
+            }],
+        });
+        handle
+    }
+
+    /// Register (or fetch) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a labeled counter.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, labels, || Handle::Counter(Counter::new())) {
+            Handle::Counter(c) => c,
+            other => panic!("metric {name} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Register (or fetch) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a labeled gauge.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, labels, || Handle::Gauge(Gauge::new())) {
+            Handle::Gauge(g) => g,
+            other => panic!("metric {name} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Register (or fetch) an unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a labeled histogram.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.register(name, help, labels, || Handle::Histogram(Histogram::new())) {
+            Handle::Histogram(h) => h,
+            other => panic!("metric {name} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Render the registry in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` per family, one sample line
+    /// per label set, histograms as cumulative `le` buckets plus
+    /// `_sum` / `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let families = self.families.lock();
+        for family in families.iter() {
+            if !family.help.is_empty() {
+                out.push_str(&format!(
+                    "# HELP {} {}\n",
+                    family.name,
+                    family.help.replace('\\', "\\\\").replace('\n', "\\n")
+                ));
+            }
+            out.push_str(&format!("# TYPE {} {}\n", family.name, family.kind));
+            for metric in &family.metrics {
+                match &metric.handle {
+                    Handle::Counter(c) => out.push_str(&format!(
+                        "{}{} {}\n",
+                        family.name,
+                        label_block(&metric.labels, None),
+                        c.get()
+                    )),
+                    Handle::Gauge(g) => out.push_str(&format!(
+                        "{}{} {}\n",
+                        family.name,
+                        label_block(&metric.labels, None),
+                        fmt_value(g.get())
+                    )),
+                    Handle::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cum = 0u64;
+                        for (le, c) in snap.nonzero_buckets() {
+                            cum += c;
+                            out.push_str(&format!(
+                                "{}_bucket{} {}\n",
+                                family.name,
+                                label_block(&metric.labels, Some(&fmt_value(le))),
+                                cum
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            family.name,
+                            label_block(&metric.labels, Some("+Inf")),
+                            snap.count()
+                        ));
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            family.name,
+                            label_block(&metric.labels, None),
+                            fmt_value(snap.sum())
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            family.name,
+                            label_block(&metric.labels, None),
+                            snap.count()
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A JSON snapshot: one member per family, each an array of
+    /// `{labels, value}` objects (histograms report
+    /// `{count, sum, mean, p50, p95, p99, max}`).
+    pub fn snapshot(&self) -> Value {
+        let families = self.families.lock();
+        let mut members = Vec::new();
+        for family in families.iter() {
+            let mut entries = Vec::new();
+            for metric in &family.metrics {
+                let labels = Value::Object(
+                    metric
+                        .labels
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                        .collect(),
+                );
+                let value = match &metric.handle {
+                    Handle::Counter(c) => Value::Num(c.get() as f64),
+                    Handle::Gauge(g) => Value::Num(g.get()),
+                    Handle::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let (p50, p95, p99) = snap.percentiles();
+                        Value::Object(vec![
+                            ("count".into(), Value::Num(snap.count() as f64)),
+                            ("sum".into(), Value::Num(snap.sum())),
+                            ("mean".into(), Value::Num(snap.mean())),
+                            ("p50".into(), Value::Num(p50)),
+                            ("p95".into(), Value::Num(p95)),
+                            ("p99".into(), Value::Num(p99)),
+                            ("max".into(), Value::Num(snap.max())),
+                        ])
+                    }
+                };
+                entries.push(Value::Object(vec![
+                    ("labels".into(), labels),
+                    ("value".into(), value),
+                ]));
+            }
+            members.push((family.name.clone(), Value::Array(entries)));
+        }
+        Value::Object(members)
+    }
+
+    /// Bridge current values into the event stream as [`CounterSample`]s
+    /// stamped at `time`, so a JSONL dump carries the final aggregates.
+    /// Labels are folded into the name (`name{k="v"}`); histograms expand
+    /// through [`LatencyHistogram::to_counters`].
+    pub fn to_counter_samples(&self, time: f64) -> Vec<CounterSample> {
+        let families = self.families.lock();
+        let mut out = Vec::new();
+        for family in families.iter() {
+            for metric in &family.metrics {
+                let name = format!("{}{}", family.name, label_block(&metric.labels, None));
+                match &metric.handle {
+                    Handle::Counter(c) => {
+                        out.push(CounterSample::new(name, time, c.get() as f64));
+                    }
+                    Handle::Gauge(g) => out.push(CounterSample::new(name, time, g.get())),
+                    Handle::Histogram(h) => out.extend(h.snapshot().to_counters(&name, time)),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Render a `{k="v",...}` label block; `le` appends the histogram bucket
+/// label. Empty label sets render as nothing (bare metric name).
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Escape a label value per the exposition format.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Format a float sample the way Prometheus expects (no exponent games
+/// needed; Rust's shortest-round-trip `{}` is valid).
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_stripe_and_sum() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("requests_total", "served requests");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        // Re-registration returns the same underlying metric.
+        assert_eq!(reg.counter("requests_total", "served requests").get(), 4000);
+    }
+
+    #[test]
+    fn gauge_sets_and_reads() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("epoch", "model epoch");
+        g.set(7.5);
+        assert_eq!(g.get(), 7.5);
+        assert_eq!(reg.gauge("epoch", "").get(), 7.5);
+    }
+
+    #[test]
+    fn labeled_metrics_are_distinct() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter_with("shard_scored_total", "scores", &[("shard", "0")]);
+        let b = reg.counter_with("shard_scored_total", "scores", &[("shard", "1")]);
+        a.add(3);
+        b.add(5);
+        assert_eq!(a.get(), 3);
+        assert_eq!(b.get(), 5);
+        let text = reg.render_prometheus();
+        assert!(text.contains("shard_scored_total{shard=\"0\"} 3"));
+        assert!(text.contains("shard_scored_total{shard=\"1\"} 5"));
+        // One family header for both children.
+        assert_eq!(text.matches("# TYPE shard_scored_total counter").count(), 1);
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("latency_seconds", "request latency");
+        h.observe_secs(0.001);
+        h.observe_secs(0.001);
+        h.observe_secs(0.100);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE latency_seconds histogram"));
+        assert!(text.contains("latency_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("latency_seconds_count 3"));
+        // Cumulative counts never decrease along the bucket lines.
+        let cums: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("latency_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(cums.windows(2).all(|w| w[0] <= w[1]), "{cums:?}");
+        assert_eq!(*cums.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn snapshot_and_counter_bridge_agree() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total", "").add(2);
+        reg.gauge("b", "").set(1.5);
+        reg.histogram("lat_seconds", "").observe_secs(0.01);
+        let snap = reg.snapshot();
+        let a = snap.get("a_total").unwrap().as_array().unwrap();
+        assert_eq!(a[0].get("value").unwrap().as_f64(), Some(2.0));
+        let samples = reg.to_counter_samples(9.0);
+        assert!(samples
+            .iter()
+            .any(|c| c.name == "a_total" && c.value == 2.0));
+        assert!(samples.iter().any(|c| c.name == "b" && c.value == 1.5));
+        assert!(samples.iter().any(|c| c.name == "lat_seconds.p99"));
+        assert!(samples.iter().all(|c| c.time == 9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn dotted_names_are_rejected() {
+        MetricsRegistry::new().counter("serve.bad.name", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflicts_are_rejected() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("m", "", &[("a", "0")]);
+        reg.gauge_with("m", "", &[("a", "1")]);
+    }
+}

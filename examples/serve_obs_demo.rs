@@ -1,0 +1,158 @@
+//! Drive the serving engine through its admission queue and show the
+//! `serve::obs` stack end to end: per-request stage spans, the typed
+//! metrics registry rendered as a Prometheus exposition, SLO burn rates,
+//! and the flight recorder's slowest-request exemplar dumped as a Chrome
+//! trace (load it at `chrome://tracing` or <https://ui.perfetto.dev>).
+//!
+//! ```sh
+//! cargo run -p cumf-examples --bin serve_obs_demo
+//! ```
+
+use cumf_als::{AlsConfig, AlsTrainer};
+use cumf_datasets::{MfDataset, RequestSampler, SizeClass};
+use cumf_gpu_sim::GpuSpec;
+use cumf_serve::{
+    admission_queue, AdmissionConfig, Completion, ModelSnapshot, ObsConfig, Request, ServeConfig,
+    ServeEngine, SloConfig, UserRef,
+};
+use cumf_telemetry::NOOP;
+use std::time::Duration;
+
+fn main() {
+    // ── Train a small model to serve ────────────────────────────────────
+    let data = MfDataset::netflix(SizeClass::Tiny, 42);
+    let config = AlsConfig {
+        f: 16,
+        iterations: 4,
+        rmse_target: None,
+        ..AlsConfig::for_profile(&data.profile)
+    };
+    let mut trainer = AlsTrainer::new(&data, config, GpuSpec::maxwell_titan_x(), 1);
+    trainer.train();
+
+    // Tight thresholds so a Tiny-sized run still produces exemplars and
+    // visible burn: anything over 300 µs counts as "slow", the SLO target
+    // is 2 ms.
+    let engine = ServeEngine::new(
+        trainer.x.clone(),
+        ModelSnapshot::new(0, trainer.theta.clone(), vec![]),
+        ServeConfig {
+            k: 10,
+            shards: 4,
+            obs: ObsConfig {
+                slow_threshold: Duration::from_micros(300),
+                exemplar_capacity: 4,
+                slo: SloConfig {
+                    target: Duration::from_millis(2),
+                    ..SloConfig::default()
+                },
+                ..ObsConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+
+    // ── Replay sampled traffic through the admission queue ──────────────
+    let (queue, worker, done) = admission_queue(AdmissionConfig {
+        max_batch: 32,
+        queue_depth: 128,
+        batch_age: Duration::from_micros(300),
+    });
+    let queue = queue.with_obs(engine.obs_arc());
+
+    let mut sampler = RequestSampler::from_dataset(&data, 7);
+    let stream = sampler.sample(400, 5000.0);
+    let t0 = engine.now();
+    let (report, completions) = std::thread::scope(|scope| {
+        let engine = &engine;
+        let handle = scope.spawn(move || worker.run(engine, &NOOP));
+        for (i, s) in stream.iter().enumerate() {
+            let due = t0 + s.arrival;
+            let now = engine.now();
+            if due > now {
+                std::thread::sleep(Duration::from_secs_f64(due - now));
+            }
+            // Every 25th request arrives as a cold-start fold-in.
+            let user = if i % 25 == 24 {
+                UserRef::Cold(data.r.row_iter(s.user as usize).collect())
+            } else {
+                UserRef::Known(s.user)
+            };
+            queue
+                .submit(Request { id: i as u64, user }, due)
+                .expect("admission worker died");
+        }
+        drop(queue);
+        let completions: Vec<Completion> = done.iter().collect();
+        (handle.join().expect("worker panicked"), completions)
+    });
+
+    // ── Per-request stage decomposition (first few completions) ─────────
+    println!(
+        "served {} requests in {} batches; every completion decomposes into stages:",
+        completions.len(),
+        report.batches
+    );
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "request", "e2e µs", "queue", "cache", "foldin", "score", "merge", "respond"
+    );
+    for c in completions.iter().take(6) {
+        let st = &c.span.stages;
+        println!(
+            "{:<10} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            c.span.request_id,
+            c.span.e2e() * 1e6,
+            st.queue * 1e6,
+            st.cache * 1e6,
+            st.foldin * 1e6,
+            st.score * 1e6,
+            st.merge * 1e6,
+            st.respond * 1e6,
+        );
+    }
+    println!();
+
+    // ── Prometheus text exposition of the typed registry ────────────────
+    let now = engine.now();
+    let exposition = engine.obs().render_prometheus(now);
+    println!("── Prometheus exposition (histogram buckets elided) ──");
+    for line in exposition.lines() {
+        if !line.contains("_bucket{") {
+            println!("{line}");
+        }
+    }
+    println!();
+
+    // ── SLO report ──────────────────────────────────────────────────────
+    if let Some(slo) = &report.slo {
+        println!(
+            "SLO: target {:.2} ms, {:.1}% compliant, {} breached / {} shed of {} — {}",
+            slo.target_secs * 1e3,
+            slo.compliance * 100.0,
+            slo.breached,
+            slo.shed,
+            slo.total,
+            if slo.met() { "met" } else { "violated" }
+        );
+    }
+
+    // ── Flight recorder: slowest-request exemplar as a Chrome trace ─────
+    let flight = engine.obs().flight();
+    let (seen, slow) = flight.totals();
+    println!(
+        "flight recorder saw {seen} spans ({slow} over the slow threshold), keeping {} exemplars",
+        flight.exemplars().len()
+    );
+    if let Some(worst) = flight.slowest() {
+        println!(
+            "slowest request: id {} at {:.1} µs, dominated by `{}`",
+            worst.request_id,
+            worst.e2e() * 1e6,
+            worst.stages.slowest().0
+        );
+    }
+    let trace_path = "target/serve_obs_demo.trace.json";
+    std::fs::write(trace_path, flight.exemplar_trace()).expect("write exemplar trace");
+    println!("wrote exemplar Chrome trace to {trace_path}");
+}

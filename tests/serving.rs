@@ -80,10 +80,23 @@ fn trained_model_serves_sampled_traffic() {
     assert!(stats.hits > 0, "no cache hits over 300 skewed requests");
     assert_eq!(stats.hits + stats.misses, 300);
 
-    // The telemetry stream carries the serving counters.
+    // The event stream carries the batch phase spans, and the engine's
+    // typed registry carries the live totals (bridgeable into JSONL).
     let jsonl = to_jsonl(&rec.events());
-    assert!(jsonl.contains("serve.batch_requests"));
-    assert!(jsonl.contains("serve.cache_hits"));
+    assert!(jsonl.contains("serve.batch"));
+    assert!(jsonl.contains("serve.shard0.score"));
+    let m = engine.obs().metrics();
+    assert_eq!(m.requests.get(), 300);
+    assert_eq!(m.cache_hits.get(), stats.hits);
+    let bridged = to_jsonl(
+        &m.registry()
+            .to_counter_samples(engine.now())
+            .into_iter()
+            .map(|c| cumf_telemetry::Event::Counter { sample: c })
+            .collect::<Vec<_>>(),
+    );
+    assert!(bridged.contains("serve_requests_total"));
+    assert!(bridged.contains("serve_cache_hits_total"));
 }
 
 #[test]
