@@ -14,6 +14,7 @@
 //! ```text
 //! cargo run --release -p cumf-bench --bin serve_bench -- \
 //!     --quick --qps 2000 --requests 4000 --shards 4 --fp16 \
+//!     --models 2 --canary-fraction 0.1 \
 //!     --json BENCH_serve.json --metrics /tmp/serve.jsonl
 //! ```
 //!
@@ -23,16 +24,20 @@
 //! (item-range shards), `--open-loop` (shed instead of blocking when the
 //! queue is full), `--cache N` (entries), `--cold-frac F` (fraction served
 //! as cold-start fold-ins), `--fp16` (score from the FP16 factor copy),
-//! `--republish` (publish a new model epoch halfway through), `--json
-//! PATH` (write a machine-readable summary carrying
+//! `--models N` (register N arms `m0…m{N-1}` in the model registry; 1
+//! registers a single `default` model), `--canary-fraction F` (route that
+//! fraction of traffic to the last arm as a canary candidate),
+//! `--republish` (publish a new model epoch halfway through, via the
+//! registry), `--json PATH` (write a machine-readable summary carrying
 //! [`cumf_bench::diff::SCHEMA_VERSION`], gateable with `bench_diff`).
 //!
 //! Observability flags (the `serve::obs` stack is always on; these expose
-//! it): `--prom-out PATH` writes the Prometheus text exposition at exit,
-//! `--slow-trace-us N` sets the flight-recorder slow threshold,
-//! `--slow-trace PATH` dumps a Chrome trace of the slowest exemplar
-//! requests, `--slo-target-us N` sets the SLO latency target that the
-//! burn-rate windows and the report's compliance line are computed from.
+//! it): `--prom-out PATH` writes the Prometheus text exposition at exit
+//! (including the per-model `serve_model_*` series), `--slow-trace-us N`
+//! sets the flight-recorder slow threshold, `--slow-trace PATH` dumps a
+//! Chrome trace of the slowest exemplar requests, `--slo-target-us N`
+//! sets the SLO latency target that the burn-rate windows and the
+//! report's compliance line are computed from.
 
 use cumf_als::{AlsConfig, AlsTrainer};
 use cumf_bench::diff::SCHEMA_VERSION;
@@ -41,10 +46,11 @@ use cumf_datasets::{MfDataset, RequestSampler, SizeClass};
 use cumf_gpu_sim::GpuSpec;
 use cumf_serve::{
     admission_queue, AdmissionConfig, AdmissionReport, Completion, ModelSnapshot, ObsConfig,
-    Request, ScoreConfig, ServeConfig, ServeEngine, SloConfig, SubmitError, UserRef,
+    Request, ScoreConfig, ServeConfig, ServeEngine, SloConfig, SubmitError,
 };
 use cumf_telemetry::{CounterSample, LatencyHistogram};
 use serde::Value;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 struct ServeFlags {
@@ -59,6 +65,8 @@ struct ServeFlags {
     cache: usize,
     cold_frac: f64,
     fp16: bool,
+    models: usize,
+    canary_fraction: f64,
     republish: bool,
     json: Option<String>,
     prom_out: Option<String>,
@@ -81,6 +89,8 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
         cache: 4096,
         cold_frac: 0.02,
         fp16: false,
+        models: 1,
+        canary_fraction: 0.0,
         republish: false,
         json: None,
         prom_out: None,
@@ -103,6 +113,8 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
             "--cache" => flags.cache = val(4096.0) as usize,
             "--cold-frac" => flags.cold_frac = val(0.02),
             "--fp16" => flags.fp16 = true,
+            "--models" => flags.models = (val(1.0) as usize).max(1),
+            "--canary-fraction" => flags.canary_fraction = val(0.0).clamp(0.0, 1.0),
             "--republish" => flags.republish = true,
             "--json" => flags.json = it.next(),
             "--prom-out" => flags.prom_out = it.next(),
@@ -113,9 +125,9 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
                 eprintln!(
                     "serve_bench flags: --qps F, --requests N, --k N, --batch N, \
                      --batch-age-us N, --queue-depth N, --shards N, --open-loop, \
-                     --cache N, --cold-frac F, --fp16, --republish, --json PATH, \
-                     --prom-out PATH, --slow-trace PATH, --slow-trace-us N, \
-                     --slo-target-us N; common: {}",
+                     --cache N, --cold-frac F, --fp16, --models N, --canary-fraction F, \
+                     --republish, --json PATH, --prom-out PATH, --slow-trace PATH, \
+                     --slow-trace-us N, --slo-target-us N; common: {}",
                     HarnessArgs::common_usage()
                 );
                 std::process::exit(0);
@@ -136,10 +148,13 @@ fn popularity_prior(data: &MfDataset) -> Vec<f32> {
 /// Everything the replay measured, for the human report and the JSON dump.
 struct ReplaySummary {
     served: usize,
+    failed: usize,
     shed: usize,
     span: f64,
     latency: LatencyHistogram,
     admission: AdmissionReport,
+    /// Completions per model arm, keyed by model id.
+    per_model: BTreeMap<String, usize>,
 }
 
 fn main() {
@@ -170,10 +185,6 @@ fn main() {
     let mut trainer = AlsTrainer::new(&data, cfg, GpuSpec::maxwell_titan_x(), 1);
     trainer.train();
 
-    let mut snapshot = ModelSnapshot::new(0, trainer.theta.clone(), popularity_prior(&data));
-    if flags.fp16 {
-        snapshot = snapshot.with_fp16();
-    }
     let obs_cfg = ObsConfig {
         slow_threshold: Duration::from_micros(flags.slow_trace_us),
         slo: SloConfig {
@@ -182,21 +193,41 @@ fn main() {
         },
         ..ObsConfig::default()
     };
-    let engine = ServeEngine::new(
-        trainer.x.clone(),
-        snapshot,
-        ServeConfig {
-            k: flags.k,
-            shards: flags.shards,
-            cache_capacity: flags.cache,
-            score: ScoreConfig {
-                use_fp16: flags.fp16,
-                ..ScoreConfig::default()
-            },
-            obs: obs_cfg,
-            ..ServeConfig::default()
-        },
-    );
+    let serve_cfg = ServeConfig::default()
+        .with_k(flags.k)
+        .with_shards(flags.shards)
+        .with_cache_capacity(flags.cache)
+        .with_score(ScoreConfig {
+            use_fp16: flags.fp16,
+            ..ScoreConfig::default()
+        })
+        .with_obs(obs_cfg);
+
+    // One registry arm per --models: the same trained factors behind each
+    // (distinct epoch tags so the arms are tellable apart downstream),
+    // with the last arm as the canary candidate when a split is asked for.
+    let arm_names: Vec<String> = if flags.models <= 1 {
+        vec!["default".to_string()]
+    } else {
+        (0..flags.models).map(|i| format!("m{i}")).collect()
+    };
+    let mut builder = ServeEngine::builder().config(serve_cfg);
+    for (i, name) in arm_names.iter().enumerate() {
+        let mut snapshot =
+            ModelSnapshot::new(i as u64, trainer.theta.clone(), popularity_prior(&data));
+        if flags.fp16 {
+            snapshot = snapshot.with_fp16();
+        }
+        builder = builder.model(name.as_str(), trainer.x.clone(), snapshot);
+    }
+    let canary_arm = (flags.canary_fraction > 0.0 && arm_names.len() > 1)
+        .then(|| arm_names.last().unwrap().clone());
+    if let Some(candidate) = &canary_arm {
+        builder = builder.canary(candidate.as_str(), flags.canary_fraction);
+    }
+    let engine = builder
+        .build()
+        .expect("registry bootstrap from trained factors");
 
     // ── Synthesize the request stream ───────────────────────────────────
     let mut sampler = RequestSampler::from_dataset(&data, args.seed ^ 0xBEEF);
@@ -211,7 +242,7 @@ fn main() {
 
     eprintln!(
         "replaying {} requests at {} QPS ({} loop, batch ≤ {} or {} µs, queue {}, \
-         {} shard{}, cache {}, k {}, {}{})",
+         {} shard{}, cache {}, k {}, {} model{}{}, {}{})",
         flags.requests,
         flags.qps,
         if flags.open_loop { "open" } else { "closed" },
@@ -222,6 +253,12 @@ fn main() {
         if flags.shards == 1 { "" } else { "s" },
         flags.cache,
         flags.k,
+        arm_names.len(),
+        if arm_names.len() == 1 { "" } else { "s" },
+        canary_arm
+            .as_ref()
+            .map(|c| format!(" (canary {c} at {:.2})", flags.canary_fraction))
+            .unwrap_or_default(),
         if flags.fp16 { "fp16" } else { "fp32" },
         if flags.republish { ", republish" } else { "" },
     );
@@ -245,10 +282,15 @@ fn main() {
         let handle = scope.spawn(move || worker.run(engine, rec));
         let mut republished = false;
         for (i, sampled) in stream.iter().enumerate() {
-            // Mid-run publish: same factors, new epoch — snapshot swap
-            // under load, every cache key rolls over.
+            // Mid-run publish: same factors, new epoch into the default
+            // arm — a keyed snapshot swap under load, every cache key for
+            // that arm rolls over.
             if flags.republish && !republished && i >= stream.len() / 2 {
-                let snap = engine.store().snapshot();
+                let id = engine.registry().default_model();
+                let snap = engine
+                    .registry()
+                    .snapshot(&id)
+                    .expect("default arm is live");
                 let mut fresh = ModelSnapshot::new(
                     snap.epoch() + 1,
                     snap.full().item_factors().clone(),
@@ -257,7 +299,10 @@ fn main() {
                 if flags.fp16 {
                     fresh = fresh.with_fp16();
                 }
-                engine.store().publish(fresh);
+                engine
+                    .registry()
+                    .publish(&id, fresh)
+                    .expect("republish into the default arm");
                 republished = true;
             }
 
@@ -266,12 +311,11 @@ fn main() {
             if due > now {
                 std::thread::sleep(Duration::from_secs_f64(due - now));
             }
-            let user = if cold_every != usize::MAX && i % cold_every == cold_every - 1 {
-                UserRef::Cold(data.r.row_iter(sampled.user as usize).collect())
+            let req = if cold_every != usize::MAX && i % cold_every == cold_every - 1 {
+                Request::cold(i as u64, data.r.row_iter(sampled.user as usize).collect())
             } else {
-                UserRef::Known(sampled.user)
+                Request::known(i as u64, sampled.user)
             };
-            let req = Request { id: i as u64, user };
             if flags.open_loop {
                 match queue.try_submit(req, due) {
                     Ok(()) | Err(SubmitError::Full(_)) => {}
@@ -289,16 +333,26 @@ fn main() {
     let span = engine.now() - replay0;
 
     let mut latency = LatencyHistogram::new();
+    let mut per_model: BTreeMap<String, usize> = BTreeMap::new();
+    let mut failed = 0usize;
     for c in &completions {
-        debug_assert!(c.response.items.len() <= flags.k);
+        match &c.response {
+            Ok(r) => {
+                debug_assert!(r.items.len() <= flags.k);
+                *per_model.entry(r.model.as_str().to_string()).or_insert(0) += 1;
+            }
+            Err(_) => failed += 1,
+        }
         latency.record_secs((c.finished_at - c.submitted_at).max(0.0));
     }
     let summary = ReplaySummary {
-        served: completions.len(),
+        served: completions.len() - failed,
+        failed,
         shed,
         span,
         latency,
         admission,
+        per_model,
     };
     report(&engine, &flags, &summary);
 
@@ -370,12 +424,13 @@ fn report(engine: &ServeEngine, flags: &ServeFlags, s: &ReplaySummary) {
     );
     println!();
     println!(
-        "served {} requests in {} s wall — {:.0} QPS achieved (target {:.0}); {} shed",
+        "served {} requests in {} s wall — {:.0} QPS achieved (target {:.0}); {} shed, {} failed",
         s.served,
         fmt_s(s.span),
         qps,
         flags.qps,
-        s.shed
+        s.shed,
+        s.failed
     );
     println!(
         "admission: {} batches (mean {:.1} req/batch; {} closed by size, {} by age)",
@@ -392,6 +447,20 @@ fn report(engine: &ServeEngine, flags: &ServeFlags, s: &ReplaySummary) {
         cache.len,
         cache.capacity
     );
+    if s.per_model.len() > 1 {
+        let total: usize = s.per_model.values().sum::<usize>().max(1);
+        let arms: Vec<String> = s
+            .per_model
+            .iter()
+            .map(|(m, n)| format!("{m} {} ({:.1}%)", n, *n as f64 / total as f64 * 100.0))
+            .collect();
+        let canary = engine
+            .registry()
+            .canary()
+            .map(|p| format!(" — canary {} at {:.2}", p.candidate, p.fraction))
+            .unwrap_or_default();
+        println!("models: {}{}", arms.join(", "), canary);
+    }
     if let Some(slo) = &s.admission.slo {
         let burns: Vec<String> = slo
             .burn_rates
@@ -410,11 +479,14 @@ fn report(engine: &ServeEngine, flags: &ServeFlags, s: &ReplaySummary) {
             if slo.met() { "met" } else { "VIOLATED" }
         );
     }
+    let default = engine.registry().default_model();
+    let epoch = engine.registry().epoch(&default).unwrap_or(0);
     println!(
-        "model epoch served at exit: {} across {} shard{} ({})",
-        engine.store().epoch(),
-        engine.store().n_shards(),
-        if engine.store().n_shards() == 1 {
+        "default model '{}' at epoch {} across {} shard{} ({})",
+        default,
+        epoch,
+        engine.registry().n_shards(),
+        if engine.registry().n_shards() == 1 {
             ""
         } else {
             "s"
@@ -444,17 +516,40 @@ fn json_summary(engine: &ServeEngine, flags: &ServeFlags, s: &ReplaySummary) -> 
             ("met", Value::Bool(slo.met())),
         ])
     });
+    let models = Value::Array(
+        engine
+            .registry()
+            .model_ids()
+            .iter()
+            .map(|id| {
+                obj(vec![
+                    ("name", Value::Str(id.as_str().to_string())),
+                    (
+                        "epoch",
+                        Value::Num(engine.registry().epoch(id).unwrap_or(0) as f64),
+                    ),
+                    (
+                        "served",
+                        Value::Num(*s.per_model.get(id.as_str()).unwrap_or(&0) as f64),
+                    ),
+                ])
+            })
+            .collect(),
+    );
     obj(vec![
         ("schema_version", Value::Num(SCHEMA_VERSION)),
         ("bench", Value::Str("serve_bench".to_string())),
-        ("shards", Value::Num(engine.store().n_shards() as f64)),
+        ("shards", Value::Num(engine.registry().n_shards() as f64)),
         ("requests", Value::Num(flags.requests as f64)),
         ("served", Value::Num(s.served as f64)),
+        ("failed", Value::Num(s.failed as f64)),
         ("shed", Value::Num(s.shed as f64)),
         ("open_loop", Value::Bool(flags.open_loop)),
         ("target_qps", Value::Num(flags.qps)),
         ("qps", Value::Num(s.served as f64 / s.span)),
         ("wall_s", Value::Num(s.span)),
+        ("models", models),
+        ("canary_fraction", Value::Num(flags.canary_fraction)),
         (
             "latency_ms",
             obj(vec![

@@ -32,20 +32,22 @@
 //! ```
 //! use cumf_numeric::dense::DenseMatrix;
 //! use cumf_serve::admission::{admission_queue, AdmissionConfig};
-//! use cumf_serve::engine::{Request, ServeConfig, ServeEngine, UserRef};
+//! use cumf_serve::engine::{Request, ServeConfig, ServeEngine};
 //! use cumf_serve::store::ModelSnapshot;
 //! use cumf_telemetry::NOOP;
 //!
-//! let engine = ServeEngine::new(
-//!     DenseMatrix::identity(4),
-//!     ModelSnapshot::new(0, DenseMatrix::identity(4), vec![]),
-//!     ServeConfig { k: 2, ..ServeConfig::default() },
-//! );
+//! let engine = ServeEngine::builder()
+//!     .config(ServeConfig::default().with_k(2))
+//!     .model(
+//!         "default",
+//!         DenseMatrix::identity(4),
+//!         ModelSnapshot::new(0, DenseMatrix::identity(4), vec![]),
+//!     )
+//!     .build()
+//!     .unwrap();
 //! let (queue, worker, done) = admission_queue(AdmissionConfig::default());
 //! for u in 0..4u32 {
-//!     queue
-//!         .submit(Request { id: u as u64, user: UserRef::Known(u) }, engine.now())
-//!         .unwrap();
+//!     queue.submit(Request::known(u as u64, u), engine.now()).unwrap();
 //! }
 //! drop(queue); // disconnect: the worker drains and returns
 //! let report = worker.run(&engine, &NOOP);
@@ -54,6 +56,7 @@
 //! ```
 
 use crate::engine::{Recommendation, Request, ServeEngine, UserRef};
+use crate::error::ServeError;
 use crate::obs::{RequestSpan, ServeObs, SloReport};
 use cumf_telemetry::{CounterSample, LatencyHistogram, Recorder};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -160,8 +163,10 @@ impl AdmissionQueue {
 /// `admitted_at - submitted_at`, service time `finished_at - admitted_at`.
 #[derive(Clone, Debug)]
 pub struct Completion {
-    /// The engine's response.
-    pub response: Recommendation,
+    /// The engine's response: a recommendation, or the per-request
+    /// [`ServeError`] the engine answered with (routing failures and
+    /// unknown users fail alone — the rest of the batch is unaffected).
+    pub response: Result<Recommendation, ServeError>,
     /// When the producer submitted the request.
     pub submitted_at: f64,
     /// When the worker closed the batch containing it.
@@ -244,11 +249,15 @@ impl AdmissionWorker {
                 report
                     .queue_delay
                     .record_secs((admitted_at - submitted_at).max(0.0));
+                let from_cache = response.as_ref().map(|r| r.from_cache).unwrap_or(false);
+                if response.is_err() {
+                    report.failed += 1;
+                }
                 let span = RequestSpan::from_batch(
                     &trace,
-                    response.request_id,
+                    req.id,
                     submitted_at,
-                    response.from_cache,
+                    from_cache,
                     matches!(req.user, UserRef::Cold(_)),
                 );
                 engine.obs().observe_completion(&span);
@@ -285,6 +294,8 @@ pub struct AdmissionReport {
     pub closed_by_drain: u64,
     /// Requests shed by `try_submit` (snapshot at worker exit).
     pub rejected: u64,
+    /// Requests admitted but answered with a [`ServeError`].
+    pub failed: u64,
     /// Queueing delay (submit → batch close) distribution.
     pub queue_delay: LatencyHistogram,
     /// SLO summary at worker exit (compliance, breaches, sheds, windowed
@@ -302,6 +313,7 @@ impl AdmissionReport {
             closed_by_age: 0,
             closed_by_drain: 0,
             rejected: 0,
+            failed: 0,
             queue_delay: LatencyHistogram::new(),
             slo: None,
         }
@@ -330,6 +342,7 @@ impl AdmissionReport {
             ("serve.admission.batches", self.batches as f64),
             ("serve.admission.closed_by_size", self.closed_by_size as f64),
             ("serve.admission.closed_by_age", self.closed_by_age as f64),
+            ("serve.admission.failed", self.failed as f64),
         ] {
             recorder.counter(CounterSample::new(name, time, value));
         }
@@ -371,7 +384,7 @@ pub fn admission_queue(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{ServeConfig, UserRef};
+    use crate::engine::ServeConfig;
     use crate::store::ModelSnapshot;
     use cumf_numeric::dense::DenseMatrix;
     use cumf_telemetry::NOOP;
@@ -382,21 +395,15 @@ mod tests {
         let mut theta = DenseMatrix::zeros(20, f);
         x.fill_with(|| 0.5);
         theta.fill_with(|| 0.25);
-        ServeEngine::new(
-            x,
-            ModelSnapshot::new(0, theta, vec![]),
-            ServeConfig {
-                k: 3,
-                ..ServeConfig::default()
-            },
-        )
+        ServeEngine::builder()
+            .config(ServeConfig::default().with_k(3))
+            .model("default", x, ModelSnapshot::new(0, theta, vec![]))
+            .build()
+            .unwrap()
     }
 
     fn req(u: u32) -> Request {
-        Request {
-            id: u as u64,
-            user: UserRef::Known(u),
-        }
+        Request::known(u as u64, u)
     }
 
     #[test]
@@ -420,7 +427,10 @@ mod tests {
         assert_eq!(completions.len(), 8);
         assert!(completions.iter().all(|c| c.batch_size == 4));
         // Request order is preserved through the queue and within batches.
-        let ids: Vec<u64> = completions.iter().map(|c| c.response.request_id).collect();
+        let ids: Vec<u64> = completions
+            .iter()
+            .map(|c| c.response.as_ref().unwrap().request_id)
+            .collect();
         assert_eq!(ids, (0..8).collect::<Vec<u64>>());
         // Stamps are ordered: submit ≤ admit ≤ finish.
         for c in &completions {
@@ -446,7 +456,7 @@ mod tests {
             let c = done
                 .recv_timeout(Duration::from_secs(10))
                 .expect("age deadline must close the batch");
-            assert_eq!(c.response.request_id, 0);
+            assert_eq!(c.response.as_ref().unwrap().request_id, 0);
             assert_eq!(c.batch_size, 1);
             drop(queue);
             let report = handle.join().unwrap();
@@ -512,15 +522,11 @@ mod tests {
         let mut theta = DenseMatrix::zeros(24, f);
         x.fill_with(|| 0.5);
         theta.fill_with(|| 0.25);
-        let engine = ServeEngine::new(
-            x,
-            ModelSnapshot::new(0, theta, vec![]),
-            ServeConfig {
-                k: 3,
-                shards: 3,
-                ..ServeConfig::default()
-            },
-        );
+        let engine = ServeEngine::builder()
+            .config(ServeConfig::default().with_k(3).with_shards(3))
+            .model("default", x, ModelSnapshot::new(0, theta, vec![]))
+            .build()
+            .unwrap();
         let (queue, worker, done) = admission_queue(AdmissionConfig {
             max_batch: 4,
             queue_depth: 16,
@@ -544,7 +550,7 @@ mod tests {
                 c.span.stages.total(),
                 e2e
             );
-            assert_eq!(c.span.request_id, c.response.request_id);
+            assert_eq!(c.span.request_id, c.response.as_ref().unwrap().request_id);
             assert_eq!(c.span.batch_size, c.batch_size);
             assert!(c.span.stages.queue >= 0.0);
         }
@@ -582,6 +588,37 @@ mod tests {
         assert_eq!(slo.shed, 2);
         assert_eq!(slo.total, 2 + 2);
         assert!((slo.compliance - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_requests_complete_with_errors_not_aborts() {
+        // An unknown user flows through the whole admission path as an
+        // Err completion; its batchmates are served normally.
+        let engine = tiny_engine(4);
+        let (queue, worker, done) = admission_queue(AdmissionConfig {
+            max_batch: 3,
+            queue_depth: 8,
+            batch_age: Duration::from_secs(60),
+        });
+        queue.submit(req(0), engine.now()).unwrap();
+        queue.submit(req(99), engine.now()).unwrap(); // only 4 users exist
+        queue.submit(req(1), engine.now()).unwrap();
+        drop(queue);
+        let report = worker.run(&engine, &NOOP);
+        assert_eq!((report.admitted, report.failed), (3, 1));
+        let completions: Vec<Completion> = done.iter().collect();
+        assert_eq!(completions.len(), 3);
+        assert!(completions[0].response.is_ok());
+        assert!(matches!(
+            completions[1].response.as_ref().unwrap_err(),
+            ServeError::UnknownUser { user: 99, .. }
+        ));
+        assert!(completions[2].response.is_ok());
+        // The failed request still carries a telescoping span.
+        let c = &completions[1];
+        let e2e = c.finished_at - c.submitted_at;
+        assert!((c.span.stages.total() - e2e).abs() < 1e-9);
+        assert_eq!(c.span.request_id, 99);
     }
 
     #[test]

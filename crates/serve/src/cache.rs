@@ -1,12 +1,14 @@
-//! LRU result cache keyed by `(user, model epoch)`, and its lock-striped
+//! LRU result cache keyed by `(model, epoch, user)`, and its lock-striped
 //! concurrent wrapper.
 //!
 //! Recommendation traffic is heavily skewed (the dataset generators plant
 //! Zipf item popularity and log-normal user activity precisely because real
 //! traces look that way), so a small cache in front of the scorer absorbs a
-//! large share of requests. Keying by epoch makes invalidation free: a
-//! published snapshot changes the key of every lookup, so stale entries
-//! simply stop being hit and age out of the LRU list.
+//! large share of requests. Keying by `(model, epoch)` makes invalidation
+//! free: a published snapshot changes the key of every lookup, so stale
+//! entries simply stop being hit and age out of the LRU list — and two
+//! registry models (a canary arm and its champion, say) can never answer
+//! for each other, because their registry slots differ.
 //!
 //! Entries are returned by reference to the stored vector, so a hit is
 //! bit-identical to the scoring pass that populated it (test-enforced).
@@ -20,13 +22,18 @@ use crate::topk::ScoredItem;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
-/// Cache key: a known user under one published model epoch.
+/// Cache key: a known user under one published epoch of one registered
+/// model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CacheKey {
-    /// User row.
-    pub user: u32,
+    /// The model's registry slot ([`crate::registry::ModelRegistry::slot`]
+    /// — unique per registered model, never reused), so arms of a canary
+    /// split can never hit each other's entries.
+    pub model: u32,
     /// Model epoch the cached ranking was computed under.
     pub epoch: u64,
+    /// User row.
+    pub user: u32,
 }
 
 /// Hit/miss/occupancy counters, cheap to copy out for telemetry.
@@ -73,7 +80,7 @@ struct Slot {
 /// use cumf_serve::topk::ScoredItem;
 ///
 /// let mut cache = ResultCache::new(2);
-/// let k = |user| CacheKey { user, epoch: 0 };
+/// let k = |user| CacheKey { model: 0, epoch: 0, user };
 /// let v = vec![ScoredItem { item: 9, score: 1.0 }];
 /// cache.insert(k(1), v.clone());
 /// cache.insert(k(2), v.clone());
@@ -243,7 +250,7 @@ impl ResultCache {
 /// use cumf_serve::topk::ScoredItem;
 ///
 /// let cache = StripedCache::new(64, 8);
-/// let key = CacheKey { user: 7, epoch: 0 };
+/// let key = CacheKey { model: 0, epoch: 0, user: 7 };
 /// assert!(cache.get(&key).is_none());
 /// cache.insert(key, vec![ScoredItem { item: 1, score: 2.0 }]);
 /// assert_eq!(cache.get(&key).unwrap()[0].item, 1);
@@ -323,7 +330,11 @@ mod tests {
     use super::*;
 
     fn key(user: u32, epoch: u64) -> CacheKey {
-        CacheKey { user, epoch }
+        CacheKey {
+            model: 0,
+            epoch,
+            user,
+        }
     }
 
     fn val(item: u32) -> Vec<ScoredItem> {
@@ -357,6 +368,28 @@ mod tests {
         c.insert(key(7, 1), val(2));
         assert_eq!(c.get(&key(7, 0)).unwrap()[0].item, 1);
         assert_eq!(c.get(&key(7, 1)).unwrap()[0].item, 2);
+    }
+
+    #[test]
+    fn model_slot_partitions_the_keyspace() {
+        // Same user, same epoch, different registry slots: fully isolated
+        // — the cache-side half of canary-arm isolation.
+        let mut c = ResultCache::new(4);
+        let champion = CacheKey {
+            model: 0,
+            epoch: 3,
+            user: 7,
+        };
+        let challenger = CacheKey {
+            model: 1,
+            epoch: 3,
+            user: 7,
+        };
+        c.insert(champion, val(1));
+        assert!(c.get(&challenger).is_none(), "arm must not hit other arm");
+        c.insert(challenger, val(2));
+        assert_eq!(c.get(&champion).unwrap()[0].item, 1);
+        assert_eq!(c.get(&challenger).unwrap()[0].item, 2);
     }
 
     #[test]

@@ -1,21 +1,29 @@
 //! The serving engine: micro-batched requests in, ranked items out.
 //!
-//! [`ServeEngine`] composes the crate's pieces into the request path:
+//! [`ServeEngine`] composes the crate's pieces into the request path. Since
+//! the v2 redesign the engine routes over a keyed [`ModelRegistry`] instead
+//! of owning a single store — one scorer configuration, one result cache,
+//! and one observability bundle shared by every registered model:
 //!
-//! 1. snapshot the [`ShardedFactorStore`] once per batch (every request in
-//!    the batch scores one consistent epoch);
+//! 1. snapshot the registry's routing state once per batch
+//!    ([`crate::registry::Router`]) and resolve every request to a model —
+//!    explicit [`ModelId`], default alias, or deterministic canary split;
+//!    routing failures become per-request [`ServeError`]s, not panics;
 //! 2. answer known users from the lock-striped result cache
-//!    ([`StripedCache`]) when possible;
+//!    ([`StripedCache`]) when possible — keys carry `(model, epoch, user)`,
+//!    so canary arms never see each other's entries;
 //! 3. fold cold users' rating histories into factor vectors with
 //!    [`cumf_als::fold_in_batch`] (one regularized solve each, CG or
-//!    Cholesky per the configured [`SolverKind`]) against the full Θ;
-//! 4. scatter the remaining users across the snapshot's shards, one
-//!    blocked scoring pass per shard, and gather the per-shard heaps into
-//!    global rankings ([`scatter_top_k`] + gather — bit-identical to the
-//!    unsharded scorer);
+//!    Cholesky per the configured [`SolverKind`]) against the routed
+//!    model's full Θ;
+//! 4. scatter each model's share of the batch across its snapshot's
+//!    shards, one blocked scoring pass per shard, and gather the per-shard
+//!    heaps into global rankings ([`scatter_top_k`] + gather —
+//!    bit-identical to the unsharded scorer);
 //! 5. fill the cache, update the typed serving metrics
-//!    ([`crate::obs::ServeMetrics`]), and stamp a [`BatchTrace`] whose
-//!    stage timestamps the admission worker turns into per-request spans.
+//!    ([`crate::obs::ServeMetrics`], including per-model `model="…"`
+//!    series), and stamp a [`BatchTrace`] whose stage timestamps the
+//!    admission worker turns into per-request spans.
 //!
 //! Telemetry uses *wall-clock* seconds since engine construction as the
 //! time base — serving is a real host-side workload, unlike training whose
@@ -24,29 +32,46 @@
 //! `recommend_batch` takes `&self` and every shared structure behind it is
 //! internally synchronized, so the admission worker
 //! ([`crate::admission`]) and any number of submitter threads can share
-//! one engine by reference.
+//! one engine by reference — and registry operations (publish, canary
+//! ramps, promote/rollback) apply from the next batch without a restart.
 
 use crate::cache::{CacheKey, CacheStats, StripedCache};
+use crate::error::ServeError;
 use crate::obs::{BatchTrace, ObsConfig, ServeObs, ShardMetrics};
+use crate::registry::{CanaryPolicy, ModelEntry, ModelId, ModelRegistry, RouteKey};
 use crate::scorer::ScoreConfig;
-use crate::shard::{scatter_top_k, ShardedFactorStore};
+use crate::shard::{scatter_top_k, ShardTiming, ShardedSnapshot};
 use crate::store::ModelSnapshot;
 use crate::topk::ScoredItem;
 use cumf_als::{fold_in_batch, SolverKind};
 use cumf_numeric::dense::DenseMatrix;
 use cumf_telemetry::{PhaseSpan, Recorder, NOOP};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Engine-level configuration.
+///
+/// Construct via [`ServeConfig::default`] and the `with_*` builder methods
+/// — the struct is `#[non_exhaustive]`, so new knobs are not breaking
+/// changes:
+///
+/// ```
+/// use cumf_serve::engine::ServeConfig;
+///
+/// let cfg = ServeConfig::default().with_k(20).with_shards(4);
+/// assert_eq!((cfg.k, cfg.shards), (20, 4));
+/// ```
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct ServeConfig {
     /// Items returned per request.
     pub k: usize,
     /// Scorer tiling and precision (see [`ScoreConfig`]).
     pub score: ScoreConfig,
-    /// Contiguous item-range shards the snapshot is split into (clamped
-    /// to `[1, n_items]`; 1 reproduces the unsharded scorer exactly).
+    /// Contiguous item-range shards each model's snapshot is split into
+    /// (clamped to `[1, n_items]`; 1 reproduces the unsharded scorer
+    /// exactly).
     pub shards: usize,
     /// Result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
@@ -76,10 +101,61 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// Items returned per request.
+    pub fn with_k(mut self, k: usize) -> ServeConfig {
+        self.k = k;
+        self
+    }
+
+    /// Scorer tiling and precision.
+    pub fn with_score(mut self, score: ScoreConfig) -> ServeConfig {
+        self.score = score;
+        self
+    }
+
+    /// Item-range shards per model snapshot.
+    pub fn with_shards(mut self, shards: usize) -> ServeConfig {
+        self.shards = shards;
+        self
+    }
+
+    /// Result-cache capacity in entries (0 disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> ServeConfig {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Lock stripes for the result cache.
+    pub fn with_cache_stripes(mut self, stripes: usize) -> ServeConfig {
+        self.cache_stripes = stripes;
+        self
+    }
+
+    /// Regularization for cold-start fold-in solves.
+    pub fn with_lambda(mut self, lambda: f32) -> ServeConfig {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Solver for cold-start fold-in systems.
+    pub fn with_solver(mut self, solver: SolverKind) -> ServeConfig {
+        self.solver = solver;
+        self
+    }
+
+    /// Observability configuration.
+    pub fn with_obs(mut self, obs: ObsConfig) -> ServeConfig {
+        self.obs = obs;
+        self
+    }
+}
+
 /// Who a request is for.
 #[derive(Clone, Debug)]
 pub enum UserRef {
-    /// A user the model was trained on: row of the engine's `X` matrix.
+    /// A user the model was trained on: row of the routed model's `X`
+    /// matrix.
     Known(u32),
     /// A cold user: a rating history to fold in before scoring. Cold
     /// results are never cached (there is no stable key for them).
@@ -87,20 +163,69 @@ pub enum UserRef {
 }
 
 /// One recommendation request.
+///
+/// Construct via [`Request::known`] / [`Request::cold`] (or
+/// [`Request::new`]) and target a specific model with
+/// [`Request::for_model`] — the struct is `#[non_exhaustive]`, so future
+/// fields are not breaking changes:
+///
+/// ```
+/// use cumf_serve::engine::Request;
+///
+/// let r = Request::known(7, 3).for_model("challenger");
+/// assert_eq!(r.id, 7);
+/// assert_eq!(r.model.as_ref().unwrap().as_str(), "challenger");
+/// ```
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct Request {
     /// Caller-chosen id, echoed in the [`Recommendation`].
     pub id: u64,
     /// Which user to score.
     pub user: UserRef,
+    /// Which model to score against. `None` routes via the registry's
+    /// default alias, subject to any canary policy.
+    pub model: Option<ModelId>,
+}
+
+impl Request {
+    /// A request for `user`, routed by the registry (default alias or
+    /// canary split).
+    pub fn new(id: u64, user: UserRef) -> Request {
+        Request {
+            id,
+            user,
+            model: None,
+        }
+    }
+
+    /// A request for known user `user`.
+    pub fn known(id: u64, user: u32) -> Request {
+        Request::new(id, UserRef::Known(user))
+    }
+
+    /// A cold-start request folding in `history` before scoring.
+    pub fn cold(id: u64, history: Vec<(u32, f32)>) -> Request {
+        Request::new(id, UserRef::Cold(history))
+    }
+
+    /// Pin the request to a specific model, bypassing the default alias
+    /// and any canary policy (builder-style).
+    pub fn for_model(mut self, model: impl Into<ModelId>) -> Request {
+        self.model = Some(model.into());
+        self
+    }
 }
 
 /// One served response.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct Recommendation {
     /// The request's id.
     pub request_id: u64,
-    /// Model epoch the ranking was computed under.
+    /// The model that served the request (after routing).
+    pub model: ModelId,
+    /// That model's epoch the ranking was computed under.
     pub epoch: u64,
     /// Top-k items, best first.
     pub items: Vec<ScoredItem>,
@@ -108,30 +233,116 @@ pub struct Recommendation {
     pub from_cache: bool,
 }
 
-/// The batched top-k inference engine.
+/// Builder for [`ServeEngine`]: configuration plus the initial model set.
+///
+/// At least one model is required ([`ServeError::NoModels`] otherwise);
+/// the first registered model is the default alias unless
+/// [`default_model`](ServeEngineBuilder::default_model) says otherwise.
+/// More models can be registered after construction through
+/// [`ServeEngine::registry`].
+#[derive(Debug, Default)]
+pub struct ServeEngineBuilder {
+    cfg: Option<ServeConfig>,
+    models: Vec<(ModelId, DenseMatrix, ModelSnapshot)>,
+    default_model: Option<ModelId>,
+    canary: Option<(ModelId, f64)>,
+}
+
+impl ServeEngineBuilder {
+    /// Set the engine configuration (defaults to
+    /// [`ServeConfig::default`]).
+    pub fn config(mut self, cfg: ServeConfig) -> ServeEngineBuilder {
+        self.cfg = Some(cfg);
+        self
+    }
+
+    /// Register a model: `user_factors` (`X` from training) backs
+    /// known-user requests, `snapshot` is its initial published epoch.
+    pub fn model(
+        mut self,
+        id: impl Into<ModelId>,
+        user_factors: DenseMatrix,
+        snapshot: ModelSnapshot,
+    ) -> ServeEngineBuilder {
+        self.models.push((id.into(), user_factors, snapshot));
+        self
+    }
+
+    /// Make `id` the default alias (must be one of the registered
+    /// models).
+    pub fn default_model(mut self, id: impl Into<ModelId>) -> ServeEngineBuilder {
+        self.default_model = Some(id.into());
+        self
+    }
+
+    /// Install a canary policy sending `fraction` of unaddressed traffic
+    /// to `candidate` (see [`CanaryPolicy`]).
+    pub fn canary(mut self, candidate: impl Into<ModelId>, fraction: f64) -> ServeEngineBuilder {
+        self.canary = Some((candidate.into(), fraction));
+        self
+    }
+
+    /// Build the engine: registers every model (first one bootstraps the
+    /// registry), applies the default alias and canary policy.
+    pub fn build(self) -> Result<ServeEngine, ServeError> {
+        let cfg = self.cfg.unwrap_or_default();
+        let mut models = self.models.into_iter();
+        let (first_id, first_x, first_snap) = models.next().ok_or(ServeError::NoModels)?;
+        let obs = Arc::new(ServeObs::new(cfg.obs));
+        let registry = ModelRegistry::bootstrap(
+            first_id,
+            first_x,
+            first_snap,
+            cfg.shards,
+            obs.metrics().clone(),
+        )?;
+        for (id, x, snap) in models {
+            registry.register(id, x, snap)?;
+        }
+        if let Some(id) = self.default_model {
+            registry.set_default(&id)?;
+        }
+        if let Some((candidate, fraction)) = self.canary {
+            registry.set_canary(CanaryPolicy::new(candidate, fraction))?;
+        }
+        let shard_metrics = (0..cfg.shards.max(1))
+            .map(|i| obs.metrics().shard(i))
+            .collect();
+        Ok(ServeEngine {
+            cache: StripedCache::new(cfg.cache_capacity, cfg.cache_stripes),
+            registry,
+            cfg,
+            started: Instant::now(),
+            obs,
+            shard_metrics,
+        })
+    }
+}
+
+/// The batched top-k inference engine, routing over a keyed model
+/// registry.
 ///
 /// ```
 /// use cumf_numeric::dense::DenseMatrix;
-/// use cumf_serve::engine::{Request, ServeConfig, ServeEngine, UserRef};
+/// use cumf_serve::engine::{Request, ServeConfig, ServeEngine};
 /// use cumf_serve::store::ModelSnapshot;
 /// use cumf_telemetry::NOOP;
 ///
 /// // 2 users × 3 items, f = 2, identity-ish factors.
 /// let x = DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
 /// let theta = DenseMatrix::from_vec(3, 2, vec![0.9, 0.1, 0.1, 0.9, 0.5, 0.5]);
-/// let engine = ServeEngine::new(x, ModelSnapshot::new(0, theta, vec![]), ServeConfig {
-///     k: 1,
-///     ..ServeConfig::default()
-/// });
-/// let out = engine.recommend_batch(
-///     &[Request { id: 0, user: UserRef::Known(0) }],
-///     &NOOP,
-/// );
-/// assert_eq!(out[0].items[0].item, 0); // user 0 aligns with item 0
+/// let engine = ServeEngine::builder()
+///     .config(ServeConfig::default().with_k(1))
+///     .model("default", x, ModelSnapshot::new(0, theta, vec![]))
+///     .build()
+///     .unwrap();
+/// let out = engine.recommend_batch(&[Request::known(0, 0)], &NOOP);
+/// let rec = out[0].as_ref().unwrap();
+/// assert_eq!(rec.items[0].item, 0); // user 0 aligns with item 0
+/// assert_eq!(rec.model.as_str(), "default");
 /// ```
 pub struct ServeEngine {
-    store: ShardedFactorStore,
-    user_factors: DenseMatrix,
+    registry: ModelRegistry,
     cache: StripedCache,
     cfg: ServeConfig,
     started: Instant,
@@ -140,33 +351,29 @@ pub struct ServeEngine {
     shard_metrics: Vec<ShardMetrics>,
 }
 
+/// One model's share of a batch, keyed by registry slot so iteration
+/// order (and therefore span/timing order) is deterministic.
+struct ModelGroup {
+    entry: Arc<ModelEntry>,
+    snapshot: Arc<ShardedSnapshot>,
+    user_factors: Arc<DenseMatrix>,
+    /// (request index, `Some(user)` when cacheable).
+    to_score: Vec<(usize, Option<u32>)>,
+    /// Cold histories, aligned with the `None` entries of `to_score`.
+    cold_histories: Vec<Vec<(u32, f32)>>,
+}
+
 impl ServeEngine {
-    /// An engine serving `snapshot` (split into `cfg.shards` ranges), with
-    /// `user_factors` (`X` from training) backing known-user requests.
-    pub fn new(
-        user_factors: DenseMatrix,
-        snapshot: ModelSnapshot,
-        cfg: ServeConfig,
-    ) -> ServeEngine {
-        assert_eq!(
-            user_factors.cols(),
-            snapshot.f(),
-            "user and item factor dimensions must agree"
-        );
-        let store = ShardedFactorStore::new(snapshot, cfg.shards);
-        let obs = Arc::new(ServeObs::new(cfg.obs));
-        let shard_metrics = (0..store.n_shards())
-            .map(|i| obs.metrics().shard(i))
-            .collect();
-        ServeEngine {
-            cache: StripedCache::new(cfg.cache_capacity, cfg.cache_stripes),
-            store,
-            user_factors,
-            cfg,
-            started: Instant::now(),
-            obs,
-            shard_metrics,
-        }
+    /// Start building an engine (see [`ServeEngineBuilder`]).
+    pub fn builder() -> ServeEngineBuilder {
+        ServeEngineBuilder::default()
+    }
+
+    /// The model registry: register/publish/retire models, move the
+    /// default alias, and ramp/promote/rollback canaries — all while the
+    /// engine serves; changes apply from the next batch.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
     }
 
     /// The engine's observability bundle: typed metrics, the flight
@@ -180,26 +387,6 @@ impl ServeEngine {
     /// exposition endpoint or the admission queue's shed accounting).
     pub fn obs_arc(&self) -> Arc<ServeObs> {
         Arc::clone(&self.obs)
-    }
-
-    /// The underlying store, for publishing new epochs (each publish is
-    /// re-sharded at the engine's configured shard count). Publishing does
-    /// not flush the cache — epoch-qualified keys make old entries
-    /// unreachable, and the LRU lists age them out.
-    pub fn store(&self) -> &ShardedFactorStore {
-        &self.store
-    }
-
-    /// Replace the known-user factor matrix (e.g. after retraining `X`
-    /// alongside a published `Θ`).
-    pub fn set_user_factors(&mut self, user_factors: DenseMatrix) {
-        assert_eq!(user_factors.cols(), self.store.snapshot().f());
-        self.user_factors = user_factors;
-    }
-
-    /// Number of known users.
-    pub fn n_users(&self) -> usize {
-        self.user_factors.rows()
     }
 
     /// Engine configuration.
@@ -218,152 +405,223 @@ impl ServeEngine {
         self.started.elapsed().as_secs_f64()
     }
 
-    /// Serve one known user (a batch of one).
-    pub fn recommend_user(&self, user: u32, recorder: &dyn Recorder) -> Recommendation {
-        self.recommend_batch(
-            &[Request {
-                id: user as u64,
-                user: UserRef::Known(user),
-            }],
-            recorder,
-        )
-        .pop()
-        .expect("batch of one returns one response")
+    /// Serve one known user (a batch of one), routed by the registry.
+    pub fn recommend_user(
+        &self,
+        user: u32,
+        recorder: &dyn Recorder,
+    ) -> Result<Recommendation, ServeError> {
+        self.recommend_batch(&[Request::known(user as u64, user)], recorder)
+            .pop()
+            .expect("batch of one returns one response")
     }
 
-    /// Serve a micro-batch: cache lookups, cold-start fold-in, one
-    /// scatter-gather scoring pass across the snapshot's shards, responses
-    /// in request order.
+    /// Serve a micro-batch: route every request to a model, cache
+    /// lookups, cold-start fold-in, one scatter-gather scoring pass per
+    /// routed model, responses in request order.
     ///
-    /// Panics if a [`UserRef::Known`] index is out of range of the user
-    /// factor matrix.
+    /// Failures are *per request*: a request that routes to an unknown or
+    /// retired model, or names a user the routed model does not know,
+    /// gets an `Err` in its slot while the rest of the batch is served
+    /// normally (each failure also increments
+    /// `serve_errors_total{reason=…}`).
     pub fn recommend_batch(
         &self,
         requests: &[Request],
         recorder: &dyn Recorder,
-    ) -> Vec<Recommendation> {
+    ) -> Vec<Result<Recommendation, ServeError>> {
         self.recommend_batch_traced(requests, recorder).0
     }
 
     /// [`recommend_batch`](ServeEngine::recommend_batch) plus the batch's
     /// [`BatchTrace`]: six contiguous engine-clock timestamps bracketing
-    /// the cache, fold-in, scatter, merge, and response stages. The
-    /// admission worker re-bases the trace onto each request as a
+    /// the cache, fold-in, scatter, merge, and response stages, plus the
+    /// `(model, epoch)` arms the batch served. The admission worker
+    /// re-bases the trace onto each request as a
     /// [`crate::obs::RequestSpan`] whose stage durations telescope to its
     /// end-to-end latency.
     ///
     /// Always updates the engine's [`ServeObs`] metrics; additionally
     /// emits `serve.batch` / `serve.batch.*` phase spans (and per-shard
-    /// `serve.shard{i}.score` spans from the scatter) when `recorder` is
-    /// enabled.
+    /// `serve.shard{i}.score` spans from each model's scatter) when
+    /// `recorder` is enabled.
     pub fn recommend_batch_traced(
         &self,
         requests: &[Request],
         recorder: &dyn Recorder,
-    ) -> (Vec<Recommendation>, BatchTrace) {
+    ) -> (Vec<Result<Recommendation, ServeError>>, BatchTrace) {
         let t0 = self.now();
-        let snapshot = self.store.snapshot();
-        let epoch = snapshot.epoch();
-        let f = snapshot.f();
+        let table = self.registry.routing_table();
 
-        // Pass 1: answer from cache (one stripe lock per lookup), collect
-        // the users that need scoring.
-        let mut responses: Vec<Option<Recommendation>> = vec![None; requests.len()];
-        // (request index, Some(user) when cacheable)
-        let mut to_score: Vec<(usize, Option<u32>)> = Vec::new();
-        let mut cold_histories: Vec<Vec<(u32, f32)>> = Vec::new();
+        // Pass 1: route every request, answer from cache (one stripe lock
+        // per lookup), group the rest by model.
+        let mut responses: Vec<Option<Result<Recommendation, ServeError>>> =
+            vec![None; requests.len()];
+        let mut groups: BTreeMap<u32, ModelGroup> = BTreeMap::new();
         let mut batch_hits = 0u64;
+        let mut errors = 0usize;
         for (i, req) in requests.iter().enumerate() {
+            let route_key = match &req.user {
+                UserRef::Known(u) => RouteKey::User(*u),
+                UserRef::Cold(_) => RouteKey::Cold(req.id),
+            };
+            let entry = match table.route(req.model.as_ref(), route_key) {
+                Ok(entry) => entry,
+                Err(e) => {
+                    self.obs.metrics().error(e.reason()).inc();
+                    errors += 1;
+                    responses[i] = Some(Err(e));
+                    continue;
+                }
+            };
+            let group = groups.entry(entry.slot).or_insert_with(|| ModelGroup {
+                snapshot: entry.store.snapshot(),
+                user_factors: entry.user_factors(),
+                entry,
+                to_score: Vec::new(),
+                cold_histories: Vec::new(),
+            });
+            group.entry.metrics.requests.inc();
             match &req.user {
                 UserRef::Known(u) => {
-                    assert!(
-                        (*u as usize) < self.user_factors.rows(),
-                        "unknown user {u}; engine knows {} users",
-                        self.user_factors.rows()
-                    );
-                    let key = CacheKey { user: *u, epoch };
+                    if (*u as usize) >= group.user_factors.rows() {
+                        let e = ServeError::UnknownUser {
+                            user: *u,
+                            n_users: group.user_factors.rows(),
+                            model: group.entry.id.clone(),
+                        };
+                        self.obs.metrics().error(e.reason()).inc();
+                        errors += 1;
+                        responses[i] = Some(Err(e));
+                        continue;
+                    }
+                    let key = CacheKey {
+                        model: group.entry.slot,
+                        epoch: group.snapshot.epoch(),
+                        user: *u,
+                    };
                     if let Some(items) = self.cache.get(&key) {
                         batch_hits += 1;
-                        responses[i] = Some(Recommendation {
+                        group.entry.metrics.cache_hits.inc();
+                        responses[i] = Some(Ok(Recommendation {
                             request_id: req.id,
-                            epoch,
+                            model: group.entry.id.clone(),
+                            epoch: group.snapshot.epoch(),
                             items,
                             from_cache: true,
-                        });
+                        }));
                     } else {
-                        to_score.push((i, Some(*u)));
+                        group.to_score.push((i, Some(*u)));
                     }
                 }
                 UserRef::Cold(history) => {
-                    to_score.push((i, None));
-                    cold_histories.push(history.clone());
+                    group.to_score.push((i, None));
+                    group.cold_histories.push(history.clone());
                 }
             }
         }
         let t1 = self.now();
 
-        // Pass 2: fold cold users (against the full Θ), assemble the batch
-        // factor matrix.
-        let folded = if cold_histories.is_empty() {
-            None
-        } else {
-            Some(fold_in_batch(
-                snapshot.full().item_factors(),
-                &cold_histories,
-                self.cfg.lambda,
-                &self.cfg.solver,
-            ))
-        };
-        let mut batch = DenseMatrix::zeros(to_score.len(), f);
-        let mut next_cold = 0usize;
-        for (row, (_, user)) in to_score.iter().enumerate() {
-            let src = match user {
-                Some(u) => self.user_factors.row(*u as usize),
-                None => {
-                    let r = folded
-                        .as_ref()
-                        .expect("cold rows were folded")
-                        .row(next_cold);
-                    next_cold += 1;
-                    r
-                }
+        // Pass 2: per model (slot order), fold cold users against that
+        // model's full Θ and assemble its batch factor matrix.
+        let mut batches: BTreeMap<u32, DenseMatrix> = BTreeMap::new();
+        for (&slot, group) in &groups {
+            let folded = if group.cold_histories.is_empty() {
+                None
+            } else {
+                Some(fold_in_batch(
+                    group.snapshot.full().item_factors(),
+                    &group.cold_histories,
+                    self.cfg.lambda,
+                    &self.cfg.solver,
+                ))
             };
-            batch.row_mut(row).copy_from_slice(src);
+            let mut batch = DenseMatrix::zeros(group.to_score.len(), group.snapshot.f());
+            let mut next_cold = 0usize;
+            for (row, (_, user)) in group.to_score.iter().enumerate() {
+                let src = match user {
+                    Some(u) => group.user_factors.row(*u as usize),
+                    None => {
+                        let r = folded
+                            .as_ref()
+                            .expect("cold rows were folded")
+                            .row(next_cold);
+                        next_cold += 1;
+                        r
+                    }
+                };
+                batch.row_mut(row).copy_from_slice(src);
+            }
+            batches.insert(slot, batch);
         }
         let t2 = self.now();
 
-        // Pass 3: scatter the micro-batch across shards (per-shard
-        // `serve.shard{i}.score` spans land on the engine clock at `t2`),
-        // then gather the per-shard heaps into global rankings.
-        let scatter_rec: &dyn Recorder = if to_score.is_empty() { &NOOP } else { recorder };
-        let scatter = scatter_top_k(
-            &snapshot,
-            &batch,
-            self.cfg.k,
-            &self.cfg.score,
-            scatter_rec,
-            t2,
-        );
+        // Pass 3: scatter each model's micro-batch across its shards
+        // (slot order, so per-shard `serve.shard{i}.score` spans land
+        // deterministically), then gather per-shard heaps into global
+        // rankings.
+        let mut scatters = Vec::with_capacity(groups.len());
+        for (slot, group) in &groups {
+            let scatter_rec: &dyn Recorder = if group.to_score.is_empty() {
+                &NOOP
+            } else {
+                recorder
+            };
+            let scatter = scatter_top_k(
+                &group.snapshot,
+                &batches[slot],
+                self.cfg.k,
+                &self.cfg.score,
+                scatter_rec,
+                self.now(),
+            );
+            scatters.push((*slot, scatter));
+        }
         let t3 = self.now();
-        let (ranked, shard_timings) = scatter.gather(self.cfg.k);
+        let mut shard_timings: Vec<ShardTiming> = Vec::new();
+        let mut ranked: BTreeMap<u32, Vec<Vec<ScoredItem>>> = BTreeMap::new();
+        for (slot, scatter) in scatters {
+            let (rankings, timings) = scatter.gather(self.cfg.k);
+            if !groups[&slot].to_score.is_empty() {
+                shard_timings.extend(timings);
+            }
+            ranked.insert(slot, rankings);
+        }
         let t4 = self.now();
 
         // Pass 4: fill cache, assemble responses in request order.
-        for ((i, user), items) in to_score.iter().zip(ranked) {
-            if let Some(u) = user {
-                self.cache
-                    .insert(CacheKey { user: *u, epoch }, items.clone());
+        let mut scored_users = 0usize;
+        let mut cold_users = 0usize;
+        for (&slot, group) in &groups {
+            scored_users += group.to_score.len() - group.cold_histories.len();
+            cold_users += group.cold_histories.len();
+            let epoch = group.snapshot.epoch();
+            for ((i, user), items) in group.to_score.iter().zip(&ranked[&slot]) {
+                if let Some(u) = user {
+                    self.cache.insert(
+                        CacheKey {
+                            model: slot,
+                            epoch,
+                            user: *u,
+                        },
+                        items.clone(),
+                    );
+                }
+                responses[*i] = Some(Ok(Recommendation {
+                    request_id: requests[*i].id,
+                    model: group.entry.id.clone(),
+                    epoch,
+                    items: items.clone(),
+                    from_cache: false,
+                }));
             }
-            responses[*i] = Some(Recommendation {
-                request_id: requests[*i].id,
-                epoch,
-                items,
-                from_cache: false,
-            });
         }
         let t5 = self.now();
 
-        let scored_users = to_score.len() - cold_histories.len();
+        let arms: Vec<(ModelId, u64)> = groups
+            .values()
+            .map(|g| (g.entry.id.clone(), g.snapshot.epoch()))
+            .collect();
         let trace = BatchTrace {
             start: t0,
             cache_done: t1,
@@ -373,9 +631,10 @@ impl ServeEngine {
             end: t5,
             requests: requests.len(),
             cache_hits: batch_hits as usize,
-            cold_users: cold_histories.len(),
+            cold_users,
             scored_users,
-            epoch,
+            errors,
+            arms,
             shard_timings,
         };
 
@@ -385,20 +644,20 @@ impl ServeEngine {
         m.batches.inc();
         m.cache_hits.add(batch_hits);
         m.cache_misses.add(scored_users as u64);
-        m.cold_users.add(cold_histories.len() as u64);
-        m.epoch.set(epoch as f64);
+        m.cold_users.add(cold_users as u64);
+        if let Some(default) = table.entries.get(table.router.default_model()) {
+            m.epoch.set(default.store.epoch() as f64);
+        }
         m.observe_batch_stages(&trace);
-        if !to_score.is_empty() {
-            for t in &trace.shard_timings {
-                if let Some(sm) = self.shard_metrics.get(t.shard) {
-                    sm.scored.add(t.scored);
-                    sm.pass_seconds.observe_secs(t.secs);
-                }
+        for t in &trace.shard_timings {
+            if let Some(sm) = self.shard_metrics.get(t.shard) {
+                sm.scored.add(t.scored);
+                sm.pass_seconds.observe_secs(t.secs);
             }
         }
 
-        // Event-stream spans for Chrome traces (the scatter already
-        // emitted the per-shard spans inside [t2, t3]).
+        // Event-stream spans for Chrome traces (each model's scatter
+        // already emitted its per-shard spans inside [t2, t3]).
         if recorder.enabled() {
             recorder.phase(PhaseSpan::new("serve.batch", t0, t5));
             recorder.phase(PhaseSpan::new("serve.batch.cache", t0, t1));
@@ -421,41 +680,50 @@ mod tests {
     use cumf_telemetry::{MemoryRecorder, NOOP};
     use rand::prelude::*;
 
-    fn engine(users: usize, items: usize, f: usize, cfg: ServeConfig) -> ServeEngine {
-        let mut rng = StdRng::seed_from_u64(99);
+    fn factors(users: usize, items: usize, f: usize, seed: u64) -> (DenseMatrix, DenseMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut x = DenseMatrix::zeros(users, f);
         x.fill_with(|| rng.gen_f32() - 0.5);
         let mut theta = DenseMatrix::zeros(items, f);
         theta.fill_with(|| rng.gen_f32() - 0.5);
-        ServeEngine::new(x, ModelSnapshot::new(0, theta, vec![]), cfg)
+        (x, theta)
+    }
+
+    fn engine(users: usize, items: usize, f: usize, cfg: ServeConfig) -> ServeEngine {
+        let (x, theta) = factors(users, items, f, 99);
+        ServeEngine::builder()
+            .config(cfg)
+            .model("default", x, ModelSnapshot::new(0, theta, vec![]))
+            .build()
+            .unwrap()
     }
 
     fn known(ids: &[u32]) -> Vec<Request> {
-        ids.iter()
-            .map(|&u| Request {
-                id: u as u64,
-                user: UserRef::Known(u),
-            })
-            .collect()
+        ids.iter().map(|&u| Request::known(u as u64, u)).collect()
+    }
+
+    fn unwrap_all(out: Vec<Result<Recommendation, ServeError>>) -> Vec<Recommendation> {
+        out.into_iter().map(|r| r.unwrap()).collect()
     }
 
     #[test]
     fn batch_answers_in_request_order() {
         let e = engine(10, 30, 4, ServeConfig::default());
-        let out = e.recommend_batch(&known(&[3, 1, 4, 1, 5]), &NOOP);
+        let out = unwrap_all(e.recommend_batch(&known(&[3, 1, 4, 1, 5]), &NOOP));
         assert_eq!(
             out.iter().map(|r| r.request_id).collect::<Vec<_>>(),
             vec![3, 1, 4, 1, 5]
         );
         assert!(out.iter().all(|r| r.items.len() == 10));
+        assert!(out.iter().all(|r| r.model.as_str() == "default"));
     }
 
     #[test]
     fn second_lookup_hits_cache_bit_identically() {
         let e = engine(5, 40, 6, ServeConfig::default());
-        let cold = e.recommend_user(2, &NOOP);
+        let cold = e.recommend_user(2, &NOOP).unwrap();
         assert!(!cold.from_cache);
-        let warm = e.recommend_user(2, &NOOP);
+        let warm = e.recommend_user(2, &NOOP).unwrap();
         assert!(warm.from_cache);
         assert_eq!(cold.items, warm.items, "cache must be bit-identical");
         let s = e.cache_stats();
@@ -467,21 +735,30 @@ mod tests {
         let e = engine(4, 20, 3, ServeConfig::default());
         // Same user twice in one batch: both scored this round (the second
         // is enqueued before the first's insert), identical results.
-        let out = e.recommend_batch(&known(&[0, 0]), &NOOP);
+        let out = unwrap_all(e.recommend_batch(&known(&[0, 0]), &NOOP));
         assert_eq!(out[0].items, out[1].items);
         // Next batch hits.
-        let again = e.recommend_batch(&known(&[0]), &NOOP);
+        let again = unwrap_all(e.recommend_batch(&known(&[0]), &NOOP));
         assert!(again[0].from_cache);
     }
 
     #[test]
     fn publish_invalidates_cache_by_keying() {
         let e = engine(3, 15, 4, ServeConfig::default());
-        let before = e.recommend_user(1, &NOOP);
-        let mut theta2 = e.store().snapshot().full().item_factors().clone();
+        let id = e.registry().default_model();
+        let before = e.recommend_user(1, &NOOP).unwrap();
+        let mut theta2 = e
+            .registry()
+            .snapshot(&id)
+            .unwrap()
+            .full()
+            .item_factors()
+            .clone();
         cumf_numeric::dense::scale(-1.0, theta2.as_mut_slice());
-        e.store().publish(ModelSnapshot::new(1, theta2, vec![]));
-        let after = e.recommend_user(1, &NOOP);
+        e.registry()
+            .publish(&id, ModelSnapshot::new(1, theta2, vec![]))
+            .unwrap();
+        let after = e.recommend_user(1, &NOOP).unwrap();
         assert!(!after.from_cache, "new epoch must not hit old entries");
         assert_eq!(after.epoch, 1);
         assert_ne!(before.items, after.items);
@@ -491,13 +768,7 @@ mod tests {
     fn cold_user_with_history_gets_nonzero_scores() {
         let e = engine(2, 25, 5, ServeConfig::default());
         let history: Vec<(u32, f32)> = (0..8).map(|v| (v, 4.0)).collect();
-        let out = e.recommend_batch(
-            &[Request {
-                id: 7,
-                user: UserRef::Cold(history),
-            }],
-            &NOOP,
-        );
+        let out = unwrap_all(e.recommend_batch(&[Request::cold(7, history)], &NOOP));
         assert!(!out[0].from_cache);
         assert!(out[0].items.iter().any(|s| s.score != 0.0));
     }
@@ -505,13 +776,10 @@ mod tests {
     #[test]
     fn mixed_batch_counts_typed_metrics() {
         let e = engine(6, 20, 3, ServeConfig::default());
-        e.recommend_user(0, &NOOP); // warm one entry
+        e.recommend_user(0, &NOOP).unwrap(); // warm one entry
         let rec = MemoryRecorder::new();
         let mut reqs = known(&[0, 1]);
-        reqs.push(Request {
-            id: 100,
-            user: UserRef::Cold(vec![(0, 5.0)]),
-        });
+        reqs.push(Request::cold(100, vec![(0, 5.0)]));
         let m = e.obs().metrics();
         let (req0, hit0) = (m.requests.get(), m.cache_hits.get());
         e.recommend_batch(&reqs, &rec);
@@ -522,6 +790,9 @@ mod tests {
         assert_eq!(m.batches.get(), 2);
         // Per-shard handles saw the scoring pass (1 shard by default).
         assert!(e.obs().metrics().shard(0).scored.get() > 0);
+        // Per-model handles saw every routed request.
+        assert_eq!(m.model("default").requests.get(), 4);
+        assert_eq!(m.model("default").cache_hits.get(), 1);
         // The event stream carries the batch + stage + shard spans.
         let names: Vec<String> = rec
             .phase_spans()
@@ -546,25 +817,15 @@ mod tests {
         assert!(text.contains("serve_cold_users_total 1"));
         assert!(text.contains("serve_shard_scored_total{shard=\"0\"}"));
         assert!(text.contains("serve_stage_seconds_count{stage=\"score\"} 2"));
+        assert!(text.contains("serve_model_requests_total{model=\"default\"} 4"));
     }
 
     #[test]
     fn batch_trace_timestamps_are_contiguous_and_counted() {
-        let e = engine(
-            8,
-            30,
-            4,
-            ServeConfig {
-                shards: 3,
-                ..ServeConfig::default()
-            },
-        );
-        e.recommend_user(2, &NOOP); // warm one entry
+        let e = engine(8, 30, 4, ServeConfig::default().with_shards(3));
+        e.recommend_user(2, &NOOP).unwrap(); // warm one entry
         let mut reqs = known(&[2, 3]);
-        reqs.push(Request {
-            id: 50,
-            user: UserRef::Cold(vec![(1, 3.0)]),
-        });
+        reqs.push(Request::cold(50, vec![(1, 3.0)]));
         let (out, trace) = e.recommend_batch_traced(&reqs, &NOOP);
         assert_eq!(out.len(), 3);
         // Monotone, contiguous boundaries.
@@ -582,30 +843,23 @@ mod tests {
                 trace.requests,
                 trace.cache_hits,
                 trace.cold_users,
-                trace.scored_users
+                trace.scored_users,
+                trace.errors,
             ),
-            (3, 1, 1, 1)
+            (3, 1, 1, 1, 0)
         );
         assert_eq!(trace.shard_timings.len(), 3);
-        assert_eq!(trace.epoch, 0);
+        assert_eq!(trace.arms, vec![(ModelId::from("default"), 0)]);
     }
 
     #[test]
     fn sharded_engine_matches_unsharded() {
         let reqs = known(&[0, 2, 4, 1]);
         let base = engine(6, 37, 4, ServeConfig::default());
-        let want = base.recommend_batch(&reqs, &NOOP);
+        let want = unwrap_all(base.recommend_batch(&reqs, &NOOP));
         for shards in [2, 3, 8] {
-            let e = engine(
-                6,
-                37,
-                4,
-                ServeConfig {
-                    shards,
-                    ..ServeConfig::default()
-                },
-            );
-            let got = e.recommend_batch(&reqs, &NOOP);
+            let e = engine(6, 37, 4, ServeConfig::default().with_shards(shards));
+            let got = unwrap_all(e.recommend_batch(&reqs, &NOOP));
             for (a, b) in want.iter().zip(&got) {
                 assert_eq!(a.items, b.items, "shards={shards}");
             }
@@ -613,9 +867,77 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown user")]
-    fn out_of_range_user_panics() {
+    fn unknown_user_is_an_error_not_a_panic() {
         let e = engine(2, 10, 2, ServeConfig::default());
-        e.recommend_user(5, &NOOP);
+        // The bad request fails alone; its neighbors are served.
+        let out = e.recommend_batch(&known(&[0, 5, 1]), &NOOP);
+        assert!(out[0].is_ok() && out[2].is_ok());
+        let err = out[1].as_ref().unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::UnknownUser {
+                user: 5,
+                n_users: 2,
+                ..
+            }
+        ));
+        // Counted under its reason label.
+        let text = e.obs().render_prometheus(e.now());
+        assert!(text.contains("serve_errors_total{reason=\"unknown_user\"} 1"));
+    }
+
+    #[test]
+    fn explicit_model_ids_route_past_the_canary() {
+        let (x, theta) = factors(6, 20, 3, 1);
+        let (x2, mut theta2) = (x.clone(), theta.clone());
+        cumf_numeric::dense::scale(-1.0, theta2.as_mut_slice());
+        let e = ServeEngine::builder()
+            .model("champion", x, ModelSnapshot::new(0, theta, vec![]))
+            .model("challenger", x2, ModelSnapshot::new(0, theta2, vec![]))
+            .canary("challenger", 1.0)
+            .build()
+            .unwrap();
+        // fraction 1.0: unaddressed traffic goes to the challenger…
+        let routed = e.recommend_user(0, &NOOP).unwrap();
+        assert_eq!(routed.model.as_str(), "challenger");
+        // …but an explicit id bypasses the split.
+        let pinned =
+            unwrap_all(e.recommend_batch(&[Request::known(0, 0).for_model("champion")], &NOOP));
+        assert_eq!(pinned[0].model.as_str(), "champion");
+        assert_ne!(pinned[0].items, routed.items, "the arms differ");
+        // Unknown and retired models fail per-request.
+        let out = e.recommend_batch(&[Request::known(1, 1).for_model("ghost")], &NOOP);
+        assert!(matches!(
+            out[0].as_ref().unwrap_err(),
+            ServeError::UnknownModel(_)
+        ));
+    }
+
+    #[test]
+    fn canary_batch_serves_both_arms_in_one_pass() {
+        let (x, theta) = factors(64, 20, 3, 7);
+        let e = ServeEngine::builder()
+            .model("a", x.clone(), ModelSnapshot::new(0, theta.clone(), vec![]))
+            .model("b", x, ModelSnapshot::new(5, theta, vec![]))
+            .canary("b", 0.5)
+            .build()
+            .unwrap();
+        let reqs = known(&(0..64).collect::<Vec<u32>>());
+        let (out, trace) = e.recommend_batch_traced(&reqs, &NOOP);
+        let out = unwrap_all(out);
+        let on_b = out.iter().filter(|r| r.model.as_str() == "b").count();
+        assert!(on_b > 0 && on_b < 64, "both arms must serve: {on_b}/64");
+        // The trace reports both arms with their epochs, in slot order.
+        assert_eq!(
+            trace.arms,
+            vec![(ModelId::from("a"), 0), (ModelId::from("b"), 5)]
+        );
+        // Routing is deterministic: a second pass picks identical arms
+        // (and hits the cache).
+        let again = unwrap_all(e.recommend_batch(&reqs, &NOOP));
+        for (first, second) in out.iter().zip(&again) {
+            assert_eq!(first.model, second.model);
+            assert!(second.from_cache);
+        }
     }
 }

@@ -1,0 +1,158 @@
+//! Typed serving errors.
+//!
+//! The v1 engine panicked on malformed input (an unknown user id, a
+//! published snapshot with the wrong feature dimension). Panics are the
+//! wrong failure mode for a serving system: one bad request in a
+//! micro-batch must not take down the batch, let alone the process. Every
+//! fallible path in the crate now returns [`ServeError`], and
+//! [`crate::engine::ServeEngine::recommend_batch`] reports errors
+//! *per request* so the rest of the batch is served normally.
+//!
+//! Each variant carries enough context to answer "which model, what was
+//! expected" without a debugger, and [`ServeError::reason`] gives the
+//! stable snake_case token used as the `reason` label on the
+//! `serve_errors_total` metric (see `docs/OBSERVABILITY.md`).
+
+use crate::registry::ModelId;
+
+/// Why a serving operation failed.
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm, so
+/// future failure modes are not breaking changes.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request named a model the registry has never seen.
+    UnknownModel(ModelId),
+    /// The request named a model that has been retired from serving.
+    RetiredModel(ModelId),
+    /// `register` was called with an id that already exists (live or
+    /// retired — retired ids are tombstoned, not recycled).
+    DuplicateModel(ModelId),
+    /// A [`crate::engine::UserRef::Known`] index is out of range of the
+    /// routed model's user-factor matrix.
+    UnknownUser {
+        /// The requested user row.
+        user: u32,
+        /// How many users the model knows.
+        n_users: usize,
+        /// The model the request was routed to.
+        model: ModelId,
+    },
+    /// A snapshot or user-factor matrix disagrees with the model's pinned
+    /// feature dimension `f` (set when the model was registered).
+    DimensionMismatch {
+        /// The model involved (a placeholder id for bare-store publishes).
+        model: ModelId,
+        /// The feature dimension the model was registered with.
+        expected: usize,
+        /// The feature dimension of the offending matrix.
+        got: usize,
+    },
+    /// The operation needs the model to be out of the routing path, but it
+    /// is currently the default alias or the canary candidate.
+    ModelInUse(ModelId),
+    /// `promote` or `rollback` was called with no canary policy in place.
+    NoCanary,
+    /// An engine cannot be built without at least one registered model.
+    NoModels,
+}
+
+impl ServeError {
+    /// Stable snake_case token for this failure mode — the `reason` label
+    /// on the `serve_errors_total` counter.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            ServeError::UnknownModel(_) => "unknown_model",
+            ServeError::RetiredModel(_) => "retired_model",
+            ServeError::DuplicateModel(_) => "duplicate_model",
+            ServeError::UnknownUser { .. } => "unknown_user",
+            ServeError::DimensionMismatch { .. } => "dimension_mismatch",
+            ServeError::ModelInUse(_) => "model_in_use",
+            ServeError::NoCanary => "no_canary",
+            ServeError::NoModels => "no_models",
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel(m) => write!(f, "unknown model {m:?}"),
+            ServeError::RetiredModel(m) => write!(f, "model {m:?} is retired"),
+            ServeError::DuplicateModel(m) => write!(f, "model {m:?} is already registered"),
+            ServeError::UnknownUser {
+                user,
+                n_users,
+                model,
+            } => write!(
+                f,
+                "unknown user {user}; model {model:?} knows {n_users} users"
+            ),
+            ServeError::DimensionMismatch {
+                model,
+                expected,
+                got,
+            } => write!(
+                f,
+                "dimension mismatch for model {model:?}: expected f = {expected}, got {got}"
+            ),
+            ServeError::ModelInUse(m) => write!(
+                f,
+                "model {m:?} is the default alias or canary candidate and cannot be retired"
+            ),
+            ServeError::NoCanary => write!(f, "no canary policy is in place"),
+            ServeError::NoModels => write!(f, "an engine needs at least one registered model"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reasons_are_stable_snake_case_tokens() {
+        let m = ModelId::from("a");
+        for (err, want) in [
+            (ServeError::UnknownModel(m.clone()), "unknown_model"),
+            (ServeError::RetiredModel(m.clone()), "retired_model"),
+            (ServeError::DuplicateModel(m.clone()), "duplicate_model"),
+            (
+                ServeError::UnknownUser {
+                    user: 3,
+                    n_users: 2,
+                    model: m.clone(),
+                },
+                "unknown_user",
+            ),
+            (
+                ServeError::DimensionMismatch {
+                    model: m.clone(),
+                    expected: 8,
+                    got: 4,
+                },
+                "dimension_mismatch",
+            ),
+            (ServeError::ModelInUse(m), "model_in_use"),
+            (ServeError::NoCanary, "no_canary"),
+            (ServeError::NoModels, "no_models"),
+        ] {
+            assert_eq!(err.reason(), want);
+            assert!(!format!("{err}").is_empty());
+        }
+    }
+
+    #[test]
+    fn display_carries_the_context() {
+        let err = ServeError::DimensionMismatch {
+            model: ModelId::from("eu-west"),
+            expected: 16,
+            got: 8,
+        };
+        let text = format!("{err}");
+        assert!(text.contains("eu-west") && text.contains("16") && text.contains('8'));
+    }
+}

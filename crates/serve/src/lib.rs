@@ -18,10 +18,17 @@
 //!   contiguous item-range shards, scored scatter-gather and merged with
 //!   a deterministic tie-break so the result is bit-identical to the
 //!   unsharded scorer.
-//! * [`engine`] — [`ServeEngine`]: micro-batching, cold-start fold-in via
-//!   [`cumf_als::fold_in_batch`], an epoch-keyed lock-striped LRU result
-//!   [`cache`], and telemetry counters through
-//!   [`cumf_telemetry::Recorder`].
+//! * [`registry`] — multi-model serving: a keyed [`ModelRegistry`] of
+//!   factor stores sharing one scorer, cache, and observability bundle,
+//!   with a deterministic-hash canary [`Router`] ([`CanaryPolicy`]) and
+//!   promote/rollback — production A/B arms and staged rollouts without
+//!   an engine restart.
+//! * [`engine`] — [`ServeEngine`]: micro-batching, per-request model
+//!   routing, cold-start fold-in via [`cumf_als::fold_in_batch`], a
+//!   `(model, epoch, user)`-keyed lock-striped LRU result [`cache`], and
+//!   telemetry counters through [`cumf_telemetry::Recorder`]. Built with
+//!   [`ServeEngineBuilder`]; fallible paths return [`ServeError`] instead
+//!   of panicking, per request.
 //! * [`admission`] — a bounded request queue in front of the engine:
 //!   batches close on size or age, overload sheds with a counted
 //!   rejection instead of unbounded queueing.
@@ -70,8 +77,10 @@
 pub mod admission;
 pub mod cache;
 pub mod engine;
+pub mod error;
 pub mod metrics;
 pub mod obs;
+pub mod registry;
 pub mod scorer;
 pub mod shard;
 pub mod store;
@@ -82,12 +91,14 @@ pub use admission::{
     SubmitError,
 };
 pub use cache::{CacheKey, CacheStats, ResultCache, StripedCache};
-pub use engine::{Recommendation, Request, ServeConfig, ServeEngine, UserRef};
+pub use engine::{Recommendation, Request, ServeConfig, ServeEngine, ServeEngineBuilder, UserRef};
+pub use error::ServeError;
 pub use metrics::{dcg_at_k, ndcg_at_k, overlap_at_k};
 pub use obs::{
     BatchTrace, FlightRecorder, ObsConfig, RequestSpan, ServeMetrics, ServeObs, SloConfig,
     SloReport, SloTracker, StageBreakdown,
 };
+pub use registry::{canary_unit, CanaryPolicy, ModelId, ModelRegistry, RouteKey, Router};
 pub use scorer::{score_one, top_k_batch, top_k_one, ScoreConfig};
 pub use shard::{
     top_k_batch_sharded, top_k_batch_sharded_timed, Shard, ShardTiming, ShardedFactorStore,

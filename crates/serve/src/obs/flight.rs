@@ -135,7 +135,8 @@ mod tests {
             cache_hits: 0,
             cold_users: 0,
             scored_users: 1,
-            epoch: 0,
+            errors: 0,
+            arms: vec![(crate::registry::ModelId::from("default"), 0)],
             shard_timings: vec![],
         };
         RequestSpan::from_batch(&trace, id, 10.0, false, false)

@@ -67,6 +67,19 @@ pub struct ShardMetrics {
     pub pass_seconds: Histogram,
 }
 
+/// Per-model metric handles, labeled `model="<id>"`. Registered once per
+/// model by the [`crate::registry::ModelRegistry`] and cached on each
+/// entry, so the hot path never re-resolves a label set.
+#[derive(Clone, Debug)]
+pub struct ModelMetrics {
+    /// Requests this model served (cache hits included).
+    pub requests: Counter,
+    /// Requests this model answered from the result cache.
+    pub cache_hits: Counter,
+    /// The epoch this model is currently serving.
+    pub epoch: Gauge,
+}
+
 /// Typed handles for every serving metric, backed by one
 /// [`MetricsRegistry`]. Names follow Prometheus conventions: `serve_`
 /// prefix, `_total` counters, `_seconds` unit suffix, labels for
@@ -140,6 +153,39 @@ impl ServeMetrics {
     /// The registry behind the handles.
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    /// Handles for model `name` (registered on first use, cached by the
+    /// registry on each model entry).
+    pub fn model(&self, name: &str) -> ModelMetrics {
+        ModelMetrics {
+            requests: self.registry.counter_with(
+                "serve_model_requests_total",
+                "Requests served per model",
+                &[("model", name)],
+            ),
+            cache_hits: self.registry.counter_with(
+                "serve_model_cache_hits_total",
+                "Result-cache hits per model",
+                &[("model", name)],
+            ),
+            epoch: self.registry.gauge_with(
+                "serve_model_epoch_current",
+                "Epoch currently served, per model",
+                &[("model", name)],
+            ),
+        }
+    }
+
+    /// Counter for requests failed with [`crate::ServeError`] reason
+    /// token `reason` (see `ServeError::reason`), labeled
+    /// `reason="<token>"`.
+    pub fn error(&self, reason: &str) -> Counter {
+        self.registry.counter_with(
+            "serve_errors_total",
+            "Requests answered with a ServeError, by reason",
+            &[("reason", reason)],
+        )
     }
 
     /// Handles for shard `i` (registered on first use, cached by caller).
@@ -287,7 +333,8 @@ mod tests {
             cache_hits: 0,
             cold_users: 0,
             scored_users: 2,
-            epoch: 3,
+            errors: 0,
+            arms: vec![(crate::registry::ModelId::from("default"), 3)],
             shard_timings: vec![],
         };
         RequestSpan::from_batch(&trace, id, submitted, false, false)
@@ -339,7 +386,8 @@ mod tests {
             cache_hits: 0,
             cold_users: 0,
             scored_users: 2,
-            epoch: 0,
+            errors: 0,
+            arms: vec![(crate::registry::ModelId::from("default"), 0)],
             shard_timings: vec![],
         };
         obs.metrics().observe_batch_stages(&trace);

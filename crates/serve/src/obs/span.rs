@@ -11,6 +11,7 @@
 //! request's end-to-end latency — test-enforced here and again through
 //! the full admission path.
 
+use crate::registry::ModelId;
 use crate::shard::ShardTiming;
 use cumf_telemetry::{Event, PhaseSpan};
 use serde::Serialize;
@@ -43,8 +44,12 @@ pub struct BatchTrace {
     pub cold_users: usize,
     /// Users that went through the scoring pass (misses + cold).
     pub scored_users: usize,
-    /// Model epoch the batch was served under.
-    pub epoch: u64,
+    /// Requests answered with a [`crate::ServeError`] instead of a
+    /// recommendation (routing failures, unknown users).
+    pub errors: usize,
+    /// The model arms the batch served, as `(model, epoch)` pairs in
+    /// registry-slot order (single-model batches have exactly one).
+    pub arms: Vec<(ModelId, u64)>,
     /// Per-shard scoring accounting for the scatter pass.
     pub shard_timings: Vec<ShardTiming>,
 }
@@ -205,7 +210,8 @@ mod tests {
             cache_hits: 1,
             cold_users: 1,
             scored_users: 3,
-            epoch: 7,
+            errors: 0,
+            arms: vec![(ModelId::from("default"), 7)],
             shard_timings: vec![],
         }
     }

@@ -21,6 +21,8 @@
 //! on-ramp to multi-node serving: each range could live in a different
 //! process and the gather step would not change.
 
+use crate::error::ServeError;
+use crate::registry::ModelId;
 use crate::scorer::{top_k_batch, ScoreConfig};
 use crate::store::ModelSnapshot;
 use crate::topk::{merge_top_k, ScoredItem};
@@ -328,7 +330,7 @@ pub fn top_k_batch_sharded(
 ///     4,
 /// );
 /// let held = store.snapshot();
-/// store.publish(ModelSnapshot::new(1, DenseMatrix::identity(8), vec![]));
+/// store.publish(ModelSnapshot::new(1, DenseMatrix::identity(8), vec![])).unwrap();
 /// assert_eq!(held.epoch(), 0); // in-flight batch unaffected
 /// assert_eq!(store.epoch(), 1);
 /// assert_eq!(store.snapshot().n_shards(), 4); // re-sharded on publish
@@ -361,11 +363,33 @@ impl ShardedFactorStore {
     /// Shard, then atomically replace the served snapshot; returns the
     /// new epoch. The sharding pass runs before the write lock is taken,
     /// so readers only ever wait for the pointer swap.
-    pub fn publish(&self, snapshot: ModelSnapshot) -> u64 {
+    ///
+    /// As with [`crate::store::FactorStore::publish`], the snapshot's
+    /// feature dimension must match the one currently served
+    /// ([`ServeError::DimensionMismatch`] otherwise).
+    pub fn publish(&self, snapshot: ModelSnapshot) -> Result<u64, ServeError> {
+        let expected = self.current.read().f();
+        if snapshot.f() != expected {
+            return Err(ServeError::DimensionMismatch {
+                model: ModelId::from(crate::store::UNREGISTERED),
+                expected,
+                got: snapshot.f(),
+            });
+        }
         let sharded = Arc::new(ShardedSnapshot::build(snapshot, self.n_shards));
         let epoch = sharded.epoch();
-        *self.current.write() = sharded;
-        epoch
+        let mut current = self.current.write();
+        if sharded.f() != current.f() {
+            // A concurrent publish changed f under us (only possible if it
+            // itself raced a mismatched publish); re-check under the lock.
+            return Err(ServeError::DimensionMismatch {
+                model: ModelId::from(crate::store::UNREGISTERED),
+                expected: current.f(),
+                got: sharded.f(),
+            });
+        }
+        *current = sharded;
+        Ok(epoch)
     }
 
     /// Shard count every snapshot is split into.
@@ -517,10 +541,31 @@ mod tests {
     fn store_republish_reshards_at_the_same_count() {
         let store = ShardedFactorStore::new(snap(10, 2, false), 3);
         assert_eq!(store.n_shards(), 3);
-        let epoch = store.publish(ModelSnapshot::new(9, DenseMatrix::identity(6), vec![]));
+        let epoch = store.publish(snap_at(9, 6, 2)).unwrap();
         assert_eq!(epoch, 9);
-        let snap = store.snapshot();
-        assert_eq!(snap.n_shards(), 3);
-        assert_eq!(snap.n_items(), 6);
+        let held = store.snapshot();
+        assert_eq!(held.n_shards(), 3);
+        assert_eq!(held.n_items(), 6);
+    }
+
+    #[test]
+    fn store_publish_rejects_a_dimension_mismatch() {
+        let store = ShardedFactorStore::new(snap(10, 2, false), 3);
+        let err = store.publish(snap_at(9, 6, 4)).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::DimensionMismatch {
+                expected: 2,
+                got: 4,
+                ..
+            }
+        ));
+        assert_eq!(store.epoch(), 0, "rejected publish must not swap");
+    }
+
+    fn snap_at(epoch: u64, n: usize, f: usize) -> ModelSnapshot {
+        let mut s = snap(n, f, false);
+        s.epoch = epoch;
+        s
     }
 }

@@ -7,10 +7,17 @@
 //! in progress), in-flight batches keep scoring the epoch they started
 //! with, and the old snapshot is dropped when its last reader finishes.
 
+use crate::error::ServeError;
+use crate::registry::ModelId;
 use cumf_numeric::dense::DenseMatrix;
 use cumf_numeric::f16::{narrow_slice, widen_slice, F16};
 use parking_lot::RwLock;
 use std::sync::Arc;
+
+/// Placeholder model id carried by [`ServeError::DimensionMismatch`] when
+/// a bare store (not registered under a [`crate::registry::ModelRegistry`])
+/// rejects a publish.
+pub(crate) const UNREGISTERED: &str = "(unregistered)";
 
 /// One immutable published model epoch: item factors (optionally also in
 /// FP16), per-item popularity priors, and the epoch number.
@@ -141,9 +148,11 @@ impl ModelSnapshot {
 ///
 /// let store = FactorStore::new(ModelSnapshot::new(0, DenseMatrix::identity(3), vec![]));
 /// let reader = store.snapshot(); // epoch 0, held across a batch
-/// store.publish(ModelSnapshot::new(1, DenseMatrix::identity(3), vec![]));
+/// store.publish(ModelSnapshot::new(1, DenseMatrix::identity(3), vec![])).unwrap();
 /// assert_eq!(reader.epoch, 0);           // in-flight batch is unaffected
 /// assert_eq!(store.snapshot().epoch, 1); // new requests see the new epoch
+/// // A snapshot with a different feature dimension is a different model:
+/// assert!(store.publish(ModelSnapshot::new(2, DenseMatrix::identity(4), vec![])).is_err());
 /// ```
 #[derive(Debug)]
 pub struct FactorStore {
@@ -168,10 +177,23 @@ impl FactorStore {
     /// Atomically replace the served snapshot; returns the new epoch.
     /// In-flight readers keep their old `Arc`; it is freed when the last
     /// of them drops it.
-    pub fn publish(&self, snapshot: ModelSnapshot) -> u64 {
+    ///
+    /// The snapshot's feature dimension must match the one currently
+    /// served ([`ServeError::DimensionMismatch`] otherwise): every scorer
+    /// and user-factor matrix downstream is sized for the live `f`, so a
+    /// different `f` is a different model, not a new epoch.
+    pub fn publish(&self, snapshot: ModelSnapshot) -> Result<u64, ServeError> {
+        let mut current = self.current.write();
+        if snapshot.f() != current.f() {
+            return Err(ServeError::DimensionMismatch {
+                model: ModelId::from(UNREGISTERED),
+                expected: current.f(),
+                got: snapshot.f(),
+            });
+        }
         let epoch = snapshot.epoch;
-        *self.current.write() = Arc::new(snapshot);
-        epoch
+        *current = Arc::new(snapshot);
+        Ok(epoch)
     }
 
     /// Epoch of the currently served snapshot.
@@ -198,10 +220,31 @@ mod tests {
     fn publish_swaps_epoch_without_touching_readers() {
         let store = FactorStore::new(snap(1, 4, 3));
         let held = store.snapshot();
-        assert_eq!(store.publish(snap(2, 4, 3)), 2);
+        assert_eq!(store.publish(snap(2, 4, 3)), Ok(2));
         assert_eq!(held.epoch, 1);
         assert_eq!(store.epoch(), 2);
         assert_eq!(store.snapshot().epoch, 2);
+    }
+
+    #[test]
+    fn publish_rejects_a_dimension_mismatch() {
+        // The serving scorers are sized for the live f; a snapshot with a
+        // different f used to be accepted silently and corrupt the next
+        // batch. It is now rejected and the served snapshot is untouched.
+        let store = FactorStore::new(snap(1, 4, 3));
+        let err = store.publish(snap(2, 4, 5)).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::DimensionMismatch {
+                expected: 3,
+                got: 5,
+                ..
+            }
+        ));
+        assert_eq!(err.reason(), "dimension_mismatch");
+        assert_eq!(store.epoch(), 1, "rejected publish must not swap");
+        // Item-count changes (catalog growth) are still fine.
+        assert_eq!(store.publish(snap(2, 9, 3)), Ok(2));
     }
 
     #[test]

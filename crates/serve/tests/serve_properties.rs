@@ -1,18 +1,20 @@
 //! Property-based and model-level tests for the serving crate:
 //! the blocked top-k path against a naive argsort oracle, the sharded
-//! scatter-gather path against the unsharded scorer, admission-queue
-//! overload behavior, and the FP16 scoring path's ranking quality on a
-//! trained model.
+//! scatter-gather path against the unsharded scorer, canary-routing
+//! determinism and split convergence, registry promote/rollback cache
+//! isolation, admission-queue overload behavior, and the FP16 scoring
+//! path's ranking quality on a trained model.
 
 use cumf_als::{AlsConfig, AlsTrainer};
 use cumf_datasets::{MfDataset, SizeClass};
 use cumf_gpu_sim::GpuSpec;
 use cumf_numeric::dense::DenseMatrix;
 use cumf_serve::{
-    admission_queue, naive_top_k, ndcg_at_k, score_one, top_k_batch, top_k_batch_sharded,
-    AdmissionConfig, ModelSnapshot, Request, ScoreConfig, ServeConfig, ServeEngine,
-    ShardedSnapshot, SubmitError, UserRef,
+    admission_queue, canary_unit, naive_top_k, ndcg_at_k, score_one, top_k_batch,
+    top_k_batch_sharded, AdmissionConfig, CanaryPolicy, ModelSnapshot, Request, ScoreConfig,
+    ServeConfig, ServeEngine, ShardedSnapshot, SubmitError,
 };
+use cumf_telemetry::NOOP;
 use proptest::prelude::*;
 use std::time::Duration;
 
@@ -120,20 +122,161 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Canary routing is deterministic per user (a pure hash, no RNG) and
+    /// monotone in the split fraction: ramping a canary up only ever moves
+    /// users onto the candidate arm, never shuffles them back and forth.
+    #[test]
+    fn canary_routing_is_deterministic_and_monotone(
+        users in prop::collection::vec(0u32..1_000_000, 1..50),
+        fa in 0.0f64..1.0,
+        fb in 0.0f64..1.0,
+    ) {
+        let lo = CanaryPolicy::new("candidate", fa.min(fb));
+        let hi = CanaryPolicy::new("candidate", fa.max(fb));
+        for &u in &users {
+            // Same user, same policy, same arm — every time.
+            prop_assert_eq!(
+                lo.routes_to_candidate(u as u64),
+                lo.routes_to_candidate(u as u64)
+            );
+            // The user's unit coordinate is fixed; widening the fraction
+            // can only add users to the candidate arm.
+            if lo.routes_to_candidate(u as u64) {
+                prop_assert!(hi.routes_to_candidate(u as u64), "user {} left the arm", u);
+            }
+            let unit = canary_unit(u as u64);
+            prop_assert!((0.0..1.0).contains(&unit));
+        }
+    }
+}
+
+/// The measured split over 10k users converges to the configured fraction
+/// within ±2% — the satellite acceptance bound.
+#[test]
+fn canary_split_converges_within_2_percent_over_10k_users() {
+    for fraction in [0.05, 0.1, 0.25, 0.5, 0.75, 0.9] {
+        let policy = CanaryPolicy::new("candidate", fraction);
+        let hits = (0..10_000u64)
+            .filter(|&u| policy.routes_to_candidate(u))
+            .count();
+        let got = hits as f64 / 10_000.0;
+        assert!(
+            (got - fraction).abs() <= 0.02,
+            "fraction {fraction}: measured {got}"
+        );
+    }
+}
+
+/// Registry promote/rollback round-trip with cache isolation: arms never
+/// answer for each other, rollback leaves no stale hits, and routing
+/// changes take effect without rebuilding the engine.
+#[test]
+fn promote_rollback_round_trip_keeps_cache_arms_isolated() {
+    let mut v = 0.0f32;
+    let mut theta_a = DenseMatrix::zeros(20, 4);
+    theta_a.fill_with(|| {
+        v += 0.1;
+        v
+    });
+    let mut theta_b = theta_a.clone();
+    cumf_numeric::dense::scale(-1.0, theta_b.as_mut_slice());
+    let x = DenseMatrix::identity(4);
+    let engine = ServeEngine::builder()
+        .model(
+            "champion",
+            x.clone(),
+            ModelSnapshot::new(0, theta_a, vec![]),
+        )
+        .model("challenger", x, ModelSnapshot::new(0, theta_b, vec![]))
+        .canary("challenger", 1.0)
+        .build()
+        .unwrap();
+    let reg = engine.registry();
+
+    // Full canary: user 1 is served (and cached) by the challenger.
+    let canaried = engine.recommend_user(1, &NOOP).unwrap();
+    assert_eq!(canaried.model.as_str(), "challenger");
+    assert!(!canaried.from_cache);
+
+    // Rollback: the champion takes 100% again. Same user, same epoch —
+    // but a different model slot, so the challenger's cached entry must
+    // NOT answer.
+    reg.rollback().unwrap();
+    let rolled = engine.recommend_user(1, &NOOP).unwrap();
+    assert_eq!(rolled.model.as_str(), "champion");
+    assert!(!rolled.from_cache, "stale hit across arms after rollback");
+    assert_ne!(rolled.items, canaried.items, "arms rank differently");
+
+    // Re-canary: the challenger's earlier entry is still valid under its
+    // own (model, epoch, user) key and hits bit-identically.
+    reg.set_canary(CanaryPolicy::new("challenger", 1.0))
+        .unwrap();
+    let recanaried = engine.recommend_user(1, &NOOP).unwrap();
+    assert_eq!(recanaried.model.as_str(), "challenger");
+    assert!(recanaried.from_cache);
+    assert_eq!(recanaried.items, canaried.items);
+
+    // Promote: the challenger becomes the default alias, no restart.
+    reg.promote().unwrap();
+    assert!(reg.canary().is_none());
+    let promoted = engine.recommend_user(1, &NOOP).unwrap();
+    assert_eq!(promoted.model.as_str(), "challenger");
+    assert!(promoted.from_cache);
+    assert_eq!(promoted.items, canaried.items);
+}
+
+/// Single-model regression: the v2 engine (registry + router + builder)
+/// must return results bit-identical to the direct batch scorer — the
+/// redesign may not perturb single-model serving.
+#[test]
+fn single_model_engine_matches_the_direct_scorer_bit_for_bit() {
+    let (n, f, u, k) = (30usize, 3usize, 10usize, 7usize);
+    let theta: Vec<f32> = (0..n * f)
+        .map(|i| ((i * 37 % 101) as f32 - 50.0) / 50.0)
+        .collect();
+    let x: Vec<f32> = (0..u * f)
+        .map(|i| ((i * 53 % 89) as f32 - 44.0) / 44.0)
+        .collect();
+    let theta = DenseMatrix::from_vec(n, f, theta);
+    let x = DenseMatrix::from_vec(u, f, x);
+    let snapshot = ModelSnapshot::new(3, theta, vec![]);
+    let want = top_k_batch(&snapshot, &x, k, &ScoreConfig::default());
+
+    let engine = ServeEngine::builder()
+        .config(ServeConfig::default().with_k(k))
+        .model("only", x.clone(), snapshot)
+        .build()
+        .unwrap();
+    let requests: Vec<Request> = (0..u).map(|i| Request::known(i as u64, i as u32)).collect();
+    let got = engine.recommend_batch(&requests, &NOOP);
+    assert_eq!(got.len(), u);
+    for (i, rec) in got.into_iter().enumerate() {
+        let rec = rec.unwrap();
+        assert_eq!(rec.model.as_str(), "only");
+        assert_eq!(rec.epoch, 3);
+        assert_eq!(
+            rec.items, want[i],
+            "user {i} diverged from the direct scorer"
+        );
+    }
+}
+
 /// An overloaded admission queue must reject rather than grow: with no
 /// worker draining, exactly `queue_depth` requests are accepted and every
 /// further submission is shed and counted.
 #[test]
 fn overloaded_admission_queue_rejects_rather_than_grows() {
     let theta = DenseMatrix::identity(8);
-    let engine = ServeEngine::new(
-        DenseMatrix::identity(8),
-        ModelSnapshot::new(0, theta, vec![]),
-        ServeConfig {
-            k: 3,
-            ..ServeConfig::default()
-        },
-    );
+    let engine = ServeEngine::builder()
+        .config(ServeConfig::default().with_k(3))
+        .model(
+            "default",
+            DenseMatrix::identity(8),
+            ModelSnapshot::new(0, theta, vec![]),
+        )
+        .build()
+        .unwrap();
     for depth in [1usize, 4, 16] {
         let (queue, worker, done) = admission_queue(AdmissionConfig {
             max_batch: 8,
@@ -143,13 +286,7 @@ fn overloaded_admission_queue_rejects_rather_than_grows() {
         let total = depth + 13;
         let mut accepted = 0usize;
         for i in 0..total {
-            match queue.try_submit(
-                Request {
-                    id: i as u64,
-                    user: UserRef::Known((i % 8) as u32),
-                },
-                engine.now(),
-            ) {
+            match queue.try_submit(Request::known(i as u64, (i % 8) as u32), engine.now()) {
                 Ok(()) => accepted += 1,
                 Err(SubmitError::Full(_)) => {}
                 Err(SubmitError::Closed(_)) => panic!("worker still alive"),

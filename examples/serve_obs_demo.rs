@@ -13,7 +13,7 @@ use cumf_datasets::{MfDataset, RequestSampler, SizeClass};
 use cumf_gpu_sim::GpuSpec;
 use cumf_serve::{
     admission_queue, AdmissionConfig, Completion, ModelSnapshot, ObsConfig, Request, ServeConfig,
-    ServeEngine, SloConfig, UserRef,
+    ServeEngine, SloConfig,
 };
 use cumf_telemetry::NOOP;
 use std::time::Duration;
@@ -33,24 +33,29 @@ fn main() {
     // Tight thresholds so a Tiny-sized run still produces exemplars and
     // visible burn: anything over 300 µs counts as "slow", the SLO target
     // is 2 ms.
-    let engine = ServeEngine::new(
-        trainer.x.clone(),
-        ModelSnapshot::new(0, trainer.theta.clone(), vec![]),
-        ServeConfig {
-            k: 10,
-            shards: 4,
-            obs: ObsConfig {
-                slow_threshold: Duration::from_micros(300),
-                exemplar_capacity: 4,
-                slo: SloConfig {
-                    target: Duration::from_millis(2),
-                    ..SloConfig::default()
-                },
-                ..ObsConfig::default()
-            },
-            ..ServeConfig::default()
+    let obs = ObsConfig {
+        slow_threshold: Duration::from_micros(300),
+        exemplar_capacity: 4,
+        slo: SloConfig {
+            target: Duration::from_millis(2),
+            ..SloConfig::default()
         },
-    );
+        ..ObsConfig::default()
+    };
+    let engine = ServeEngine::builder()
+        .config(
+            ServeConfig::default()
+                .with_k(10)
+                .with_shards(4)
+                .with_obs(obs),
+        )
+        .model(
+            "default",
+            trainer.x.clone(),
+            ModelSnapshot::new(0, trainer.theta.clone(), vec![]),
+        )
+        .build()
+        .expect("one trained model builds an engine");
 
     // ── Replay sampled traffic through the admission queue ──────────────
     let (queue, worker, done) = admission_queue(AdmissionConfig {
@@ -73,14 +78,12 @@ fn main() {
                 std::thread::sleep(Duration::from_secs_f64(due - now));
             }
             // Every 25th request arrives as a cold-start fold-in.
-            let user = if i % 25 == 24 {
-                UserRef::Cold(data.r.row_iter(s.user as usize).collect())
+            let req = if i % 25 == 24 {
+                Request::cold(i as u64, data.r.row_iter(s.user as usize).collect())
             } else {
-                UserRef::Known(s.user)
+                Request::known(i as u64, s.user)
             };
-            queue
-                .submit(Request { id: i as u64, user }, due)
-                .expect("admission worker died");
+            queue.submit(req, due).expect("admission worker died");
         }
         drop(queue);
         let completions: Vec<Completion> = done.iter().collect();

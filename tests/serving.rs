@@ -1,12 +1,13 @@
 //! End-to-end serving: train with cumf-als, publish into cumf-serve,
 //! replay sampled traffic, and check the rankings, the cold-start path,
-//! the snapshot swap, and the telemetry stream all line up.
+//! the snapshot swap, multi-model canary routing with promote/rollback,
+//! and the telemetry stream all line up.
 
 use cumf_als::{AlsConfig, AlsTrainer};
 use cumf_datasets::{MfDataset, RequestSampler, SizeClass};
 use cumf_gpu_sim::GpuSpec;
 use cumf_numeric::dense::DenseMatrix;
-use cumf_serve::{ModelSnapshot, Request, ScoreConfig, ServeConfig, ServeEngine, UserRef};
+use cumf_serve::{CanaryPolicy, ModelSnapshot, Request, ScoreConfig, ServeConfig, ServeEngine};
 use cumf_telemetry::{to_jsonl, MemoryRecorder, NOOP};
 
 fn trained() -> (MfDataset, DenseMatrix, DenseMatrix) {
@@ -29,18 +30,15 @@ fn engine_from(x: &DenseMatrix, theta: &DenseMatrix, fp16: bool) -> ServeEngine 
     if fp16 {
         snapshot = snapshot.with_fp16();
     }
-    ServeEngine::new(
-        x.clone(),
-        snapshot,
-        ServeConfig {
-            k: 10,
-            score: ScoreConfig {
-                use_fp16: fp16,
-                ..ScoreConfig::default()
-            },
-            ..ServeConfig::default()
-        },
-    )
+    let score = ScoreConfig {
+        use_fp16: fp16,
+        ..ScoreConfig::default()
+    };
+    ServeEngine::builder()
+        .config(ServeConfig::default().with_k(10).with_score(score))
+        .model("default", x.clone(), snapshot)
+        .build()
+        .expect("single trained model builds")
 }
 
 #[test]
@@ -56,15 +54,14 @@ fn trained_model_serves_sampled_traffic() {
         let reqs: Vec<Request> = chunk
             .iter()
             .enumerate()
-            .map(|(i, s)| Request {
-                id: i as u64,
-                user: UserRef::Known(s.user),
-            })
+            .map(|(i, s)| Request::known(i as u64, s.user))
             .collect();
         let out = engine.recommend_batch(&reqs, &rec);
         assert_eq!(out.len(), reqs.len());
         for r in &out {
+            let r = r.as_ref().expect("sampled users are all known");
             assert_eq!(r.items.len(), 10);
+            assert_eq!(r.model.as_str(), "default");
             // Rankings are strictly ordered.
             for w in r.items.windows(2) {
                 assert!(w[0].ranks_before(&w[1]));
@@ -97,6 +94,9 @@ fn trained_model_serves_sampled_traffic() {
     );
     assert!(bridged.contains("serve_requests_total"));
     assert!(bridged.contains("serve_cache_hits_total"));
+    // The v2 per-model series carry the model label.
+    let prom = m.registry().render_prometheus();
+    assert!(prom.contains("serve_model_requests_total{model=\"default\"} 300"));
 }
 
 #[test]
@@ -105,18 +105,17 @@ fn cold_start_reconstructs_a_known_users_taste() {
     let engine = engine_from(&x, &theta, false);
     // The heaviest rater: their fold-in solve is best-conditioned.
     let user = (0..data.m()).max_by_key(|&u| data.r.row_nnz(u)).unwrap() as u32;
-    let known = engine.recommend_user(user, &NOOP);
+    let known = engine.recommend_user(user, &NOOP).unwrap();
     let cold = engine.recommend_batch(
-        &[Request {
-            id: 0,
-            user: UserRef::Cold(data.r.row_iter(user as usize).collect()),
-        }],
+        &[Request::cold(0, data.r.row_iter(user as usize).collect())],
         &NOOP,
     );
     // Folding the user's own history must land on essentially the same
     // recommendations the trained factors produce.
     let known_items: Vec<u32> = known.items.iter().map(|s| s.item).collect();
     let overlap = cold[0]
+        .as_ref()
+        .unwrap()
         .items
         .iter()
         .filter(|s| known_items.contains(&s.item))
@@ -131,15 +130,20 @@ fn cold_start_reconstructs_a_known_users_taste() {
 fn publishing_a_new_epoch_rolls_the_cache_over() {
     let (_, x, theta) = trained();
     let engine = engine_from(&x, &theta, false);
-    let first = engine.recommend_user(3, &NOOP);
+    let first = engine.recommend_user(3, &NOOP).unwrap();
     assert!(!first.from_cache);
-    assert!(engine.recommend_user(3, &NOOP).from_cache);
+    assert!(engine.recommend_user(3, &NOOP).unwrap().from_cache);
 
-    // "Retrain" (identity republish is enough for the swap semantics).
+    // "Retrain" (identity republish is enough for the swap semantics),
+    // via the registry's keyed publish.
     engine
-        .store()
-        .publish(ModelSnapshot::new(1, theta.clone(), vec![]));
-    let after = engine.recommend_user(3, &NOOP);
+        .registry()
+        .publish(
+            &"default".into(),
+            ModelSnapshot::new(1, theta.clone(), vec![]),
+        )
+        .unwrap();
+    let after = engine.recommend_user(3, &NOOP).unwrap();
     assert_eq!(after.epoch, 1);
     assert!(!after.from_cache, "old epoch's entry must not answer");
     // Identical factors ⇒ identical ranking, fresh epoch tag.
@@ -154,8 +158,8 @@ fn fp16_engine_serves_nearly_the_same_items() {
     let mut agree = 0usize;
     let mut total = 0usize;
     for user in (0..data.m() as u32).step_by(37) {
-        let a = exact.recommend_user(user, &NOOP);
-        let b = quant.recommend_user(user, &NOOP);
+        let a = exact.recommend_user(user, &NOOP).unwrap();
+        let b = quant.recommend_user(user, &NOOP).unwrap();
         let a_items: Vec<u32> = a.items.iter().map(|s| s.item).collect();
         agree += b.items.iter().filter(|s| a_items.contains(&s.item)).count();
         total += a.items.len();
@@ -165,4 +169,84 @@ fn fp16_engine_serves_nearly_the_same_items() {
         frac > 0.95,
         "FP16 top-10 agreement with FP32 only {frac:.3}"
     );
+}
+
+/// The tentpole end-to-end: a champion/challenger pair behind one engine.
+/// Traffic splits at the configured canary fraction, both arms serve from
+/// their own factors, per-model metrics land in the Prometheus
+/// exposition, and promote/rollback retarget routing without rebuilding
+/// the engine.
+#[test]
+fn two_model_canary_splits_promotes_and_rolls_back() {
+    let (data, x, theta) = trained();
+    // The challenger: same geometry, retrained-looking factors (scaled),
+    // so both arms rank — identically here, which is fine; what we check
+    // is routing, isolation, and observability.
+    let mut theta_b = theta.clone();
+    cumf_numeric::dense::scale(0.5, theta_b.as_mut_slice());
+    let engine = ServeEngine::builder()
+        .config(ServeConfig::default().with_k(10))
+        .model("champion", x.clone(), ModelSnapshot::new(0, theta, vec![]))
+        .model(
+            "challenger",
+            x.clone(),
+            ModelSnapshot::new(0, theta_b, vec![]),
+        )
+        .canary("challenger", 0.25)
+        .build()
+        .unwrap();
+
+    // Replay every user once; count which arm answered.
+    let n_users = data.m() as u32;
+    let reqs: Vec<Request> = (0..n_users).map(|u| Request::known(u as u64, u)).collect();
+    let out = engine.recommend_batch(&reqs, &NOOP);
+    let canaried = out
+        .iter()
+        .filter(|r| r.as_ref().unwrap().model.as_str() == "challenger")
+        .count();
+    let frac = canaried as f64 / n_users as f64;
+    assert!(
+        (frac - 0.25).abs() < 0.1,
+        "canary share {frac:.3} far from the configured 0.25 over {n_users} users"
+    );
+    assert!(
+        canaried > 0 && canaried < n_users as usize,
+        "both arms must serve"
+    );
+
+    // Explicit model ids override the canary split.
+    let pinned = engine
+        .recommend_batch(&[Request::known(0, 0).for_model("challenger")], &NOOP)
+        .pop()
+        .unwrap()
+        .unwrap();
+    assert_eq!(pinned.model.as_str(), "challenger");
+
+    // Per-model series are in the exposition, labelled.
+    let prom = engine.obs().metrics().registry().render_prometheus();
+    assert!(prom.contains("serve_model_requests_total{model=\"champion\"}"));
+    assert!(prom.contains("serve_model_requests_total{model=\"challenger\"}"));
+    assert!(prom.contains("serve_model_epoch_current{model=\"challenger\"}"));
+
+    // Promote: the challenger becomes the default for all traffic, the
+    // canary clears — no engine restart, next batch sees it.
+    engine.registry().promote().unwrap();
+    assert_eq!(engine.registry().default_model().as_str(), "challenger");
+    assert!(engine.registry().canary().is_none());
+    let all = engine.recommend_batch(&reqs, &NOOP);
+    assert!(all
+        .iter()
+        .all(|r| r.as_ref().unwrap().model.as_str() == "challenger"));
+
+    // Roll back to the champion and restart a smaller canary: routing
+    // follows immediately.
+    engine.registry().set_default(&"champion".into()).unwrap();
+    engine
+        .registry()
+        .set_canary(CanaryPolicy::new("challenger", 0.0))
+        .unwrap();
+    let back = engine.recommend_batch(&reqs, &NOOP);
+    assert!(back
+        .iter()
+        .all(|r| r.as_ref().unwrap().model.as_str() == "champion"));
 }
