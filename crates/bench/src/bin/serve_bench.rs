@@ -28,8 +28,12 @@
 //! registers a single `default` model), `--canary-fraction F` (route that
 //! fraction of traffic to the last arm as a canary candidate),
 //! `--republish` (publish a new model epoch halfway through, via the
-//! registry), `--json PATH` (write a machine-readable summary carrying
-//! [`cumf_bench::diff::SCHEMA_VERSION`], gateable with `bench_diff`).
+//! registry), `--mem-budget-mb F` (soft resident-memory budget; exceeding
+//! it after a publish warns and counts, never evicts), `--json PATH`
+//! (write a machine-readable summary carrying
+//! [`cumf_bench::diff::SCHEMA_VERSION`], gateable with `bench_diff` —
+//! schema v3 adds the `memory` footprint tree and `bandwidth`
+//! effective-GB/s blocks).
 //!
 //! Observability flags (the `serve::obs` stack is always on; these expose
 //! it): `--prom-out PATH` writes the Prometheus text exposition at exit
@@ -48,6 +52,7 @@ use cumf_serve::{
     admission_queue, AdmissionConfig, AdmissionReport, Completion, ModelSnapshot, ObsConfig,
     Request, ScoreConfig, ServeConfig, ServeEngine, SloConfig, SubmitError,
 };
+use cumf_telemetry::footprint::human_bytes;
 use cumf_telemetry::{CounterSample, LatencyHistogram};
 use serde::Value;
 use std::collections::BTreeMap;
@@ -73,6 +78,7 @@ struct ServeFlags {
     slow_trace: Option<String>,
     slow_trace_us: u64,
     slo_target_us: u64,
+    mem_budget_mb: Option<f64>,
 }
 
 fn parse_flags() -> (HarnessArgs, ServeFlags) {
@@ -97,6 +103,7 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
         slow_trace: None,
         slow_trace_us: 2_000,
         slo_target_us: 25_000,
+        mem_budget_mb: None,
     };
     let mut it = extras.into_iter();
     while let Some(a) = it.next() {
@@ -121,13 +128,14 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
             "--slow-trace" => flags.slow_trace = it.next(),
             "--slow-trace-us" => flags.slow_trace_us = (val(2000.0) as u64).max(1),
             "--slo-target-us" => flags.slo_target_us = (val(25000.0) as u64).max(1),
+            "--mem-budget-mb" => flags.mem_budget_mb = Some(val(f64::INFINITY).max(0.0)),
             "--help" | "-h" => {
                 eprintln!(
                     "serve_bench flags: --qps F, --requests N, --k N, --batch N, \
                      --batch-age-us N, --queue-depth N, --shards N, --open-loop, \
                      --cache N, --cold-frac F, --fp16, --models N, --canary-fraction F, \
                      --republish, --json PATH, --prom-out PATH, --slow-trace PATH, \
-                     --slow-trace-us N, --slo-target-us N; common: {}",
+                     --slow-trace-us N, --slo-target-us N, --mem-budget-mb F; common: {}",
                     HarnessArgs::common_usage()
                 );
                 std::process::exit(0);
@@ -193,7 +201,7 @@ fn main() {
         },
         ..ObsConfig::default()
     };
-    let serve_cfg = ServeConfig::default()
+    let mut serve_cfg = ServeConfig::default()
         .with_k(flags.k)
         .with_shards(flags.shards)
         .with_cache_capacity(flags.cache)
@@ -202,6 +210,9 @@ fn main() {
             ..ScoreConfig::default()
         })
         .with_obs(obs_cfg);
+    if let Some(mb) = flags.mem_budget_mb {
+        serve_cfg = serve_cfg.with_memory_budget((mb * 1024.0 * 1024.0) as u64);
+    }
 
     // One registry arm per --models: the same trained factors behind each
     // (distinct epoch tags so the arms are tellable apart downstream),
@@ -354,6 +365,9 @@ fn main() {
         admission,
         per_model,
     };
+    // Refresh the serve_mem_bytes / serve_cache_* gauges from live state
+    // so the report, the JSON summary, and --prom-out all agree.
+    engine.refresh_memory_gauges();
     report(&engine, &flags, &summary);
 
     // Final aggregates into the JSONL stream alongside the engine's
@@ -447,6 +461,28 @@ fn report(engine: &ServeEngine, flags: &ServeFlags, s: &ReplaySummary) {
         cache.len,
         cache.capacity
     );
+    let mem = engine.memory_report();
+    let parts: Vec<String> = mem
+        .children()
+        .iter()
+        .map(|c| format!("{} {}", c.name(), human_bytes(c.total_bytes())))
+        .collect();
+    println!(
+        "memory: {} resident ({})",
+        human_bytes(mem.total_bytes()),
+        parts.join(", ")
+    );
+    println!(
+        "bandwidth: {} streamed over {} s of score time — {:.2} GB/s effective ({})",
+        human_bytes(s.admission.scan_bytes),
+        fmt_s(s.admission.score_secs),
+        s.admission.effective_gbps(),
+        if flags.fp16 {
+            "fp16 scans"
+        } else {
+            "fp32 scans"
+        }
+    );
     if s.per_model.len() > 1 {
         let total: usize = s.per_model.values().sum::<usize>().max(1);
         let arms: Vec<String> = s
@@ -503,6 +539,7 @@ fn json_summary(engine: &ServeEngine, flags: &ServeFlags, s: &ReplaySummary) -> 
     let (p50, p95, p99) = s.latency.percentiles();
     let (q50, q95, q99) = s.admission.queue_delay.percentiles();
     let cache = engine.cache_stats();
+    let mem = engine.memory_report();
     let obj = |pairs: Vec<(&str, Value)>| {
         Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     };
@@ -593,6 +630,21 @@ fn json_summary(engine: &ServeEngine, flags: &ServeFlags, s: &ReplaySummary) -> 
                 ("hit_ratio", Value::Num(cache.hit_ratio())),
                 ("hits", Value::Num(cache.hits as f64)),
                 ("misses", Value::Num(cache.misses as f64)),
+            ]),
+        ),
+        (
+            "memory",
+            obj(vec![
+                ("resident_bytes", Value::Num(mem.total_bytes() as f64)),
+                ("tree", mem.to_value()),
+            ]),
+        ),
+        (
+            "bandwidth",
+            obj(vec![
+                ("scan_bytes", Value::Num(s.admission.scan_bytes as f64)),
+                ("score_secs", Value::Num(s.admission.score_secs)),
+                ("effective_gbps", Value::Num(s.admission.effective_gbps())),
             ]),
         ),
         ("fp16", Value::Bool(flags.fp16)),

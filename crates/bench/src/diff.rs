@@ -19,7 +19,11 @@ use serde::Value;
 
 /// Version stamped into `serve_bench --json` output as `schema_version`.
 /// Bump when renaming or re-unit-ing any field `bench_diff` reads.
-pub const SCHEMA_VERSION: f64 = 2.0;
+///
+/// v3 added the `memory` (resident-bytes component tree) and `bandwidth`
+/// (scan bytes, effective GB/s) blocks; `bench_diff` reports them
+/// informationally but never gates on them.
+pub const SCHEMA_VERSION: f64 = 3.0;
 
 /// Allowed regressions before the diff fails.
 #[derive(Clone, Copy, Debug)]
@@ -66,6 +70,12 @@ impl Check {
     pub fn regressed(&self) -> bool {
         self.change > self.limit
     }
+
+    /// Whether this metric is informational only (infinite tolerance):
+    /// it is reported in the table but can never regress.
+    pub fn informational(&self) -> bool {
+        self.limit.is_infinite()
+    }
 }
 
 /// The outcome of one reference-vs-current comparison.
@@ -88,14 +98,25 @@ impl DiffReport {
             "metric", "reference", "current", "change", "limit"
         );
         for c in &self.checks {
+            let limit = if c.informational() {
+                format!("{:>9}", "-")
+            } else {
+                format!("{:>8.1}%", c.limit * 100.0)
+            };
             out.push_str(&format!(
-                "{:<22} {:>14.4} {:>14.4} {:>8.1}% {:>8.1}%  {}\n",
+                "{:<22} {:>14.4} {:>14.4} {:>8.1}% {}  {}\n",
                 c.metric,
                 c.reference,
                 c.current,
                 c.change * 100.0,
-                c.limit * 100.0,
-                if c.regressed() { "REGRESSED" } else { "ok" }
+                limit,
+                if c.regressed() {
+                    "REGRESSED"
+                } else if c.informational() {
+                    "info"
+                } else {
+                    "ok"
+                }
             ));
         }
         out
@@ -194,6 +215,27 @@ pub fn diff(
         limit: tol.shed_rise_abs,
     });
 
+    // Schema-3 memory/bandwidth figures: informational only. Resident
+    // bytes are configuration-shaped (model size, cache capacity) and
+    // effective GB/s is host-shaped, so neither gates a merge — but a
+    // surprise in either deserves eyes, so they ride along in the table.
+    // Summaries missing the blocks (hand-trimmed fixtures) are skipped,
+    // not errors.
+    for (metric, path) in [
+        ("memory.resident_bytes", ["memory", "resident_bytes"]),
+        ("bandwidth.effective_gbps", ["bandwidth", "effective_gbps"]),
+    ] {
+        if let (Ok(r), Ok(c)) = (num(reference, &path), num(current, &path)) {
+            checks.push(Check {
+                metric,
+                reference: r,
+                current: c,
+                change: rise_frac(r, c),
+                limit: f64::INFINITY,
+            });
+        }
+    }
+
     Ok(DiffReport { checks })
 }
 
@@ -202,10 +244,23 @@ mod tests {
     use super::*;
 
     fn summary(qps: f64, p50: f64, p99: f64, shed: f64) -> Value {
+        summary_with_memory(qps, p50, p99, shed, 1_000_000.0, 2.5)
+    }
+
+    fn summary_with_memory(
+        qps: f64,
+        p50: f64,
+        p99: f64,
+        shed: f64,
+        resident: f64,
+        gbps: f64,
+    ) -> Value {
         Value::parse(&format!(
             r#"{{"schema_version": {SCHEMA_VERSION}, "qps": {qps}, "requests": 1000,
                 "shed": {shed},
-                "latency_ms": {{"p50": {p50}, "p99": {p99}}}}}"#
+                "latency_ms": {{"p50": {p50}, "p99": {p99}}},
+                "memory": {{"resident_bytes": {resident}}},
+                "bandwidth": {{"effective_gbps": {gbps}}}}}"#
         ))
         .unwrap()
     }
@@ -245,6 +300,37 @@ mod tests {
         assert!(!slow_p99.regressed(), "2.4x p99 within 2.5x tolerance");
         let shedding = diff(&reference, &summary(4000.0, 0.5, 1.0, 100.0), &tol).unwrap();
         assert!(shedding.regressed(), "10% shed over 5% absolute budget");
+    }
+
+    #[test]
+    fn memory_and_bandwidth_are_informational_never_gating() {
+        let reference = summary(4000.0, 0.5, 1.0, 0.0);
+        let tol = DiffTolerances::default();
+        // 10× the resident bytes and a collapsed bandwidth: reported, not
+        // regressed.
+        let bloated = summary_with_memory(4000.0, 0.5, 1.0, 0.0, 10_000_000.0, 0.1);
+        let report = diff(&reference, &bloated, &tol).unwrap();
+        assert!(!report.regressed(), "{}", report.render());
+        let mem = report
+            .checks
+            .iter()
+            .find(|c| c.metric == "memory.resident_bytes")
+            .expect("memory check present");
+        assert!(mem.informational());
+        assert!((mem.change - 9.0).abs() < 1e-12, "10x = +900%");
+        assert!(report.render().contains("info"));
+        // Summaries without the blocks diff fine (fields skipped).
+        let bare = Value::parse(&format!(
+            r#"{{"schema_version": {SCHEMA_VERSION}, "qps": 4000.0, "requests": 1000,
+                "shed": 0, "latency_ms": {{"p50": 0.5, "p99": 1.0}}}}"#
+        ))
+        .unwrap();
+        let report = diff(&bare, &bare, &tol).unwrap();
+        assert!(!report.regressed());
+        assert!(!report
+            .checks
+            .iter()
+            .any(|c| c.metric.starts_with("memory") || c.metric.starts_with("bandwidth")));
     }
 
     #[test]

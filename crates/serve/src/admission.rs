@@ -58,7 +58,7 @@
 use crate::engine::{Recommendation, Request, ServeEngine, UserRef};
 use crate::error::ServeError;
 use crate::obs::{RequestSpan, ServeObs, SloReport};
-use cumf_telemetry::{CounterSample, LatencyHistogram, Recorder};
+use cumf_telemetry::{CounterSample, FootprintReport, LatencyHistogram, MemoryFootprint, Recorder};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{
     channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError,
@@ -114,6 +114,8 @@ pub struct AdmissionQueue {
     tx: SyncSender<Submitted>,
     rejected: Arc<AtomicU64>,
     obs: Option<Arc<ServeObs>>,
+    /// Bounded channel capacity, kept for footprint reporting.
+    depth: usize,
 }
 
 impl AdmissionQueue {
@@ -156,6 +158,22 @@ impl AdmissionQueue {
     /// Requests shed so far by [`AdmissionQueue::try_submit`].
     pub fn rejected(&self) -> u64 {
         self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+impl MemoryFootprint for AdmissionQueue {
+    /// A worst-case bound, not a live measurement: the bounded channel
+    /// can hold at most `queue_depth` request headers. Cold-start rating
+    /// histories live on the heap behind those headers and are workload-
+    /// dependent, so they are not counted.
+    fn footprint(&self) -> FootprintReport {
+        FootprintReport::branch(
+            "admission_queue",
+            vec![FootprintReport::leaf(
+                "queued_request_headers",
+                (self.depth * std::mem::size_of::<Submitted>()) as u64,
+            )],
+        )
     }
 }
 
@@ -240,6 +258,8 @@ impl AdmissionWorker {
             let n = out.len();
             report.batches += 1;
             report.admitted += n as u64;
+            report.scan_bytes += trace.scan_bytes;
+            report.score_secs += (trace.score_done - trace.foldin_done).max(0.0);
             match close {
                 Close::Size => report.closed_by_size += 1,
                 Close::Age => report.closed_by_age += 1,
@@ -296,6 +316,13 @@ pub struct AdmissionReport {
     pub rejected: u64,
     /// Requests admitted but answered with a [`ServeError`].
     pub failed: u64,
+    /// Factor bytes the engine's scoring passes streamed over the
+    /// worker's lifetime ([`crate::obs::BatchTrace::scan_bytes`] summed
+    /// over batches; cache hits contribute nothing).
+    pub scan_bytes: u64,
+    /// Wall-clock seconds the engine spent inside score stages (the
+    /// denominator of [`AdmissionReport::effective_gbps`]).
+    pub score_secs: f64,
     /// Queueing delay (submit → batch close) distribution.
     pub queue_delay: LatencyHistogram,
     /// SLO summary at worker exit (compliance, breaches, sheds, windowed
@@ -314,8 +341,23 @@ impl AdmissionReport {
             closed_by_drain: 0,
             rejected: 0,
             failed: 0,
+            scan_bytes: 0,
+            score_secs: 0.0,
             queue_delay: LatencyHistogram::new(),
             slo: None,
+        }
+    }
+
+    /// Effective scan bandwidth in GB/s: factor bytes streamed over the
+    /// wall-clock seconds the engine spent scoring. 0 when nothing was
+    /// scored. "Effective" because cache hits shrink the numerator while
+    /// leaving throughput intact — a rising hit ratio shows up as served
+    /// QPS outrunning scan bandwidth.
+    pub fn effective_gbps(&self) -> f64 {
+        if self.score_secs <= 0.0 {
+            0.0
+        } else {
+            self.scan_bytes as f64 / self.score_secs / 1e9
         }
     }
 
@@ -343,6 +385,7 @@ impl AdmissionReport {
             ("serve.admission.closed_by_size", self.closed_by_size as f64),
             ("serve.admission.closed_by_age", self.closed_by_age as f64),
             ("serve.admission.failed", self.failed as f64),
+            ("serve.admission.scan_bytes", self.scan_bytes as f64),
         ] {
             recorder.counter(CounterSample::new(name, time, value));
         }
@@ -371,6 +414,7 @@ pub fn admission_queue(
         tx,
         rejected: Arc::clone(&rejected),
         obs: None,
+        depth: cfg.queue_depth.max(1),
     };
     let worker = AdmissionWorker {
         rx,
@@ -619,6 +663,42 @@ mod tests {
         let e2e = c.finished_at - c.submitted_at;
         assert!((c.span.stages.total() - e2e).abs() < 1e-9);
         assert_eq!(c.span.request_id, 99);
+    }
+
+    #[test]
+    fn report_accounts_scan_bytes_and_effective_bandwidth() {
+        let engine = tiny_engine(8); // 20 items × f=3
+        let (queue, worker, _done) = admission_queue(AdmissionConfig {
+            max_batch: 4,
+            queue_depth: 16,
+            batch_age: Duration::from_secs(60),
+        });
+        for u in 0..8 {
+            queue.submit(req(u), engine.now()).unwrap();
+        }
+        drop(queue);
+        let report = worker.run(&engine, &NOOP);
+        // Two size-closed batches, each one user-chunk pass over Θ:
+        // 2 × 20 items × 3 factors × 4 bytes.
+        assert_eq!(report.scan_bytes, 2 * 20 * 3 * 4);
+        assert!(report.score_secs > 0.0);
+        assert!(report.effective_gbps() > 0.0);
+        // Idle report divides by nothing.
+        assert_eq!(
+            AdmissionReport::new(AdmissionConfig::default()).effective_gbps(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn queue_footprint_bounds_queued_request_headers() {
+        let (queue, _worker, _done) = admission_queue(AdmissionConfig {
+            queue_depth: 7,
+            ..AdmissionConfig::default()
+        });
+        let r = queue.footprint();
+        assert!(r.verify());
+        assert_eq!(r.total_bytes(), 7 * std::mem::size_of::<Submitted>() as u64);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! only when they land on the same stripe.
 
 use crate::topk::ScoredItem;
+use cumf_telemetry::{FootprintReport, MemoryFootprint};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -47,6 +48,11 @@ pub struct CacheStats {
     pub len: usize,
     /// Maximum entries.
     pub capacity: usize,
+    /// Estimated bytes held by resident entries: per entry, the slot and
+    /// index-map overhead plus `k × 8` bytes of ranked items. An estimate
+    /// (allocator slack and `HashMap` table load are not modelled), but a
+    /// faithful one — it scales with `len` and with `k`.
+    pub bytes: u64,
 }
 
 impl CacheStats {
@@ -187,11 +193,22 @@ impl ResultCache {
 
     /// Current counters and occupancy.
     pub fn stats(&self) -> CacheStats {
+        // Fixed per-entry overhead: the LRU slot plus the index-map entry
+        // (key + slot index). Payloads are counted exactly.
+        let per_entry = (std::mem::size_of::<Slot>()
+            + std::mem::size_of::<CacheKey>()
+            + std::mem::size_of::<usize>()) as u64;
+        let payload: u64 = self
+            .map
+            .values()
+            .map(|&idx| (self.slots[idx].value.len() * std::mem::size_of::<ScoredItem>()) as u64)
+            .sum();
         CacheStats {
             hits: self.hits,
             misses: self.misses,
             len: self.map.len(),
             capacity: self.capacity,
+            bytes: self.map.len() as u64 * per_entry + payload,
         }
     }
 
@@ -312,8 +329,15 @@ impl StripedCache {
             total.misses += s.misses;
             total.len += s.len;
             total.capacity += s.capacity;
+            total.bytes += s.bytes;
         }
         total
+    }
+
+    /// Per-stripe stats, in stripe order (each stripe locked briefly in
+    /// turn — not an atomic snapshot across stripes).
+    pub fn stripe_stats(&self) -> Vec<CacheStats> {
+        self.stripes.iter().map(|s| s.lock().stats()).collect()
     }
 
     /// Drop every entry in every stripe (counters are preserved, as in
@@ -322,6 +346,20 @@ impl StripedCache {
         for stripe in &self.stripes {
             stripe.lock().clear();
         }
+    }
+}
+
+impl MemoryFootprint for StripedCache {
+    /// One `stripe{i}` leaf per lock stripe, carrying that stripe's
+    /// estimated entry bytes (see [`CacheStats::bytes`]).
+    fn footprint(&self) -> FootprintReport {
+        let stripes = self
+            .stripe_stats()
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| FootprintReport::leaf(format!("stripe{i}"), s.bytes))
+            .collect();
+        FootprintReport::branch("cache", stripes)
     }
 }
 
@@ -490,6 +528,44 @@ mod tests {
         // epoch 1's key but still retrievable under its own.
         assert_eq!(c.get(&key(9, 0)).unwrap()[0].item, 1);
         assert_eq!(c.get(&key(9, 1)).unwrap()[0].item, 2);
+    }
+
+    #[test]
+    fn byte_estimate_tracks_entries_and_payload() {
+        let mut c = ResultCache::new(4);
+        assert_eq!(c.stats().bytes, 0);
+        c.insert(key(0, 0), val(1));
+        let one = c.stats().bytes;
+        assert!(one > 8, "an entry costs more than its one ScoredItem");
+        c.insert(
+            key(1, 0),
+            vec![
+                ScoredItem {
+                    item: 2,
+                    score: 0.5
+                };
+                10
+            ],
+        );
+        let two = c.stats().bytes;
+        // Second entry carries 9 more items than the first: +72 payload
+        // bytes on top of one more fixed per-entry overhead.
+        assert_eq!(two, 2 * one + 9 * 8);
+        c.clear();
+        assert_eq!(c.stats().bytes, 0, "cleared entries stop counting");
+    }
+
+    #[test]
+    fn striped_footprint_sums_stripe_bytes() {
+        let c = StripedCache::new(16, 4);
+        for u in 0..8 {
+            c.insert(key(u, 0), val(u));
+        }
+        let r = c.footprint();
+        assert!(r.verify());
+        assert_eq!(r.children().len(), 4);
+        assert_eq!(r.total_bytes(), c.stats().bytes);
+        assert!(r.total_bytes() > 0);
     }
 
     #[test]

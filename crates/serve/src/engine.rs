@@ -45,7 +45,7 @@ use crate::store::ModelSnapshot;
 use crate::topk::ScoredItem;
 use cumf_als::{fold_in_batch, SolverKind};
 use cumf_numeric::dense::DenseMatrix;
-use cumf_telemetry::{PhaseSpan, Recorder, NOOP};
+use cumf_telemetry::{FootprintReport, MemoryFootprint, PhaseSpan, Recorder, NOOP};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -84,6 +84,12 @@ pub struct ServeConfig {
     /// Observability layer: flight-recorder retention, slow-request
     /// threshold, and the SLO to track (see [`crate::obs`]).
     pub obs: ObsConfig,
+    /// Soft memory budget in bytes over every registered model's resident
+    /// footprint (`None` disables the check). A publish that leaves the
+    /// registry over it warns on stderr, names the largest component, and
+    /// increments `serve_mem_budget_exceeded_total{model=}` — nothing is
+    /// evicted.
+    pub memory_budget: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +103,7 @@ impl Default for ServeConfig {
             lambda: 0.05,
             solver: SolverKind::cumf_default(),
             obs: ObsConfig::default(),
+            memory_budget: None,
         }
     }
 }
@@ -147,6 +154,13 @@ impl ServeConfig {
     /// Observability configuration.
     pub fn with_obs(mut self, obs: ObsConfig) -> ServeConfig {
         self.obs = obs;
+        self
+    }
+
+    /// Soft memory budget in bytes (warn-only; see
+    /// [`ServeConfig::memory_budget`]).
+    pub fn with_memory_budget(mut self, bytes: u64) -> ServeConfig {
+        self.memory_budget = Some(bytes);
         self
     }
 }
@@ -295,6 +309,7 @@ impl ServeEngineBuilder {
             first_snap,
             cfg.shards,
             obs.metrics().clone(),
+            cfg.memory_budget,
         )?;
         for (id, x, snap) in models {
             registry.register(id, x, snap)?;
@@ -403,6 +418,46 @@ impl ServeEngine {
     /// engine's telemetry events.
     pub fn now(&self) -> f64 {
         self.started.elapsed().as_secs_f64()
+    }
+
+    /// The engine's full resident-bytes tree: the model registry (every
+    /// model's stores, superseded epochs still alive behind `Arc`s, and
+    /// user factors), the result cache (per stripe), and the flight
+    /// recorder. Children provably sum to the total
+    /// ([`FootprintReport::verify`]).
+    pub fn memory_report(&self) -> FootprintReport {
+        FootprintReport::branch(
+            "engine",
+            vec![
+                self.registry.footprint(),
+                self.cache.footprint(),
+                self.obs.flight().footprint(),
+            ],
+        )
+    }
+
+    /// Refresh every memory gauge from live state and return the full
+    /// tree: the registry's `serve_mem_bytes{component=,model=}` series
+    /// (also refreshed automatically on register / publish / retire /
+    /// promote / rollback), the engine-level `cache` and
+    /// `flight_recorder` components, and the `serve_cache_entries` /
+    /// `serve_cache_bytes` gauges. On demand rather than per batch — the
+    /// cache walk is O(entries) — so call it before scraping.
+    pub fn refresh_memory_gauges(&self) -> FootprintReport {
+        self.registry.refresh_memory_gauges();
+        let m = self.obs.metrics();
+        let stats = self.cache.stats();
+        m.cache_entries.set(stats.len as f64);
+        m.cache_bytes.set(stats.bytes as f64);
+        let report = self.memory_report();
+        for child in report.children() {
+            if child.name() != "registry" {
+                m.mem_bytes(child.name(), "")
+                    .set(child.total_bytes() as f64);
+            }
+        }
+        m.mem_bytes("engine", "").set(report.total_bytes() as f64);
+        report
     }
 
     /// Serve one known user (a batch of one), routed by the registry.
@@ -622,6 +677,10 @@ impl ServeEngine {
             .values()
             .map(|g| (g.entry.id.clone(), g.snapshot.epoch()))
             .collect();
+        // Factor bytes the scatter passes streamed: analytic per-shard
+        // accounting ([`ShardTiming::bytes`]), summed over every arm.
+        // Cache hits never reach a scatter, so they contribute nothing.
+        let scan_bytes: u64 = shard_timings.iter().map(|t| t.bytes).sum();
         let trace = BatchTrace {
             start: t0,
             cache_done: t1,
@@ -636,6 +695,7 @@ impl ServeEngine {
             errors,
             arms,
             shard_timings,
+            scan_bytes,
         };
 
         // Always-on typed metrics (lock-free counters, striped by thread).
@@ -645,6 +705,20 @@ impl ServeEngine {
         m.cache_hits.add(batch_hits);
         m.cache_misses.add(scored_users as u64);
         m.cold_users.add(cold_users as u64);
+        m.scan_bytes.add(scan_bytes);
+        // FP16 was asked for but a snapshot without an FP16 copy scanned
+        // in FP32: count the silently-widened requests per model.
+        if self.cfg.score.use_fp16 {
+            for group in groups.values() {
+                if !group.to_score.is_empty() && !group.snapshot.full().has_fp16() {
+                    group
+                        .entry
+                        .metrics
+                        .fp16_fallback
+                        .add(group.to_score.len() as u64);
+                }
+            }
+        }
         if let Some(default) = table.entries.get(table.router.default_model()) {
             m.epoch.set(default.store.epoch() as f64);
         }
@@ -671,6 +745,13 @@ impl ServeEngine {
             .map(|r| r.expect("every request answered"))
             .collect();
         (out, trace)
+    }
+}
+
+impl MemoryFootprint for ServeEngine {
+    /// Alias for [`ServeEngine::memory_report`].
+    fn footprint(&self) -> FootprintReport {
+        self.memory_report()
     }
 }
 
@@ -850,6 +931,82 @@ mod tests {
         );
         assert_eq!(trace.shard_timings.len(), 3);
         assert_eq!(trace.arms, vec![(ModelId::from("default"), 0)]);
+    }
+
+    #[test]
+    fn batch_scan_bytes_count_scored_users_not_cache_hits() {
+        let e = engine(8, 30, 4, ServeConfig::default());
+        let (_, trace) = e.recommend_batch_traced(&known(&[0, 1]), &NOOP);
+        // One chunk of 2 users scans all of Θ once: 30 items × f=4 × 4 B.
+        assert_eq!(trace.scan_bytes, 30 * 4 * 4);
+        assert_eq!(e.obs().metrics().scan_bytes.get(), trace.scan_bytes);
+        // An all-hit batch streams nothing.
+        let (_, warm) = e.recommend_batch_traced(&known(&[0, 1]), &NOOP);
+        assert_eq!(warm.scan_bytes, 0);
+        assert_eq!(e.obs().metrics().scan_bytes.get(), trace.scan_bytes);
+        // Sharding re-partitions the same scan: byte totals are invariant.
+        let sharded = engine(8, 30, 4, ServeConfig::default().with_shards(3));
+        let (_, t3) = sharded.recommend_batch_traced(&known(&[0, 1]), &NOOP);
+        assert_eq!(t3.scan_bytes, trace.scan_bytes);
+    }
+
+    #[test]
+    fn fp16_fallback_is_counted_per_model() {
+        let score = ScoreConfig {
+            use_fp16: true,
+            ..ScoreConfig::default()
+        };
+        let e = engine(6, 20, 3, ServeConfig::default().with_score(score));
+        // The snapshot has no FP16 copy: every scored request falls back.
+        e.recommend_batch(&known(&[0, 1, 2]), &NOOP);
+        let m = e.obs().metrics().model("default");
+        assert_eq!(m.fp16_fallback.get(), 3);
+        // Cache hits bypass the scan and are not counted.
+        e.recommend_batch(&known(&[0, 1]), &NOOP);
+        assert_eq!(m.fp16_fallback.get(), 3);
+        // Publishing a snapshot that carries FP16 stops the fallback.
+        let id = e.registry().default_model();
+        let theta = e
+            .registry()
+            .snapshot(&id)
+            .unwrap()
+            .full()
+            .item_factors()
+            .clone();
+        e.registry()
+            .publish(&id, ModelSnapshot::new(1, theta, vec![]).with_fp16())
+            .unwrap();
+        e.recommend_batch(&known(&[3, 4]), &NOOP);
+        assert_eq!(m.fp16_fallback.get(), 3);
+        // An engine not asking for FP16 never counts.
+        let plain = engine(6, 20, 3, ServeConfig::default());
+        plain.recommend_batch(&known(&[0]), &NOOP);
+        assert_eq!(
+            plain.obs().metrics().model("default").fp16_fallback.get(),
+            0
+        );
+    }
+
+    #[test]
+    fn memory_report_sums_registry_cache_and_flight() {
+        let e = engine(6, 20, 3, ServeConfig::default());
+        let empty = e.memory_report();
+        assert!(empty.verify());
+        let names: Vec<&str> = empty.children().iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["registry", "cache", "flight_recorder"]);
+        // Serving fills the cache, so resident bytes grow.
+        e.recommend_batch(&known(&[0, 1, 2]), &NOOP);
+        let report = e.refresh_memory_gauges();
+        assert!(report.verify());
+        assert!(report.total_bytes() > empty.total_bytes());
+        let m = e.obs().metrics();
+        assert_eq!(m.cache_entries.get(), 3.0);
+        assert_eq!(m.cache_bytes.get() as u64, e.cache_stats().bytes);
+        assert_eq!(m.mem_bytes("engine", "").get() as u64, report.total_bytes());
+        let text = e.obs().render_prometheus(e.now());
+        assert!(text.contains("serve_mem_bytes{component=\"engine\",model=\"\"}"));
+        assert!(text.contains("serve_mem_bytes{component=\"model\",model=\"default\"}"));
+        assert!(text.contains("serve_cache_entries 3"));
     }
 
     #[test]

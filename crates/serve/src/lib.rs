@@ -39,6 +39,13 @@
 //!   [`RequestSpan`]s, typed metrics with Prometheus exposition, an
 //!   always-on flight recorder, and SLO burn-rate tracking (see
 //!   `docs/OBSERVABILITY.md`).
+//! * **Byte accounting** — every resident structure implements
+//!   [`cumf_telemetry::MemoryFootprint`], rolled up by
+//!   [`engine::ServeEngine::memory_report`] into a tree whose children
+//!   provably sum to the total (`serve_mem_bytes` gauges), and the
+//!   scorer's analytic scan-byte model flows through
+//!   [`BatchTrace`]/[`RequestSpan`] into `serve_scan_bytes_total` and the
+//!   admission report's effective GB/s.
 //!
 //! ## Round-trip: fold a cold user in, then recommend
 //!
@@ -99,7 +106,7 @@ pub use obs::{
     SloReport, SloTracker, StageBreakdown,
 };
 pub use registry::{canary_unit, CanaryPolicy, ModelId, ModelRegistry, RouteKey, Router};
-pub use scorer::{score_one, top_k_batch, top_k_one, ScoreConfig};
+pub use scorer::{scan_bytes, score_one, top_k_batch, top_k_one, ScoreConfig};
 pub use shard::{
     top_k_batch_sharded, top_k_batch_sharded_timed, Shard, ShardTiming, ShardedFactorStore,
     ShardedSnapshot,

@@ -19,6 +19,7 @@
 //! waterfall.
 
 use super::span::RequestSpan;
+use cumf_telemetry::{FootprintReport, MemoryFootprint};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 
@@ -109,6 +110,24 @@ impl FlightRecorder {
     }
 }
 
+impl MemoryFootprint for FlightRecorder {
+    /// Children: `ring` and `exemplars`, each `retained spans ×
+    /// size_of::<RequestSpan>()`. Exact for the spans themselves
+    /// (`RequestSpan` owns no heap data); the `VecDeque`/`Vec` slack
+    /// between `len` and capacity is not counted.
+    fn footprint(&self) -> FootprintReport {
+        let span = std::mem::size_of::<RequestSpan>() as u64;
+        let inner = self.inner.lock();
+        FootprintReport::branch(
+            "flight_recorder",
+            vec![
+                FootprintReport::leaf("ring", inner.ring.len() as u64 * span),
+                FootprintReport::leaf("exemplars", inner.exemplars.len() as u64 * span),
+            ],
+        )
+    }
+}
+
 /// Render any set of spans as one Chrome trace-event JSON document.
 pub fn chrome_trace_for(spans: &[RequestSpan]) -> String {
     let events: Vec<_> = spans
@@ -138,6 +157,7 @@ mod tests {
             errors: 0,
             arms: vec![(crate::registry::ModelId::from("default"), 0)],
             shard_timings: vec![],
+            scan_bytes: 0,
         };
         RequestSpan::from_batch(&trace, id, 10.0, false, false)
     }
@@ -164,6 +184,20 @@ mod tests {
         assert_eq!(ids, vec![3, 1], "slowest first, capped at 2");
         assert_eq!(fr.slowest().unwrap().request_id, 3);
         assert_eq!(fr.totals(), (5, 3));
+    }
+
+    #[test]
+    fn footprint_counts_retained_spans() {
+        let fr = FlightRecorder::new(3, 2, 0.010);
+        assert_eq!(fr.footprint().total_bytes(), 0, "empty recorder, 0 bytes");
+        for id in 0..5 {
+            fr.observe(&span(id, 0.020));
+        }
+        let r = fr.footprint();
+        assert!(r.verify());
+        // Ring capped at 3, exemplars at 2.
+        let per = std::mem::size_of::<RequestSpan>() as u64;
+        assert_eq!(r.total_bytes(), 5 * per);
     }
 
     #[test]

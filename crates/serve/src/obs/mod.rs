@@ -78,6 +78,14 @@ pub struct ModelMetrics {
     pub cache_hits: Counter,
     /// The epoch this model is currently serving.
     pub epoch: Gauge,
+    /// Requests scored for this model in FP32 because `use_fp16` was set
+    /// but the published snapshot carries no FP16 copy. A nonzero rate
+    /// means the bandwidth halving you configured is silently not
+    /// happening — republish with [`crate::store::ModelSnapshot::with_fp16`].
+    pub fp16_fallback: Counter,
+    /// Publishes to this model that left the engine's resident bytes over
+    /// the configured soft memory budget (warn-only; nothing is evicted).
+    pub budget_exceeded: Counter,
 }
 
 /// Typed handles for every serving metric, backed by one
@@ -105,6 +113,18 @@ pub struct ServeMetrics {
     pub queue_delay: Histogram,
     /// Model epoch currently being served.
     pub epoch: Gauge,
+    /// Factor bytes the blocked scorer streamed while scanning item
+    /// blocks, summed over every scoring pass (cache hits bypass the scan
+    /// and add nothing). With a wall-clock denominator this is the
+    /// engine's effective scan bandwidth.
+    pub scan_bytes: Counter,
+    /// Entries resident in the result cache, summed over stripes.
+    /// Refreshed on demand ([`crate::engine::ServeEngine::refresh_memory_gauges`]),
+    /// not per batch — the stats walk is O(entries).
+    pub cache_entries: Gauge,
+    /// Estimated resident bytes of the result cache, summed over stripes.
+    /// Same refresh cadence as `cache_entries`.
+    pub cache_bytes: Gauge,
     /// Per-batch stage durations, labeled `stage="cache"|...|"respond"`
     /// (the queue stage is per-request: see `queue_delay`).
     stages: Vec<(&'static str, Histogram)>,
@@ -145,6 +165,18 @@ impl ServeMetrics {
                 "Admission queueing delay (submit to batch start)",
             ),
             epoch: registry.gauge("serve_model_epoch", "Model epoch currently served"),
+            scan_bytes: registry.counter(
+                "serve_scan_bytes_total",
+                "Factor bytes streamed by scoring scans (cache hits excluded)",
+            ),
+            cache_entries: registry.gauge(
+                "serve_cache_entries",
+                "Entries resident in the result cache (all stripes)",
+            ),
+            cache_bytes: registry.gauge(
+                "serve_cache_bytes",
+                "Estimated resident bytes of the result cache (all stripes)",
+            ),
             stages,
             registry,
         }
@@ -174,7 +206,29 @@ impl ServeMetrics {
                 "Epoch currently served, per model",
                 &[("model", name)],
             ),
+            fp16_fallback: self.registry.counter_with(
+                "serve_fp16_fallback_total",
+                "Requests scored in FP32 because the snapshot has no FP16 copy",
+                &[("model", name)],
+            ),
+            budget_exceeded: self.registry.counter_with(
+                "serve_mem_budget_exceeded_total",
+                "Publishes that left resident bytes over the soft memory budget",
+                &[("model", name)],
+            ),
         }
+    }
+
+    /// Gauge for the resident bytes of one footprint-tree node
+    /// ([`cumf_telemetry::FootprintReport::flatten`] path), labeled
+    /// `component="<path>",model="<id>"`. Model-agnostic components
+    /// (cache, flight recorder) use `model=""`.
+    pub fn mem_bytes(&self, component: &str, model: &str) -> Gauge {
+        self.registry.gauge_with(
+            "serve_mem_bytes",
+            "Resident bytes per footprint-tree component",
+            &[("component", component), ("model", model)],
+        )
     }
 
     /// Counter for requests failed with [`crate::ServeError`] reason
@@ -336,6 +390,7 @@ mod tests {
             errors: 0,
             arms: vec![(crate::registry::ModelId::from("default"), 3)],
             shard_timings: vec![],
+            scan_bytes: 0,
         };
         RequestSpan::from_batch(&trace, id, submitted, false, false)
     }
@@ -359,6 +414,32 @@ mod tests {
         assert!(text.contains("serve_slo_burn_rate{window=\"1s\"}"));
         assert!(text.contains("serve_shed_total 1"));
         assert!(text.contains("serve_request_latency_seconds_count 2"));
+    }
+
+    #[test]
+    fn memory_metric_families_register_and_render() {
+        let obs = ServeObs::new(ObsConfig::default());
+        obs.metrics().scan_bytes.add(4096);
+        obs.metrics().cache_entries.set(3.0);
+        obs.metrics().cache_bytes.set(1536.0);
+        obs.metrics()
+            .mem_bytes("registry/m0/store", "m0")
+            .set(2048.0);
+        let m = obs.metrics().model("m0");
+        m.fp16_fallback.add(2);
+        m.budget_exceeded.inc();
+        let text = obs.render_prometheus(0.0);
+        assert!(text.contains("serve_scan_bytes_total 4096"));
+        assert!(text.contains("serve_cache_entries 3"));
+        assert!(text.contains("serve_cache_bytes 1536"));
+        assert!(text.contains("serve_mem_bytes{component=\"registry/m0/store\",model=\"m0\"} 2048"));
+        assert!(text.contains("serve_fp16_fallback_total{model=\"m0\"} 2"));
+        assert!(text.contains("serve_mem_budget_exceeded_total{model=\"m0\"} 1"));
+        // Handles are idempotent: re-resolving points at the same gauge.
+        assert_eq!(
+            obs.metrics().mem_bytes("registry/m0/store", "m0").get(),
+            2048.0
+        );
     }
 
     #[test]
@@ -389,6 +470,7 @@ mod tests {
             errors: 0,
             arms: vec![(crate::registry::ModelId::from("default"), 0)],
             shard_timings: vec![],
+            scan_bytes: 0,
         };
         obs.metrics().observe_batch_stages(&trace);
         let total: f64 = STAGES

@@ -52,6 +52,10 @@ pub struct BatchTrace {
     pub arms: Vec<(ModelId, u64)>,
     /// Per-shard scoring accounting for the scatter pass.
     pub shard_timings: Vec<ShardTiming>,
+    /// Factor bytes the batch's scoring passes streamed, summed over all
+    /// arms and shards ([`ShardTiming::bytes`]). Cache hits contribute
+    /// nothing — a hit bypasses the scan entirely.
+    pub scan_bytes: u64,
 }
 
 impl BatchTrace {
@@ -125,6 +129,11 @@ pub struct RequestSpan {
     pub from_cache: bool,
     /// Whether this was a cold-start (fold-in) request.
     pub cold: bool,
+    /// Factor bytes the request's *batch* streamed while scoring
+    /// ([`BatchTrace::scan_bytes`]) — like the stage durations, a batch
+    /// quantity attributed to each rider, not a per-request exclusive
+    /// count. 0 for a batch answered entirely from cache.
+    pub scan_bytes: u64,
     /// Per-stage latency decomposition.
     pub stages: StageBreakdown,
 }
@@ -149,6 +158,7 @@ impl RequestSpan {
             batch_size: trace.requests,
             from_cache,
             cold,
+            scan_bytes: trace.scan_bytes,
             stages: StageBreakdown {
                 queue: trace.start - submitted_at,
                 cache: trace.cache_done - trace.start,
@@ -213,6 +223,7 @@ mod tests {
             errors: 0,
             arms: vec![(ModelId::from("default"), 7)],
             shard_timings: vec![],
+            scan_bytes: 4096,
         }
     }
 
@@ -228,6 +239,7 @@ mod tests {
         );
         assert_eq!(span.stages.queue, 0.125);
         assert_eq!(span.stages.slowest().0, "score");
+        assert_eq!(span.scan_bytes, 4096, "batch scan bytes ride the span");
     }
 
     #[test]

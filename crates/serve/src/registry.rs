@@ -37,6 +37,7 @@ use crate::obs::{ModelMetrics, ServeMetrics};
 use crate::shard::{ShardedFactorStore, ShardedSnapshot};
 use crate::store::ModelSnapshot;
 use cumf_numeric::dense::DenseMatrix;
+use cumf_telemetry::{FootprintReport, MemoryFootprint};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -258,6 +259,21 @@ impl ModelEntry {
     pub(crate) fn is_retired(&self) -> bool {
         self.retired.load(Ordering::Acquire)
     }
+
+    /// This model's resident bytes, rooted at its id: the sharded store
+    /// (current epoch plus any superseded epochs still alive behind
+    /// `Arc`s) and the user-factor matrix. Retired models keep their
+    /// memory until dropped, so they report too.
+    pub(crate) fn footprint(&self) -> FootprintReport {
+        let uf = self.user_factors();
+        FootprintReport::branch(
+            self.id.as_str(),
+            vec![
+                self.store.footprint(),
+                FootprintReport::leaf("user_factors", std::mem::size_of_val(uf.as_slice()) as u64),
+            ],
+        )
+    }
 }
 
 /// The routing table an engine batch works from: the pure [`Router`] plus
@@ -322,6 +338,10 @@ pub struct ModelRegistry {
     shards: usize,
     /// Handle factory for per-model metric series.
     metrics: ServeMetrics,
+    /// Soft resident-bytes budget over every model's footprint. A publish
+    /// that leaves the registry over it warns and counts
+    /// (`serve_mem_budget_exceeded_total`); nothing is evicted.
+    memory_budget: Option<u64>,
 }
 
 impl std::fmt::Debug for ModelRegistry {
@@ -345,6 +365,7 @@ impl ModelRegistry {
         snapshot: ModelSnapshot,
         shards: usize,
         metrics: ServeMetrics,
+        memory_budget: Option<u64>,
     ) -> Result<ModelRegistry, ServeError> {
         let registry = ModelRegistry {
             inner: RwLock::new(Inner {
@@ -355,6 +376,7 @@ impl ModelRegistry {
             }),
             shards,
             metrics,
+            memory_budget,
         };
         registry.register(id, user_factors, snapshot)?;
         Ok(registry)
@@ -406,6 +428,8 @@ impl ModelRegistry {
             metrics,
         });
         inner.models.insert(id, entry);
+        drop(inner);
+        self.refresh_memory_gauges();
         Ok(())
     }
 
@@ -424,6 +448,18 @@ impl ModelRegistry {
         }
         let epoch = entry.store.publish(snapshot)?;
         entry.metrics.epoch.set(epoch as f64);
+        let report = self.refresh_memory_gauges();
+        if let Some(budget) = self.memory_budget {
+            let total = report.total_bytes();
+            if total > budget {
+                entry.metrics.budget_exceeded.inc();
+                let (path, bytes) = report.largest_leaf();
+                eprintln!(
+                    "serve: memory budget exceeded after publishing {id} epoch {epoch}: \
+                     resident {total} B > budget {budget} B (largest component {path}: {bytes} B)"
+                );
+            }
+        }
         Ok(epoch)
     }
 
@@ -452,12 +488,19 @@ impl ModelRegistry {
     /// alias and the canary candidate cannot be retired
     /// ([`ServeError::ModelInUse`]) — point routing elsewhere first.
     pub fn retire(&self, id: &ModelId) -> Result<(), ServeError> {
-        let inner = self.inner.write();
-        if inner.default_model == *id || inner.canary.as_ref().is_some_and(|c| c.candidate == *id) {
-            return Err(ServeError::ModelInUse(id.clone()));
+        {
+            let inner = self.inner.write();
+            if inner.default_model == *id
+                || inner.canary.as_ref().is_some_and(|c| c.candidate == *id)
+            {
+                return Err(ServeError::ModelInUse(id.clone()));
+            }
+            let entry = Self::entry_of(&inner, id)?;
+            entry.retired.store(true, Ordering::Release);
         }
-        let entry = Self::entry_of(&inner, id)?;
-        entry.retired.store(true, Ordering::Release);
+        // Retirement stops routing but frees nothing (the entry and its
+        // epochs stay resident); refresh so the gauges say so.
+        self.refresh_memory_gauges();
         Ok(())
     }
 
@@ -483,9 +526,13 @@ impl ModelRegistry {
     /// traffic. Returns the promoted id; [`ServeError::NoCanary`] when no
     /// policy is in place.
     pub fn promote(&self) -> Result<ModelId, ServeError> {
-        let mut inner = self.inner.write();
-        let candidate = inner.canary.take().ok_or(ServeError::NoCanary)?.candidate;
-        inner.default_model = candidate.clone();
+        let candidate = {
+            let mut inner = self.inner.write();
+            let candidate = inner.canary.take().ok_or(ServeError::NoCanary)?.candidate;
+            inner.default_model = candidate.clone();
+            candidate
+        };
+        self.refresh_memory_gauges();
         Ok(candidate)
     }
 
@@ -495,8 +542,11 @@ impl ModelRegistry {
     /// nothing it served can ever answer for another model. Returns the
     /// rolled-back candidate id.
     pub fn rollback(&self) -> Result<ModelId, ServeError> {
-        let mut inner = self.inner.write();
-        let candidate = inner.canary.take().ok_or(ServeError::NoCanary)?.candidate;
+        let candidate = {
+            let mut inner = self.inner.write();
+            inner.canary.take().ok_or(ServeError::NoCanary)?.candidate
+        };
+        self.refresh_memory_gauges();
         Ok(candidate)
     }
 
@@ -594,6 +644,84 @@ impl ModelRegistry {
     pub fn n_shards(&self) -> usize {
         self.shards
     }
+
+    /// Entries in stable id order, retired included (they stay resident).
+    fn entries_sorted(&self) -> Vec<Arc<ModelEntry>> {
+        let inner = self.inner.read();
+        let mut entries: Vec<Arc<ModelEntry>> = inner.models.values().cloned().collect();
+        entries.sort_by(|a, b| a.id.cmp(&b.id));
+        entries
+    }
+
+    /// Refresh the `serve_mem_bytes{component=,model=}` gauges from the
+    /// registry's current footprint and return the full tree.
+    ///
+    /// Called automatically on register / publish / retire / promote /
+    /// rollback; call it yourself before scraping if byte-perfect gauges
+    /// matter between those events. To keep the series set bounded, each
+    /// model exports a fixed component set — `model` (total),
+    /// `model/store/current`, `model/store/superseded`,
+    /// `model/user_factors` — rather than one gauge per epoch; the full
+    /// per-epoch, per-shard breakdown lives in the returned
+    /// [`FootprintReport`].
+    pub fn refresh_memory_gauges(&self) -> FootprintReport {
+        fn child_bytes(r: &FootprintReport, name: &str) -> u64 {
+            r.children()
+                .iter()
+                .find(|c| c.name() == name)
+                .map_or(0, FootprintReport::total_bytes)
+        }
+        let entries = self.entries_sorted();
+        let mut children = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let tree = entry.footprint();
+            let model = entry.id.as_str();
+            let store = tree
+                .children()
+                .iter()
+                .find(|c| c.name() == "store")
+                .cloned()
+                .unwrap_or_else(|| FootprintReport::leaf("store", 0));
+            self.metrics
+                .mem_bytes("model", model)
+                .set(tree.total_bytes() as f64);
+            self.metrics
+                .mem_bytes("model/store/current", model)
+                .set(child_bytes(&store, "current") as f64);
+            self.metrics
+                .mem_bytes("model/store/superseded", model)
+                .set(child_bytes(&store, "superseded") as f64);
+            self.metrics
+                .mem_bytes("model/user_factors", model)
+                .set(child_bytes(&tree, "user_factors") as f64);
+            children.push(tree);
+        }
+        let report = FootprintReport::branch("registry", children);
+        self.metrics
+            .mem_bytes("registry", "")
+            .set(report.total_bytes() as f64);
+        report
+    }
+
+    /// The configured soft memory budget, if any.
+    pub fn memory_budget(&self) -> Option<u64> {
+        self.memory_budget
+    }
+}
+
+impl MemoryFootprint for ModelRegistry {
+    /// Children: one subtree per registered model (retired models
+    /// included — they stay resident until dropped), each rooted at the
+    /// model's id, in stable id order.
+    fn footprint(&self) -> FootprintReport {
+        FootprintReport::branch(
+            "registry",
+            self.entries_sorted()
+                .iter()
+                .map(|e| e.footprint())
+                .collect(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -618,6 +746,7 @@ mod tests {
             snap(0, 6, 4),
             2,
             metrics(),
+            None,
         )
         .unwrap()
     }
@@ -788,6 +917,94 @@ mod tests {
             })
             .count();
         assert!(disagree > 0, "cold routing shadows user routing");
+    }
+
+    #[test]
+    fn registry_footprint_sums_models_and_tracks_superseded_epochs() {
+        let reg = registry();
+        reg.register("challenger", DenseMatrix::identity(4), snap(0, 6, 4))
+            .unwrap();
+        let report = reg.footprint();
+        assert!(report.verify(), "children must sum to totals");
+        assert_eq!(report.children().len(), 2);
+        let names: Vec<&str> = report.children().iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["challenger", "champion"], "stable id order");
+        // identity(4) user factors: 16 f32s.
+        let champ = &report.children()[1];
+        let uf = champ
+            .children()
+            .iter()
+            .find(|c| c.name() == "user_factors")
+            .unwrap();
+        assert_eq!(uf.total_bytes(), 16 * 4);
+
+        // Hold the pre-publish snapshot across a publish: the superseded
+        // epoch stays resident and the footprint says so.
+        let champ_id = ModelId::from("champion");
+        let held = reg.snapshot(&champ_id).unwrap();
+        let before = reg.footprint().total_bytes();
+        reg.publish(&champ_id, snap(1, 6, 4)).unwrap();
+        let with_held = reg.footprint().total_bytes();
+        assert!(
+            with_held > before,
+            "superseded epoch behind a live Arc must add bytes"
+        );
+        drop(held);
+        assert_eq!(
+            reg.footprint().total_bytes(),
+            before,
+            "dropping the last Arc prunes the superseded epoch"
+        );
+    }
+
+    #[test]
+    fn memory_gauges_refresh_on_publish() {
+        let m = metrics();
+        let reg = ModelRegistry::bootstrap(
+            ModelId::from("champion"),
+            DenseMatrix::identity(4),
+            snap(0, 6, 4),
+            2,
+            m.clone(),
+            None,
+        )
+        .unwrap();
+        let total = reg.footprint().total_bytes() as f64;
+        assert_eq!(m.mem_bytes("registry", "").get(), total);
+        assert_eq!(m.mem_bytes("model", "champion").get(), total);
+        reg.publish(&ModelId::from("champion"), snap(1, 12, 4))
+            .unwrap();
+        let grown = reg.footprint().total_bytes() as f64;
+        assert!(grown > total);
+        assert_eq!(m.mem_bytes("registry", "").get(), grown);
+        assert_eq!(
+            m.mem_bytes("model/store/superseded", "champion").get(),
+            0.0,
+            "no Arc held: the old epoch died at publish"
+        );
+    }
+
+    #[test]
+    fn publish_over_budget_warns_and_counts() {
+        let m = metrics();
+        let reg = ModelRegistry::bootstrap(
+            ModelId::from("champion"),
+            DenseMatrix::identity(4),
+            snap(0, 6, 4),
+            2,
+            m.clone(),
+            Some(1), // 1 byte: any publish exceeds
+        )
+        .unwrap();
+        assert_eq!(reg.memory_budget(), Some(1));
+        let counter = m.model("champion").budget_exceeded;
+        assert_eq!(counter.get(), 0, "registration alone does not count");
+        reg.publish(&ModelId::from("champion"), snap(1, 6, 4))
+            .unwrap();
+        assert_eq!(counter.get(), 1);
+        reg.publish(&ModelId::from("champion"), snap(2, 6, 4))
+            .unwrap();
+        assert_eq!(counter.get(), 2, "warn-only: publishes keep landing");
     }
 
     #[test]

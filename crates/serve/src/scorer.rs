@@ -69,6 +69,38 @@ impl ScoreConfig {
     }
 }
 
+/// Factor bytes one [`top_k_batch`] call streams from the snapshot — the
+/// analytic mirror of the blocked loop, kept out of the hot path so
+/// byte accounting costs nothing per score.
+///
+/// Each user chunk re-reads every Θ-block once, so the scan traffic is
+/// `⌈users / user_chunk⌉ × n_items × f × width`, where `width` is 2 bytes
+/// when the FP16 copy is actually read (`use_fp16` set *and* the snapshot
+/// carries a copy — the same effective-precision rule the loop applies)
+/// and 4 bytes otherwise. Priors and user rows are negligible next to Θ
+/// and are not counted.
+///
+/// ```
+/// use cumf_numeric::dense::DenseMatrix;
+/// use cumf_serve::scorer::{scan_bytes, ScoreConfig};
+/// use cumf_serve::store::ModelSnapshot;
+///
+/// let snap = ModelSnapshot::new(0, DenseMatrix::zeros(1000, 16), vec![]);
+/// let cfg = ScoreConfig { user_chunk: 32, ..ScoreConfig::default() };
+/// // 40 users = 2 chunks, each streaming 1000 × 16 × 4 bytes.
+/// assert_eq!(scan_bytes(&snap, 40, &cfg), 2 * 1000 * 16 * 4);
+/// ```
+pub fn scan_bytes(snapshot: &ModelSnapshot, users: usize, cfg: &ScoreConfig) -> u64 {
+    let chunk = cfg.user_chunk.max(1);
+    let chunks = users.div_ceil(chunk) as u64;
+    let width: u64 = if cfg.use_fp16 && snapshot.has_fp16() {
+        2
+    } else {
+        4
+    };
+    chunks * snapshot.n_items() as u64 * snapshot.f() as u64 * width
+}
+
 /// Score every row of `user_factors` against the snapshot's items and
 /// return each user's top `k` items, best first.
 ///
@@ -245,6 +277,24 @@ mod tests {
             ..auto
         };
         assert_eq!(fixed.effective_block_items(100), 1);
+    }
+
+    #[test]
+    fn scan_bytes_halves_on_the_effective_fp16_path() {
+        let plain = random_snapshot(100, 8, 9);
+        let cfg32 = ScoreConfig::default();
+        // 33 users at user_chunk=32 ⇒ 2 chunks over 100×8 f32 rows.
+        assert_eq!(scan_bytes(&plain, 33, &cfg32), 2 * 100 * 8 * 4);
+        assert_eq!(scan_bytes(&plain, 0, &cfg32), 0, "no users, no scan");
+        let cfg16 = ScoreConfig {
+            use_fp16: true,
+            ..cfg32
+        };
+        // FP16 requested but absent: the loop falls back to FP32 reads and
+        // the accounting must agree.
+        assert_eq!(scan_bytes(&plain, 33, &cfg16), 2 * 100 * 8 * 4);
+        let quant = random_snapshot(100, 8, 9).with_fp16();
+        assert_eq!(scan_bytes(&quant, 33, &cfg16), 2 * 100 * 8 * 2);
     }
 
     #[test]

@@ -23,13 +23,13 @@
 
 use crate::error::ServeError;
 use crate::registry::ModelId;
-use crate::scorer::{top_k_batch, ScoreConfig};
+use crate::scorer::{scan_bytes, top_k_batch, ScoreConfig};
 use crate::store::ModelSnapshot;
 use crate::topk::{merge_top_k, ScoredItem};
 use cumf_numeric::dense::DenseMatrix;
-use cumf_telemetry::{PhaseSpan, Recorder, NOOP};
-use parking_lot::RwLock;
-use std::sync::Arc;
+use cumf_telemetry::{FootprintReport, MemoryFootprint, PhaseSpan, Recorder, NOOP};
+use parking_lot::{Mutex, RwLock};
+use std::sync::{Arc, Weak};
 use std::time::Instant;
 
 /// One contiguous slice of the item catalog: global ids
@@ -145,6 +145,28 @@ impl ShardedSnapshot {
     }
 }
 
+impl MemoryFootprint for ShardedSnapshot {
+    /// Children: `full` (the unsharded master kept for fold-in and the
+    /// single-shard fast path) and `shards` with one `shard{i}` subtree
+    /// each. Sharding *copies* rows, so the honest total is roughly twice
+    /// the factor payload — the tree shows exactly where.
+    fn footprint(&self) -> FootprintReport {
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.local.footprint().renamed(format!("shard{i}")))
+            .collect();
+        FootprintReport::branch(
+            "sharded_snapshot",
+            vec![
+                self.full.footprint().renamed("full"),
+                FootprintReport::branch("shards", shards),
+            ],
+        )
+    }
+}
+
 /// Wall-clock accounting for one shard's scoring pass, for per-shard
 /// telemetry counters.
 #[derive(Clone, Copy, Debug)]
@@ -153,6 +175,10 @@ pub struct ShardTiming {
     pub shard: usize,
     /// `items × users` score evaluations the shard performed.
     pub scored: u64,
+    /// Factor bytes the pass streamed from the shard's snapshot
+    /// ([`scan_bytes`]'s analytic count: FP16 blocks count 2 bytes per
+    /// element, FP32 blocks 4, once per user chunk).
+    pub bytes: u64,
     /// Host wall-clock seconds the shard's pass took.
     pub secs: f64,
 }
@@ -232,6 +258,7 @@ pub fn scatter_top_k(
             let timing = ShardTiming {
                 shard: idx,
                 scored: (shard.n_items() * users) as u64,
+                bytes: scan_bytes(&shard.local, users, cfg),
                 secs,
             };
             let span = tracing.then(|| {
@@ -339,6 +366,12 @@ pub fn top_k_batch_sharded(
 pub struct ShardedFactorStore {
     current: RwLock<Arc<ShardedSnapshot>>,
     n_shards: usize,
+    /// Weak handles to snapshots this store has *replaced*. A superseded
+    /// epoch whose `Weak` still upgrades is memory held alive by some
+    /// outside `Arc` (an in-flight batch — fine; a leaked clone — not),
+    /// and is reported under `superseded` in the footprint tree. Dead
+    /// handles are pruned on every footprint walk.
+    superseded: Mutex<Vec<Weak<ShardedSnapshot>>>,
 }
 
 impl ShardedFactorStore {
@@ -351,6 +384,7 @@ impl ShardedFactorStore {
         ShardedFactorStore {
             current: RwLock::new(Arc::new(sharded)),
             n_shards,
+            superseded: Mutex::new(Vec::new()),
         }
     }
 
@@ -388,8 +422,20 @@ impl ShardedFactorStore {
                 got: sharded.f(),
             });
         }
+        // Remember the replaced epoch weakly: if readers keep it alive it
+        // shows up under `superseded` in the footprint (the snapshot-leak
+        // signal); once the last Arc drops, the handle prunes itself.
+        self.superseded.lock().push(Arc::downgrade(&current));
         *current = sharded;
         Ok(epoch)
+    }
+
+    /// Superseded snapshots still alive behind outside `Arc`s, oldest
+    /// first. Prunes dead handles as a side effect.
+    pub fn live_superseded(&self) -> Vec<Arc<ShardedSnapshot>> {
+        let mut weaks = self.superseded.lock();
+        weaks.retain(|w| w.strong_count() > 0);
+        weaks.iter().filter_map(Weak::upgrade).collect()
     }
 
     /// Shard count every snapshot is split into.
@@ -400,6 +446,28 @@ impl ShardedFactorStore {
     /// Epoch of the currently served snapshot.
     pub fn epoch(&self) -> u64 {
         self.current.read().epoch()
+    }
+}
+
+impl MemoryFootprint for ShardedFactorStore {
+    /// Children: `current` (the served [`ShardedSnapshot`]) and
+    /// `superseded` — one `epoch{N}` subtree per replaced snapshot still
+    /// reachable through an outside `Arc`. A `superseded` total that stays
+    /// nonzero long after a publish is the snapshot-leak signal.
+    fn footprint(&self) -> FootprintReport {
+        let current = self.snapshot().footprint().renamed("current");
+        let old = self
+            .live_superseded()
+            .into_iter()
+            .map(|s| {
+                let epoch = s.epoch();
+                s.footprint().renamed(format!("epoch{epoch}"))
+            })
+            .collect();
+        FootprintReport::branch(
+            "store",
+            vec![current, FootprintReport::branch("superseded", old)],
+        )
     }
 }
 
@@ -567,5 +635,58 @@ mod tests {
         let mut s = snap(n, f, false);
         s.epoch = epoch;
         s
+    }
+
+    #[test]
+    fn shard_timings_account_scan_bytes() {
+        let full = snap(37, 5, false);
+        let x = users(6, 5);
+        let cfg = ScoreConfig::default();
+        for s in [1, 3, 8] {
+            let sharded = ShardedSnapshot::build(full.clone(), s);
+            let (_, timings) = top_k_batch_sharded_timed(&sharded, &x, 9, &cfg);
+            let total: u64 = timings.iter().map(|t| t.bytes).sum();
+            // 6 users fit one chunk; every shard streams its slice once,
+            // so shards partition the unsharded scan exactly.
+            assert_eq!(total, 37 * 5 * 4, "{s} shards");
+            for (t, shard) in timings.iter().zip(sharded.shards()) {
+                assert_eq!(t.bytes, (shard.n_items() * 5 * 4) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_snapshot_footprint_sums_full_plus_shards() {
+        let sharded = ShardedSnapshot::build(snap(10, 2, true).with_fp16(), 3);
+        let r = sharded.footprint();
+        assert!(r.verify());
+        // full: 10×2 f32 + f16 + 10 prior f32s = 80 + 40 + 40; shards copy
+        // the same payload across 3 ranges.
+        let full = 10 * 2 * 4 + 10 * 2 * 2 + 10 * 4;
+        assert_eq!(r.total_bytes(), 2 * full);
+        assert_eq!(r.children()[0].name(), "full");
+        assert_eq!(r.children()[1].children().len(), 3);
+    }
+
+    #[test]
+    fn superseded_epochs_show_until_their_last_arc_drops() {
+        let store = ShardedFactorStore::new(snap(8, 2, false), 2);
+        let resident = store.footprint().total_bytes();
+        let held = store.snapshot(); // an in-flight batch
+        store.publish(snap_at(1, 8, 2)).unwrap();
+        let r = store.footprint();
+        assert!(r.verify());
+        let superseded = r
+            .children()
+            .iter()
+            .find(|c| c.name() == "superseded")
+            .expect("superseded branch");
+        assert_eq!(superseded.children().len(), 1);
+        assert_eq!(superseded.children()[0].name(), "epoch0");
+        assert_eq!(r.total_bytes(), 2 * resident, "old epoch still resident");
+        drop(held);
+        let r = store.footprint();
+        assert_eq!(r.total_bytes(), resident, "pruned once the Arc dropped");
+        assert!(store.live_superseded().is_empty());
     }
 }

@@ -11,6 +11,7 @@ use crate::error::ServeError;
 use crate::registry::ModelId;
 use cumf_numeric::dense::DenseMatrix;
 use cumf_numeric::f16::{narrow_slice, widen_slice, F16};
+use cumf_telemetry::{FootprintReport, MemoryFootprint};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -140,6 +141,29 @@ impl ModelSnapshot {
     }
 }
 
+impl MemoryFootprint for ModelSnapshot {
+    /// Children: `fp32` (the master `Θ` matrix), `fp16` (the narrowed
+    /// copy, present only after [`ModelSnapshot::with_fp16`]), and
+    /// `priors`. Exact payload bytes — container headers are not counted.
+    fn footprint(&self) -> FootprintReport {
+        let mut children = vec![FootprintReport::leaf(
+            "fp32",
+            std::mem::size_of_val(self.item_factors.as_slice()) as u64,
+        )];
+        if let Some(q) = &self.item_factors_f16 {
+            children.push(FootprintReport::leaf(
+                "fp16",
+                (q.len() * std::mem::size_of::<F16>()) as u64,
+            ));
+        }
+        children.push(FootprintReport::leaf(
+            "priors",
+            (self.popularity.len() * std::mem::size_of::<f32>()) as u64,
+        ));
+        FootprintReport::branch("snapshot", children)
+    }
+}
+
 /// Snapshot-swapped holder of the current [`ModelSnapshot`].
 ///
 /// ```
@@ -199,6 +223,16 @@ impl FactorStore {
     /// Epoch of the currently served snapshot.
     pub fn epoch(&self) -> u64 {
         self.current.read().epoch
+    }
+}
+
+impl MemoryFootprint for FactorStore {
+    /// The currently served snapshot, relabelled `current`.
+    fn footprint(&self) -> FootprintReport {
+        FootprintReport::branch(
+            "factor_store",
+            vec![self.snapshot().footprint().renamed("current")],
+        )
     }
 }
 
@@ -281,5 +315,39 @@ mod tests {
     #[should_panic(expected = "popularity prior length")]
     fn wrong_prior_length_rejected() {
         let _ = ModelSnapshot::new(0, DenseMatrix::identity(3), vec![1.0]);
+    }
+
+    #[test]
+    fn fp16_footprint_is_half_the_fp32_copy() {
+        let plain = snap(0, 64, 16);
+        let r = plain.footprint();
+        assert!(r.verify());
+        let find = |r: &cumf_telemetry::FootprintReport, name: &str| {
+            r.children()
+                .iter()
+                .find(|c| c.name() == name)
+                .map(|c| c.total_bytes())
+        };
+        assert_eq!(find(&r, "fp32"), Some(64 * 16 * 4));
+        assert_eq!(find(&r, "fp16"), None, "no FP16 copy, no FP16 component");
+
+        let quant = snap(0, 64, 16).with_fp16();
+        let r = quant.footprint();
+        assert!(r.verify());
+        let fp32 = find(&r, "fp32").unwrap();
+        let fp16 = find(&r, "fp16").unwrap();
+        assert_eq!(fp16 * 2, fp32, "binary16 copy is exactly half the master");
+        assert_eq!(r.total_bytes(), fp32 + fp16);
+    }
+
+    #[test]
+    fn store_footprint_tracks_the_published_snapshot() {
+        let store = FactorStore::new(snap(0, 8, 4));
+        let before = store.footprint().total_bytes();
+        store.publish(snap(1, 16, 4)).unwrap();
+        let after = store.footprint();
+        assert!(after.verify());
+        assert_eq!(after.total_bytes(), 2 * before);
+        assert_eq!(after.children()[0].name(), "current");
     }
 }

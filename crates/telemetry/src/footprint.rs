@@ -1,0 +1,284 @@
+//! Byte accounting: named component trees of resident memory.
+//!
+//! The serving stack's observability (spans, histograms, SLO burn) is all
+//! about *time*; this module is the *space* counterpart. A component that
+//! owns memory implements [`MemoryFootprint`] and returns a
+//! [`FootprintReport`] — a named tree of byte counts whose interior nodes
+//! are, **by construction**, exactly the sum of their children. That
+//! invariant is what makes the tree trustworthy: a dashboard reading
+//! `serve_mem_bytes{component="cache"}` knows the number was not estimated
+//! independently of its parts.
+//!
+//! ```
+//! use cumf_telemetry::{FootprintReport, MemoryFootprint};
+//!
+//! struct Buffers { a: Vec<f32>, b: Vec<u8> }
+//! impl MemoryFootprint for Buffers {
+//!     fn footprint(&self) -> FootprintReport {
+//!         FootprintReport::branch("buffers", vec![
+//!             FootprintReport::leaf("a", (self.a.len() * 4) as u64),
+//!             FootprintReport::leaf("b", self.b.len() as u64),
+//!         ])
+//!     }
+//! }
+//!
+//! let r = Buffers { a: vec![0.0; 8], b: vec![0; 3] }.footprint();
+//! assert_eq!(r.total_bytes(), 35);
+//! assert!(r.verify());
+//! assert_eq!(r.flatten()[0], ("buffers".to_string(), 35));
+//! ```
+
+use serde::Value;
+
+/// A named tree of byte counts. Interior nodes ([`FootprintReport::branch`])
+/// always total exactly the sum of their children; leaves
+/// ([`FootprintReport::leaf`]) carry a measured or estimated byte count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FootprintReport {
+    name: String,
+    bytes: u64,
+    children: Vec<FootprintReport>,
+}
+
+impl FootprintReport {
+    /// A leaf component: `bytes` measured (or estimated) directly.
+    pub fn leaf(name: impl Into<String>, bytes: u64) -> FootprintReport {
+        FootprintReport {
+            name: name.into(),
+            bytes,
+            children: Vec::new(),
+        }
+    }
+
+    /// An interior component whose total is the sum of `children` — the
+    /// children-sum-to-total invariant cannot be violated through this
+    /// constructor.
+    pub fn branch(name: impl Into<String>, children: Vec<FootprintReport>) -> FootprintReport {
+        let bytes = children.iter().map(|c| c.bytes).sum();
+        FootprintReport {
+            name: name.into(),
+            bytes,
+            children,
+        }
+    }
+
+    /// The component name of this node (one path segment, no `/`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total bytes of this node (for a branch: the sum of its children).
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Child components (empty for a leaf).
+    pub fn children(&self) -> &[FootprintReport] {
+        &self.children
+    }
+
+    /// Same tree under a different root name — lets a parent relabel a
+    /// component's self-chosen name ("snapshot" → "current") when nesting.
+    pub fn renamed(self, name: impl Into<String>) -> FootprintReport {
+        FootprintReport {
+            name: name.into(),
+            ..self
+        }
+    }
+
+    /// Recursively check the children-sum-to-total invariant. Always true
+    /// for trees built from [`leaf`](FootprintReport::leaf) /
+    /// [`branch`](FootprintReport::branch); exists so tests can assert it
+    /// on reports produced by arbitrary `MemoryFootprint` impls.
+    pub fn verify(&self) -> bool {
+        self.children.is_empty()
+            || (self.bytes == self.children.iter().map(|c| c.bytes).sum::<u64>()
+                && self.children.iter().all(FootprintReport::verify))
+    }
+
+    /// Every node as a `(path, bytes)` pair, root first, depth-first in
+    /// child order. Paths join names with `/`: `"engine/cache"`.
+    pub fn flatten(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        self.flatten_into("", &mut out);
+        out
+    }
+
+    fn flatten_into(&self, prefix: &str, out: &mut Vec<(String, u64)>) {
+        let path = if prefix.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{prefix}/{}", self.name)
+        };
+        out.push((path.clone(), self.bytes));
+        for c in &self.children {
+            c.flatten_into(&path, out);
+        }
+    }
+
+    /// The heaviest leaf as a `(path, bytes)` pair — the "offending
+    /// component" to name when a budget is exceeded. Ties break toward the
+    /// first leaf in depth-first order; a leaf-only root returns itself.
+    pub fn largest_leaf(&self) -> (String, u64) {
+        self.flatten_leaves()
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1))
+            .expect("a footprint tree has at least its root node")
+    }
+
+    fn flatten_leaves(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        self.leaves_into("", &mut out);
+        out
+    }
+
+    fn leaves_into(&self, prefix: &str, out: &mut Vec<(String, u64)>) {
+        let path = if prefix.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{prefix}/{}", self.name)
+        };
+        if self.children.is_empty() {
+            out.push((path, self.bytes));
+        } else {
+            for c in &self.children {
+                c.leaves_into(&path, out);
+            }
+        }
+    }
+
+    /// Render as an indented tree, sizes in human units:
+    ///
+    /// ```text
+    /// engine                 12.4 MiB
+    ///   cache                 1.2 MiB
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(0, &mut out);
+        out
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let label = format!("{indent}{}", self.name);
+        out.push_str(&format!("{label:<40} {:>12}\n", human_bytes(self.bytes)));
+        for c in &self.children {
+            c.render_into(depth + 1, out);
+        }
+    }
+
+    /// The tree as a JSON value: `{"name":…,"bytes":…,"children":[…]}`.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            ("bytes".into(), Value::Num(self.bytes as f64)),
+            (
+                "children".into(),
+                Value::Array(
+                    self.children
+                        .iter()
+                        .map(FootprintReport::to_value)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Format a byte count with binary-prefix units (`1.5 MiB`).
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
+/// Implemented by anything that owns accountable memory. Reports are
+/// expected to be cheap (walk a few fields, no allocation proportional to
+/// the data itself) so callers can refresh gauges on demand.
+pub trait MemoryFootprint {
+    /// The component tree of bytes currently resident in this object.
+    fn footprint(&self) -> FootprintReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> FootprintReport {
+        FootprintReport::branch(
+            "root",
+            vec![
+                FootprintReport::branch(
+                    "store",
+                    vec![
+                        FootprintReport::leaf("fp32", 400),
+                        FootprintReport::leaf("fp16", 200),
+                    ],
+                ),
+                FootprintReport::leaf("cache", 64),
+            ],
+        )
+    }
+
+    #[test]
+    fn branch_totals_are_child_sums() {
+        let t = tree();
+        assert_eq!(t.total_bytes(), 664);
+        assert!(t.verify());
+    }
+
+    #[test]
+    fn flatten_paths_are_slash_joined_depth_first() {
+        let got = tree().flatten();
+        assert_eq!(
+            got,
+            vec![
+                ("root".to_string(), 664),
+                ("root/store".to_string(), 600),
+                ("root/store/fp32".to_string(), 400),
+                ("root/store/fp16".to_string(), 200),
+                ("root/cache".to_string(), 64),
+            ]
+        );
+    }
+
+    #[test]
+    fn largest_leaf_names_the_offending_path() {
+        assert_eq!(tree().largest_leaf(), ("root/store/fp32".to_string(), 400));
+        let single = FootprintReport::leaf("only", 7);
+        assert_eq!(single.largest_leaf(), ("only".to_string(), 7));
+    }
+
+    #[test]
+    fn renamed_keeps_bytes_and_children() {
+        let t = tree().renamed("engine");
+        assert_eq!(t.name(), "engine");
+        assert_eq!(t.total_bytes(), 664);
+        assert_eq!(t.children().len(), 2);
+    }
+
+    #[test]
+    fn human_bytes_picks_binary_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(1536), "1.5 KiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.0 MiB");
+    }
+
+    #[test]
+    fn to_value_round_trips_the_shape() {
+        let json = tree().to_value().to_json();
+        assert!(json.contains("\"name\":\"root\""));
+        assert!(json.contains("\"bytes\":664"));
+        assert!(json.contains("\"fp16\""));
+    }
+}

@@ -19,6 +19,10 @@
 //! * **Latency aggregation** ([`hist`]): a log-bucketed
 //!   [`LatencyHistogram`] (p50/p95/p99, mergeable) for the *wall-clock*
 //!   serving path, exportable into the same counter stream.
+//! * **Byte accounting** ([`footprint`]): a [`MemoryFootprint`] trait
+//!   returning [`FootprintReport`] component trees whose interior nodes
+//!   provably sum to their children — the *space* counterpart to the
+//!   time-oriented spans above, feeding `serve_mem_bytes`-style gauges.
 //! * **Live metrics** ([`registry`]): a [`MetricsRegistry`] of typed,
 //!   labeled handles — thread-striped atomic [`Counter`]s, [`Gauge`]s,
 //!   [`Histogram`]s — with Prometheus text exposition and JSON snapshots,
@@ -44,6 +48,7 @@
 
 pub mod chrome;
 pub mod event;
+pub mod footprint;
 pub mod hist;
 pub mod jsonl;
 pub mod recorder;
@@ -52,6 +57,7 @@ pub mod summary;
 
 pub use chrome::chrome_trace;
 pub use event::{CounterSample, Event, KernelLaunchRecord, PhaseSpan, SolverExit, SolverRecord};
+pub use footprint::{FootprintReport, MemoryFootprint};
 pub use hist::LatencyHistogram;
 pub use jsonl::to_jsonl;
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder, NOOP};

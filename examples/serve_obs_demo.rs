@@ -1,6 +1,7 @@
 //! Drive the serving engine through its admission queue and show the
 //! `serve::obs` stack end to end: per-request stage spans, the typed
 //! metrics registry rendered as a Prometheus exposition, SLO burn rates,
+//! the engine's memory-footprint tree with effective scan bandwidth,
 //! and the flight recorder's slowest-request exemplar dumped as a Chrome
 //! trace (load it at `chrome://tracing` or <https://ui.perfetto.dev>).
 //!
@@ -15,6 +16,7 @@ use cumf_serve::{
     admission_queue, AdmissionConfig, Completion, ModelSnapshot, ObsConfig, Request, ServeConfig,
     ServeEngine, SloConfig,
 };
+use cumf_telemetry::footprint::human_bytes;
 use cumf_telemetry::NOOP;
 use std::time::Duration;
 
@@ -139,6 +141,19 @@ fn main() {
             if slo.met() { "met" } else { "violated" }
         );
     }
+
+    // ── Memory footprint tree + effective scan bandwidth ────────────────
+    engine.refresh_memory_gauges();
+    let mem = engine.memory_report();
+    println!();
+    println!("── Resident memory (children sum to each branch) ──");
+    print!("{}", mem.render());
+    println!(
+        "bandwidth: {} streamed over {:.2} ms of score time — {:.2} GB/s effective",
+        human_bytes(report.scan_bytes),
+        report.score_secs * 1e3,
+        report.effective_gbps()
+    );
 
     // ── Flight recorder: slowest-request exemplar as a Chrome trace ─────
     let flight = engine.obs().flight();
