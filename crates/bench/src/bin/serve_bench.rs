@@ -29,11 +29,18 @@
 //! fraction of traffic to the last arm as a canary candidate),
 //! `--republish` (publish a new model epoch halfway through, via the
 //! registry), `--mem-budget-mb F` (soft resident-memory budget; exceeding
-//! it after a publish warns and counts, never evicts), `--json PATH`
-//! (write a machine-readable summary carrying
-//! [`cumf_bench::diff::SCHEMA_VERSION`], gateable with `bench_diff` —
-//! schema v3 adds the `memory` footprint tree and `bandwidth`
-//! effective-GB/s blocks).
+//! it after a publish warns and counts, never evicts), `--retrieval
+//! exact|approx` (two-stage centroid-probed retrieval instead of the full
+//! exact scan; see `docs/APPROXIMATION.md`), `--n-probe N` (clusters
+//! scanned per request), `--clusters N` (centroids built at publish
+//! time), `--quant int8|none` (stage-2 scan precision; int8 rescores the
+//! shortlist in FP32), `--items N` (synthesize an N-item catalog instead
+//! of the Tiny/Small presets — pruning only pays on catalogs that dwarf
+//! the probe), `--json PATH` (write a machine-readable summary
+//! carrying [`cumf_bench::diff::SCHEMA_VERSION`], gateable with
+//! `bench_diff` — schema v3 adds the `memory` footprint tree and
+//! `bandwidth` effective-GB/s blocks; v4 adds the `retrieval` block and,
+//! under `--retrieval approx`, the measured `recall` block).
 //!
 //! Observability flags (the `serve::obs` stack is always on; these expose
 //! it): `--prom-out PATH` writes the Prometheus text exposition at exit
@@ -48,9 +55,11 @@ use cumf_bench::diff::SCHEMA_VERSION;
 use cumf_bench::{fmt_s, rule, HarnessArgs, TelemetrySink};
 use cumf_datasets::{MfDataset, RequestSampler, SizeClass};
 use cumf_gpu_sim::GpuSpec;
+use cumf_numeric::dense::DenseMatrix;
 use cumf_serve::{
-    admission_queue, AdmissionConfig, AdmissionReport, Completion, ModelSnapshot, ObsConfig,
-    Request, ScoreConfig, ServeConfig, ServeEngine, SloConfig, SubmitError,
+    admission_queue, overlap_at_k, top_k_batch_stats, AdmissionConfig, AdmissionReport, AnnParams,
+    Completion, ModelSnapshot, ObsConfig, QuantMode, Request, Retrieval, ScoreConfig, ServeConfig,
+    ServeEngine, SloConfig, SubmitError,
 };
 use cumf_telemetry::footprint::human_bytes;
 use cumf_telemetry::{CounterSample, LatencyHistogram};
@@ -73,12 +82,35 @@ struct ServeFlags {
     models: usize,
     canary_fraction: f64,
     republish: bool,
+    approx: bool,
+    n_probe: usize,
+    clusters: usize,
+    quant_none: bool,
+    items: Option<usize>,
     json: Option<String>,
     prom_out: Option<String>,
     slow_trace: Option<String>,
     slow_trace_us: u64,
     slo_target_us: u64,
     mem_budget_mb: Option<f64>,
+}
+
+impl ServeFlags {
+    /// The retrieval mode the flags ask for.
+    fn retrieval(&self) -> Retrieval {
+        if self.approx {
+            Retrieval::Approx {
+                n_probe: self.n_probe,
+                quant: if self.quant_none {
+                    QuantMode::None
+                } else {
+                    QuantMode::Int8
+                },
+            }
+        } else {
+            Retrieval::Exact
+        }
+    }
 }
 
 fn parse_flags() -> (HarnessArgs, ServeFlags) {
@@ -98,6 +130,11 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
         models: 1,
         canary_fraction: 0.0,
         republish: false,
+        approx: false,
+        n_probe: 16,
+        clusters: 64,
+        quant_none: false,
+        items: None,
         json: None,
         prom_out: None,
         slow_trace: None,
@@ -123,6 +160,15 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
             "--models" => flags.models = (val(1.0) as usize).max(1),
             "--canary-fraction" => flags.canary_fraction = val(0.0).clamp(0.0, 1.0),
             "--republish" => flags.republish = true,
+            "--retrieval" => {
+                flags.approx = matches!(it.next().as_deref(), Some("approx"));
+            }
+            "--n-probe" => flags.n_probe = (val(16.0) as usize).max(1),
+            "--clusters" => flags.clusters = (val(64.0) as usize).max(1),
+            "--quant" => {
+                flags.quant_none = matches!(it.next().as_deref(), Some("none"));
+            }
+            "--items" => flags.items = Some((val(2000.0) as usize).max(16)),
             "--json" => flags.json = it.next(),
             "--prom-out" => flags.prom_out = it.next(),
             "--slow-trace" => flags.slow_trace = it.next(),
@@ -134,7 +180,8 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
                     "serve_bench flags: --qps F, --requests N, --k N, --batch N, \
                      --batch-age-us N, --queue-depth N, --shards N, --open-loop, \
                      --cache N, --cold-frac F, --fp16, --models N, --canary-fraction F, \
-                     --republish, --json PATH, --prom-out PATH, --slow-trace PATH, \
+                     --republish, --retrieval exact|approx, --n-probe N, --clusters N, \
+                     --quant int8|none, --items N, --json PATH, --prom-out PATH, --slow-trace PATH, \
                      --slow-trace-us N, --slo-target-us N, --mem-budget-mb F; common: {}",
                     HarnessArgs::common_usage()
                 );
@@ -151,6 +198,73 @@ fn popularity_prior(data: &MfDataset) -> Vec<f32> {
     (0..data.n())
         .map(|v| 0.01 * (1.0 + data.rt.row_nnz(v) as f32).ln())
         .collect()
+}
+
+/// Measured ranking quality of the approximate retrieval path against
+/// the exact FP32 scan, over a sample of trained users, with the factor
+/// bytes each path streamed for the same batch.
+struct RecallSummary {
+    k: usize,
+    users: usize,
+    recall: f64,
+    exact_bytes: u64,
+    approx_bytes: u64,
+}
+
+impl RecallSummary {
+    /// How many times fewer factor bytes the approximate scan streamed.
+    fn bytes_ratio(&self) -> f64 {
+        self.exact_bytes as f64 / self.approx_bytes.max(1) as f64
+    }
+}
+
+/// Score a sample of trained users through both the exact and the
+/// approximate scorer on the engine's published snapshot (the registry
+/// has already attached the centroid index and the int8 block copy), and
+/// measure mean `overlap@k` plus scan bytes for each path.
+///
+/// Users are scored one request at a time — the latency-critical serving
+/// regime, and what the admission replay actually produces (at
+/// interactive QPS most scoring micro-batches hold a single cache-miss
+/// user). Byte counts therefore reflect per-request streaming: the exact
+/// path re-streams the whole Θ catalog per request, the approximate path
+/// streams the centroid table plus only the probed clusters. Large
+/// offline batches amortize the exact scan across a user chunk and favor
+/// it instead — see `docs/APPROXIMATION.md` for that trade.
+fn measure_recall(engine: &ServeEngine, x: &DenseMatrix, flags: &ServeFlags) -> RecallSummary {
+    let id = engine.registry().default_model();
+    let guard = engine
+        .registry()
+        .snapshot(&id)
+        .expect("default arm is live");
+    let snapshot = guard.full();
+    let sample = x.rows().clamp(1, 256);
+    let step = (x.rows() / sample).max(1);
+    let exact_cfg = ScoreConfig::default();
+    let approx_cfg = ScoreConfig {
+        retrieval: flags.retrieval(),
+        ..exact_cfg
+    };
+    let (mut users, mut recall) = (0usize, 0.0f64);
+    let (mut exact_bytes, mut approx_bytes) = (0u64, 0u64);
+    let mut u = 0usize;
+    while u < x.rows() && users < sample {
+        let one = DenseMatrix::from_vec(1, x.cols(), x.row(u).to_vec());
+        let (exact, es) = top_k_batch_stats(snapshot, &one, flags.k, &exact_cfg);
+        let (approx, aps) = top_k_batch_stats(snapshot, &one, flags.k, &approx_cfg);
+        recall += overlap_at_k(&exact[0], &approx[0], flags.k);
+        exact_bytes += es.bytes;
+        approx_bytes += aps.bytes;
+        users += 1;
+        u += step;
+    }
+    RecallSummary {
+        k: flags.k,
+        users,
+        recall: recall / users.max(1) as f64,
+        exact_bytes,
+        approx_bytes,
+    }
 }
 
 /// Everything the replay measured, for the human report and the JSON dump.
@@ -171,10 +285,17 @@ fn main() {
     let rec = sink.recorder();
 
     // ── Train the model this engine will serve ──────────────────────────
-    let size = if args.quick {
-        SizeClass::Tiny
-    } else {
-        SizeClass::Small
+    // `--items N` swaps in a custom catalog size: approximate retrieval
+    // only pays once the catalog dwarfs the per-request probe + rescore
+    // overhead, which the Tiny/Small presets are too small to show.
+    let size = match (flags.items, args.quick) {
+        (Some(n), quick) => SizeClass::Custom {
+            m: if quick { 600 } else { 3000 },
+            n,
+            nz: 12 * n,
+        },
+        (None, true) => SizeClass::Tiny,
+        (None, false) => SizeClass::Small,
     };
     let data = MfDataset::netflix(size, args.seed);
     let cfg = AlsConfig {
@@ -207,7 +328,12 @@ fn main() {
         .with_cache_capacity(flags.cache)
         .with_score(ScoreConfig {
             use_fp16: flags.fp16,
+            retrieval: flags.retrieval(),
             ..ScoreConfig::default()
+        })
+        .with_ann(AnnParams {
+            k_clusters: flags.clusters,
+            ..AnnParams::default()
         })
         .with_obs(obs_cfg);
     if let Some(mb) = flags.mem_budget_mb {
@@ -239,6 +365,21 @@ fn main() {
     let engine = builder
         .build()
         .expect("registry bootstrap from trained factors");
+
+    // ── Measure recall of the approximate path (before the replay, so
+    //    the engine's live counters stay untouched) ──────────────────────
+    let recall = flags
+        .approx
+        .then(|| measure_recall(&engine, &trainer.x, &flags));
+    if let Some(r) = &recall {
+        eprintln!(
+            "approx retrieval: recall@{} = {:.3} over {} users, {:.1}x fewer scan bytes",
+            r.k,
+            r.recall,
+            r.users,
+            r.bytes_ratio()
+        );
+    }
 
     // ── Synthesize the request stream ───────────────────────────────────
     let mut sampler = RequestSampler::from_dataset(&data, args.seed ^ 0xBEEF);
@@ -368,7 +509,7 @@ fn main() {
     // Refresh the serve_mem_bytes / serve_cache_* gauges from live state
     // so the report, the JSON summary, and --prom-out all agree.
     engine.refresh_memory_gauges();
-    report(&engine, &flags, &summary);
+    report(&engine, &flags, &summary, recall.as_ref());
 
     // Final aggregates into the JSONL stream alongside the engine's
     // per-batch counters.
@@ -390,7 +531,7 @@ fn main() {
         summary.admission.emit(rec, t);
     }
     if let Some(path) = &flags.json {
-        let json = json_summary(&engine, &flags, &summary);
+        let json = json_summary(&engine, &flags, &summary, recall.as_ref());
         std::fs::write(path, json.to_json()).expect("failed to write JSON summary");
         eprintln!("wrote {path}");
     }
@@ -407,7 +548,12 @@ fn main() {
     sink.finish().expect("failed to write telemetry outputs");
 }
 
-fn report(engine: &ServeEngine, flags: &ServeFlags, s: &ReplaySummary) {
+fn report(
+    engine: &ServeEngine,
+    flags: &ServeFlags,
+    s: &ReplaySummary,
+    recall: Option<&RecallSummary>,
+) {
     let (p50, p95, p99) = s.latency.percentiles();
     let qps = s.served as f64 / s.span;
     let cache = engine.cache_stats();
@@ -483,6 +629,32 @@ fn report(engine: &ServeEngine, flags: &ServeFlags, s: &ReplaySummary) {
             "fp32 scans"
         }
     );
+    if let Some(r) = recall {
+        let m = engine.obs().metrics();
+        println!(
+            "retrieval: approx (clusters {}, probe {}, {}) — recall@{} {:.3} over {} users; \
+             {} scanned vs {} exact ({:.1}x reduction)",
+            flags.clusters,
+            flags.n_probe,
+            if flags.quant_none {
+                "fp32 candidates"
+            } else {
+                "int8 candidates + fp32 rescore"
+            },
+            r.k,
+            r.recall,
+            r.users,
+            human_bytes(r.approx_bytes),
+            human_bytes(r.exact_bytes),
+            r.bytes_ratio()
+        );
+        println!(
+            "retrieval counters: {} clusters probed, {} shortlist rows scanned, {} rescored",
+            m.ann_probed.get(),
+            m.ann_candidates.get(),
+            m.ann_rescored.get()
+        );
+    }
     if s.per_model.len() > 1 {
         let total: usize = s.per_model.values().sum::<usize>().max(1);
         let arms: Vec<String> = s
@@ -535,7 +707,12 @@ fn report(engine: &ServeEngine, flags: &ServeFlags, s: &ReplaySummary) {
     );
 }
 
-fn json_summary(engine: &ServeEngine, flags: &ServeFlags, s: &ReplaySummary) -> Value {
+fn json_summary(
+    engine: &ServeEngine,
+    flags: &ServeFlags,
+    s: &ReplaySummary,
+    recall: Option<&RecallSummary>,
+) -> Value {
     let (p50, p95, p99) = s.latency.percentiles();
     let (q50, q95, q99) = s.admission.queue_delay.percentiles();
     let cache = engine.cache_stats();
@@ -646,6 +823,36 @@ fn json_summary(engine: &ServeEngine, flags: &ServeFlags, s: &ReplaySummary) -> 
                 ("score_secs", Value::Num(s.admission.score_secs)),
                 ("effective_gbps", Value::Num(s.admission.effective_gbps())),
             ]),
+        ),
+        (
+            "retrieval",
+            obj(vec![
+                (
+                    "mode",
+                    Value::Str(if flags.approx { "approx" } else { "exact" }.to_string()),
+                ),
+                ("n_probe", Value::Num(flags.n_probe as f64)),
+                ("clusters", Value::Num(flags.clusters as f64)),
+                (
+                    "quant",
+                    Value::Str(if flags.quant_none { "none" } else { "int8" }.to_string()),
+                ),
+            ]),
+        ),
+        (
+            "recall",
+            recall
+                .map(|r| {
+                    obj(vec![
+                        ("k", Value::Num(r.k as f64)),
+                        ("users", Value::Num(r.users as f64)),
+                        ("recall_at_k", Value::Num(r.recall)),
+                        ("exact_scan_bytes", Value::Num(r.exact_bytes as f64)),
+                        ("approx_scan_bytes", Value::Num(r.approx_bytes as f64)),
+                        ("bytes_ratio", Value::Num(r.bytes_ratio())),
+                    ])
+                })
+                .unwrap_or(Value::Null),
         ),
         ("fp16", Value::Bool(flags.fp16)),
         ("k", Value::Num(flags.k as f64)),

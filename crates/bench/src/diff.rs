@@ -22,8 +22,12 @@ use serde::Value;
 ///
 /// v3 added the `memory` (resident-bytes component tree) and `bandwidth`
 /// (scan bytes, effective GB/s) blocks; `bench_diff` reports them
-/// informationally but never gates on them.
-pub const SCHEMA_VERSION: f64 = 3.0;
+/// informationally but never gates on them. v4 added the `retrieval`
+/// block (mode, `n_probe`, clusters, quant) and, under `--retrieval
+/// approx`, the measured `recall` block (recall@k against the exact FP32
+/// scan plus the scan-byte ratio); both are likewise informational here —
+/// CI gates recall directly on the JSON.
+pub const SCHEMA_VERSION: f64 = 4.0;
 
 /// Allowed regressions before the diff fails.
 #[derive(Clone, Copy, Debug)]

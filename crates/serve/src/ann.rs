@@ -1,0 +1,505 @@
+//! Approximate nearest-neighbour retrieval structures: a k-means centroid
+//! index for candidate generation and an int8 per-block quantized copy of
+//! the item factors for cheap shortlist scanning.
+//!
+//! The paper's central trade is accuracy for memory bandwidth (FP16 factor
+//! storage, CG truncation); this module applies the same dial to serving.
+//! The exact scorer streams every item row per request — `O(n·f)` bytes —
+//! and `AdmissionReport::effective_gbps` shows that scan is
+//! bandwidth-bound. Two-stage retrieval cuts the bytes twice:
+//!
+//! 1. **Candidate generation.** At publish time the item factors are
+//!    clustered with deterministic seeded k-means ([`CentroidIndex`]). A
+//!    request scores `k_clusters` centroids (tiny), keeps the top
+//!    `n_probe` clusters by inner product, and scans only their members.
+//! 2. **Quantized shortlist scan.** The probed members are scored against
+//!    an int8 copy of the factors with one scale per
+//!    [`QUANT_BLOCK_ROWS`]-row block ([`QuantizedFactors`]) — a quarter of
+//!    the FP32 bytes — and only the surviving shortlist is rescored
+//!    exactly in FP32 before the final merge.
+//!
+//! Both structures are immutable once built and ride inside
+//! [`crate::store::ModelSnapshot`], so the store's publish/swap semantics
+//! and the sharded scatter-gather path carry them for free. Everything is
+//! deterministic: k-means uses a fixed seed and iteration cap, ties break
+//! toward lower indices, and member lists are in ascending item order —
+//! so the approximate path is as reproducible as the exact one.
+
+use crate::topk::TopK;
+use cumf_numeric::dense::{dot, DenseMatrix};
+
+/// Item rows sharing one int8 quantization scale in
+/// [`QuantizedFactors`]. 32 rows keeps the scale local enough that one
+/// outlier row cannot crush its whole block's resolution, while the
+/// per-block overhead (4 bytes per `32·f` weights) stays negligible.
+pub const QUANT_BLOCK_ROWS: usize = 32;
+
+/// SplitMix64 — the same full-avalanche finalizer the canary router uses;
+/// duplicated here so index construction has no dependency on routing.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Build parameters for a [`CentroidIndex`]: how many clusters, the
+/// deterministic seed, and the Lloyd-iteration cap.
+///
+/// The defaults suit catalogs of a few hundred to a few thousand items
+/// (the bench datasets); for larger catalogs scale `k_clusters` roughly
+/// with `√n` so both stages stay balanced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnnParams {
+    /// Number of k-means clusters (clamped to `[1, n_items]` at build).
+    pub k_clusters: usize,
+    /// Seed for the deterministic initialization: the same factors and
+    /// params always produce the same index, on any host.
+    pub seed: u64,
+    /// Maximum Lloyd iterations (the loop also stops early when the
+    /// assignment reaches a fixed point).
+    pub max_iters: usize,
+}
+
+impl Default for AnnParams {
+    fn default() -> AnnParams {
+        AnnParams {
+            k_clusters: 64,
+            seed: 0x5EED_C1C5,
+            max_iters: 10,
+        }
+    }
+}
+
+/// How a registry prepares snapshots for approximate retrieval at publish
+/// time: the index build parameters plus whether to also attach the int8
+/// factor copy. Derived from the engine's configured
+/// [`crate::scorer::Retrieval`] mode, so every publish — bootstrap,
+/// `register`, `publish` — carries the structures the scorer will ask for.
+#[derive(Clone, Copy, Debug)]
+pub struct AnnPolicy {
+    /// Centroid-index build parameters.
+    pub params: AnnParams,
+    /// Attach an int8 quantized factor copy alongside the index.
+    pub int8: bool,
+}
+
+/// A k-means clustering of the item factors, stored inside the snapshot
+/// it was built from: `k` centroid rows plus the item ids of each cluster
+/// in one flat, offset-indexed member array.
+///
+/// ```
+/// use cumf_numeric::dense::DenseMatrix;
+/// use cumf_serve::ann::{AnnParams, CentroidIndex};
+///
+/// let theta = DenseMatrix::from_vec(4, 1, vec![-1.0, -0.9, 0.9, 1.0]);
+/// let idx = CentroidIndex::build(&theta, AnnParams { k_clusters: 2, ..AnnParams::default() });
+/// assert_eq!(idx.k_clusters(), 2);
+/// // Every item belongs to exactly one cluster.
+/// let mut all: Vec<u32> = (0..2).flat_map(|c| idx.members(c).to_vec()).collect();
+/// all.sort_unstable();
+/// assert_eq!(all, vec![0, 1, 2, 3]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CentroidIndex {
+    params: AnnParams,
+    f: usize,
+    n_items: usize,
+    /// `k × f` centroid rows, row-major.
+    centroids: Vec<f32>,
+    /// Item ids grouped by cluster, ascending within each cluster.
+    members: Vec<u32>,
+    /// `k + 1` prefix offsets into `members`.
+    offsets: Vec<usize>,
+}
+
+impl CentroidIndex {
+    /// Cluster `items` (one `f`-long row per item) into
+    /// `params.k_clusters` groups with deterministic seeded k-means.
+    ///
+    /// Initialization picks `k` distinct item rows via a SplitMix64-driven
+    /// Fisher–Yates shuffle of the item ids; Lloyd iterations assign each
+    /// item to its squared-Euclidean-nearest centroid (ties toward the
+    /// lower cluster id) and recompute means, stopping at
+    /// `params.max_iters` or a fixed point. A cluster that empties keeps
+    /// its previous centroid, so `k` never silently shrinks below the
+    /// clamped value.
+    pub fn build(items: &DenseMatrix, params: AnnParams) -> CentroidIndex {
+        let n = items.rows();
+        let f = items.cols();
+        let k = params.k_clusters.clamp(1, n.max(1));
+        let theta = items.as_slice();
+
+        // Deterministic init: shuffle item ids, take the first k as seeds.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (splitmix64(params.seed ^ i as u64) % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut centroids = vec![0.0f32; k * f];
+        for (c, &item) in order.iter().take(k).enumerate() {
+            centroids[c * f..(c + 1) * f].copy_from_slice(&theta[item * f..(item + 1) * f]);
+        }
+
+        let mut assignment = vec![0usize; n];
+        for _ in 0..params.max_iters.max(1) {
+            // Assign: nearest centroid by squared L2, ties to the lower id.
+            let mut changed = false;
+            for (v, slot) in assignment.iter_mut().enumerate() {
+                let row = &theta[v * f..(v + 1) * f];
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for c in 0..k {
+                    let cen = &centroids[c * f..(c + 1) * f];
+                    let mut d = 0.0f32;
+                    for j in 0..f {
+                        let e = row[j] - cen[j];
+                        d += e * e;
+                    }
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                if *slot != best {
+                    *slot = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            // Update: mean of each cluster's members; empty clusters keep
+            // their previous centroid.
+            let mut sums = vec![0.0f64; k * f];
+            let mut counts = vec![0usize; k];
+            for (v, &c) in assignment.iter().enumerate() {
+                counts[c] += 1;
+                for j in 0..f {
+                    sums[c * f + j] += theta[v * f + j] as f64;
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    for j in 0..f {
+                        centroids[c * f + j] = (sums[c * f + j] / counts[c] as f64) as f32;
+                    }
+                }
+            }
+        }
+
+        // Group members by cluster, ascending item id within each (items
+        // are walked in id order, so the grouping is already sorted).
+        let mut offsets = vec![0usize; k + 1];
+        for &c in &assignment {
+            offsets[c + 1] += 1;
+        }
+        for c in 0..k {
+            offsets[c + 1] += offsets[c];
+        }
+        let mut cursor = offsets.clone();
+        let mut members = vec![0u32; n];
+        for (v, &c) in assignment.iter().enumerate() {
+            members[cursor[c]] = v as u32;
+            cursor[c] += 1;
+        }
+
+        CentroidIndex {
+            params: AnnParams {
+                k_clusters: k,
+                ..params
+            },
+            f,
+            n_items: n,
+            centroids,
+            members,
+            offsets,
+        }
+    }
+
+    /// The build parameters, with `k_clusters` as actually clamped — the
+    /// sharded store re-derives per-shard parameters from these.
+    pub fn params(&self) -> AnnParams {
+        self.params
+    }
+
+    /// Number of clusters.
+    pub fn k_clusters(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Feature dimension of the factors the index was built over.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// Number of items the index covers.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Centroid row `c`.
+    pub fn centroid(&self, c: usize) -> &[f32] {
+        &self.centroids[c * self.f..(c + 1) * self.f]
+    }
+
+    /// Item ids of cluster `c`, ascending.
+    pub fn members(&self, c: usize) -> &[u32] {
+        &self.members[self.offsets[c]..self.offsets[c + 1]]
+    }
+
+    /// The `n_probe` clusters with the highest inner product against
+    /// `user`, best first (ties toward the lower cluster id — the same
+    /// total order as every other ranking in the crate).
+    pub fn probe(&self, user: &[f32], n_probe: usize) -> Vec<u32> {
+        debug_assert_eq!(user.len(), self.f);
+        let mut top = TopK::new(n_probe.clamp(1, self.k_clusters()));
+        for c in 0..self.k_clusters() {
+            top.push(c as u32, dot(user, self.centroid(c)));
+        }
+        top.into_sorted().into_iter().map(|s| s.item).collect()
+    }
+
+    /// Payload bytes of the index: centroids, member ids, and offsets.
+    pub fn bytes(&self) -> u64 {
+        (self.centroids.len() * std::mem::size_of::<f32>()
+            + self.members.len() * std::mem::size_of::<u32>()
+            + self.offsets.len() * std::mem::size_of::<usize>()) as u64
+    }
+}
+
+/// An int8 copy of the item factors with one FP32 scale per
+/// [`QUANT_BLOCK_ROWS`]-row block: `q = round(v / scale)` clamped to
+/// `[-127, 127]`, with `scale = max|v| / 127` over the block.
+///
+/// Reading these rows costs a quarter of the FP32 scan bytes; the
+/// per-element round-trip error is bounded by `scale / 2`
+/// (test-enforced), which is why the shortlist scan may rank with them
+/// but the final shortlist is always rescored exactly.
+#[derive(Clone, Debug)]
+pub struct QuantizedFactors {
+    f: usize,
+    n_items: usize,
+    /// `n × f` quantized weights, row-major.
+    data: Vec<i8>,
+    /// One scale per row block (`⌈n / QUANT_BLOCK_ROWS⌉` entries).
+    scales: Vec<f32>,
+}
+
+impl QuantizedFactors {
+    /// Quantize `items` (one `f`-long row per item) blockwise. An
+    /// all-zero block gets scale 0 and round-trips exactly.
+    pub fn build(items: &DenseMatrix) -> QuantizedFactors {
+        let n = items.rows();
+        let f = items.cols();
+        let theta = items.as_slice();
+        let n_blocks = n.div_ceil(QUANT_BLOCK_ROWS).max(1);
+        let mut data = vec![0i8; n * f];
+        let mut scales = vec![0.0f32; n_blocks];
+        for (b, slot) in scales.iter_mut().enumerate() {
+            let lo = b * QUANT_BLOCK_ROWS;
+            let hi = (lo + QUANT_BLOCK_ROWS).min(n);
+            let block = &theta[lo * f..hi * f];
+            let max_abs = block.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            if max_abs == 0.0 {
+                continue; // scale stays 0, weights stay 0: exact.
+            }
+            let scale = max_abs / 127.0;
+            *slot = scale;
+            for (q, &v) in data[lo * f..hi * f].iter_mut().zip(block) {
+                *q = (v / scale).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        QuantizedFactors {
+            f,
+            n_items: n,
+            data,
+            scales,
+        }
+    }
+
+    /// Feature dimension.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// Number of quantized item rows.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// The scale of `item`'s block.
+    #[inline]
+    pub fn scale(&self, item: usize) -> f32 {
+        self.scales[item / QUANT_BLOCK_ROWS]
+    }
+
+    /// The quantized row of `item`.
+    #[inline]
+    pub fn row(&self, item: usize) -> &[i8] {
+        &self.data[item * self.f..(item + 1) * self.f]
+    }
+
+    /// Approximate inner product `user · θ̃_item`: the int8 weights are
+    /// accumulated in FP32 and scaled once at the end, so the scan reads
+    /// one byte per weight.
+    #[inline]
+    pub fn dot(&self, item: usize, user: &[f32]) -> f32 {
+        debug_assert_eq!(user.len(), self.f);
+        let row = self.row(item);
+        let mut acc = 0.0f32;
+        for (x, &q) in user.iter().zip(row) {
+            acc += x * q as f32;
+        }
+        acc * self.scale(item)
+    }
+
+    /// Payload bytes: the int8 weights plus the per-block scales.
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() + self.scales.len() * std::mem::size_of::<f32>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn theta(n: usize, f: usize, seed: u64) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(n, f);
+        let mut state = seed;
+        m.fill_with(|| {
+            state = splitmix64(state);
+            (state % 2000) as f32 / 1000.0 - 1.0
+        });
+        m
+    }
+
+    #[test]
+    fn kmeans_is_deterministic_for_a_fixed_seed() {
+        let t = theta(60, 4, 7);
+        let p = AnnParams {
+            k_clusters: 8,
+            ..AnnParams::default()
+        };
+        let a = CentroidIndex::build(&t, p);
+        let b = CentroidIndex::build(&t, p);
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.members, b.members);
+        assert_eq!(a.offsets, b.offsets);
+        // A different seed permutes the initialization.
+        let c = CentroidIndex::build(&t, AnnParams { seed: 999, ..p });
+        assert!(a.centroids != c.centroids || a.members != c.members);
+    }
+
+    #[test]
+    fn members_partition_the_catalog() {
+        for (n, k) in [(50, 7), (10, 10), (3, 64), (1, 1)] {
+            let idx = CentroidIndex::build(
+                &theta(n, 3, 11),
+                AnnParams {
+                    k_clusters: k,
+                    ..AnnParams::default()
+                },
+            );
+            assert_eq!(idx.k_clusters(), k.min(n), "k clamps to n");
+            assert_eq!(idx.params().k_clusters, k.min(n));
+            let mut all = Vec::new();
+            for c in 0..idx.k_clusters() {
+                let m = idx.members(c);
+                assert!(m.windows(2).all(|w| w[0] < w[1]), "ascending in-cluster");
+                all.extend_from_slice(m);
+            }
+            all.sort_unstable();
+            assert_eq!(all, (0..n as u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn probe_ranks_centroids_by_inner_product() {
+        // Two well-separated 1-D clusters: a positive user probes the
+        // positive cluster first.
+        let t = DenseMatrix::from_vec(6, 1, vec![-1.0, -0.9, -1.1, 0.9, 1.0, 1.1]);
+        let idx = CentroidIndex::build(
+            &t,
+            AnnParams {
+                k_clusters: 2,
+                ..AnnParams::default()
+            },
+        );
+        let probed = idx.probe(&[1.0], 1);
+        assert_eq!(probed.len(), 1);
+        let members = idx.members(probed[0] as usize);
+        assert_eq!(members, &[3, 4, 5], "positive cluster probed first");
+        // Probing every cluster returns them all.
+        assert_eq!(idx.probe(&[1.0], 2).len(), 2);
+        assert_eq!(idx.probe(&[1.0], 100).len(), 2, "n_probe clamps to k");
+    }
+
+    #[test]
+    fn int8_round_trip_error_is_within_half_a_scale_per_block() {
+        let t = theta(70, 5, 13); // 3 blocks, last one partial
+        let q = QuantizedFactors::build(&t);
+        assert_eq!(q.n_items(), 70);
+        assert_eq!(q.f(), 5);
+        for v in 0..70 {
+            let scale = q.scale(v);
+            assert!(scale > 0.0);
+            for (j, &w) in q.row(v).iter().enumerate() {
+                let exact = t.row(v)[j];
+                let back = w as f32 * scale;
+                assert!(
+                    (back - exact).abs() <= scale / 2.0 + 1e-6,
+                    "item {v} dim {j}: {back} vs {exact} (scale {scale})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_zero_block_round_trips_exactly() {
+        let t = DenseMatrix::zeros(40, 3);
+        let q = QuantizedFactors::build(&t);
+        assert_eq!(q.scale(0), 0.0);
+        assert!(q.row(7).iter().all(|&w| w == 0));
+        assert_eq!(q.dot(7, &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn quantized_dot_matches_manual_dequantization() {
+        let t = theta(34, 4, 17);
+        let q = QuantizedFactors::build(&t);
+        let user = [0.3f32, -0.7, 0.11, 0.9];
+        for v in [0usize, 31, 32, 33] {
+            let manual: f32 = q
+                .row(v)
+                .iter()
+                .zip(&user)
+                .map(|(&w, &x)| w as f32 * x)
+                .sum::<f32>()
+                * q.scale(v);
+            assert_eq!(q.dot(v, &user), manual);
+            // And it approximates the exact product.
+            let exact = dot(&user, t.row(v));
+            assert!((q.dot(v, &user) - exact).abs() < 0.05, "item {v}");
+        }
+    }
+
+    #[test]
+    fn payload_bytes_are_exact() {
+        let t = theta(64, 8, 19);
+        let q = QuantizedFactors::build(&t);
+        assert_eq!(q.bytes(), 64 * 8 + 2 * 4); // weights + 2 block scales
+        let idx = CentroidIndex::build(
+            &t,
+            AnnParams {
+                k_clusters: 4,
+                ..AnnParams::default()
+            },
+        );
+        // 4×8 f32 centroids + 64 u32 members + 5 usize offsets.
+        assert_eq!(
+            idx.bytes(),
+            (4 * 8 * 4 + 64 * 4 + 5 * std::mem::size_of::<usize>()) as u64
+        );
+    }
+}

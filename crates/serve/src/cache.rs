@@ -1,5 +1,5 @@
-//! LRU result cache keyed by `(model, epoch, user)`, and its lock-striped
-//! concurrent wrapper.
+//! LRU result cache keyed by `(model, epoch, user, retrieval)`, and its
+//! lock-striped concurrent wrapper.
 //!
 //! Recommendation traffic is heavily skewed (the dataset generators plant
 //! Zipf item popularity and log-normal user activity precisely because real
@@ -18,13 +18,14 @@
 //! independently locked segments so concurrent request threads contend
 //! only when they land on the same stripe.
 
+use crate::scorer::Retrieval;
 use crate::topk::ScoredItem;
 use cumf_telemetry::{FootprintReport, MemoryFootprint};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// Cache key: a known user under one published epoch of one registered
-/// model.
+/// model, scored under one retrieval mode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// The model's registry slot ([`crate::registry::ModelRegistry::slot`]
@@ -35,6 +36,12 @@ pub struct CacheKey {
     pub epoch: u64,
     /// User row.
     pub user: u32,
+    /// Retrieval mode the ranking was computed under. An `Exact` and an
+    /// `Approx` answer for the same `(model, epoch, user)` are different
+    /// rankings, so the mode is part of the key — without it a config
+    /// change (or two engines sharing a cache at different dial settings)
+    /// would alias them.
+    pub retrieval: Retrieval,
 }
 
 /// Hit/miss/occupancy counters, cheap to copy out for telemetry.
@@ -83,10 +90,11 @@ struct Slot {
 ///
 /// ```
 /// use cumf_serve::cache::{CacheKey, ResultCache};
+/// use cumf_serve::scorer::Retrieval;
 /// use cumf_serve::topk::ScoredItem;
 ///
 /// let mut cache = ResultCache::new(2);
-/// let k = |user| CacheKey { model: 0, epoch: 0, user };
+/// let k = |user| CacheKey { model: 0, epoch: 0, user, retrieval: Retrieval::Exact };
 /// let v = vec![ScoredItem { item: 9, score: 1.0 }];
 /// cache.insert(k(1), v.clone());
 /// cache.insert(k(2), v.clone());
@@ -264,10 +272,11 @@ impl ResultCache {
 ///
 /// ```
 /// use cumf_serve::cache::{CacheKey, StripedCache};
+/// use cumf_serve::scorer::Retrieval;
 /// use cumf_serve::topk::ScoredItem;
 ///
 /// let cache = StripedCache::new(64, 8);
-/// let key = CacheKey { model: 0, epoch: 0, user: 7 };
+/// let key = CacheKey { model: 0, epoch: 0, user: 7, retrieval: Retrieval::Exact };
 /// assert!(cache.get(&key).is_none());
 /// cache.insert(key, vec![ScoredItem { item: 1, score: 2.0 }]);
 /// assert_eq!(cache.get(&key).unwrap()[0].item, 1);
@@ -372,6 +381,7 @@ mod tests {
             model: 0,
             epoch,
             user,
+            retrieval: Retrieval::Exact,
         }
     }
 
@@ -417,17 +427,49 @@ mod tests {
             model: 0,
             epoch: 3,
             user: 7,
+            retrieval: Retrieval::Exact,
         };
         let challenger = CacheKey {
             model: 1,
             epoch: 3,
             user: 7,
+            retrieval: Retrieval::Exact,
         };
         c.insert(champion, val(1));
         assert!(c.get(&challenger).is_none(), "arm must not hit other arm");
         c.insert(challenger, val(2));
         assert_eq!(c.get(&champion).unwrap()[0].item, 1);
         assert_eq!(c.get(&challenger).unwrap()[0].item, 2);
+    }
+
+    #[test]
+    fn retrieval_mode_partitions_the_keyspace() {
+        // Same (model, epoch, user) scored exactly and approximately are
+        // different answers; the key must keep them apart.
+        use crate::scorer::QuantMode;
+        let mut c = ResultCache::new(4);
+        let exact = key(7, 3);
+        let approx = CacheKey {
+            retrieval: Retrieval::Approx {
+                n_probe: 8,
+                quant: QuantMode::Int8,
+            },
+            ..exact
+        };
+        c.insert(exact, val(1));
+        assert!(c.get(&approx).is_none(), "modes must not alias");
+        c.insert(approx, val(2));
+        assert_eq!(c.get(&exact).unwrap()[0].item, 1);
+        assert_eq!(c.get(&approx).unwrap()[0].item, 2);
+        // Different dial settings are different answers too.
+        let wider = CacheKey {
+            retrieval: Retrieval::Approx {
+                n_probe: 16,
+                quant: QuantMode::Int8,
+            },
+            ..exact
+        };
+        assert!(c.get(&wider).is_none(), "n_probe is part of the key");
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //!    explicit [`ModelId`], default alias, or deterministic canary split;
 //!    routing failures become per-request [`ServeError`]s, not panics;
 //! 2. answer known users from the lock-striped result cache
-//!    ([`StripedCache`]) when possible — keys carry `(model, epoch, user)`,
-//!    so canary arms never see each other's entries;
+//!    ([`StripedCache`]) when possible — keys carry
+//!    `(model, epoch, user, retrieval)`, so canary arms never see each
+//!    other's entries and exact/approximate answers never alias;
 //! 3. fold cold users' rating histories into factor vectors with
 //!    [`cumf_als::fold_in_batch`] (one regularized solve each, CG or
 //!    Cholesky per the configured [`SolverKind`]) against the routed
@@ -35,11 +36,12 @@
 //! one engine by reference — and registry operations (publish, canary
 //! ramps, promote/rollback) apply from the next batch without a restart.
 
+use crate::ann::{AnnParams, AnnPolicy};
 use crate::cache::{CacheKey, CacheStats, StripedCache};
 use crate::error::ServeError;
 use crate::obs::{BatchTrace, ObsConfig, ServeObs, ShardMetrics};
 use crate::registry::{CanaryPolicy, ModelEntry, ModelId, ModelRegistry, RouteKey};
-use crate::scorer::ScoreConfig;
+use crate::scorer::{QuantMode, Retrieval, ScoreConfig};
 use crate::shard::{scatter_top_k, ShardTiming, ShardedSnapshot};
 use crate::store::ModelSnapshot;
 use crate::topk::ScoredItem;
@@ -90,6 +92,13 @@ pub struct ServeConfig {
     /// increments `serve_mem_budget_exceeded_total{model=}` — nothing is
     /// evicted.
     pub memory_budget: Option<u64>,
+    /// Centroid-index build parameters (cluster count, k-means seed,
+    /// iteration cap) used when `score.retrieval` is
+    /// [`Retrieval::Approx`]: the engine derives an [`AnnPolicy`] from the
+    /// retrieval mode and these parameters, and the registry completes
+    /// every registered/published snapshot to it at publish time. Ignored
+    /// under [`Retrieval::Exact`].
+    pub ann: AnnParams,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +113,7 @@ impl Default for ServeConfig {
             solver: SolverKind::cumf_default(),
             obs: ObsConfig::default(),
             memory_budget: None,
+            ann: AnnParams::default(),
         }
     }
 }
@@ -162,6 +172,26 @@ impl ServeConfig {
     pub fn with_memory_budget(mut self, bytes: u64) -> ServeConfig {
         self.memory_budget = Some(bytes);
         self
+    }
+
+    /// Centroid-index build parameters for approximate retrieval (see
+    /// [`ServeConfig::ann`]).
+    pub fn with_ann(mut self, ann: AnnParams) -> ServeConfig {
+        self.ann = ann;
+        self
+    }
+
+    /// The approximate-retrieval policy this configuration implies:
+    /// `Some` (index parameters plus whether an int8 copy is needed) iff
+    /// the retrieval mode is [`Retrieval::Approx`].
+    pub fn ann_policy(&self) -> Option<AnnPolicy> {
+        match self.score.retrieval {
+            Retrieval::Exact => None,
+            Retrieval::Approx { quant, .. } => Some(AnnPolicy {
+                params: self.ann,
+                int8: matches!(quant, QuantMode::Int8),
+            }),
+        }
     }
 }
 
@@ -310,6 +340,7 @@ impl ServeEngineBuilder {
             cfg.shards,
             obs.metrics().clone(),
             cfg.memory_budget,
+            cfg.ann_policy(),
         )?;
         for (id, x, snap) in models {
             registry.register(id, x, snap)?;
@@ -554,6 +585,7 @@ impl ServeEngine {
                         model: group.entry.slot,
                         epoch: group.snapshot.epoch(),
                         user: *u,
+                        retrieval: self.cfg.score.retrieval,
                     };
                     if let Some(items) = self.cache.get(&key) {
                         batch_hits += 1;
@@ -658,6 +690,7 @@ impl ServeEngine {
                             model: slot,
                             epoch,
                             user: *u,
+                            retrieval: self.cfg.score.retrieval,
                         },
                         items.clone(),
                     );
@@ -677,10 +710,21 @@ impl ServeEngine {
             .values()
             .map(|g| (g.entry.id.clone(), g.snapshot.epoch()))
             .collect();
-        // Factor bytes the scatter passes streamed: analytic per-shard
-        // accounting ([`ShardTiming::bytes`]), summed over every arm.
-        // Cache hits never reach a scatter, so they contribute nothing.
+        // Factor bytes the scatter passes streamed: per-shard accounting
+        // ([`ShardTiming::bytes`] — analytic on the exact path, measured
+        // on the approximate one), summed over every arm. Cache hits
+        // never reach a scatter, so they contribute nothing.
         let scan_bytes: u64 = shard_timings.iter().map(|t| t.bytes).sum();
+        let approx = !self.cfg.score.retrieval.is_exact();
+        let ann_probed: u64 = shard_timings.iter().map(|t| t.probed_clusters).sum();
+        let ann_rescored: u64 = shard_timings.iter().map(|t| t.rescored).sum();
+        // Stage-2 candidate rows under the approximate mode; 0 on exact
+        // engines, where ShardTiming::scored is the full scan.
+        let ann_candidates: u64 = if approx {
+            shard_timings.iter().map(|t| t.scored).sum()
+        } else {
+            0
+        };
         let trace = BatchTrace {
             start: t0,
             cache_done: t1,
@@ -696,6 +740,9 @@ impl ServeEngine {
             arms,
             shard_timings,
             scan_bytes,
+            ann_probed,
+            ann_candidates,
+            ann_rescored,
         };
 
         // Always-on typed metrics (lock-free counters, striped by thread).
@@ -706,6 +753,9 @@ impl ServeEngine {
         m.cache_misses.add(scored_users as u64);
         m.cold_users.add(cold_users as u64);
         m.scan_bytes.add(scan_bytes);
+        m.ann_probed.add(trace.ann_probed);
+        m.ann_candidates.add(trace.ann_candidates);
+        m.ann_rescored.add(trace.ann_rescored);
         // FP16 was asked for but a snapshot without an FP16 copy scanned
         // in FP32: count the silently-widened requests per model.
         if self.cfg.score.use_fp16 {
@@ -715,6 +765,21 @@ impl ServeEngine {
                         .entry
                         .metrics
                         .fp16_fallback
+                        .add(group.to_score.len() as u64);
+                }
+            }
+        }
+        // Approx retrieval was asked for but a snapshot without a centroid
+        // index scanned exactly: count the silently-exact requests per
+        // model (rare — the registry's policy attaches the index — but a
+        // recall dial that silently reads 4× the bytes must be visible).
+        if approx {
+            for group in groups.values() {
+                if !group.to_score.is_empty() && !group.snapshot.full().has_ann() {
+                    group
+                        .entry
+                        .metrics
+                        .ann_fallback
                         .add(group.to_score.len() as u64);
                 }
             }
@@ -1068,6 +1133,85 @@ mod tests {
             out[0].as_ref().unwrap_err(),
             ServeError::UnknownModel(_)
         ));
+    }
+
+    fn approx_config(n_probe: usize) -> ServeConfig {
+        ServeConfig::default()
+            .with_score(ScoreConfig {
+                retrieval: Retrieval::Approx {
+                    n_probe,
+                    quant: QuantMode::Int8,
+                },
+                ..ScoreConfig::default()
+            })
+            .with_ann(AnnParams {
+                k_clusters: 16,
+                ..AnnParams::default()
+            })
+    }
+
+    #[test]
+    fn approx_engine_attaches_the_index_and_cuts_scan_bytes() {
+        let exact = engine(8, 600, 8, ServeConfig::default());
+        let approx = engine(8, 600, 8, approx_config(4));
+        // The builder-derived policy attached both sidecars.
+        let id = approx.registry().default_model();
+        let held = approx.registry().snapshot(&id).unwrap();
+        assert!(held.full().has_ann() && held.full().has_int8());
+        let reqs = known(&[0, 1, 2, 3]);
+        let (want, te) = exact.recommend_batch_traced(&reqs, &NOOP);
+        let (got, ta) = approx.recommend_batch_traced(&reqs, &NOOP);
+        assert!(
+            ta.scan_bytes < te.scan_bytes,
+            "{} vs {}",
+            ta.scan_bytes,
+            te.scan_bytes
+        );
+        assert!(ta.ann_probed > 0 && ta.ann_candidates > 0 && ta.ann_rescored > 0);
+        assert_eq!(te.ann_probed, 0, "exact engines never probe");
+        // The shortlist rescore keeps the rankings close to exact.
+        let mut recall = 0.0;
+        for (a, b) in want.iter().zip(&got) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            recall += crate::metrics::overlap_at_k(&a.items, &b.items, 10);
+        }
+        assert!(recall / 4.0 >= 0.9, "recall@10 {}", recall / 4.0);
+        // The ann counters reached the typed metrics and exposition.
+        let m = approx.obs().metrics();
+        assert_eq!(m.ann_probed.get(), ta.ann_probed);
+        assert_eq!(m.ann_candidates.get(), ta.ann_candidates);
+        assert_eq!(m.ann_rescored.get(), ta.ann_rescored);
+        let text = approx.obs().render_prometheus(approx.now());
+        assert!(text.contains("serve_ann_probed_clusters_total"));
+        // Cache round trip under the approximate key.
+        let warm = approx.recommend_user(0, &NOOP).unwrap();
+        assert!(warm.from_cache);
+        assert_eq!(warm.items, got[0].as_ref().unwrap().items);
+    }
+
+    #[test]
+    fn approx_published_epochs_get_the_index_too() {
+        let e = engine(6, 300, 4, approx_config(4));
+        let id = e.registry().default_model();
+        let theta = e
+            .registry()
+            .snapshot(&id)
+            .unwrap()
+            .full()
+            .item_factors()
+            .clone();
+        e.registry()
+            .publish(&id, ModelSnapshot::new(1, theta, vec![]))
+            .unwrap();
+        let held = e.registry().snapshot(&id).unwrap();
+        assert!(held.full().has_ann() && held.full().has_int8());
+        let (_, trace) = e.recommend_batch_traced(&known(&[0, 1]), &NOOP);
+        assert!(trace.ann_probed > 0);
+        assert_eq!(
+            e.obs().metrics().model("default").ann_fallback.get(),
+            0,
+            "policy-completed snapshots never fall back"
+        );
     }
 
     #[test]

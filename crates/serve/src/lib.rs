@@ -14,6 +14,13 @@
 //!   per-user bounded heaps ([`topk`]): `O(n log k)` per user, never
 //!   materializing the full score matrix. The Θ-block size auto-tunes
 //!   from `f` to a ~100 KiB cache-resident tile.
+//! * [`ann`] — two-stage approximate retrieval: a deterministic k-means
+//!   [`CentroidIndex`] built at publish time plus an int8 per-block
+//!   [`QuantizedFactors`] copy, so [`Retrieval::Approx`] scans only the
+//!   top `n_probe` clusters' members (optionally at 1 byte/coord) and
+//!   rescores the shortlist exactly in FP32 — the paper's
+//!   accuracy-for-bandwidth dial applied to serving (see
+//!   `docs/APPROXIMATION.md`).
 //! * [`shard`] — [`ShardedFactorStore`]: the catalog split into
 //!   contiguous item-range shards, scored scatter-gather and merged with
 //!   a deterministic tie-break so the result is bit-identical to the
@@ -82,6 +89,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod admission;
+pub mod ann;
 pub mod cache;
 pub mod engine;
 pub mod error;
@@ -97,6 +105,7 @@ pub use admission::{
     admission_queue, AdmissionConfig, AdmissionQueue, AdmissionReport, AdmissionWorker, Completion,
     SubmitError,
 };
+pub use ann::{AnnParams, AnnPolicy, CentroidIndex, QuantizedFactors, QUANT_BLOCK_ROWS};
 pub use cache::{CacheKey, CacheStats, ResultCache, StripedCache};
 pub use engine::{Recommendation, Request, ServeConfig, ServeEngine, ServeEngineBuilder, UserRef};
 pub use error::ServeError;
@@ -106,7 +115,10 @@ pub use obs::{
     SloReport, SloTracker, StageBreakdown,
 };
 pub use registry::{canary_unit, CanaryPolicy, ModelId, ModelRegistry, RouteKey, Router};
-pub use scorer::{scan_bytes, score_one, top_k_batch, top_k_one, ScoreConfig};
+pub use scorer::{
+    scan_bytes, score_one, top_k_batch, top_k_batch_stats, top_k_one, QuantMode, Retrieval,
+    ScanStats, ScoreConfig,
+};
 pub use shard::{
     top_k_batch_sharded, top_k_batch_sharded_timed, Shard, ShardTiming, ShardedFactorStore,
     ShardedSnapshot,

@@ -83,6 +83,12 @@ pub struct ModelMetrics {
     /// means the bandwidth halving you configured is silently not
     /// happening — republish with [`crate::store::ModelSnapshot::with_fp16`].
     pub fp16_fallback: Counter,
+    /// Requests that asked for approximate retrieval but were scored with
+    /// the full exact scan because the published snapshot carries no
+    /// centroid index. A nonzero rate means the scan-byte reduction you
+    /// configured is silently not happening — republish with
+    /// [`crate::store::ModelSnapshot::with_ann`].
+    pub ann_fallback: Counter,
     /// Publishes to this model that left the engine's resident bytes over
     /// the configured soft memory budget (warn-only; nothing is evicted).
     pub budget_exceeded: Counter,
@@ -118,6 +124,16 @@ pub struct ServeMetrics {
     /// and add nothing). With a wall-clock denominator this is the
     /// engine's effective scan bandwidth.
     pub scan_bytes: Counter,
+    /// Clusters probed by approximate-retrieval scoring passes, summed
+    /// over arms, shards, and users. 0 on exact engines.
+    pub ann_probed: Counter,
+    /// Stage-2 shortlist rows scored by approximate-retrieval passes
+    /// (candidate items scanned after the centroid probe). 0 on exact
+    /// engines.
+    pub ann_candidates: Counter,
+    /// Shortlist rows rescored exactly in FP32 after an int8 scan. The
+    /// rescore fraction is `ann_rescored / ann_candidates`.
+    pub ann_rescored: Counter,
     /// Entries resident in the result cache, summed over stripes.
     /// Refreshed on demand ([`crate::engine::ServeEngine::refresh_memory_gauges`]),
     /// not per batch — the stats walk is O(entries).
@@ -169,6 +185,18 @@ impl ServeMetrics {
                 "serve_scan_bytes_total",
                 "Factor bytes streamed by scoring scans (cache hits excluded)",
             ),
+            ann_probed: registry.counter(
+                "serve_ann_probed_clusters_total",
+                "Clusters probed by approximate-retrieval scoring passes",
+            ),
+            ann_candidates: registry.counter(
+                "serve_ann_shortlist_items_total",
+                "Stage-2 shortlist rows scored by approximate retrieval",
+            ),
+            ann_rescored: registry.counter(
+                "serve_ann_rescored_items_total",
+                "Shortlist rows rescored exactly in FP32 after an int8 scan",
+            ),
             cache_entries: registry.gauge(
                 "serve_cache_entries",
                 "Entries resident in the result cache (all stripes)",
@@ -209,6 +237,11 @@ impl ServeMetrics {
             fp16_fallback: self.registry.counter_with(
                 "serve_fp16_fallback_total",
                 "Requests scored in FP32 because the snapshot has no FP16 copy",
+                &[("model", name)],
+            ),
+            ann_fallback: self.registry.counter_with(
+                "serve_ann_fallback_total",
+                "Approximate-retrieval requests scored exactly because the snapshot has no centroid index",
                 &[("model", name)],
             ),
             budget_exceeded: self.registry.counter_with(
@@ -391,6 +424,9 @@ mod tests {
             arms: vec![(crate::registry::ModelId::from("default"), 3)],
             shard_timings: vec![],
             scan_bytes: 0,
+            ann_probed: 0,
+            ann_candidates: 0,
+            ann_rescored: 0,
         };
         RequestSpan::from_batch(&trace, id, submitted, false, false)
     }
@@ -425,11 +461,19 @@ mod tests {
         obs.metrics()
             .mem_bytes("registry/m0/store", "m0")
             .set(2048.0);
+        obs.metrics().ann_probed.add(12);
+        obs.metrics().ann_candidates.add(300);
+        obs.metrics().ann_rescored.add(40);
         let m = obs.metrics().model("m0");
         m.fp16_fallback.add(2);
         m.budget_exceeded.inc();
+        m.ann_fallback.inc();
         let text = obs.render_prometheus(0.0);
         assert!(text.contains("serve_scan_bytes_total 4096"));
+        assert!(text.contains("serve_ann_probed_clusters_total 12"));
+        assert!(text.contains("serve_ann_shortlist_items_total 300"));
+        assert!(text.contains("serve_ann_rescored_items_total 40"));
+        assert!(text.contains("serve_ann_fallback_total{model=\"m0\"} 1"));
         assert!(text.contains("serve_cache_entries 3"));
         assert!(text.contains("serve_cache_bytes 1536"));
         assert!(text.contains("serve_mem_bytes{component=\"registry/m0/store\",model=\"m0\"} 2048"));
@@ -471,6 +515,9 @@ mod tests {
             arms: vec![(crate::registry::ModelId::from("default"), 0)],
             shard_timings: vec![],
             scan_bytes: 0,
+            ann_probed: 0,
+            ann_candidates: 0,
+            ann_rescored: 0,
         };
         obs.metrics().observe_batch_stages(&trace);
         let total: f64 = STAGES

@@ -56,6 +56,17 @@ pub struct BatchTrace {
     /// arms and shards ([`ShardTiming::bytes`]). Cache hits contribute
     /// nothing — a hit bypasses the scan entirely.
     pub scan_bytes: u64,
+    /// Clusters probed by approximate-retrieval passes, summed over all
+    /// arms, shards, and users (0 on exact engines). Feeds
+    /// `serve_ann_probed_clusters_total`.
+    pub ann_probed: u64,
+    /// Stage-2 shortlist rows scored by approximate-retrieval passes
+    /// (0 on exact engines). Feeds `serve_ann_shortlist_items_total`.
+    pub ann_candidates: u64,
+    /// Shortlist rows rescored exactly in FP32 (nonzero only under int8
+    /// quantization). Feeds `serve_ann_rescored_items_total`; the rescore
+    /// fraction is `ann_rescored / ann_candidates`.
+    pub ann_rescored: u64,
 }
 
 impl BatchTrace {
@@ -224,6 +235,9 @@ mod tests {
             arms: vec![(ModelId::from("default"), 7)],
             shard_timings: vec![],
             scan_bytes: 4096,
+            ann_probed: 0,
+            ann_candidates: 0,
+            ann_rescored: 0,
         }
     }
 

@@ -32,6 +32,7 @@
 //! forth. Cold-start requests carry no stable user id and are hashed by
 //! request id instead (a salted hash, so they don't shadow user 0).
 
+use crate::ann::AnnPolicy;
 use crate::error::ServeError;
 use crate::obs::{ModelMetrics, ServeMetrics};
 use crate::shard::{ShardedFactorStore, ShardedSnapshot};
@@ -342,6 +343,14 @@ pub struct ModelRegistry {
     /// that leaves the registry over it warns and counts
     /// (`serve_mem_budget_exceeded_total`); nothing is evicted.
     memory_budget: Option<u64>,
+    /// When set, every registered or published snapshot is completed to
+    /// this approximate-retrieval policy: a missing centroid index is
+    /// built (k-means at publish time, off the serving path) and — when
+    /// the policy asks for int8 — a missing int8 copy is quantized. The
+    /// engine derives this from its retrieval mode so `Approx` requests
+    /// never fall back to the exact scan just because a publisher forgot
+    /// to attach the index.
+    ann: Option<AnnPolicy>,
 }
 
 impl std::fmt::Debug for ModelRegistry {
@@ -366,6 +375,7 @@ impl ModelRegistry {
         shards: usize,
         metrics: ServeMetrics,
         memory_budget: Option<u64>,
+        ann: Option<AnnPolicy>,
     ) -> Result<ModelRegistry, ServeError> {
         let registry = ModelRegistry {
             inner: RwLock::new(Inner {
@@ -377,9 +387,26 @@ impl ModelRegistry {
             shards,
             metrics,
             memory_budget,
+            ann,
         };
         registry.register(id, user_factors, snapshot)?;
         Ok(registry)
+    }
+
+    /// Complete `snapshot` to the registry's approximate-retrieval policy:
+    /// build the centroid index and/or int8 copy it is missing. A no-op
+    /// when no policy is set or the snapshot already carries them (a
+    /// publisher's own index wins — it may have tuned the cluster count).
+    fn apply_ann_policy(&self, mut snapshot: ModelSnapshot) -> ModelSnapshot {
+        if let Some(policy) = self.ann {
+            if !snapshot.has_ann() {
+                snapshot = snapshot.with_ann(policy.params);
+            }
+            if policy.int8 && !snapshot.has_int8() {
+                snapshot = snapshot.with_int8();
+            }
+        }
+        snapshot
     }
 
     fn entry_of(inner: &Inner, id: &ModelId) -> Result<Arc<ModelEntry>, ServeError> {
@@ -413,6 +440,7 @@ impl ModelRegistry {
         if inner.models.contains_key(&id) {
             return Err(ServeError::DuplicateModel(id));
         }
+        let snapshot = self.apply_ann_policy(snapshot);
         let slot = inner.next_slot;
         inner.next_slot += 1;
         let metrics = self.metrics.model(id.as_str());
@@ -436,7 +464,10 @@ impl ModelRegistry {
     /// Publish a new epoch of `id`'s item factors. The snapshot's `f`
     /// must match the dimension the model was registered with
     /// ([`ServeError::DimensionMismatch`] otherwise — a different `f` is
-    /// a different model, register it as one). Returns the new epoch.
+    /// a different model, register it as one). When an
+    /// approximate-retrieval policy is in force, the snapshot's missing
+    /// centroid index / int8 copy are built here — publish time, off the
+    /// request path. Returns the new epoch.
     pub fn publish(&self, id: &ModelId, snapshot: ModelSnapshot) -> Result<u64, ServeError> {
         let entry = Self::entry_of(&self.inner.read(), id)?;
         if snapshot.f() != entry.f {
@@ -446,6 +477,7 @@ impl ModelRegistry {
                 got: snapshot.f(),
             });
         }
+        let snapshot = self.apply_ann_policy(snapshot);
         let epoch = entry.store.publish(snapshot)?;
         entry.metrics.epoch.set(epoch as f64);
         let report = self.refresh_memory_gauges();
@@ -747,6 +779,7 @@ mod tests {
             2,
             metrics(),
             None,
+            None,
         )
         .unwrap()
     }
@@ -967,6 +1000,7 @@ mod tests {
             2,
             m.clone(),
             None,
+            None,
         )
         .unwrap();
         let total = reg.footprint().total_bytes() as f64;
@@ -994,6 +1028,7 @@ mod tests {
             2,
             m.clone(),
             Some(1), // 1 byte: any publish exceeds
+            None,
         )
         .unwrap();
         assert_eq!(reg.memory_budget(), Some(1));
@@ -1005,6 +1040,45 @@ mod tests {
         reg.publish(&ModelId::from("champion"), snap(2, 6, 4))
             .unwrap();
         assert_eq!(counter.get(), 2, "warn-only: publishes keep landing");
+    }
+
+    #[test]
+    fn ann_policy_completes_registered_and_published_snapshots() {
+        use crate::ann::{AnnParams, AnnPolicy};
+        let policy = AnnPolicy {
+            params: AnnParams {
+                k_clusters: 3,
+                ..AnnParams::default()
+            },
+            int8: true,
+        };
+        let reg = ModelRegistry::bootstrap(
+            ModelId::from("champion"),
+            DenseMatrix::identity(4),
+            snap(0, 6, 4),
+            1,
+            metrics(),
+            None,
+            Some(policy),
+        )
+        .unwrap();
+        let champ = ModelId::from("champion");
+        // Registration attached both sidecars…
+        let held = reg.snapshot(&champ).unwrap();
+        assert!(held.full().has_ann() && held.full().has_int8());
+        assert_eq!(held.full().ann().unwrap().k_clusters(), 3);
+        // …and a bare published snapshot gets them too, at publish time.
+        reg.publish(&champ, snap(1, 8, 4)).unwrap();
+        let next = reg.snapshot(&champ).unwrap();
+        assert!(next.full().has_ann() && next.full().has_int8());
+        // A publisher-supplied index is kept, not rebuilt.
+        let tuned = snap(2, 8, 4).with_ann(AnnParams {
+            k_clusters: 5,
+            ..AnnParams::default()
+        });
+        reg.publish(&champ, tuned).unwrap();
+        let kept = reg.snapshot(&champ).unwrap();
+        assert_eq!(kept.full().ann().unwrap().k_clusters(), 5);
     }
 
     #[test]

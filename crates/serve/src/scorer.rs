@@ -9,11 +9,83 @@
 //! FP16 path the Θ-block is widened to `f32` once per tile, so quantized
 //! scoring reads half the factor bytes at the cost of one extra scratch
 //! buffer per worker.
+//!
+//! Since the two-stage retrieval change the scorer also carries an
+//! *approximate* mode ([`Retrieval::Approx`]): when the snapshot has a
+//! [`crate::ann::CentroidIndex`], each user scores `k_clusters` centroids,
+//! scans only the members of the top `n_probe` clusters (optionally from
+//! the int8 copy), and rescores the surviving shortlist exactly in FP32 —
+//! trading recall for an order-of-magnitude cut in scan bytes. With
+//! `n_probe == k_clusters` and no quantization the approximate path
+//! covers every item with identical arithmetic, so it is bit-identical to
+//! [`Retrieval::Exact`] (property-test-enforced).
 
+use crate::ann::CentroidIndex;
 use crate::store::ModelSnapshot;
 use crate::topk::{ScoredItem, TopK};
 use cumf_numeric::dense::{dot, DenseMatrix};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shortlist precision for [`Retrieval::Approx`]'s cluster-member scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QuantMode {
+    /// Scan probed members in FP32 — fewer items, full precision, no
+    /// rescore pass needed.
+    None,
+    /// Scan probed members from the snapshot's int8 copy (¼ of the FP32
+    /// bytes), then rescore the shortlist exactly in FP32. Falls back to
+    /// [`QuantMode::None`] when the snapshot carries no int8 copy.
+    Int8,
+}
+
+/// Retrieval mode: how much of the catalog a request's scoring pass
+/// actually reads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Retrieval {
+    /// Scan every item row — the exact blocked GEMM path.
+    #[default]
+    Exact,
+    /// Two-stage approximate retrieval: probe the snapshot's centroid
+    /// index, scan only the top `n_probe` clusters' members (per
+    /// `quant`), rescore the shortlist exactly in FP32. Falls back to
+    /// [`Retrieval::Exact`] when the snapshot carries no index (counted
+    /// per model as `serve_ann_fallback_total`).
+    Approx {
+        /// Clusters scanned per user, clamped to `[1, k_clusters]`.
+        n_probe: usize,
+        /// Precision of the cluster-member scan.
+        quant: QuantMode,
+    },
+}
+
+impl Retrieval {
+    /// Whether this is the exact full-scan mode.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Retrieval::Exact)
+    }
+}
+
+/// Measured work of one scoring pass. The exact path fills only `bytes`
+/// (from the closed-form [`scan_bytes`] model); the approximate path
+/// counts its actual data-dependent traffic, which is what flows into
+/// `serve_scan_bytes_total`, the `serve_ann_*` counters, and
+/// `AdmissionReport::effective_gbps`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Factor bytes the pass streamed (centroids + member rows + rescore
+    /// rows on the approximate path; the blocked Θ walk on the exact
+    /// path).
+    pub bytes: u64,
+    /// Clusters probed, summed over users (0 on the exact path).
+    pub probed_clusters: u64,
+    /// Item rows scored in stage 2, summed over users. On the exact path
+    /// this is the full `n_items × users` scan.
+    pub candidates: u64,
+    /// Shortlist rows rescored exactly in FP32, summed over users
+    /// (nonzero only on the int8 approximate path).
+    pub rescored: u64,
+}
 
 /// Tiling and precision knobs for the batched scorer.
 #[derive(Clone, Copy, Debug)]
@@ -25,8 +97,13 @@ pub struct ScoreConfig {
     pub block_items: Option<usize>,
     /// Users per rayon task.
     pub user_chunk: usize,
-    /// Read the FP16 factor copy when the snapshot carries one.
+    /// Read the FP16 factor copy when the snapshot carries one (exact
+    /// path only; the approximate shortlist scan uses `retrieval`'s
+    /// [`QuantMode`] instead).
     pub use_fp16: bool,
+    /// Exact full scan, or two-stage approximate retrieval (see
+    /// [`Retrieval`]).
+    pub retrieval: Retrieval,
 }
 
 impl Default for ScoreConfig {
@@ -35,6 +112,7 @@ impl Default for ScoreConfig {
             block_items: None,
             user_chunk: 32,
             use_fp16: false,
+            retrieval: Retrieval::Exact,
         }
     }
 }
@@ -104,21 +182,160 @@ pub fn scan_bytes(snapshot: &ModelSnapshot, users: usize, cfg: &ScoreConfig) -> 
 /// Score every row of `user_factors` against the snapshot's items and
 /// return each user's top `k` items, best first.
 ///
-/// Scores are `x_u · θ_v + prior(v)`, accumulated in `f32` in item order —
-/// identical arithmetic on the blocked and naive paths, so results are
-/// bit-identical to [`naive_top_k`](crate::topk::naive_top_k) over
-/// [`score_one`]'s rows.
+/// Honors `cfg.retrieval`: [`Retrieval::Exact`] (or an `Approx` request
+/// against a snapshot with no centroid index) runs the blocked full scan;
+/// [`Retrieval::Approx`] runs the two-stage probe/scan/rescore path. This
+/// is [`top_k_batch_stats`] with the [`ScanStats`] dropped.
+///
+/// On the exact path scores are `x_u · θ_v + prior(v)`, accumulated in
+/// `f32` in item order — identical arithmetic on the blocked and naive
+/// paths, so results are bit-identical to
+/// [`naive_top_k`](crate::topk::naive_top_k) over [`score_one`]'s rows.
 pub fn top_k_batch(
     snapshot: &ModelSnapshot,
     user_factors: &DenseMatrix,
     k: usize,
     cfg: &ScoreConfig,
 ) -> Vec<Vec<ScoredItem>> {
+    top_k_batch_stats(snapshot, user_factors, k, cfg).0
+}
+
+/// [`top_k_batch`] plus the measured [`ScanStats`] of the pass — the
+/// entry point the shard scatter-gather uses so byte accounting reflects
+/// what the approximate path actually read rather than the closed-form
+/// full-scan model.
+pub fn top_k_batch_stats(
+    snapshot: &ModelSnapshot,
+    user_factors: &DenseMatrix,
+    k: usize,
+    cfg: &ScoreConfig,
+) -> (Vec<Vec<ScoredItem>>, ScanStats) {
     assert_eq!(
         user_factors.cols(),
         snapshot.f(),
         "user factor dimension must match the model"
     );
+    if let Retrieval::Approx { n_probe, quant } = cfg.retrieval {
+        if let Some(index) = snapshot.ann() {
+            return top_k_batch_approx(snapshot, index, user_factors, k, n_probe, quant, cfg);
+        }
+    }
+    let users = user_factors.rows();
+    let rows = top_k_batch_exact(snapshot, user_factors, k, cfg);
+    let stats = ScanStats {
+        bytes: scan_bytes(snapshot, users, cfg),
+        probed_clusters: 0,
+        candidates: snapshot.n_items() as u64 * users as u64,
+        rescored: 0,
+    };
+    (rows, stats)
+}
+
+/// Two-stage approximate retrieval: per user, rank the `k_clusters`
+/// centroids, scan the members of the top `n_probe` clusters (from the
+/// int8 copy when requested and present, FP32 otherwise), then — on the
+/// int8 path — rescore an oversampled `4·k` shortlist exactly in FP32.
+/// The FP32 member scan pushes straight into the final heap with the same
+/// `dot + prior` arithmetic as the exact scan, which is what makes the
+/// full-probe/no-quant case bit-identical to [`Retrieval::Exact`].
+fn top_k_batch_approx(
+    snapshot: &ModelSnapshot,
+    index: &CentroidIndex,
+    user_factors: &DenseMatrix,
+    k: usize,
+    n_probe: usize,
+    quant: QuantMode,
+    cfg: &ScoreConfig,
+) -> (Vec<Vec<ScoredItem>>, ScanStats) {
+    let f = snapshot.f();
+    let users = user_factors.rows();
+    let int8 = match quant {
+        QuantMode::Int8 => snapshot.int8(),
+        QuantMode::None => None,
+    };
+    // Oversample the int8 shortlist so quantization roundoff near the
+    // k-th score boundary rarely evicts a true top-k item before the
+    // exact rescore can save it.
+    let shortlist = (4 * k).max(k).max(1);
+    let probed = AtomicU64::new(0);
+    let candidates = AtomicU64::new(0);
+    let rescored = AtomicU64::new(0);
+
+    let mut heaps: Vec<TopK> = (0..users).map(|_| TopK::new(k)).collect();
+    heaps
+        .par_chunks_mut(cfg.user_chunk.max(1))
+        .enumerate()
+        .for_each(|(chunk_idx, chunk)| {
+            let user0 = chunk_idx * cfg.user_chunk.max(1);
+            // FP32 row reads borrow straight from the matrix; scratch is
+            // only a signature requirement.
+            let mut scratch: Vec<f32> = Vec::new();
+            let (mut p, mut c, mut r) = (0u64, 0u64, 0u64);
+            for (du, heap) in chunk.iter_mut().enumerate() {
+                let xu = user_factors.row(user0 + du);
+                let clusters = index.probe(xu, n_probe);
+                p += clusters.len() as u64;
+                match int8 {
+                    Some(q) => {
+                        let mut pre = TopK::new(shortlist);
+                        for &cluster in &clusters {
+                            for &item in index.members(cluster as usize) {
+                                let s = q.dot(item as usize, xu) + snapshot.prior(item as usize);
+                                pre.push(item, s);
+                                c += 1;
+                            }
+                        }
+                        for cand in pre.into_sorted() {
+                            let v = cand.item as usize;
+                            let row = snapshot.block_rows(v, 1, false, &mut scratch);
+                            heap.push(cand.item, dot(xu, row) + snapshot.prior(v));
+                            r += 1;
+                        }
+                    }
+                    None => {
+                        for &cluster in &clusters {
+                            for &item in index.members(cluster as usize) {
+                                let v = item as usize;
+                                let row = snapshot.block_rows(v, 1, false, &mut scratch);
+                                heap.push(item, dot(xu, row) + snapshot.prior(v));
+                                c += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            probed.fetch_add(p, Ordering::Relaxed);
+            candidates.fetch_add(c, Ordering::Relaxed);
+            rescored.fetch_add(r, Ordering::Relaxed);
+        });
+
+    let probed = probed.into_inner();
+    let candidates = candidates.into_inner();
+    let rescored = rescored.into_inner();
+    // Measured traffic: every user reads all k_clusters centroid rows for
+    // the probe, stage 2 reads each candidate row at the scan width
+    // (1 byte/coord int8, 4 FP32), and the rescore re-reads shortlist
+    // rows in FP32.
+    let width: u64 = if int8.is_some() { 1 } else { 4 };
+    let bytes = users as u64 * index.k_clusters() as u64 * f as u64 * 4
+        + candidates * f as u64 * width
+        + rescored * f as u64 * 4;
+    let stats = ScanStats {
+        bytes,
+        probed_clusters: probed,
+        candidates,
+        rescored,
+    };
+    (heaps.into_iter().map(TopK::into_sorted).collect(), stats)
+}
+
+/// The exact blocked full-scan kernel behind [`top_k_batch`].
+fn top_k_batch_exact(
+    snapshot: &ModelSnapshot,
+    user_factors: &DenseMatrix,
+    k: usize,
+    cfg: &ScoreConfig,
+) -> Vec<Vec<ScoredItem>> {
     let n = snapshot.n_items();
     let f = snapshot.f();
     let users = user_factors.rows();
@@ -216,7 +433,7 @@ mod tests {
             let cfg = ScoreConfig {
                 block_items,
                 user_chunk,
-                use_fp16: false,
+                ..ScoreConfig::default()
             };
             let got = top_k_batch(&snap, &users, 10, &cfg);
             assert_eq!(got, want, "tiling {block_items:?}×{user_chunk}");
@@ -302,5 +519,88 @@ mod tests {
         let snap = random_snapshot(7, 4, 8);
         let top = top_k_one(&snap, &[0.5; 4], 100, &ScoreConfig::default());
         assert_eq!(top.len(), 7);
+    }
+
+    fn approx_cfg(n_probe: usize, quant: QuantMode) -> ScoreConfig {
+        ScoreConfig {
+            retrieval: Retrieval::Approx { n_probe, quant },
+            ..ScoreConfig::default()
+        }
+    }
+
+    #[test]
+    fn full_probe_unquantized_approx_is_bit_identical_to_exact() {
+        use crate::ann::AnnParams;
+        let params = AnnParams {
+            k_clusters: 8,
+            ..AnnParams::default()
+        };
+        let snap = random_snapshot(120, 7, 10).with_ann(params);
+        let users = random_users(9, 7, 11);
+        let exact = top_k_batch(&snap, &users, 10, &ScoreConfig::default());
+        let approx = top_k_batch(&snap, &users, 10, &approx_cfg(8, QuantMode::None));
+        assert_eq!(exact, approx, "full probe + FP32 must cover every item");
+    }
+
+    #[test]
+    fn approx_without_an_index_falls_back_to_the_exact_scan() {
+        let snap = random_snapshot(60, 5, 12);
+        let users = random_users(4, 5, 13);
+        let cfg = approx_cfg(2, QuantMode::Int8);
+        let (rows, stats) = top_k_batch_stats(&snap, &users, 5, &cfg);
+        assert_eq!(rows, top_k_batch(&snap, &users, 5, &ScoreConfig::default()));
+        assert_eq!(stats.probed_clusters, 0, "fallback never probes");
+        assert_eq!(stats.candidates, 60 * 4);
+        assert_eq!(stats.bytes, scan_bytes(&snap, 4, &cfg));
+    }
+
+    #[test]
+    fn approx_stats_count_the_measured_traffic() {
+        use crate::ann::AnnParams;
+        let params = AnnParams {
+            k_clusters: 10,
+            ..AnnParams::default()
+        };
+        let snap = random_snapshot(1000, 6, 14).with_ann(params).with_int8();
+        let users = random_users(5, 6, 15);
+        let (rows, stats) = top_k_batch_stats(&snap, &users, 4, &approx_cfg(3, QuantMode::Int8));
+        assert_eq!(rows.len(), 5);
+        assert_eq!(stats.probed_clusters, 5 * 3);
+        assert!(stats.candidates < 1000 * 5, "probe must prune the scan");
+        assert!(stats.rescored > 0 && stats.rescored <= 5 * 16);
+        assert!(stats.rescored <= stats.candidates);
+        // bytes = probe (all centroids, FP32) + int8 member scan + FP32 rescore.
+        let want = 5 * 10 * 6 * 4 + stats.candidates * 6 + stats.rescored * 6 * 4;
+        assert_eq!(stats.bytes, want);
+        // The whole point: far fewer bytes than the exact FP32 scan.
+        let exact = scan_bytes(&snap, 5, &ScoreConfig::default());
+        assert!(
+            stats.bytes < exact,
+            "approx {} vs exact {exact}",
+            stats.bytes
+        );
+    }
+
+    #[test]
+    fn int8_rescore_keeps_recall_high_on_a_random_snapshot() {
+        use crate::ann::AnnParams;
+        use crate::metrics::overlap_at_k;
+        let params = AnnParams {
+            k_clusters: 16,
+            ..AnnParams::default()
+        };
+        let snap = random_snapshot(500, 12, 16).with_ann(params).with_int8();
+        let users = random_users(20, 12, 17);
+        let exact = top_k_batch(&snap, &users, 10, &ScoreConfig::default());
+        let approx = top_k_batch(&snap, &users, 10, &approx_cfg(8, QuantMode::Int8));
+        let mut recall = 0.0;
+        for (a, b) in exact.iter().zip(approx.iter()) {
+            recall += overlap_at_k(a, b, 10);
+        }
+        recall /= 20.0;
+        assert!(
+            recall >= 0.9,
+            "recall@10 {recall} below the documented floor"
+        );
     }
 }

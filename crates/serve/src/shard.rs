@@ -6,7 +6,7 @@
 //! are split into contiguous item-id ranges — each shard carrying its own
 //! FP32 (and optional FP16) blocks and popularity priors — and a request
 //! batch is *scattered*: every shard runs the existing blocked scoring
-//! kernel ([`top_k_batch`]) over its slice, producing one bounded heap per
+//! kernel ([`top_k_batch`](crate::scorer::top_k_batch)) over its slice, producing one bounded heap per
 //! (shard, user). The *gather* step merges the per-shard heaps with the
 //! deterministic tie-break of [`merge_top_k`] (score descending, item id
 //! ascending), so the sharded ranking is bit-identical to the unsharded
@@ -21,9 +21,10 @@
 //! on-ramp to multi-node serving: each range could live in a different
 //! process and the gather step would not change.
 
+use crate::ann::AnnParams;
 use crate::error::ServeError;
 use crate::registry::ModelId;
-use crate::scorer::{scan_bytes, top_k_batch, ScoreConfig};
+use crate::scorer::{top_k_batch_stats, ScoreConfig};
 use crate::store::ModelSnapshot;
 use crate::topk::{merge_top_k, ScoredItem};
 use cumf_numeric::dense::DenseMatrix;
@@ -81,7 +82,11 @@ impl ShardedSnapshot {
     /// Split `snapshot` into `n_shards` contiguous item ranges, sized as
     /// evenly as possible (earlier shards take the remainder). The shard
     /// count is clamped to `[1, n_items]` so no shard is ever empty; each
-    /// shard re-narrows its own FP16 copy when the parent carries one.
+    /// shard re-narrows its own FP16 copy when the parent carries one,
+    /// re-quantizes its own int8 copy, and — when the parent carries a
+    /// centroid index — re-clusters its slice with the cluster count
+    /// scaled down proportionally (`⌈k·len/n⌉`, floored at 1) so the
+    /// probe/scan ratio stays roughly the parent's at any shard count.
     pub fn build(snapshot: ModelSnapshot, n_shards: usize) -> ShardedSnapshot {
         let n = snapshot.n_items();
         let f = snapshot.f();
@@ -103,6 +108,17 @@ impl ShardedSnapshot {
                 ModelSnapshot::new(snapshot.epoch, DenseMatrix::from_vec(len, f, rows), pop);
             if snapshot.has_fp16() {
                 local = local.with_fp16();
+            }
+            if let Some(idx) = snapshot.ann() {
+                let parent = idx.params();
+                let k = (parent.k_clusters * len).div_ceil(n.max(1)).max(1);
+                local = local.with_ann(AnnParams {
+                    k_clusters: k,
+                    ..parent
+                });
+            }
+            if snapshot.has_int8() {
+                local = local.with_int8();
             }
             shards.push(Shard { start, local });
             start += len;
@@ -173,12 +189,22 @@ impl MemoryFootprint for ShardedSnapshot {
 pub struct ShardTiming {
     /// Shard index.
     pub shard: usize,
-    /// `items × users` score evaluations the shard performed.
+    /// Stage-2 score evaluations the shard performed: `items × users` on
+    /// the exact path, the pruned candidate count on the approximate one.
     pub scored: u64,
-    /// Factor bytes the pass streamed from the shard's snapshot
-    /// ([`scan_bytes`]'s analytic count: FP16 blocks count 2 bytes per
-    /// element, FP32 blocks 4, once per user chunk).
+    /// Factor bytes the pass streamed from the shard's snapshot. Exact
+    /// scans use [`scan_bytes`](crate::scorer::scan_bytes)'s analytic
+    /// count (FP16 blocks 2 bytes per element, FP32 blocks 4, once per
+    /// user chunk); approximate scans report the measured centroid +
+    /// member + rescore traffic from
+    /// [`ScanStats`](crate::scorer::ScanStats).
     pub bytes: u64,
+    /// Clusters the shard's pass probed, summed over users (0 on the
+    /// exact path).
+    pub probed_clusters: u64,
+    /// Shortlist rows the shard rescored exactly in FP32 (nonzero only on
+    /// the int8 approximate path).
+    pub rescored: u64,
     /// Host wall-clock seconds the shard's pass took.
     pub secs: f64,
 }
@@ -248,7 +274,7 @@ pub fn scatter_top_k(
         |idx: usize, shard: &Shard| -> (Vec<Vec<ScoredItem>>, ShardTiming, Option<PhaseSpan>) {
             let s0 = anchor.elapsed().as_secs_f64();
             let t0 = Instant::now();
-            let mut local = top_k_batch(&shard.local, user_factors, k, cfg);
+            let (mut local, stats) = top_k_batch_stats(&shard.local, user_factors, k, cfg);
             for user_ranking in &mut local {
                 for item in user_ranking.iter_mut() {
                     item.item += shard.start as u32;
@@ -257,8 +283,10 @@ pub fn scatter_top_k(
             let secs = t0.elapsed().as_secs_f64();
             let timing = ShardTiming {
                 shard: idx,
-                scored: (shard.n_items() * users) as u64,
-                bytes: scan_bytes(&shard.local, users, cfg),
+                scored: stats.candidates,
+                bytes: stats.bytes,
+                probed_clusters: stats.probed_clusters,
+                rescored: stats.rescored,
                 secs,
             };
             let span = tracing.then(|| {
@@ -318,7 +346,7 @@ pub fn scatter_top_k(
 /// item range, then per-user heaps are merged into global rankings.
 /// Returns the rankings plus per-shard timings.
 ///
-/// Bit-identical to [`top_k_batch`] over the unsharded snapshot: shard
+/// Bit-identical to [`top_k_batch`](crate::scorer::top_k_batch) over the unsharded snapshot: shard
 /// slices preserve row layout so each item's dot product is the same
 /// arithmetic, and [`merge_top_k`]'s total order (score descending, item
 /// id ascending) picks exactly the set and order one global heap would.
@@ -332,7 +360,7 @@ pub fn top_k_batch_sharded_timed(
 }
 
 /// [`top_k_batch_sharded_timed`] without the timings — the plain sharded
-/// counterpart of [`top_k_batch`].
+/// counterpart of [`top_k_batch`](crate::scorer::top_k_batch).
 pub fn top_k_batch_sharded(
     sharded: &ShardedSnapshot,
     user_factors: &DenseMatrix,
@@ -474,6 +502,7 @@ impl MemoryFootprint for ShardedFactorStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scorer::top_k_batch;
 
     fn snap(n: usize, f: usize, priors: bool) -> ModelSnapshot {
         let mut theta = DenseMatrix::zeros(n, f);
@@ -653,6 +682,62 @@ mod tests {
                 assert_eq!(t.bytes, (shard.n_items() * 5 * 4) as u64);
             }
         }
+    }
+
+    #[test]
+    fn ann_and_int8_carry_through_sharding_with_scaled_clusters() {
+        let params = AnnParams {
+            k_clusters: 8,
+            ..AnnParams::default()
+        };
+        let parent = snap(40, 3, false).with_ann(params).with_int8();
+        let sharded = ShardedSnapshot::build(parent, 4);
+        assert!(sharded.full().has_ann() && sharded.full().has_int8());
+        for shard in sharded.shards() {
+            assert!(shard.local.has_int8());
+            let idx = shard.local.ann().expect("shard index");
+            // 8 clusters over 40 items, 10-item shards ⇒ 2 clusters each.
+            assert_eq!(idx.k_clusters(), 2);
+        }
+        let plain = ShardedSnapshot::build(snap(40, 3, false), 4);
+        assert!(plain.shards().iter().all(|s| !s.local.has_ann()));
+    }
+
+    #[test]
+    fn approx_shard_timings_report_measured_traffic() {
+        let params = AnnParams {
+            k_clusters: 8,
+            ..AnnParams::default()
+        };
+        let full = snap(400, 4, true).with_ann(params).with_int8();
+        let x = users(5, 4);
+        let cfg = ScoreConfig {
+            retrieval: crate::scorer::Retrieval::Approx {
+                n_probe: 2,
+                quant: crate::scorer::QuantMode::Int8,
+            },
+            ..ScoreConfig::default()
+        };
+        for s in [1, 3] {
+            let sharded = ShardedSnapshot::build(full.clone(), s);
+            let (_, timings) = top_k_batch_sharded_timed(&sharded, &x, 3, &cfg);
+            let probed: u64 = timings.iter().map(|t| t.probed_clusters).sum();
+            let scored: u64 = timings.iter().map(|t| t.scored).sum();
+            let rescored: u64 = timings.iter().map(|t| t.rescored).sum();
+            assert!(probed > 0, "{s} shards");
+            assert!(scored < 400 * 5, "{s} shards must prune the scan");
+            assert!(rescored > 0 && rescored <= scored, "{s} shards");
+        }
+        // Single shard at the reference shape: the measured approximate
+        // traffic must undercut the exact FP32 scan.
+        let single = ShardedSnapshot::build(full.clone(), 1);
+        let (_, timings) = top_k_batch_sharded_timed(&single, &x, 3, &cfg);
+        let exact_bytes = crate::scorer::scan_bytes(&full, 5, &ScoreConfig::default());
+        assert!(
+            timings[0].bytes < exact_bytes,
+            "{} vs {exact_bytes}",
+            timings[0].bytes
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! in progress), in-flight batches keep scoring the epoch they started
 //! with, and the old snapshot is dropped when its last reader finishes.
 
+use crate::ann::{AnnParams, CentroidIndex, QuantizedFactors};
 use crate::error::ServeError;
 use crate::registry::ModelId;
 use cumf_numeric::dense::DenseMatrix;
@@ -48,6 +49,14 @@ pub struct ModelSnapshot {
     /// Per-item additive prior (e.g. log-popularity), added to every score;
     /// empty means no prior.
     popularity: Vec<f32>,
+    /// K-means centroid index over the item factors, populated by
+    /// [`ModelSnapshot::with_ann`]. Enables the two-stage approximate
+    /// retrieval path ([`crate::scorer::Retrieval::Approx`]).
+    ann: Option<CentroidIndex>,
+    /// Int8 per-block-scale copy of the factors, populated by
+    /// [`ModelSnapshot::with_int8`] — the shortlist-scan format of the
+    /// approximate path (a quarter of the FP32 scan bytes).
+    int8: Option<QuantizedFactors>,
 }
 
 impl ModelSnapshot {
@@ -65,6 +74,8 @@ impl ModelSnapshot {
             item_factors,
             item_factors_f16: None,
             popularity,
+            ann: None,
+            int8: None,
         }
     }
 
@@ -76,6 +87,25 @@ impl ModelSnapshot {
         let mut q = vec![F16::ZERO; src.len()];
         narrow_slice(src, &mut q);
         self.item_factors_f16 = Some(q);
+        self
+    }
+
+    /// Build and attach a [`CentroidIndex`] over the item factors
+    /// (builder-style) — the publish-time half of two-stage approximate
+    /// retrieval. Costs one seeded k-means pass now; requests probe the
+    /// index instead of scanning the full catalog when the scorer runs in
+    /// [`crate::scorer::Retrieval::Approx`] mode.
+    pub fn with_ann(mut self, params: AnnParams) -> ModelSnapshot {
+        self.ann = Some(CentroidIndex::build(&self.item_factors, params));
+        self
+    }
+
+    /// Build and attach an int8 per-block-scale copy of the factors
+    /// (builder-style), the shortlist-scan format of the approximate
+    /// path. The FP32 master stays available — final shortlists are
+    /// always rescored against it.
+    pub fn with_int8(mut self) -> ModelSnapshot {
+        self.int8 = Some(QuantizedFactors::build(&self.item_factors));
         self
     }
 
@@ -92,6 +122,26 @@ impl ModelSnapshot {
     /// Whether the FP16 factor copy is present.
     pub fn has_fp16(&self) -> bool {
         self.item_factors_f16.is_some()
+    }
+
+    /// Whether a centroid index is present.
+    pub fn has_ann(&self) -> bool {
+        self.ann.is_some()
+    }
+
+    /// Whether the int8 factor copy is present.
+    pub fn has_int8(&self) -> bool {
+        self.int8.is_some()
+    }
+
+    /// The centroid index, when [`ModelSnapshot::with_ann`] built one.
+    pub fn ann(&self) -> Option<&CentroidIndex> {
+        self.ann.as_ref()
+    }
+
+    /// The int8 factor copy, when [`ModelSnapshot::with_int8`] built one.
+    pub fn int8(&self) -> Option<&QuantizedFactors> {
+        self.int8.as_ref()
     }
 
     /// The FP32 item-factor matrix.
@@ -143,8 +193,10 @@ impl ModelSnapshot {
 
 impl MemoryFootprint for ModelSnapshot {
     /// Children: `fp32` (the master `Θ` matrix), `fp16` (the narrowed
-    /// copy, present only after [`ModelSnapshot::with_fp16`]), and
-    /// `priors`. Exact payload bytes — container headers are not counted.
+    /// copy, present only after [`ModelSnapshot::with_fp16`]),
+    /// `centroids` (after [`ModelSnapshot::with_ann`]), `int8` (after
+    /// [`ModelSnapshot::with_int8`]), and `priors`. Exact payload bytes —
+    /// container headers are not counted.
     fn footprint(&self) -> FootprintReport {
         let mut children = vec![FootprintReport::leaf(
             "fp32",
@@ -155,6 +207,12 @@ impl MemoryFootprint for ModelSnapshot {
                 "fp16",
                 (q.len() * std::mem::size_of::<F16>()) as u64,
             ));
+        }
+        if let Some(idx) = &self.ann {
+            children.push(FootprintReport::leaf("centroids", idx.bytes()));
+        }
+        if let Some(q) = &self.int8 {
+            children.push(FootprintReport::leaf("int8", q.bytes()));
         }
         children.push(FootprintReport::leaf(
             "priors",
@@ -338,6 +396,34 @@ mod tests {
         let fp16 = find(&r, "fp16").unwrap();
         assert_eq!(fp16 * 2, fp32, "binary16 copy is exactly half the master");
         assert_eq!(r.total_bytes(), fp32 + fp16);
+    }
+
+    #[test]
+    fn ann_and_int8_footprints_appear_when_attached() {
+        let s = snap(0, 64, 8)
+            .with_ann(crate::ann::AnnParams {
+                k_clusters: 4,
+                ..crate::ann::AnnParams::default()
+            })
+            .with_int8();
+        assert!(s.has_ann() && s.has_int8());
+        let r = s.footprint();
+        assert!(r.verify());
+        let find = |name: &str| {
+            r.children()
+                .iter()
+                .find(|c| c.name() == name)
+                .map(|c| c.total_bytes())
+        };
+        assert_eq!(find("centroids"), Some(s.ann().unwrap().bytes()));
+        assert_eq!(find("int8"), Some(s.int8().unwrap().bytes()));
+        // int8 weights are a quarter of the fp32 payload (plus scales).
+        assert_eq!(find("int8").unwrap(), 64 * 8 + 2 * 4);
+        assert_eq!(find("fp32").unwrap(), 64 * 8 * 4);
+        // A plain snapshot carries neither component.
+        let plain = snap(0, 64, 8).footprint();
+        assert!(plain.children().iter().all(|c| c.name() != "centroids"));
+        assert!(plain.children().iter().all(|c| c.name() != "int8"));
     }
 
     #[test]

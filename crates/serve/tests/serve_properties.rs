@@ -1,18 +1,21 @@
 //! Property-based and model-level tests for the serving crate:
 //! the blocked top-k path against a naive argsort oracle, the sharded
-//! scatter-gather path against the unsharded scorer, canary-routing
-//! determinism and split convergence, registry promote/rollback cache
-//! isolation, admission-queue overload behavior, and the FP16 scoring
-//! path's ranking quality on a trained model.
+//! scatter-gather path against the unsharded scorer, the approximate
+//! retrieval path's exactness/recall guarantees (full probe bit-identity,
+//! recall monotonicity in `n_probe`, int8 round-trip bounds),
+//! canary-routing determinism and split convergence, registry
+//! promote/rollback cache isolation, admission-queue overload behavior,
+//! and the FP16 scoring path's ranking quality on a trained model.
 
 use cumf_als::{AlsConfig, AlsTrainer};
 use cumf_datasets::{MfDataset, SizeClass};
 use cumf_gpu_sim::GpuSpec;
 use cumf_numeric::dense::DenseMatrix;
 use cumf_serve::{
-    admission_queue, canary_unit, naive_top_k, ndcg_at_k, score_one, top_k_batch,
-    top_k_batch_sharded, AdmissionConfig, CanaryPolicy, ModelSnapshot, Request, ScoreConfig,
-    ServeConfig, ServeEngine, ShardedSnapshot, SubmitError,
+    admission_queue, canary_unit, naive_top_k, ndcg_at_k, overlap_at_k, score_one, top_k_batch,
+    top_k_batch_sharded, AdmissionConfig, AnnParams, CanaryPolicy, ModelSnapshot, QuantMode,
+    QuantizedFactors, Request, Retrieval, ScoreConfig, ServeConfig, ServeEngine, ShardedSnapshot,
+    SubmitError,
 };
 use cumf_telemetry::NOOP;
 use proptest::prelude::*;
@@ -48,7 +51,7 @@ proptest! {
         user_chunk in 1usize..9,
     ) {
         let (snapshot, users) = model;
-        let cfg = ScoreConfig { block_items: Some(block_items), user_chunk, use_fp16: false };
+        let cfg = ScoreConfig { block_items: Some(block_items), user_chunk, ..ScoreConfig::default() };
         let got = top_k_batch(&snapshot, &users, k, &cfg);
         prop_assert_eq!(got.len(), users.rows());
         for (u, ranked) in got.iter().enumerate() {
@@ -67,9 +70,9 @@ proptest! {
     ) {
         let (snapshot, users) = model;
         let a = top_k_batch(&snapshot, &users, 8, &ScoreConfig {
-            block_items: Some(blocks.0), user_chunk: 3, use_fp16: false });
+            block_items: Some(blocks.0), user_chunk: 3, ..ScoreConfig::default() });
         let b = top_k_batch(&snapshot, &users, 8, &ScoreConfig {
-            block_items: Some(blocks.1), user_chunk: 5, use_fp16: false });
+            block_items: Some(blocks.1), user_chunk: 5, ..ScoreConfig::default() });
         prop_assert_eq!(a, b);
     }
 
@@ -120,6 +123,99 @@ proptest! {
             prop_assert_eq!(&got, &want, "{} shards over {} items", shards, n);
         }
     }
+}
+
+proptest! {
+    /// With every cluster probed and no quantization, the approximate
+    /// retrieval path must be bit-identical to the exact scorer: the
+    /// candidate set covers the whole catalog, candidates are scored in
+    /// FP32, and the heap's total order is push-order independent.
+    #[test]
+    fn full_probe_unquantized_approx_is_bit_identical_to_exact(
+        model in arb_model(),
+        k in 1usize..15,
+        k_clusters in 1usize..7,
+    ) {
+        let (snapshot, users) = model;
+        let snapshot = snapshot.with_ann(AnnParams { k_clusters, ..AnnParams::default() });
+        let exact = top_k_batch(&snapshot, &users, k, &ScoreConfig::default());
+        let approx = top_k_batch(&snapshot, &users, k, &ScoreConfig {
+            retrieval: Retrieval::Approx { n_probe: k_clusters, quant: QuantMode::None },
+            ..ScoreConfig::default()
+        });
+        prop_assert_eq!(approx, exact);
+    }
+
+    /// int8 block quantization round-trips every coefficient to within
+    /// half a quantization step of its block's scale.
+    #[test]
+    fn int8_round_trip_error_is_bounded_by_half_a_step(
+        rows in prop::collection::vec(-2.0f32..2.0, 4..260),
+    ) {
+        let f = 4usize;
+        let n = rows.len() / f;
+        let items = DenseMatrix::from_vec(n, f, rows[..n * f].to_vec());
+        let q = QuantizedFactors::build(&items);
+        for i in 0..n {
+            let scale = q.scale(i);
+            for (j, &v) in items.row(i).iter().enumerate() {
+                let back = f32::from(q.row(i)[j]) * scale;
+                prop_assert!(
+                    (back - v).abs() <= scale * 0.5 + 1e-6,
+                    "item {} dim {}: {} -> {} (scale {})", i, j, v, back, scale
+                );
+            }
+        }
+    }
+}
+
+/// Recall@k versus the exact scorer is monotone in `n_probe`: without
+/// quantization the candidate sets nest as the probe widens, so widening
+/// the probe can only add true top-k items — and the full probe recovers
+/// the exact ranking.
+#[test]
+fn recall_at_k_is_monotone_in_n_probe() {
+    let (n, f, u, k, clusters) = (600usize, 8usize, 24usize, 10usize, 16usize);
+    let theta: Vec<f32> = (0..n * f)
+        .map(|i| ((i as u64 * 2_654_435_761 % 1000) as f32 - 500.0) / 500.0)
+        .collect();
+    let x: Vec<f32> = (0..u * f)
+        .map(|i| ((i as u64 * 40_503 % 997) as f32 - 498.0) / 498.0)
+        .collect();
+    let snapshot =
+        ModelSnapshot::new(0, DenseMatrix::from_vec(n, f, theta), vec![]).with_ann(AnnParams {
+            k_clusters: clusters,
+            ..AnnParams::default()
+        });
+    let x = DenseMatrix::from_vec(u, f, x);
+    let exact = top_k_batch(&snapshot, &x, k, &ScoreConfig::default());
+    let mut prev = -1.0f64;
+    for n_probe in 1..=clusters {
+        let approx = top_k_batch(
+            &snapshot,
+            &x,
+            k,
+            &ScoreConfig {
+                retrieval: Retrieval::Approx {
+                    n_probe,
+                    quant: QuantMode::None,
+                },
+                ..ScoreConfig::default()
+            },
+        );
+        let recall = exact
+            .iter()
+            .zip(&approx)
+            .map(|(e, a)| overlap_at_k(e, a, k))
+            .sum::<f64>()
+            / u as f64;
+        assert!(
+            recall >= prev - 1e-12,
+            "recall fell from {prev} to {recall} at n_probe {n_probe}"
+        );
+        prev = recall;
+    }
+    assert_eq!(prev, 1.0, "full probe must recover the exact ranking");
 }
 
 proptest! {

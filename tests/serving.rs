@@ -7,7 +7,10 @@ use cumf_als::{AlsConfig, AlsTrainer};
 use cumf_datasets::{MfDataset, RequestSampler, SizeClass};
 use cumf_gpu_sim::GpuSpec;
 use cumf_numeric::dense::DenseMatrix;
-use cumf_serve::{CanaryPolicy, ModelSnapshot, Request, ScoreConfig, ServeConfig, ServeEngine};
+use cumf_serve::{
+    overlap_at_k, AnnParams, CanaryPolicy, ModelSnapshot, QuantMode, Request, Retrieval,
+    ScoreConfig, ServeConfig, ServeEngine,
+};
 use cumf_telemetry::{to_jsonl, MemoryRecorder, NOOP};
 
 fn trained() -> (MfDataset, DenseMatrix, DenseMatrix) {
@@ -168,6 +171,76 @@ fn fp16_engine_serves_nearly_the_same_items() {
     assert!(
         frac > 0.95,
         "FP16 top-10 agreement with FP32 only {frac:.3}"
+    );
+}
+
+/// Approximate retrieval end-to-end: an int8-rescoring approximate
+/// engine over the same trained factors keeps recall@10 at or above 0.9
+/// against the exact engine while streaming measurably fewer factor
+/// bytes, and the `serve_ann_*` counters account for the probe.
+#[test]
+fn approximate_engine_trades_bounded_recall_for_fewer_scan_bytes() {
+    let (data, x, theta) = trained();
+    let exact = engine_from(&x, &theta, false);
+    let approx = ServeEngine::builder()
+        .config(
+            ServeConfig::default()
+                .with_k(10)
+                .with_score(ScoreConfig {
+                    retrieval: Retrieval::Approx {
+                        n_probe: 8,
+                        quant: QuantMode::Int8,
+                    },
+                    ..ScoreConfig::default()
+                })
+                .with_ann(AnnParams {
+                    k_clusters: 16,
+                    ..AnnParams::default()
+                }),
+        )
+        .model(
+            "default",
+            x.clone(),
+            ModelSnapshot::new(0, theta.clone(), vec![]),
+        )
+        .build()
+        .expect("approx engine builds");
+
+    let mut recall = 0.0f64;
+    let mut served = 0usize;
+    for user in (0..data.m() as u32).step_by(11) {
+        let a = exact.recommend_user(user, &NOOP).unwrap();
+        let b = approx.recommend_user(user, &NOOP).unwrap();
+        recall += overlap_at_k(&a.items, &b.items, 10);
+        served += 1;
+    }
+    recall /= served as f64;
+    assert!(
+        recall >= 0.9,
+        "recall@10 vs the exact engine fell to {recall:.3}"
+    );
+
+    let (me, ma) = (exact.obs().metrics(), approx.obs().metrics());
+    assert!(
+        ma.scan_bytes.get() < me.scan_bytes.get(),
+        "approx scan bytes {} must undercut exact {}",
+        ma.scan_bytes.get(),
+        me.scan_bytes.get()
+    );
+    assert!(ma.ann_probed.get() > 0, "the probe stage must be counted");
+    assert!(
+        ma.ann_rescored.get() > 0,
+        "int8 shortlists must be rescored"
+    );
+    assert!(
+        ma.ann_rescored.get() <= ma.ann_candidates.get(),
+        "rescore fraction stays within [0, 1]"
+    );
+    assert_eq!(me.ann_probed.get(), 0, "exact engines never probe");
+    assert_eq!(
+        ma.model("default").ann_fallback.get(),
+        0,
+        "the builder attaches the index, so the approx path never falls back"
     );
 }
 
