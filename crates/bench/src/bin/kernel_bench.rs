@@ -1,0 +1,108 @@
+//! Scoring-microkernel benchmark: time the register-blocked kernels of
+//! `cumf_numeric::kernel` against the scalar dot they replaced, on a
+//! single thread, and report items/s, effective GB/s and GFLOP/s per
+//! kernel × precision.
+//!
+//! ```text
+//! cargo run --release -p cumf-bench --bin kernel_bench -- \
+//!     --items 786432 --users 8 --reps 3 --json /tmp/kernels.json
+//! ```
+//!
+//! Extra flags on top of the common set: `--f N` (factor dimension,
+//! default 100), `--items N` (catalog rows), `--users N` (user vectors
+//! per pass), `--reps N` (timed repetitions, fastest wins), `--json
+//! PATH` (write the same `kernels` block `serve_bench --json` embeds).
+//! `--quick` switches to a small cache-resident catalog for CI smoke
+//! runs — the JSON shape is identical but the throughput ratios are not
+//! meaningful there.
+
+use cumf_bench::kernels::{run_kernel_bench, KernelBenchConfig};
+use cumf_bench::HarnessArgs;
+
+struct KernelFlags {
+    f: Option<usize>,
+    items: Option<usize>,
+    users: Option<usize>,
+    reps: Option<usize>,
+    json: Option<String>,
+}
+
+fn parse_flags() -> (HarnessArgs, KernelFlags) {
+    let (args, extras) = HarnessArgs::parse_with_extras();
+    let mut flags = KernelFlags {
+        f: None,
+        items: None,
+        users: None,
+        reps: None,
+        json: None,
+    };
+    let mut it = extras.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--f" => flags.f = it.next().and_then(|s| s.parse().ok()),
+            "--items" => flags.items = it.next().and_then(|s| s.parse().ok()),
+            "--users" => flags.users = it.next().and_then(|s| s.parse().ok()),
+            "--reps" => flags.reps = it.next().and_then(|s| s.parse().ok()),
+            "--json" => flags.json = it.next(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "kernel_bench flags: --f N, --items N, --users N, --reps N, \
+                     --json PATH; common: {}",
+                    HarnessArgs::common_usage()
+                );
+                std::process::exit(0);
+            }
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+    (args, flags)
+}
+
+fn main() {
+    let (args, flags) = parse_flags();
+    let mut cfg = if args.quick {
+        KernelBenchConfig::quick()
+    } else {
+        KernelBenchConfig::reference()
+    };
+    cfg.seed = args.seed;
+    if let Some(f) = flags.f {
+        cfg.f = f.max(1);
+    }
+    if let Some(items) = flags.items {
+        cfg.n_items = items.max(1);
+    }
+    if let Some(users) = flags.users {
+        cfg.users = users.max(1);
+    }
+    if let Some(reps) = flags.reps {
+        cfg.reps = reps.max(1);
+    }
+
+    println!(
+        "kernel_bench: f={} items={} ({} of fp32 factors) users={} reps={}{}",
+        cfg.f,
+        cfg.n_items,
+        cumf_telemetry::footprint::human_bytes(cfg.catalog_bytes()),
+        cfg.users,
+        cfg.reps,
+        if args.quick {
+            " [quick: cache-resident, ratios not meaningful]"
+        } else {
+            ""
+        }
+    );
+    let report = run_kernel_bench(&cfg);
+    print!("{}", report.render());
+
+    if let Some(path) = &flags.json {
+        let json = report.to_value();
+        match std::fs::write(path, json.to_json()) {
+            Ok(()) => eprintln!("wrote kernel summary to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -36,11 +36,16 @@
 //! time), `--quant int8|none` (stage-2 scan precision; int8 rescores the
 //! shortlist in FP32), `--items N` (synthesize an N-item catalog instead
 //! of the Tiny/Small presets — pruning only pays on catalogs that dwarf
-//! the probe), `--json PATH` (write a machine-readable summary
+//! the probe), `--kernels` (run the single-thread scoring-microkernel
+//! sweep at its reference shape and fold the `kernels` block into the
+//! JSON summary — the standalone form is the `kernel_bench` binary),
+//! `--json PATH` (write a machine-readable summary
 //! carrying [`cumf_bench::diff::SCHEMA_VERSION`], gateable with
 //! `bench_diff` — schema v3 adds the `memory` footprint tree and
 //! `bandwidth` effective-GB/s blocks; v4 adds the `retrieval` block and,
-//! under `--retrieval approx`, the measured `recall` block).
+//! under `--retrieval approx`, the measured `recall` block; v5 adds
+//! `score_flops` + `effective_gflops` to the `bandwidth` block and, under
+//! `--kernels`, the `kernels` microbenchmark block).
 //!
 //! Observability flags (the `serve::obs` stack is always on; these expose
 //! it): `--prom-out PATH` writes the Prometheus text exposition at exit
@@ -52,6 +57,7 @@
 
 use cumf_als::{AlsConfig, AlsTrainer};
 use cumf_bench::diff::SCHEMA_VERSION;
+use cumf_bench::kernels::{run_kernel_bench, KernelBenchConfig, KernelReport};
 use cumf_bench::{fmt_s, rule, HarnessArgs, TelemetrySink};
 use cumf_datasets::{MfDataset, RequestSampler, SizeClass};
 use cumf_gpu_sim::GpuSpec;
@@ -87,6 +93,7 @@ struct ServeFlags {
     clusters: usize,
     quant_none: bool,
     items: Option<usize>,
+    kernels: bool,
     json: Option<String>,
     prom_out: Option<String>,
     slow_trace: Option<String>,
@@ -135,6 +142,7 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
         clusters: 64,
         quant_none: false,
         items: None,
+        kernels: false,
         json: None,
         prom_out: None,
         slow_trace: None,
@@ -169,6 +177,7 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
                 flags.quant_none = matches!(it.next().as_deref(), Some("none"));
             }
             "--items" => flags.items = Some((val(2000.0) as usize).max(16)),
+            "--kernels" => flags.kernels = true,
             "--json" => flags.json = it.next(),
             "--prom-out" => flags.prom_out = it.next(),
             "--slow-trace" => flags.slow_trace = it.next(),
@@ -181,7 +190,7 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
                      --batch-age-us N, --queue-depth N, --shards N, --open-loop, \
                      --cache N, --cold-frac F, --fp16, --models N, --canary-fraction F, \
                      --republish, --retrieval exact|approx, --n-probe N, --clusters N, \
-                     --quant int8|none, --items N, --json PATH, --prom-out PATH, --slow-trace PATH, \
+                     --quant int8|none, --items N, --kernels, --json PATH, --prom-out PATH, --slow-trace PATH, \
                      --slow-trace-us N, --slo-target-us N, --mem-budget-mb F; common: {}",
                     HarnessArgs::common_usage()
                 );
@@ -506,10 +515,23 @@ fn main() {
         admission,
         per_model,
     };
+    // Optional single-thread microkernel sweep, after the replay so it
+    // never competes with the admission worker for the core. Always the
+    // reference shape: the fp16-vs-fp32 ratio is a memory claim and only
+    // means something on a catalog too big for the last-level cache.
+    let kernels = flags.kernels.then(|| {
+        let cfg = KernelBenchConfig::reference();
+        eprintln!(
+            "microkernels: scanning {} items at f={} per kernel …",
+            cfg.n_items, cfg.f
+        );
+        run_kernel_bench(&cfg)
+    });
+
     // Refresh the serve_mem_bytes / serve_cache_* gauges from live state
     // so the report, the JSON summary, and --prom-out all agree.
     engine.refresh_memory_gauges();
-    report(&engine, &flags, &summary, recall.as_ref());
+    report(&engine, &flags, &summary, recall.as_ref(), kernels.as_ref());
 
     // Final aggregates into the JSONL stream alongside the engine's
     // per-batch counters.
@@ -531,7 +553,7 @@ fn main() {
         summary.admission.emit(rec, t);
     }
     if let Some(path) = &flags.json {
-        let json = json_summary(&engine, &flags, &summary, recall.as_ref());
+        let json = json_summary(&engine, &flags, &summary, recall.as_ref(), kernels.as_ref());
         std::fs::write(path, json.to_json()).expect("failed to write JSON summary");
         eprintln!("wrote {path}");
     }
@@ -553,6 +575,7 @@ fn report(
     flags: &ServeFlags,
     s: &ReplaySummary,
     recall: Option<&RecallSummary>,
+    kernels: Option<&KernelReport>,
 ) {
     let (p50, p95, p99) = s.latency.percentiles();
     let qps = s.served as f64 / s.span;
@@ -619,16 +642,21 @@ fn report(
         parts.join(", ")
     );
     println!(
-        "bandwidth: {} streamed over {} s of score time — {:.2} GB/s effective ({})",
+        "bandwidth: {} streamed over {} s of score time — {:.2} GB/s, {:.2} GFLOP/s effective ({})",
         human_bytes(s.admission.scan_bytes),
         fmt_s(s.admission.score_secs),
         s.admission.effective_gbps(),
+        s.admission.effective_gflops(),
         if flags.fp16 {
             "fp16 scans"
         } else {
             "fp32 scans"
         }
     );
+    if let Some(k) = kernels {
+        println!();
+        print!("{}", k.render());
+    }
     if let Some(r) = recall {
         let m = engine.obs().metrics();
         println!(
@@ -712,6 +740,7 @@ fn json_summary(
     flags: &ServeFlags,
     s: &ReplaySummary,
     recall: Option<&RecallSummary>,
+    kernels: Option<&KernelReport>,
 ) -> Value {
     let (p50, p95, p99) = s.latency.percentiles();
     let (q50, q95, q99) = s.admission.queue_delay.percentiles();
@@ -820,9 +849,18 @@ fn json_summary(
             "bandwidth",
             obj(vec![
                 ("scan_bytes", Value::Num(s.admission.scan_bytes as f64)),
+                ("score_flops", Value::Num(s.admission.score_flops as f64)),
                 ("score_secs", Value::Num(s.admission.score_secs)),
                 ("effective_gbps", Value::Num(s.admission.effective_gbps())),
+                (
+                    "effective_gflops",
+                    Value::Num(s.admission.effective_gflops()),
+                ),
             ]),
+        ),
+        (
+            "kernels",
+            kernels.map(|k| k.to_value()).unwrap_or(Value::Null),
         ),
         (
             "retrieval",

@@ -26,8 +26,12 @@ use serde::Value;
 /// block (mode, `n_probe`, clusters, quant) and, under `--retrieval
 /// approx`, the measured `recall` block (recall@k against the exact FP32
 /// scan plus the scan-byte ratio); both are likewise informational here —
-/// CI gates recall directly on the JSON.
-pub const SCHEMA_VERSION: f64 = 4.0;
+/// CI gates recall directly on the JSON. v5 added `score_flops` and
+/// `effective_gflops` to the `bandwidth` block and, under `--kernels`,
+/// the `kernels` microbenchmark block (per-kernel items/s, GB/s,
+/// GFLOP/s, plus the fp32-speedup and fp16-over-fp32 ratios) — all
+/// informational: kernel throughput is host-shaped and never gates.
+pub const SCHEMA_VERSION: f64 = 5.0;
 
 /// Allowed regressions before the diff fails.
 #[derive(Clone, Copy, Debug)]
@@ -240,6 +244,25 @@ pub fn diff(
         }
     }
 
+    // Schema-5 microkernel ratios: informational for the same reason as
+    // bandwidth — throughput is host-shaped (vector width, cache sizes),
+    // so a number moving between machines means nothing. Runs without
+    // `--kernels` simply skip the rows.
+    for (metric, path) in [
+        ("kernels.fp32_speedup", ["kernels", "fp32_speedup"]),
+        ("kernels.fp16_over_fp32", ["kernels", "fp16_over_fp32"]),
+    ] {
+        if let (Ok(r), Ok(c)) = (num(reference, &path), num(current, &path)) {
+            checks.push(Check {
+                metric,
+                reference: r,
+                current: c,
+                change: rise_frac(r, c),
+                limit: f64::INFINITY,
+            });
+        }
+    }
+
     Ok(DiffReport { checks })
 }
 
@@ -335,6 +358,35 @@ mod tests {
             .checks
             .iter()
             .any(|c| c.metric.starts_with("memory") || c.metric.starts_with("bandwidth")));
+    }
+
+    #[test]
+    fn kernel_ratios_are_informational_and_optional() {
+        let tol = DiffTolerances::default();
+        let with_kernels = |speedup: f64, f16_ratio: f64| {
+            Value::parse(&format!(
+                r#"{{"schema_version": {SCHEMA_VERSION}, "qps": 4000.0, "requests": 1000,
+                    "shed": 0, "latency_ms": {{"p50": 0.5, "p99": 1.0}},
+                    "kernels": {{"fp32_speedup": {speedup}, "fp16_over_fp32": {f16_ratio}}}}}"#
+            ))
+            .unwrap()
+        };
+        // A collapsed speedup on the current side is reported, never gated.
+        let report = diff(&with_kernels(3.6, 1.6), &with_kernels(0.5, 0.2), &tol).unwrap();
+        assert!(!report.regressed(), "{}", report.render());
+        let row = report
+            .checks
+            .iter()
+            .find(|c| c.metric == "kernels.fp32_speedup")
+            .expect("kernel row present");
+        assert!(row.informational());
+        // A reference without the block (pre-`--kernels` runs) skips the rows.
+        let bare = summary(4000.0, 0.5, 1.0, 0.0);
+        let report = diff(&bare, &with_kernels(3.6, 1.6), &tol).unwrap();
+        assert!(!report
+            .checks
+            .iter()
+            .any(|c| c.metric.starts_with("kernels")));
     }
 
     #[test]

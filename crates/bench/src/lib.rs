@@ -8,6 +8,7 @@
 #![deny(missing_docs)]
 
 pub mod diff;
+pub mod kernels;
 
 use cumf_datasets::{MfDataset, SizeClass};
 use cumf_telemetry::{

@@ -12,6 +12,9 @@
 //!   analog the paper replaces);
 //! * [`cg`] — the truncated conjugate-gradient solver of the paper's
 //!   Algorithm 1, generic over the precision the system matrix is read in;
+//! * [`kernel`] — register-blocked SIMD scoring microkernels with fused
+//!   FP16/int8 decode and a documented fixed lane-reduction order (the
+//!   serving hot path);
 //! * [`stats`] — RMSE and streaming statistics used by the experiment
 //!   protocol.
 //!
@@ -25,6 +28,7 @@ pub mod cg;
 pub mod cholesky;
 pub mod dense;
 pub mod f16;
+pub mod kernel;
 pub mod lu;
 pub mod stats;
 pub mod sym;

@@ -259,6 +259,7 @@ impl AdmissionWorker {
             report.batches += 1;
             report.admitted += n as u64;
             report.scan_bytes += trace.scan_bytes;
+            report.score_flops += trace.score_flops;
             report.score_secs += (trace.score_done - trace.foldin_done).max(0.0);
             match close {
                 Close::Size => report.closed_by_size += 1,
@@ -320,8 +321,13 @@ pub struct AdmissionReport {
     /// worker's lifetime ([`crate::obs::BatchTrace::scan_bytes`] summed
     /// over batches; cache hits contribute nothing).
     pub scan_bytes: u64,
+    /// Nominal floating-point operations of the engine's scoring passes
+    /// over the worker's lifetime
+    /// ([`crate::obs::BatchTrace::score_flops`] summed over batches).
+    pub score_flops: u64,
     /// Wall-clock seconds the engine spent inside score stages (the
-    /// denominator of [`AdmissionReport::effective_gbps`]).
+    /// denominator of [`AdmissionReport::effective_gbps`] and
+    /// [`AdmissionReport::effective_gflops`]).
     pub score_secs: f64,
     /// Queueing delay (submit → batch close) distribution.
     pub queue_delay: LatencyHistogram,
@@ -342,6 +348,7 @@ impl AdmissionReport {
             rejected: 0,
             failed: 0,
             scan_bytes: 0,
+            score_flops: 0,
             score_secs: 0.0,
             queue_delay: LatencyHistogram::new(),
             slo: None,
@@ -358,6 +365,20 @@ impl AdmissionReport {
             0.0
         } else {
             self.scan_bytes as f64 / self.score_secs / 1e9
+        }
+    }
+
+    /// Effective scoring throughput in GFLOP/s: nominal flops (`2·f` per
+    /// scored row) over the wall-clock seconds spent scoring. Read next
+    /// to [`AdmissionReport::effective_gbps`]: when GB/s sits near the
+    /// host's memory bandwidth the scan is bandwidth-bound; when GFLOP/s
+    /// plateaus while GB/s has headroom it is compute-bound — which is
+    /// what narrower factor formats (FP16/int8) shift.
+    pub fn effective_gflops(&self) -> f64 {
+        if self.score_secs <= 0.0 {
+            0.0
+        } else {
+            self.score_flops as f64 / self.score_secs / 1e9
         }
     }
 
@@ -386,6 +407,7 @@ impl AdmissionReport {
             ("serve.admission.closed_by_age", self.closed_by_age as f64),
             ("serve.admission.failed", self.failed as f64),
             ("serve.admission.scan_bytes", self.scan_bytes as f64),
+            ("serve.admission.score_flops", self.score_flops as f64),
         ] {
             recorder.counter(CounterSample::new(name, time, value));
         }
@@ -681,13 +703,16 @@ mod tests {
         // Two size-closed batches, each one user-chunk pass over Θ:
         // 2 × 20 items × 3 factors × 4 bytes.
         assert_eq!(report.scan_bytes, 2 * 20 * 3 * 4);
+        // Flops mirror the bytes: 2·f per scored row, 2 batches of 4
+        // users over 20 items each.
+        assert_eq!(report.score_flops, 2 * 3 * (2 * 20 * 4));
         assert!(report.score_secs > 0.0);
         assert!(report.effective_gbps() > 0.0);
+        assert!(report.effective_gflops() > 0.0);
         // Idle report divides by nothing.
-        assert_eq!(
-            AdmissionReport::new(AdmissionConfig::default()).effective_gbps(),
-            0.0
-        );
+        let idle = AdmissionReport::new(AdmissionConfig::default());
+        assert_eq!(idle.effective_gbps(), 0.0);
+        assert_eq!(idle.effective_gflops(), 0.0);
     }
 
     #[test]

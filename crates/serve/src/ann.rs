@@ -26,7 +26,8 @@
 //! so the approximate path is as reproducible as the exact one.
 
 use crate::topk::TopK;
-use cumf_numeric::dense::{dot, DenseMatrix};
+use cumf_numeric::dense::DenseMatrix;
+use cumf_numeric::kernel;
 
 /// Item rows sharing one int8 quantization scale in
 /// [`QuantizedFactors`]. 32 rows keeps the scale local enough that one
@@ -250,12 +251,14 @@ impl CentroidIndex {
 
     /// The `n_probe` clusters with the highest inner product against
     /// `user`, best first (ties toward the lower cluster id — the same
-    /// total order as every other ranking in the crate).
+    /// total order as every other ranking in the crate). Centroid scores
+    /// use the same [`kernel::dot_lanes`] lane order as every other
+    /// scoring surface.
     pub fn probe(&self, user: &[f32], n_probe: usize) -> Vec<u32> {
         debug_assert_eq!(user.len(), self.f);
         let mut top = TopK::new(n_probe.clamp(1, self.k_clusters()));
         for c in 0..self.k_clusters() {
-            top.push(c as u32, dot(user, self.centroid(c)));
+            top.push(c as u32, kernel::dot_lanes(user, self.centroid(c)));
         }
         top.into_sorted().into_iter().map(|s| s.item).collect()
     }
@@ -341,17 +344,13 @@ impl QuantizedFactors {
     }
 
     /// Approximate inner product `user · θ̃_item`: the int8 weights are
-    /// accumulated in FP32 and scaled once at the end, so the scan reads
-    /// one byte per weight.
+    /// dequantized inside the accumulation loop by
+    /// [`kernel::dot_i8_scaled`] — one byte read per weight, FP32 lanes,
+    /// the block scale applied once to the reduced sum.
     #[inline]
     pub fn dot(&self, item: usize, user: &[f32]) -> f32 {
         debug_assert_eq!(user.len(), self.f);
-        let row = self.row(item);
-        let mut acc = 0.0f32;
-        for (x, &q) in user.iter().zip(row) {
-            acc += x * q as f32;
-        }
-        acc * self.scale(item)
+        kernel::dot_i8_scaled(user, self.row(item), self.scale(item))
     }
 
     /// Payload bytes: the int8 weights plus the per-block scales.
@@ -470,16 +469,14 @@ mod tests {
         let q = QuantizedFactors::build(&t);
         let user = [0.3f32, -0.7, 0.11, 0.9];
         for v in [0usize, 31, 32, 33] {
-            let manual: f32 = q
-                .row(v)
-                .iter()
-                .zip(&user)
-                .map(|(&w, &x)| w as f32 * x)
-                .sum::<f32>()
-                * q.scale(v);
+            // Reference: widen the weights exactly, dot in the kernel's
+            // lane order, apply the block scale once — the documented
+            // semantics of the fused kernel.
+            let widened: Vec<f32> = q.row(v).iter().map(|&w| w as f32).collect();
+            let manual = kernel::dot_lanes(&user, &widened) * q.scale(v);
             assert_eq!(q.dot(v, &user), manual);
             // And it approximates the exact product.
-            let exact = dot(&user, t.row(v));
+            let exact = kernel::dot_lanes(&user, t.row(v));
             assert!((q.dot(v, &user) - exact).abs() < 0.05, "item {v}");
         }
     }

@@ -715,6 +715,7 @@ impl ServeEngine {
         // on the approximate one), summed over every arm. Cache hits
         // never reach a scatter, so they contribute nothing.
         let scan_bytes: u64 = shard_timings.iter().map(|t| t.bytes).sum();
+        let score_flops: u64 = shard_timings.iter().map(|t| t.flops).sum();
         let approx = !self.cfg.score.retrieval.is_exact();
         let ann_probed: u64 = shard_timings.iter().map(|t| t.probed_clusters).sum();
         let ann_rescored: u64 = shard_timings.iter().map(|t| t.rescored).sum();
@@ -740,6 +741,7 @@ impl ServeEngine {
             arms,
             shard_timings,
             scan_bytes,
+            score_flops,
             ann_probed,
             ann_candidates,
             ann_rescored,

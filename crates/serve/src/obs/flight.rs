@@ -158,6 +158,7 @@ mod tests {
             arms: vec![(crate::registry::ModelId::from("default"), 0)],
             shard_timings: vec![],
             scan_bytes: 0,
+            score_flops: 0,
             ann_probed: 0,
             ann_candidates: 0,
             ann_rescored: 0,

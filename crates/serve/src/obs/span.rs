@@ -56,6 +56,12 @@ pub struct BatchTrace {
     /// arms and shards ([`ShardTiming::bytes`]). Cache hits contribute
     /// nothing — a hit bypasses the scan entirely.
     pub scan_bytes: u64,
+    /// Nominal floating-point operations of the batch's scoring passes
+    /// (`2·f` per scored row), summed over all arms and shards
+    /// ([`ShardTiming::flops`]). The compute-side twin of
+    /// [`BatchTrace::scan_bytes`]: together with the score-stage seconds
+    /// it yields effective GFLOP/s.
+    pub score_flops: u64,
     /// Clusters probed by approximate-retrieval passes, summed over all
     /// arms, shards, and users (0 on exact engines). Feeds
     /// `serve_ann_probed_clusters_total`.
@@ -235,6 +241,7 @@ mod tests {
             arms: vec![(ModelId::from("default"), 7)],
             shard_timings: vec![],
             scan_bytes: 4096,
+            score_flops: 0,
             ann_probed: 0,
             ann_candidates: 0,
             ann_rescored: 0,

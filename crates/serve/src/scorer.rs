@@ -5,10 +5,17 @@
 //! Work is tiled: users are processed in chunks (one rayon task each) and
 //! items in blocks; each tile re-reads a Θ-block that fits in cache while
 //! streaming the chunk's user rows — the same register/cache-blocking
-//! reasoning as the paper's `get_hermitian`, applied to inference. On the
-//! FP16 path the Θ-block is widened to `f32` once per tile, so quantized
-//! scoring reads half the factor bytes at the cost of one extra scratch
-//! buffer per worker.
+//! reasoning as the paper's `get_hermitian`, applied to inference. Inside
+//! a tile the arithmetic is the register-blocked microkernel of
+//! [`cumf_numeric::kernel`]: [`kernel::score_tile`] scores
+//! [`kernel::TILE_USERS`] users per Θ pass with [`kernel::LANES`]
+//! accumulator lanes each, and on the FP16 path
+//! [`kernel::score_tile_f16`] fuses the f16→f32 widen into that loop — no
+//! scratch widening pass, each Θ chunk decoded once per `TILE_USERS`
+//! users. The kernel's fixed lane order is the determinism contract:
+//! every scoring surface (blocked, sharded, approximate, and the
+//! [`score_one`] reference) reduces through the same lanes, so they stay
+//! bit-identical to each other by construction.
 //!
 //! Since the two-stage retrieval change the scorer also carries an
 //! *approximate* mode ([`Retrieval::Approx`]): when the snapshot has a
@@ -23,7 +30,8 @@
 use crate::ann::CentroidIndex;
 use crate::store::ModelSnapshot;
 use crate::topk::{ScoredItem, TopK};
-use cumf_numeric::dense::{dot, DenseMatrix};
+use cumf_numeric::dense::DenseMatrix;
+use cumf_numeric::kernel;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -85,6 +93,12 @@ pub struct ScanStats {
     /// Shortlist rows rescored exactly in FP32, summed over users
     /// (nonzero only on the int8 approximate path).
     pub rescored: u64,
+    /// Nominal floating-point operations of the pass: `2·f` per scored
+    /// row (one multiply + one add per coordinate), covering the centroid
+    /// probe, the stage-2 scan, and the rescore. Paired with the
+    /// score-stage seconds this yields effective GFLOP/s, the
+    /// compute-side twin of `effective_gbps`.
+    pub flops: u64,
 }
 
 /// Tiling and precision knobs for the batched scorer.
@@ -187,9 +201,9 @@ pub fn scan_bytes(snapshot: &ModelSnapshot, users: usize, cfg: &ScoreConfig) -> 
 /// [`Retrieval::Approx`] runs the two-stage probe/scan/rescore path. This
 /// is [`top_k_batch_stats`] with the [`ScanStats`] dropped.
 ///
-/// On the exact path scores are `x_u · θ_v + prior(v)`, accumulated in
-/// `f32` in item order — identical arithmetic on the blocked and naive
-/// paths, so results are bit-identical to
+/// On the exact path scores are `x_u · θ_v + prior(v)`, with the dot
+/// evaluated in [`kernel`]'s fixed lane order on the blocked and naive
+/// paths alike, so results are bit-identical to
 /// [`naive_top_k`](crate::topk::naive_top_k) over [`score_one`]'s rows.
 pub fn top_k_batch(
     snapshot: &ModelSnapshot,
@@ -222,11 +236,13 @@ pub fn top_k_batch_stats(
     }
     let users = user_factors.rows();
     let rows = top_k_batch_exact(snapshot, user_factors, k, cfg);
+    let candidates = snapshot.n_items() as u64 * users as u64;
     let stats = ScanStats {
         bytes: scan_bytes(snapshot, users, cfg),
         probed_clusters: 0,
-        candidates: snapshot.n_items() as u64 * users as u64,
+        candidates,
         rescored: 0,
+        flops: 2 * snapshot.f() as u64 * candidates,
     };
     (rows, stats)
 }
@@ -236,8 +252,9 @@ pub fn top_k_batch_stats(
 /// int8 copy when requested and present, FP32 otherwise), then — on the
 /// int8 path — rescore an oversampled `4·k` shortlist exactly in FP32.
 /// The FP32 member scan pushes straight into the final heap with the same
-/// `dot + prior` arithmetic as the exact scan, which is what makes the
-/// full-probe/no-quant case bit-identical to [`Retrieval::Exact`].
+/// `dot + prior` arithmetic — [`kernel::dot_lanes`] over a borrowed row —
+/// as the exact scan, which is what makes the full-probe/no-quant case
+/// bit-identical to [`Retrieval::Exact`].
 fn top_k_batch_approx(
     snapshot: &ModelSnapshot,
     index: &CentroidIndex,
@@ -249,6 +266,7 @@ fn top_k_batch_approx(
 ) -> (Vec<Vec<ScoredItem>>, ScanStats) {
     let f = snapshot.f();
     let users = user_factors.rows();
+    let chunk = cfg.user_chunk.max(1);
     let int8 = match quant {
         QuantMode::Int8 => snapshot.int8(),
         QuantMode::None => None,
@@ -260,18 +278,18 @@ fn top_k_batch_approx(
     let probed = AtomicU64::new(0);
     let candidates = AtomicU64::new(0);
     let rescored = AtomicU64::new(0);
+    // Priors borrowed once for the whole pass; empty means "add 0".
+    let priors = snapshot.popularity();
+    let prior = |v: usize| if priors.is_empty() { 0.0 } else { priors[v] };
 
     let mut heaps: Vec<TopK> = (0..users).map(|_| TopK::new(k)).collect();
     heaps
-        .par_chunks_mut(cfg.user_chunk.max(1))
+        .par_chunks_mut(chunk)
         .enumerate()
-        .for_each(|(chunk_idx, chunk)| {
-            let user0 = chunk_idx * cfg.user_chunk.max(1);
-            // FP32 row reads borrow straight from the matrix; scratch is
-            // only a signature requirement.
-            let mut scratch: Vec<f32> = Vec::new();
+        .for_each(|(chunk_idx, chunk_heaps)| {
+            let user0 = chunk_idx * chunk;
             let (mut p, mut c, mut r) = (0u64, 0u64, 0u64);
-            for (du, heap) in chunk.iter_mut().enumerate() {
+            for (du, heap) in chunk_heaps.iter_mut().enumerate() {
                 let xu = user_factors.row(user0 + du);
                 let clusters = index.probe(xu, n_probe);
                 p += clusters.len() as u64;
@@ -280,15 +298,16 @@ fn top_k_batch_approx(
                         let mut pre = TopK::new(shortlist);
                         for &cluster in &clusters {
                             for &item in index.members(cluster as usize) {
-                                let s = q.dot(item as usize, xu) + snapshot.prior(item as usize);
+                                let v = item as usize;
+                                let s = q.dot(v, xu) + prior(v);
                                 pre.push(item, s);
                                 c += 1;
                             }
                         }
                         for cand in pre.into_sorted() {
                             let v = cand.item as usize;
-                            let row = snapshot.block_rows(v, 1, false, &mut scratch);
-                            heap.push(cand.item, dot(xu, row) + snapshot.prior(v));
+                            let s = kernel::dot_lanes(xu, snapshot.item_row(v)) + prior(v);
+                            heap.push(cand.item, s);
                             r += 1;
                         }
                     }
@@ -296,8 +315,8 @@ fn top_k_batch_approx(
                         for &cluster in &clusters {
                             for &item in index.members(cluster as usize) {
                                 let v = item as usize;
-                                let row = snapshot.block_rows(v, 1, false, &mut scratch);
-                                heap.push(item, dot(xu, row) + snapshot.prior(v));
+                                let s = kernel::dot_lanes(xu, snapshot.item_row(v)) + prior(v);
+                                heap.push(item, s);
                                 c += 1;
                             }
                         }
@@ -317,19 +336,26 @@ fn top_k_batch_approx(
     // (1 byte/coord int8, 4 FP32), and the rescore re-reads shortlist
     // rows in FP32.
     let width: u64 = if int8.is_some() { 1 } else { 4 };
-    let bytes = users as u64 * index.k_clusters() as u64 * f as u64 * 4
-        + candidates * f as u64 * width
-        + rescored * f as u64 * 4;
+    let probe_dots = users as u64 * index.k_clusters() as u64;
+    let bytes = probe_dots * f as u64 * 4 + candidates * f as u64 * width + rescored * f as u64 * 4;
     let stats = ScanStats {
         bytes,
         probed_clusters: probed,
         candidates,
         rescored,
+        flops: 2 * f as u64 * (probe_dots + candidates + rescored),
     };
     (heaps.into_iter().map(TopK::into_sorted).collect(), stats)
 }
 
 /// The exact blocked full-scan kernel behind [`top_k_batch`].
+///
+/// Each worker owns one `chunk × block` score tile that
+/// [`kernel::score_tile`] (or, on the FP16 path,
+/// [`kernel::score_tile_f16`] with the widen fused into the loop — no
+/// scratch widening pass) fills per Θ-block; priors are then added from a
+/// slice borrowed once per tile while the scores drain into the per-user
+/// heaps.
 fn top_k_batch_exact(
     snapshot: &ModelSnapshot,
     user_factors: &DenseMatrix,
@@ -340,52 +366,94 @@ fn top_k_batch_exact(
     let f = snapshot.f();
     let users = user_factors.rows();
     let block = cfg.effective_block_items(f);
-    let fp16 = cfg.use_fp16 && snapshot.has_fp16();
+    let chunk = cfg.user_chunk.max(1);
+    let fp16_rows = if cfg.use_fp16 {
+        snapshot.f16_factors()
+    } else {
+        None
+    };
+    let theta = snapshot.item_factors().as_slice();
+    let priors = snapshot.popularity();
+    let x = user_factors.as_slice();
 
-    // Scratch is only written on the FP16 path (widening a Θ-block to
-    // f32); FP32 borrows straight from the matrix, so skip the allocation.
-    let scratch_len = if fp16 { block * f } else { 0 };
+    let tile_len = chunk.min(users.max(1)) * block;
     let mut heaps: Vec<TopK> = (0..users).map(|_| TopK::new(k)).collect();
-    heaps
-        .par_chunks_mut(cfg.user_chunk.max(1))
-        .enumerate()
-        .for_each_init(
-            || vec![0.0f32; scratch_len],
-            |scratch, (chunk_idx, chunk)| {
-                let user0 = chunk_idx * cfg.user_chunk.max(1);
-                let mut start = 0;
-                while start < n {
-                    let len = block.min(n - start);
-                    let rows = snapshot.block_rows(start, len, fp16, scratch);
-                    for (du, heap) in chunk.iter_mut().enumerate() {
-                        let xu = user_factors.row(user0 + du);
-                        for j in 0..len {
-                            let item = (start + j) as u32;
-                            let s = dot(xu, &rows[j * f..(j + 1) * f]) + snapshot.prior(start + j);
-                            heap.push(item, s);
+    heaps.par_chunks_mut(chunk).enumerate().for_each_init(
+        || vec![0.0f32; tile_len],
+        |scores, (chunk_idx, chunk_heaps)| {
+            let user0 = chunk_idx * chunk;
+            let cu = chunk_heaps.len();
+            let xs = &x[user0 * f..(user0 + cu) * f];
+            let mut start = 0;
+            while start < n {
+                let len = block.min(n - start);
+                match fp16_rows {
+                    Some(q) => kernel::score_tile_f16(
+                        xs,
+                        cu,
+                        &q[start * f..(start + len) * f],
+                        len,
+                        f,
+                        scores,
+                    ),
+                    None => kernel::score_tile(
+                        xs,
+                        cu,
+                        &theta[start * f..(start + len) * f],
+                        len,
+                        f,
+                        scores,
+                    ),
+                }
+                let tile_priors = if priors.is_empty() {
+                    None
+                } else {
+                    Some(&priors[start..start + len])
+                };
+                for (du, heap) in chunk_heaps.iter_mut().enumerate() {
+                    let row = &scores[du * len..(du + 1) * len];
+                    match tile_priors {
+                        Some(p) => {
+                            for (j, (&s, &pr)) in row.iter().zip(p).enumerate() {
+                                heap.push((start + j) as u32, s + pr);
+                            }
+                        }
+                        None => {
+                            for (j, &s) in row.iter().enumerate() {
+                                // The `+ 0.0` is the absent prior: it
+                                // normalizes a −0.0 dot to +0.0 exactly
+                                // like the reference path's `+ prior(v)`.
+                                heap.push((start + j) as u32, s + 0.0);
+                            }
                         }
                     }
-                    start += len;
                 }
-            },
-        );
+                start += len;
+            }
+        },
+    );
     heaps.into_iter().map(TopK::into_sorted).collect()
 }
 
 /// Unblocked reference: the full score row for one user (`n` entries, in
 /// item order). Tests pair this with [`naive_top_k`](crate::topk::naive_top_k)
-/// as ground truth.
+/// as ground truth. It routes through the same [`kernel`] dots as the
+/// blocked path — [`kernel::dot_lanes`] on FP32 rows, [`kernel::dot_f16`]
+/// on the FP16 copy — so the bit-identity contract holds by construction,
+/// not by accident.
 pub fn score_one(snapshot: &ModelSnapshot, user_factors: &[f32], fp16: bool) -> Vec<f32> {
     let f = snapshot.f();
     assert_eq!(user_factors.len(), f);
     let n = snapshot.n_items();
-    let mut scratch = vec![0.0f32; f];
-    (0..n)
-        .map(|v| {
-            let row = snapshot.block_rows(v, 1, fp16, &mut scratch);
-            dot(user_factors, row) + snapshot.prior(v)
-        })
-        .collect()
+    let f16_rows = if fp16 { snapshot.f16_factors() } else { None };
+    match f16_rows {
+        Some(q) => (0..n)
+            .map(|v| kernel::dot_f16(user_factors, &q[v * f..(v + 1) * f]) + snapshot.prior(v))
+            .collect(),
+        None => (0..n)
+            .map(|v| kernel::dot_lanes(user_factors, snapshot.item_row(v)) + snapshot.prior(v))
+            .collect(),
+    }
 }
 
 /// Convenience: top-k for a single user factor vector.

@@ -205,6 +205,11 @@ pub struct ShardTiming {
     /// Shortlist rows the shard rescored exactly in FP32 (nonzero only on
     /// the int8 approximate path).
     pub rescored: u64,
+    /// Nominal floating-point operations of the shard's pass (`2·f` per
+    /// scored row, probe and rescore included) from
+    /// [`ScanStats`](crate::scorer::ScanStats) — the numerator of
+    /// effective GFLOP/s.
+    pub flops: u64,
     /// Host wall-clock seconds the shard's pass took.
     pub secs: f64,
 }
@@ -287,6 +292,7 @@ pub fn scatter_top_k(
                 bytes: stats.bytes,
                 probed_clusters: stats.probed_clusters,
                 rescored: stats.rescored,
+                flops: stats.flops,
                 secs,
             };
             let span = tracing.then(|| {

@@ -154,6 +154,24 @@ impl ModelSnapshot {
         &self.popularity
     }
 
+    /// Borrow item `v`'s FP32 factor row directly — no scratch argument,
+    /// no block arithmetic. The single-row accessor the approximate
+    /// member scan and exact rescore use per candidate.
+    #[inline]
+    pub fn item_row(&self, v: usize) -> &[f32] {
+        let f = self.f();
+        &self.item_factors.as_slice()[v * f..(v + 1) * f]
+    }
+
+    /// The FP16 factor copy as one flat row-major slice, when
+    /// [`ModelSnapshot::with_fp16`] attached one. The fused-decode scorer
+    /// slices Θ-blocks straight out of this — the widen happens inside
+    /// the kernel loop, never into a scratch buffer.
+    #[inline]
+    pub fn f16_factors(&self) -> Option<&[F16]> {
+        self.item_factors_f16.as_deref()
+    }
+
     /// Additive prior for `item` (0 when no priors were attached).
     #[inline]
     pub fn prior(&self, item: usize) -> f32 {
