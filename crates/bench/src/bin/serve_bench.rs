@@ -53,7 +53,14 @@
 //! sets the flight-recorder slow threshold, `--slow-trace PATH` dumps a
 //! Chrome trace of the slowest exemplar requests, `--slo-target-us N`
 //! sets the SLO latency target that the burn-rate windows and the
-//! report's compliance line are computed from.
+//! report's compliance line are computed from, `--obs-addr ADDR` binds
+//! the zero-dependency HTTP exposition server ([`cumf_serve::ObsServer`])
+//! on ADDR (e.g. `127.0.0.1:9090`; port 0 picks a free one — the bound
+//! address is printed) for live `GET /metrics`, `/healthz`, `/readyz` and
+//! `/debug/*` scrapes during the replay, and `--obs-linger-ms N` keeps
+//! the server (and the process) up N ms after the replay finishes so an
+//! external scraper can collect the final state — the CI smoke job curls
+//! the endpoints inside that window.
 
 use cumf_als::{AlsConfig, AlsTrainer};
 use cumf_bench::diff::SCHEMA_VERSION;
@@ -64,13 +71,14 @@ use cumf_gpu_sim::GpuSpec;
 use cumf_numeric::dense::DenseMatrix;
 use cumf_serve::{
     admission_queue, overlap_at_k, top_k_batch_stats, AdmissionConfig, AdmissionReport, AnnParams,
-    Completion, ModelSnapshot, ObsConfig, QuantMode, Request, Retrieval, ScoreConfig, ServeConfig,
-    ServeEngine, SloConfig, SubmitError,
+    Completion, HttpConfig, ModelSnapshot, ObsConfig, ObsServer, QuantMode, Request, Retrieval,
+    ScoreConfig, ServeConfig, ServeEngine, SloConfig, SubmitError,
 };
 use cumf_telemetry::footprint::human_bytes;
 use cumf_telemetry::{CounterSample, LatencyHistogram};
 use serde::Value;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct ServeFlags {
@@ -100,6 +108,8 @@ struct ServeFlags {
     slow_trace_us: u64,
     slo_target_us: u64,
     mem_budget_mb: Option<f64>,
+    obs_addr: Option<String>,
+    obs_linger_ms: u64,
 }
 
 impl ServeFlags {
@@ -149,6 +159,8 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
         slow_trace_us: 2_000,
         slo_target_us: 25_000,
         mem_budget_mb: None,
+        obs_addr: None,
+        obs_linger_ms: 0,
     };
     let mut it = extras.into_iter();
     while let Some(a) = it.next() {
@@ -184,6 +196,8 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
             "--slow-trace-us" => flags.slow_trace_us = (val(2000.0) as u64).max(1),
             "--slo-target-us" => flags.slo_target_us = (val(25000.0) as u64).max(1),
             "--mem-budget-mb" => flags.mem_budget_mb = Some(val(f64::INFINITY).max(0.0)),
+            "--obs-addr" => flags.obs_addr = it.next(),
+            "--obs-linger-ms" => flags.obs_linger_ms = val(0.0) as u64,
             "--help" | "-h" => {
                 eprintln!(
                     "serve_bench flags: --qps F, --requests N, --k N, --batch N, \
@@ -191,7 +205,8 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
                      --cache N, --cold-frac F, --fp16, --models N, --canary-fraction F, \
                      --republish, --retrieval exact|approx, --n-probe N, --clusters N, \
                      --quant int8|none, --items N, --kernels, --json PATH, --prom-out PATH, --slow-trace PATH, \
-                     --slow-trace-us N, --slo-target-us N, --mem-budget-mb F; common: {}",
+                     --slow-trace-us N, --slo-target-us N, --mem-budget-mb F, \
+                     --obs-addr ADDR, --obs-linger-ms N; common: {}",
                     HarnessArgs::common_usage()
                 );
                 std::process::exit(0);
@@ -371,9 +386,20 @@ fn main() {
     if let Some(candidate) = &canary_arm {
         builder = builder.canary(candidate.as_str(), flags.canary_fraction);
     }
-    let engine = builder
-        .build()
-        .expect("registry bootstrap from trained factors");
+    let engine = Arc::new(
+        builder
+            .build()
+            .expect("registry bootstrap from trained factors"),
+    );
+
+    // Bind the exposition server before the replay so live scrapes see
+    // the stream mid-flight; port 0 picks a free port (printed below).
+    let obs_server = flags.obs_addr.as_deref().map(|addr| {
+        let server = ObsServer::bind(addr, Arc::clone(&engine), HttpConfig::default())
+            .expect("bind observability listener");
+        eprintln!("obs: serving /metrics on http://{}/", server.local_addr());
+        server
+    });
 
     // ── Measure recall of the approximate path (before the replay, so
     //    the engine's live counters stay untouched) ──────────────────────
@@ -566,6 +592,17 @@ fn main() {
         let trace = engine.obs().flight().exemplar_trace();
         std::fs::write(path, trace).expect("failed to write slow-request trace");
         eprintln!("wrote {path}");
+    }
+    if let Some(server) = obs_server {
+        if flags.obs_linger_ms > 0 {
+            eprintln!(
+                "obs: lingering {} ms on http://{}/ for scrapes …",
+                flags.obs_linger_ms,
+                server.local_addr()
+            );
+            std::thread::sleep(Duration::from_millis(flags.obs_linger_ms));
+        }
+        server.shutdown();
     }
     sink.finish().expect("failed to write telemetry outputs");
 }

@@ -39,7 +39,7 @@
 use crate::ann::{AnnParams, AnnPolicy};
 use crate::cache::{CacheKey, CacheStats, StripedCache};
 use crate::error::ServeError;
-use crate::obs::{BatchTrace, ObsConfig, ServeObs, ShardMetrics};
+use crate::obs::{BatchTrace, HealthCheck, HealthStatus, ObsConfig, ServeObs, ShardMetrics};
 use crate::registry::{CanaryPolicy, ModelEntry, ModelId, ModelRegistry, RouteKey};
 use crate::scorer::{QuantMode, Retrieval, ScoreConfig};
 use crate::shard::{scatter_top_k, ShardTiming, ShardedSnapshot};
@@ -50,7 +50,6 @@ use cumf_numeric::dense::DenseMatrix;
 use cumf_telemetry::{FootprintReport, MemoryFootprint, PhaseSpan, Recorder, NOOP};
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Engine-level configuration.
 ///
@@ -338,7 +337,7 @@ impl ServeEngineBuilder {
             first_x,
             first_snap,
             cfg.shards,
-            obs.metrics().clone(),
+            Arc::clone(&obs),
             cfg.memory_budget,
             cfg.ann_policy(),
         )?;
@@ -358,7 +357,6 @@ impl ServeEngineBuilder {
             cache: StripedCache::new(cfg.cache_capacity, cfg.cache_stripes),
             registry,
             cfg,
-            started: Instant::now(),
             obs,
             shard_metrics,
         })
@@ -391,7 +389,6 @@ pub struct ServeEngine {
     registry: ModelRegistry,
     cache: StripedCache,
     cfg: ServeConfig,
-    started: Instant,
     obs: Arc<ServeObs>,
     /// Registered-once-per-shard metric handles, indexed by shard.
     shard_metrics: Vec<ShardMetrics>,
@@ -446,9 +443,69 @@ impl ServeEngine {
     }
 
     /// Wall-clock seconds since engine construction — the time base of the
-    /// engine's telemetry events.
+    /// engine's telemetry events. Delegates to [`ServeObs::now`], so
+    /// request spans, SLO buckets, and journal records all share one
+    /// clock.
     pub fn now(&self) -> f64 {
-        self.started.elapsed().as_secs_f64()
+        self.obs.now()
+    }
+
+    /// Evaluate the readiness checks against live engine state — the
+    /// `/readyz` payload (see [`crate::obs::health`] for the
+    /// liveness-vs-readiness model):
+    ///
+    /// * `default_model_live` — the registry's default alias resolves to
+    ///   a live model (false after a `force_retire` drain);
+    /// * `slo_fast_burn` — the short-window burn rate is below the
+    ///   configured fast-burn threshold (the SLO gauges are refreshed as
+    ///   a side effect, so burn transitions are journaled here too);
+    /// * `memory_budget` — resident bytes are within the soft budget
+    ///   (vacuously true when no budget is configured).
+    pub fn health(&self) -> HealthStatus {
+        let now = self.now();
+        let default = self.registry.default_model();
+        let default_live = self.registry.is_live(&default);
+        let report = self.obs.refresh_slo_gauges(now);
+        let firing = self.obs.fast_burn_firing();
+        let short = &report.burn_rates[0];
+        let threshold = self.obs.slo().config().fast_burn_threshold;
+        let memory = match self.registry.memory_budget() {
+            None => HealthCheck {
+                name: "memory_budget",
+                ok: true,
+                detail: "no memory budget configured".to_string(),
+            },
+            Some(budget) => {
+                let resident = self.memory_report().total_bytes();
+                HealthCheck {
+                    name: "memory_budget",
+                    ok: resident <= budget,
+                    detail: format!("resident {resident} B vs budget {budget} B"),
+                }
+            }
+        };
+        HealthStatus {
+            checks: vec![
+                HealthCheck {
+                    name: "default_model_live",
+                    ok: default_live,
+                    detail: if default_live {
+                        format!("default alias {default} resolves to a live model")
+                    } else {
+                        format!("default alias {default} is retired")
+                    },
+                },
+                HealthCheck {
+                    name: "slo_fast_burn",
+                    ok: !firing,
+                    detail: format!(
+                        "burn {:.2} over {}s window vs threshold {threshold}",
+                        short.burn, short.window_secs
+                    ),
+                },
+                memory,
+            ],
+        }
     }
 
     /// The engine's full resident-bytes tree: the model registry (every
@@ -1074,6 +1131,60 @@ mod tests {
         assert!(text.contains("serve_mem_bytes{component=\"engine\",model=\"\"}"));
         assert!(text.contains("serve_mem_bytes{component=\"model\",model=\"default\"}"));
         assert!(text.contains("serve_cache_entries 3"));
+    }
+
+    #[test]
+    fn health_reports_ready_then_flips_on_force_retire() {
+        let e = engine(6, 20, 3, ServeConfig::default());
+        let status = e.health();
+        assert!(status.ready(), "fresh engine must be ready: {status:?}");
+        assert_eq!(status.checks.len(), 3);
+        e.registry()
+            .force_retire(&e.registry().default_model())
+            .unwrap();
+        let drained = e.health();
+        assert!(!drained.ready());
+        assert_eq!(drained.failing(), vec!["default_model_live"]);
+        // A drained default fails requests instead of panicking.
+        let out = e.recommend_batch(&known(&[0]), &NOOP);
+        assert!(matches!(
+            out[0].as_ref().unwrap_err(),
+            ServeError::RetiredModel(_)
+        ));
+    }
+
+    #[test]
+    fn health_flips_when_the_memory_budget_is_exceeded() {
+        let (x, theta) = factors(4, 10, 2, 3);
+        let e = ServeEngine::builder()
+            .config(ServeConfig::default().with_memory_budget(1))
+            .model("default", x, ModelSnapshot::new(0, theta, vec![]))
+            .build()
+            .unwrap();
+        let status = e.health();
+        assert!(!status.ready());
+        assert_eq!(status.failing(), vec!["memory_budget"]);
+    }
+
+    #[test]
+    fn health_flips_while_the_slo_fast_burns() {
+        let e = engine(4, 10, 2, ServeConfig::default());
+        assert!(e.health().ready());
+        // A burst of sheds torches the 1 s window: burn 100 ≥ 10.
+        let now = e.now();
+        for i in 0..20 {
+            e.obs().observe_shed(now + i as f64 * 1e-4);
+        }
+        let burning = e.health();
+        assert!(!burning.ready());
+        assert_eq!(burning.failing(), vec!["slo_fast_burn"]);
+        // The journal recorded the transition in.
+        assert!(e
+            .obs()
+            .journal()
+            .records()
+            .iter()
+            .any(|r| r.kind.name() == "SloBurnEntered"));
     }
 
     #[test]

@@ -45,7 +45,11 @@
 //! * [`obs`] — request-level observability: stage-decomposed
 //!   [`RequestSpan`]s, typed metrics with Prometheus exposition, an
 //!   always-on flight recorder, and SLO burn-rate tracking (see
-//!   `docs/OBSERVABILITY.md`).
+//!   `docs/OBSERVABILITY.md`). PR 9 puts the bundle on the network:
+//!   [`ObsServer`] is a zero-dependency HTTP/1.1 exposition server
+//!   (`/metrics`, `/healthz`, `/readyz`, `/debug/*`), backed by the typed
+//!   [`obs::health`] readiness model and the [`EventJournal`] lifecycle
+//!   audit ring.
 //! * **Byte accounting** — every resident structure implements
 //!   [`cumf_telemetry::MemoryFootprint`], rolled up by
 //!   [`engine::ServeEngine::memory_report`] into a tree whose children
@@ -111,8 +115,9 @@ pub use engine::{Recommendation, Request, ServeConfig, ServeEngine, ServeEngineB
 pub use error::ServeError;
 pub use metrics::{dcg_at_k, ndcg_at_k, overlap_at_k};
 pub use obs::{
-    BatchTrace, FlightRecorder, ObsConfig, RequestSpan, ServeMetrics, ServeObs, SloConfig,
-    SloReport, SloTracker, StageBreakdown,
+    BatchTrace, EventJournal, EventKind, FlightRecorder, HealthCheck, HealthStatus, HttpConfig,
+    JournalRecord, ObsConfig, ObsServer, RequestSpan, ServeMetrics, ServeObs, ShutdownHandle,
+    SloConfig, SloReport, SloTracker, StageBreakdown,
 };
 pub use registry::{canary_unit, CanaryPolicy, ModelId, ModelRegistry, RouteKey, Router};
 pub use scorer::{

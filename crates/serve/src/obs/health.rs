@@ -1,0 +1,128 @@
+//! The typed health model: liveness vs readiness.
+//!
+//! The two questions a supervisor asks a serving process are different
+//! and must not share an answer:
+//!
+//! * **Liveness** — "is the process responsive?" Answered by the
+//!   `/healthz` endpoint merely replying: if the exposition server can
+//!   write `ok`, the process is alive. Restarting a live-but-unready
+//!   process fixes nothing, so liveness carries no checks.
+//! * **Readiness** — "should this process receive traffic?" A
+//!   composition of named [`HealthCheck`]s evaluated against live engine
+//!   state ([`crate::engine::ServeEngine::health`]):
+//!   `default_model_live` (the registry's default alias resolves to a
+//!   live, serving model), `slo_fast_burn` (the short-window burn rate is
+//!   below the fast-burn threshold — a process torching its error budget
+//!   should be drained, not fed), and `memory_budget` (resident bytes are
+//!   within the configured soft budget, vacuously true when no budget is
+//!   set). `/readyz` returns 200 when every check passes and 503
+//!   otherwise, with the full check list as a JSON body either way.
+
+use serde::Value;
+
+/// One named readiness check with its verdict and a human-readable
+/// detail string (the "why", rendered into the `/readyz` body).
+#[derive(Clone, Debug)]
+pub struct HealthCheck {
+    /// Stable check name (`default_model_live`, `slo_fast_burn`,
+    /// `memory_budget`).
+    pub name: &'static str,
+    /// Whether the check passed.
+    pub ok: bool,
+    /// Human-readable explanation of the current state.
+    pub detail: String,
+}
+
+/// The readiness verdict: every check, plus the conjunction.
+#[derive(Clone, Debug)]
+pub struct HealthStatus {
+    /// The checks evaluated, in stable order.
+    pub checks: Vec<HealthCheck>,
+}
+
+impl HealthStatus {
+    /// Whether every check passed — the 200-vs-503 bit of `/readyz`.
+    pub fn ready(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+
+    /// The names of the failing checks (empty when ready).
+    pub fn failing(&self) -> Vec<&'static str> {
+        self.checks
+            .iter()
+            .filter(|c| !c.ok)
+            .map(|c| c.name)
+            .collect()
+    }
+
+    /// The status as JSON:
+    /// `{"ready": bool, "checks": [{name, ok, detail}, …]}`.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("ready".into(), Value::Bool(self.ready())),
+            (
+                "checks".into(),
+                Value::Array(
+                    self.checks
+                        .iter()
+                        .map(|c| {
+                            Value::Object(vec![
+                                ("name".into(), Value::Str(c.name.into())),
+                                ("ok".into(), Value::Bool(c.ok)),
+                                ("detail".into(), Value::Str(c.detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(name: &'static str, ok: bool) -> HealthCheck {
+        HealthCheck {
+            name,
+            ok,
+            detail: format!("{name} is {ok}"),
+        }
+    }
+
+    #[test]
+    fn readiness_is_the_conjunction_of_checks() {
+        let all_ok = HealthStatus {
+            checks: vec![check("a", true), check("b", true)],
+        };
+        assert!(all_ok.ready());
+        assert!(all_ok.failing().is_empty());
+        let one_bad = HealthStatus {
+            checks: vec![check("a", true), check("b", false)],
+        };
+        assert!(!one_bad.ready());
+        assert_eq!(one_bad.failing(), vec!["b"]);
+        // No checks: vacuously ready (liveness-shaped).
+        assert!(HealthStatus { checks: vec![] }.ready());
+    }
+
+    #[test]
+    fn json_body_carries_every_check() {
+        let status = HealthStatus {
+            checks: vec![
+                check("default_model_live", true),
+                check("slo_fast_burn", false),
+            ],
+        };
+        let v = status.to_value();
+        assert_eq!(v.get("ready"), Some(&Value::Bool(false)));
+        let checks = v.get("checks").unwrap().as_array().unwrap();
+        assert_eq!(checks.len(), 2);
+        assert_eq!(
+            checks[1].get("name").unwrap().as_str(),
+            Some("slo_fast_burn")
+        );
+        assert!(v.to_json().contains("\"ready\":false"));
+    }
+}

@@ -1,0 +1,515 @@
+//! A hand-rolled, zero-dependency HTTP/1.1 exposition server: the
+//! serving engine's observability plane on the network.
+//!
+//! Everything the `obs` stack accumulates in-process becomes scrapeable
+//! here — a `std::net::TcpListener` accept loop, a small fixed worker
+//! pool fed through a *bounded* queue (overload answers `503` instead of
+//! queueing without bound, mirroring the admission queue's shed
+//! discipline), per-connection read timeouts (a slow-loris client costs
+//! one worker for at most the timeout), a request-head size cap, and a
+//! graceful [`ShutdownHandle`] that unblocks the accept loop.
+//!
+//! | Route | Payload |
+//! |---|---|
+//! | `GET /metrics` | Prometheus text (0.0.4), memory + SLO gauges refreshed per scrape |
+//! | `GET /metrics.json` | the same registry as a JSON snapshot |
+//! | `GET /healthz` | liveness: `200 ok` whenever the process responds |
+//! | `GET /readyz` | readiness checks ([`crate::engine::ServeEngine::health`]), `200`/`503` + JSON |
+//! | `GET /debug/flight.trace.json` | Chrome trace of the flight recorder's recent ring |
+//! | `GET /debug/exemplars.trace.json` | Chrome trace of the slowest-request exemplars |
+//! | `GET /debug/footprint.json` | the resident-bytes tree, refreshed on request |
+//! | `GET /debug/slo` | the current [`crate::obs::SloReport`] as JSON |
+//! | `GET /debug/events` | the lifecycle journal as one JSON document |
+//! | `GET /debug/events.jsonl` | the journal as JSONL, one record per line |
+//!
+//! Freshness contract: `/metrics`, `/metrics.json`, and
+//! `/debug/footprint.json` call
+//! [`crate::engine::ServeEngine::refresh_memory_gauges`] before
+//! rendering, so `serve_mem_bytes{…}`, `serve_cache_entries`, and
+//! `serve_cache_bytes` are exact as of each scrape — no mutation-driven
+//! staleness. The SLO gauges are likewise recomputed per scrape (which is
+//! also what drives `SloBurnEntered`/`SloBurnExited` journal transitions
+//! between request bursts).
+//!
+//! The protocol surface is deliberately tiny — `GET`-only, one request
+//! per connection, `Connection: close` — because its clients are a
+//! scraper and an operator's `curl`, not browsers. Malformed or oversized
+//! request heads get `400`, unknown paths `404`, non-GET methods `405`,
+//! and a read timeout `408` (best-effort) before the connection closes.
+
+use crate::engine::ServeEngine;
+use crate::obs::flight::chrome_trace_for;
+use serde::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Configuration for the exposition server.
+#[derive(Clone, Copy, Debug)]
+pub struct HttpConfig {
+    /// Worker threads handling accepted connections.
+    pub workers: usize,
+    /// Accepted connections that may wait for a worker; further
+    /// connections are answered `503` immediately (bounded, like the
+    /// admission queue — overload must shed, not queue without bound).
+    pub max_pending: usize,
+    /// Per-connection read timeout: how long a worker waits for the
+    /// request head before answering `408` and closing.
+    pub read_timeout: Duration,
+    /// Maximum request-head bytes (request line + headers) before the
+    /// connection is answered `400` and closed.
+    pub max_request_bytes: usize,
+}
+
+impl Default for HttpConfig {
+    fn default() -> HttpConfig {
+        HttpConfig {
+            workers: 2,
+            max_pending: 16,
+            read_timeout: Duration::from_secs(2),
+            max_request_bytes: 8 * 1024,
+        }
+    }
+}
+
+/// A clonable handle that stops the server from any thread: sets the
+/// stop flag and pokes the listener so the blocking `accept` returns.
+#[derive(Clone, Debug)]
+pub struct ShutdownHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Signal the server to stop. Idempotent; returns immediately (join
+    /// happens in [`ObsServer::shutdown`] or on drop).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection; if the
+        // listener is already gone there is nothing to unblock.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+/// The running exposition server: an accept thread plus a worker pool,
+/// bound to one address, serving one engine. Stops (and joins its
+/// threads) on [`ObsServer::shutdown`] or drop.
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9184"`, port 0 for ephemeral) and
+    /// start serving `engine`'s observability plane.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: Arc<ServeEngine>,
+        cfg: HttpConfig,
+    ) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(cfg.max_pending.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || worker_loop(&rx, &engine, cfg))
+            })
+            .collect();
+        let accept_stop = Arc::clone(&stop);
+        let accept = std::thread::spawn(move || accept_loop(&listener, &tx, &accept_stop));
+        Ok(ObsServer {
+            addr,
+            stop,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that can stop the server from another thread.
+    pub fn handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.addr,
+        }
+    }
+
+    /// Stop accepting, drain the workers, and join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.handle().shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Accept connections until the stop flag is raised, handing each to the
+/// bounded worker queue; a full queue answers `503` inline. Dropping the
+/// sender on exit is what terminates the workers.
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, stop: &AtomicBool) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::Acquire) {
+            // The unblocking poke (or a straggler racing shutdown).
+            return;
+        }
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) | Err(TrySendError::Disconnected(mut stream)) => {
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                let _ = write_response(
+                    &mut stream,
+                    503,
+                    "text/plain; charset=utf-8",
+                    "busy: connection queue full\n",
+                );
+            }
+        }
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, engine: &ServeEngine, cfg: HttpConfig) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not the handling.
+        let next = { rx.lock().recv() };
+        match next {
+            Ok(stream) => handle_connection(stream, engine, &cfg),
+            Err(_) => return, // accept loop gone: server is shutting down
+        }
+    }
+}
+
+/// How reading a request head can fail.
+enum HeadError {
+    /// Socket error or read timeout before the head completed.
+    TimedOut,
+    /// The head exceeded `max_request_bytes` or the peer closed mid-head.
+    Malformed,
+}
+
+/// Read bytes until the end of the request head (`\r\n\r\n`), the size
+/// cap, or the read timeout.
+fn read_head(stream: &mut TcpStream, max: usize) -> Result<String, HeadError> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HeadError::Malformed),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.len() > max {
+                    return Err(HeadError::Malformed);
+                }
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+                {
+                    return Ok(String::from_utf8_lossy(&buf).into_owned());
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(HeadError::TimedOut)
+            }
+            Err(_) => return Err(HeadError::Malformed),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, engine: &ServeEngine, cfg: &HttpConfig) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let head = match read_head(&mut stream, cfg.max_request_bytes) {
+        Ok(head) => head,
+        Err(HeadError::TimedOut) => {
+            let _ = write_response(
+                &mut stream,
+                408,
+                "text/plain; charset=utf-8",
+                "request timeout\n",
+            );
+            return;
+        }
+        Err(HeadError::Malformed) => {
+            let _ = write_response(
+                &mut stream,
+                400,
+                "text/plain; charset=utf-8",
+                "bad request\n",
+            );
+            // An oversized head leaves unread bytes; closing with them
+            // still queued sends an RST that can destroy the in-flight
+            // 400. Briefly drain (bounded in time and bytes) so the
+            // client reliably sees the response before the FIN.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+            let mut sink = [0u8; 4096];
+            for _ in 0..256 {
+                match stream.read(&mut sink) {
+                    Ok(n) if n > 0 => {}
+                    _ => break,
+                }
+            }
+            return;
+        }
+    };
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if v.starts_with("HTTP/1.") => (m, t, v),
+        _ => {
+            let _ = write_response(
+                &mut stream,
+                400,
+                "text/plain; charset=utf-8",
+                "malformed request line\n",
+            );
+            return;
+        }
+    };
+    let _ = version;
+    if method != "GET" {
+        let _ = write_response(
+            &mut stream,
+            405,
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+        );
+        return;
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    let (status, content_type, body) = respond(engine, path);
+    let _ = write_response(&mut stream, status, content_type, &body);
+}
+
+/// Route one GET and produce `(status, content-type, body)`. Pure with
+/// respect to the connection — exercised directly by unit tests.
+fn respond(engine: &ServeEngine, path: &str) -> (u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    let obs = engine.obs();
+    obs.metrics()
+        .registry()
+        .counter_with(
+            "serve_http_requests_total",
+            "Exposition-plane HTTP requests, by route",
+            &[("route", if known_route(path) { path } else { "other" })],
+        )
+        .inc();
+    match path {
+        "/metrics" => {
+            // Freshness contract: memory gauges are exact per scrape.
+            engine.refresh_memory_gauges();
+            (
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                obs.render_prometheus(engine.now()),
+            )
+        }
+        "/metrics.json" => {
+            engine.refresh_memory_gauges();
+            (200, JSON, obs.snapshot(engine.now()).to_json())
+        }
+        "/healthz" => (200, "text/plain; charset=utf-8", "ok\n".to_string()),
+        "/readyz" => {
+            let status = engine.health();
+            let code = if status.ready() { 200 } else { 503 };
+            (code, JSON, status.to_value().to_json())
+        }
+        "/debug/flight.trace.json" => (200, JSON, chrome_trace_for(&obs.flight().recent())),
+        "/debug/exemplars.trace.json" => (200, JSON, obs.flight().exemplar_trace()),
+        "/debug/footprint.json" => (
+            200,
+            JSON,
+            engine.refresh_memory_gauges().to_value().to_json(),
+        ),
+        "/debug/slo" => (
+            200,
+            JSON,
+            serde::Serialize::to_value(&obs.refresh_slo_gauges(engine.now())).to_json(),
+        ),
+        "/debug/events" => (200, JSON, obs.journal().to_value().to_json()),
+        "/debug/events.jsonl" => (200, "application/x-ndjson", obs.journal().to_jsonl()),
+        _ => (
+            404,
+            "text/plain; charset=utf-8",
+            format!("no such route {path}\n"),
+        ),
+    }
+}
+
+/// Whether `path` is a served route (bounds the `route` label set —
+/// unknown paths all share `route="other"`).
+fn known_route(path: &str) -> bool {
+    matches!(
+        path,
+        "/metrics"
+            | "/metrics.json"
+            | "/healthz"
+            | "/readyz"
+            | "/debug/flight.trace.json"
+            | "/debug/exemplars.trace.json"
+            | "/debug/footprint.json"
+            | "/debug/slo"
+            | "/debug/events"
+            | "/debug/events.jsonl"
+    )
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Parse a `Value` out of a route's JSON body (test helper used by the
+/// integration suite too, so it lives here rather than in test code).
+#[doc(hidden)]
+pub fn parse_json(body: &str) -> Value {
+    Value::parse(body).expect("route body must be valid JSON")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Request, ServeConfig, ServeEngine};
+    use crate::store::ModelSnapshot;
+    use cumf_numeric::dense::DenseMatrix;
+    use cumf_telemetry::NOOP;
+
+    fn engine() -> Arc<ServeEngine> {
+        let x = DenseMatrix::identity(4);
+        let theta = DenseMatrix::identity(4);
+        Arc::new(
+            ServeEngine::builder()
+                .config(ServeConfig::default().with_k(2))
+                .model("default", x, ModelSnapshot::new(0, theta, vec![]))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn routes_render_without_a_socket() {
+        let engine = engine();
+        engine.recommend_batch(&[Request::known(0, 0)], &NOOP);
+        let (code, ct, body) = respond(&engine, "/metrics");
+        assert_eq!(code, 200);
+        assert!(ct.starts_with("text/plain"));
+        assert!(body.contains("serve_requests_total 1"));
+        assert!(body.contains("# TYPE serve_requests_total counter"));
+        // Freshness: the scrape refreshed the memory gauges.
+        assert!(body.contains("serve_mem_bytes{component=\"engine\",model=\"\"}"));
+
+        let (code, _, body) = respond(&engine, "/metrics.json");
+        assert_eq!(code, 200);
+        assert!(parse_json(&body).get("serve_requests_total").is_some());
+
+        let (code, _, body) = respond(&engine, "/healthz");
+        assert_eq!((code, body.as_str()), (200, "ok\n"));
+
+        let (code, _, body) = respond(&engine, "/readyz");
+        assert_eq!(code, 200);
+        assert_eq!(parse_json(&body).get("ready"), Some(&Value::Bool(true)));
+
+        let (code, _, body) = respond(&engine, "/debug/footprint.json");
+        assert_eq!(code, 200);
+        let tree = parse_json(&body);
+        assert_eq!(tree.get("name").unwrap().as_str(), Some("engine"));
+
+        let (code, _, body) = respond(&engine, "/debug/slo");
+        assert_eq!(code, 200);
+        assert!(parse_json(&body).get("burn_rates").is_some());
+
+        let (code, _, body) = respond(&engine, "/debug/events");
+        assert_eq!(code, 200);
+        let journal = parse_json(&body);
+        let events = journal.get("events").unwrap().as_array().unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("kind").unwrap().as_str() == Some("ModelRegistered")),
+            "bootstrap registration must be journaled"
+        );
+
+        let (code, _, _) = respond(&engine, "/debug/flight.trace.json");
+        assert_eq!(code, 200);
+
+        let (code, _, _) = respond(&engine, "/nope");
+        assert_eq!(code, 404);
+
+        // Route accounting is bounded: unknown paths share one label.
+        let text = engine.obs().render_prometheus(engine.now());
+        assert!(text.contains("serve_http_requests_total{route=\"/metrics\"} 1"));
+        assert!(text.contains("serve_http_requests_total{route=\"other\"} 1"));
+    }
+
+    #[test]
+    fn shutdown_handle_unblocks_the_accept_loop() {
+        let server = ObsServer::bind("127.0.0.1:0", engine(), HttpConfig::default()).unwrap();
+        let handle = server.handle();
+        let t = std::thread::spawn(move || server.shutdown());
+        handle.shutdown();
+        t.join().expect("shutdown must complete, not hang");
+    }
+}

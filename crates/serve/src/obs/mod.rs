@@ -16,22 +16,42 @@
 //! * [`slo`] — [`SloTracker`]: latency target + error/shed budget with
 //!   multi-window burn rates, surfaced in the admission report.
 //!
-//! One [`ServeObs`] bundles all four; the engine owns it
+//! PR 9 turns the bundle into an *operational surface*:
+//!
+//! * [`journal`] — [`EventJournal`]: typed, engine-clock-timestamped
+//!   lifecycle audit records (publishes, promotions, burn transitions,
+//!   shed bursts) in a bounded ring.
+//! * [`health`] — [`HealthStatus`]: the liveness-vs-readiness model
+//!   behind `/healthz` and `/readyz`.
+//! * [`http`] — [`ObsServer`]: a zero-dependency HTTP/1.1 server
+//!   exposing all of the above as scrape endpoints.
+//!
+//! One [`ServeObs`] bundles all of it; the engine owns it
 //! ([`crate::engine::ServeEngine::obs`]) so the admission worker and any
-//! exposition endpoint observe the same state.
+//! exposition endpoint observe the same state. The bundle also owns the
+//! **engine clock** ([`ServeObs::now`], seconds since construction) so
+//! spans, SLO buckets, and journal timestamps share one time base.
 
 pub mod flight;
+pub mod health;
+pub mod http;
+pub mod journal;
 pub mod slo;
 pub mod span;
 
 pub use flight::{chrome_trace_for, FlightRecorder};
+pub use health::{HealthCheck, HealthStatus};
+pub use http::{HttpConfig, ObsServer, ShutdownHandle};
+pub use journal::{EventJournal, EventKind, JournalRecord};
 pub use slo::{SloConfig, SloReport, SloTracker, WindowBurn};
 pub use span::{BatchTrace, RequestSpan, StageBreakdown, STAGES};
 
 use cumf_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
+use parking_lot::Mutex;
 use serde::Value;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration for the serving observability layer.
 #[derive(Clone, Copy, Debug)]
@@ -44,6 +64,8 @@ pub struct ObsConfig {
     pub slow_threshold: Duration,
     /// The service-level objective to track.
     pub slo: SloConfig,
+    /// Lifecycle records retained in the event journal's ring.
+    pub journal_capacity: usize,
 }
 
 impl Default for ObsConfig {
@@ -53,6 +75,7 @@ impl Default for ObsConfig {
             exemplar_capacity: 16,
             slow_threshold: Duration::from_millis(50),
             slo: SloConfig::default(),
+            journal_capacity: 1024,
         }
     }
 }
@@ -317,6 +340,15 @@ pub struct ServeObs {
     metrics: ServeMetrics,
     flight: FlightRecorder,
     slo: SloTracker,
+    journal: EventJournal,
+    /// The engine clock's origin: every span, SLO bucket, and journal
+    /// record is stamped in seconds since this instant.
+    started: Instant,
+    /// Whether the SLO was fast-burning at the last gauge refresh — the
+    /// edge detector behind `SloBurnEntered`/`SloBurnExited`.
+    burn_firing: AtomicBool,
+    /// Shed-burst aggregation: `(last_emit_time, sheds_since_then)`.
+    shed_burst: Mutex<(f64, u64)>,
 }
 
 impl ServeObs {
@@ -329,14 +361,25 @@ impl ServeObs {
     /// other subsystems exposing on the same endpoint).
     pub fn with_registry(cfg: ObsConfig, registry: Arc<MetricsRegistry>) -> ServeObs {
         ServeObs {
-            metrics: ServeMetrics::new(registry),
+            metrics: ServeMetrics::new(Arc::clone(&registry)),
             flight: FlightRecorder::new(
                 cfg.ring_capacity,
                 cfg.exemplar_capacity,
                 cfg.slow_threshold.as_secs_f64(),
             ),
             slo: SloTracker::new(cfg.slo),
+            journal: EventJournal::new(cfg.journal_capacity, registry),
+            started: Instant::now(),
+            burn_firing: AtomicBool::new(false),
+            shed_burst: Mutex::new((f64::NEG_INFINITY, 0)),
         }
+    }
+
+    /// Seconds since this bundle was built — the engine clock. Every
+    /// span, SLO bucket, and journal record shares this time base
+    /// ([`crate::engine::ServeEngine::now`] delegates here).
+    pub fn now(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
     }
 
     /// The typed metric handles.
@@ -354,6 +397,11 @@ impl ServeObs {
         &self.slo
     }
 
+    /// The lifecycle event journal.
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
     /// Record one completed request span: latency + queue-delay
     /// histograms, the flight recorder, and the SLO tracker.
     pub fn observe_completion(&self, span: &RequestSpan) {
@@ -363,15 +411,39 @@ impl ServeObs {
         self.slo.record(span.finished_at, span.e2e());
     }
 
-    /// Record one shed request at engine time `now`.
+    /// Record one shed request at engine time `now`. Sheds are journaled
+    /// as rate-limited `ShedBurst` records — at most one per second,
+    /// folding the sheds since the previous record into its `count` — so
+    /// an overload storm cannot flush the lifecycle history out of the
+    /// ring (`serve_shed_total` stays exact regardless).
     pub fn observe_shed(&self, now: f64) {
         self.metrics.shed.inc();
         self.slo.record_shed(now);
+        let emit = {
+            let mut burst = self.shed_burst.lock();
+            burst.1 += 1;
+            if now - burst.0 >= 1.0 {
+                let count = burst.1;
+                *burst = (now, 0);
+                Some(count)
+            } else {
+                None
+            }
+        };
+        if let Some(count) = emit {
+            self.journal
+                .record(now, None, EventKind::ShedBurst { count });
+        }
     }
 
     /// Refresh the derived SLO gauges (`serve_slo_compliance`,
     /// `serve_slo_burn_rate{window=...}`) from the tracker's state at
-    /// engine time `now`.
+    /// engine time `now`. This is also the fast-burn edge detector: when
+    /// the short-window burn rate crosses the configured
+    /// [`SloConfig::fast_burn_threshold`] in either direction, a
+    /// `SloBurnEntered` / `SloBurnExited` record is journaled. Every
+    /// scrape of `/metrics` runs this, so the journal sees transitions
+    /// even between request bursts.
     pub fn refresh_slo_gauges(&self, now: f64) -> SloReport {
         let report = self.slo.report(now);
         let reg = self.metrics.registry();
@@ -386,7 +458,31 @@ impl ServeObs {
             )
             .set(w.burn);
         }
+        let short = &report.burn_rates[0];
+        let firing = short.burn >= self.slo.config().fast_burn_threshold;
+        let was_firing = self.burn_firing.swap(firing, Ordering::AcqRel);
+        if firing != was_firing {
+            let transition = if firing {
+                EventKind::SloBurnEntered {
+                    window_secs: short.window_secs,
+                    burn: short.burn,
+                }
+            } else {
+                EventKind::SloBurnExited {
+                    window_secs: short.window_secs,
+                    burn: short.burn,
+                }
+            };
+            self.journal.record(now, None, transition);
+        }
         report
+    }
+
+    /// Whether the SLO was fast-burning as of the last
+    /// [`ServeObs::refresh_slo_gauges`] call — the `slo_fast_burn`
+    /// readiness check reads this after refreshing.
+    pub fn fast_burn_firing(&self) -> bool {
+        self.burn_firing.load(Ordering::Acquire)
     }
 
     /// Prometheus text exposition of every serving metric, with the SLO
@@ -485,6 +581,69 @@ mod tests {
             obs.metrics().mem_bytes("registry/m0/store", "m0").get(),
             2048.0
         );
+    }
+
+    #[test]
+    fn shed_storms_fold_into_rate_limited_burst_records() {
+        let obs = ServeObs::new(ObsConfig::default());
+        // First shed opens a burst record immediately…
+        obs.observe_shed(10.0);
+        // …then a storm inside the same second stays folded…
+        for i in 0..50 {
+            obs.observe_shed(10.0 + i as f64 * 0.01);
+        }
+        // …until the next shed beyond the rate limit flushes the fold.
+        obs.observe_shed(11.5);
+        let bursts: Vec<_> = obs
+            .journal()
+            .records()
+            .into_iter()
+            .filter_map(|r| match r.kind {
+                EventKind::ShedBurst { count } => Some(count),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(bursts, vec![1, 51], "storm must fold, not flood");
+        assert_eq!(obs.metrics().shed.get(), 52, "counter stays exact");
+    }
+
+    #[test]
+    fn burn_transitions_are_journaled_on_refresh() {
+        let obs = ServeObs::new(ObsConfig {
+            slo: SloConfig {
+                error_budget: 0.01,
+                ..SloConfig::default()
+            },
+            ..ObsConfig::default()
+        });
+        assert!(!obs.fast_burn_firing());
+        // Ten sheds in one second: burn = 1.0/0.01 = 100 ≥ threshold 10.
+        for i in 0..10 {
+            obs.observe_shed(5.0 + i as f64 * 0.05);
+        }
+        obs.refresh_slo_gauges(5.6);
+        assert!(obs.fast_burn_firing());
+        // Repeated refresh while firing: no duplicate transition record.
+        obs.refresh_slo_gauges(5.7);
+        // The window ages out; the next refresh journals the exit.
+        obs.refresh_slo_gauges(30.0);
+        assert!(!obs.fast_burn_firing());
+        let kinds: Vec<_> = obs
+            .journal()
+            .records()
+            .iter()
+            .map(|r| r.kind.name())
+            .filter(|k| k.starts_with("SloBurn"))
+            .collect();
+        assert_eq!(kinds, vec!["SloBurnEntered", "SloBurnExited"]);
+    }
+
+    #[test]
+    fn engine_clock_is_monotone() {
+        let obs = ServeObs::new(ObsConfig::default());
+        let a = obs.now();
+        let b = obs.now();
+        assert!(b >= a);
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub struct SloConfig {
     /// Burn-rate windows, short first (e.g. 1 s and 10 s for a bench run;
     /// minutes to hours in a long-lived deployment).
     pub windows: [Duration; 2],
+    /// Short-window burn rate at or above which the SLO is *fast-burning*:
+    /// the error budget is being spent this many times faster than
+    /// sustainable. 10 is the classic fast-burn page threshold. Firing
+    /// fails the `slo_fast_burn` readiness check and journals
+    /// `SloBurnEntered`/`SloBurnExited` transitions.
+    pub fast_burn_threshold: f64,
 }
 
 impl Default for SloConfig {
@@ -42,6 +48,7 @@ impl Default for SloConfig {
             target: Duration::from_millis(25),
             error_budget: 0.01,
             windows: [Duration::from_secs(1), Duration::from_secs(10)],
+            fast_burn_threshold: 10.0,
         }
     }
 }
@@ -174,6 +181,15 @@ impl SloTracker {
         }
     }
 
+    /// Whether the SLO is fast-burning at engine time `now`: the
+    /// short-window burn rate has reached
+    /// [`SloConfig::fast_burn_threshold`]. This is the readiness-check
+    /// predicate — a process torching its error budget should be drained,
+    /// not fed more traffic.
+    pub fn fast_burn(&self, now: f64) -> bool {
+        self.burn_rate(now, self.cfg.windows[0]) >= self.cfg.fast_burn_threshold
+    }
+
     /// Summarize the tracker at engine time `now`.
     pub fn report(&self, now: f64) -> SloReport {
         let (good, breached, shed) = {
@@ -250,6 +266,7 @@ mod tests {
             target: Duration::from_millis(target_ms),
             error_budget: budget,
             windows: [Duration::from_secs(1), Duration::from_secs(10)],
+            ..SloConfig::default()
         }
     }
 
@@ -298,6 +315,20 @@ mod tests {
             "half bad / 0.5 budget = 1.0, got {long}"
         );
         assert!(short < long);
+    }
+
+    #[test]
+    fn fast_burn_trips_at_the_threshold() {
+        let t = SloTracker::new(cfg(10, 0.01)); // default threshold 10.0
+        for i in 0..9 {
+            t.record(0.1 + i as f64 * 0.05, 0.001);
+        }
+        assert!(!t.fast_burn(0.6), "all-good window must not fire");
+        // One breach in ten: bad fraction 0.1 / budget 0.01 = burn 10.
+        t.record(0.58, 1.0);
+        assert!(t.fast_burn(0.6), "burn 10 meets the threshold");
+        // The window ages out and the alarm clears.
+        assert!(!t.fast_burn(5.0));
     }
 
     #[test]

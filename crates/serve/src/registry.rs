@@ -34,7 +34,7 @@
 
 use crate::ann::AnnPolicy;
 use crate::error::ServeError;
-use crate::obs::{ModelMetrics, ServeMetrics};
+use crate::obs::{EventKind, ModelMetrics, ServeObs};
 use crate::shard::{ShardedFactorStore, ShardedSnapshot};
 use crate::store::ModelSnapshot;
 use cumf_numeric::dense::DenseMatrix;
@@ -213,9 +213,16 @@ impl Router {
             return Err(ServeError::UnknownModel(id.clone()));
         }
         if let Some(policy) = &self.canary {
-            if policy.routes_to_candidate(key.hash_key()) {
+            // A force-retired candidate falls through to the default
+            // rather than erroring: the canary arm is best-effort.
+            if policy.routes_to_candidate(key.hash_key()) && self.live.contains(&policy.candidate) {
                 return Ok(policy.candidate.clone());
             }
+        }
+        if !self.live.contains(&self.default_model) {
+            // Reachable only via force_retire of the default alias — the
+            // "drained" state the readiness model reports as not-ready.
+            return Err(ServeError::RetiredModel(self.default_model.clone()));
         }
         Ok(self.default_model.clone())
     }
@@ -337,8 +344,10 @@ pub struct ModelRegistry {
     inner: RwLock<Inner>,
     /// Shard count every model's snapshots are split into.
     shards: usize,
-    /// Handle factory for per-model metric series.
-    metrics: ServeMetrics,
+    /// The engine's observability bundle: metric handle factory, the
+    /// engine clock, and the lifecycle journal every registry mutation
+    /// writes to.
+    obs: Arc<ServeObs>,
     /// Soft resident-bytes budget over every model's footprint. A publish
     /// that leaves the registry over it warns and counts
     /// (`serve_mem_budget_exceeded_total`); nothing is evicted.
@@ -373,7 +382,7 @@ impl ModelRegistry {
         user_factors: DenseMatrix,
         snapshot: ModelSnapshot,
         shards: usize,
-        metrics: ServeMetrics,
+        obs: Arc<ServeObs>,
         memory_budget: Option<u64>,
         ann: Option<AnnPolicy>,
     ) -> Result<ModelRegistry, ServeError> {
@@ -385,12 +394,20 @@ impl ModelRegistry {
                 next_slot: 0,
             }),
             shards,
-            metrics,
+            obs,
             memory_budget,
             ann,
         };
         registry.register(id, user_factors, snapshot)?;
         Ok(registry)
+    }
+
+    /// Append one lifecycle record to the engine's journal at the
+    /// current engine time.
+    fn journal(&self, model: Option<&ModelId>, kind: EventKind) {
+        self.obs
+            .journal()
+            .record(self.obs.now(), model.cloned(), kind);
     }
 
     /// Complete `snapshot` to the registry's approximate-retrieval policy:
@@ -443,9 +460,11 @@ impl ModelRegistry {
         let snapshot = self.apply_ann_policy(snapshot);
         let slot = inner.next_slot;
         inner.next_slot += 1;
-        let metrics = self.metrics.model(id.as_str());
+        let metrics = self.obs.metrics().model(id.as_str());
         metrics.epoch.set(snapshot.epoch as f64);
         let f = snapshot.f();
+        let epoch = snapshot.epoch;
+        let bytes = snapshot.footprint().total_bytes();
         let entry = Arc::new(ModelEntry {
             id: id.clone(),
             slot,
@@ -455,9 +474,13 @@ impl ModelRegistry {
             retired: AtomicBool::new(false),
             metrics,
         });
-        inner.models.insert(id, entry);
+        inner.models.insert(id.clone(), entry);
         drop(inner);
         self.refresh_memory_gauges();
+        // Registration is also the model's first publish: journal both so
+        // the audit trail always opens register → publish.
+        self.journal(Some(&id), EventKind::ModelRegistered);
+        self.journal(Some(&id), EventKind::SnapshotPublished { epoch, bytes });
         Ok(())
     }
 
@@ -478,13 +501,22 @@ impl ModelRegistry {
             });
         }
         let snapshot = self.apply_ann_policy(snapshot);
+        let bytes = snapshot.footprint().total_bytes();
         let epoch = entry.store.publish(snapshot)?;
         entry.metrics.epoch.set(epoch as f64);
+        self.journal(Some(id), EventKind::SnapshotPublished { epoch, bytes });
         let report = self.refresh_memory_gauges();
         if let Some(budget) = self.memory_budget {
             let total = report.total_bytes();
             if total > budget {
                 entry.metrics.budget_exceeded.inc();
+                self.journal(
+                    Some(id),
+                    EventKind::MemBudgetExceeded {
+                        resident_bytes: total,
+                        budget_bytes: budget,
+                    },
+                );
                 let (path, bytes) = report.largest_leaf();
                 eprintln!(
                     "serve: memory budget exceeded after publishing {id} epoch {epoch}: \
@@ -533,6 +565,39 @@ impl ModelRegistry {
         // Retirement stops routing but frees nothing (the entry and its
         // epochs stay resident); refresh so the gauges say so.
         self.refresh_memory_gauges();
+        self.journal(Some(id), EventKind::Retired);
+        Ok(())
+    }
+
+    /// Retire `id` even when it is the default alias or the canary
+    /// candidate — the emergency drain verb [`ModelRegistry::retire`]
+    /// deliberately refuses to be.
+    ///
+    /// Force-retiring the canary candidate clears the policy (its
+    /// traffic share falls back to the default); force-retiring the
+    /// default leaves every unaddressed request failing with
+    /// [`ServeError::RetiredModel`] until [`ModelRegistry::set_default`]
+    /// points the alias at a live model — exactly the state the
+    /// `default_model_live` readiness check reports as not-ready, so a
+    /// scraping supervisor sees `/readyz` flip to 503 the moment the
+    /// drain lands.
+    pub fn force_retire(&self, id: &ModelId) -> Result<(), ServeError> {
+        let cleared_canary = {
+            let mut inner = self.inner.write();
+            let entry = Self::entry_of(&inner, id)?;
+            entry.retired.store(true, Ordering::Release);
+            if inner.canary.as_ref().is_some_and(|c| c.candidate == *id) {
+                inner.canary = None;
+                true
+            } else {
+                false
+            }
+        };
+        self.refresh_memory_gauges();
+        self.journal(Some(id), EventKind::Retired);
+        if cleared_canary {
+            self.journal(Some(id), EventKind::RolledBack);
+        }
         Ok(())
     }
 
@@ -547,9 +612,14 @@ impl ModelRegistry {
     /// Install (or replace) the canary policy. The candidate must be a
     /// live model.
     pub fn set_canary(&self, policy: CanaryPolicy) -> Result<(), ServeError> {
-        let mut inner = self.inner.write();
-        Self::entry_of(&inner, &policy.candidate)?;
-        inner.canary = Some(policy);
+        let (candidate, fraction) = {
+            let mut inner = self.inner.write();
+            Self::entry_of(&inner, &policy.candidate)?;
+            let meta = (policy.candidate.clone(), policy.fraction);
+            inner.canary = Some(policy);
+            meta
+        };
+        self.journal(Some(&candidate), EventKind::CanarySet { fraction });
         Ok(())
     }
 
@@ -565,6 +635,7 @@ impl ModelRegistry {
             candidate
         };
         self.refresh_memory_gauges();
+        self.journal(Some(&candidate), EventKind::Promoted);
         Ok(candidate)
     }
 
@@ -579,6 +650,7 @@ impl ModelRegistry {
             inner.canary.take().ok_or(ServeError::NoCanary)?.candidate
         };
         self.refresh_memory_gauges();
+        self.journal(Some(&candidate), EventKind::RolledBack);
         Ok(candidate)
     }
 
@@ -714,22 +786,27 @@ impl ModelRegistry {
                 .find(|c| c.name() == "store")
                 .cloned()
                 .unwrap_or_else(|| FootprintReport::leaf("store", 0));
-            self.metrics
+            self.obs
+                .metrics()
                 .mem_bytes("model", model)
                 .set(tree.total_bytes() as f64);
-            self.metrics
+            self.obs
+                .metrics()
                 .mem_bytes("model/store/current", model)
                 .set(child_bytes(&store, "current") as f64);
-            self.metrics
+            self.obs
+                .metrics()
                 .mem_bytes("model/store/superseded", model)
                 .set(child_bytes(&store, "superseded") as f64);
-            self.metrics
+            self.obs
+                .metrics()
                 .mem_bytes("model/user_factors", model)
                 .set(child_bytes(&tree, "user_factors") as f64);
             children.push(tree);
         }
         let report = FootprintReport::branch("registry", children);
-        self.metrics
+        self.obs
+            .metrics()
             .mem_bytes("registry", "")
             .set(report.total_bytes() as f64);
         report
@@ -761,8 +838,8 @@ mod tests {
     use super::*;
     use crate::obs::{ObsConfig, ServeObs};
 
-    fn metrics() -> ServeMetrics {
-        ServeObs::new(ObsConfig::default()).metrics().clone()
+    fn obs() -> Arc<ServeObs> {
+        Arc::new(ServeObs::new(ObsConfig::default()))
     }
 
     fn snap(epoch: u64, n: usize, f: usize) -> ModelSnapshot {
@@ -772,12 +849,16 @@ mod tests {
     }
 
     fn registry() -> ModelRegistry {
+        registry_on(obs())
+    }
+
+    fn registry_on(obs: Arc<ServeObs>) -> ModelRegistry {
         ModelRegistry::bootstrap(
             ModelId::from("champion"),
             DenseMatrix::identity(4),
             snap(0, 6, 4),
             2,
-            metrics(),
+            obs,
             None,
             None,
         )
@@ -992,17 +1073,9 @@ mod tests {
 
     #[test]
     fn memory_gauges_refresh_on_publish() {
-        let m = metrics();
-        let reg = ModelRegistry::bootstrap(
-            ModelId::from("champion"),
-            DenseMatrix::identity(4),
-            snap(0, 6, 4),
-            2,
-            m.clone(),
-            None,
-            None,
-        )
-        .unwrap();
+        let o = obs();
+        let reg = registry_on(Arc::clone(&o));
+        let m = o.metrics().clone();
         let total = reg.footprint().total_bytes() as f64;
         assert_eq!(m.mem_bytes("registry", "").get(), total);
         assert_eq!(m.mem_bytes("model", "champion").get(), total);
@@ -1020,17 +1093,18 @@ mod tests {
 
     #[test]
     fn publish_over_budget_warns_and_counts() {
-        let m = metrics();
+        let o = obs();
         let reg = ModelRegistry::bootstrap(
             ModelId::from("champion"),
             DenseMatrix::identity(4),
             snap(0, 6, 4),
             2,
-            m.clone(),
+            Arc::clone(&o),
             Some(1), // 1 byte: any publish exceeds
             None,
         )
         .unwrap();
+        let m = o.metrics().clone();
         assert_eq!(reg.memory_budget(), Some(1));
         let counter = m.model("champion").budget_exceeded;
         assert_eq!(counter.get(), 0, "registration alone does not count");
@@ -1040,6 +1114,22 @@ mod tests {
         reg.publish(&ModelId::from("champion"), snap(2, 6, 4))
             .unwrap();
         assert_eq!(counter.get(), 2, "warn-only: publishes keep landing");
+        // Each breach is journaled with the offending byte counts.
+        let breaches: Vec<_> = o
+            .journal()
+            .records()
+            .into_iter()
+            .filter(|r| matches!(r.kind, EventKind::MemBudgetExceeded { .. }))
+            .collect();
+        assert_eq!(breaches.len(), 2);
+        if let EventKind::MemBudgetExceeded {
+            resident_bytes,
+            budget_bytes,
+        } = breaches[0].kind
+        {
+            assert_eq!(budget_bytes, 1);
+            assert!(resident_bytes > 1);
+        }
     }
 
     #[test]
@@ -1057,7 +1147,7 @@ mod tests {
             DenseMatrix::identity(4),
             snap(0, 6, 4),
             1,
-            metrics(),
+            obs(),
             None,
             Some(policy),
         )
@@ -1079,6 +1169,101 @@ mod tests {
         reg.publish(&champ, tuned).unwrap();
         let kept = reg.snapshot(&champ).unwrap();
         assert_eq!(kept.full().ann().unwrap().k_clusters(), 5);
+    }
+
+    #[test]
+    fn lifecycle_journal_replays_in_order_with_monotone_timestamps() {
+        let o = obs();
+        let reg = registry_on(Arc::clone(&o));
+        reg.register("challenger", DenseMatrix::identity(4), snap(0, 6, 4))
+            .unwrap();
+        reg.publish(&ModelId::from("challenger"), snap(1, 8, 4))
+            .unwrap();
+        reg.set_canary(CanaryPolicy::new("challenger", 0.25))
+            .unwrap();
+        reg.promote().unwrap();
+        reg.set_canary(CanaryPolicy::new("champion", 0.5)).unwrap();
+        reg.rollback().unwrap();
+        reg.retire(&ModelId::from("champion")).unwrap();
+        let recs = o.journal().records();
+        let kinds: Vec<_> = recs.iter().map(|r| r.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "ModelRegistered",   // champion (bootstrap)
+                "SnapshotPublished", // champion epoch 0
+                "ModelRegistered",   // challenger
+                "SnapshotPublished", // challenger epoch 0
+                "SnapshotPublished", // challenger epoch 1
+                "CanarySet",
+                "Promoted",
+                "CanarySet",
+                "RolledBack",
+                "Retired",
+            ]
+        );
+        assert!(recs.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(recs.windows(2).all(|w| w[0].time <= w[1].time));
+        assert_eq!(recs[6].model.as_ref().unwrap().as_str(), "challenger");
+        // Payloads ride along: the challenger's epoch-1 publish.
+        assert!(matches!(
+            recs[4].kind,
+            EventKind::SnapshotPublished { epoch: 1, bytes } if bytes > 0
+        ));
+    }
+
+    #[test]
+    fn force_retire_bypasses_the_in_use_guard() {
+        let reg = registry();
+        let champ = ModelId::from("champion");
+        assert_eq!(
+            reg.retire(&champ),
+            Err(ServeError::ModelInUse(champ.clone()))
+        );
+        reg.force_retire(&champ).unwrap();
+        assert!(!reg.is_live(&champ));
+        // The drained default now fails resolution instead of panicking.
+        assert_eq!(
+            reg.router().resolve(None, RouteKey::User(7)),
+            Err(ServeError::RetiredModel(champ))
+        );
+    }
+
+    #[test]
+    fn force_retiring_the_candidate_clears_the_canary() {
+        let reg = registry();
+        reg.register("challenger", DenseMatrix::identity(4), snap(0, 6, 4))
+            .unwrap();
+        reg.set_canary(CanaryPolicy::new("challenger", 1.0))
+            .unwrap();
+        reg.force_retire(&ModelId::from("challenger")).unwrap();
+        assert!(reg.canary().is_none(), "policy must not outlive its arm");
+        // All traffic falls back to the (live) default.
+        assert_eq!(
+            reg.router()
+                .resolve(None, RouteKey::User(1))
+                .unwrap()
+                .as_str(),
+            "champion"
+        );
+    }
+
+    #[test]
+    fn stale_router_snapshot_falls_through_a_dead_candidate() {
+        let reg = registry();
+        reg.register("challenger", DenseMatrix::identity(4), snap(0, 6, 4))
+            .unwrap();
+        reg.set_canary(CanaryPolicy::new("challenger", 1.0))
+            .unwrap();
+        // Build a router that still carries the policy, but whose live
+        // set lacks the candidate (the race a batch can observe).
+        let mut router = reg.router();
+        router.live.retain(|id| id.as_str() != "challenger");
+        assert_eq!(
+            router.resolve(None, RouteKey::User(3)).unwrap().as_str(),
+            "champion",
+            "dead canary arm must fall through, not panic"
+        );
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Integration tests for the HTTP exposition plane, over real sockets:
+//! scrape conformance (HELP/TYPE on every family, fresh memory gauges),
+//! the readiness flips the health model promises (default model retired,
+//! SLO fast-burn), protocol edge cases (malformed/oversized heads, slow
+//! clients, unknown routes, non-GET methods), journal replay over
+//! `/debug/events`, concurrent scrape consistency, and shutdown latency.
+
+use cumf_numeric::dense::DenseMatrix;
+use cumf_serve::{
+    CanaryPolicy, HttpConfig, ModelSnapshot, ObsServer, Request, ServeConfig, ServeEngine,
+};
+use cumf_telemetry::NOOP;
+use serde::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine() -> Arc<ServeEngine> {
+    let x = DenseMatrix::identity(4);
+    let theta = DenseMatrix::identity(4);
+    Arc::new(
+        ServeEngine::builder()
+            .config(ServeConfig::default().with_k(2))
+            .model("default", x, ModelSnapshot::new(0, theta, vec![]))
+            .build()
+            .expect("tiny engine builds"),
+    )
+}
+
+fn server(engine: Arc<ServeEngine>) -> ObsServer {
+    ObsServer::bind("127.0.0.1:0", engine, HttpConfig::default()).expect("bind ephemeral port")
+}
+
+/// One raw HTTP/1.1 GET; returns (status code, body).
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let raw = format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n");
+    let response = exchange(addr, raw.as_bytes());
+    split_response(&response)
+}
+
+/// Write `request` verbatim, read until the server closes the socket.
+fn exchange(addr: SocketAddr, request: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read to close");
+    response
+}
+
+fn split_response(response: &str) -> (u16, String) {
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {response:?}"));
+    let body = response
+        .split("\r\n\r\n")
+        .nth(1)
+        .unwrap_or_default()
+        .to_string();
+    (status, body)
+}
+
+fn json(body: &str) -> Value {
+    Value::parse(body).expect("body parses as JSON")
+}
+
+#[test]
+fn scrape_returns_conformant_prometheus_text_with_fresh_gauges() {
+    let engine = engine();
+    engine.recommend_batch(&[Request::known(0, 0), Request::known(1, 1)], &NOOP);
+    let server = server(Arc::clone(&engine));
+    let (code, body) = get(server.local_addr(), "/metrics");
+    assert_eq!(code, 200);
+    assert!(body.contains("serve_requests_total 2"), "{body}");
+
+    // Every exposed family carries HELP and TYPE, and passes the
+    // registry's own conformance lint (names, suffixes, help text).
+    let types: Vec<&str> = body.lines().filter(|l| l.starts_with("# TYPE ")).collect();
+    assert!(!types.is_empty());
+    for t in &types {
+        let family = t.split_whitespace().nth(2).unwrap();
+        assert!(
+            body.contains(&format!("# HELP {family} ")),
+            "family {family} is missing HELP"
+        );
+    }
+    let problems = engine.obs().metrics().registry().lint();
+    assert_eq!(problems, Vec::<String>::new());
+
+    // Freshness contract: the scrape itself refreshed the memory gauges,
+    // with no refresh_memory_gauges() call from the test.
+    assert!(
+        body.contains("serve_mem_bytes{component=\"engine\",model=\"\"}"),
+        "memory gauges must be populated by the scrape"
+    );
+    let resident: f64 = body
+        .lines()
+        .find(|l| l.starts_with("serve_mem_bytes{component=\"engine\""))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap();
+    assert!(resident > 0.0, "engine resident bytes must be non-zero");
+    server.shutdown();
+}
+
+#[test]
+fn liveness_is_unconditional_but_readiness_flips_on_force_retire() {
+    let engine = engine();
+    let server = server(Arc::clone(&engine));
+    let addr = server.local_addr();
+
+    let (code, body) = get(addr, "/healthz");
+    assert_eq!((code, body.as_str()), (200, "ok\n"));
+    let (code, body) = get(addr, "/readyz");
+    assert_eq!(code, 200);
+    assert_eq!(json(&body).get("ready"), Some(&Value::Bool(true)));
+
+    // Emergency-drain the default model: readiness must flip to 503 and
+    // name the failing check, while liveness stays green.
+    let default = engine.registry().default_model();
+    engine.registry().force_retire(&default).unwrap();
+    let (code, body) = get(addr, "/readyz");
+    assert_eq!(code, 503);
+    let status = json(&body);
+    assert_eq!(status.get("ready"), Some(&Value::Bool(false)));
+    let failing: Vec<&str> = status
+        .get("checks")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter(|c| c.get("ok") == Some(&Value::Bool(false)))
+        .map(|c| c.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(failing, vec!["default_model_live"]);
+    let (code, _) = get(addr, "/healthz");
+    assert_eq!(code, 200, "liveness is not readiness");
+    server.shutdown();
+}
+
+#[test]
+fn readiness_flips_while_the_slo_fast_burns() {
+    let engine = engine();
+    let server = server(Arc::clone(&engine));
+    let addr = server.local_addr();
+    let (code, _) = get(addr, "/readyz");
+    assert_eq!(code, 200);
+
+    // A shed storm inside the short burn window torches the error budget.
+    let obs = engine.obs_arc();
+    let now = engine.now();
+    for _ in 0..20 {
+        obs.observe_shed(now);
+    }
+    let (code, body) = get(addr, "/readyz");
+    assert_eq!(code, 503, "{body}");
+    assert!(body.contains("slo_fast_burn"));
+
+    // The scrape-driven edge detection journaled the transition.
+    let (_, events) = get(addr, "/debug/events");
+    assert!(events.contains("SloBurnEntered"));
+    server.shutdown();
+}
+
+#[test]
+fn protocol_edges_get_typed_errors() {
+    let server = server(engine());
+    let addr = server.local_addr();
+
+    let (code, _) = get(addr, "/no/such/route");
+    assert_eq!(code, 404);
+
+    // A request line that isn't `METHOD TARGET VERSION`.
+    let (code, _) = split_response(&exchange(addr, b"GARBAGE\r\n\r\n"));
+    assert_eq!(code, 400);
+
+    // An HTTP/0.9-style two-token line.
+    let (code, _) = split_response(&exchange(addr, b"GET /metrics\r\n\r\n"));
+    assert_eq!(code, 400);
+
+    // Non-GET methods are not served.
+    let (code, _) = split_response(&exchange(addr, b"POST /metrics HTTP/1.1\r\n\r\n"));
+    assert_eq!(code, 405);
+
+    // A head that exceeds the configured cap is rejected, not buffered.
+    let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(64 * 1024));
+    let (code, _) = split_response(&exchange(addr, huge.as_bytes()));
+    assert_eq!(code, 400);
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_is_cut_off_at_the_read_timeout() {
+    let cfg = HttpConfig {
+        read_timeout: Duration::from_millis(100),
+        ..HttpConfig::default()
+    };
+    let server = ObsServer::bind("127.0.0.1:0", engine(), cfg).expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    // Send half a request line and then stall.
+    stream.write_all(b"GET /metr").expect("partial write");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("server must close the connection");
+    let (code, _) = split_response(&response);
+    assert_eq!(code, 408, "{response:?}");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_scrapes_return_complete_consistent_expositions() {
+    let engine = engine();
+    engine.recommend_batch(&[Request::known(0, 0)], &NOOP);
+    let server = server(Arc::clone(&engine));
+    let addr = server.local_addr();
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(move || {
+                    let (code, body) = get(addr, "/metrics");
+                    assert_eq!(code, 200);
+                    body
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for body in &bodies {
+        // Each scrape is a complete exposition: the request counter is
+        // present with its full family header, and the body ends with a
+        // newline-terminated sample (no torn writes).
+        assert!(body.contains("# TYPE serve_requests_total counter"));
+        assert!(body.contains("serve_requests_total 1"));
+        assert!(body.ends_with('\n'));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn journal_replays_the_lifecycle_in_order_over_http() {
+    let engine = engine();
+    let server = server(Arc::clone(&engine));
+    let reg = engine.registry();
+
+    // register → publish → canary → promote; then a second canary that is
+    // rolled back — the full audit trail, in one process lifetime.
+    reg.register(
+        "challenger",
+        DenseMatrix::identity(4),
+        ModelSnapshot::new(0, DenseMatrix::identity(4), vec![]),
+    )
+    .unwrap();
+    reg.publish(
+        &"challenger".into(),
+        ModelSnapshot::new(1, DenseMatrix::identity(4), vec![]),
+    )
+    .unwrap();
+    reg.set_canary(CanaryPolicy::new("challenger", 0.25))
+        .unwrap();
+    reg.promote().unwrap();
+    reg.set_canary(CanaryPolicy::new("default", 0.5)).unwrap();
+    reg.rollback().unwrap();
+
+    let (code, body) = get(server.local_addr(), "/debug/events");
+    assert_eq!(code, 200);
+    let events = json(&body);
+    let records = events.get("events").unwrap().as_array().unwrap();
+    let kinds: Vec<&str> = records
+        .iter()
+        .map(|r| r.get("kind").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            "ModelRegistered",   // default, at bootstrap
+            "SnapshotPublished", // default epoch 0
+            "ModelRegistered",   // challenger
+            "SnapshotPublished", // challenger epoch 0
+            "SnapshotPublished", // challenger epoch 1
+            "CanarySet",
+            "Promoted",
+            "CanarySet",
+            "RolledBack",
+        ]
+    );
+    let seqs: Vec<f64> = records
+        .iter()
+        .map(|r| r.get("seq").unwrap().as_f64().unwrap())
+        .collect();
+    let times: Vec<f64> = records
+        .iter()
+        .map(|r| r.get("time").unwrap().as_f64().unwrap())
+        .collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+    assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+
+    // The JSONL view carries the same records, one per line.
+    let (_, jsonl) = get(server.local_addr(), "/debug/events.jsonl");
+    assert_eq!(jsonl.lines().count(), records.len());
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_completes_promptly() {
+    let server = server(engine());
+    let addr = server.local_addr();
+    let start = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "shutdown must not wait out the read timeout"
+    );
+    // The port no longer answers.
+    assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(250)).is_err());
+}

@@ -250,6 +250,13 @@ impl MetricsRegistry {
             .collect();
         let mut families = self.families.lock();
         if let Some(family) = families.iter_mut().find(|f| f.name == name) {
+            // Later registrations may carry better documentation (e.g. a
+            // help-less internal fetch followed by the documented public
+            // one); adopt the first non-empty help so `# HELP` survives
+            // registration order.
+            if family.help.is_empty() && !help.is_empty() {
+                family.help = help.to_string();
+            }
             if let Some(m) = family.metrics.iter().find(|m| m.labels == labels) {
                 return m.handle.clone();
             }
@@ -449,6 +456,47 @@ impl MetricsRegistry {
         }
         out
     }
+
+    /// Lint every family against exposition conventions and return one
+    /// message per violation (empty = conformant). Checked:
+    ///
+    /// * every family has a non-empty `# HELP` string,
+    /// * counter names end in `_total`,
+    /// * histogram names end in `_seconds` (this codebase only records
+    ///   latencies),
+    /// * metric and label names match `[a-zA-Z_:][a-zA-Z0-9_:]*` (also
+    ///   asserted at registration; re-checked here so the lint is
+    ///   self-contained).
+    ///
+    /// Wire this into a conformance test so a typo'd metric name fails CI
+    /// instead of silently breaking a scrape config.
+    pub fn lint(&self) -> Vec<String> {
+        let families = self.families.lock();
+        let mut problems = Vec::new();
+        for family in families.iter() {
+            let name = &family.name;
+            if family.help.is_empty() {
+                problems.push(format!("{name}: missing HELP text"));
+            }
+            if family.kind == "counter" && !name.ends_with("_total") {
+                problems.push(format!("{name}: counter should end in _total"));
+            }
+            if family.kind == "histogram" && !name.ends_with("_seconds") {
+                problems.push(format!("{name}: histogram should end in _seconds"));
+            }
+            if !valid_name(name) {
+                problems.push(format!("{name}: invalid metric name"));
+            }
+            for metric in &family.metrics {
+                for (k, _) in &metric.labels {
+                    if !valid_name(k) {
+                        problems.push(format!("{name}: invalid label name {k:?}"));
+                    }
+                }
+            }
+        }
+        problems
+    }
 }
 
 /// Render a `{k="v",...}` label block; `le` appends the histogram bucket
@@ -569,6 +617,37 @@ mod tests {
         assert!(samples.iter().any(|c| c.name == "b" && c.value == 1.5));
         assert!(samples.iter().any(|c| c.name == "lat_seconds.p99"));
         assert!(samples.iter().all(|c| c.time == 9.0));
+    }
+
+    #[test]
+    fn first_nonempty_help_wins() {
+        let reg = MetricsRegistry::new();
+        reg.counter("hits_total", "");
+        reg.counter("hits_total", "result-cache hits");
+        reg.counter("hits_total", "a different string arrives too late");
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("# HELP hits_total result-cache hits"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn lint_flags_convention_violations() {
+        let reg = MetricsRegistry::new();
+        reg.counter("requests_total", "served requests");
+        reg.gauge("mem_bytes", "resident bytes");
+        reg.histogram("latency_seconds", "request latency");
+        assert_eq!(reg.lint(), Vec::<String>::new());
+
+        reg.counter("undocumented_total", "");
+        reg.counter("shed", "sheds without the _total suffix");
+        reg.histogram("latency_ms", "histogram without _seconds");
+        let problems = reg.lint();
+        assert_eq!(problems.len(), 3, "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("missing HELP")));
+        assert!(problems.iter().any(|p| p.contains("_total")));
+        assert!(problems.iter().any(|p| p.contains("_seconds")));
     }
 
     #[test]

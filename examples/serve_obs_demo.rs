@@ -4,6 +4,10 @@
 //! the engine's memory-footprint tree with effective scan bandwidth,
 //! and the flight recorder's slowest-request exemplar dumped as a Chrome
 //! trace (load it at `chrome://tracing` or <https://ui.perfetto.dev>).
+//! Finally it binds the zero-dependency exposition server on an
+//! ephemeral port and scrapes `/metrics`, `/readyz` and `/debug/events`
+//! over a raw TCP socket — the same bytes a Prometheus scraper or an
+//! operator's `curl` would see.
 //!
 //! ```sh
 //! cargo run -p cumf-examples --bin serve_obs_demo
@@ -13,12 +17,24 @@ use cumf_als::{AlsConfig, AlsTrainer};
 use cumf_datasets::{MfDataset, RequestSampler, SizeClass};
 use cumf_gpu_sim::GpuSpec;
 use cumf_serve::{
-    admission_queue, AdmissionConfig, Completion, ModelSnapshot, ObsConfig, Request, ServeConfig,
-    ServeEngine, SloConfig,
+    admission_queue, AdmissionConfig, Completion, HttpConfig, ModelSnapshot, ObsConfig, ObsServer,
+    Request, ServeConfig, ServeEngine, SloConfig,
 };
 use cumf_telemetry::footprint::human_bytes;
 use cumf_telemetry::NOOP;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// One raw HTTP/1.1 GET against the exposition server — what `curl` does.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to obs server");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: demo\r\n\r\n").expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
 
 fn main() {
     // ── Train a small model to serve ────────────────────────────────────
@@ -44,20 +60,22 @@ fn main() {
         },
         ..ObsConfig::default()
     };
-    let engine = ServeEngine::builder()
-        .config(
-            ServeConfig::default()
-                .with_k(10)
-                .with_shards(4)
-                .with_obs(obs),
-        )
-        .model(
-            "default",
-            trainer.x.clone(),
-            ModelSnapshot::new(0, trainer.theta.clone(), vec![]),
-        )
-        .build()
-        .expect("one trained model builds an engine");
+    let engine = Arc::new(
+        ServeEngine::builder()
+            .config(
+                ServeConfig::default()
+                    .with_k(10)
+                    .with_shards(4)
+                    .with_obs(obs),
+            )
+            .model(
+                "default",
+                trainer.x.clone(),
+                ModelSnapshot::new(0, trainer.theta.clone(), vec![]),
+            )
+            .build()
+            .expect("one trained model builds an engine"),
+    );
 
     // ── Replay sampled traffic through the admission queue ──────────────
     let (queue, worker, done) = admission_queue(AdmissionConfig {
@@ -173,4 +191,35 @@ fn main() {
     let trace_path = "target/serve_obs_demo.trace.json";
     std::fs::write(trace_path, flight.exemplar_trace()).expect("write exemplar trace");
     println!("wrote exemplar Chrome trace to {trace_path}");
+
+    // ── The same data over the wire: the zero-dependency HTTP plane ─────
+    let server = ObsServer::bind("127.0.0.1:0", Arc::clone(&engine), HttpConfig::default())
+        .expect("bind an ephemeral observability port");
+    let addr = server.local_addr();
+    println!();
+    println!("── Scraping http://{addr}/ over raw TCP ──");
+
+    let readyz = http_get(addr, "/readyz");
+    println!(
+        "/readyz → {}",
+        readyz.lines().next().unwrap_or("<no status line>")
+    );
+
+    let metrics = http_get(addr, "/metrics");
+    let body = metrics.split("\r\n\r\n").nth(1).unwrap_or("");
+    let families = body.lines().filter(|l| l.starts_with("# TYPE")).count();
+    let sample = body
+        .lines()
+        .find(|l| l.starts_with("serve_requests_total"))
+        .unwrap_or("serve_requests_total <missing>");
+    println!("/metrics → {families} metric families; e.g. `{sample}`");
+
+    let events = http_get(addr, "/debug/events");
+    let recorded = events.matches("\"kind\"").count();
+    println!(
+        "/debug/events → {recorded} lifecycle records (ModelRegistered, SnapshotPublished, …)"
+    );
+
+    server.shutdown();
+    println!("server shut down cleanly");
 }
