@@ -39,13 +39,24 @@
 //! the probe), `--kernels` (run the single-thread scoring-microkernel
 //! sweep at its reference shape and fold the `kernels` block into the
 //! JSON summary — the standalone form is the `kernel_bench` binary),
+//! `--endpoint topk|similar-items|similar-users|rank|explain` (which
+//! [`Query`](cumf_serve::Query) shape the replay exercises; non-topk
+//! endpoints skip the cold-start fold-ins), `--slate N` (candidate-slate
+//! length per `--endpoint rank` request), `--data PATH` (train and serve
+//! a MovieLens-format `user::item::rating` text file loaded through
+//! `cumf_datasets::loader` instead of a synthetic replica),
+//! `--write-data PATH` (materialize the ML-100k-shaped replica as a
+//! MovieLens text file first, then load it back — the loader round-trip
+//! EXPERIMENTS.md records),
 //! `--json PATH` (write a machine-readable summary
 //! carrying [`cumf_bench::diff::SCHEMA_VERSION`], gateable with
 //! `bench_diff` — schema v3 adds the `memory` footprint tree and
 //! `bandwidth` effective-GB/s blocks; v4 adds the `retrieval` block and,
 //! under `--retrieval approx`, the measured `recall` block; v5 adds
 //! `score_flops` + `effective_gflops` to the `bandwidth` block and, under
-//! `--kernels`, the `kernels` microbenchmark block).
+//! `--kernels`, the `kernels` microbenchmark block; v6 adds the
+//! `endpoint` token and the per-endpoint `endpoints` block mirroring the
+//! `serve_endpoint_*` metric family).
 //!
 //! Observability flags (the `serve::obs` stack is always on; these expose
 //! it): `--prom-out PATH` writes the Prometheus text exposition at exit
@@ -66,13 +77,14 @@ use cumf_als::{AlsConfig, AlsTrainer};
 use cumf_bench::diff::SCHEMA_VERSION;
 use cumf_bench::kernels::{run_kernel_bench, KernelBenchConfig, KernelReport};
 use cumf_bench::{fmt_s, rule, HarnessArgs, TelemetrySink};
-use cumf_datasets::{MfDataset, RequestSampler, SizeClass};
+use cumf_datasets::loader::{load_ratings_file, write_movielens};
+use cumf_datasets::{DatasetProfile, MfDataset, RequestSampler, SizeClass};
 use cumf_gpu_sim::GpuSpec;
 use cumf_numeric::dense::DenseMatrix;
 use cumf_serve::{
     admission_queue, overlap_at_k, top_k_batch_stats, AdmissionConfig, AdmissionReport, AnnParams,
-    Completion, HttpConfig, ModelSnapshot, ObsConfig, ObsServer, QuantMode, Request, Retrieval,
-    ScoreConfig, ServeConfig, ServeEngine, SloConfig, SubmitError,
+    Completion, Endpoint, HttpConfig, ModelSnapshot, ObsConfig, ObsServer, QuantMode, Request,
+    Retrieval, ScoreConfig, ServeConfig, ServeEngine, SloConfig, SubmitError,
 };
 use cumf_telemetry::footprint::human_bytes;
 use cumf_telemetry::{CounterSample, LatencyHistogram};
@@ -102,6 +114,10 @@ struct ServeFlags {
     quant_none: bool,
     items: Option<usize>,
     kernels: bool,
+    endpoint: Endpoint,
+    slate: usize,
+    data: Option<String>,
+    write_data: Option<String>,
     json: Option<String>,
     prom_out: Option<String>,
     slow_trace: Option<String>,
@@ -153,6 +169,10 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
         quant_none: false,
         items: None,
         kernels: false,
+        endpoint: Endpoint::TopK,
+        slate: 32,
+        data: None,
+        write_data: None,
         json: None,
         prom_out: None,
         slow_trace: None,
@@ -190,6 +210,22 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
             }
             "--items" => flags.items = Some((val(2000.0) as usize).max(16)),
             "--kernels" => flags.kernels = true,
+            "--endpoint" => {
+                flags.endpoint = match it.next().as_deref() {
+                    Some("topk") | None => Endpoint::TopK,
+                    Some("similar-items") => Endpoint::SimilarItems,
+                    Some("similar-users") => Endpoint::SimilarUsers,
+                    Some("rank") => Endpoint::RankItems,
+                    Some("explain") => Endpoint::Explain,
+                    Some(other) => {
+                        eprintln!("unknown --endpoint {other}, serving topk");
+                        Endpoint::TopK
+                    }
+                };
+            }
+            "--slate" => flags.slate = (val(32.0) as usize).max(1),
+            "--data" => flags.data = it.next(),
+            "--write-data" => flags.write_data = it.next(),
             "--json" => flags.json = it.next(),
             "--prom-out" => flags.prom_out = it.next(),
             "--slow-trace" => flags.slow_trace = it.next(),
@@ -204,7 +240,10 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
                      --batch-age-us N, --queue-depth N, --shards N, --open-loop, \
                      --cache N, --cold-frac F, --fp16, --models N, --canary-fraction F, \
                      --republish, --retrieval exact|approx, --n-probe N, --clusters N, \
-                     --quant int8|none, --items N, --kernels, --json PATH, --prom-out PATH, --slow-trace PATH, \
+                     --quant int8|none, --items N, --kernels, \
+                     --endpoint topk|similar-items|similar-users|rank|explain, --slate N, \
+                     --data PATH, --write-data PATH, \
+                     --json PATH, --prom-out PATH, --slow-trace PATH, \
                      --slow-trace-us N, --slo-target-us N, --mem-budget-mb F, \
                      --obs-addr ADDR, --obs-linger-ms N; common: {}",
                     HarnessArgs::common_usage()
@@ -215,6 +254,22 @@ fn parse_flags() -> (HarnessArgs, ServeFlags) {
         }
     }
     (args, flags)
+}
+
+/// Deterministic pseudo-random candidate slate for request `i`:
+/// Knuth-hash item picks over the catalog, reproducible across runs so
+/// two benches rank identical slates. Duplicates are allowed — the
+/// engine ranks them independently, matching real deduplication-free
+/// ad/feed callers.
+fn slate_for(i: usize, n_items: usize, len: usize) -> Vec<u32> {
+    (0..len)
+        .map(|j| {
+            let h = (i as u64)
+                .wrapping_mul(2_654_435_761)
+                .wrapping_add(j as u64 * 97_003);
+            (h % n_items as u64) as u32
+        })
+        .collect()
 }
 
 /// Popularity prior: a small log-count bonus, the usual cold-item floor.
@@ -321,7 +376,37 @@ fn main() {
         (None, true) => SizeClass::Tiny,
         (None, false) => SizeClass::Small,
     };
-    let data = MfDataset::netflix(size, args.seed);
+    let data = if flags.data.is_some() || flags.write_data.is_some() {
+        // Real-data path: serve a MovieLens-format ratings file through
+        // the text loader. `--write-data` first materializes the
+        // ML-100k-shaped replica as a `user::item::rating` file so the
+        // loader is exercised end-to-end without a network fetch.
+        if let Some(path) = &flags.write_data {
+            let replica = MfDataset::movielens_100k(args.seed);
+            let mut all = replica.train_coo.clone();
+            for e in replica.test.entries() {
+                all.push(e.row, e.col, e.value);
+            }
+            let file = std::fs::File::create(path).expect("create ratings file");
+            write_movielens(&all, std::io::BufWriter::new(file)).expect("write ratings file");
+            eprintln!("wrote {} MovieLens-format ratings to {path}", all.nnz());
+        }
+        let path = flags
+            .data
+            .as_deref()
+            .or(flags.write_data.as_deref())
+            .unwrap();
+        let coo = load_ratings_file(path).expect("parse ratings file");
+        eprintln!(
+            "loaded {} ratings ({} users × {} items) from {path} via the text loader",
+            coo.nnz(),
+            coo.rows(),
+            coo.cols()
+        );
+        MfDataset::from_ratings(DatasetProfile::movielens_100k(), &coo, 0.1, args.seed)
+    } else {
+        MfDataset::netflix(size, args.seed)
+    };
     let cfg = AlsConfig {
         f: if args.quick { 16 } else { 48 },
         iterations: args.epochs(8) as usize,
@@ -428,9 +513,10 @@ fn main() {
     };
 
     eprintln!(
-        "replaying {} requests at {} QPS ({} loop, batch ≤ {} or {} µs, queue {}, \
+        "replaying {} {} requests at {} QPS ({} loop, batch ≤ {} or {} µs, queue {}, \
          {} shard{}, cache {}, k {}, {} model{}{}, {}{})",
         flags.requests,
+        flags.endpoint.name(),
         flags.qps,
         if flags.open_loop { "open" } else { "closed" },
         flags.batch,
@@ -498,10 +584,26 @@ fn main() {
             if due > now {
                 std::thread::sleep(Duration::from_secs_f64(due - now));
             }
-            let req = if cold_every != usize::MAX && i % cold_every == cold_every - 1 {
-                Request::cold(i as u64, data.r.row_iter(sampled.user as usize).collect())
-            } else {
-                Request::known(i as u64, sampled.user)
+            let req = match flags.endpoint {
+                Endpoint::TopK => {
+                    if cold_every != usize::MAX && i % cold_every == cold_every - 1 {
+                        Request::cold(i as u64, data.r.row_iter(sampled.user as usize).collect())
+                    } else {
+                        Request::known(i as u64, sampled.user)
+                    }
+                }
+                Endpoint::SimilarItems => {
+                    Request::similar_items(i as u64, sampled.user % data.n() as u32)
+                }
+                Endpoint::SimilarUsers => Request::similar_users(i as u64, sampled.user),
+                Endpoint::RankItems => {
+                    Request::rank_items(i as u64, sampled.user, slate_for(i, data.n(), flags.slate))
+                }
+                Endpoint::Explain => Request::explain(
+                    i as u64,
+                    sampled.user,
+                    sampled.user.wrapping_mul(31).wrapping_add(i as u32) % data.n() as u32,
+                ),
             };
             if flags.open_loop {
                 match queue.try_submit(req, due) {
@@ -667,6 +769,19 @@ fn report(
         cache.len,
         cache.capacity
     );
+    let m = engine.obs().metrics();
+    let endpoints: Vec<String> = Endpoint::ALL
+        .iter()
+        .filter_map(|e| {
+            let h = m.endpoint(*e);
+            let n = h.requests.get();
+            (n > 0).then(|| {
+                let (_, _, p99) = h.latency.snapshot().percentiles();
+                format!("{} {} (p99 {:.3} ms)", e.name(), n, p99 * 1e3)
+            })
+        })
+        .collect();
+    println!("endpoints: {}", endpoints.join(", "));
     let mem = engine.memory_report();
     let parts: Vec<String> = mem
         .children()
@@ -796,6 +911,25 @@ fn json_summary(
             ("met", Value::Bool(slo.met())),
         ])
     });
+    let metrics = engine.obs().metrics();
+    let endpoints = obj(Endpoint::ALL
+        .iter()
+        .map(|e| {
+            let h = metrics.endpoint(*e);
+            let snap = h.latency.snapshot();
+            let (p50, p95, p99) = snap.percentiles();
+            (
+                e.name(),
+                obj(vec![
+                    ("requests", Value::Num(h.requests.get() as f64)),
+                    ("p50_ms", Value::Num(p50 * 1e3)),
+                    ("p95_ms", Value::Num(p95 * 1e3)),
+                    ("p99_ms", Value::Num(p99 * 1e3)),
+                    ("mean_ms", Value::Num(snap.mean() * 1e3)),
+                ]),
+            )
+        })
+        .collect());
     let models = Value::Array(
         engine
             .registry()
@@ -830,6 +964,8 @@ fn json_summary(
         ("wall_s", Value::Num(s.span)),
         ("models", models),
         ("canary_fraction", Value::Num(flags.canary_fraction)),
+        ("endpoint", Value::Str(flags.endpoint.name().to_string())),
+        ("endpoints", endpoints),
         (
             "latency_ms",
             obj(vec![

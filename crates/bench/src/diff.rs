@@ -30,8 +30,13 @@ use serde::Value;
 /// `effective_gflops` to the `bandwidth` block and, under `--kernels`,
 /// the `kernels` microbenchmark block (per-kernel items/s, GB/s,
 /// GFLOP/s, plus the fp32-speedup and fp16-over-fp32 ratios) — all
-/// informational: kernel throughput is host-shaped and never gates.
-pub const SCHEMA_VERSION: f64 = 5.0;
+/// informational: kernel throughput is host-shaped and never gates. v6
+/// added the `endpoint` token (which `--endpoint` the replay exercised)
+/// and the per-endpoint `endpoints` block (requests + latency summary
+/// per `endpoint=` label); the per-endpoint rows are informational —
+/// traffic mix is workload-shaped, so only the aggregate qps/latency
+/// rows gate.
+pub const SCHEMA_VERSION: f64 = 6.0;
 
 /// Allowed regressions before the diff fails.
 #[derive(Clone, Copy, Debug)]
@@ -244,6 +249,30 @@ pub fn diff(
         }
     }
 
+    // Schema-6 per-endpoint traffic: informational. The endpoint mix is
+    // whatever `--endpoint` the run chose, so a shifted count or a moved
+    // per-endpoint p99 is a workload change, not a regression — the
+    // aggregate qps/latency rows above do the gating. Older summaries
+    // without the block skip the rows.
+    for (metric, endpoint) in [
+        ("endpoints.topk", "topk"),
+        ("endpoints.similar_items", "similar_items"),
+        ("endpoints.similar_users", "similar_users"),
+        ("endpoints.rank_items", "rank_items"),
+        ("endpoints.explain", "explain"),
+    ] {
+        let path = ["endpoints", endpoint, "requests"];
+        if let (Ok(r), Ok(c)) = (num(reference, &path), num(current, &path)) {
+            checks.push(Check {
+                metric,
+                reference: r,
+                current: c,
+                change: rise_frac(r, c),
+                limit: f64::INFINITY,
+            });
+        }
+    }
+
     // Schema-5 microkernel ratios: informational for the same reason as
     // bandwidth — throughput is host-shaped (vector width, cache sizes),
     // so a number moving between machines means nothing. Runs without
@@ -387,6 +416,41 @@ mod tests {
             .checks
             .iter()
             .any(|c| c.metric.starts_with("kernels")));
+    }
+
+    #[test]
+    fn endpoint_rows_are_informational_and_optional() {
+        let tol = DiffTolerances::default();
+        let with_endpoints = |topk: f64, similar: f64| {
+            Value::parse(&format!(
+                r#"{{"schema_version": {SCHEMA_VERSION}, "qps": 4000.0, "requests": 1000,
+                    "shed": 0, "latency_ms": {{"p50": 0.5, "p99": 1.0}},
+                    "endpoints": {{"topk": {{"requests": {topk}}},
+                                   "similar_items": {{"requests": {similar}}}}}}}"#
+            ))
+            .unwrap()
+        };
+        // A wholly different traffic mix is reported, never gated.
+        let report = diff(
+            &with_endpoints(1000.0, 0.0),
+            &with_endpoints(0.0, 1000.0),
+            &tol,
+        )
+        .unwrap();
+        assert!(!report.regressed(), "{}", report.render());
+        let row = report
+            .checks
+            .iter()
+            .find(|c| c.metric == "endpoints.topk")
+            .expect("endpoint row present");
+        assert!(row.informational());
+        // Endpoints absent from either side (pre-v6 fixtures) skip rows.
+        let bare = summary(4000.0, 0.5, 1.0, 0.0);
+        let report = diff(&bare, &with_endpoints(1000.0, 0.0), &tol).unwrap();
+        assert!(!report
+            .checks
+            .iter()
+            .any(|c| c.metric.starts_with("endpoints")));
     }
 
     #[test]

@@ -196,6 +196,44 @@ impl MfDataset {
         Self::synthesize(DatasetProfile::hugewiki(), size, seed)
     }
 
+    /// MovieLens-100k replica at its *full* published scale (943 × 1,682,
+    /// ~100 k ratings) — small enough that no size class is needed. Pair
+    /// with [`crate::loader::write_movielens`] to produce a real
+    /// MovieLens-format text file for the loader round-trip.
+    pub fn movielens_100k(seed: u64) -> MfDataset {
+        let profile = DatasetProfile::movielens_100k();
+        let size = SizeClass::Custom {
+            m: profile.m as usize,
+            n: profile.n as usize,
+            nz: profile.nz as usize,
+        };
+        Self::synthesize(profile, size, seed)
+    }
+
+    /// Build a dataset from externally loaded ratings — the bridge from
+    /// [`crate::loader::load_ratings_file`] to the training/serving stack.
+    /// Random-splits a `test_fraction` holdout and builds both CSR
+    /// orientations. `noise_floor` is 0: real data's irreducible floor is
+    /// unknown, so RMSE targets must come from the profile.
+    pub fn from_ratings(
+        profile: DatasetProfile,
+        ratings: &CooMatrix,
+        test_fraction: f64,
+        seed: u64,
+    ) -> MfDataset {
+        let split = random_split(ratings, test_fraction, seed ^ 0x5EED);
+        let r = CsrMatrix::from_coo(&split.train);
+        let rt = r.transpose();
+        MfDataset {
+            profile,
+            r,
+            rt,
+            test: split.test,
+            train_coo: split.train,
+            noise_floor: 0.0,
+        }
+    }
+
     /// Rows of the synthetic instance.
     pub fn m(&self) -> usize {
         self.r.rows()

@@ -96,6 +96,19 @@ pub fn load_ratings_file(path: impl AsRef<Path>) -> Result<CooMatrix, LoadError>
     parse_ratings(std::io::BufReader::new(file))
 }
 
+/// Write ratings in the MovieLens `user::item::rating` text format — the
+/// round-trip partner of [`parse_ratings`]. Entries are written in stored
+/// order with their raw (dense, 0-based) ids. Values round-trip exactly
+/// (Rust's float `Display` is shortest-round-trip); ids round-trip up to
+/// the parser's first-seen densification — identity when entries appear
+/// in id order, a consistent relabeling otherwise.
+pub fn write_movielens<W: std::io::Write>(ratings: &CooMatrix, mut w: W) -> std::io::Result<()> {
+    for e in ratings.entries() {
+        writeln!(w, "{}::{}::{}", e.row, e.col, e.value)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +166,25 @@ mod tests {
     fn empty_input_yields_empty_matrix() {
         let m = parse_ratings(Cursor::new("")).unwrap();
         assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn write_then_parse_round_trips_dense_ratings() {
+        let mut coo = CooMatrix::new(3, 2);
+        coo.push(0, 0, 4.5);
+        coo.push(0, 1, 3.0);
+        coo.push(1, 0, 5.0);
+        coo.push(2, 1, 1.25);
+        let mut text = Vec::new();
+        write_movielens(&coo, &mut text).unwrap();
+        assert_eq!(
+            String::from_utf8(text.clone()).unwrap(),
+            "0::0::4.5\n0::1::3\n1::0::5\n2::1::1.25\n"
+        );
+        let back = parse_ratings(Cursor::new(text)).unwrap();
+        assert_eq!((back.rows(), back.cols(), back.nnz()), (3, 2, 4));
+        for (a, b) in coo.entries().iter().zip(back.entries()) {
+            assert_eq!((a.row, a.col, a.value), (b.row, b.col, b.value));
+        }
     }
 }

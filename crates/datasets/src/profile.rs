@@ -76,6 +76,24 @@ impl DatasetProfile {
         vec![Self::netflix(), Self::yahoo_music(), Self::hugewiki()]
     }
 
+    /// MovieLens-100k: 943 users × 1,682 movies, 100,000 ratings in 1–5.
+    /// Not a Table II row — the classic public benchmark in the text
+    /// format [`crate::loader`] parses, and small enough to train at its
+    /// *full* scale (no size-class downscaling needed).
+    pub fn movielens_100k() -> Self {
+        DatasetProfile {
+            name: "MovieLens-100k",
+            m: 943,
+            n: 1_682,
+            nz: 100_000,
+            f: 100,
+            lambda: 0.05,
+            rmse_target: 0.95,
+            value_range: (1.0, 5.0),
+            value_mean: 3.53,
+        }
+    }
+
     /// Density `Nz / (m·n)`.
     pub fn density(&self) -> f64 {
         self.nz as f64 / (self.m as f64 * self.n as f64)

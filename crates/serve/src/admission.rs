@@ -55,7 +55,7 @@
 //! assert_eq!(done.iter().count(), 4);
 //! ```
 
-use crate::engine::{Recommendation, Request, ServeEngine, UserRef};
+use crate::engine::{Query, Recommendation, Request, ServeEngine, UserRef};
 use crate::error::ServeError;
 use crate::obs::{RequestSpan, ServeObs, SloReport};
 use cumf_telemetry::{CounterSample, FootprintReport, LatencyHistogram, MemoryFootprint, Recorder};
@@ -279,7 +279,7 @@ impl AdmissionWorker {
                     req.id,
                     submitted_at,
                     from_cache,
-                    matches!(req.user, UserRef::Cold(_)),
+                    matches!(req.query, Query::User(UserRef::Cold(_))),
                 );
                 engine.obs().observe_completion(&span);
                 let _ = self.done.send(Completion {

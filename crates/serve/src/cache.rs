@@ -1,5 +1,5 @@
-//! LRU result cache keyed by `(model, epoch, user, retrieval)`, and its
-//! lock-striped concurrent wrapper.
+//! LRU result cache keyed by `(model, epoch, user, endpoint, retrieval)`,
+//! and its lock-striped concurrent wrapper.
 //!
 //! Recommendation traffic is heavily skewed (the dataset generators plant
 //! Zipf item popularity and log-normal user activity precisely because real
@@ -18,14 +18,15 @@
 //! independently locked segments so concurrent request threads contend
 //! only when they land on the same stripe.
 
+use crate::query::Endpoint;
 use crate::scorer::Retrieval;
 use crate::topk::ScoredItem;
 use cumf_telemetry::{FootprintReport, MemoryFootprint};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
-/// Cache key: a known user under one published epoch of one registered
-/// model, scored under one retrieval mode.
+/// Cache key: a known query id under one published epoch of one
+/// registered model, scored by one endpoint under one retrieval mode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// The model's registry slot ([`crate::registry::ModelRegistry::slot`]
@@ -34,8 +35,14 @@ pub struct CacheKey {
     pub model: u32,
     /// Model epoch the cached ranking was computed under.
     pub epoch: u64,
-    /// User row.
+    /// Query id: the user row for user → top-k entries, the *item* row
+    /// for similar-items entries. Safe to overload only because
+    /// [`CacheKey::endpoint`] keeps the two id spaces apart.
     pub user: u32,
+    /// The serving endpoint that produced the ranking. An item→item
+    /// answer and a user→top-k answer for the same numeric id are
+    /// unrelated rankings; the endpoint tag stops them aliasing.
+    pub endpoint: Endpoint,
     /// Retrieval mode the ranking was computed under. An `Exact` and an
     /// `Approx` answer for the same `(model, epoch, user)` are different
     /// rankings, so the mode is part of the key — without it a config
@@ -90,11 +97,14 @@ struct Slot {
 ///
 /// ```
 /// use cumf_serve::cache::{CacheKey, ResultCache};
+/// use cumf_serve::query::Endpoint;
 /// use cumf_serve::scorer::Retrieval;
 /// use cumf_serve::topk::ScoredItem;
 ///
 /// let mut cache = ResultCache::new(2);
-/// let k = |user| CacheKey { model: 0, epoch: 0, user, retrieval: Retrieval::Exact };
+/// let k = |user| CacheKey {
+///     model: 0, epoch: 0, user, endpoint: Endpoint::TopK, retrieval: Retrieval::Exact,
+/// };
 /// let v = vec![ScoredItem { item: 9, score: 1.0 }];
 /// cache.insert(k(1), v.clone());
 /// cache.insert(k(2), v.clone());
@@ -272,11 +282,14 @@ impl ResultCache {
 ///
 /// ```
 /// use cumf_serve::cache::{CacheKey, StripedCache};
+/// use cumf_serve::query::Endpoint;
 /// use cumf_serve::scorer::Retrieval;
 /// use cumf_serve::topk::ScoredItem;
 ///
 /// let cache = StripedCache::new(64, 8);
-/// let key = CacheKey { model: 0, epoch: 0, user: 7, retrieval: Retrieval::Exact };
+/// let key = CacheKey {
+///     model: 0, epoch: 0, user: 7, endpoint: Endpoint::TopK, retrieval: Retrieval::Exact,
+/// };
 /// assert!(cache.get(&key).is_none());
 /// cache.insert(key, vec![ScoredItem { item: 1, score: 2.0 }]);
 /// assert_eq!(cache.get(&key).unwrap()[0].item, 1);
@@ -381,6 +394,7 @@ mod tests {
             model: 0,
             epoch,
             user,
+            endpoint: Endpoint::TopK,
             retrieval: Retrieval::Exact,
         }
     }
@@ -427,12 +441,14 @@ mod tests {
             model: 0,
             epoch: 3,
             user: 7,
+            endpoint: Endpoint::TopK,
             retrieval: Retrieval::Exact,
         };
         let challenger = CacheKey {
             model: 1,
             epoch: 3,
             user: 7,
+            endpoint: Endpoint::TopK,
             retrieval: Retrieval::Exact,
         };
         c.insert(champion, val(1));
@@ -470,6 +486,24 @@ mod tests {
             ..exact
         };
         assert!(c.get(&wider).is_none(), "n_probe is part of the key");
+    }
+
+    #[test]
+    fn endpoint_partitions_the_keyspace() {
+        // Item 7's similar-items ranking and user 7's top-k ranking share
+        // the numeric id but are unrelated answers; the endpoint tag must
+        // keep them apart.
+        let mut c = ResultCache::new(4);
+        let topk = key(7, 3);
+        let sim = CacheKey {
+            endpoint: Endpoint::SimilarItems,
+            ..topk
+        };
+        c.insert(topk, val(1));
+        assert!(c.get(&sim).is_none(), "endpoints must not alias");
+        c.insert(sim, val(2));
+        assert_eq!(c.get(&topk).unwrap()[0].item, 1);
+        assert_eq!(c.get(&sim).unwrap()[0].item, 2);
     }
 
     #[test]

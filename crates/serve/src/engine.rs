@@ -3,16 +3,22 @@
 //! [`ServeEngine`] composes the crate's pieces into the request path. Since
 //! the v2 redesign the engine routes over a keyed [`ModelRegistry`] instead
 //! of owning a single store — one scorer configuration, one result cache,
-//! and one observability bundle shared by every registered model:
+//! and one observability bundle shared by every registered model. The v3
+//! request path generalizes "which user" into a [`Query`] — user → top-k,
+//! item → similar items, user → similar users, rank-a-slate, and explain —
+//! each resolving to a (query vector, target matrix, candidate set) triple
+//! served through the same sharded scorer (see [`crate::query`]):
 //!
 //! 1. snapshot the registry's routing state once per batch
 //!    ([`crate::registry::Router`]) and resolve every request to a model —
 //!    explicit [`ModelId`], default alias, or deterministic canary split;
 //!    routing failures become per-request [`ServeError`]s, not panics;
-//! 2. answer known users from the lock-striped result cache
-//!    ([`StripedCache`]) when possible — keys carry
-//!    `(model, epoch, user, retrieval)`, so canary arms never see each
-//!    other's entries and exact/approximate answers never alias;
+//! 2. answer the cacheable endpoints (user → top-k, item → similar
+//!    items) from the lock-striped result cache ([`StripedCache`]) when
+//!    possible — keys carry `(model, epoch, id, endpoint, retrieval)`, so
+//!    canary arms never see each other's entries, exact/approximate
+//!    answers never alias, and an item→item ranking never answers for a
+//!    user→top-k one;
 //! 3. fold cold users' rating histories into factor vectors with
 //!    [`cumf_als::fold_in_batch`] (one regularized solve each, CG or
 //!    Cholesky per the configured [`SolverKind`]) against the routed
@@ -39,17 +45,22 @@
 use crate::ann::{AnnParams, AnnPolicy};
 use crate::cache::{CacheKey, CacheStats, StripedCache};
 use crate::error::ServeError;
-use crate::obs::{BatchTrace, HealthCheck, HealthStatus, ObsConfig, ServeObs, ShardMetrics};
+use crate::obs::{
+    BatchTrace, EventKind, HealthCheck, HealthStatus, ObsConfig, ServeObs, ShardMetrics,
+};
 use crate::registry::{CanaryPolicy, ModelEntry, ModelId, ModelRegistry, RouteKey};
-use crate::scorer::{QuantMode, Retrieval, ScoreConfig};
-use crate::shard::{scatter_top_k, ShardTiming, ShardedSnapshot};
+use crate::scorer::{explain_one, QuantMode, Retrieval, ScoreConfig};
+use crate::shard::{rank_slate_sharded, scatter_top_k, ShardTiming, ShardedSnapshot};
 use crate::store::ModelSnapshot;
 use crate::topk::ScoredItem;
 use cumf_als::{fold_in_batch, SolverKind};
 use cumf_numeric::dense::DenseMatrix;
 use cumf_telemetry::{FootprintReport, MemoryFootprint, PhaseSpan, Recorder, NOOP};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+pub use crate::query::{Endpoint, Explanation, Query};
 
 /// Engine-level configuration.
 ///
@@ -195,7 +206,7 @@ impl ServeConfig {
 }
 
 /// Who a request is for.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum UserRef {
     /// A user the model was trained on: row of the routed model's `X`
     /// matrix.
@@ -205,12 +216,14 @@ pub enum UserRef {
     Cold(Vec<(u32, f32)>),
 }
 
-/// One recommendation request.
+/// One serving request: a [`Query`] plus routing hints.
 ///
-/// Construct via [`Request::known`] / [`Request::cold`] (or
-/// [`Request::new`]) and target a specific model with
-/// [`Request::for_model`] — the struct is `#[non_exhaustive]`, so future
-/// fields are not breaking changes:
+/// Construct via the endpoint constructors — [`Request::known`] /
+/// [`Request::cold`] for user → top-k (semantics unchanged from the v2
+/// engine), [`Request::similar_items`], [`Request::similar_users`],
+/// [`Request::rank_items`], and [`Request::explain`] — and target a
+/// specific model with [`Request::for_model`]. The struct is
+/// `#[non_exhaustive]`, so future fields are not breaking changes:
 ///
 /// ```
 /// use cumf_serve::engine::Request;
@@ -224,8 +237,8 @@ pub enum UserRef {
 pub struct Request {
     /// Caller-chosen id, echoed in the [`Recommendation`].
     pub id: u64,
-    /// Which user to score.
-    pub user: UserRef,
+    /// What to score (see [`Query`] for the endpoint family).
+    pub query: Query,
     /// Which model to score against. `None` routes via the registry's
     /// default alias, subject to any canary policy.
     pub model: Option<ModelId>,
@@ -233,11 +246,17 @@ pub struct Request {
 
 impl Request {
     /// A request for `user`, routed by the registry (default alias or
-    /// canary split).
+    /// canary split). Shorthand for
+    /// [`Request::query`]`(id, Query::User(user))`.
     pub fn new(id: u64, user: UserRef) -> Request {
+        Request::query(id, Query::User(user))
+    }
+
+    /// A request for an arbitrary [`Query`], routed by the registry.
+    pub fn query(id: u64, query: Query) -> Request {
         Request {
             id,
-            user,
+            query,
             model: None,
         }
     }
@@ -250,6 +269,62 @@ impl Request {
     /// A cold-start request folding in `history` before scoring.
     pub fn cold(id: u64, history: Vec<(u32, f32)>) -> Request {
         Request::new(id, UserRef::Cold(history))
+    }
+
+    /// An item → similar-items request: rank the catalog by `θ_v·Θᵀ`,
+    /// excluding `item` itself.
+    ///
+    /// ```
+    /// use cumf_serve::engine::{Query, Request};
+    ///
+    /// let r = Request::similar_items(1, 42);
+    /// assert_eq!(r.query, Query::SimilarItems(42));
+    /// ```
+    pub fn similar_items(id: u64, item: u32) -> Request {
+        Request::query(id, Query::SimilarItems(item))
+    }
+
+    /// A user → similar-users request: rank the model's users by
+    /// `x_u·Xᵀ`, excluding `user` itself.
+    ///
+    /// ```
+    /// use cumf_serve::engine::{Query, Request};
+    ///
+    /// let r = Request::similar_users(1, 7);
+    /// assert_eq!(r.query, Query::SimilarUsers(7));
+    /// ```
+    pub fn similar_users(id: u64, user: u32) -> Request {
+        Request::query(id, Query::SimilarUsers(user))
+    }
+
+    /// Rank a caller-supplied candidate `slate` for known user `user` —
+    /// only the listed items are scored; the catalog scan is skipped.
+    ///
+    /// ```
+    /// use cumf_serve::engine::{Query, Request};
+    ///
+    /// let r = Request::rank_items(1, 7, vec![3, 9, 4]);
+    /// assert_eq!(
+    ///     r.query,
+    ///     Query::RankItems { user: 7, slate: vec![3, 9, 4] }
+    /// );
+    /// ```
+    pub fn rank_items(id: u64, user: u32, slate: Vec<u32>) -> Request {
+        Request::query(id, Query::RankItems { user, slate })
+    }
+
+    /// Explain one (user, item) score: the response carries the scored
+    /// pair as its single item plus a per-factor
+    /// [`Explanation`] on [`Recommendation::explanation`].
+    ///
+    /// ```
+    /// use cumf_serve::engine::{Query, Request};
+    ///
+    /// let r = Request::explain(1, 7, 42);
+    /// assert_eq!(r.query, Query::Explain { user: 7, item: 42 });
+    /// ```
+    pub fn explain(id: u64, user: u32, item: u32) -> Request {
+        Request::query(id, Query::Explain { user, item })
     }
 
     /// Pin the request to a specific model, bypassing the default alias
@@ -270,10 +345,15 @@ pub struct Recommendation {
     pub model: ModelId,
     /// That model's epoch the ranking was computed under.
     pub epoch: u64,
-    /// Top-k items, best first.
+    /// Top-k candidates, best first. For [`Query::SimilarUsers`] responses
+    /// the ids are *user* rows of `X`, not items; for [`Query::Explain`]
+    /// this is the single explained pair carrying the exact served score.
     pub items: Vec<ScoredItem>,
     /// Whether the ranking came from the result cache.
     pub from_cache: bool,
+    /// Per-factor score breakdown — `Some` only for [`Query::Explain`]
+    /// responses.
+    pub explanation: Option<Explanation>,
 }
 
 /// Builder for [`ServeEngine`]: configuration plus the initial model set.
@@ -359,6 +439,7 @@ impl ServeEngineBuilder {
             cfg,
             obs,
             shard_metrics,
+            endpoint_journaled: Default::default(),
         })
     }
 }
@@ -392,6 +473,10 @@ pub struct ServeEngine {
     obs: Arc<ServeObs>,
     /// Registered-once-per-shard metric handles, indexed by shard.
     shard_metrics: Vec<ShardMetrics>,
+    /// One flag per [`Endpoint`] (in [`Endpoint::ALL`] order), set when
+    /// that endpoint first serves so the journal records
+    /// `EndpointFirstServed` exactly once per engine.
+    endpoint_journaled: [AtomicBool; 5],
 }
 
 /// One model's share of a batch, keyed by registry slot so iteration
@@ -404,6 +489,14 @@ struct ModelGroup {
     to_score: Vec<(usize, Option<u32>)>,
     /// Cold histories, aligned with the `None` entries of `to_score`.
     cold_histories: Vec<Vec<(u32, f32)>>,
+    /// Similar-items queries: (request index, query item id).
+    similar_items: Vec<(usize, u32)>,
+    /// Similar-users queries: (request index, query user id).
+    similar_users: Vec<(usize, u32)>,
+    /// Rank-slate queries: (request index, user, candidate slate).
+    rank_slates: Vec<(usize, u32, Vec<u32>)>,
+    /// Explain queries: (request index, user, item).
+    explains: Vec<(usize, u32, u32)>,
 }
 
 impl ServeEngine {
@@ -604,9 +697,17 @@ impl ServeEngine {
         let mut batch_hits = 0u64;
         let mut errors = 0usize;
         for (i, req) in requests.iter().enumerate() {
-            let route_key = match &req.user {
-                UserRef::Known(u) => RouteKey::User(*u),
-                UserRef::Cold(_) => RouteKey::Cold(req.id),
+            // Every query kind routes on a stable key: user-keyed queries
+            // by their user, similar-items by the *item* id (deterministic
+            // per item, so canary arms cache consistently), cold starts by
+            // request id.
+            let route_key = match &req.query {
+                Query::User(UserRef::Known(u)) => RouteKey::User(*u),
+                Query::User(UserRef::Cold(_)) => RouteKey::Cold(req.id),
+                Query::SimilarItems(v) => RouteKey::User(*v),
+                Query::SimilarUsers(u) => RouteKey::User(*u),
+                Query::RankItems { user, .. } => RouteKey::User(*user),
+                Query::Explain { user, .. } => RouteKey::User(*user),
             };
             let entry = match table.route(req.model.as_ref(), route_key) {
                 Ok(entry) => entry,
@@ -623,44 +724,125 @@ impl ServeEngine {
                 entry,
                 to_score: Vec::new(),
                 cold_histories: Vec::new(),
+                similar_items: Vec::new(),
+                similar_users: Vec::new(),
+                rank_slates: Vec::new(),
+                explains: Vec::new(),
             });
             group.entry.metrics.requests.inc();
-            match &req.user {
-                UserRef::Known(u) => {
-                    if (*u as usize) >= group.user_factors.rows() {
-                        let e = ServeError::UnknownUser {
-                            user: *u,
-                            n_users: group.user_factors.rows(),
-                            model: group.entry.id.clone(),
-                        };
-                        self.obs.metrics().error(e.reason()).inc();
-                        errors += 1;
-                        responses[i] = Some(Err(e));
-                        continue;
-                    }
-                    let key = CacheKey {
-                        model: group.entry.slot,
-                        epoch: group.snapshot.epoch(),
-                        user: *u,
-                        retrieval: self.cfg.score.retrieval,
-                    };
-                    if let Some(items) = self.cache.get(&key) {
-                        batch_hits += 1;
-                        group.entry.metrics.cache_hits.inc();
-                        responses[i] = Some(Ok(Recommendation {
-                            request_id: req.id,
-                            model: group.entry.id.clone(),
-                            epoch: group.snapshot.epoch(),
-                            items,
-                            from_cache: true,
-                        }));
+            let epoch = group.snapshot.epoch();
+            let n_users = group.user_factors.rows();
+            let n_items = group.snapshot.n_items();
+            let unknown_user = |user: u32| ServeError::UnknownUser {
+                user,
+                n_users,
+                model: group.entry.id.clone(),
+            };
+            let unknown_item = |item: u32| ServeError::UnknownItem {
+                item,
+                n_items,
+                model: group.entry.id.clone(),
+            };
+            // Validation per endpoint; `Err` short-circuits the request,
+            // `Ok(None)` means queued for scoring, `Ok(Some(items))` is a
+            // cache hit.
+            let outcome: Result<Option<Vec<ScoredItem>>, ServeError> = match &req.query {
+                Query::User(UserRef::Known(u)) => {
+                    if (*u as usize) >= n_users {
+                        Err(unknown_user(*u))
                     } else {
-                        group.to_score.push((i, Some(*u)));
+                        let key = CacheKey {
+                            model: group.entry.slot,
+                            epoch,
+                            user: *u,
+                            endpoint: Endpoint::TopK,
+                            retrieval: self.cfg.score.retrieval,
+                        };
+                        match self.cache.get(&key) {
+                            Some(items) => Ok(Some(items)),
+                            None => {
+                                group.to_score.push((i, Some(*u)));
+                                Ok(None)
+                            }
+                        }
                     }
                 }
-                UserRef::Cold(history) => {
+                Query::User(UserRef::Cold(history)) => {
                     group.to_score.push((i, None));
                     group.cold_histories.push(history.clone());
+                    Ok(None)
+                }
+                Query::SimilarItems(v) => {
+                    if (*v as usize) >= n_items {
+                        Err(unknown_item(*v))
+                    } else {
+                        let key = CacheKey {
+                            model: group.entry.slot,
+                            epoch,
+                            user: *v,
+                            endpoint: Endpoint::SimilarItems,
+                            retrieval: self.cfg.score.retrieval,
+                        };
+                        match self.cache.get(&key) {
+                            Some(items) => Ok(Some(items)),
+                            None => {
+                                group.similar_items.push((i, *v));
+                                Ok(None)
+                            }
+                        }
+                    }
+                }
+                Query::SimilarUsers(u) => {
+                    if n_users == 0 {
+                        Err(ServeError::NoUserFactors(group.entry.id.clone()))
+                    } else if (*u as usize) >= n_users {
+                        Err(unknown_user(*u))
+                    } else {
+                        group.similar_users.push((i, *u));
+                        Ok(None)
+                    }
+                }
+                Query::RankItems { user, slate } => {
+                    if (*user as usize) >= n_users {
+                        Err(unknown_user(*user))
+                    } else if slate.is_empty() {
+                        Err(ServeError::EmptySlate)
+                    } else if let Some(&bad) = slate.iter().find(|&&v| (v as usize) >= n_items) {
+                        Err(unknown_item(bad))
+                    } else {
+                        group.rank_slates.push((i, *user, slate.clone()));
+                        Ok(None)
+                    }
+                }
+                Query::Explain { user, item } => {
+                    if (*user as usize) >= n_users {
+                        Err(unknown_user(*user))
+                    } else if (*item as usize) >= n_items {
+                        Err(unknown_item(*item))
+                    } else {
+                        group.explains.push((i, *user, *item));
+                        Ok(None)
+                    }
+                }
+            };
+            match outcome {
+                Ok(None) => {}
+                Ok(Some(items)) => {
+                    batch_hits += 1;
+                    group.entry.metrics.cache_hits.inc();
+                    responses[i] = Some(Ok(Recommendation {
+                        request_id: req.id,
+                        model: group.entry.id.clone(),
+                        epoch,
+                        items,
+                        from_cache: true,
+                        explanation: None,
+                    }));
+                }
+                Err(e) => {
+                    self.obs.metrics().error(e.reason()).inc();
+                    errors += 1;
+                    responses[i] = Some(Err(e));
                 }
             }
         }
@@ -698,6 +880,32 @@ impl ServeEngine {
             }
             batches.insert(slot, batch);
         }
+        // Query matrices for the vector endpoints: similar-items rows are
+        // Θ rows of the query items, similar-users rows are X rows of the
+        // query users — both resolve to "score this vector against a
+        // target matrix", which is the query abstraction's whole point.
+        let mut item_query_batches: BTreeMap<u32, DenseMatrix> = BTreeMap::new();
+        let mut user_query_batches: BTreeMap<u32, DenseMatrix> = BTreeMap::new();
+        for (&slot, group) in &groups {
+            if !group.similar_items.is_empty() {
+                let f = group.snapshot.f();
+                let mut q = DenseMatrix::zeros(group.similar_items.len(), f);
+                for (row, (_, v)) in group.similar_items.iter().enumerate() {
+                    q.row_mut(row)
+                        .copy_from_slice(group.snapshot.full().item_row(*v as usize));
+                }
+                item_query_batches.insert(slot, q);
+            }
+            if !group.similar_users.is_empty() {
+                let f = group.user_factors.cols();
+                let mut q = DenseMatrix::zeros(group.similar_users.len(), f);
+                for (row, (_, u)) in group.similar_users.iter().enumerate() {
+                    q.row_mut(row)
+                        .copy_from_slice(group.user_factors.row(*u as usize));
+                }
+                user_query_batches.insert(slot, q);
+            }
+        }
         let t2 = self.now();
 
         // Pass 3: scatter each model's micro-batch across its shards
@@ -721,6 +929,69 @@ impl ServeEngine {
             );
             scatters.push((*slot, scatter));
         }
+        // Vector-endpoint scoring rides the same score window. The
+        // scatters run with a silent recorder so the per-shard span stream
+        // stays exactly the top-k path's; their work is still accounted in
+        // the shard timings merged below.
+        let mut item_scatters = Vec::new();
+        let mut user_scatters = Vec::new();
+        let mut slate_ranked: BTreeMap<u32, Vec<Vec<ScoredItem>>> = BTreeMap::new();
+        let mut slate_timings: Vec<ShardTiming> = Vec::new();
+        let mut explained: BTreeMap<u32, Vec<(Explanation, f32)>> = BTreeMap::new();
+        for (slot, group) in &groups {
+            if let Some(q) = item_query_batches.get(slot) {
+                // k+1 candidates: the query item ranks itself first more
+                // often than not, and one spare guarantees k survivors
+                // after self-exclusion. Runs under the engine's ScoreConfig,
+                // so similar-items gets the ANN dial and FP16 path free.
+                let scatter = scatter_top_k(
+                    &group.snapshot,
+                    q,
+                    self.cfg.k + 1,
+                    &self.cfg.score,
+                    &NOOP,
+                    self.now(),
+                );
+                item_scatters.push((*slot, scatter));
+            }
+            if let Some(q) = user_query_batches.get(slot) {
+                // The user side always scans exactly in FP32: X carries no
+                // FP16/int8/centroid sidecars, and building them per batch
+                // would cost more than the scan they would save.
+                let user_cfg = ScoreConfig {
+                    retrieval: Retrieval::Exact,
+                    use_fp16: false,
+                    ..self.cfg.score
+                };
+                let scatter = scatter_top_k(
+                    &group.entry.user_side_snapshot(),
+                    q,
+                    self.cfg.k + 1,
+                    &user_cfg,
+                    &NOOP,
+                    self.now(),
+                );
+                user_scatters.push((*slot, scatter));
+            }
+            for (_, user, slate) in &group.rank_slates {
+                let (items, timings) = rank_slate_sharded(
+                    &group.snapshot,
+                    group.user_factors.row(*user as usize),
+                    slate,
+                    self.cfg.k,
+                );
+                slate_timings.extend(timings);
+                slate_ranked.entry(*slot).or_default().push(items);
+            }
+            for (_, user, item) in &group.explains {
+                let (e, score) = explain_one(
+                    group.snapshot.full(),
+                    group.user_factors.row(*user as usize),
+                    *item as usize,
+                );
+                explained.entry(*slot).or_default().push((e, score));
+            }
+        }
         let t3 = self.now();
         let mut shard_timings: Vec<ShardTiming> = Vec::new();
         let mut ranked: BTreeMap<u32, Vec<Vec<ScoredItem>>> = BTreeMap::new();
@@ -731,15 +1002,48 @@ impl ServeEngine {
             }
             ranked.insert(slot, rankings);
         }
+        let mut item_ranked: BTreeMap<u32, Vec<Vec<ScoredItem>>> = BTreeMap::new();
+        for (slot, scatter) in item_scatters {
+            let (rankings, timings) = scatter.gather(self.cfg.k + 1);
+            shard_timings.extend(timings);
+            item_ranked.insert(slot, rankings);
+        }
+        let mut user_ranked: BTreeMap<u32, Vec<Vec<ScoredItem>>> = BTreeMap::new();
+        for (slot, scatter) in user_scatters {
+            let (rankings, timings) = scatter.gather(self.cfg.k + 1);
+            shard_timings.extend(timings);
+            user_ranked.insert(slot, rankings);
+        }
+        shard_timings.extend(slate_timings);
         let t4 = self.now();
 
         // Pass 4: fill cache, assemble responses in request order.
         let mut scored_users = 0usize;
         let mut cold_users = 0usize;
+        // Only the cacheable endpoints (top-k known users, similar-items)
+        // count as cache misses; the uncached endpoints are scored work
+        // but never a miss.
+        let mut cacheable_misses = 0u64;
         for (&slot, group) in &groups {
-            scored_users += group.to_score.len() - group.cold_histories.len();
+            let known_misses = group.to_score.len() - group.cold_histories.len();
+            scored_users += known_misses
+                + group.similar_items.len()
+                + group.similar_users.len()
+                + group.rank_slates.len()
+                + group.explains.len();
             cold_users += group.cold_histories.len();
+            cacheable_misses += (known_misses + group.similar_items.len()) as u64;
             let epoch = group.snapshot.epoch();
+            let respond = |request_id: u64, items: Vec<ScoredItem>, explanation| {
+                Ok(Recommendation {
+                    request_id,
+                    model: group.entry.id.clone(),
+                    epoch,
+                    items,
+                    from_cache: false,
+                    explanation,
+                })
+            };
             for ((i, user), items) in group.to_score.iter().zip(&ranked[&slot]) {
                 if let Some(u) = user {
                     self.cache.insert(
@@ -747,18 +1051,65 @@ impl ServeEngine {
                             model: slot,
                             epoch,
                             user: *u,
+                            endpoint: Endpoint::TopK,
                             retrieval: self.cfg.score.retrieval,
                         },
                         items.clone(),
                     );
                 }
-                responses[*i] = Some(Ok(Recommendation {
-                    request_id: requests[*i].id,
-                    model: group.entry.id.clone(),
-                    epoch,
-                    items: items.clone(),
-                    from_cache: false,
-                }));
+                responses[*i] = Some(respond(requests[*i].id, items.clone(), None));
+            }
+            if let Some(rankings) = item_ranked.get(&slot) {
+                for ((i, v), items) in group.similar_items.iter().zip(rankings) {
+                    // Self-exclusion: drop the query item, keep the best k.
+                    // Filtering the k+1 ranking is provably identical to
+                    // excluding before selection under the total order.
+                    let items: Vec<ScoredItem> = items
+                        .iter()
+                        .filter(|s| s.item != *v)
+                        .take(self.cfg.k)
+                        .copied()
+                        .collect();
+                    self.cache.insert(
+                        CacheKey {
+                            model: slot,
+                            epoch,
+                            user: *v,
+                            endpoint: Endpoint::SimilarItems,
+                            retrieval: self.cfg.score.retrieval,
+                        },
+                        items.clone(),
+                    );
+                    responses[*i] = Some(respond(requests[*i].id, items, None));
+                }
+            }
+            if let Some(rankings) = user_ranked.get(&slot) {
+                for ((i, u), items) in group.similar_users.iter().zip(rankings) {
+                    let items: Vec<ScoredItem> = items
+                        .iter()
+                        .filter(|s| s.item != *u)
+                        .take(self.cfg.k)
+                        .copied()
+                        .collect();
+                    responses[*i] = Some(respond(requests[*i].id, items, None));
+                }
+            }
+            if let Some(per_req) = slate_ranked.get(&slot) {
+                for ((i, _, _), items) in group.rank_slates.iter().zip(per_req) {
+                    responses[*i] = Some(respond(requests[*i].id, items.clone(), None));
+                }
+            }
+            if let Some(per_req) = explained.get(&slot) {
+                for ((i, _, item), (e, score)) in group.explains.iter().zip(per_req) {
+                    responses[*i] = Some(respond(
+                        requests[*i].id,
+                        vec![ScoredItem {
+                            item: *item,
+                            score: *score,
+                        }],
+                        Some(e.clone()),
+                    ));
+                }
             }
         }
         let t5 = self.now();
@@ -809,7 +1160,7 @@ impl ServeEngine {
         m.requests.add(requests.len() as u64);
         m.batches.inc();
         m.cache_hits.add(batch_hits);
-        m.cache_misses.add(scored_users as u64);
+        m.cache_misses.add(cacheable_misses);
         m.cold_users.add(cold_users as u64);
         m.scan_bytes.add(scan_bytes);
         m.ann_probed.add(trace.ann_probed);
@@ -819,12 +1170,9 @@ impl ServeEngine {
         // in FP32: count the silently-widened requests per model.
         if self.cfg.score.use_fp16 {
             for group in groups.values() {
-                if !group.to_score.is_empty() && !group.snapshot.full().has_fp16() {
-                    group
-                        .entry
-                        .metrics
-                        .fp16_fallback
-                        .add(group.to_score.len() as u64);
+                let scans = group.to_score.len() + group.similar_items.len();
+                if scans > 0 && !group.snapshot.full().has_fp16() {
+                    group.entry.metrics.fp16_fallback.add(scans as u64);
                 }
             }
         }
@@ -834,17 +1182,36 @@ impl ServeEngine {
         // recall dial that silently reads 4× the bytes must be visible).
         if approx {
             for group in groups.values() {
-                if !group.to_score.is_empty() && !group.snapshot.full().has_ann() {
-                    group
-                        .entry
-                        .metrics
-                        .ann_fallback
-                        .add(group.to_score.len() as u64);
+                let scans = group.to_score.len() + group.similar_items.len();
+                if scans > 0 && !group.snapshot.full().has_ann() {
+                    group.entry.metrics.ann_fallback.add(scans as u64);
                 }
             }
         }
         if let Some(default) = table.entries.get(table.router.default_model()) {
             m.epoch.set(default.store.epoch() as f64);
+        }
+        // Per-endpoint accounting: one request count and one batch-time
+        // latency observation per request, plus a once-per-engine journal
+        // record the first time each endpoint serves.
+        for req in requests {
+            let ep = req.query.endpoint();
+            let handles = m.endpoint(ep);
+            handles.requests.inc();
+            handles.latency.observe_secs(t5 - t0);
+            let idx = Endpoint::ALL
+                .iter()
+                .position(|e| *e == ep)
+                .expect("endpoint in ALL");
+            if !self.endpoint_journaled[idx].swap(true, Ordering::Relaxed) {
+                self.obs.journal().record(
+                    t5,
+                    None,
+                    EventKind::EndpointFirstServed {
+                        endpoint: ep.name(),
+                    },
+                );
+            }
         }
         m.observe_batch_stages(&trace);
         for t in &trace.shard_timings {

@@ -49,6 +49,23 @@ pub enum ServeError {
         /// The feature dimension of the offending matrix.
         got: usize,
     },
+    /// A [`crate::engine::Query::SimilarItems`] (or explain / slate) item
+    /// index is out of range of the routed model's item catalog.
+    UnknownItem {
+        /// The requested item row.
+        item: u32,
+        /// How many items the model's snapshot holds.
+        n_items: usize,
+        /// The model the request was routed to.
+        model: ModelId,
+    },
+    /// A [`crate::engine::Query::RankItems`] request carried an empty
+    /// candidate slate — there is nothing to rank.
+    EmptySlate,
+    /// A [`crate::engine::Query::SimilarUsers`] request reached a model
+    /// whose user-factor matrix is empty, so there is no user side to
+    /// scan.
+    NoUserFactors(ModelId),
     /// The operation needs the model to be out of the routing path, but it
     /// is currently the default alias or the canary candidate.
     ModelInUse(ModelId),
@@ -67,6 +84,9 @@ impl ServeError {
             ServeError::RetiredModel(_) => "retired_model",
             ServeError::DuplicateModel(_) => "duplicate_model",
             ServeError::UnknownUser { .. } => "unknown_user",
+            ServeError::UnknownItem { .. } => "unknown_item",
+            ServeError::EmptySlate => "empty_slate",
+            ServeError::NoUserFactors(_) => "no_user_factors",
             ServeError::DimensionMismatch { .. } => "dimension_mismatch",
             ServeError::ModelInUse(_) => "model_in_use",
             ServeError::NoCanary => "no_canary",
@@ -88,6 +108,19 @@ impl std::fmt::Display for ServeError {
             } => write!(
                 f,
                 "unknown user {user}; model {model:?} knows {n_users} users"
+            ),
+            ServeError::UnknownItem {
+                item,
+                n_items,
+                model,
+            } => write!(
+                f,
+                "unknown item {item}; model {model:?} serves {n_items} items"
+            ),
+            ServeError::EmptySlate => write!(f, "rank-items request carried an empty slate"),
+            ServeError::NoUserFactors(m) => write!(
+                f,
+                "model {m:?} has no user factors to scan for similar-users"
             ),
             ServeError::DimensionMismatch {
                 model,
@@ -128,6 +161,16 @@ mod tests {
                 },
                 "unknown_user",
             ),
+            (
+                ServeError::UnknownItem {
+                    item: 9,
+                    n_items: 4,
+                    model: m.clone(),
+                },
+                "unknown_item",
+            ),
+            (ServeError::EmptySlate, "empty_slate"),
+            (ServeError::NoUserFactors(m.clone()), "no_user_factors"),
             (
                 ServeError::DimensionMismatch {
                     model: m.clone(),

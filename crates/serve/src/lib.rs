@@ -99,6 +99,7 @@ pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod obs;
+pub mod query;
 pub mod registry;
 pub mod scorer;
 pub mod shard;
@@ -119,14 +120,15 @@ pub use obs::{
     JournalRecord, ObsConfig, ObsServer, RequestSpan, ServeMetrics, ServeObs, ShutdownHandle,
     SloConfig, SloReport, SloTracker, StageBreakdown,
 };
+pub use query::{Endpoint, Explanation, Query};
 pub use registry::{canary_unit, CanaryPolicy, ModelId, ModelRegistry, RouteKey, Router};
 pub use scorer::{
-    scan_bytes, score_one, top_k_batch, top_k_batch_stats, top_k_one, QuantMode, Retrieval,
-    ScanStats, ScoreConfig,
+    explain_one, scan_bytes, score_one, top_k_batch, top_k_batch_stats, top_k_one, QuantMode,
+    Retrieval, ScanStats, ScoreConfig,
 };
 pub use shard::{
-    top_k_batch_sharded, top_k_batch_sharded_timed, Shard, ShardTiming, ShardedFactorStore,
-    ShardedSnapshot,
+    rank_slate_sharded, top_k_batch_sharded, top_k_batch_sharded_timed, Shard, ShardTiming,
+    ShardedFactorStore, ShardedSnapshot,
 };
 pub use store::{FactorStore, ModelSnapshot};
 pub use topk::{merge_top_k, naive_top_k, ScoredItem, TopK};

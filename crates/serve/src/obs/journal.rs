@@ -82,6 +82,14 @@ pub enum EventKind {
         /// Sheds since the previous `ShedBurst` record.
         count: u64,
     },
+    /// A serving endpoint ([`crate::engine::Query`] shape) answered its
+    /// first request on this engine. Recorded once per endpoint per
+    /// engine, so the journal shows which parts of the query surface a
+    /// process actually exercised.
+    EndpointFirstServed {
+        /// The endpoint's stable token (the `endpoint=` metric label).
+        endpoint: &'static str,
+    },
 }
 
 impl EventKind {
@@ -99,6 +107,7 @@ impl EventKind {
             EventKind::SloBurnExited { .. } => "SloBurnExited",
             EventKind::MemBudgetExceeded { .. } => "MemBudgetExceeded",
             EventKind::ShedBurst { .. } => "ShedBurst",
+            EventKind::EndpointFirstServed { .. } => "EndpointFirstServed",
         }
     }
 
@@ -127,6 +136,9 @@ impl EventKind {
             ],
             EventKind::ShedBurst { count } => {
                 vec![("count".into(), Value::Num(count as f64))]
+            }
+            EventKind::EndpointFirstServed { endpoint } => {
+                vec![("endpoint".into(), Value::Str(endpoint.into()))]
             }
             _ => vec![],
         }

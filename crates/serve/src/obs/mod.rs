@@ -46,6 +46,7 @@ pub use journal::{EventJournal, EventKind, JournalRecord};
 pub use slo::{SloConfig, SloReport, SloTracker, WindowBurn};
 pub use span::{BatchTrace, RequestSpan, StageBreakdown, STAGES};
 
+use crate::query::Endpoint;
 use cumf_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use parking_lot::Mutex;
 use serde::Value;
@@ -88,6 +89,21 @@ pub struct ShardMetrics {
     pub scored: Counter,
     /// Wall-clock seconds per scoring pass on this shard.
     pub pass_seconds: Histogram,
+}
+
+/// Per-endpoint metric handles, labeled `endpoint="<token>"`. Registered
+/// for every [`Endpoint`] at construction so the full label set is
+/// always present on `/metrics`, even before an endpoint's first
+/// request.
+#[derive(Clone, Debug)]
+pub struct EndpointMetrics {
+    /// Requests routed to this endpoint (cache hits and per-request
+    /// errors included).
+    pub requests: Counter,
+    /// Batch service time attributed to each of the endpoint's requests
+    /// (the engine's cache→respond span; queueing delay is tracked
+    /// separately by `serve_queue_delay_seconds`).
+    pub latency: Histogram,
 }
 
 /// Per-model metric handles, labeled `model="<id>"`. Registered once per
@@ -167,6 +183,9 @@ pub struct ServeMetrics {
     /// Per-batch stage durations, labeled `stage="cache"|...|"respond"`
     /// (the queue stage is per-request: see `queue_delay`).
     stages: Vec<(&'static str, Histogram)>,
+    /// Per-endpoint request counters and latency histograms, indexed in
+    /// [`Endpoint::ALL`] order.
+    endpoints: Vec<EndpointMetrics>,
 }
 
 impl ServeMetrics {
@@ -185,6 +204,21 @@ impl ServeMetrics {
                         &[("stage", s)],
                     ),
                 )
+            })
+            .collect();
+        let endpoints = Endpoint::ALL
+            .iter()
+            .map(|e| EndpointMetrics {
+                requests: registry.counter_with(
+                    "serve_endpoint_requests_total",
+                    "Requests per serving endpoint",
+                    &[("endpoint", e.name())],
+                ),
+                latency: registry.histogram_with(
+                    "serve_endpoint_latency_seconds",
+                    "Batch service time attributed per request, per endpoint",
+                    &[("endpoint", e.name())],
+                ),
             })
             .collect();
         ServeMetrics {
@@ -229,8 +263,22 @@ impl ServeMetrics {
                 "Estimated resident bytes of the result cache (all stripes)",
             ),
             stages,
+            endpoints,
             registry,
         }
+    }
+
+    /// Handles for one serving endpoint (pre-registered at construction,
+    /// so the lookup is an array index, never a label resolve).
+    pub fn endpoint(&self, e: Endpoint) -> &EndpointMetrics {
+        let idx = match e {
+            Endpoint::TopK => 0,
+            Endpoint::SimilarItems => 1,
+            Endpoint::SimilarUsers => 2,
+            Endpoint::RankItems => 3,
+            Endpoint::Explain => 4,
+        };
+        &self.endpoints[idx]
     }
 
     /// The registry behind the handles.
@@ -581,6 +629,34 @@ mod tests {
             obs.metrics().mem_bytes("registry/m0/store", "m0").get(),
             2048.0
         );
+    }
+
+    #[test]
+    fn endpoint_label_set_is_fully_registered_up_front() {
+        let obs = ServeObs::new(ObsConfig::default());
+        // Every endpoint's series exists before any traffic, so a scrape
+        // always sees the full endpoint= label set.
+        let text = obs.render_prometheus(0.0);
+        for name in [
+            "topk",
+            "similar_items",
+            "similar_users",
+            "rank_items",
+            "explain",
+        ] {
+            assert!(
+                text.contains(&format!(
+                    "serve_endpoint_requests_total{{endpoint=\"{name}\"}} 0"
+                )),
+                "missing endpoint series {name}: {text}"
+            );
+        }
+        let ep = obs.metrics().endpoint(Endpoint::SimilarItems);
+        ep.requests.add(2);
+        ep.latency.observe_secs(0.001);
+        let text = obs.render_prometheus(0.0);
+        assert!(text.contains("serve_endpoint_requests_total{endpoint=\"similar_items\"} 2"));
+        assert!(text.contains("serve_endpoint_latency_seconds_count{endpoint=\"similar_items\"} 1"));
     }
 
     #[test]

@@ -253,6 +253,10 @@ pub(crate) struct ModelEntry {
     /// `X` for known-user requests, swapped atomically alongside (but
     /// independently of) Θ publishes.
     user_factors: RwLock<Arc<DenseMatrix>>,
+    /// Lazily built sharded view of `X` for similar-users scans
+    /// ([`crate::engine::Query::SimilarUsers`]); invalidated whenever the
+    /// user-factor matrix is swapped.
+    user_snapshot: RwLock<Option<Arc<ShardedSnapshot>>>,
     retired: AtomicBool,
     pub(crate) metrics: ModelMetrics,
 }
@@ -262,6 +266,30 @@ impl ModelEntry {
     /// whole batch).
     pub(crate) fn user_factors(&self) -> Arc<DenseMatrix> {
         self.user_factors.read().clone()
+    }
+
+    /// The user-factor matrix as a sharded snapshot, for `x_u·Xᵀ`
+    /// similar-users scans through the same scatter-gather path items
+    /// use. Built lazily on first use (rows copied once, off the hot
+    /// path for every later batch) and cached until
+    /// [`ModelRegistry::set_user_factors`] swaps `X`. The snapshot
+    /// carries no priors, FP16 copy, or centroid index: the user side
+    /// always scans exactly in FP32.
+    pub(crate) fn user_side_snapshot(&self) -> Arc<ShardedSnapshot> {
+        if let Some(s) = self.user_snapshot.read().as_ref() {
+            return Arc::clone(s);
+        }
+        let mut slot = self.user_snapshot.write();
+        if let Some(s) = slot.as_ref() {
+            return Arc::clone(s);
+        }
+        let x = self.user_factors();
+        let sharded = Arc::new(ShardedSnapshot::build(
+            ModelSnapshot::new(0, (*x).clone(), vec![]),
+            self.store.n_shards(),
+        ));
+        *slot = Some(Arc::clone(&sharded));
+        sharded
     }
 
     pub(crate) fn is_retired(&self) -> bool {
@@ -274,13 +302,14 @@ impl ModelEntry {
     /// memory until dropped, so they report too.
     pub(crate) fn footprint(&self) -> FootprintReport {
         let uf = self.user_factors();
-        FootprintReport::branch(
-            self.id.as_str(),
-            vec![
-                self.store.footprint(),
-                FootprintReport::leaf("user_factors", std::mem::size_of_val(uf.as_slice()) as u64),
-            ],
-        )
+        let mut children = vec![
+            self.store.footprint(),
+            FootprintReport::leaf("user_factors", std::mem::size_of_val(uf.as_slice()) as u64),
+        ];
+        if let Some(s) = self.user_snapshot.read().as_ref() {
+            children.push(s.footprint().renamed("user_snapshot"));
+        }
+        FootprintReport::branch(self.id.as_str(), children)
     }
 }
 
@@ -471,6 +500,7 @@ impl ModelRegistry {
             f,
             store: ShardedFactorStore::new(snapshot, self.shards),
             user_factors: RwLock::new(Arc::new(user_factors)),
+            user_snapshot: RwLock::new(None),
             retired: AtomicBool::new(false),
             metrics,
         });
@@ -544,6 +574,9 @@ impl ModelRegistry {
             });
         }
         *entry.user_factors.write() = Arc::new(user_factors);
+        // The similar-users view is a copy of the old X: drop it so the
+        // next similar-users batch rebuilds from the swapped matrix.
+        *entry.user_snapshot.write() = None;
         Ok(())
     }
 
@@ -1210,6 +1243,37 @@ mod tests {
             recs[4].kind,
             EventKind::SnapshotPublished { epoch: 1, bytes } if bytes > 0
         ));
+    }
+
+    #[test]
+    fn user_side_snapshot_is_cached_and_invalidated_on_swap() {
+        let reg = registry();
+        let champ = ModelId::from("champion");
+        let entry = ModelRegistry::entry_of(&reg.inner.read(), &champ).unwrap();
+        let first = entry.user_side_snapshot();
+        // identity(4): 4 user rows, sharded at the store's count, exact
+        // FP32 only.
+        assert_eq!(first.n_items(), 4);
+        assert_eq!(first.n_shards(), entry.store.n_shards());
+        assert!(!first.full().has_fp16() && !first.full().has_ann());
+        assert!(
+            Arc::ptr_eq(&first, &entry.user_side_snapshot()),
+            "second call must reuse the cached view"
+        );
+        // The cached copy is honest resident memory.
+        let uf_side = entry
+            .footprint()
+            .children()
+            .iter()
+            .any(|c| c.name() == "user_snapshot");
+        assert!(uf_side, "cached view must appear in the footprint");
+        // Swapping X drops the view; the next call rebuilds from the new
+        // matrix.
+        reg.set_user_factors(&champ, DenseMatrix::zeros(7, 4))
+            .unwrap();
+        let rebuilt = entry.user_side_snapshot();
+        assert!(!Arc::ptr_eq(&first, &rebuilt));
+        assert_eq!(rebuilt.n_items(), 7);
     }
 
     #[test]

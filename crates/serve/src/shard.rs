@@ -28,6 +28,7 @@ use crate::scorer::{top_k_batch_stats, ScoreConfig};
 use crate::store::ModelSnapshot;
 use crate::topk::{merge_top_k, ScoredItem};
 use cumf_numeric::dense::DenseMatrix;
+use cumf_numeric::kernel;
 use cumf_telemetry::{FootprintReport, MemoryFootprint, PhaseSpan, Recorder, NOOP};
 use parking_lot::{Mutex, RwLock};
 use std::sync::{Arc, Weak};
@@ -365,6 +366,75 @@ pub fn top_k_batch_sharded_timed(
     scatter_top_k(sharded, user_factors, k, cfg, &NOOP, 0.0).gather(k)
 }
 
+/// Score only a caller-supplied candidate slate against one query vector
+/// and return the best `k`, best first, plus per-shard timings for the
+/// shards that owned at least one candidate.
+///
+/// This is the candidate-set serving path ([`crate::engine::Query::RankItems`]):
+/// the catalog scan is skipped entirely — each slate member is looked up
+/// in its owning contiguous-range shard and scored with the same
+/// `kernel::dot_lanes + prior` arithmetic as every other surface, so the
+/// result is bit-identical to the full sharded top-k ranking restricted
+/// to the slate (test-enforced). Duplicate slate entries rank
+/// independently. Slate ids must be `< n_items()` (the engine validates
+/// and rejects out-of-range ids before calling).
+pub fn rank_slate_sharded(
+    sharded: &ShardedSnapshot,
+    query: &[f32],
+    slate: &[u32],
+    k: usize,
+) -> (Vec<ScoredItem>, Vec<ShardTiming>) {
+    let f = sharded.f();
+    assert_eq!(query.len(), f, "query dimension must match the model");
+    // Group candidates by owning shard: ranges are contiguous, so the
+    // owner is the last shard starting at or before the id.
+    let shards = sharded.shards();
+    let mut groups: Vec<Vec<u32>> = vec![Vec::new(); shards.len()];
+    for &item in slate {
+        assert!(
+            (item as usize) < sharded.n_items(),
+            "slate item out of range"
+        );
+        let idx = shards.partition_point(|s| s.start <= item as usize) - 1;
+        groups[idx].push(item);
+    }
+    let mut all: Vec<ScoredItem> = Vec::with_capacity(slate.len());
+    let mut timings = Vec::new();
+    for (idx, (shard, group)) in shards.iter().zip(&groups).enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        let t0 = Instant::now();
+        for &item in group {
+            let local = item as usize - shard.start;
+            let score =
+                kernel::dot_lanes(query, shard.local.item_row(local)) + shard.local.prior(local);
+            all.push(ScoredItem { item, score });
+        }
+        let scored = group.len() as u64;
+        timings.push(ShardTiming {
+            shard: idx,
+            scored,
+            bytes: scored * f as u64 * 4,
+            probed_clusters: 0,
+            rescored: 0,
+            flops: 2 * f as u64 * scored,
+            secs: t0.elapsed().as_secs_f64(),
+        });
+    }
+    all.sort_unstable_by(|a, b| {
+        if a.ranks_before(b) {
+            std::cmp::Ordering::Less
+        } else if b.ranks_before(a) {
+            std::cmp::Ordering::Greater
+        } else {
+            std::cmp::Ordering::Equal
+        }
+    });
+    all.truncate(k);
+    (all, timings)
+}
+
 /// [`top_k_batch_sharded_timed`] without the timings — the plain sharded
 /// counterpart of [`top_k_batch`](crate::scorer::top_k_batch).
 pub fn top_k_batch_sharded(
@@ -638,6 +708,46 @@ mod tests {
                 assert!((span.duration() - t.secs).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn rank_slate_matches_the_full_ranking_restricted_to_the_slate() {
+        let full = snap(37, 5, true);
+        let x = users(1, 5);
+        let q = x.row(0);
+        let cfg = ScoreConfig::default();
+        // Reference: the complete ranking (k = catalog) filtered down to
+        // the slate members, truncated to k.
+        let slate = vec![4u32, 9, 0, 36, 17, 22];
+        let complete = top_k_batch(&full, &x, 37, &cfg).pop().unwrap();
+        let want: Vec<ScoredItem> = complete
+            .iter()
+            .filter(|s| slate.contains(&s.item))
+            .take(4)
+            .copied()
+            .collect();
+        for s in [1, 3, 8] {
+            let sharded = ShardedSnapshot::build(full.clone(), s);
+            let (got, timings) = rank_slate_sharded(&sharded, q, &slate, 4);
+            assert_eq!(got, want, "{s} shards");
+            let scored: u64 = timings.iter().map(|t| t.scored).sum();
+            assert_eq!(scored, slate.len() as u64, "{s} shards");
+            let bytes: u64 = timings.iter().map(|t| t.bytes).sum();
+            assert_eq!(bytes, slate.len() as u64 * 5 * 4, "only slate rows read");
+            assert!(timings.iter().all(|t| t.scored > 0), "empty shards skipped");
+        }
+    }
+
+    #[test]
+    fn rank_slate_scores_duplicates_independently() {
+        let full = snap(12, 3, false);
+        let x = users(1, 3);
+        let sharded = ShardedSnapshot::build(full, 3);
+        let (got, _) = rank_slate_sharded(&sharded, x.row(0), &[5, 5, 2], 3);
+        assert_eq!(got.len(), 3);
+        assert!(got[0].score >= got[1].score && got[1].score >= got[2].score);
+        let fives = got.iter().filter(|s| s.item == 5).count();
+        assert_eq!(fives, 2, "each occurrence ranks on its own");
     }
 
     #[test]

@@ -398,6 +398,148 @@ fn overloaded_admission_queue_rejects_rather_than_grows() {
     }
 }
 
+proptest! {
+    /// `SimilarItems` through the full engine is bit-identical to a naive
+    /// exclude-then-top-k over Θ·Θᵀ: score every catalog item against the
+    /// query item's own factor row, drop the query item, and keep the
+    /// usual total order (score desc, item id asc).
+    #[test]
+    fn similar_items_equals_naive_theta_theta_top_k(
+        model in arb_model(),
+        k in 1usize..10,
+    ) {
+        let (snapshot, users) = model;
+        let n = snapshot.n_items();
+        let engine = ServeEngine::builder()
+            .config(ServeConfig::default().with_k(k))
+            .model("only", users, snapshot.clone())
+            .build()
+            .unwrap();
+        let requests: Vec<Request> = (0..n)
+            .map(|v| Request::similar_items(v as u64, v as u32))
+            .collect();
+        let got = engine.recommend_batch(&requests, &NOOP);
+        for (v, rec) in got.into_iter().enumerate() {
+            let rec = rec.unwrap();
+            let scores = score_one(&snapshot, snapshot.item_row(v), false);
+            let want: Vec<_> = naive_top_k(&scores, n)
+                .into_iter()
+                .filter(|s| s.item != v as u32)
+                .take(k)
+                .collect();
+            prop_assert_eq!(&rec.items, &want, "query item {}", v);
+        }
+    }
+
+    /// `RankItems` equals the full top-k restricted to the slate: ranking
+    /// a candidate list must reproduce exactly the positions those items
+    /// occupy in the complete catalog ranking.
+    #[test]
+    fn rank_items_equals_full_top_k_restricted_to_the_slate(
+        model in arb_model(),
+        k in 1usize..10,
+        picks in prop::collection::vec(any::<u32>(), 1..20),
+    ) {
+        let (snapshot, users) = model;
+        let n = snapshot.n_items();
+        let mut slate: Vec<u32> = picks.iter().map(|ix| ix % n as u32).collect();
+        slate.sort_unstable();
+        slate.dedup();
+        let engine = ServeEngine::builder()
+            .config(ServeConfig::default().with_k(k))
+            .model("only", users.clone(), snapshot.clone())
+            .build()
+            .unwrap();
+        for u in 0..users.rows() {
+            let req = Request::rank_items(u as u64, u as u32, slate.clone());
+            let rec = engine.recommend_batch(&[req], &NOOP).pop().unwrap().unwrap();
+            let scores = score_one(&snapshot, users.row(u), false);
+            let want: Vec<_> = naive_top_k(&scores, n)
+                .into_iter()
+                .filter(|s| slate.binary_search(&s.item).is_ok())
+                .take(k)
+                .collect();
+            prop_assert_eq!(&rec.items, &want, "user {}", u);
+        }
+    }
+
+    /// `Explain` decomposes the served score: the per-factor terms plus the
+    /// prior sum back to the dot product within 1e-6, and the served score
+    /// itself is bit-identical to the exact scorer's row.
+    #[test]
+    fn explain_terms_sum_to_the_served_dot_product(
+        model in arb_model(),
+    ) {
+        let (snapshot, users) = model;
+        let n = snapshot.n_items();
+        let engine = ServeEngine::builder()
+            .model("only", users.clone(), snapshot.clone())
+            .build()
+            .unwrap();
+        for u in 0..users.rows() {
+            let v = (u * 7) % n;
+            let req = Request::explain(u as u64, u as u32, v as u32);
+            let rec = engine.recommend_batch(&[req], &NOOP).pop().unwrap().unwrap();
+            let e = rec.explanation.clone().expect("explain returns an Explanation");
+            prop_assert_eq!(rec.items.len(), 1);
+            prop_assert_eq!(rec.items[0].item, v as u32);
+            let served = rec.items[0].score;
+            // Bit-identical to the exact scorer's score for (u, v)...
+            prop_assert_eq!(served, score_one(&snapshot, users.row(u), false)[v]);
+            // ...and the factor-order term sum lands within 1e-6 of it.
+            prop_assert!(
+                (e.score() - served).abs() <= 1e-6,
+                "user {} item {}: terms sum to {} but served {}", u, v, e.score(), served
+            );
+            prop_assert_eq!(e.terms.len(), snapshot.f());
+            prop_assert_eq!(e.prior, snapshot.prior(v));
+        }
+    }
+}
+
+/// Self-exclusion under ties: with every factor row duplicated, the query
+/// item ties bit-exactly with its twin. The twin must survive exclusion and
+/// rank first, and the remaining order must follow the (score desc, id asc)
+/// total order with only the query item removed.
+#[test]
+fn similar_items_excludes_only_the_query_item_under_ties() {
+    let (groups, dup, k) = (4usize, 3usize, 8usize);
+    let (f, n) = (groups, groups * dup);
+    // Item i's row is the one-hot e_{i % groups}, so each item has dup-1
+    // bit-exact twins, self-similarity is maximal (1.0), and every
+    // cross-group pair ties at 0.0.
+    let theta: Vec<f32> = (0..n)
+        .flat_map(|i| (0..f).map(move |j| if j == i % groups { 1.0 } else { 0.0 }))
+        .collect();
+    let snapshot = ModelSnapshot::new(0, DenseMatrix::from_vec(n, f, theta), vec![]);
+    let engine = ServeEngine::builder()
+        .config(ServeConfig::default().with_k(k))
+        .model("only", DenseMatrix::identity(f), snapshot.clone())
+        .build()
+        .unwrap();
+    for q in 0..n as u32 {
+        let rec = engine
+            .recommend_batch(&[Request::similar_items(q as u64, q)], &NOOP)
+            .pop()
+            .unwrap()
+            .unwrap();
+        let scores = score_one(&snapshot, snapshot.item_row(q as usize), false);
+        let want: Vec<_> = naive_top_k(&scores, n)
+            .into_iter()
+            .filter(|s| s.item != q)
+            .take(k)
+            .collect();
+        assert_eq!(rec.items, want, "query item {q}");
+        // The twin with the lowest id ties the query item's self-score and
+        // must lead the list.
+        let twin = (0..n as u32)
+            .find(|&i| i != q && i % groups as u32 == q % groups as u32)
+            .unwrap();
+        assert_eq!(rec.items[0].item, twin, "query item {q}");
+        assert_eq!(rec.items[0].score, scores[q as usize], "query item {q}");
+    }
+}
+
 fn trained_tiny() -> (MfDataset, DenseMatrix, DenseMatrix) {
     let data = MfDataset::netflix(SizeClass::Tiny, 77);
     let cfg = AlsConfig {
